@@ -1,0 +1,135 @@
+// Experiment S4 — the compile-option design-space exploration the paper
+// performed by hand ("Both options of parallelization were chosen after
+// several compilation iterations to find the best resource consumption
+// rate", Section V-B). Sweeps vectorization / replication / unrolling for
+// both kernels, reports feasibility, clock, power, and modelled
+// throughput, and marks the best point — which should coincide with the
+// paper's published choices.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "devices/calibration.h"
+#include "fpga/clock_model.h"
+#include "fpga/fitter.h"
+#include "fpga/power_model.h"
+#include "kernels/ir_builders.h"
+
+namespace {
+
+using namespace binopt;
+
+struct Point {
+  fpga::CompileOptions opts;
+  bool fits = false;
+  double util = 0.0;
+  double fmax = 0.0;
+  double watts = 0.0;
+  double options_per_s = 0.0;
+};
+
+void explore(const char* title, const fpga::KernelIR& ir,
+             const fpga::FitCalibration& cal,
+             const std::vector<fpga::CompileOptions>& candidates,
+             bool throughput_scales_with_loop_lanes,
+             const fpga::CompileOptions& published) {
+  const fpga::Fitter fitter;
+  const fpga::ClockModel clock;
+  const fpga::PowerModel power;
+  const double nodes_per_option = 524800.0;
+
+  std::printf("%s\n\n", title);
+  TextTable table({"simd", "cu", "unroll", "fits", "logic", "fmax (MHz)",
+                   "power (W)", "options/s", "options/J", "note"});
+
+  Point best;
+  for (const auto& opts : candidates) {
+    Point p;
+    p.opts = opts;
+    const auto fit = fitter.fit(ir, opts, cal);
+    p.fits = fit.fits;
+    p.util = fit.logic_utilization;
+    std::string note =
+        opts.simd_width == published.simd_width &&
+                opts.num_compute_units == published.num_compute_units &&
+                opts.unroll_factor == published.unroll_factor
+            ? "<- paper's choice"
+            : "";
+    if (p.fits) {
+      p.fmax = clock.fmax_mhz(fit.logic_utilization);
+      p.watts =
+          power.estimate(fit.logic_utilization, fit.m9k_utilization, p.fmax)
+              .total();
+      const double engines = throughput_scales_with_loop_lanes
+                                 ? static_cast<double>(opts.loop_lanes())
+                                 : static_cast<double>(opts.straightline_copies());
+      p.options_per_s = engines * p.fmax * 1e6 *
+                        devices::kFpgaPipelineOccupancy / nodes_per_option;
+      if (p.options_per_s > best.options_per_s) best = p;
+      table.add_row({TextTable::integer(opts.simd_width),
+                     TextTable::integer(opts.num_compute_units),
+                     TextTable::integer(opts.unroll_factor), "yes",
+                     TextTable::percent(p.util), TextTable::num(p.fmax, 1),
+                     TextTable::num(p.watts, 1),
+                     TextTable::num(p.options_per_s, 0),
+                     TextTable::num(p.options_per_s / p.watts, 1), note});
+    } else {
+      table.add_row({TextTable::integer(opts.simd_width),
+                     TextTable::integer(opts.num_compute_units),
+                     TextTable::integer(opts.unroll_factor), "NO",
+                     TextTable::percent(p.util), "-", "-", "-", "-",
+                     "does not fit"});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Best feasible point: simd=%u cu=%u unroll=%u "
+              "(%.0f device-compute options/s)\n\n",
+              best.opts.simd_width, best.opts.num_compute_units,
+              best.opts.unroll_factor, best.options_per_s);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=================================================================\n");
+  std::printf("S4: design-space exploration of the Altera compile options\n");
+  std::printf("=================================================================\n\n");
+
+  const fpga::Fitter fitter;
+
+  {
+    const auto ir = kernels::kernel_a_ir(1024);
+    const auto cal =
+        fitter.calibrate(ir, devices::kernel_a_published_options(),
+                         devices::kernel_a_published_usage());
+    std::vector<fpga::CompileOptions> candidates;
+    for (unsigned simd : {1u, 2u, 4u}) {
+      for (unsigned cu : {1u, 2u, 3u, 4u, 6u}) {
+        candidates.push_back(fpga::CompileOptions{simd, cu, 1});
+      }
+    }
+    explore("Kernel IV.A (dataflow; device throughput bound is the node "
+            "pipeline — end-to-end it is PCIe-bound, see S2):",
+            ir, cal, candidates, /*loop_lanes=*/false,
+            devices::kernel_a_published_options());
+  }
+
+  {
+    const auto ir = kernels::kernel_b_ir(1024);
+    const auto cal =
+        fitter.calibrate(ir, devices::kernel_b_published_options(),
+                         devices::kernel_b_published_usage());
+    std::vector<fpga::CompileOptions> candidates;
+    for (unsigned simd : {1u, 2u, 4u, 8u}) {
+      for (unsigned unroll : {1u, 2u, 4u}) {
+        candidates.push_back(fpga::CompileOptions{simd, 1, unroll});
+      }
+    }
+    explore("Kernel IV.B (work-group per option; throughput scales with "
+            "simd x unroll lanes):",
+            ir, cal, candidates, /*loop_lanes=*/true,
+            devices::kernel_b_published_options());
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Experiment F4 — the optimized kernel's dataflow (Figure 4): local-memory
+// value row between barriers, private asset prices, minimal host traffic.
+// Prints measured traffic/barrier series vs tree size from functional runs
+// and the modelled throughput decomposition at N = 1024.
+#include <cstdio>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "finance/workload.h"
+#include "kernels/kernel_b.h"
+#include "ocl/platform.h"
+#include "perf/platform_models.h"
+
+int main() {
+  using namespace binopt;
+
+  std::printf("=================================================================\n");
+  std::printf("F4: Figure 4 — optimized (work-group per option) kernel, IV.B\n");
+  std::printf("=================================================================\n\n");
+
+  auto platform = ocl::Platform::make_reference_platform();
+  ocl::Device& device = platform->device_by_kind(ocl::DeviceKind::kFpga);
+  const auto batch = finance::make_random_batch(4, 2014);
+
+  std::printf("Measured per-option traffic vs tree size (functional runs, "
+              "%zu options each):\n\n", batch.size());
+  TextTable traffic({"N", "local bytes/option", "global bytes/option",
+                     "local:global", "barriers/option", "PCIe bytes/option"});
+  for (std::size_t n : {16u, 32u, 64u, 128u, 256u}) {
+    device.reset_stats();
+    kernels::KernelBHostProgram host(device, {.steps = n});
+    const auto result = host.run(batch);
+    const double opts = static_cast<double>(batch.size());
+    const double local =
+        static_cast<double>(result.stats.total_local_bytes()) / opts;
+    const double global =
+        static_cast<double>(result.stats.total_global_bytes()) / opts;
+    traffic.add_row(
+        {TextTable::integer(static_cast<long long>(n)),
+         format_bytes(local), format_bytes(global),
+         TextTable::num(local / global, 1),
+         TextTable::integer(static_cast<long long>(
+             static_cast<double>(result.stats.barriers_executed) / opts)),
+         format_bytes(static_cast<double>(result.stats.total_pcie_bytes()) /
+                      opts)});
+  }
+  std::printf("%s\n", traffic.render().c_str());
+  std::printf("Local traffic grows with the tree area (N^2); global traffic "
+              "stays at the parameter record + one result per option —\n"
+              "host-device interaction \"reduced to a minimum\" (Section "
+              "IV-B).\n\n");
+
+  // Host command count: the paper's three commands.
+  device.reset_stats();
+  kernels::KernelBHostProgram host(device, {.steps = 64});
+  const auto result = host.run(batch);
+  std::printf("Host commands for a full workload: %llu transfers + %llu "
+              "kernel enqueue (paper: write params, enqueue, read results)\n\n",
+              static_cast<unsigned long long>(result.stats.host_transfers),
+              static_cast<unsigned long long>(result.stats.kernels_enqueued));
+
+  // Modelled throughput at the paper's operating points.
+  const perf::TreeShape shape{1024};
+  std::printf("Modelled saturated throughput at N = 1024:\n\n");
+  TextTable model({"Platform", "peak node rate", "efficiency", "nodes/s",
+                   "options/s", "2000 options in"});
+  auto add = [&](const char* name, const perf::KernelBModel& m) {
+    model.add_row({name,
+                   format_si(m.params().peak_node_rate_per_s, 2),
+                   TextTable::percent(m.params().efficiency),
+                   format_si(m.nodes_per_second(), 2),
+                   TextTable::num(m.options_per_second(), 0),
+                   format_seconds(m.time_for_options(2000.0))});
+  };
+  add("FPGA (DE4)", perf::PlatformModels::fpga_kernel_b(shape));
+  add("GPU double", perf::PlatformModels::gpu_kernel_b(shape, true));
+  add("GPU single", perf::PlatformModels::gpu_kernel_b(shape, false));
+  std::printf("%s\n", model.render().c_str());
+  return 0;
+}

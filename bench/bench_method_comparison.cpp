@@ -1,0 +1,95 @@
+// Method survey — reproduces the related-work argument (paper Section II
+// and Jin et al. [12]): for vanilla American options, tree methods beat
+// Monte Carlo on time-to-accuracy (MC converges as 1/sqrt(paths)), while
+// PDE methods are the accuracy reference. Prints an accuracy-vs-work
+// table for all four solvers against a converged binomial anchor.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "finance/binomial.h"
+#include "finance/finite_difference.h"
+#include "finance/monte_carlo.h"
+#include "finance/trinomial.h"
+
+namespace {
+
+double time_call(const std::function<double()>& fn, double& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  out = fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace binopt;
+  using namespace binopt::finance;
+
+  std::printf("=================================================================\n");
+  std::printf("Method survey: American put, S0=100 K=100 r=5%% sigma=20%% T=1y\n");
+  std::printf("=================================================================\n\n");
+
+  OptionSpec put;
+  put.type = OptionType::kPut;
+  put.style = ExerciseStyle::kAmerican;
+
+  // Converged anchor: Richardson-style average of two very deep binomials.
+  const double anchor = 0.5 * (BinomialPricer(8192).price(put) +
+                               BinomialPricer(8193).price(put));
+  std::printf("anchor price (deep binomial): %.6f\n\n", anchor);
+
+  TextTable table({"method", "work parameter", "price", "abs error",
+                   "host time", "note"});
+  auto add = [&](const char* method, const std::string& work,
+                 const std::function<double()>& fn, const char* note) {
+    double price = 0.0;
+    const double secs = time_call(fn, price);
+    char err[32];
+    std::snprintf(err, sizeof err, "%.2e", std::abs(price - anchor));
+    table.add_row({method, work, TextTable::num(price, 6), err,
+                   format_seconds(secs), note});
+  };
+
+  for (std::size_t n : {128u, 1024u}) {
+    add("binomial (CRR)", "N = " + std::to_string(n),
+        [&] { return BinomialPricer(n).price(put); },
+        n == 1024 ? "the paper's discretization" : "");
+  }
+  for (std::size_t n : {128u, 1024u}) {
+    add("trinomial (Boyle)", "N = " + std::to_string(n),
+        [&] { return trinomial_price(put, n).price; },
+        "~2x binomial accuracy per step");
+  }
+  add("finite diff (CN+PSOR)", "401 x 400 grid",
+      [&] {
+        return finite_difference_price(put, {.price_nodes = 401,
+                                             .time_steps = 400})
+            .price;
+      },
+      "the [12] 'quadrature class'");
+  for (std::size_t paths : {10000u, 100000u, 1000000u}) {
+    add("Monte Carlo (LSM)", std::to_string(paths) + " paths",
+        [&] {
+          McConfig config;
+          config.paths = paths;
+          config.time_steps = 64;
+          return monte_carlo_american(put, config).price;
+        },
+        paths == 1000000 ? "1/sqrt(n) convergence" : "");
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "Reading: the binomial tree reaches ~1e-4 absolute error at N = 1024 "
+      "in O(N^2) node updates; LSM needs ~1e6 paths x 64 steps\n"
+      "for ~1e-2 — two orders of magnitude more arithmetic for two fewer "
+      "digits. This is the paper's Section II argument for choosing\n"
+      "the binomial model over Monte Carlo for vanilla American options, "
+      "and [12]'s observation that trees win on time-to-solution.\n");
+  return 0;
+}

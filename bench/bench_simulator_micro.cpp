@@ -1,0 +1,124 @@
+// Micro-benchmarks of the simulation substrate itself (google-benchmark):
+// the reference pricer's node-update rate, fiber context-switch cost,
+// barrier round-trips, the approximate math operators, and the end-to-end
+// functional kernels. These measure THIS machine's simulator, not the
+// paper's hardware — they bound how large the functional experiments can
+// be made and document the cost of the fiber-based barrier machinery.
+#include <benchmark/benchmark.h>
+
+#include "finance/binomial.h"
+#include "finance/workload.h"
+#include "fpga/approx_math.h"
+#include "kernels/kernel_a.h"
+#include "kernels/kernel_b.h"
+#include "ocl/fiber.h"
+#include "ocl/platform.h"
+
+namespace {
+
+using namespace binopt;
+
+void BM_ReferencePricer(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const finance::BinomialPricer pricer(n);
+  const auto batch = finance::make_random_batch(1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pricer.price(batch[0]));
+  }
+  const double nodes = static_cast<double>(n) * (n + 1) / 2.0;
+  state.counters["nodes/s"] = benchmark::Counter(
+      nodes * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReferencePricer)->Arg(128)->Arg(1024);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  ocl::Fiber fiber;
+  bool run = true;
+  fiber.start([&] {
+    while (run) fiber.yield();
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fiber.resume());
+  }
+  run = false;
+  (void)fiber.resume();
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_WorkGroupBarrierRound(benchmark::State& state) {
+  const auto group = static_cast<std::size_t>(state.range(0));
+  ocl::WorkGroupExecutor executor(32 * 1024, 1024);
+  ocl::RuntimeStats stats;
+  ocl::Kernel kernel;
+  kernel.name = "barrier_bench";
+  kernel.body = [](ocl::WorkItemCtx& ctx, const ocl::KernelArgs&) {
+    for (int i = 0; i < 16; ++i) ctx.barrier();
+  };
+  ocl::KernelArgs args;
+  for (auto _ : state) {
+    executor.execute(kernel, args, ocl::NDRange{group, group}, stats);
+  }
+  state.counters["barrier_crossings/s"] = benchmark::Counter(
+      static_cast<double>(group) * 16.0 *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WorkGroupBarrierRound)->Arg(64)->Arg(1024);
+
+void BM_ApproxPow(benchmark::State& state) {
+  double x = 1.0063;
+  double e = -300.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fpga::approx_pow(x, e));
+    e += 0.57;
+    if (e > 300.0) e = -300.0;
+  }
+}
+BENCHMARK(BM_ApproxPow);
+
+void BM_StdPow(benchmark::State& state) {
+  double x = 1.0063;
+  double e = -300.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(std::pow(x, e));
+    e += 0.57;
+    if (e > 300.0) e = -300.0;
+  }
+}
+BENCHMARK(BM_StdPow);
+
+void BM_KernelAFunctional(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto platform = ocl::Platform::make_reference_platform();
+  ocl::Device& device = platform->device_by_kind(ocl::DeviceKind::kFpga);
+  const auto batch = finance::make_random_batch(4, 3);
+  kernels::KernelAHostProgram host(device, {.steps = n});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(host.run(batch).prices);
+  }
+  state.counters["sim_options/s"] = benchmark::Counter(
+      4.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KernelAFunctional)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_KernelBFunctional(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto platform = ocl::Platform::make_reference_platform();
+  ocl::Device& device = platform->device_by_kind(ocl::DeviceKind::kFpga);
+  const auto batch = finance::make_random_batch(4, 3);
+  kernels::KernelBHostProgram host(
+      device, {.steps = n, .mode = kernels::MathMode::kFpgaApproxPow});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(host.run(batch).prices);
+  }
+  state.counters["sim_options/s"] = benchmark::Counter(
+      4.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KernelBFunctional)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Experiment T1 — regenerates Table I: resource usage, clock frequency and
+// power of the two kernels on the Stratix IV EP4SGX530, side by side with
+// the paper's published values.
+//
+// Pipeline: kernel IR (kernels/ir_builders) -> HLS/fitter model with the
+// published compile options -> clock + power models. The per-kernel
+// calibration is derived from the published design point itself (see
+// DESIGN.md Section 4); everything printed here is then re-checked against
+// the paper row by row.
+#include <cstdio>
+
+#include "common/table.h"
+#include "devices/calibration.h"
+#include "fpga/report.h"
+#include "kernels/ir_builders.h"
+
+namespace {
+
+using namespace binopt;
+
+void print_comparison_row(const char* metric, double model_a, double paper_a,
+                          double model_b, double paper_b, TextTable& table,
+                          int precision = 0) {
+  table.add_row({metric, TextTable::num(model_a, precision),
+                 TextTable::num(paper_a, precision),
+                 TextTable::num(model_b, precision),
+                 TextTable::num(paper_b, precision)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("T1: Table I — resource usage (Stratix IV EP4SGX530, N = 1024)\n");
+  std::printf("==============================================================\n\n");
+
+  fpga::Fitter fitter;
+  fpga::ClockModel clock;
+  fpga::PowerModel power;
+
+  const auto ir_a = kernels::kernel_a_ir(1024);
+  const auto ir_b = kernels::kernel_b_ir(1024);
+  const auto opts_a = devices::kernel_a_published_options();
+  const auto opts_b = devices::kernel_b_published_options();
+  const auto cal_a =
+      fitter.calibrate(ir_a, opts_a, devices::kernel_a_published_usage());
+  const auto cal_b =
+      fitter.calibrate(ir_b, opts_b, devices::kernel_b_published_usage());
+
+  const auto point_a =
+      fpga::characterize(fitter, clock, power, ir_a, opts_a, cal_a);
+  const auto point_b =
+      fpga::characterize(fitter, clock, power, ir_b, opts_b, cal_b);
+
+  std::printf("%s\n",
+              fpga::render_resource_table({point_a, point_b}, fitter.device())
+                  .c_str());
+
+  std::printf("Model vs paper (Kernel IV.A / Kernel IV.B):\n\n");
+  TextTable cmp({"Metric", "IV.A model", "IV.A paper", "IV.B model",
+                 "IV.B paper"});
+  print_comparison_row("Logic utilization (%)",
+                       point_a.fit.logic_utilization * 100.0, 99.0,
+                       point_b.fit.logic_utilization * 100.0, 66.0, cmp);
+  print_comparison_row("Registers (K)", point_a.fit.usage.registers / 1024.0,
+                       411.0, point_b.fit.usage.registers / 1024.0, 245.0,
+                       cmp);
+  print_comparison_row("Memory bits (K)",
+                       point_a.fit.usage.memory_bits / 1024.0, 10843.0,
+                       point_b.fit.usage.memory_bits / 1024.0, 7990.0, cmp);
+  print_comparison_row("M9K blocks", point_a.fit.usage.m9k, 1250.0,
+                       point_b.fit.usage.m9k, 1118.0, cmp);
+  print_comparison_row("DSP (18-bit)", point_a.fit.usage.dsp18, 586.0,
+                       point_b.fit.usage.dsp18, 760.0, cmp);
+  print_comparison_row("Clock frequency (MHz)", point_a.fmax_mhz, 98.27,
+                       point_b.fmax_mhz, 162.62, cmp, 2);
+  print_comparison_row("Power (W)", point_a.power.total(), 15.0,
+                       point_b.power.total(), 17.0, cmp);
+  std::printf("%s\n", cmp.render().c_str());
+
+  std::printf(
+      "Pipeline latency (model): IV.A %.0f cycles, IV.B %.0f cycles\n",
+      point_a.fit.pipeline_latency_cycles, point_b.fit.pipeline_latency_cycles);
+  std::printf(
+      "Power breakdown: IV.A %.1f W static + %.1f W dynamic; "
+      "IV.B %.1f W static + %.1f W dynamic\n",
+      point_a.power.static_watts, point_a.power.dynamic_watts,
+      point_b.power.static_watts, point_b.power.dynamic_watts);
+  return 0;
+}

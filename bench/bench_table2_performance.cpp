@@ -1,0 +1,64 @@
+// Experiment T2 — regenerates Table II: options/s, RMSE, options/J and
+// tree nodes/s for every configuration the paper evaluates, interleaved
+// with the paper's published rows (including the [9]/[10] literature
+// comparators).
+//
+// Throughput/energy come from the calibrated analytic models; RMSE is
+// MEASURED by running the kernels functionally on the OpenCL simulator
+// (kernel IV.B at the paper's full N = 1024; kernel IV.A at N = 256 —
+// its accuracy is step-count independent since the device math is exact).
+#include <cstdio>
+
+#include "core/accelerator.h"
+#include "core/evaluation.h"
+#include "perf/platform_models.h"
+
+int main() {
+  using namespace binopt;
+
+  std::printf("==============================================================\n");
+  std::printf("T2: Table II — performances (2000-option workloads, N = 1024)\n");
+  std::printf("==============================================================\n\n");
+
+  core::Table2Config config;
+  config.steps = 1024;
+  config.rmse_options_b = 16;
+  config.rmse_options_a = 8;
+  config.rmse_steps_a = 256;
+  std::printf("(measuring functional RMSE on the OpenCL simulator ...)\n\n");
+  const auto rows = core::build_table2(config);
+  std::printf("%s\n", core::render_table2(rows, /*include_paper_rows=*/true)
+                          .c_str());
+
+  // The Section I use-case constraints.
+  const double best_rate = core::PricingAccelerator::modelled_options_per_second(
+      core::Target::kFpgaKernelB, 1024);
+  const double best_power =
+      core::PricingAccelerator::modelled_power_watts(core::Target::kFpgaKernelB);
+  std::printf("Use-case check (Section I):\n");
+  std::printf("  target: 2000 options/s within 10 W\n");
+  std::printf("  kernel IV.B on the DE4: %.0f options/s at %.0f W -> "
+              "throughput %s, power budget %s (%.0f W over)\n",
+              best_rate, best_power, best_rate >= 2000.0 ? "MET" : "MISSED",
+              best_power <= 10.0 ? "MET" : "MISSED", best_power - 10.0);
+
+  // Headline energy ratios from Section V-C.
+  const double ref_opj =
+      core::PricingAccelerator::modelled_options_per_second(
+          core::Target::kCpuReference, 1024) /
+      core::PricingAccelerator::modelled_power_watts(core::Target::kCpuReference);
+  const double gpu_opj =
+      core::PricingAccelerator::modelled_options_per_second(
+          core::Target::kGpuKernelB, 1024) /
+      core::PricingAccelerator::modelled_power_watts(core::Target::kGpuKernelB);
+  const double fpga_opj = best_rate / best_power;
+  std::printf("\nEnergy-efficiency ratios (paper: >5x vs reference, 2x vs GPU):\n");
+  std::printf("  FPGA IV.B vs reference software: %.1fx\n", fpga_opj / ref_opj);
+  std::printf("  FPGA IV.B vs GPU IV.B (double):  %.1fx\n", fpga_opj / gpu_opj);
+
+  std::printf("\nNote: the paper's Table II marks kernel IV.A on FPGA with "
+              "RMSE ~1e-3 while its text attributes the error solely to the\n"
+              "Power operator, which kernel IV.A does not use (host-computed "
+              "leaves). This reproduction follows the text: IV.A is exact.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// The single-trader vs shared-server question (paper Section V-C: "As we
+// consider an accelerator used by a single trader and not a shared
+// resource (e.g., a server component), latency at low workload is an
+// issue and must be minimized"). Models volatility-curve requests as an
+// M/D/1 queue: service time = one 2000-option chain evaluation at the
+// platform's plateau rate (back-to-back requests keep the pipeline warm);
+// the saturation model supplies the COLD first-curve latency, which is
+// where the paper's low-workload argument bites.
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/accelerator.h"
+#include "perf/platform_models.h"
+#include "perf/queueing.h"
+
+int main() {
+  using namespace binopt;
+  using core::PricingAccelerator;
+  using core::Target;
+
+  std::printf("=================================================================\n");
+  std::printf("Trader latency: volatility-curve requests as an M/D/1 queue\n");
+  std::printf("=================================================================\n\n");
+
+  const double curve_options = 2000.0;
+
+  struct Platform {
+    Target target;
+    const char* name;
+    bool gpu_kernel_b;
+  };
+  const Platform platforms[] = {
+      {Target::kCpuReference, "Xeon (1 core)", false},
+      {Target::kFpgaKernelB, "FPGA IV.B", false},
+      {Target::kGpuKernelB, "GPU IV.B dp", true},
+      {Target::kGpuKernelBSingle, "GPU IV.B sp", true},
+  };
+
+  auto warm_service_s = [&](const Platform& p) {
+    return curve_options /
+           PricingAccelerator::modelled_options_per_second(p.target, 1024);
+  };
+  auto cold_service_s = [&](const Platform& p) {
+    const double peak =
+        PricingAccelerator::modelled_options_per_second(p.target, 1024);
+    const auto curve = perf::PlatformModels::saturation(peak, p.gpu_kernel_b);
+    return curve_options / curve.options_per_second(curve_options);
+  };
+
+  std::printf("Per-curve service time (2000 options):\n\n");
+  TextTable service({"platform", "plateau options/s", "warm curve",
+                     "cold first curve", "cold penalty"});
+  for (const Platform& p : platforms) {
+    const double warm = warm_service_s(p);
+    const double cold = cold_service_s(p);
+    service.add_row(
+        {p.name,
+         TextTable::num(
+             PricingAccelerator::modelled_options_per_second(p.target, 1024),
+             0),
+         format_seconds(warm), format_seconds(cold),
+         TextTable::num(cold / warm, 1) + "x"});
+  }
+  std::printf("%s\n", service.render().c_str());
+  std::printf("The cold penalty is the paper's saturation effect: a single "
+              "2000-option request exercises only ~15%% of the pipeline\n"
+              "(Section V-C), and the GTX660's kernel IV.B — saturating at "
+              "1e6 options — pays the largest relative penalty.\n\n");
+
+  std::printf("Mean response time (s) vs trader request rate "
+              "(warm pipeline, M/D/1):\n\n");
+  TextTable latency({"requests/min", "Xeon (1 core)", "FPGA IV.B",
+                     "GPU IV.B dp", "GPU IV.B sp"});
+  for (double per_min : {0.5, 1.0, 2.0, 6.0, 20.0, 60.0}) {
+    std::vector<std::string> row{TextTable::num(per_min, 1)};
+    for (const Platform& p : platforms) {
+      const auto m = perf::md1_metrics(per_min / 60.0, warm_service_s(p));
+      row.push_back(m.stable ? format_seconds(m.mean_response_s) : "UNSTABLE");
+    }
+    latency.add_row(std::move(row));
+  }
+  std::printf("%s\n", latency.render().c_str());
+
+  std::printf("Max request rate with a 1 s mean-response budget:\n\n");
+  TextTable cap({"platform", "max requests/min",
+                 "traders served (6 requests/min each)"});
+  for (const Platform& p : platforms) {
+    const double lambda = perf::md1_max_arrival_rate(warm_service_s(p), 1.0);
+    cap.add_row({p.name, TextTable::num(lambda * 60.0, 1),
+                 TextTable::num(std::floor(lambda * 60.0 / 6.0), 0)});
+  }
+  std::printf("%s\n", cap.render().c_str());
+  std::printf(
+      "Reading: the reference software cannot serve even one trader within "
+      "the paper's one-second budget (9 s per curve). The FPGA\n"
+      "serves a small desk (~3 traders at 6 requests/min) inside 20 W-class "
+      "power — the paper's single-trader deployment with headroom.\n"
+      "The GPU only pays off as a shared server: 140 W buys ~7x the "
+      "double-precision capacity, and its 10x-later saturation point\n"
+      "means it NEEDS that aggregation to run efficiently.\n");
+  return 0;
+}

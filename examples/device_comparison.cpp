@@ -1,0 +1,50 @@
+// Run the same workload across every accelerator configuration the paper
+// evaluates — the OpenCL portability story (Section III-C: "an OpenCL
+// program can be executed on any of those devices with only a handful of
+// modifications") — and print a consolidated comparison: prices agree,
+// while throughput, power, and accuracy differ per platform.
+//
+// Build & run:  cmake --build build && ./build/examples/device_comparison
+#include <cstdio>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/accelerator.h"
+#include "finance/workload.h"
+
+int main() {
+  using namespace binopt;
+
+  const std::size_t steps = 256;  // functional-simulation friendly
+  const auto batch = finance::make_random_batch(12, 20140324);
+  std::printf("pricing %zu American options at N = %zu on every target...\n\n",
+              batch.size(), steps);
+
+  TextTable table({"target", "price[0]", "RMSE vs ref", "options/s (model)",
+                   "power", "options/J", "2000 opts in"});
+  for (core::Target target : core::all_targets()) {
+    core::PricingAccelerator accelerator({target, steps, true});
+    const core::RunReport r = accelerator.run(batch);
+    const double full_rate = core::PricingAccelerator::
+        modelled_options_per_second(target, 1024);
+    char rmse_buf[32];
+    std::snprintf(rmse_buf, sizeof rmse_buf, "%.1e", r.rmse_vs_reference);
+    table.add_row({core::to_string(target), TextTable::num(r.prices[0], 4),
+                   rmse_buf, TextTable::num(full_rate, 1),
+                   TextTable::num(r.power_watts, 0) + " W",
+                   TextTable::num(full_rate / r.power_watts, 2),
+                   format_seconds(2000.0 / full_rate)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(throughput columns use the paper's N = 1024 operating "
+              "point; prices and RMSE are measured functionally at N = %zu)\n",
+              steps);
+  std::printf("\nReading the table like the paper does:\n"
+              "  - kernel IV.A is slower than the reference software on both "
+              "accelerators (the per-batch readback stall),\n"
+              "  - kernel IV.B meets the 2000 options/s target on the FPGA "
+              "within ~17 W — an order of magnitude less power than\n"
+              "    the 120/140 W CPU/GPU — and only the FPGA build carries "
+              "the Power-operator RMSE.\n");
+  return 0;
+}

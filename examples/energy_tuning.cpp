@@ -1,0 +1,81 @@
+// Energy-aware deployment planning (Sections V-C and VI): given a trader's
+// workstation power budget and a throughput requirement, find the FPGA
+// operating point (clock, parallelism) that satisfies both, and compare
+// the energy bill of a trading day across platforms.
+//
+// Build & run:  cmake --build build && ./build/examples/energy_tuning
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/accelerator.h"
+#include "devices/calibration.h"
+#include "energy/energy_model.h"
+#include "fpga/power_model.h"
+
+int main() {
+  using namespace binopt;
+
+  const double budget_watts = 10.0;       // powered by the workstation
+  const double target_rate = 2000.0;      // one volatility curve per second
+  const double nodes_per_option = 524800.0;
+
+  std::printf("deployment constraints: >= %.0f options/s within %.0f W\n\n",
+              target_rate, budget_watts);
+
+  // Sweep the published IV.B design's clock down to the budget.
+  const fpga::PowerModel power;
+  const double util = fpga::PowerModel::kAnchorB_Util;
+  const double m9k = fpga::PowerModel::kAnchorB_M9k;
+  const double lanes = 8.0;
+  const double occ = devices::kFpgaPipelineOccupancy;
+
+  const double fmax_budget = power.max_fmax_for_budget(util, m9k, budget_watts);
+  const double rate_budget = lanes * fmax_budget * 1e6 * occ / nodes_per_option;
+  std::printf("published design (8 lanes, 66%% logic):\n");
+  std::printf("  at 162.62 MHz: %.0f options/s, %.0f W (throughput OK, "
+              "budget missed by 7 W)\n",
+              lanes * 162.62e6 * occ / nodes_per_option,
+              power.estimate(util, m9k, 162.62).total());
+  std::printf("  derated to %.1f MHz: %.0f options/s, %.1f W -> %s\n\n",
+              fmax_budget, rate_budget,
+              power.estimate(util, m9k, fmax_budget).total(),
+              rate_budget >= target_rate ? "BOTH CONSTRAINTS MET"
+                                         : "throughput lost");
+
+  // Energy bill for a trading day: 8 hours of continuous curve pricing.
+  const double day_seconds = 8.0 * 3600.0;
+  std::printf("energy for an 8h trading day of continuous pricing at each "
+              "platform's full rate:\n\n");
+  TextTable table({"platform", "options/s", "power", "options priced",
+                   "energy (Wh)", "Wh per 1M options"});
+  const core::Target targets[] = {
+      core::Target::kCpuReference, core::Target::kGpuKernelB,
+      core::Target::kGpuKernelBSingle, core::Target::kFpgaKernelB};
+  for (core::Target t : targets) {
+    const double rate =
+        core::PricingAccelerator::modelled_options_per_second(t, 1024);
+    const double watts = core::PricingAccelerator::modelled_power_watts(t);
+    const double priced = rate * day_seconds;
+    const double wh = watts * day_seconds / 3600.0;
+    table.add_row({core::to_string(t), TextTable::num(rate, 0),
+                   TextTable::num(watts, 0) + " W",
+                   TextTable::num(priced / 1e6, 1) + " M",
+                   TextTable::num(wh, 0),
+                   TextTable::num(watts / rate * 1e6 / 3600.0, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto fpga_m = energy::EnergyMetrics::from(
+      core::PricingAccelerator::modelled_options_per_second(
+          core::Target::kFpgaKernelB, 1024),
+      core::PricingAccelerator::modelled_power_watts(core::Target::kFpgaKernelB));
+  const auto cpu_m = energy::EnergyMetrics::from(
+      core::PricingAccelerator::modelled_options_per_second(
+          core::Target::kCpuReference, 1024),
+      core::PricingAccelerator::modelled_power_watts(core::Target::kCpuReference));
+  std::printf("FPGA kernel IV.B delivers %.0fx the energy efficiency of the "
+              "reference software (%.0f vs %.2f options/J).\n",
+              energy::efficiency_ratio(fpga_m, cpu_m), fpga_m.options_per_joule,
+              cpu_m.options_per_joule);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Error handling primitives shared by every binopt module.
+//
+// Policy (see DESIGN.md): programming-contract violations and invalid user
+// input both throw binopt::Error with a formatted message; no error codes
+// are threaded through the APIs. Destructors never throw.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace binopt {
+
+/// Base exception for every error raised by this library.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a caller violates an API precondition.
+class PreconditionError : public Error {
+public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an internal invariant is found broken (a library bug).
+class InvariantError : public Error {
+public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a simulated toolchain step fails for a *modelled* reason
+/// (e.g. an FPGA design that does not fit the device) rather than a bug.
+class ToolchainError : public Error {
+public:
+  explicit ToolchainError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+template <typename ErrorT, typename... Parts>
+[[noreturn]] void raise(std::string_view expr, std::string_view file, int line,
+                        Parts&&... parts) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if constexpr (sizeof...(parts) > 0) {
+    os << " — ";
+    (os << ... << std::forward<Parts>(parts));
+  }
+  throw ErrorT(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace binopt
+
+/// Validate a caller-supplied precondition; message parts are streamed.
+#define BINOPT_REQUIRE(cond, ...)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::binopt::detail::raise<::binopt::PreconditionError>(               \
+          #cond, __FILE__, __LINE__ __VA_OPT__(, ) __VA_ARGS__);          \
+    }                                                                     \
+  } while (false)
+
+/// Validate an internal invariant (library bug if it fires).
+#define BINOPT_ENSURE(cond, ...)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::binopt::detail::raise<::binopt::InvariantError>(                  \
+          #cond, __FILE__, __LINE__ __VA_OPT__(, ) __VA_ARGS__);          \
+    }                                                                     \
+  } while (false)

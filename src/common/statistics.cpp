@@ -1,0 +1,101 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace binopt {
+
+double rmse(std::span<const double> candidate, std::span<const double> reference) {
+  BINOPT_REQUIRE(candidate.size() == reference.size(),
+                 "series sizes differ: ", candidate.size(), " vs ",
+                 reference.size());
+  BINOPT_REQUIRE(!candidate.empty(), "RMSE of empty series is undefined");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < candidate.size(); ++i) {
+    const double d = candidate[i] - reference[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(candidate.size()));
+}
+
+double max_abs_error(std::span<const double> candidate,
+                     std::span<const double> reference) {
+  BINOPT_REQUIRE(candidate.size() == reference.size(),
+                 "series sizes differ: ", candidate.size(), " vs ",
+                 reference.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < candidate.size(); ++i) {
+    worst = std::max(worst, std::abs(candidate[i] - reference[i]));
+  }
+  return worst;
+}
+
+double max_rel_error(std::span<const double> candidate,
+                     std::span<const double> reference, double floor) {
+  BINOPT_REQUIRE(candidate.size() == reference.size(),
+                 "series sizes differ: ", candidate.size(), " vs ",
+                 reference.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < candidate.size(); ++i) {
+    const double denom = std::abs(reference[i]);
+    const double err = std::abs(candidate[i] - reference[i]);
+    worst = std::max(worst, denom < floor ? err : err / denom);
+  }
+  return worst;
+}
+
+void OnlineStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+Summary summarize(std::span<const double> xs) {
+  OnlineStats s;
+  for (double x : xs) s.add(x);
+  Summary out;
+  out.count = s.count();
+  out.mean = s.mean();
+  out.stddev = s.stddev();
+  out.min = s.count() ? s.min() : 0.0;
+  out.max = s.count() ? s.max() : 0.0;
+  out.sum = s.sum();
+  return out;
+}
+
+double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+std::vector<double> geomspace(double lo, double hi, std::size_t n) {
+  BINOPT_REQUIRE(n >= 2, "geomspace needs at least 2 points");
+  BINOPT_REQUIRE(lo > 0.0 && hi > 0.0, "geomspace endpoints must be positive");
+  std::vector<double> out(n);
+  const double ratio = std::log(hi / lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lo * std::exp(ratio * static_cast<double>(i));
+  }
+  out.back() = hi;  // kill accumulated rounding at the endpoint
+  return out;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  BINOPT_REQUIRE(n >= 2, "linspace needs at least 2 points");
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lerp(lo, hi, static_cast<double>(i) / static_cast<double>(n - 1));
+  }
+  return out;
+}
+
+}  // namespace binopt

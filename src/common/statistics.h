@@ -1,0 +1,70 @@
+// Streaming and batch statistics used across the evaluation harness:
+// RMSE between a candidate and a reference series (the paper's accuracy
+// metric), plus generic online summaries for timing/energy sweeps.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace binopt {
+
+/// Root-mean-square error between two equally sized series.
+/// This is the accuracy metric of the paper's Table II ("RMSE").
+double rmse(std::span<const double> candidate, std::span<const double> reference);
+
+/// Maximum absolute elementwise deviation.
+double max_abs_error(std::span<const double> candidate,
+                     std::span<const double> reference);
+
+/// Maximum relative deviation; entries with |reference| < floor contribute
+/// their absolute deviation instead (avoids division blow-up at zero).
+double max_rel_error(std::span<const double> candidate,
+                     std::span<const double> reference,
+                     double floor = 1e-12);
+
+/// Welford-style online accumulator for mean / variance / extrema.
+class OnlineStats {
+public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch summary of a series (convenience over OnlineStats).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Linear interpolation helper used by saturation-curve sampling.
+double lerp(double a, double b, double t);
+
+/// Geometric sequence of n points from lo to hi inclusive (n >= 2).
+std::vector<double> geomspace(double lo, double hi, std::size_t n);
+
+/// Arithmetic sequence of n points from lo to hi inclusive (n >= 2).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+}  // namespace binopt

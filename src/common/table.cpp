@@ -1,0 +1,94 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace binopt {
+
+TextTable::TextTable(std::vector<std::string> headers) {
+  set_headers(std::move(headers));
+}
+
+void TextTable::set_headers(std::vector<std::string> headers) {
+  BINOPT_REQUIRE(!headers.empty(), "a table needs at least one column");
+  headers_ = std::move(headers);
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_.front() = Align::kLeft;
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  BINOPT_REQUIRE(column < aligns_.size(), "column ", column, " out of range");
+  aligns_[column] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  BINOPT_REQUIRE(cells.size() == headers_.size(), "row has ", cells.size(),
+                 " cells, table has ", headers_.size(), " columns");
+  rows_.push_back(Row{std::move(cells), /*separator=*/false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, /*separator=*/true}); }
+
+std::string TextTable::render(int indent) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream os;
+
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << pad;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t w = widths[c];
+      const std::string& s = cells[c];
+      const std::size_t fill = w > s.size() ? w - s.size() : 0;
+      if (aligns_[c] == Align::kRight) os << std::string(fill, ' ') << s;
+      else os << s << std::string(fill, ' ');
+      if (c + 1 < cells.size()) os << "  ";
+    }
+    os << '\n';
+  };
+
+  auto emit_separator = [&] {
+    os << pad;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c], '-');
+      if (c + 1 < widths.size()) os << "  ";
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  emit_separator();
+  for (const Row& row : rows_) {
+    if (row.separator) emit_separator();
+    else emit_row(row.cells);
+  }
+  return os.str();
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", precision, v);
+  return std::string(buf.data());
+}
+
+std::string TextTable::integer(long long v) { return std::to_string(v); }
+
+std::string TextTable::percent(double fraction, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f %%", precision, fraction * 100.0);
+  return std::string(buf.data());
+}
+
+}  // namespace binopt

@@ -1,0 +1,56 @@
+// Plain-text table renderer used by the bench harness to print the
+// paper's Tables I & II (and the sweep series) in aligned columns.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace binopt {
+
+/// Column alignment within a rendered TextTable.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: set headers once, append rows of strings,
+/// render with box-drawing-free ASCII so output diffs cleanly in CI logs.
+class TextTable {
+public:
+  TextTable() = default;
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Replaces the header row. Column count is fixed from here on.
+  void set_headers(std::vector<std::string> headers);
+
+  /// Per-column alignment; defaults to left for col 0, right otherwise.
+  void set_align(std::size_t column, Align align);
+
+  /// Appends a data row; must match the header column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row.
+  void add_separator();
+
+  /// Renders the table; `indent` spaces prefix every line.
+  [[nodiscard]] std::string render(int indent = 0) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+  // Cell formatting helpers ------------------------------------------------
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+  static std::string percent(double fraction, int precision = 0);
+
+private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace binopt

@@ -1,0 +1,58 @@
+#include "common/units.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace binopt {
+
+namespace {
+
+std::string format_with(double value, const char* suffix, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f %s", precision, value, suffix);
+  return std::string(buf.data());
+}
+
+}  // namespace
+
+std::string format_si(double value, int precision) {
+  const double mag = std::abs(value);
+  if (mag >= 1e12) return format_with(value / 1e12, "T", precision);
+  if (mag >= 1e9) return format_with(value / 1e9, "G", precision);
+  if (mag >= 1e6) return format_with(value / 1e6, "M", precision);
+  if (mag >= 1e3) return format_with(value / 1e3, "k", precision);
+  if (mag >= 1.0 || mag == 0.0) return format_with(value, "", precision);
+  if (mag >= 1e-3) return format_with(value * 1e3, "m", precision);
+  if (mag >= 1e-6) return format_with(value * 1e6, "u", precision);
+  return format_with(value * 1e9, "n", precision);
+}
+
+std::string format_bytes(double bytes, int precision) {
+  const double mag = std::abs(bytes);
+  if (mag >= static_cast<double>(kGiB))
+    return format_with(bytes / static_cast<double>(kGiB), "GiB", precision);
+  if (mag >= static_cast<double>(kMiB))
+    return format_with(bytes / static_cast<double>(kMiB), "MiB", precision);
+  if (mag >= static_cast<double>(kKiB))
+    return format_with(bytes / static_cast<double>(kKiB), "KiB", precision);
+  return format_with(bytes, "B", precision);
+}
+
+std::string format_seconds(double seconds, int precision) {
+  const double mag = std::abs(seconds);
+  if (mag >= 1.0) return format_with(seconds, "s", precision);
+  if (mag >= 1e-3) return format_with(seconds * 1e3, "ms", precision);
+  if (mag >= 1e-6) return format_with(seconds * 1e6, "us", precision);
+  return format_with(seconds * 1e9, "ns", precision);
+}
+
+std::string format_hertz(double hertz, int precision) {
+  const double mag = std::abs(hertz);
+  if (mag >= kGHz) return format_with(hertz / kGHz, "GHz", precision);
+  if (mag >= kMHz) return format_with(hertz / kMHz, "MHz", precision);
+  if (mag >= kKHz) return format_with(hertz / kKHz, "kHz", precision);
+  return format_with(hertz, "Hz", precision);
+}
+
+}  // namespace binopt

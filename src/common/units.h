@@ -1,0 +1,36 @@
+// Lightweight unit helpers for the performance/energy reporting layer.
+//
+// We deliberately keep quantities as plain doubles in the models (the
+// arithmetic there is dimensionally varied) and confine unit semantics to
+// named constructors and formatting, which is where unit mistakes are
+// actually made.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace binopt {
+
+// --- byte-size constants (base-2, matching the paper: "1K = 1024") -------
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+// --- frequency constants ---------------------------------------------------
+inline constexpr double kKHz = 1e3;
+inline constexpr double kMHz = 1e6;
+inline constexpr double kGHz = 1e9;
+
+/// Format a dimensionless value with an SI prefix (e.g. 1.3e9 -> "1.30 G").
+std::string format_si(double value, int precision = 2);
+
+/// Format a byte count with binary prefixes (e.g. 19922944 -> "19.0 MiB").
+std::string format_bytes(double bytes, int precision = 1);
+
+/// Format seconds adaptively (ns/us/ms/s).
+std::string format_seconds(double seconds, int precision = 2);
+
+/// Format a frequency in Hz adaptively (e.g. 162.62 MHz).
+std::string format_hertz(double hertz, int precision = 2);
+
+}  // namespace binopt

@@ -1,0 +1,191 @@
+#include "core/accelerator.h"
+
+#include "common/statistics.h"
+#include "kernels/kernel_a.h"
+#include "kernels/kernel_b.h"
+#include "perf/platform_models.h"
+
+namespace binopt::core {
+
+namespace {
+
+using perf::PlatformModels;
+using perf::TreeShape;
+
+bool uses_kernel_a(Target t) {
+  return t == Target::kFpgaKernelA || t == Target::kGpuKernelA ||
+         t == Target::kGpuKernelAReduced || t == Target::kFpgaKernelAReduced;
+}
+
+bool uses_kernel_b(Target t) {
+  return t == Target::kFpgaKernelB || t == Target::kFpgaKernelBHostLeaves ||
+         t == Target::kGpuKernelB || t == Target::kGpuKernelBSingle;
+}
+
+bool is_fpga(Target t) {
+  return t == Target::kFpgaKernelA || t == Target::kFpgaKernelAReduced ||
+         t == Target::kFpgaKernelB || t == Target::kFpgaKernelBHostLeaves;
+}
+
+bool is_cpu(Target t) {
+  return t == Target::kCpuReference || t == Target::kCpuReferenceSingle;
+}
+
+kernels::MathMode math_mode_for(Target t) {
+  if (t == Target::kFpgaKernelB || t == Target::kFpgaKernelBHostLeaves) {
+    return kernels::MathMode::kFpgaApproxPow;
+  }
+  if (t == Target::kGpuKernelBSingle) return kernels::MathMode::kSingle;
+  return kernels::MathMode::kExactDouble;
+}
+
+}  // namespace
+
+std::string to_string(Target target) {
+  switch (target) {
+    case Target::kCpuReference: return "reference-xeon-double";
+    case Target::kCpuReferenceSingle: return "reference-xeon-single";
+    case Target::kFpgaKernelA: return "kernel-a-fpga";
+    case Target::kGpuKernelA: return "kernel-a-gpu";
+    case Target::kGpuKernelAReduced: return "kernel-a-gpu-reduced-reads";
+    case Target::kFpgaKernelAReduced: return "kernel-a-fpga-reduced-reads";
+    case Target::kFpgaKernelB: return "kernel-b-fpga";
+    case Target::kFpgaKernelBHostLeaves: return "kernel-b-fpga-host-leaves";
+    case Target::kGpuKernelB: return "kernel-b-gpu-double";
+    case Target::kGpuKernelBSingle: return "kernel-b-gpu-single";
+  }
+  return "unknown";
+}
+
+std::vector<Target> all_targets() {
+  return {Target::kCpuReference,         Target::kCpuReferenceSingle,
+          Target::kFpgaKernelA,          Target::kGpuKernelA,
+          Target::kGpuKernelAReduced,    Target::kFpgaKernelAReduced,
+          Target::kFpgaKernelB,          Target::kFpgaKernelBHostLeaves,
+          Target::kGpuKernelB,           Target::kGpuKernelBSingle};
+}
+
+PricingAccelerator::PricingAccelerator(Config config)
+    : config_(config), platform_(ocl::Platform::make_reference_platform()) {
+  BINOPT_REQUIRE(config_.steps >= 2, "need at least two tree steps");
+}
+
+PricingAccelerator::~PricingAccelerator() = default;
+
+double PricingAccelerator::modelled_options_per_second(Target target,
+                                                       std::size_t steps) {
+  const TreeShape shape{steps};
+  switch (target) {
+    case Target::kCpuReference:
+      return PlatformModels::cpu_reference_options_per_s(shape, true);
+    case Target::kCpuReferenceSingle:
+      return PlatformModels::cpu_reference_options_per_s(shape, false);
+    case Target::kFpgaKernelA:
+      return PlatformModels::fpga_kernel_a(shape).options_per_second();
+    case Target::kFpgaKernelAReduced:
+      return PlatformModels::fpga_kernel_a(shape, true).options_per_second();
+    case Target::kGpuKernelA:
+      return PlatformModels::gpu_kernel_a(shape).options_per_second();
+    case Target::kGpuKernelAReduced:
+      return PlatformModels::gpu_kernel_a(shape, true).options_per_second();
+    case Target::kFpgaKernelB:
+      return PlatformModels::fpga_kernel_b(shape).options_per_second();
+    case Target::kFpgaKernelBHostLeaves: {
+      // The fallback ships (N+1) leaf doubles per option through PCIe on
+      // top of the base IO; at the DE4's rates that shaves <1% off the
+      // compute-bound throughput (see EXPERIMENTS.md), modelled here via
+      // the per-option IO term.
+      auto model = PlatformModels::fpga_kernel_b(shape);
+      perf::KernelBParams params = model.params();
+      params.bytes_per_option_io += shape.leaves_per_option() * 8.0;
+      const perf::KernelBModel fallback(params);
+      return 2000.0 / fallback.time_for_options(2000.0);
+    }
+    case Target::kGpuKernelB:
+      return PlatformModels::gpu_kernel_b(shape, true).options_per_second();
+    case Target::kGpuKernelBSingle:
+      return PlatformModels::gpu_kernel_b(shape, false).options_per_second();
+  }
+  throw InvariantError("unhandled Target");
+}
+
+double PricingAccelerator::modelled_power_watts(Target target) {
+  if (is_cpu(target)) return PlatformModels::cpu_power_watts();
+  if (is_fpga(target)) {
+    return uses_kernel_a(target) ? PlatformModels::fpga_power_watts_kernel_a()
+                                 : PlatformModels::fpga_power_watts_kernel_b();
+  }
+  return PlatformModels::gpu_power_watts();
+}
+
+RunReport PricingAccelerator::run(
+    const std::vector<finance::OptionSpec>& options) {
+  BINOPT_REQUIRE(!options.empty(), "no options to price");
+  const Target target = config_.target;
+  const std::size_t steps = config_.steps;
+
+  RunReport report;
+  report.target = target;
+  report.options = options.size();
+  report.steps = steps;
+
+  // --- Functional execution ------------------------------------------------
+  if (is_cpu(target)) {
+    const finance::BinomialPricer pricer(steps);
+    report.prices = pricer.price_batch(options);
+    if (target == Target::kCpuReferenceSingle) {
+      // Single-precision reference: re-round every leaf/node through
+      // float via the kernel-B single path run host-side. For simplicity
+      // and speed we round the final double prices to float — the
+      // throughput model, not the numerics, is what this target is for.
+      for (double& p : report.prices) p = static_cast<float>(p);
+    }
+  } else if (uses_kernel_a(target)) {
+    ocl::Device& device = platform_->device_by_kind(
+        is_fpga(target) ? ocl::DeviceKind::kFpga : ocl::DeviceKind::kGpu);
+    kernels::KernelAHostProgram::Config cfg;
+    cfg.steps = steps;
+    cfg.reduced_reads = target == Target::kGpuKernelAReduced ||
+                        target == Target::kFpgaKernelAReduced;
+    kernels::KernelAHostProgram host(device, cfg);
+    auto res = host.run(options);
+    report.prices = std::move(res.prices);
+    report.device_stats = res.stats;
+  } else {
+    BINOPT_ENSURE(uses_kernel_b(target), "unexpected target");
+    ocl::Device& device = platform_->device_by_kind(
+        is_fpga(target) ? ocl::DeviceKind::kFpga : ocl::DeviceKind::kGpu);
+    kernels::KernelBHostProgram::Config cfg;
+    cfg.steps = steps;
+    cfg.mode = math_mode_for(target);
+    cfg.host_leaves = target == Target::kFpgaKernelBHostLeaves;
+    kernels::KernelBHostProgram host(device, cfg);
+    auto res = host.run(options);
+    report.prices = std::move(res.prices);
+    report.device_stats = res.stats;
+  }
+
+  // --- Modelled performance -------------------------------------------------
+  report.options_per_second = modelled_options_per_second(target, steps);
+  report.power_watts = modelled_power_watts(target);
+  report.nodes_per_second =
+      report.options_per_second * perf::TreeShape{steps}.nodes_per_option();
+  report.modelled_seconds =
+      static_cast<double>(options.size()) / report.options_per_second;
+  report.options_per_joule = report.options_per_second / report.power_watts;
+  report.energy_joules = report.modelled_seconds * report.power_watts;
+
+  // --- Accuracy -------------------------------------------------------------
+  if (config_.compute_rmse) {
+    if (target == Target::kCpuReference) {
+      report.rmse_vs_reference = 0.0;
+    } else {
+      const finance::BinomialPricer reference(steps);
+      const std::vector<double> ref = reference.price_batch(options);
+      report.rmse_vs_reference = rmse(report.prices, ref);
+    }
+  }
+  return report;
+}
+
+}  // namespace binopt::core

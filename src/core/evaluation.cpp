@@ -1,0 +1,114 @@
+#include "core/evaluation.h"
+
+#include <array>
+#include <cstdio>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "devices/calibration.h"
+#include "finance/workload.h"
+#include "perf/tree_shape.h"
+
+namespace binopt::core {
+
+namespace {
+
+struct RowSpec {
+  Target target;
+  const char* kernel;
+  const char* platform;
+  const char* precision;
+  bool is_kernel_a;
+};
+
+constexpr std::array<RowSpec, 7> kRows{{
+    {Target::kFpgaKernelA, "Kernel IV.A", "FPGA", "Double", true},
+    {Target::kGpuKernelA, "Kernel IV.A", "GPU", "Double", true},
+    {Target::kFpgaKernelB, "Kernel IV.B", "FPGA", "Double", false},
+    {Target::kGpuKernelBSingle, "Kernel IV.B", "GPU", "Single", false},
+    {Target::kGpuKernelB, "Kernel IV.B", "GPU", "Double", false},
+    {Target::kCpuReferenceSingle, "Reference Software",
+     "Xeon X5450 (1 core)", "Single", false},
+    {Target::kCpuReference, "Reference Software", "Xeon X5450 (1 core)",
+     "Double", false},
+}};
+
+double measure_rmse(Target target, std::size_t steps, std::size_t options,
+                    std::uint64_t seed) {
+  PricingAccelerator accelerator(
+      PricingAccelerator::Config{target, steps, /*compute_rmse=*/true});
+  const auto batch = finance::make_random_batch(options, seed);
+  return accelerator.run(batch).rmse_vs_reference;
+}
+
+std::string format_rate(double v) {
+  if (v >= 1000.0) return format_si(v, 1);
+  return TextTable::num(v, v >= 100.0 ? 0 : 1);
+}
+
+std::string format_rmse(double v, bool measured) {
+  if (v == 0.0) return "0";
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.1e", v);
+  std::string s(buf.data());
+  return measured ? s : "~" + s;
+}
+
+}  // namespace
+
+std::vector<Table2Row> build_table2(const Table2Config& config) {
+  std::vector<Table2Row> rows;
+  rows.reserve(kRows.size());
+  const perf::TreeShape shape{config.steps};
+
+  for (const RowSpec& spec : kRows) {
+    Table2Row row;
+    row.kernel = spec.kernel;
+    row.platform = spec.platform;
+    row.precision = spec.precision;
+    row.options_per_s =
+        PricingAccelerator::modelled_options_per_second(spec.target,
+                                                        config.steps);
+    row.nodes_per_s = row.options_per_s * shape.nodes_per_option();
+    row.options_per_joule =
+        row.options_per_s / PricingAccelerator::modelled_power_watts(spec.target);
+    if (config.functional_rmse) {
+      const std::size_t steps =
+          spec.is_kernel_a ? config.rmse_steps_a : config.steps;
+      const std::size_t options =
+          spec.is_kernel_a ? config.rmse_options_a : config.rmse_options_b;
+      row.rmse = measure_rmse(spec.target, steps, options, config.seed);
+      row.rmse_measured = true;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string render_table2(const std::vector<Table2Row>& rows,
+                          bool include_paper_rows) {
+  TextTable table({"Configuration", "Platform", "Precision", "options/s",
+                   "RMSE", "options/J", "Tree nodes/s"});
+  for (const Table2Row& row : rows) {
+    table.add_row({row.kernel, row.platform, row.precision,
+                   format_rate(row.options_per_s),
+                   format_rmse(row.rmse, row.rmse_measured),
+                   format_rate(row.options_per_joule),
+                   format_si(row.nodes_per_s, 1)});
+  }
+  if (include_paper_rows) {
+    table.add_separator();
+    for (const auto& paper : devices::paper_table2_rows()) {
+      table.add_row({"[paper] " + paper.label, paper.platform, paper.precision,
+                     format_rate(paper.options_per_s),
+                     format_rmse(paper.rmse, false),
+                     paper.options_per_joule < 0.0
+                         ? std::string("N/A")
+                         : format_rate(paper.options_per_joule),
+                     format_si(paper.nodes_per_s, 1)});
+    }
+  }
+  return table.render();
+}
+
+}  // namespace binopt::core

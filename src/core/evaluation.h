@@ -1,0 +1,47 @@
+// Table II assembly: one row per accelerator configuration, combining the
+// calibrated analytic performance/energy models with RMSE measured by the
+// functional simulator, plus the paper's published values side by side.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/accelerator.h"
+
+namespace binopt::core {
+
+struct Table2Row {
+  std::string kernel;
+  std::string platform;
+  std::string precision;
+  double options_per_s = 0.0;
+  double rmse = 0.0;
+  double options_per_joule = 0.0;
+  double nodes_per_s = 0.0;
+  bool rmse_measured = false;  ///< true if from a functional-sim run
+};
+
+struct Table2Config {
+  std::size_t steps = 1024;          ///< the paper's discretization
+  std::size_t rmse_options_b = 32;   ///< functional sample size, kernel B
+  std::size_t rmse_options_a = 8;    ///< functional sample size, kernel A
+  std::size_t rmse_steps_a = 256;    ///< kernel A functional runs use a
+                                     ///< smaller tree (throughput of the
+                                     ///< full-tree dataflow sim; accuracy
+                                     ///< is step-count independent here)
+  std::uint64_t seed = 20140324;     ///< DATE'14 conference date
+  bool functional_rmse = true;       ///< false: skip sim runs (fast mode)
+};
+
+/// Builds every modelled row of Table II (the paper's [9]/[10] literature
+/// rows are available separately via devices::paper_table2_rows()).
+[[nodiscard]] std::vector<Table2Row> build_table2(const Table2Config& config);
+
+/// Renders the modelled rows, optionally with the paper's published
+/// values interleaved for comparison.
+[[nodiscard]] std::string render_table2(const std::vector<Table2Row>& rows,
+                                        bool include_paper_rows);
+
+}  // namespace binopt::core

@@ -1,0 +1,65 @@
+#include "core/greeks_pipeline.h"
+
+#include "common/error.h"
+
+namespace binopt::core {
+
+GreeksPipeline::GreeksPipeline(Config config)
+    : config_(config),
+      accelerator_(PricingAccelerator::Config{config.target, config.steps,
+                                              /*compute_rmse=*/false}) {
+  BINOPT_REQUIRE(config_.spot_bump_rel > 0.0 && config_.spot_bump_rel < 0.1,
+                 "spot bump out of range: ", config_.spot_bump_rel);
+  BINOPT_REQUIRE(config_.vol_bump_abs > 0.0 && config_.vol_bump_abs < 0.1,
+                 "vol bump out of range: ", config_.vol_bump_abs);
+}
+
+BatchGreeks GreeksPipeline::run(
+    const std::vector<finance::OptionSpec>& options) {
+  BINOPT_REQUIRE(!options.empty(), "no options");
+  const std::size_t n = options.size();
+
+  auto bumped = [&](auto mutate) {
+    std::vector<finance::OptionSpec> batch = options;
+    for (finance::OptionSpec& spec : batch) mutate(spec);
+    return accelerator_.run(batch).prices;
+  };
+
+  const std::vector<double> base = bumped([](finance::OptionSpec&) {});
+  const double ds_rel = config_.spot_bump_rel;
+  const std::vector<double> spot_up =
+      bumped([&](finance::OptionSpec& s) { s.spot *= 1.0 + ds_rel; });
+  const std::vector<double> spot_dn =
+      bumped([&](finance::OptionSpec& s) { s.spot *= 1.0 - ds_rel; });
+  const double dv = config_.vol_bump_abs;
+  const std::vector<double> vol_up =
+      bumped([&](finance::OptionSpec& s) { s.volatility += dv; });
+  const std::vector<double> vol_dn = bumped([&](finance::OptionSpec& s) {
+    s.volatility = std::max(s.volatility - dv, 1e-6);
+  });
+
+  BatchGreeks out;
+  out.price = base;
+  out.delta.resize(n);
+  out.gamma.resize(n);
+  out.vega.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ds = options[i].spot * ds_rel;
+    out.delta[i] = (spot_up[i] - spot_dn[i]) / (2.0 * ds);
+    out.gamma[i] = (spot_up[i] - 2.0 * base[i] + spot_dn[i]) / (ds * ds);
+    const double dv_actual =
+        (options[i].volatility + dv) -
+        std::max(options[i].volatility - dv, 1e-6);
+    out.vega[i] = (vol_up[i] - vol_dn[i]) / dv_actual;
+  }
+  out.pricings = 5 * n;
+
+  const double rate = PricingAccelerator::modelled_options_per_second(
+      config_.target, config_.steps);
+  const double watts = PricingAccelerator::modelled_power_watts(config_.target);
+  out.modelled_seconds = static_cast<double>(out.pricings) / rate;
+  out.modelled_energy_joules = out.modelled_seconds * watts;
+  return out;
+}
+
+}  // namespace binopt::core

@@ -1,0 +1,54 @@
+// The trader workflow end-to-end (paper Section I): invert a 2000-quote
+// option chain into an implied-volatility curve using an accelerated
+// binomial pricer as the model-price engine.
+//
+// Bisection is run *batched*: every solver iteration prices the whole
+// chain as one accelerator batch, which is exactly the access pattern the
+// paper sizes the accelerator for ("2000 option values per volatility
+// curve ... a second per volatility curve"). The pipeline also reports
+// the modelled time/energy the chosen accelerator would need, so the
+// paper's use-case constraint (one curve per second, 10 W budget) can be
+// checked directly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/accelerator.h"
+#include "finance/vol_curve.h"
+
+namespace binopt::core {
+
+struct CurveResult {
+  std::vector<finance::VolCurvePoint> curve;
+  std::size_t solver_iterations = 0;   ///< batched bisection iterations
+  std::size_t total_pricings = 0;      ///< options priced across the solve
+  double modelled_seconds = 0.0;       ///< accelerator time for the solve
+  double modelled_energy_joules = 0.0;
+  bool meets_one_second_target = false;  ///< the paper's latency goal
+};
+
+class VolCurvePipeline {
+public:
+  struct Config {
+    Target target = Target::kFpgaKernelB;
+    std::size_t steps = 1024;
+    double sigma_lo = 1e-3;
+    double sigma_hi = 3.0;
+    double price_tol = 1e-6;
+    std::size_t max_iterations = 64;
+  };
+
+  VolCurvePipeline(finance::OptionSpec base, Config config);
+
+  /// Inverts a full chain of quotes with batched bisection.
+  [[nodiscard]] CurveResult solve(
+      const std::vector<finance::MarketQuote>& quotes);
+
+private:
+  finance::OptionSpec base_;
+  Config config_;
+  PricingAccelerator accelerator_;
+};
+
+}  // namespace binopt::core

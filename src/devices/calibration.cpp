@@ -1,0 +1,25 @@
+#include "devices/calibration.h"
+
+namespace binopt::devices {
+
+std::vector<PaperPerformanceRow> paper_table2_rows() {
+  // Verbatim from Table II of the paper. options/J marked N/A in the
+  // paper ([9], [10] rows) is encoded as -1.
+  return {
+      {"Kernel IV.A", "FPGA", "Double", 25.0, 1e-3, 1.7, 13.0e6},
+      {"Kernel IV.A", "GPU", "Double", 53.0, 0.0, 0.4, 30.0e6},
+      {"Kernel IV.B", "FPGA", "Double", 2400.0, 1e-3, 140.0, 1.3e9},
+      {"Kernel IV.B", "GPU", "Single", 47000.0, 0.0, 340.0, 25.0e9},
+      {"Kernel IV.B", "GPU", "Double", 8900.0, 0.0, 64.0, 4.7e9},
+      {"Reference Software", "Xeon X5450 (1 core)", "Single", 116.0, 1e-3,
+       1.0, 61.0e6},
+      {"Reference Software", "Xeon X5450 (1 core)", "Double", 222.0, 0.0,
+       1.85, 117.0e6},
+      {"Jin et al. [9]", "Virtex 4 xc4vsx55", "Double", 385.0, 0.0, -1.0,
+       202.0e6},
+      {"Wynnyk et al. [10]", "Stratix III EP3SE260", "Double", 1152.0, 0.0,
+       -1.0, 576.0e6},
+  };
+}
+
+}  // namespace binopt::devices

@@ -1,0 +1,126 @@
+// Central calibration record (DESIGN.md Section 4).
+//
+// Everything in this header is either (a) a value printed in the paper
+// (Table I targets, published compile options, Table II reference rows) or
+// (b) a model constant calibrated ONCE against those published numbers and
+// then held fixed across all sweeps. No other file hard-codes calibrated
+// constants, so the provenance of every fitted number is auditable here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/fitter.h"
+#include "fpga/ir.h"
+
+namespace binopt::devices {
+
+// ---------------------------------------------------------------------------
+// Table I published design points (Stratix IV EP4SGX530, N = 1024, double).
+// ---------------------------------------------------------------------------
+
+/// Kernel IV.A was "vectorized twice and replicated 3 times".
+[[nodiscard]] inline fpga::CompileOptions kernel_a_published_options() {
+  return fpga::CompileOptions{/*simd_width=*/2, /*num_compute_units=*/3,
+                              /*unroll_factor=*/1};
+}
+
+/// Kernel IV.B: "internal loop ... unrolled twice, coupled with a 4 times
+/// vectorization of the kernel".
+[[nodiscard]] inline fpga::CompileOptions kernel_b_published_options() {
+  return fpga::CompileOptions{/*simd_width=*/4, /*num_compute_units=*/1,
+                              /*unroll_factor=*/2};
+}
+
+/// Table I resource row for kernel IV.A (base-2 K, as printed).
+[[nodiscard]] inline fpga::ResourceUsage kernel_a_published_usage() {
+  fpga::ResourceUsage u;
+  u.aluts = 0.99 * 424960.0;       // "Logic utilization 99 %"
+  u.registers = 411.0 * 1024.0;    // "411 K/415 K"
+  u.memory_bits = 10843.0 * 1024.0;  // "10,843 K/20,736 K"
+  u.m9k = 1250.0;                  // "1,250/1,250 (100 %)"
+  u.dsp18 = 586.0;                 // "586/1 K (59 %)"
+  return u;
+}
+
+/// Table I resource row for kernel IV.B.
+[[nodiscard]] inline fpga::ResourceUsage kernel_b_published_usage() {
+  fpga::ResourceUsage u;
+  u.aluts = 0.66 * 424960.0;       // "Logic utilization 66 %"
+  u.registers = 245.0 * 1024.0;    // "245 K/415 K"
+  u.memory_bits = 7990.0 * 1024.0;   // "7,990 K/20,736 K"
+  u.m9k = 1118.0;                  // "1,118/1,280 (89 %)"
+  u.dsp18 = 760.0;                 // "760/1 K (76 %)"
+  return u;
+}
+
+// ---------------------------------------------------------------------------
+// Transfer / host-loop constants calibrated against Table II (see
+// EXPERIMENTS.md for the derivations).
+// ---------------------------------------------------------------------------
+
+/// Bytes per tree-node record in kernel IV.A's ping-pong buffers: S and V
+/// (8 B each), flattened global index and time-step (4 B each), option id
+/// and alignment padding. Chosen so one buffer at N = 1024 is ~19 MiB,
+/// matching "approximately 19 MB for N = 1024" (Section V-C).
+inline constexpr double kKernelARecordBytes = 38.0;
+
+/// Effective PCIe efficiency (achieved/theoretical) for the blocking
+/// per-batch readback pattern of kernel IV.A. Calibrated so the FPGA runs
+/// at the paper's 25 options/s over a 2 GB/s gen2 x4 link.
+inline constexpr double kFpgaPcieEfficiency = 0.256;
+
+/// Same for the GTX660 Ti over PCIe 3.0 x16 (15.76 GB/s theoretical).
+/// Calibrated jointly with kGpuHostOverheadSeconds so that the full-read
+/// kernel A lands at 53 options/s AND the reduced-read variant lands at
+/// the paper's 840 options/s (the "14 times better" result).
+inline constexpr double kGpuPcieEfficiency = 0.0714;
+
+/// Host-side per-batch costs (enqueue, synchronisation, buffer switch).
+inline constexpr double kFpgaHostOverheadSeconds = 0.5e-3;
+inline constexpr double kGpuHostOverheadSeconds = 1.0e-3;
+
+// ---------------------------------------------------------------------------
+// Kernel IV.B efficiency factors calibrated against Table II throughput.
+// ---------------------------------------------------------------------------
+
+/// FPGA pipeline occupancy: lanes x fmax gives 1.30 G nodes/s; the paper
+/// measures 2400 options/s = 1.26 G nodes/s (stall slots at row ends —
+/// "the corresponding work-item is either left idle or its results are
+/// ignored").
+inline constexpr double kFpgaPipelineOccupancy = 0.968;
+
+/// GTX660 Ti efficiency for the barrier-heavy kernel IV.B (fraction of
+/// peak ALU rate actually sustained; occupancy + sync overhead).
+inline constexpr double kGpuKernelBEfficiencyDouble = 0.238;
+inline constexpr double kGpuKernelBEfficiencySingle = 0.157;
+
+/// Double-precision FLOPs per tree-node update (3 mul + add + sub + max).
+inline constexpr double kFlopsPerNode = 6.0;
+
+// ---------------------------------------------------------------------------
+// Saturation (Section V-C): "saturation typically happens at 1e5 priced
+// options", "only the kernel IV.B implemented on the GTX660 has a
+// saturation at a higher number of options (1e6)".
+// ---------------------------------------------------------------------------
+
+inline constexpr double kDefaultSaturationOptions = 1.0e5;
+inline constexpr double kGpuKernelBSaturationOptions = 1.0e6;
+
+// ---------------------------------------------------------------------------
+// Published Table II rows (verbatim paper values, for side-by-side print).
+// ---------------------------------------------------------------------------
+
+struct PaperPerformanceRow {
+  std::string label;
+  std::string platform;
+  std::string precision;
+  double options_per_s = 0.0;
+  double rmse = 0.0;           ///< 0 means "0" in the paper
+  double options_per_joule = 0.0;  ///< < 0 means N/A
+  double nodes_per_s = 0.0;
+};
+
+[[nodiscard]] std::vector<PaperPerformanceRow> paper_table2_rows();
+
+}  // namespace binopt::devices

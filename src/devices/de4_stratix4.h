@@ -1,0 +1,28 @@
+// Terasic DE4 / Stratix IV 4SGX530 board descriptor — the paper's FPGA.
+//
+// Section V-A: global memory in two DDR2 banks, 12.75 GB/s aggregate at
+// 400 MHz; host link PCIe gen2 x4 at 500 MB/s per lane (2 GB/s total);
+// local memory in M9K blocks (256x36) behind a 600 MHz interconnect. The
+// programmable-fabric capacity itself lives in fpga::FpgaDeviceSpec.
+#pragma once
+
+#include "common/units.h"
+#include "fpga/fitter.h"
+
+namespace binopt::devices {
+
+struct De4StratixIv {
+  fpga::FpgaDeviceSpec fabric{};  ///< EP4SGX530 resource capacity
+  double ddr2_bandwidth_bps = 12.75e9;
+  double ddr2_clock_hz = 400.0e6;
+  double pcie_lanes = 4.0;
+  double pcie_bandwidth_per_lane_bps = 500.0e6;
+  double local_interconnect_clock_hz = 600.0e6;
+  double global_mem_bytes = 2.0 * static_cast<double>(binopt::kGiB);
+
+  [[nodiscard]] double pcie_bandwidth_bps() const {
+    return pcie_lanes * pcie_bandwidth_per_lane_bps;  // 2 GB/s
+  }
+};
+
+}  // namespace binopt::devices

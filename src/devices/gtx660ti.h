@@ -1,0 +1,35 @@
+// NVIDIA GTX660 Ti descriptor — the paper's GPU development target.
+//
+// Section V-A and the discussion in V-C: 5 compute units (SMX), 960
+// stream processors, 1 double-precision ALU per 8 stream processors
+// (120 DP ALUs) at 980 MHz; 2 GiB GDDR5 at 144 GB/s; PCIe 3.0 x16 at a
+// theoretical 985 MB/s per lane; TDP 140 W (paper citation [14]).
+#pragma once
+
+#include "common/units.h"
+
+namespace binopt::devices {
+
+struct Gtx660Ti {
+  double clock_hz = 980.0e6;
+  int compute_units = 5;
+  int sp_cores = 960;
+  int dp_alus = 120;  ///< 1 DP ALU per 8 SP cores
+  double global_mem_bytes = 2.0 * static_cast<double>(binopt::kGiB);
+  double mem_bandwidth_bps = 144.0e9;
+  double pcie_lanes = 16.0;
+  double pcie_bandwidth_per_lane_bps = 985.0e6;
+  double tdp_watts = 140.0;
+
+  [[nodiscard]] double pcie_bandwidth_bps() const {
+    return pcie_lanes * pcie_bandwidth_per_lane_bps;  // ~15.76 GB/s
+  }
+
+  /// Peak arithmetic rate in FLOP/s for the chosen precision.
+  [[nodiscard]] double peak_flops(bool double_precision) const {
+    return clock_hz *
+           static_cast<double>(double_precision ? dp_alus : sp_cores);
+  }
+};
+
+}  // namespace binopt::devices

@@ -1,0 +1,28 @@
+// TI KeyStone TMS320C6678 descriptor — the paper's future-work target
+// [16] ("Accelerate multicore application development with KeyStone
+// software"): an 8-core C66x DSP with an OpenCL implementation.
+//
+// Datasheet figures (TI SPRS691): 8 C66x cores at 1.25 GHz; each core
+// issues 8 single-precision or 2 double-precision FLOPs per cycle
+// (4 SP FMA / 1 DP FMA units), giving 160 GFLOPS SP / 40 GFLOPS DP chip
+// peak; ~10 W typical power; DDR3-1333 at 10.7 GB/s.
+#pragma once
+
+namespace binopt::devices {
+
+struct KeystoneC6678 {
+  double clock_hz = 1.25e9;
+  int cores = 8;
+  double sp_flops_per_core_per_cycle = 16.0;  // 4 FMA units x 2 x 2-wide
+  double dp_flops_per_core_per_cycle = 4.0;   // 1 FMA unit x 2 x 2-wide
+  double mem_bandwidth_bps = 10.7e9;
+  double typical_power_watts = 10.0;
+
+  [[nodiscard]] double peak_flops(bool double_precision) const {
+    const double per_cycle = double_precision ? dp_flops_per_core_per_cycle
+                                              : sp_flops_per_core_per_cycle;
+    return clock_hz * static_cast<double>(cores) * per_cycle;
+  }
+};
+
+}  // namespace binopt::devices

@@ -1,0 +1,28 @@
+// ARM Mali-T604 descriptor — the paper's future-work target [17]
+// ("Software Development Kit OpenCL on ARM Linux", the Mali OpenCL SDK).
+//
+// The first OpenCL-Full-Profile Mali: 4 shader cores at 533 MHz, each
+// with two 128-bit ALU pipes (~17 SP FLOPS/cycle/core including the
+// dot-product units, ~72 GFLOPS SP chip); FP64 at one quarter of the SP
+// rate; LPDDR3 at 12.8 GB/s shared with the CPU; a ~2-3 W GPU power
+// envelope inside a mobile SoC.
+#pragma once
+
+namespace binopt::devices {
+
+struct MaliT604 {
+  double clock_hz = 533.0e6;
+  int shader_cores = 4;
+  double sp_flops_per_core_per_cycle = 34.0;  // 2 pipes x 16-wide + SFU
+  double dp_rate_fraction = 0.25;             // FP64 at 1/4 SP rate
+  double mem_bandwidth_bps = 12.8e9;
+  double gpu_power_watts = 2.7;
+
+  [[nodiscard]] double peak_flops(bool double_precision) const {
+    const double sp = clock_hz * static_cast<double>(shader_cores) *
+                      sp_flops_per_core_per_cycle;
+    return double_precision ? sp * dp_rate_fraction : sp;
+  }
+};
+
+}  // namespace binopt::devices

@@ -1,0 +1,32 @@
+// Xeon X5450 descriptor — the paper's reference-software platform.
+//
+// "The CPU is a quadcore Intel Xeon X5450 running at 3.0 GHz, the
+// reference software being written in C. A single core of the Xeon was
+// used during tests." (Section V-A). TDP 120 W per the paper's citation
+// [15] (Intel ARK).
+#pragma once
+
+namespace binopt::devices {
+
+struct XeonX5450 {
+  double clock_hz = 3.0e9;
+  int cores = 4;
+  int cores_used = 1;       ///< the paper benchmarks a single core
+  double tdp_watts = 120.0;
+
+  // Calibrated effective cost of one binomial tree-node update in the
+  // reference software (backward-induction inner loop: 3-4 DP mul/add, a
+  // compare-select, two array accesses). Derived from the paper's
+  // measured 117 M nodes/s (double) and 61 M nodes/s (single) — the
+  // single-precision reference is *slower* in the paper's Table II; see
+  // EXPERIMENTS.md for the discussion.
+  double cycles_per_node_double = 3.0e9 / 117.0e6;  // ~25.6
+  double cycles_per_node_single = 3.0e9 / 61.0e6;   // ~49.2
+
+  [[nodiscard]] double nodes_per_second(bool double_precision) const {
+    return clock_hz / (double_precision ? cycles_per_node_double
+                                        : cycles_per_node_single);
+  }
+};
+
+}  // namespace binopt::devices

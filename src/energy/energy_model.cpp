@@ -1,0 +1,28 @@
+#include "energy/energy_model.h"
+
+namespace binopt::energy {
+
+EnergyMetrics EnergyMetrics::from(double options_per_second, double watts) {
+  BINOPT_REQUIRE(options_per_second > 0.0, "throughput must be positive");
+  BINOPT_REQUIRE(watts > 0.0, "power must be positive");
+  EnergyMetrics m;
+  m.watts = watts;
+  m.options_per_second = options_per_second;
+  m.options_per_joule = options_per_second / watts;
+  m.joules_per_option = watts / options_per_second;
+  return m;
+}
+
+double energy_for_workload(double options, double options_per_second,
+                           double watts) {
+  BINOPT_REQUIRE(options > 0.0, "workload must be positive");
+  const EnergyMetrics m = EnergyMetrics::from(options_per_second, watts);
+  return options * m.joules_per_option;
+}
+
+double efficiency_ratio(const EnergyMetrics& a, const EnergyMetrics& b) {
+  BINOPT_REQUIRE(b.options_per_joule > 0.0, "division by zero efficiency");
+  return a.options_per_joule / b.options_per_joule;
+}
+
+}  // namespace binopt::energy

@@ -1,0 +1,33 @@
+// Energy accounting — the paper's headline metric.
+//
+// Following de Schryver et al. [4] (the paper's benchmark methodology),
+// accelerators are compared in options per joule: throughput divided by
+// average power. Energy for a workload integrates the power model over
+// the modelled runtime.
+#pragma once
+
+#include "common/error.h"
+
+namespace binopt::energy {
+
+/// Throughput + power condensed into the paper's efficiency metrics.
+struct EnergyMetrics {
+  double watts = 0.0;
+  double options_per_second = 0.0;
+  double options_per_joule = 0.0;
+  double joules_per_option = 0.0;
+
+  static EnergyMetrics from(double options_per_second, double watts);
+};
+
+/// Energy (J) to price `options` at a given throughput and power.
+[[nodiscard]] double energy_for_workload(double options,
+                                         double options_per_second,
+                                         double watts);
+
+/// Ratio of energy efficiencies a/b (how many times more options per
+/// joule platform a delivers than platform b).
+[[nodiscard]] double efficiency_ratio(const EnergyMetrics& a,
+                                      const EnergyMetrics& b);
+
+}  // namespace binopt::energy

@@ -1,0 +1,155 @@
+#include "finance/binomial.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace binopt::finance {
+
+LatticeParams LatticeParams::from(const OptionSpec& spec, std::size_t steps,
+                                  ParamConvention convention) {
+  spec.validate();
+  BINOPT_REQUIRE(steps >= 1, "lattice needs at least one step");
+
+  LatticeParams lp;
+  lp.dt = spec.maturity / static_cast<double>(steps);
+  switch (convention) {
+    case ParamConvention::kStandardCrr:
+      lp.up = std::exp(spec.volatility * std::sqrt(lp.dt));
+      break;
+    case ParamConvention::kPaperLiteral:
+      // The paper prints d = e^(-sigma*dt); we honour it verbatim here.
+      lp.up = std::exp(spec.volatility * lp.dt);
+      break;
+  }
+  lp.down = 1.0 / lp.up;
+  const double growth = std::exp((spec.rate - spec.dividend) * lp.dt);
+  lp.prob_up = (growth - lp.down) / (lp.up - lp.down);
+  lp.prob_down = 1.0 - lp.prob_up;
+  lp.discount = std::exp(-spec.rate * lp.dt);
+
+  BINOPT_REQUIRE(lp.prob_up > 0.0 && lp.prob_up < 1.0,
+                 "risk-neutral probability out of (0,1): p = ", lp.prob_up,
+                 " — increase the step count or lower |r - q| * dt");
+  return lp;
+}
+
+double LatticeParams::min_volatility(const OptionSpec& spec,
+                                     std::size_t steps) {
+  BINOPT_REQUIRE(steps >= 1, "lattice needs at least one step");
+  const double dt = spec.maturity / static_cast<double>(steps);
+  const double bound = std::abs(spec.rate - spec.dividend) * std::sqrt(dt);
+  return bound * 1.02 + 1e-10;  // small safety margin above the boundary
+}
+
+BinomialPricer::BinomialPricer(std::size_t steps, ParamConvention convention)
+    : steps_(steps), convention_(convention) {
+  BINOPT_REQUIRE(steps_ >= 1, "lattice needs at least one step");
+}
+
+std::vector<double> BinomialPricer::leaf_assets_iterative(
+    const OptionSpec& spec) const {
+  spec.validate();
+  const LatticeParams lp = LatticeParams::from(spec, steps_, convention_);
+  std::vector<double> leaves(steps_ + 1);
+  // Start from the all-down leaf and multiply by u^2 per increment of k;
+  // this mirrors the host-side loop of kernel IV.A (no pow involved).
+  double s = spec.spot;
+  for (std::size_t i = 0; i < steps_; ++i) s *= lp.down;
+  const double up2 = lp.up * lp.up;
+  for (std::size_t k = 0; k <= steps_; ++k) {
+    leaves[k] = s;
+    s *= up2;
+  }
+  return leaves;
+}
+
+double BinomialPricer::price_from_leaves(const OptionSpec& spec,
+                                         std::vector<double> leaf_assets) const {
+  spec.validate();
+  BINOPT_REQUIRE(leaf_assets.size() == steps_ + 1, "expected ", steps_ + 1,
+                 " leaves, got ", leaf_assets.size());
+  const LatticeParams lp = LatticeParams::from(spec, steps_, convention_);
+
+  // values[k] holds V(t,k); assets[k] holds S(t,k); both shrink as t falls.
+  std::vector<double>& assets = leaf_assets;
+  std::vector<double> values(steps_ + 1);
+  for (std::size_t k = 0; k <= steps_; ++k) values[k] = spec.payoff(assets[k]);
+
+  const bool american = spec.style == ExerciseStyle::kAmerican;
+  for (std::size_t t = steps_; t-- > 0;) {
+    for (std::size_t k = 0; k <= t; ++k) {
+      // S(t,k) = S(t+1,k) * u : child-down of (t,k) is (t+1,k), so moving
+      // one level up the tree multiplies the "same-k" asset path by u.
+      assets[k] = assets[k] * lp.up;
+      const double continuation =
+          lp.discount * (lp.prob_up * values[k + 1] + lp.prob_down * values[k]);
+      values[k] = american ? std::max(spec.payoff(assets[k]), continuation)
+                           : continuation;
+    }
+  }
+  return values[0];
+}
+
+double BinomialPricer::price(const OptionSpec& spec) const {
+  return price_from_leaves(spec, leaf_assets_iterative(spec));
+}
+
+std::vector<double> BinomialPricer::price_batch(
+    const std::vector<OptionSpec>& specs) const {
+  std::vector<double> out;
+  out.reserve(specs.size());
+  for (const OptionSpec& spec : specs) out.push_back(price(spec));
+  return out;
+}
+
+BinomialTree BinomialPricer::build_tree(const OptionSpec& spec) const {
+  spec.validate();
+  const LatticeParams lp = LatticeParams::from(spec, steps_, convention_);
+
+  BinomialTree tree;
+  tree.steps = steps_;
+  tree.asset.resize(steps_ + 1);
+  tree.value.resize(steps_ + 1);
+  tree.exercised.resize(steps_ + 1);
+
+  for (std::size_t t = 0; t <= steps_; ++t) {
+    tree.asset[t].resize(t + 1);
+    tree.value[t].resize(t + 1);
+    tree.exercised[t].assign(t + 1, false);
+    double s = spec.spot;
+    for (std::size_t i = 0; i < t; ++i) s *= lp.down;
+    const double up2 = lp.up * lp.up;
+    for (std::size_t k = 0; k <= t; ++k) {
+      tree.asset[t][k] = s;
+      s *= up2;
+    }
+  }
+
+  for (std::size_t k = 0; k <= steps_; ++k) {
+    tree.value[steps_][k] = spec.payoff(tree.asset[steps_][k]);
+    tree.exercised[steps_][k] = tree.value[steps_][k] > 0.0;
+  }
+
+  const bool american = spec.style == ExerciseStyle::kAmerican;
+  for (std::size_t t = steps_; t-- > 0;) {
+    for (std::size_t k = 0; k <= t; ++k) {
+      const double continuation =
+          lp.discount * (lp.prob_up * tree.value[t + 1][k + 1] +
+                         lp.prob_down * tree.value[t + 1][k]);
+      const double exercise = spec.payoff(tree.asset[t][k]);
+      if (american && exercise > continuation) {
+        tree.value[t][k] = exercise;
+        tree.exercised[t][k] = true;
+      } else {
+        tree.value[t][k] = continuation;
+      }
+    }
+  }
+  return tree;
+}
+
+double binomial_price(const OptionSpec& spec, std::size_t steps) {
+  return BinomialPricer(steps).price(spec);
+}
+
+}  // namespace binopt::finance

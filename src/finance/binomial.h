@@ -1,0 +1,125 @@
+// Cox-Ross-Rubinstein binomial lattice pricer (paper Section III-B).
+//
+// This is the *reference software* of the paper's evaluation: a plain C/C++
+// backward-induction over a recombining tree. Leaf asset prices are built
+// by iterated multiplication (no pow), exactly like the paper's kernel IV.A
+// host-side leaf initialisation — so the reference carries no Power-operator
+// error. Kernel IV.B's on-device `pow` leaf initialisation is modelled by
+// the templated math-policy entry points below.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+#include "finance/option.h"
+
+namespace binopt::finance {
+
+/// Lattice parameter convention.
+enum class ParamConvention {
+  kStandardCrr,   ///< u = exp(sigma*sqrt(dt)), d = 1/u  (Cox-Ross-Rubinstein)
+  kPaperLiteral,  ///< d = exp(-sigma*dt), u = 1/d       (paper Eq. 1, as printed)
+};
+
+/// Per-step lattice coefficients derived from an OptionSpec.
+struct LatticeParams {
+  double dt = 0.0;        ///< time step T/N
+  double up = 0.0;        ///< up factor u
+  double down = 0.0;      ///< down factor d = 1/u
+  double prob_up = 0.0;   ///< risk-neutral probability p
+  double prob_down = 0.0; ///< q = 1 - p
+  double discount = 0.0;  ///< per-step discount e^{-r dt} (the paper's "r")
+
+  /// Derives the coefficients; throws if the tree is not arbitrage-free
+  /// (p outside (0,1)), which happens for too-coarse discretizations.
+  static LatticeParams from(const OptionSpec& spec, std::size_t steps,
+                            ParamConvention convention =
+                                ParamConvention::kStandardCrr);
+
+  /// Smallest volatility for which the standard CRR lattice stays
+  /// arbitrage-free at this discretization: sigma > |r - q| * sqrt(dt).
+  /// Bisection-style solvers must clamp their lower bracket to this.
+  static double min_volatility(const OptionSpec& spec, std::size_t steps);
+};
+
+/// Math-function policy used for leaf initialisation. The default is exact
+/// IEEE double via <cmath>; fpga::ApproxMath (src/fpga/approx_math.h)
+/// models the reduced-precision Altera 13.0 Power operator.
+struct StdMath {
+  static double pow(double base, double exponent) {
+    return std::pow(base, exponent);
+  }
+  static double exp(double x) { return std::exp(x); }
+  static double log(double x) { return std::log(x); }
+};
+
+/// Full lattice snapshot: tree[t][k] with k = number of up moves in [0, t].
+/// Only used by tests/examples (Figure 1 walkthrough); pricing itself uses
+/// a rolling single-row array.
+struct BinomialTree {
+  std::size_t steps = 0;
+  std::vector<std::vector<double>> asset;   ///< S(t,k)
+  std::vector<std::vector<double>> value;   ///< V(t,k)
+  std::vector<std::vector<bool>> exercised; ///< early-exercise region
+
+  [[nodiscard]] double root_value() const { return value.at(0).at(0); }
+};
+
+/// Reference binomial pricer.
+class BinomialPricer {
+public:
+  explicit BinomialPricer(std::size_t steps,
+                          ParamConvention convention =
+                              ParamConvention::kStandardCrr);
+
+  [[nodiscard]] std::size_t steps() const { return steps_; }
+  [[nodiscard]] ParamConvention convention() const { return convention_; }
+
+  /// Price a single option (rolling-array backward induction, O(N) memory).
+  [[nodiscard]] double price(const OptionSpec& spec) const;
+
+  /// Price a batch; identical maths, convenient for the 2000-option runs.
+  [[nodiscard]] std::vector<double> price_batch(
+      const std::vector<OptionSpec>& specs) const;
+
+  /// Price while materialising the whole lattice (tests / Figure 1).
+  [[nodiscard]] BinomialTree build_tree(const OptionSpec& spec) const;
+
+  /// Leaf asset prices S(T,k), k = number of up moves, via iterated
+  /// multiplication (host-style initialisation, no pow — kernel IV.A).
+  [[nodiscard]] std::vector<double> leaf_assets_iterative(
+      const OptionSpec& spec) const;
+
+  /// Leaf asset prices via per-leaf pow (device-style initialisation —
+  /// kernel IV.B). Math selects the pow implementation.
+  template <typename Math = StdMath>
+  [[nodiscard]] std::vector<double> leaf_assets_pow(
+      const OptionSpec& spec) const {
+    spec.validate();
+    const LatticeParams lp = LatticeParams::from(spec, steps_, convention_);
+    std::vector<double> leaves(steps_ + 1);
+    const auto n = static_cast<double>(steps_);
+    for (std::size_t k = 0; k <= steps_; ++k) {
+      // S(T,k) = S0 * u^k * d^(N-k) = S0 * u^(2k - N) since d = 1/u.
+      const double exponent = 2.0 * static_cast<double>(k) - n;
+      leaves[k] = spec.spot * Math::pow(lp.up, exponent);
+    }
+    return leaves;
+  }
+
+  /// Backward induction from externally supplied leaf *asset* prices.
+  /// This is the shared engine behind both kernels' functional models.
+  [[nodiscard]] double price_from_leaves(const OptionSpec& spec,
+                                         std::vector<double> leaf_assets) const;
+
+private:
+  std::size_t steps_;
+  ParamConvention convention_;
+};
+
+/// One-call convenience: standard-CRR American/European price.
+[[nodiscard]] double binomial_price(const OptionSpec& spec, std::size_t steps);
+
+}  // namespace binopt::finance

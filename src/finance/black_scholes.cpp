@@ -1,0 +1,43 @@
+#include "finance/black_scholes.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace binopt::finance {
+
+double norm_cdf(double x) { return 0.5 * std::erfc(-x / std::numbers::sqrt2); }
+
+double norm_pdf(double x) {
+  static const double inv_sqrt_2pi = 1.0 / std::sqrt(2.0 * std::numbers::pi);
+  return inv_sqrt_2pi * std::exp(-0.5 * x * x);
+}
+
+double black_scholes_d1(const OptionSpec& spec) {
+  spec.validate();
+  const double sig_sqrt_t = spec.volatility * std::sqrt(spec.maturity);
+  return (std::log(spec.spot / spec.strike) +
+          (spec.rate - spec.dividend + 0.5 * spec.volatility * spec.volatility) *
+              spec.maturity) /
+         sig_sqrt_t;
+}
+
+double black_scholes_price(const OptionSpec& spec) {
+  spec.validate();
+  const double d1 = black_scholes_d1(spec);
+  const double d2 = d1 - spec.volatility * std::sqrt(spec.maturity);
+  const double df_r = std::exp(-spec.rate * spec.maturity);
+  const double df_q = std::exp(-spec.dividend * spec.maturity);
+  if (spec.type == OptionType::kCall) {
+    return spec.spot * df_q * norm_cdf(d1) - spec.strike * df_r * norm_cdf(d2);
+  }
+  return spec.strike * df_r * norm_cdf(-d2) - spec.spot * df_q * norm_cdf(-d1);
+}
+
+double black_scholes_vega(const OptionSpec& spec) {
+  spec.validate();
+  const double d1 = black_scholes_d1(spec);
+  return spec.spot * std::exp(-spec.dividend * spec.maturity) * norm_pdf(d1) *
+         std::sqrt(spec.maturity);
+}
+
+}  // namespace binopt::finance

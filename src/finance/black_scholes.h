@@ -1,0 +1,30 @@
+// Black-Scholes-Merton analytic pricing for European options.
+//
+// Used as the convergence cross-check for the binomial pricer (CRR prices
+// converge to Black-Scholes as N grows) and as the seed/vega source for
+// the implied-volatility solver in the paper's trader use case.
+#pragma once
+
+#include "finance/option.h"
+
+namespace binopt::finance {
+
+/// Standard normal cumulative distribution function.
+[[nodiscard]] double norm_cdf(double x);
+
+/// Standard normal probability density function.
+[[nodiscard]] double norm_pdf(double x);
+
+/// Analytic Black-Scholes-Merton price. The spec's exercise style is
+/// ignored: the formula is only valid for European exercise; callers
+/// wanting American prices must use the binomial pricer.
+[[nodiscard]] double black_scholes_price(const OptionSpec& spec);
+
+/// d1 term of the Black-Scholes formula.
+[[nodiscard]] double black_scholes_d1(const OptionSpec& spec);
+
+/// Black-Scholes vega (dPrice/dSigma); always positive. Used as the
+/// Newton-step denominator when solving for implied volatility.
+[[nodiscard]] double black_scholes_vega(const OptionSpec& spec);
+
+}  // namespace binopt::finance

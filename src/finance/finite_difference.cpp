@@ -1,0 +1,162 @@
+#include "finance/finite_difference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace binopt::finance {
+
+namespace {
+
+void validate(const OptionSpec& spec, const FdConfig& config) {
+  spec.validate();
+  BINOPT_REQUIRE(config.price_nodes >= 11 && config.price_nodes % 2 == 1,
+                 "price grid must be odd and >= 11, got ", config.price_nodes);
+  BINOPT_REQUIRE(config.time_steps >= 2, "need at least 2 time steps");
+  BINOPT_REQUIRE(config.log_width > 0.5, "grid too narrow");
+  BINOPT_REQUIRE(config.psor_omega > 0.0 && config.psor_omega < 2.0,
+                 "SOR relaxation must be in (0,2), got ", config.psor_omega);
+}
+
+/// Thomas algorithm for a constant-coefficient tridiagonal system
+/// (lower, diag, upper) x = rhs, overwriting rhs with the solution.
+void solve_tridiagonal(double lower, double diag, double upper,
+                       std::vector<double>& rhs, std::vector<double>& scratch) {
+  const std::size_t n = rhs.size();
+  scratch.resize(n);
+  double beta = diag;
+  BINOPT_ENSURE(std::abs(beta) > 1e-300, "singular tridiagonal system");
+  rhs[0] /= beta;
+  for (std::size_t i = 1; i < n; ++i) {
+    scratch[i] = upper / beta;
+    beta = diag - lower * scratch[i];
+    BINOPT_ENSURE(std::abs(beta) > 1e-300, "singular tridiagonal system");
+    rhs[i] = (rhs[i] - lower * rhs[i - 1]) / beta;
+  }
+  for (std::size_t i = n - 1; i-- > 0;) {
+    rhs[i] -= scratch[i + 1] * rhs[i + 1];
+  }
+}
+
+}  // namespace
+
+FdResult finite_difference_price(const OptionSpec& spec,
+                                 const FdConfig& config) {
+  validate(spec, config);
+  const std::size_t m = config.price_nodes;
+  const std::size_t steps = config.time_steps;
+  const bool american = spec.style == ExerciseStyle::kAmerican;
+
+  // Uniform grid in x = ln(S/S0), centred on the spot.
+  const double span =
+      config.log_width * spec.volatility * std::sqrt(spec.maturity);
+  const double dx = 2.0 * span / static_cast<double>(m - 1);
+  const double dt = spec.maturity / static_cast<double>(steps);
+
+  std::vector<double> s_grid(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    s_grid[i] =
+        spec.spot * std::exp(-span + dx * static_cast<double>(i));
+  }
+
+  // Constant PDE coefficients in log space:
+  //   V_t + (r - q - sigma^2/2) V_x + sigma^2/2 V_xx - r V = 0.
+  const double sig2 = spec.volatility * spec.volatility;
+  const double mu = spec.rate - spec.dividend - 0.5 * sig2;
+  const double alpha = 0.5 * sig2 / (dx * dx);   // diffusion
+  const double beta = 0.5 * mu / dx;             // convection
+
+  // Crank-Nicolson operator split: (I - dt/2 L) V^{n} = (I + dt/2 L) V^{n+1}
+  // with L tridiagonal (l, d, u) applied to interior nodes.
+  const double l_coef = alpha - beta;
+  const double d_coef = -2.0 * alpha - spec.rate;
+  const double u_coef = alpha + beta;
+
+  const double a_l = -0.5 * dt * l_coef;       // implicit side
+  const double a_d = 1.0 - 0.5 * dt * d_coef;
+  const double a_u = -0.5 * dt * u_coef;
+  const double b_l = 0.5 * dt * l_coef;        // explicit side
+  const double b_d = 1.0 + 0.5 * dt * d_coef;
+  const double b_u = 0.5 * dt * u_coef;
+
+  // Terminal condition and payoff (the PSOR obstacle).
+  std::vector<double> payoff(m);
+  for (std::size_t i = 0; i < m; ++i) payoff[i] = spec.payoff(s_grid[i]);
+  std::vector<double> values = payoff;
+
+  std::vector<double> rhs(m - 2);
+  std::vector<double> scratch;
+  FdResult result;
+
+  for (std::size_t n = steps; n-- > 0;) {
+    const double tau = spec.maturity - static_cast<double>(n) * dt;  // time to expiry at the NEW level
+
+    // Dirichlet boundaries at the new time level: asymptotic values.
+    double lo_bound = 0.0;
+    double hi_bound = 0.0;
+    if (spec.type == OptionType::kCall) {
+      hi_bound = american
+                     ? std::max(s_grid[m - 1] - spec.strike,
+                                s_grid[m - 1] * std::exp(-spec.dividend * tau) -
+                                    spec.strike * std::exp(-spec.rate * tau))
+                     : s_grid[m - 1] * std::exp(-spec.dividend * tau) -
+                           spec.strike * std::exp(-spec.rate * tau);
+      lo_bound = 0.0;
+    } else {
+      lo_bound = american ? spec.strike - s_grid[0]
+                          : spec.strike * std::exp(-spec.rate * tau) - s_grid[0];
+      lo_bound = std::max(lo_bound, 0.0);
+      hi_bound = 0.0;
+    }
+
+    // Explicit half-step into the RHS.
+    for (std::size_t i = 1; i + 1 < m; ++i) {
+      rhs[i - 1] =
+          b_l * values[i - 1] + b_d * values[i] + b_u * values[i + 1];
+    }
+    rhs.front() += -a_l * lo_bound;  // fold boundary into the system
+    rhs.back() += -a_u * hi_bound;
+
+    if (!american) {
+      solve_tridiagonal(a_l, a_d, a_u, rhs, scratch);
+      for (std::size_t i = 1; i + 1 < m; ++i) values[i] = rhs[i - 1];
+    } else {
+      // PSOR on the LCP: V >= payoff, (A V - rhs) >= 0, complementary.
+      std::size_t sweeps = 0;
+      double error = 1.0;
+      while (error > config.psor_tol && sweeps < config.psor_max_iterations) {
+        error = 0.0;
+        for (std::size_t i = 1; i + 1 < m; ++i) {
+          const double left = i > 1 ? values[i - 1] : lo_bound;
+          const double right = i + 2 < m ? values[i + 1] : hi_bound;
+          const double gauss =
+              (rhs[i - 1] - a_l * left - a_u * right) / a_d;
+          double v = values[i] + config.psor_omega * (gauss - values[i]);
+          v = std::max(v, payoff[i]);  // projection onto the obstacle
+          error = std::max(error, std::abs(v - values[i]));
+          values[i] = v;
+        }
+        ++sweeps;
+      }
+      result.psor_iterations += sweeps;
+    }
+    values[0] = lo_bound;
+    values[m - 1] = hi_bound;
+    if (american) {
+      for (std::size_t i = 0; i < m; ++i)
+        values[i] = std::max(values[i], payoff[i]);
+    }
+  }
+
+  const std::size_t mid = (m - 1) / 2;  // S0 sits exactly on the grid
+  result.price = values[mid];
+  result.delta = (values[mid + 1] - values[mid - 1]) /
+                 (s_grid[mid + 1] - s_grid[mid - 1]);
+  result.price_nodes = m;
+  result.time_steps = steps;
+  return result;
+}
+
+}  // namespace binopt::finance

@@ -1,0 +1,40 @@
+// Finite-difference pricing — the other comparator family from the
+// paper's related work (Section II cites Jin et al. [12], who conclude
+// "quadrature methods are the best compromise to price American options,
+// while tree-based methods are optimal when time-to-solution is a key
+// constraint"). This module provides the PDE baseline that makes that
+// trade-off measurable in bench_method_comparison.
+//
+// Crank-Nicolson on a uniform log-price grid; the American early-exercise
+// constraint is enforced with projected SOR (PSOR) on the linear
+// complementarity problem at each time step.
+#pragma once
+
+#include <cstddef>
+
+#include "finance/option.h"
+
+namespace binopt::finance {
+
+struct FdConfig {
+  std::size_t price_nodes = 201;   ///< spatial grid points (odd keeps S0 on-grid)
+  std::size_t time_steps = 100;
+  double log_width = 4.0;          ///< grid spans exp(+-log_width * sigma * sqrt(T))
+  double psor_omega = 1.4;         ///< SOR relaxation parameter
+  double psor_tol = 1e-9;
+  std::size_t psor_max_iterations = 10000;
+};
+
+struct FdResult {
+  double price = 0.0;
+  double delta = 0.0;              ///< from the grid, central difference
+  std::size_t psor_iterations = 0; ///< total PSOR sweeps across all steps
+  std::size_t price_nodes = 0;
+  std::size_t time_steps = 0;
+};
+
+/// Crank-Nicolson (European) / Crank-Nicolson+PSOR (American) price.
+[[nodiscard]] FdResult finite_difference_price(const OptionSpec& spec,
+                                               const FdConfig& config = {});
+
+}  // namespace binopt::finance

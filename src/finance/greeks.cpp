@@ -1,0 +1,58 @@
+#include "finance/greeks.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace binopt::finance {
+
+Greeks binomial_greeks(const OptionSpec& spec, std::size_t steps,
+                       double vol_bump, double rate_bump) {
+  spec.validate();
+  BINOPT_REQUIRE(steps >= 2, "Greeks need at least 2 lattice steps");
+  BINOPT_REQUIRE(vol_bump > 0.0 && rate_bump > 0.0, "bumps must be positive");
+
+  const BinomialPricer pricer(steps);
+  const BinomialTree tree = pricer.build_tree(spec);
+  const LatticeParams lp = LatticeParams::from(spec, steps);
+
+  Greeks g;
+  g.price = tree.root_value();
+
+  // Delta from the two time-1 nodes.
+  const double s_up = tree.asset[1][1];
+  const double s_dn = tree.asset[1][0];
+  g.delta = (tree.value[1][1] - tree.value[1][0]) / (s_up - s_dn);
+
+  // Gamma from the three time-2 nodes.
+  const double s_uu = tree.asset[2][2];
+  const double s_ud = tree.asset[2][1];
+  const double s_dd = tree.asset[2][0];
+  const double delta_up = (tree.value[2][2] - tree.value[2][1]) / (s_uu - s_ud);
+  const double delta_dn = (tree.value[2][1] - tree.value[2][0]) / (s_ud - s_dd);
+  g.gamma = (delta_up - delta_dn) / (0.5 * (s_uu - s_dd));
+
+  // Theta from the recombined middle node two steps ahead (asset price
+  // back at S0 there, so the value change is pure time decay).
+  g.theta = (tree.value[2][1] - g.price) / (2.0 * lp.dt);
+
+  // Vega and rho by central finite differences (re-pricing).
+  {
+    OptionSpec up = spec;
+    OptionSpec dn = spec;
+    up.volatility += vol_bump;
+    dn.volatility = std::max(dn.volatility - vol_bump, 1e-8);
+    const double actual_bump = up.volatility - dn.volatility;
+    g.vega = (pricer.price(up) - pricer.price(dn)) / actual_bump;
+  }
+  {
+    OptionSpec up = spec;
+    OptionSpec dn = spec;
+    up.rate += rate_bump;
+    dn.rate -= rate_bump;
+    g.rho = (pricer.price(up) - pricer.price(dn)) / (2.0 * rate_bump);
+  }
+  return g;
+}
+
+}  // namespace binopt::finance

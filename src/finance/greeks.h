@@ -1,0 +1,30 @@
+// Binomial Greeks — first/second-order sensitivities from the lattice.
+//
+// Not part of the paper's headline experiments, but a standard companion
+// of any production binomial pricer (the trader use case consumes vega for
+// quoting and delta for hedging), and a good numerical stress of the tree.
+#pragma once
+
+#include <cstddef>
+
+#include "finance/binomial.h"
+#include "finance/option.h"
+
+namespace binopt::finance {
+
+/// First- and second-order sensitivities of the option value.
+struct Greeks {
+  double price = 0.0;
+  double delta = 0.0;  ///< dV/dS
+  double gamma = 0.0;  ///< d2V/dS2
+  double theta = 0.0;  ///< dV/dt (per year, negative decay convention)
+  double vega = 0.0;   ///< dV/dSigma
+  double rho = 0.0;    ///< dV/dr
+};
+
+/// Compute Greeks with a binomial lattice. Delta/gamma/theta come from the
+/// interior tree nodes (no re-pricing); vega and rho use central bumps.
+Greeks binomial_greeks(const OptionSpec& spec, std::size_t steps,
+                       double vol_bump = 1e-4, double rate_bump = 1e-4);
+
+}  // namespace binopt::finance

@@ -1,0 +1,81 @@
+#include "finance/implied_vol.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "finance/black_scholes.h"
+
+namespace binopt::finance {
+
+ImpliedVolResult implied_volatility(const OptionSpec& spec, double market_price,
+                                    const PriceFn& price_fn,
+                                    const ImpliedVolConfig& config) {
+  spec.validate();
+  BINOPT_REQUIRE(std::isfinite(market_price) && market_price >= 0.0,
+                 "market price must be finite and non-negative, got ",
+                 market_price);
+  BINOPT_REQUIRE(config.sigma_lo > 0.0 && config.sigma_hi > config.sigma_lo,
+                 "invalid sigma bracket [", config.sigma_lo, ", ",
+                 config.sigma_hi, "]");
+
+  auto priced_at = [&](double sigma) {
+    OptionSpec s = spec;
+    s.volatility = sigma;
+    return price_fn(s);
+  };
+
+  double lo = config.sigma_lo;
+  double hi = config.sigma_hi;
+  double f_lo = priced_at(lo) - market_price;
+  double f_hi = priced_at(hi) - market_price;
+
+  ImpliedVolResult result;
+
+  // Option prices are nondecreasing in sigma, so the root is bracketed iff
+  // f_lo <= 0 <= f_hi. Endpoint hits count as converged.
+  if (std::abs(f_lo) <= config.price_tol) {
+    result.sigma = lo;
+    result.residual = f_lo;
+    result.converged = true;
+    return result;
+  }
+  if (std::abs(f_hi) <= config.price_tol) {
+    result.sigma = hi;
+    result.residual = f_hi;
+    result.converged = true;
+    return result;
+  }
+  BINOPT_REQUIRE(f_lo < 0.0 && f_hi > 0.0,
+                 "market price ", market_price,
+                 " is outside the attainable range [",
+                 f_lo + market_price, ", ", f_hi + market_price,
+                 "] for the sigma bracket");
+
+  double mid = lo;
+  double f_mid = f_lo;
+  for (std::size_t it = 0; it < config.max_iterations; ++it) {
+    mid = 0.5 * (lo + hi);
+    f_mid = priced_at(mid) - market_price;
+    ++result.iterations;
+    if (std::abs(f_mid) <= config.price_tol || (hi - lo) <= config.sigma_tol) {
+      result.converged = true;
+      break;
+    }
+    if (f_mid < 0.0) lo = mid;
+    else hi = mid;
+  }
+
+  result.sigma = mid;
+  result.residual = f_mid;
+  return result;
+}
+
+ImpliedVolResult implied_volatility_black_scholes(
+    const OptionSpec& spec, double market_price,
+    const ImpliedVolConfig& config) {
+  return implied_volatility(
+      spec, market_price,
+      [](const OptionSpec& s) { return black_scholes_price(s); }, config);
+}
+
+}  // namespace binopt::finance

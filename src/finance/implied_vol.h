@@ -1,0 +1,52 @@
+// Implied-volatility inversion — the paper's motivating use case.
+//
+// Section I: "a trader can use our work to estimate the implied volatility
+// curve of an option [...] 2000 option values per volatility curve". Each
+// market quote is inverted to the sigma whose model price matches it. For
+// American options (no analytic price) the model price is the binomial
+// pricer, so a single curve evaluation costs ~2000 binomial pricings —
+// exactly the throughput target the accelerator is sized for.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "finance/option.h"
+
+namespace binopt::finance {
+
+/// Model-price oracle: option spec (with candidate volatility) -> price.
+using PriceFn = std::function<double(const OptionSpec&)>;
+
+/// Solver configuration.
+struct ImpliedVolConfig {
+  double sigma_lo = 1e-4;     ///< lower bracket for sigma
+  double sigma_hi = 4.0;      ///< upper bracket for sigma
+  double price_tol = 1e-8;    ///< absolute tolerance on the price residual
+  double sigma_tol = 1e-10;   ///< absolute tolerance on the sigma bracket
+  std::size_t max_iterations = 200;
+};
+
+/// Solver outcome.
+struct ImpliedVolResult {
+  double sigma = 0.0;           ///< recovered volatility
+  double residual = 0.0;        ///< model(sigma) - market price
+  std::size_t iterations = 0;   ///< iterations consumed
+  bool converged = false;
+};
+
+/// Recover the volatility such that price_fn(spec with that sigma) equals
+/// market_price, by bisection on a monotone-in-sigma model price.
+/// Throws PreconditionError if the market price falls outside the
+/// [sigma_lo, sigma_hi] bracket's attainable price range.
+ImpliedVolResult implied_volatility(const OptionSpec& spec, double market_price,
+                                    const PriceFn& price_fn,
+                                    const ImpliedVolConfig& config = {});
+
+/// Convenience wrapper: European-style implied vol against the analytic
+/// Black-Scholes price (fast path used for test seeding).
+ImpliedVolResult implied_volatility_black_scholes(
+    const OptionSpec& spec, double market_price,
+    const ImpliedVolConfig& config = {});
+
+}  // namespace binopt::finance

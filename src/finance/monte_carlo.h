@@ -1,0 +1,47 @@
+// Monte Carlo pricing — the comparator method family of the related work
+// (paper Section II: de Schryver [4], GPU [5][6] and FPGA [7][8] MC
+// accelerators). The paper argues MC's "slow convergence rate"
+// counterbalances its parallelism for vanilla American options; this
+// module provides the baseline that lets us reproduce that argument
+// quantitatively (bench_method_comparison).
+//
+// European options use plain GBM terminal sampling with antithetic
+// variates; American options use Longstaff-Schwartz least-squares Monte
+// Carlo (LSM) with a polynomial continuation regression.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "finance/option.h"
+
+namespace binopt::finance {
+
+/// Result of a Monte Carlo estimate.
+struct McResult {
+  double price = 0.0;
+  double std_error = 0.0;   ///< standard error of the estimator
+  std::size_t paths = 0;
+  std::size_t time_steps = 0;
+};
+
+/// Configuration shared by the MC pricers.
+struct McConfig {
+  std::size_t paths = 50000;       ///< simulated paths (pre-antithetic)
+  std::size_t time_steps = 64;     ///< exercise dates for LSM
+  std::uint64_t seed = 4242;
+  bool antithetic = true;          ///< antithetic variance reduction
+  std::size_t basis_degree = 3;    ///< LSM regression polynomial degree
+};
+
+/// European price by terminal-value sampling under GBM.
+[[nodiscard]] McResult monte_carlo_european(const OptionSpec& spec,
+                                            const McConfig& config = {});
+
+/// American price by Longstaff-Schwartz least-squares Monte Carlo.
+/// The exercise style of `spec` is honoured: European specs fall back to
+/// the terminal sampler (LSM degenerates to it anyway).
+[[nodiscard]] McResult monte_carlo_american(const OptionSpec& spec,
+                                            const McConfig& config = {});
+
+}  // namespace binopt::finance

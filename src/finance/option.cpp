@@ -1,0 +1,41 @@
+#include "finance/option.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace binopt::finance {
+
+std::string to_string(OptionType t) {
+  return t == OptionType::kCall ? "call" : "put";
+}
+
+std::string to_string(ExerciseStyle s) {
+  return s == ExerciseStyle::kEuropean ? "european" : "american";
+}
+
+void OptionSpec::validate() const {
+  BINOPT_REQUIRE(std::isfinite(spot) && spot > 0.0, "spot must be > 0, got ",
+                 spot);
+  BINOPT_REQUIRE(std::isfinite(strike) && strike > 0.0,
+                 "strike must be > 0, got ", strike);
+  BINOPT_REQUIRE(std::isfinite(rate), "rate must be finite, got ", rate);
+  BINOPT_REQUIRE(std::isfinite(dividend) && dividend >= 0.0,
+                 "dividend yield must be >= 0, got ", dividend);
+  BINOPT_REQUIRE(std::isfinite(volatility) && volatility > 0.0,
+                 "volatility must be > 0, got ", volatility);
+  BINOPT_REQUIRE(std::isfinite(maturity) && maturity > 0.0,
+                 "maturity must be > 0, got ", maturity);
+}
+
+double OptionSpec::payoff(double s) const {
+  return type == OptionType::kCall ? std::max(s - strike, 0.0)
+                                   : std::max(strike - s, 0.0);
+}
+
+bool operator==(const OptionSpec& a, const OptionSpec& b) {
+  return a.spot == b.spot && a.strike == b.strike && a.rate == b.rate &&
+         a.dividend == b.dividend && a.volatility == b.volatility &&
+         a.maturity == b.maturity && a.type == b.type && a.style == b.style;
+}
+
+}  // namespace binopt::finance

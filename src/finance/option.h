@@ -1,0 +1,52 @@
+// Option contract types shared by every pricer in the library.
+//
+// The paper prices American options under the Cox-Ross-Rubinstein binomial
+// model; European contracts are kept as well because (a) the binomial tree
+// leaves *are* European payoffs (paper Section III-B) and (b) European
+// prices give us the Black-Scholes analytic cross-check used in tests.
+#pragma once
+
+#include <string>
+
+#include "common/error.h"
+
+namespace binopt::finance {
+
+/// Right conveyed by the option.
+enum class OptionType { kCall, kPut };
+
+/// When the right can be exercised.
+enum class ExerciseStyle {
+  kEuropean,  ///< only at expiry
+  kAmerican   ///< at any time up to expiry (the paper's target product)
+};
+
+[[nodiscard]] std::string to_string(OptionType t);
+[[nodiscard]] std::string to_string(ExerciseStyle s);
+
+/// Full economic description of a vanilla option contract plus the market
+/// parameters needed to price it.
+struct OptionSpec {
+  double spot = 100.0;        ///< current asset price S0
+  double strike = 100.0;      ///< strike price K
+  double rate = 0.05;         ///< continuously compounded risk-free rate r
+  double dividend = 0.0;      ///< continuous dividend yield q
+  double volatility = 0.20;   ///< annualised volatility sigma
+  double maturity = 1.0;      ///< time to expiry T in years
+  OptionType type = OptionType::kCall;
+  ExerciseStyle style = ExerciseStyle::kAmerican;
+
+  /// Throws PreconditionError unless every field is economically valid.
+  void validate() const;
+
+  /// Intrinsic value of immediate exercise at asset price s.
+  [[nodiscard]] double payoff(double s) const;
+
+  /// Simple moneyness S0/K (used by workload generators and vol curves).
+  [[nodiscard]] double moneyness() const { return spot / strike; }
+};
+
+/// Equality on the economic fields (used by tests and batch dedup).
+bool operator==(const OptionSpec& a, const OptionSpec& b);
+
+}  // namespace binopt::finance

@@ -1,0 +1,62 @@
+#include "finance/richardson.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "finance/binomial.h"
+#include "finance/black_scholes.h"
+
+namespace binopt::finance {
+
+double bbs_price(const OptionSpec& spec, std::size_t steps) {
+  spec.validate();
+  BINOPT_REQUIRE(steps >= 2, "BBS needs at least two steps");
+  const LatticeParams lp = LatticeParams::from(spec, steps);
+  const bool american = spec.style == ExerciseStyle::kAmerican;
+
+  // Values at the penultimate layer t = N-1: analytic Black-Scholes over
+  // the final dt instead of the discrete two-leaf average.
+  const std::size_t last = steps - 1;
+  std::vector<double> assets(last + 1);
+  {
+    double s = spec.spot;
+    for (std::size_t i = 0; i < last; ++i) s *= lp.down;
+    const double up2 = lp.up * lp.up;
+    for (std::size_t k = 0; k <= last; ++k) {
+      assets[k] = s;
+      s *= up2;
+    }
+  }
+  std::vector<double> values(last + 1);
+  for (std::size_t k = 0; k <= last; ++k) {
+    OptionSpec tail = spec;
+    tail.spot = assets[k];
+    tail.maturity = lp.dt;
+    tail.style = ExerciseStyle::kEuropean;  // one step: no early exercise
+    const double continuation = black_scholes_price(tail);
+    values[k] = american ? std::max(spec.payoff(assets[k]), continuation)
+                         : continuation;
+  }
+
+  // Standard backward induction for the remaining N-1 layers.
+  for (std::size_t t = last; t-- > 0;) {
+    for (std::size_t k = 0; k <= t; ++k) {
+      assets[k] = assets[k] * lp.up;
+      const double continuation =
+          lp.discount * (lp.prob_up * values[k + 1] + lp.prob_down * values[k]);
+      values[k] = american ? std::max(spec.payoff(assets[k]), continuation)
+                           : continuation;
+    }
+  }
+  return values[0];
+}
+
+double bbsr_price(const OptionSpec& spec, std::size_t steps) {
+  BINOPT_REQUIRE(steps >= 4 && steps % 2 == 0,
+                 "BBSR needs an even step count >= 4, got ", steps);
+  return 2.0 * bbs_price(spec, steps) - bbs_price(spec, steps / 2);
+}
+
+}  // namespace binopt::finance

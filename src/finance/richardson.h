@@ -1,0 +1,29 @@
+// Convergence acceleration for the binomial pricer: BBS and BBSR.
+//
+// The plain CRR price oscillates in N (the strike moves relative to the
+// leaf grid), which is why the paper needs N = 1024 for its accuracy
+// target. Two classic smoothing techniques buy the same accuracy from far
+// smaller trees — directly relevant to the accelerator, since kernel
+// IV.B's work is quadratic in N:
+//
+//  - BBS (Binomial Black-Scholes, Broadie & Detemple): at the penultimate
+//    time step, replace the discrete continuation with the analytic
+//    Black-Scholes value over the final dt.
+//  - BBSR: two-point Richardson extrapolation of BBS in 1/N.
+#pragma once
+
+#include <cstddef>
+
+#include "finance/option.h"
+
+namespace binopt::finance {
+
+/// Binomial Black-Scholes price: CRR backward induction with an analytic
+/// last step. Smooth in N (no odd/even oscillation).
+[[nodiscard]] double bbs_price(const OptionSpec& spec, std::size_t steps);
+
+/// Richardson-extrapolated BBS: 2 * BBS(N) - BBS(N/2). `steps` must be
+/// even and >= 4.
+[[nodiscard]] double bbsr_price(const OptionSpec& spec, std::size_t steps);
+
+}  // namespace binopt::finance

@@ -1,0 +1,75 @@
+#include "finance/trinomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace binopt::finance {
+
+TrinomialResult trinomial_price(const OptionSpec& spec, std::size_t steps,
+                                double lambda) {
+  spec.validate();
+  BINOPT_REQUIRE(steps >= 1, "need at least one step");
+  BINOPT_REQUIRE(lambda > 1.0, "stretch parameter must exceed 1, got ",
+                 lambda);
+
+  const double dt = spec.maturity / static_cast<double>(steps);
+  const double sig_sqrt_dt = spec.volatility * std::sqrt(dt);
+  const double dx = lambda * sig_sqrt_dt;  // log-price spacing
+  const double nu =
+      spec.rate - spec.dividend - 0.5 * spec.volatility * spec.volatility;
+
+  // Boyle probabilities on a symmetric log grid.
+  const double a = nu * dt / dx;
+  const double b = sig_sqrt_dt * sig_sqrt_dt / (dx * dx);
+  const double p_up = 0.5 * (b + a * a + a);
+  const double p_dn = 0.5 * (b + a * a - a);
+  const double p_mid = 1.0 - p_up - p_dn;
+  BINOPT_REQUIRE(p_up > 0.0 && p_dn > 0.0 && p_mid > 0.0,
+                 "trinomial probabilities out of range (p_up = ", p_up,
+                 ", p_mid = ", p_mid, ", p_dn = ", p_dn,
+                 ") — increase steps or lambda");
+  const double df = std::exp(-spec.rate * dt);
+
+  // Terminal layer: 2*steps + 1 nodes, j in [-steps, steps].
+  const auto n = static_cast<long long>(steps);
+  std::vector<double> values(2 * steps + 1);
+  std::vector<double> assets(2 * steps + 1);
+  for (long long j = -n; j <= n; ++j) {
+    assets[static_cast<std::size_t>(j + n)] =
+        spec.spot * std::exp(static_cast<double>(j) * dx);
+    values[static_cast<std::size_t>(j + n)] =
+        spec.payoff(assets[static_cast<std::size_t>(j + n)]);
+  }
+
+  TrinomialResult result;
+  result.steps = steps;
+  result.nodes = (2 * steps + 1);
+
+  const bool american = spec.style == ExerciseStyle::kAmerican;
+  // Double-buffer the layers: node j reads next-layer values at j-1, j,
+  // j+1, so an in-place sweep would corrupt the j-1 read.
+  std::vector<double> next_values(values.size());
+  for (std::size_t t = steps; t-- > 0;) {
+    const auto width = 2 * t + 1;
+    const auto offset = steps - t;  // this layer's j = -t..t maps into the arrays
+    for (std::size_t i = 0; i < width; ++i) {
+      const std::size_t idx = i + offset;
+      const double continuation = df * (p_up * values[idx + 1] +
+                                        p_mid * values[idx] +
+                                        p_dn * values[idx - 1]);
+      next_values[idx] = american
+                             ? std::max(spec.payoff(assets[idx]), continuation)
+                             : continuation;
+    }
+    values.swap(next_values);
+    result.nodes += width;
+  }
+
+  result.price = values[steps];
+  return result;
+}
+
+}  // namespace binopt::finance

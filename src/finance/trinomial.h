@@ -1,0 +1,26 @@
+// Trinomial lattice pricer (Boyle) — the third tree-based comparator for
+// the method-survey benchmark (paper Section II / Jin et al. [12]: tree
+// methods win "when time-to-solution is a key constraint"). A trinomial
+// step converges roughly like two binomial steps, giving a second point
+// on the lattice accuracy/size trade-off curve.
+#pragma once
+
+#include <cstddef>
+
+#include "finance/option.h"
+
+namespace binopt::finance {
+
+struct TrinomialResult {
+  double price = 0.0;
+  std::size_t steps = 0;
+  std::size_t nodes = 0;  ///< total lattice nodes updated
+};
+
+/// Boyle trinomial price with stretch parameter lambda (default sqrt(3),
+/// the standard choice that keeps the middle probability positive).
+[[nodiscard]] TrinomialResult trinomial_price(const OptionSpec& spec,
+                                              std::size_t steps,
+                                              double lambda = 1.7320508075688772);
+
+}  // namespace binopt::finance

@@ -1,0 +1,81 @@
+#include "finance/vol_curve.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/statistics.h"
+#include "finance/binomial.h"
+
+namespace binopt::finance {
+
+double SmileModel::vol_at(double strike, double forward) const {
+  BINOPT_REQUIRE(strike > 0.0 && forward > 0.0,
+                 "strike and forward must be positive");
+  const double m = std::log(strike / forward);
+  const double v = base_vol + skew * m + smile * m * m;
+  return std::max(v, min_vol);
+}
+
+std::vector<MarketQuote> synthesize_chain(const OptionSpec& base,
+                                          const SmileModel& smile,
+                                          std::size_t count, double k_lo_frac,
+                                          double k_hi_frac,
+                                          std::size_t pricing_steps) {
+  base.validate();
+  BINOPT_REQUIRE(count >= 2, "a chain needs at least 2 quotes");
+  BINOPT_REQUIRE(0.0 < k_lo_frac && k_lo_frac < k_hi_frac,
+                 "invalid strike span [", k_lo_frac, ", ", k_hi_frac, "]");
+
+  const double forward =
+      base.spot * std::exp((base.rate - base.dividend) * base.maturity);
+  const std::vector<double> strikes =
+      linspace(k_lo_frac * forward, k_hi_frac * forward, count);
+
+  const BinomialPricer pricer(pricing_steps);
+  std::vector<MarketQuote> chain;
+  chain.reserve(count);
+  for (double k : strikes) {
+    OptionSpec spec = base;
+    spec.strike = k;
+    spec.volatility = smile.vol_at(k, forward);
+    chain.push_back(MarketQuote{k, pricer.price(spec)});
+  }
+  return chain;
+}
+
+VolCurveBuilder::VolCurveBuilder(OptionSpec base, PriceFn price_fn,
+                                 ImpliedVolConfig config)
+    : base_(std::move(base)), price_fn_(std::move(price_fn)), config_(config) {
+  base_.validate();
+  BINOPT_REQUIRE(static_cast<bool>(price_fn_), "price oracle must be callable");
+}
+
+std::vector<VolCurvePoint> VolCurveBuilder::build(
+    const std::vector<MarketQuote>& quotes) const {
+  std::vector<VolCurvePoint> curve;
+  curve.reserve(quotes.size());
+  for (const MarketQuote& q : quotes) {
+    OptionSpec spec = base_;
+    spec.strike = q.strike;
+    VolCurvePoint point;
+    point.strike = q.strike;
+    try {
+      const ImpliedVolResult r =
+          implied_volatility(spec, q.price, price_fn_, config_);
+      point.implied_vol = r.sigma;
+      point.solver_iterations = r.iterations;
+      point.converged = r.converged;
+    } catch (const PreconditionError&) {
+      point.converged = false;  // unattainable quote: flag, don't abort
+    }
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+std::size_t VolCurveBuilder::max_pricings(std::size_t quotes) const {
+  // Two bracket evaluations plus up to max_iterations bisections per quote.
+  return quotes * (config_.max_iterations + 2);
+}
+
+}  // namespace binopt::finance

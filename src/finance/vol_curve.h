@@ -1,0 +1,76 @@
+// Volatility-curve construction (the trader workflow of paper Section I).
+//
+// A volatility curve maps strike -> implied volatility for a chain of
+// options on the same underlying and expiry. The paper's accelerator is
+// sized so one curve (2000 binomial pricings) completes within a second.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "finance/implied_vol.h"
+#include "finance/option.h"
+
+namespace binopt::finance {
+
+/// One quoted point of an option chain.
+struct MarketQuote {
+  double strike = 0.0;
+  double price = 0.0;  ///< observed market premium
+};
+
+/// One fitted point of the volatility curve.
+struct VolCurvePoint {
+  double strike = 0.0;
+  double implied_vol = 0.0;
+  std::size_t solver_iterations = 0;
+  bool converged = false;
+};
+
+/// Parametric volatility smile used to *synthesise* market quotes when no
+/// live feed exists (our substitution for the paper's market data): a
+/// quadratic smile in log-moneyness, sigma(K) = base + skew*m + smile*m^2
+/// with m = ln(K / forward).
+struct SmileModel {
+  double base_vol = 0.20;
+  double skew = -0.10;
+  double smile = 0.15;
+  double min_vol = 0.03;  ///< curve floor, keeps quotes arbitrage-sane
+
+  [[nodiscard]] double vol_at(double strike, double forward) const;
+};
+
+/// Synthesise an option chain of `count` quotes with strikes spanning
+/// [k_lo_frac, k_hi_frac] * forward, priced under `smile` with the given
+/// binomial step count (American exercise, like the paper's product).
+std::vector<MarketQuote> synthesize_chain(const OptionSpec& base,
+                                          const SmileModel& smile,
+                                          std::size_t count, double k_lo_frac,
+                                          double k_hi_frac,
+                                          std::size_t pricing_steps);
+
+/// Builder that inverts a full chain into a curve. The price oracle is
+/// injectable so the curve can be priced by the reference software or by
+/// any accelerated kernel (core::VolCurvePipeline does the latter).
+class VolCurveBuilder {
+public:
+  VolCurveBuilder(OptionSpec base, PriceFn price_fn,
+                  ImpliedVolConfig config = {});
+
+  /// Invert every quote; points with unattainable prices come back with
+  /// converged == false instead of throwing (a real chain has junk quotes).
+  [[nodiscard]] std::vector<VolCurvePoint> build(
+      const std::vector<MarketQuote>& quotes) const;
+
+  /// Total number of model pricings a `build` of n quotes will consume,
+  /// assuming the configured max iteration budget (used to size batches
+  /// against the 2000 options/s target).
+  [[nodiscard]] std::size_t max_pricings(std::size_t quotes) const;
+
+private:
+  OptionSpec base_;
+  PriceFn price_fn_;
+  ImpliedVolConfig config_;
+};
+
+}  // namespace binopt::finance

@@ -1,0 +1,92 @@
+#include "finance/vol_surface.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace binopt::finance {
+
+namespace {
+
+void require_increasing(const std::vector<double>& axis, const char* name) {
+  BINOPT_REQUIRE(axis.size() >= 2, name, " axis needs at least 2 points");
+  for (std::size_t i = 1; i < axis.size(); ++i) {
+    BINOPT_REQUIRE(axis[i] > axis[i - 1], name,
+                   " axis must be strictly increasing at index ", i);
+  }
+}
+
+}  // namespace
+
+VolSurface::VolSurface(std::vector<double> maturities,
+                       std::vector<double> strikes, std::vector<double> vols)
+    : maturities_(std::move(maturities)),
+      strikes_(std::move(strikes)),
+      vols_(std::move(vols)) {
+  require_increasing(maturities_, "maturity");
+  require_increasing(strikes_, "strike");
+  BINOPT_REQUIRE(maturities_.front() > 0.0, "maturities must be positive");
+  BINOPT_REQUIRE(strikes_.front() > 0.0, "strikes must be positive");
+  BINOPT_REQUIRE(vols_.size() == maturities_.size() * strikes_.size(),
+                 "vol grid has ", vols_.size(), " entries, expected ",
+                 maturities_.size() * strikes_.size());
+  for (double v : vols_) {
+    BINOPT_REQUIRE(std::isfinite(v) && v > 0.0,
+                   "implied vols must be positive and finite");
+  }
+}
+
+double VolSurface::vol_at(std::size_t maturity_index,
+                          std::size_t strike_index) const {
+  BINOPT_REQUIRE(maturity_index < maturities_.size(), "maturity index ",
+                 maturity_index, " out of range");
+  BINOPT_REQUIRE(strike_index < strikes_.size(), "strike index ",
+                 strike_index, " out of range");
+  return vols_[maturity_index * strikes_.size() + strike_index];
+}
+
+std::size_t VolSurface::bracket(const std::vector<double>& axis, double x,
+                                double& weight) {
+  if (x <= axis.front()) {
+    weight = 0.0;
+    return 0;
+  }
+  if (x >= axis.back()) {
+    weight = 1.0;
+    return axis.size() - 2;
+  }
+  const auto it = std::upper_bound(axis.begin(), axis.end(), x);
+  const auto hi = static_cast<std::size_t>(it - axis.begin());
+  const std::size_t lo = hi - 1;
+  weight = (x - axis[lo]) / (axis[hi] - axis[lo]);
+  return lo;
+}
+
+double VolSurface::interpolate(double maturity, double strike) const {
+  BINOPT_REQUIRE(std::isfinite(maturity) && std::isfinite(strike),
+                 "interpolation point must be finite");
+  double wt = 0.0;
+  double wk = 0.0;
+  const std::size_t i = bracket(maturities_, maturity, wt);
+  const std::size_t j = bracket(strikes_, strike, wk);
+  const double v00 = vol_at(i, j);
+  const double v01 = vol_at(i, j + 1);
+  const double v10 = vol_at(i + 1, j);
+  const double v11 = vol_at(i + 1, j + 1);
+  return (1.0 - wt) * ((1.0 - wk) * v00 + wk * v01) +
+         wt * ((1.0 - wk) * v10 + wk * v11);
+}
+
+std::size_t VolSurface::calendar_arbitrage_violations() const {
+  std::size_t violations = 0;
+  for (std::size_t j = 0; j < strikes_.size(); ++j) {
+    for (std::size_t i = 1; i < maturities_.size(); ++i) {
+      const double w_prev =
+          vol_at(i - 1, j) * vol_at(i - 1, j) * maturities_[i - 1];
+      const double w_cur = vol_at(i, j) * vol_at(i, j) * maturities_[i];
+      if (w_cur < w_prev - 1e-12) ++violations;
+    }
+  }
+  return violations;
+}
+
+}  // namespace binopt::finance

@@ -1,0 +1,53 @@
+// Implied-volatility surface: the multi-expiry extension of the paper's
+// volatility-curve use case. A trader rarely looks at one expiry; the
+// desk view is a (maturity x strike) surface, i.e. several 2000-option
+// curves — which is exactly the "5 plotted volatility curves" workload
+// the paper identifies as the device-saturation point (Section V-C).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+#include "finance/option.h"
+
+namespace binopt::finance {
+
+/// A rectilinear implied-vol surface with bilinear interpolation.
+class VolSurface {
+public:
+  /// `vols[i * strikes.size() + j]` is the implied vol at
+  /// (maturities[i], strikes[j]). Axes must be strictly increasing.
+  VolSurface(std::vector<double> maturities, std::vector<double> strikes,
+             std::vector<double> vols);
+
+  [[nodiscard]] std::size_t maturity_count() const { return maturities_.size(); }
+  [[nodiscard]] std::size_t strike_count() const { return strikes_.size(); }
+
+  /// Grid accessors.
+  [[nodiscard]] double vol_at(std::size_t maturity_index,
+                              std::size_t strike_index) const;
+  [[nodiscard]] const std::vector<double>& maturities() const {
+    return maturities_;
+  }
+  [[nodiscard]] const std::vector<double>& strikes() const { return strikes_; }
+
+  /// Bilinear interpolation; arguments are clamped to the grid hull
+  /// (flat extrapolation, the desk-standard behaviour).
+  [[nodiscard]] double interpolate(double maturity, double strike) const;
+
+  /// Simple no-calendar-arbitrage diagnostic: total implied variance
+  /// sigma^2 * T must be non-decreasing in T at every strike. Returns the
+  /// number of violating grid cells.
+  [[nodiscard]] std::size_t calendar_arbitrage_violations() const;
+
+private:
+  [[nodiscard]] static std::size_t bracket(const std::vector<double>& axis,
+                                           double x, double& weight);
+
+  std::vector<double> maturities_;
+  std::vector<double> strikes_;
+  std::vector<double> vols_;
+};
+
+}  // namespace binopt::finance

@@ -1,0 +1,79 @@
+#include "finance/workload.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+
+namespace binopt::finance {
+
+std::vector<OptionSpec> make_random_batch(std::size_t count,
+                                          std::uint64_t seed,
+                                          const WorkloadConfig& config) {
+  BINOPT_REQUIRE(count >= 1, "batch must contain at least one option");
+  SplitMix64 rng(seed);
+  std::vector<OptionSpec> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    OptionSpec spec;
+    spec.spot = config.spot;
+    spec.strike = rng.uniform(config.strike_lo, config.strike_hi);
+    spec.volatility = rng.uniform(config.vol_lo, config.vol_hi);
+    spec.rate = rng.uniform(config.rate_lo, config.rate_hi);
+    spec.maturity = rng.uniform(config.maturity_lo, config.maturity_hi);
+    spec.type = config.type;
+    spec.style = config.style;
+    spec.validate();
+    batch.push_back(spec);
+  }
+  return batch;
+}
+
+std::vector<OptionSpec> make_curve_batch(std::size_t count, double spot,
+                                         double rate, double maturity) {
+  BINOPT_REQUIRE(count >= 2, "curve batch needs at least 2 strikes");
+  const std::vector<double> strikes = linspace(0.6 * spot, 1.4 * spot, count);
+  std::vector<OptionSpec> batch;
+  batch.reserve(count);
+  for (double k : strikes) {
+    OptionSpec spec;
+    spec.spot = spot;
+    spec.strike = k;
+    spec.rate = rate;
+    spec.maturity = maturity;
+    // Mild deterministic smile so vol varies across the curve.
+    const double m = std::log(k / spot);
+    spec.volatility = std::max(0.20 - 0.08 * m + 0.12 * m * m, 0.05);
+    spec.type = OptionType::kCall;
+    spec.style = ExerciseStyle::kAmerican;
+    spec.validate();
+    batch.push_back(spec);
+  }
+  return batch;
+}
+
+std::vector<OptionSpec> make_smoke_batch() {
+  std::vector<OptionSpec> batch;
+  auto add = [&](double s, double k, double sigma, double t, OptionType type) {
+    OptionSpec spec;
+    spec.spot = s;
+    spec.strike = k;
+    spec.rate = 0.05;
+    spec.volatility = sigma;
+    spec.maturity = t;
+    spec.type = type;
+    spec.style = ExerciseStyle::kAmerican;
+    spec.validate();
+    batch.push_back(spec);
+  };
+  add(100.0, 100.0, 0.20, 1.00, OptionType::kCall);  // ATM call
+  add(100.0, 100.0, 0.20, 1.00, OptionType::kPut);   // ATM put
+  add(100.0, 60.0, 0.25, 0.50, OptionType::kCall);   // deep ITM call
+  add(100.0, 160.0, 0.25, 0.50, OptionType::kCall);  // deep OTM call
+  add(100.0, 140.0, 0.30, 2.00, OptionType::kPut);   // ITM put, long dated
+  add(100.0, 95.0, 0.45, 0.08, OptionType::kPut);    // short dated, high vol
+  return batch;
+}
+
+}  // namespace binopt::finance

@@ -1,0 +1,51 @@
+// Workload synthesis for the evaluation harness.
+//
+// The paper's 2000 input options per volatility curve "are generated from
+// market data and reference prices based on a binomial representation"
+// (Section I) — data we do not have. We substitute deterministic synthetic
+// batches that span realistic parameter ranges (moneyness, vol, rate,
+// maturity) so throughput, accuracy, and saturation experiments all run on
+// reproducible inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "finance/option.h"
+
+namespace binopt::finance {
+
+/// Parameter ranges for randomised batches.
+struct WorkloadConfig {
+  double spot = 100.0;
+  double strike_lo = 60.0;
+  double strike_hi = 140.0;
+  double vol_lo = 0.10;
+  double vol_hi = 0.60;
+  double rate_lo = 0.00;
+  double rate_hi = 0.08;
+  double maturity_lo = 0.25;
+  double maturity_hi = 2.0;
+  OptionType type = OptionType::kCall;
+  ExerciseStyle style = ExerciseStyle::kAmerican;
+};
+
+/// Deterministic pseudo-random batch of `count` options.
+std::vector<OptionSpec> make_random_batch(std::size_t count,
+                                          std::uint64_t seed,
+                                          const WorkloadConfig& config = {});
+
+/// The paper's canonical workload: one volatility-curve batch of 2000
+/// American calls with strikes laddered across [0.6, 1.4] x spot and a
+/// fixed market environment (sigma varies along a smile).
+std::vector<OptionSpec> make_curve_batch(std::size_t count = 2000,
+                                         double spot = 100.0,
+                                         double rate = 0.05,
+                                         double maturity = 1.0);
+
+/// Tiny curated batch with hand-checkable cases (deep ITM/OTM, ATM,
+/// short/long maturity) for accuracy unit tests.
+std::vector<OptionSpec> make_smoke_batch();
+
+}  // namespace binopt::finance

@@ -1,0 +1,70 @@
+#include "fpga/approx_math.h"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace binopt::fpga {
+
+namespace {
+constexpr double kLn2 = std::numbers::ln2;
+constexpr double kInvLn2 = 1.0 / std::numbers::ln2;
+}  // namespace
+
+double approx_log2(double x) {
+  BINOPT_REQUIRE(x > 0.0 && std::isfinite(x),
+                 "approx_log2 domain error: x = ", x);
+  int exponent = 0;
+  const double mantissa = std::frexp(x, &exponent);  // mantissa in [0.5, 1)
+  // Normalise to [sqrt(2)/2, sqrt(2)) so |z| stays below 0.172 for bases
+  // on either side of 1 (plain [1,2) normalisation makes z ~ 0.33 for
+  // bases just below 1 and the truncated series error explodes).
+  double m = mantissa * 2.0;
+  int k = exponent - 1;
+  if (m > std::numbers::sqrt2) {
+    m *= 0.5;
+    ++k;
+  }
+
+  // log2(m) = (2/ln2) * atanh(z), z = (m-1)/(m+1), truncated at z^5 —
+  // the short series the area-constrained hardware operator used.
+  const double z = (m - 1.0) / (m + 1.0);
+  const double z2 = z * z;
+  const double series = z * (1.0 + z2 * (1.0 / 3.0 + z2 * (1.0 / 5.0)));
+  return static_cast<double>(k) + 2.0 * kInvLn2 * series;
+}
+
+double approx_exp2(double x) {
+  BINOPT_REQUIRE(std::isfinite(x), "approx_exp2 domain error: x = ", x);
+  BINOPT_REQUIRE(x < 1024.0 && x > -1022.0,
+                 "approx_exp2 overflow/underflow: x = ", x);
+  const double n = std::floor(x);
+  const double r = x - n;  // r in [0, 1): truncating range reduction
+
+  // 2^r = e^(r ln2), Taylor truncated at 5th order over the full [0, 1)
+  // fraction: relative error up to ~2e-5 near r = 1. This is the accuracy
+  // class of the defective 13.0 Power operator; option-price RMSE lands
+  // near the paper's 1e-3 (fixed in 13.0 SP1, which StdMath represents).
+  const double t = r * kLn2;
+  const double poly =
+      1.0 +
+      t * (1.0 +
+           t * (0.5 + t * (1.0 / 6.0 + t * (1.0 / 24.0 + t * (1.0 / 120.0)))));
+  return std::ldexp(poly, static_cast<int>(n));
+}
+
+double approx_log(double x) { return approx_log2(x) * kLn2; }
+
+double approx_exp(double x) { return approx_exp2(x * kInvLn2); }
+
+double approx_pow(double base, double exponent) {
+  BINOPT_REQUIRE(base > 0.0 && std::isfinite(base),
+                 "approx_pow domain error: base = ", base);
+  BINOPT_REQUIRE(std::isfinite(exponent), "approx_pow exponent must be finite");
+  if (exponent == 0.0) return 1.0;
+  return approx_exp2(exponent * approx_log2(base));
+}
+
+}  // namespace binopt::fpga

@@ -1,0 +1,43 @@
+// Reduced-precision elementary functions — the Altera 13.0 Power operator.
+//
+// The paper's kernel IV.B initialises the tree leaves on-device with the
+// OpenCL pow operator and observes an RMSE of ~1e-3 against the software
+// reference, which the authors traced to the compiler's Power operator
+// (Section V-C; fixed in 13.0 SP1). We model that defect with truncated
+// polynomial implementations of log2/exp2: the log2 error is multiplied by
+// the exponent magnitude in pow(u, 2k - N), so the error grows toward the
+// extreme leaves exactly as it does in the hardware operator — large-N
+// trees are where the inaccuracy bites.
+//
+// ApproxMath satisfies the math-policy interface of
+// finance::BinomialPricer::leaf_assets_pow<Math>().
+#pragma once
+
+namespace binopt::fpga {
+
+/// log2(x) via a 3-term atanh series on the mantissa. |error| <= ~3e-5.
+[[nodiscard]] double approx_log2(double x);
+
+/// 2^x via a 5th-order polynomial on a truncating [0,1) range reduction.
+/// Relative error up to ~2e-5 near the top of the fraction range.
+[[nodiscard]] double approx_exp2(double x);
+
+/// Natural log / exp built on the base-2 kernels.
+[[nodiscard]] double approx_log(double x);
+[[nodiscard]] double approx_exp(double x);
+
+/// pow(base, exponent) = exp2(exponent * log2(base)). The relative error
+/// scales with |exponent| (about 1e-3 at |exponent| ~ 1000), reproducing
+/// the paper's Power-operator RMSE mechanism.
+[[nodiscard]] double approx_pow(double base, double exponent);
+
+/// Math policy for the templated pricer entry points.
+struct ApproxMath {
+  static double pow(double base, double exponent) {
+    return approx_pow(base, exponent);
+  }
+  static double exp(double x) { return approx_exp(x); }
+  static double log(double x) { return approx_log(x); }
+};
+
+}  // namespace binopt::fpga

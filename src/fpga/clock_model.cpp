@@ -1,0 +1,21 @@
+#include "fpga/clock_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace binopt::fpga {
+
+ClockModel::ClockModel() {
+  slope_ = (kAnchorFmaxA - kAnchorFmaxB) / (kAnchorUtilA - kAnchorUtilB);
+  intercept_ = kAnchorFmaxA - slope_ * kAnchorUtilA;
+}
+
+double ClockModel::fmax_mhz(double logic_utilization) const {
+  BINOPT_REQUIRE(logic_utilization >= 0.0 && logic_utilization <= 1.2,
+                 "logic utilization out of range: ", logic_utilization);
+  const double f = intercept_ + slope_ * logic_utilization;
+  return std::clamp(f, kMinFmax, kMaxFmax);
+}
+
+}  // namespace binopt::fpga

@@ -1,0 +1,39 @@
+// Kernel clock-frequency (fmax) model.
+//
+// On a nearly full FPGA the router struggles and achievable fmax drops —
+// the paper's two design points show exactly that: 98.27 MHz at 99% logic
+// utilization (kernel IV.A) vs 162.62 MHz at 66% (kernel IV.B). We model
+// fmax as the line through those two published anchors, clamped to the
+// practical range of Altera OpenCL designs on Stratix IV. The same model
+// then drives every sweep (design space, power tuning) so predictions stay
+// consistent with the calibrated points.
+#pragma once
+
+namespace binopt::fpga {
+
+class ClockModel {
+public:
+  ClockModel();
+
+  /// Achievable kernel clock in MHz at a given logic utilization [0, 1].
+  [[nodiscard]] double fmax_mhz(double logic_utilization) const;
+
+  // The published anchor points (Table I).
+  static constexpr double kAnchorUtilA = 0.99;
+  static constexpr double kAnchorFmaxA = 98.27;
+  static constexpr double kAnchorUtilB = 0.66;
+  static constexpr double kAnchorFmaxB = 162.62;
+
+  /// Practical fmax range for Stratix IV OpenCL kernels.
+  static constexpr double kMinFmax = 40.0;
+  static constexpr double kMaxFmax = 265.0;
+
+  [[nodiscard]] double slope_mhz_per_util() const { return slope_; }
+  [[nodiscard]] double intercept_mhz() const { return intercept_; }
+
+private:
+  double slope_;
+  double intercept_;
+};
+
+}  // namespace binopt::fpga

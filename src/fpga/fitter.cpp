@@ -1,0 +1,189 @@
+#include "fpga/fitter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace binopt::fpga {
+
+namespace {
+
+// Fixed per-compute-unit control overhead: kernel dispatcher, work-item id
+// generators, and the global-memory interconnect endpoint.
+constexpr double kCuOverheadAluts = 14000.0;
+constexpr double kCuOverheadRegisters = 20000.0;
+constexpr double kCuOverheadM9k = 12.0;
+
+// Pipeline-balancing register overhead grows with lane count (wider
+// datapaths need deeper skid buffers to meet timing).
+constexpr double kLaneRegisterOverhead = 0.06;
+
+// Fill fraction assumed for coalescing-FIFO M9K blocks when converting
+// block counts to memory bits.
+constexpr double kFifoFill = 0.9;
+
+double section_multiplier(Section section, const CompileOptions& options) {
+  return section == Section::kLoopBody
+             ? static_cast<double>(options.loop_lanes())
+             : static_cast<double>(options.simd_width);
+}
+
+}  // namespace
+
+ResourceUsage& ResourceUsage::operator+=(const ResourceUsage& other) {
+  aluts += other.aluts;
+  registers += other.registers;
+  memory_bits += other.memory_bits;
+  m9k += other.m9k;
+  m144k += other.m144k;
+  dsp18 += other.dsp18;
+  return *this;
+}
+
+ResourceUsage ResourceUsage::scaled(double factor) const {
+  return ResourceUsage{aluts * factor,  registers * factor,
+                       memory_bits * factor, m9k * factor,
+                       m144k * factor,  dsp18 * factor};
+}
+
+FitCalibration FitCalibration::from(const ResourceUsage& raw,
+                                    const ResourceUsage& target) {
+  auto ratio = [](double t, double r) { return r > 0.0 ? t / r : 1.0; };
+  FitCalibration c;
+  c.aluts = ratio(target.aluts, raw.aluts);
+  c.registers = ratio(target.registers, raw.registers);
+  c.memory_bits = ratio(target.memory_bits, raw.memory_bits);
+  c.m9k = ratio(target.m9k, raw.m9k);
+  c.dsp18 = ratio(target.dsp18, raw.dsp18);
+  return c;
+}
+
+Fitter::Fitter(FpgaDeviceSpec device) : device_(std::move(device)) {}
+
+ResourceUsage Fitter::model(const KernelIR& kernel,
+                            const CompileOptions& options) const {
+  kernel.validate();
+  options.validate();
+
+  const auto cu = static_cast<double>(options.num_compute_units);
+  ResourceUsage per_cu;
+
+  // Datapath operators: vectorization widens every section, unrolling
+  // additionally multiplies the loop body.
+  for (const OpInstance& op : kernel.ops) {
+    const OpCost cost = op_cost(op.kind, op.precision);
+    const double n = op.count * section_multiplier(op.section, options);
+    per_cu.aluts += cost.aluts * n;
+    per_cu.registers += cost.registers * n;
+    per_cu.dsp18 += cost.dsp18 * n;
+  }
+
+  // Load/store units.
+  for (const AccessSite& site : kernel.accesses) {
+    const LsuCost cost = lsu_cost(site, kernel.coalescing_fifos);
+    const double n = site.count * section_multiplier(site.section, options);
+    per_cu.aluts += cost.aluts * n;
+    per_cu.registers += cost.registers * n;
+    per_cu.m9k += cost.m9k_fifo * n;
+    per_cu.memory_bits +=
+        cost.m9k_fifo * n * 9216.0 * kFifoFill;  // FIFO storage bits
+  }
+
+  // Local-memory buffers: simple-dual-port M9Ks provide one read and one
+  // write port per replica, so the bank is replicated until the per-cycle
+  // port demand of all lanes is met.
+  const RamBlockGeometry geom;
+  for (const LocalBuffer& buf : kernel.local_buffers) {
+    const double ports_needed =
+        buf.access_sites * static_cast<double>(options.loop_lanes());
+    const double replicas = std::max(1.0, std::ceil(ports_needed / 2.0));
+    const double blocks = m9k_blocks_per_replica(buf, geom) * replicas;
+    per_cu.m9k += blocks;
+    per_cu.memory_bits += replicas * static_cast<double>(buf.words) *
+                          static_cast<double>(buf.word_bytes) * 8.0 *
+                          device_.base_local_ram_fill;
+  }
+
+  // Private values live in flip-flops within the datapath.
+  per_cu.registers += static_cast<double>(kernel.private_doubles) * 64.0 *
+                      static_cast<double>(options.simd_width);
+
+  // Lane-dependent pipeline-balancing overhead.
+  const auto lanes = static_cast<double>(options.loop_lanes());
+  per_cu.registers *= 1.0 + kLaneRegisterOverhead * (lanes - 1.0);
+
+  // Control overhead per compute unit.
+  per_cu.aluts += kCuOverheadAluts;
+  per_cu.registers += kCuOverheadRegisters;
+  per_cu.m9k += kCuOverheadM9k;
+  per_cu.memory_bits += kCuOverheadM9k * 9216.0 * kFifoFill;
+
+  return per_cu.scaled(cu);
+}
+
+double Fitter::pipeline_latency(const KernelIR& kernel,
+                                const CompileOptions& options) const {
+  // Serial-chain estimate: operators and LSUs along one work-item's path.
+  double cycles = 0.0;
+  for (const OpInstance& op : kernel.ops) {
+    cycles += op_cost(op.kind, op.precision).latency_cycles * op.count;
+  }
+  for (const AccessSite& site : kernel.accesses) {
+    cycles += lsu_cost(site, kernel.coalescing_fifos).latency_cycles * site.count;
+  }
+  // Unrolling lengthens the replicated body chain slightly (fanout).
+  cycles *= 1.0 + 0.05 * (options.unroll_factor - 1.0);
+  return cycles;
+}
+
+FitResult Fitter::fit(const KernelIR& kernel, const CompileOptions& options,
+                      const FitCalibration& calibration) const {
+  FitResult result;
+  result.raw = model(kernel, options);
+  result.usage = result.raw;
+  result.usage.aluts *= calibration.aluts;
+  result.usage.registers *= calibration.registers;
+  result.usage.memory_bits *= calibration.memory_bits;
+  result.usage.m9k *= calibration.m9k;
+  result.usage.dsp18 *= calibration.dsp18;
+
+  // M9K demand beyond capacity spills into M144K blocks (16x the bits).
+  const double m9k_cap = device_.capacity.m9k;
+  if (result.usage.m9k > m9k_cap) {
+    const double overflow_blocks = result.usage.m9k - m9k_cap;
+    result.usage.m144k = std::ceil(overflow_blocks / 16.0);
+    result.usage.m9k = m9k_cap;
+  }
+
+  const ResourceUsage& cap = device_.capacity;
+  result.logic_utilization = result.usage.aluts / cap.aluts;
+  result.register_utilization = result.usage.registers / cap.registers;
+  result.m9k_utilization = result.usage.m9k / cap.m9k;
+  result.dsp_utilization = result.usage.dsp18 / cap.dsp18;
+  result.memory_bit_utilization = result.usage.memory_bits / cap.memory_bits;
+  result.pipeline_latency_cycles = pipeline_latency(kernel, options);
+
+  auto check = [&](double used, double capacity, const char* what) {
+    if (used > capacity) {
+      result.failures.push_back(std::string(what) + " overflow: " +
+                                std::to_string(used) + " > " +
+                                std::to_string(capacity));
+    }
+  };
+  check(result.usage.aluts, cap.aluts, "ALUT");
+  check(result.usage.registers, cap.registers, "register");
+  check(result.usage.memory_bits, cap.memory_bits, "memory bits");
+  check(result.usage.m144k, cap.m144k, "M144K");
+  check(result.usage.dsp18, cap.dsp18, "DSP");
+  result.fits = result.failures.empty();
+  return result;
+}
+
+FitCalibration Fitter::calibrate(const KernelIR& kernel,
+                                 const CompileOptions& options,
+                                 const ResourceUsage& target) const {
+  return FitCalibration::from(model(kernel, options), target);
+}
+
+}  // namespace binopt::fpga

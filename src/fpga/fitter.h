@@ -1,0 +1,102 @@
+// The fitter: maps a compiled kernel datapath onto Stratix IV resources.
+//
+// Models what the paper obtained from the "Quartus II Fitter Summary as
+// configured by default when running Altera's OpenCL Compiler" (Section
+// V-B): ALUT/register/memory-bit/M9K/DSP usage for a kernel compiled with
+// given vectorization / replication / unroll options, plus a fit/no-fit
+// verdict against the device capacity. Raw costs come from the operator
+// library; a per-kernel calibration (derived once from the paper's two
+// published design points, then held fixed) absorbs the compiler overheads
+// we cannot model from first principles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/ir.h"
+#include "fpga/op_library.h"
+
+namespace binopt::fpga {
+
+/// Resource vector (absolute units).
+struct ResourceUsage {
+  double aluts = 0.0;
+  double registers = 0.0;
+  double memory_bits = 0.0;
+  double m9k = 0.0;
+  double m144k = 0.0;
+  double dsp18 = 0.0;
+
+  ResourceUsage& operator+=(const ResourceUsage& other);
+  [[nodiscard]] ResourceUsage scaled(double factor) const;
+};
+
+/// Device capacity (Stratix IV EP4SGX530 on the Terasic DE4 by default;
+/// all figures base-2 as in the paper's Table I).
+struct FpgaDeviceSpec {
+  std::string name = "Stratix IV EP4SGX530";
+  ResourceUsage capacity{/*aluts=*/424960.0,
+                         /*registers=*/424960.0,  // the paper's "415 K"
+                         /*memory_bits=*/21233664.0,  // "20,736 K"
+                         /*m9k=*/1280.0,
+                         /*m144k=*/64.0,
+                         /*dsp18=*/1024.0};
+  double base_local_ram_fill = 1.0;  ///< used-bit fraction of a local bank
+};
+
+/// Per-resource multiplicative calibration applied on top of the raw model.
+struct FitCalibration {
+  double aluts = 1.0;
+  double registers = 1.0;
+  double memory_bits = 1.0;
+  double m9k = 1.0;
+  double dsp18 = 1.0;
+
+  /// Derives the calibration that maps `raw` onto `target` exactly.
+  static FitCalibration from(const ResourceUsage& raw,
+                             const ResourceUsage& target);
+};
+
+/// Outcome of fitting one design point.
+struct FitResult {
+  ResourceUsage usage;                 ///< calibrated usage
+  ResourceUsage raw;                   ///< pre-calibration model output
+  double logic_utilization = 0.0;      ///< aluts / capacity
+  double register_utilization = 0.0;
+  double m9k_utilization = 0.0;
+  double dsp_utilization = 0.0;
+  double memory_bit_utilization = 0.0;
+  double pipeline_latency_cycles = 0.0;
+  bool fits = false;
+  std::vector<std::string> failures;   ///< which resources overflow
+};
+
+class Fitter {
+public:
+  explicit Fitter(FpgaDeviceSpec device = {});
+
+  [[nodiscard]] const FpgaDeviceSpec& device() const { return device_; }
+
+  /// Raw (uncalibrated) resource model for a design point.
+  [[nodiscard]] ResourceUsage model(const KernelIR& kernel,
+                                    const CompileOptions& options) const;
+
+  /// Full fit with a calibration in effect.
+  [[nodiscard]] FitResult fit(const KernelIR& kernel,
+                              const CompileOptions& options,
+                              const FitCalibration& calibration = {}) const;
+
+  /// Convenience: derive the calibration that reproduces `target` for the
+  /// given kernel/options design point (the paper's published rows).
+  [[nodiscard]] FitCalibration calibrate(const KernelIR& kernel,
+                                         const CompileOptions& options,
+                                         const ResourceUsage& target) const;
+
+private:
+  [[nodiscard]] double pipeline_latency(const KernelIR& kernel,
+                                        const CompileOptions& options) const;
+
+  FpgaDeviceSpec device_;
+};
+
+}  // namespace binopt::fpga

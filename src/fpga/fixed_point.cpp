@@ -1,0 +1,36 @@
+#include "fpga/fixed_point.h"
+
+#include <cmath>
+
+namespace binopt::fpga {
+
+OpCost fixed_op_cost(OpKind kind, int word_bits) {
+  BINOPT_REQUIRE(word_bits >= 8 && word_bits <= 64,
+                 "fixed-point word width out of range: ", word_bits);
+  const double w = word_bits;
+  // 18x18 DSP elements tile a WxW multiplier in ceil(W/18)^2 blocks.
+  const double tiles = std::ceil(w / 18.0) * std::ceil(w / 18.0);
+  switch (kind) {
+    case OpKind::kFAdd:  // integer add: one ALUT per bit in the carry chain
+      return OpCost{w, 2.0 * w, 0, 1};
+    case OpKind::kFMul:
+      return OpCost{2.0 * w, 6.0 * w, tiles, 4};
+    case OpKind::kFMax:  // compare + select
+      return OpCost{1.5 * w, w, 0, 1};
+    case OpKind::kFDiv:  // iterative restoring divider
+      return OpCost{12.0 * w, 16.0 * w, 0, w};
+    case OpKind::kFExp:
+    case OpKind::kFLog:
+    case OpKind::kFPow: {
+      // CORDIC-style shift-add units: no DSPs, ~W iterations of add+shift.
+      return OpCost{20.0 * w, 24.0 * w, 0, w};
+    }
+    case OpKind::kIAdd:
+      return OpCost{w, w, 0, 1};
+    case OpKind::kIMul:
+      return OpCost{w, 2.0 * w, tiles, 3};
+  }
+  throw InvariantError("unhandled OpKind in fixed_op_cost");
+}
+
+}  // namespace binopt::fpga

@@ -1,0 +1,129 @@
+// Fixed-point arithmetic — the paper's road not taken.
+//
+// Section V-B: "Further gain in efficiency could be achieved by manual
+// fine tuning (i.e. custom data types), as seen in classic FPGA designs.
+// We chose not to do so as it would not yield significant enough benefits
+// compared with the necessary development time." This module implements
+// that alternative so the trade-off can be *measured* instead of assumed
+// (bench_custom_types): a signed Q-format type with saturating
+// conversions, plus per-operator resource estimates for a fixed-point
+// datapath on Stratix IV (integer DSP tiles, no FP normalisation logic).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/error.h"
+#include "fpga/op_library.h"
+
+namespace binopt::fpga {
+
+/// Signed fixed-point value with IntBits integer bits and FracBits
+/// fractional bits (plus the sign), stored in a 64-bit word.
+/// Multiplication uses a 128-bit intermediate, so no precision is lost
+/// before the final rounding — exactly what a W x W DSP-tile multiplier
+/// followed by a shift does in hardware.
+template <int IntBits, int FracBits>
+class Fixed {
+  static_assert(IntBits >= 1 && FracBits >= 1, "degenerate format");
+  static_assert(IntBits + FracBits <= 63, "format exceeds the 64-bit word");
+
+public:
+  static constexpr int kIntBits = IntBits;
+  static constexpr int kFracBits = FracBits;
+  static constexpr std::int64_t kOne = std::int64_t{1} << FracBits;
+  static constexpr std::int64_t kMaxRaw = static_cast<std::int64_t>(
+      (std::uint64_t{1} << (IntBits + FracBits)) - 1);
+  static constexpr std::int64_t kMinRaw = -kMaxRaw - 1;
+
+  constexpr Fixed() = default;
+
+  /// Converts from double with round-to-nearest and saturation.
+  static Fixed from_double(double x) {
+    BINOPT_REQUIRE(x == x, "cannot convert NaN to fixed point");
+    const double scaled = x * static_cast<double>(kOne);
+    if (scaled >= static_cast<double>(kMaxRaw)) return from_raw(kMaxRaw);
+    if (scaled <= static_cast<double>(kMinRaw)) return from_raw(kMinRaw);
+    const double rounded = scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5;
+    return from_raw(static_cast<std::int64_t>(rounded));
+  }
+
+  static constexpr Fixed from_raw(std::int64_t raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  [[nodiscard]] constexpr std::int64_t raw() const { return raw_; }
+
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(raw_) / static_cast<double>(kOne);
+  }
+
+  [[nodiscard]] static constexpr Fixed zero() { return from_raw(0); }
+  [[nodiscard]] static constexpr Fixed one() { return from_raw(kOne); }
+
+  /// Quantisation step (the LSB) as a double.
+  [[nodiscard]] static double epsilon() {
+    return 1.0 / static_cast<double>(kOne);
+  }
+
+  [[nodiscard]] Fixed operator+(Fixed other) const {
+    return from_raw(saturate(static_cast<__int128>(raw_) + other.raw_));
+  }
+
+  [[nodiscard]] Fixed operator-(Fixed other) const {
+    return from_raw(saturate(static_cast<__int128>(raw_) - other.raw_));
+  }
+
+  /// Full-precision multiply, round-to-nearest on the discarded bits.
+  [[nodiscard]] Fixed operator*(Fixed other) const {
+    __int128 wide = static_cast<__int128>(raw_) * other.raw_;
+    const __int128 half = __int128{1} << (FracBits - 1);
+    wide += wide >= 0 ? half : -half;
+    return from_raw(saturate(wide >> FracBits));
+  }
+
+  [[nodiscard]] bool operator==(Fixed other) const { return raw_ == other.raw_; }
+  [[nodiscard]] bool operator<(Fixed other) const { return raw_ < other.raw_; }
+  [[nodiscard]] bool operator>(Fixed other) const { return raw_ > other.raw_; }
+
+  [[nodiscard]] static Fixed max(Fixed a, Fixed b) { return a.raw_ > b.raw_ ? a : b; }
+
+  /// Binary powering u^e for integer exponents (no divider needed: the
+  /// caller supplies the reciprocal base for negative exponents, as a
+  /// hardware datapath would precompute it on the host).
+  [[nodiscard]] static Fixed ipow(Fixed base, std::uint64_t exponent) {
+    Fixed acc = one();
+    Fixed b = base;
+    while (exponent != 0) {
+      if (exponent & 1u) acc = acc * b;
+      b = b * b;
+      exponent >>= 1u;
+    }
+    return acc;
+  }
+
+private:
+  static std::int64_t saturate(__int128 raw) {
+    if (raw > kMaxRaw) return kMaxRaw;
+    if (raw < kMinRaw) return kMinRaw;
+    return static_cast<std::int64_t>(raw);
+  }
+
+  std::int64_t raw_ = 0;
+};
+
+/// The format used by the fixed-point binomial datapath: extreme leaves of
+/// an N = 1024 tree reach S0 * e^(sigma*sqrt(dt)*N) (~600x the spot), so
+/// 17 integer bits cover asset prices up to ~1.3e5 with S0 = 100, and 46
+/// fractional bits give ~1.4e-14 quantisation.
+using PriceFixed = Fixed<17, 46>;
+
+/// Resource cost of a fixed-point operator of the given word width on
+/// Stratix IV (for the bench_custom_types ablation): integer adds live in
+/// ALUT carry chains, multiplies tile into 18x18 DSP elements, and there
+/// is no exponent/normalisation logic at all.
+[[nodiscard]] OpCost fixed_op_cost(OpKind kind, int word_bits);
+
+}  // namespace binopt::fpga

@@ -1,0 +1,59 @@
+#include "fpga/ir.h"
+
+#include <sstream>
+
+namespace binopt::fpga {
+
+std::string to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kFAdd: return "fadd";
+    case OpKind::kFMul: return "fmul";
+    case OpKind::kFDiv: return "fdiv";
+    case OpKind::kFMax: return "fmax";
+    case OpKind::kFExp: return "fexp";
+    case OpKind::kFLog: return "flog";
+    case OpKind::kFPow: return "fpow";
+    case OpKind::kIAdd: return "iadd";
+    case OpKind::kIMul: return "imul";
+  }
+  return "unknown";
+}
+
+std::string to_string(Precision p) {
+  return p == Precision::kDouble ? "double" : "single";
+}
+
+void KernelIR::validate() const {
+  BINOPT_REQUIRE(!name.empty(), "kernel IR needs a name");
+  BINOPT_REQUIRE(!ops.empty(), "kernel IR '", name, "' has no operators");
+  for (const OpInstance& op : ops) {
+    BINOPT_REQUIRE(op.count > 0.0, "operator count must be positive in '",
+                   name, "'");
+  }
+  for (const AccessSite& site : accesses) {
+    BINOPT_REQUIRE(site.count > 0.0, "access-site count must be positive in '",
+                   name, "'");
+    BINOPT_REQUIRE(site.element_bytes > 0, "access element size must be > 0");
+  }
+  for (const LocalBuffer& buf : local_buffers) {
+    BINOPT_REQUIRE(buf.words > 0 && buf.word_bytes > 0,
+                   "local buffer must be non-empty in '", name, "'");
+  }
+  BINOPT_REQUIRE(loop_trip_count >= 1.0, "loop trip count must be >= 1");
+}
+
+void CompileOptions::validate() const {
+  BINOPT_REQUIRE(simd_width >= 1 && (simd_width & (simd_width - 1)) == 0,
+                 "vectorization must be a power of two, got ", simd_width);
+  BINOPT_REQUIRE(num_compute_units >= 1, "need at least one compute unit");
+  BINOPT_REQUIRE(unroll_factor >= 1, "unroll factor must be >= 1");
+}
+
+std::string CompileOptions::to_string() const {
+  std::ostringstream os;
+  os << "simd=" << simd_width << " cu=" << num_compute_units
+     << " unroll=" << unroll_factor;
+  return os.str();
+}
+
+}  // namespace binopt::fpga

@@ -1,0 +1,109 @@
+// Kernel dataflow IR — the FPGA toolchain model's view of an OpenCL kernel.
+//
+// The Altera OpenCL compiler turns a kernel body into a deeply pipelined
+// datapath; what determines resources and fmax is the *operator mix*, the
+// memory access sites (each becomes a load/store unit with coalescing
+// FIFOs), the local-memory buffers (banked into M9K blocks), and the three
+// parallelisation options the paper sweeps: SIMD vectorization, compute-
+// unit replication, and loop unrolling (Section V-B). This IR captures
+// exactly those properties.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace binopt::fpga {
+
+/// Floating-point / integer operator kinds with distinct hardware cost.
+enum class OpKind {
+  kFAdd,   ///< fp add/sub
+  kFMul,   ///< fp multiply
+  kFDiv,   ///< fp divide
+  kFMax,   ///< fp max / compare-select
+  kFExp,   ///< exponential megafunction
+  kFLog,   ///< logarithm megafunction
+  kFPow,   ///< power operator (the paper's accuracy-problem child)
+  kIAdd,   ///< integer add (index arithmetic)
+  kIMul,   ///< integer multiply (address scaling)
+};
+
+[[nodiscard]] std::string to_string(OpKind kind);
+
+/// Numeric precision of a datapath lane.
+enum class Precision { kSingle, kDouble };
+
+[[nodiscard]] std::string to_string(Precision p);
+
+/// Where an operator sits in the kernel structure — determines which
+/// parallelisation options multiply it.
+enum class Section {
+  kStraightLine,  ///< per work-item, outside any unrollable loop
+  kLoopBody,      ///< inside the kernel's innermost loop (unrollable)
+};
+
+/// A counted operator instance in the kernel body.
+struct OpInstance {
+  OpKind kind = OpKind::kFAdd;
+  Precision precision = Precision::kDouble;
+  Section section = Section::kStraightLine;
+  double count = 1.0;  ///< static instances in the body
+};
+
+/// Kind of memory behind an access site.
+enum class MemSpace { kGlobal, kLocal };
+
+/// A static load/store site in the kernel (each becomes an LSU).
+struct AccessSite {
+  MemSpace space = MemSpace::kGlobal;
+  bool is_store = false;
+  Section section = Section::kStraightLine;
+  std::size_t element_bytes = 8;
+  double count = 1.0;  ///< static sites of this shape
+};
+
+/// A local-memory buffer declared by the kernel.
+struct LocalBuffer {
+  std::size_t words = 0;        ///< element count
+  std::size_t word_bytes = 8;   ///< element size
+  double access_sites = 1.0;    ///< static load+store sites touching it
+};
+
+/// The full kernel description handed to the toolchain.
+struct KernelIR {
+  std::string name;
+  Precision precision = Precision::kDouble;
+  std::vector<OpInstance> ops;
+  std::vector<AccessSite> accesses;
+  std::vector<LocalBuffer> local_buffers;
+  double loop_trip_count = 1.0;   ///< informational (latency model)
+  bool coalescing_fifos = false;  ///< kernel IV.A-style global FIFOs
+  std::size_t private_doubles = 0;  ///< private values held in flip-flops
+
+  void validate() const;
+};
+
+/// The three Altera parallelisation options (paper Section V-B).
+struct CompileOptions {
+  unsigned simd_width = 1;         ///< vectorization (power of two)
+  unsigned num_compute_units = 1;  ///< full pipeline replication
+  unsigned unroll_factor = 1;      ///< innermost-loop unrolling
+
+  void validate() const;
+
+  /// Lanes the loop body is instantiated with inside one compute unit.
+  [[nodiscard]] unsigned loop_lanes() const {
+    return simd_width * unroll_factor;
+  }
+
+  /// Total straight-line datapath copies across the device.
+  [[nodiscard]] unsigned straightline_copies() const {
+    return simd_width * num_compute_units;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace binopt::fpga

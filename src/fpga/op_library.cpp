@@ -1,0 +1,73 @@
+#include "fpga/op_library.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace binopt::fpga {
+
+OpCost op_cost(OpKind kind, Precision precision) {
+  const bool dp = precision == Precision::kDouble;
+  // Single-precision units are roughly 3-4x cheaper than double on
+  // Stratix IV (narrower mantissa datapath, fewer DSP tiles).
+  switch (kind) {
+    case OpKind::kFAdd:
+      return dp ? OpCost{1400, 2600, 0, 7} : OpCost{450, 800, 0, 5};
+    case OpKind::kFMul:
+      return dp ? OpCost{800, 2800, 14, 9} : OpCost{250, 700, 4, 5};
+    case OpKind::kFDiv:
+      return dp ? OpCost{5200, 7400, 14, 24} : OpCost{1400, 2200, 4, 14};
+    case OpKind::kFMax:
+      return dp ? OpCost{700, 900, 0, 2} : OpCost{250, 300, 0, 2};
+    case OpKind::kFExp:
+      return dp ? OpCost{6200, 9400, 26, 17} : OpCost{1600, 2400, 8, 10};
+    case OpKind::kFLog:
+      return dp ? OpCost{7200, 10400, 26, 21} : OpCost{1900, 2700, 8, 12};
+    case OpKind::kFPow: {
+      // pow(x, y) = exp(y * log(x)): log + mul + exp fused datapath.
+      const OpCost lg = op_cost(OpKind::kFLog, precision);
+      const OpCost mu = op_cost(OpKind::kFMul, precision);
+      const OpCost ex = op_cost(OpKind::kFExp, precision);
+      return OpCost{lg.aluts + mu.aluts + ex.aluts,
+                    lg.registers + mu.registers + ex.registers,
+                    lg.dsp18 + mu.dsp18 + ex.dsp18,
+                    lg.latency_cycles + mu.latency_cycles + ex.latency_cycles};
+    }
+    case OpKind::kIAdd:
+      return OpCost{64, 64, 0, 1};
+    case OpKind::kIMul:
+      return OpCost{120, 160, 2, 3};
+  }
+  throw InvariantError("unhandled OpKind in op_cost");
+}
+
+LsuCost lsu_cost(const AccessSite& site, bool coalescing_fifos) {
+  LsuCost cost;
+  if (site.space == MemSpace::kGlobal) {
+    // A global LSU carries burst logic + (optionally) coalescing FIFOs.
+    cost.aluts = site.is_store ? 2200 : 2600;
+    cost.registers = site.is_store ? 3200 : 3800;
+    cost.latency_cycles = site.is_store ? 4 : 38;  // DDR round trip hidden
+    if (coalescing_fifos) cost.m9k_fifo = site.is_store ? 24 : 30;
+  } else {
+    // Local sites are simple ports into the banked M9K arena.
+    cost.aluts = 320;
+    cost.registers = 420;
+    cost.latency_cycles = 2;
+  }
+  return cost;
+}
+
+double m9k_blocks_per_replica(const LocalBuffer& buffer,
+                              const RamBlockGeometry& geom) {
+  BINOPT_REQUIRE(buffer.words > 0, "empty local buffer");
+  const double depth_blocks =
+      std::ceil(static_cast<double>(buffer.words) /
+                static_cast<double>(geom.m9k_depth));
+  const double width_slices =
+      std::ceil(static_cast<double>(buffer.word_bytes * 8) /
+                static_cast<double>(geom.m9k_width_bits));
+  return depth_blocks * width_slices;
+}
+
+}  // namespace binopt::fpga

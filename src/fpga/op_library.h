@@ -1,0 +1,54 @@
+// Stratix IV operator resource library.
+//
+// Per-operator hardware costs for the floating-point datapath elements the
+// Altera OpenCL compiler instantiates on a Stratix IV. Values are in the
+// range published for Altera's fp megafunctions (ALUTs/registers/18-bit
+// DSP elements, pipeline latency in cycles); the fitter applies a
+// per-kernel calibration on top (see devices/calibration.h), so what these
+// numbers must get right is the *relative* cost of operators and the
+// monotone response to the vectorize/replicate/unroll options.
+#pragma once
+
+#include <cstddef>
+
+#include "fpga/ir.h"
+
+namespace binopt::fpga {
+
+/// Hardware cost of one pipelined operator instance.
+struct OpCost {
+  double aluts = 0.0;
+  double registers = 0.0;
+  double dsp18 = 0.0;           ///< 18-bit DSP elements
+  double latency_cycles = 0.0;  ///< pipeline depth contribution
+};
+
+/// Cost of one load/store unit (LSU) lane, including burst-coalescing
+/// FIFO storage for global sites when the kernel requests it.
+struct LsuCost {
+  double aluts = 0.0;
+  double registers = 0.0;
+  double m9k_fifo = 0.0;  ///< M9K blocks for coalescing FIFOs (global only)
+  double latency_cycles = 0.0;
+};
+
+/// Geometry of the device's RAM blocks (paper Section V-A).
+struct RamBlockGeometry {
+  std::size_t m9k_bits = 9216;       ///< 256 x 36
+  std::size_t m9k_depth = 256;
+  std::size_t m9k_width_bits = 36;
+  std::size_t m144k_bits = 147456;   ///< 2048 x 72
+};
+
+/// Look up the cost of an operator at a given precision.
+[[nodiscard]] OpCost op_cost(OpKind kind, Precision precision);
+
+/// Look up the cost of an LSU for a site.
+[[nodiscard]] LsuCost lsu_cost(const AccessSite& site, bool coalescing_fifos);
+
+/// M9K blocks needed for one replica of a local buffer (depth/width split
+/// across 256x36 blocks; a double word takes two 36-bit slices).
+[[nodiscard]] double m9k_blocks_per_replica(const LocalBuffer& buffer,
+                                            const RamBlockGeometry& geom = {});
+
+}  // namespace binopt::fpga

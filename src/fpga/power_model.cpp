@@ -1,0 +1,52 @@
+#include "fpga/power_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace binopt::fpga {
+
+PowerModel::PowerModel() {
+  // Solve the 2x2 system
+  //   (a*utilA + c*m9kA) * fA = PA - Pstatic
+  //   (a*utilB + c*m9kB) * fB = PB - Pstatic
+  const double rhs_a = (kAnchorA_Watts - kStaticWatts) / kAnchorA_Fmax;
+  const double rhs_b = (kAnchorB_Watts - kStaticWatts) / kAnchorB_Fmax;
+  const double det = kAnchorA_Util * kAnchorB_M9k - kAnchorA_M9k * kAnchorB_Util;
+  BINOPT_ENSURE(std::abs(det) > 1e-12, "degenerate power-model anchors");
+  logic_coeff_ = (rhs_a * kAnchorB_M9k - kAnchorA_M9k * rhs_b) / det;
+  ram_coeff_ = (kAnchorA_Util * rhs_b - rhs_a * kAnchorB_Util) / det;
+  BINOPT_ENSURE(logic_coeff_ > 0.0 && ram_coeff_ > 0.0,
+                "power-model coefficients must be positive");
+}
+
+PowerBreakdown PowerModel::estimate(double logic_utilization,
+                                    double m9k_utilization,
+                                    double fmax_mhz) const {
+  BINOPT_REQUIRE(logic_utilization >= 0.0 && logic_utilization <= 1.2,
+                 "logic utilization out of range: ", logic_utilization);
+  BINOPT_REQUIRE(m9k_utilization >= 0.0 && m9k_utilization <= 1.2,
+                 "M9K utilization out of range: ", m9k_utilization);
+  BINOPT_REQUIRE(fmax_mhz >= 0.0, "fmax must be non-negative");
+  PowerBreakdown p;
+  p.static_watts = kStaticWatts;
+  p.dynamic_watts =
+      (logic_coeff_ * logic_utilization + ram_coeff_ * m9k_utilization) *
+      fmax_mhz;
+  return p;
+}
+
+double PowerModel::max_fmax_for_budget(double logic_utilization,
+                                       double m9k_utilization,
+                                       double budget_w) const {
+  BINOPT_REQUIRE(budget_w > 0.0, "power budget must be positive");
+  const double headroom = budget_w - kStaticWatts;
+  if (headroom <= 0.0) return 0.0;
+  const double per_mhz =
+      logic_coeff_ * logic_utilization + ram_coeff_ * m9k_utilization;
+  if (per_mhz <= 0.0) return 0.0;
+  return headroom / per_mhz;
+}
+
+}  // namespace binopt::fpga

@@ -1,0 +1,59 @@
+// FPGA power model (the paper's quartus_pow substitute).
+//
+// Total power = static + dynamic, with dynamic proportional to the kernel
+// clock and to how much fabric toggles. The two coefficients (logic and
+// RAM-block activity) are solved at construction from the paper's two
+// published (utilization, fmax, power) rows — 15 W for kernel IV.A and
+// 17 W for kernel IV.B — and then reused unchanged for every sweep, e.g.
+// the Section V-C workaround study of lowering the clock to reach the
+// 10 W budget.
+//
+// Like the paper's figures, this models the FPGA chip only (no DDR2, no
+// board peripherals).
+#pragma once
+
+namespace binopt::fpga {
+
+struct PowerBreakdown {
+  double static_watts = 0.0;
+  double dynamic_watts = 0.0;
+  [[nodiscard]] double total() const { return static_watts + dynamic_watts; }
+};
+
+class PowerModel {
+public:
+  PowerModel();
+
+  /// Power at a design point: logic utilization [0,1], M9K utilization
+  /// [0,1], kernel clock in MHz.
+  [[nodiscard]] PowerBreakdown estimate(double logic_utilization,
+                                        double m9k_utilization,
+                                        double fmax_mhz) const;
+
+  /// Highest kernel clock (MHz) that keeps total power within `budget_w`
+  /// at the given utilizations; 0 if static power alone already exceeds
+  /// the budget.
+  [[nodiscard]] double max_fmax_for_budget(double logic_utilization,
+                                           double m9k_utilization,
+                                           double budget_w) const;
+
+  // Published anchors (Table I rows, Stratix IV chip power).
+  static constexpr double kStaticWatts = 4.0;
+  static constexpr double kAnchorA_Util = 0.99;
+  static constexpr double kAnchorA_M9k = 1250.0 / 1280.0;
+  static constexpr double kAnchorA_Fmax = 98.27;
+  static constexpr double kAnchorA_Watts = 15.0;
+  static constexpr double kAnchorB_Util = 0.66;
+  static constexpr double kAnchorB_M9k = 1118.0 / 1280.0;
+  static constexpr double kAnchorB_Fmax = 162.62;
+  static constexpr double kAnchorB_Watts = 17.0;
+
+  [[nodiscard]] double logic_coeff() const { return logic_coeff_; }
+  [[nodiscard]] double ram_coeff() const { return ram_coeff_; }
+
+private:
+  double logic_coeff_ = 0.0;  ///< W per MHz per unit logic utilization
+  double ram_coeff_ = 0.0;    ///< W per MHz per unit M9K utilization
+};
+
+}  // namespace binopt::fpga

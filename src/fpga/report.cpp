@@ -1,0 +1,82 @@
+#include "fpga/report.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace binopt::fpga {
+
+DesignPointReport characterize(const Fitter& fitter, const ClockModel& clock,
+                               const PowerModel& power, const KernelIR& kernel,
+                               const CompileOptions& options,
+                               const FitCalibration& calibration) {
+  DesignPointReport report;
+  report.kernel_name = kernel.name;
+  report.options = options;
+  report.fit = fitter.fit(kernel, options, calibration);
+  report.fmax_mhz = clock.fmax_mhz(report.fit.logic_utilization);
+  report.power = power.estimate(report.fit.logic_utilization,
+                                report.fit.m9k_utilization, report.fmax_mhz);
+  return report;
+}
+
+std::string render_resource_table(const std::vector<DesignPointReport>& points,
+                                  const FpgaDeviceSpec& device) {
+  std::vector<std::string> headers{device.name};
+  for (const DesignPointReport& p : points) headers.push_back(p.kernel_name);
+  TextTable table(std::move(headers));
+
+  auto kilo = [](double v) {  // base-2 kilo, like the paper's "1K = 1024"
+    return TextTable::integer(static_cast<long long>(std::llround(v / 1024.0)));
+  };
+
+  auto row = [&](const std::string& label, auto&& fn) {
+    std::vector<std::string> cells{label};
+    for (const DesignPointReport& p : points) cells.push_back(fn(p));
+    table.add_row(std::move(cells));
+  };
+
+  row("Compile options", [](const DesignPointReport& p) {
+    return p.options.to_string();
+  });
+  row("Logic utilization", [](const DesignPointReport& p) {
+    return TextTable::percent(p.fit.logic_utilization);
+  });
+  row("Registers", [&](const DesignPointReport& p) {
+    return kilo(p.fit.usage.registers) + " K/" +
+           kilo(device.capacity.registers) + " K";
+  });
+  row("Memory bits", [&](const DesignPointReport& p) {
+    return kilo(p.fit.usage.memory_bits) + " K/" +
+           kilo(device.capacity.memory_bits) + " K (" +
+           TextTable::percent(p.fit.memory_bit_utilization) + ")";
+  });
+  row("  including M9K", [&](const DesignPointReport& p) {
+    return TextTable::integer(static_cast<long long>(
+               std::llround(p.fit.usage.m9k))) +
+           "/" +
+           TextTable::integer(
+               static_cast<long long>(device.capacity.m9k)) +
+           " (" + TextTable::percent(p.fit.m9k_utilization) + ")";
+  });
+  row("DSP (18-bit)", [&](const DesignPointReport& p) {
+    return TextTable::integer(
+               static_cast<long long>(std::llround(p.fit.usage.dsp18))) +
+           "/" + kilo(device.capacity.dsp18) + " K (" +
+           TextTable::percent(p.fit.dsp_utilization) + ")";
+  });
+  row("Clock Frequency", [](const DesignPointReport& p) {
+    return TextTable::num(p.fmax_mhz, 2) + " MHz";
+  });
+  row("Power consumption (W)", [](const DesignPointReport& p) {
+    return TextTable::num(p.power.total(), 0);
+  });
+  row("Fits device", [](const DesignPointReport& p) {
+    return p.fit.fits ? std::string("yes") : std::string("NO");
+  });
+
+  return table.render();
+}
+
+}  // namespace binopt::fpga

@@ -1,0 +1,34 @@
+// Fitter-summary reporting: renders Table I-style resource-usage reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/clock_model.h"
+#include "fpga/fitter.h"
+#include "fpga/power_model.h"
+
+namespace binopt::fpga {
+
+/// One fully characterised design point (what one Table I column shows).
+struct DesignPointReport {
+  std::string kernel_name;
+  CompileOptions options;
+  FitResult fit;
+  double fmax_mhz = 0.0;
+  PowerBreakdown power;
+};
+
+/// Runs fitter + clock + power models for one design point.
+DesignPointReport characterize(const Fitter& fitter, const ClockModel& clock,
+                               const PowerModel& power, const KernelIR& kernel,
+                               const CompileOptions& options,
+                               const FitCalibration& calibration = {});
+
+/// Renders a Table I-shaped text table (rows = resources, one column per
+/// design point), matching the paper's row set: logic utilization,
+/// registers, memory bits (incl. M9K count), DSP, clock frequency, power.
+std::string render_resource_table(const std::vector<DesignPointReport>& points,
+                                  const FpgaDeviceSpec& device);
+
+}  // namespace binopt::fpga

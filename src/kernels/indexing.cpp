@@ -1,0 +1,17 @@
+#include "kernels/indexing.h"
+
+#include <cmath>
+
+namespace binopt::kernels {
+
+std::size_t level_of(std::size_t id) {
+  // Solve t(t+1)/2 <= id: t = floor((sqrt(8 id + 1) - 1) / 2), then fix up
+  // any floating-point slop at triangular-number boundaries.
+  auto t = static_cast<std::size_t>(
+      (std::sqrt(8.0 * static_cast<double>(id) + 1.0) - 1.0) / 2.0);
+  while (node_id(t + 1, 0) <= id) ++t;
+  while (t > 0 && node_id(t, 0) > id) --t;
+  return t;
+}
+
+}  // namespace binopt::kernels

@@ -1,0 +1,70 @@
+// Flattened-tree indexing for the dataflow kernel (paper Section IV-A,
+// Figure 3).
+//
+// Kernel IV.A enqueues one work-item per interior tree node, with the tree
+// flattened into a linear array. We lay levels out root-first:
+//
+//   id(t, k) = t(t+1)/2 + k,   t in [0, N-1], k in [0, t]
+//
+// (k counts up-moves, so (t+1, k) is the down-child and (t+1, k+1) the
+// up-child). The two children of node id sit at id + t + 1 and id + t + 2,
+// and — because level N-1's children are the tree leaves — those formulas
+// run seamlessly into a leaf region appended after the interior nodes at
+// [nodes, nodes + N]. The host writes each entering option's leaves there,
+// which is exactly the paper's host-initialised-leaves arrangement.
+//
+// Note on the paper's formulas: Section IV-A gives read address (Id+N-t)
+// and write address (Id+N+1), with Figure 3 numbering ids root-first but
+// the text describing ids starting "at the (2,2) position" — the two are
+// inconsistent, so we implement the root-first layout of Figure 3 with
+// child addressing derived from it. The structural properties the paper
+// relies on are preserved: one work-item per node, reads resolve to the
+// previous batch's ping-pong buffer, writes go to the other buffer, and
+// the read address is a function of the work-item's time step (stored in
+// a constant buffer, as in the paper).
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.h"
+
+namespace binopt::kernels {
+
+/// Interior-node count of an N-step tree: N(N+1)/2 (levels 0..N-1).
+[[nodiscard]] constexpr std::size_t interior_nodes(std::size_t steps) {
+  return steps * (steps + 1) / 2;
+}
+
+/// Total ping-pong buffer length: interior nodes plus the leaf region.
+[[nodiscard]] constexpr std::size_t pingpong_length(std::size_t steps) {
+  return interior_nodes(steps) + steps + 1;
+}
+
+/// Flattened id of node (t, k).
+[[nodiscard]] constexpr std::size_t node_id(std::size_t t, std::size_t k) {
+  return t * (t + 1) / 2 + k;
+}
+
+/// Time step of a flattened id (inverse triangular root).
+[[nodiscard]] std::size_t level_of(std::size_t id);
+
+/// Up-move index k of a flattened id.
+[[nodiscard]] inline std::size_t k_of(std::size_t id, std::size_t t) {
+  return id - node_id(t, 0);
+}
+
+/// Read address of the down-child (same k, next level) — the up-child is
+/// at down_child + 1. Works for leaf children too (leaf region).
+[[nodiscard]] constexpr std::size_t down_child(std::size_t id, std::size_t t) {
+  return id + t + 1;
+}
+
+/// Which option (by enqueue order) a node at level t processes in batch b;
+/// negative means the pipeline has not reached this level yet.
+[[nodiscard]] inline long long option_in_flight(long long batch,
+                                                long long level,
+                                                long long steps) {
+  return batch - (steps - 1 - level);
+}
+
+}  // namespace binopt::kernels

@@ -1,0 +1,83 @@
+#include "kernels/ir_builders.h"
+
+#include "common/error.h"
+
+namespace binopt::kernels {
+
+namespace {
+using fpga::AccessSite;
+using fpga::MemSpace;
+using fpga::OpInstance;
+using fpga::OpKind;
+using fpga::Precision;
+using fpga::Section;
+}  // namespace
+
+fpga::KernelIR kernel_a_ir(std::size_t steps, Precision precision) {
+  BINOPT_REQUIRE(steps >= 1, "kernel A IR needs at least one step");
+  fpga::KernelIR ir;
+  ir.name = "binomial_node_dataflow";
+  ir.precision = precision;
+  ir.coalescing_fifos = true;
+  ir.loop_trip_count = 1.0;
+  ir.private_doubles = 8;  // u, rp, rq, K, sign, s, continuation, value
+
+  // Straight-line datapath (kernel_a.cpp body):
+  //   s = s_child * u; continuation = rp*v_up + rq*v_down;
+  //   exercise = max(sign*(s-K), 0); value = max(exercise, continuation).
+  ir.ops = {
+      OpInstance{OpKind::kFMul, precision, Section::kStraightLine, 4.0},
+      OpInstance{OpKind::kFAdd, precision, Section::kStraightLine, 2.0},
+      OpInstance{OpKind::kFMax, precision, Section::kStraightLine, 2.0},
+      OpInstance{OpKind::kIAdd, precision, Section::kStraightLine, 4.0},
+      OpInstance{OpKind::kIMul, precision, Section::kStraightLine, 2.0},
+  };
+
+  // Global access sites: tstep constant, 5 parameter words (2 coalesced
+  // LSU sites), s_child, v_down, v_up loads; s and v stores.
+  ir.accesses = {
+      AccessSite{MemSpace::kGlobal, false, Section::kStraightLine, 4, 1.0},
+      AccessSite{MemSpace::kGlobal, false, Section::kStraightLine, 8, 5.0},
+      AccessSite{MemSpace::kGlobal, true, Section::kStraightLine, 8, 2.0},
+  };
+  return ir;
+}
+
+fpga::KernelIR kernel_b_ir(std::size_t steps, Precision precision) {
+  BINOPT_REQUIRE(steps >= 2, "kernel B IR needs at least two steps");
+  fpga::KernelIR ir;
+  ir.name = "binomial_workgroup_option";
+  ir.precision = precision;
+  ir.coalescing_fifos = false;
+  ir.loop_trip_count = static_cast<double>(steps);
+  ir.private_doubles = 7;  // s0, u, rp, rq, K, sign, s_priv
+
+  ir.ops = {
+      // Leaf initialisation (straight-line): pow + payoff.
+      OpInstance{OpKind::kFPow, precision, Section::kStraightLine, 1.0},
+      OpInstance{OpKind::kFMul, precision, Section::kStraightLine, 2.0},
+      OpInstance{OpKind::kFAdd, precision, Section::kStraightLine, 1.0},
+      OpInstance{OpKind::kFMax, precision, Section::kStraightLine, 1.0},
+      // Backward-loop body: s*=u, continuation, payoff, select.
+      OpInstance{OpKind::kFMul, precision, Section::kLoopBody, 3.0},
+      OpInstance{OpKind::kFAdd, precision, Section::kLoopBody, 2.0},
+      OpInstance{OpKind::kFMax, precision, Section::kLoopBody, 2.0},
+      OpInstance{OpKind::kIAdd, precision, Section::kLoopBody, 2.0},
+  };
+
+  // Global traffic is minimal: parameter record in, one result out.
+  ir.accesses = {
+      AccessSite{MemSpace::kGlobal, false, Section::kStraightLine, 8, 2.0},
+      AccessSite{MemSpace::kGlobal, true, Section::kStraightLine, 8, 1.0},
+      // Local row accesses inside the loop (2 loads + 1 store).
+      AccessSite{MemSpace::kLocal, false, Section::kLoopBody, 8, 2.0},
+      AccessSite{MemSpace::kLocal, true, Section::kLoopBody, 8, 1.0},
+  };
+
+  ir.local_buffers = {
+      fpga::LocalBuffer{steps + 1, 8, /*access_sites=*/3.0},
+  };
+  return ir;
+}
+
+}  // namespace binopt::kernels

@@ -1,0 +1,27 @@
+// Dataflow-IR descriptions of the two kernels for the FPGA toolchain
+// model — the operator mixes, memory access sites and local buffers of
+// the bodies implemented in kernel_a.cpp / kernel_b.cpp, expressed in the
+// form the fitter consumes. Keep these in sync with the functional code.
+#pragma once
+
+#include <cstddef>
+
+#include "fpga/ir.h"
+#include "kernels/math_mode.h"
+
+namespace binopt::kernels {
+
+/// IR of the per-node dataflow kernel (IV.A). No loop, no local memory,
+/// burst-coalescing FIFOs on its many global access sites.
+[[nodiscard]] fpga::KernelIR kernel_a_ir(std::size_t steps,
+                                         fpga::Precision precision =
+                                             fpga::Precision::kDouble);
+
+/// IR of the work-group-per-option kernel (IV.B): pow-based leaf
+/// initialisation (straight-line), an N-trip backward loop, and a local
+/// value row of N+1 words.
+[[nodiscard]] fpga::KernelIR kernel_b_ir(std::size_t steps,
+                                         fpga::Precision precision =
+                                             fpga::Precision::kDouble);
+
+}  // namespace binopt::kernels

@@ -1,0 +1,62 @@
+// Kernel IV.A — the straightforward dataflow implementation (Section IV-A).
+//
+// One work-item computes one tree node. The full flattened tree of
+// N(N+1)/2 work-items is enqueued every batch; each level of the tree
+// holds a different in-flight option, so N+1 options are pipelined at
+// once. Node values flow between batches through ping-pong global buffers
+// (one read, one written, switched by the host every batch), and the host
+// executes the paper's four per-batch instructions: initialise the
+// entering option's data, write it to global memory, enqueue the kernels,
+// and read results back from global memory.
+//
+// The tree leaves are computed BY THE HOST (iterative multiplication, no
+// pow) and written into the read buffer's leaf region — which is why this
+// kernel has no Power-operator accuracy problem (Section V-C).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "finance/binomial.h"
+#include "finance/option.h"
+#include "kernels/indexing.h"
+#include "ocl/context.h"
+#include "ocl/queue.h"
+
+namespace binopt::kernels {
+
+/// Outcome of one kernel IV.A run.
+struct KernelAResult {
+  std::vector<double> prices;   ///< per option, in input order
+  ocl::RuntimeStats stats;      ///< device counters for this run
+  std::size_t batches = 0;      ///< host iterations executed
+  std::size_t work_items_per_batch = 0;
+};
+
+/// Builds the per-node OpenCL kernel for an N-step tree.
+[[nodiscard]] ocl::Kernel make_kernel_a(std::size_t steps);
+
+/// The host program of kernel IV.A.
+class KernelAHostProgram {
+public:
+  struct Config {
+    std::size_t steps = 1024;
+    bool reduced_reads = false;  ///< the modified (14x) variant: read only
+                                 ///< the completed option, not the buffer
+    finance::ParamConvention convention = finance::ParamConvention::kStandardCrr;
+  };
+
+  KernelAHostProgram(ocl::Device& device, Config config);
+
+  /// Prices a batch of options through the dataflow pipeline.
+  [[nodiscard]] KernelAResult run(
+      const std::vector<finance::OptionSpec>& options);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+private:
+  ocl::Device& device_;
+  Config config_;
+};
+
+}  // namespace binopt::kernels

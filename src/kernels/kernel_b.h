@@ -1,0 +1,70 @@
+// Kernel IV.B — the optimized implementation (Section IV-B, Figure 4).
+//
+// Task-based parallelism: one work-group prices one option (a full
+// binomial tree); work-item k owns tree row k. Option parameters and the
+// running asset price S(t,k) live in PRIVATE memory; the shared value row
+// V(t, .) lives in LOCAL memory, updated in place between barriers (a
+// temporary copy per work-item avoids read/write conflicts — the paper's
+// replacement for ping-pong buffers, since local memory is scarce).
+//
+// Host-device interaction is the paper's three commands: write all option
+// parameters to global memory, enqueue N x Nop work-items, read all
+// results back when the full workload has been processed.
+//
+// The tree leaves are initialised ON THE DEVICE with the pow operator —
+// which is where the Altera 13.0 Power-operator inaccuracy (RMSE ~1e-3)
+// enters on the FPGA (MathMode::kFpgaApproxPow); the GPU build of the
+// same kernel is exact (MathMode::kExactDouble).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "finance/binomial.h"
+#include "finance/option.h"
+#include "kernels/math_mode.h"
+#include "ocl/context.h"
+#include "ocl/queue.h"
+
+namespace binopt::kernels {
+
+struct KernelBResult {
+  std::vector<double> prices;  ///< per option, in input order
+  ocl::RuntimeStats stats;     ///< device counters for this run
+  std::size_t work_groups = 0;
+};
+
+/// Builds the work-group-per-option kernel for an N-step tree. With
+/// host_leaves the kernel body expects a third argument: the global leaf
+/// buffer written by the host.
+[[nodiscard]] ocl::Kernel make_kernel_b(std::size_t steps, MathMode mode,
+                                        bool host_leaves = false);
+
+class KernelBHostProgram {
+public:
+  struct Config {
+    std::size_t steps = 1024;
+    MathMode mode = MathMode::kExactDouble;
+    finance::ParamConvention convention = finance::ParamConvention::kStandardCrr;
+    /// The paper's Power-operator fallback (Section V-C): "the values at
+    /// the leaves will have to be computed on the host and sent to global
+    /// memory, to be then copied in local memory, to the detriment of
+    /// speed." When set, leaves are host-computed (exact, no pow) and the
+    /// kernel copies them global -> local instead of initialising them
+    /// on-device.
+    bool host_leaves = false;
+  };
+
+  KernelBHostProgram(ocl::Device& device, Config config);
+
+  [[nodiscard]] KernelBResult run(
+      const std::vector<finance::OptionSpec>& options);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+private:
+  ocl::Device& device_;
+  Config config_;
+};
+
+}  // namespace binopt::kernels

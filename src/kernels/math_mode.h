@@ -1,0 +1,27 @@
+// Numeric mode a functional kernel runs in — selects the device's
+// arithmetic behaviour for the accuracy experiments.
+#pragma once
+
+#include <string>
+
+namespace binopt::kernels {
+
+enum class MathMode {
+  kExactDouble,   ///< IEEE double throughout (GPU / fixed compiler)
+  kFpgaApproxPow, ///< double datapath, Altera-13.0-style pow (kernel IV.B on FPGA)
+  kSingle,        ///< single-precision datapath (GPU single runs)
+  kFixedPoint,    ///< Q17.46 fixed-point datapath (the paper's untaken
+                  ///< "custom data types" alternative; bench_custom_types)
+};
+
+[[nodiscard]] inline std::string to_string(MathMode mode) {
+  switch (mode) {
+    case MathMode::kExactDouble: return "double";
+    case MathMode::kFpgaApproxPow: return "double+approx-pow";
+    case MathMode::kSingle: return "single";
+    case MathMode::kFixedPoint: return "fixed-q17.46";
+  }
+  return "unknown";
+}
+
+}  // namespace binopt::kernels

@@ -1,0 +1,12 @@
+#include "ocl/buffer.h"
+
+#include <utility>
+
+namespace binopt::ocl {
+
+Buffer::Buffer(std::size_t bytes, MemFlags flags, std::string name)
+    : storage_(bytes), flags_(flags), name_(std::move(name)) {
+  BINOPT_REQUIRE(bytes > 0, "buffer '", name_, "' must be non-empty");
+}
+
+}  // namespace binopt::ocl

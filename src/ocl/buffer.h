@@ -1,0 +1,87 @@
+// Global-memory buffer objects (the simulator's cl_mem).
+//
+// A Buffer lives in a device's modelled global memory. Host access goes
+// through the command queue (enqueue_write/enqueue_read) so PCIe traffic is
+// accounted; kernel access goes through GlobalSpan handed out by the
+// work-item context so global load/store traffic is accounted per element.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "ocl/stats.h"
+#include "ocl/types.h"
+
+namespace binopt::ocl {
+
+class Buffer {
+public:
+  Buffer(std::size_t bytes, MemFlags flags, std::string name);
+
+  [[nodiscard]] std::size_t size_bytes() const { return storage_.size(); }
+  [[nodiscard]] MemFlags flags() const { return flags_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Raw storage access — used by the queue (host transfers) and the
+  /// work-item context (kernel accessors). Not for direct application use.
+  [[nodiscard]] std::byte* data() { return storage_.data(); }
+  [[nodiscard]] const std::byte* data() const { return storage_.data(); }
+
+  /// Number of elements of T the buffer can hold.
+  template <typename T>
+  [[nodiscard]] std::size_t count() const {
+    return storage_.size() / sizeof(T);
+  }
+
+private:
+  std::vector<std::byte> storage_;
+  MemFlags flags_;
+  std::string name_;
+};
+
+/// Typed, traffic-counted kernel view of a Buffer's global memory.
+///
+/// Loads and stores are explicit (get/set) rather than via references so
+/// every access is observable — this mirrors the discipline OpenCL kernels
+/// follow anyway and is what makes the Figure 3 / Figure 4 traffic series
+/// measurable.
+template <typename T>
+class GlobalSpan {
+public:
+  GlobalSpan(Buffer& buffer, RuntimeStats& stats)
+      : data_(reinterpret_cast<T*>(buffer.data())),
+        count_(buffer.count<T>()),
+        flags_(buffer.flags()),
+        stats_(&stats) {}
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  [[nodiscard]] T get(std::size_t i) const {
+    BINOPT_REQUIRE(i < count_, "global load out of bounds: ", i, " >= ",
+                   count_);
+    BINOPT_REQUIRE(flags_ != MemFlags::kWriteOnly,
+                   "global load from a write-only buffer");
+    stats_->global_load_bytes += sizeof(T);
+    return data_[i];
+  }
+
+  void set(std::size_t i, T value) {
+    BINOPT_REQUIRE(i < count_, "global store out of bounds: ", i, " >= ",
+                   count_);
+    BINOPT_REQUIRE(flags_ != MemFlags::kReadOnly,
+                   "global store to a read-only buffer");
+    stats_->global_store_bytes += sizeof(T);
+    data_[i] = value;
+  }
+
+private:
+  T* data_;
+  std::size_t count_;
+  MemFlags flags_;
+  RuntimeStats* stats_;
+};
+
+}  // namespace binopt::ocl

@@ -1,0 +1,27 @@
+#include "ocl/context.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace binopt::ocl {
+
+Context::Context(Device& device) : device_(device) {}
+
+Buffer& Context::create_buffer(std::size_t bytes, MemFlags flags,
+                               std::string name) {
+  BINOPT_REQUIRE(allocated_ + bytes <= device_.limits().global_mem_bytes,
+                 "global memory exhausted on '", device_.name(),
+                 "': allocating ", bytes, " bytes on top of ", allocated_,
+                 " exceeds ", device_.limits().global_mem_bytes);
+  buffers_.push_back(std::make_unique<Buffer>(bytes, flags, std::move(name)));
+  allocated_ += bytes;
+  return *buffers_.back();
+}
+
+void Context::release_all() {
+  buffers_.clear();
+  allocated_ = 0;
+}
+
+}  // namespace binopt::ocl

@@ -1,0 +1,45 @@
+// Context: the owner of buffers for one device (the simulator's cl_context).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ocl/buffer.h"
+#include "ocl/device.h"
+
+namespace binopt::ocl {
+
+class Context {
+public:
+  explicit Context(Device& device);
+
+  [[nodiscard]] Device& device() { return device_; }
+  [[nodiscard]] const Device& device() const { return device_; }
+
+  /// Allocates a buffer in the device's global memory. Throws when the
+  /// cumulative allocation exceeds the device's global memory size (the
+  /// DE4's 2 GiB DDR2 is a real constraint for kernel IV.A's ping-pong
+  /// buffers at large N).
+  Buffer& create_buffer(std::size_t bytes, MemFlags flags, std::string name);
+
+  /// Typed convenience: buffer sized for `count` elements of T.
+  template <typename T>
+  Buffer& create_buffer_of(std::size_t count, MemFlags flags,
+                           std::string name) {
+    return create_buffer(count * sizeof(T), flags, std::move(name));
+  }
+
+  /// Releases every buffer (global memory back to zero allocated).
+  void release_all();
+
+  [[nodiscard]] std::size_t allocated_bytes() const { return allocated_; }
+  [[nodiscard]] std::size_t buffer_count() const { return buffers_.size(); }
+
+private:
+  Device& device_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::size_t allocated_ = 0;
+};
+
+}  // namespace binopt::ocl

@@ -1,0 +1,27 @@
+#include "ocl/device.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace binopt::ocl {
+
+Device::Device(std::string name, DeviceKind kind, DeviceLimits limits)
+    : name_(std::move(name)),
+      kind_(kind),
+      limits_(limits),
+      executor_(limits.local_mem_bytes, limits.max_workgroup_size) {
+  BINOPT_REQUIRE(limits_.global_mem_bytes > 0, "device '", name_,
+                 "' must have global memory");
+  BINOPT_REQUIRE(limits_.local_mem_bytes > 0, "device '", name_,
+                 "' must have local memory");
+  BINOPT_REQUIRE(limits_.max_workgroup_size > 0, "device '", name_,
+                 "' must allow work-groups");
+}
+
+void Device::execute(const Kernel& kernel, const KernelArgs& args,
+                     NDRange range) {
+  executor_.execute(kernel, args, range, stats_);
+}
+
+}  // namespace binopt::ocl

@@ -1,0 +1,49 @@
+// Simulated OpenCL devices.
+//
+// An ocl::Device enforces the *functional* limits OpenCL exposes to the
+// programmer (local memory size, max work-group size, global memory size)
+// and owns the execution engine and traffic counters. Microarchitectural
+// parameters used for timing/energy (ALU counts, bandwidths, TDP) live in
+// src/devices/ and src/perf/ — the functional runtime does not need them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "ocl/stats.h"
+#include "ocl/types.h"
+#include "ocl/workgroup_executor.h"
+
+namespace binopt::ocl {
+
+/// Functional limits a device advertises (clGetDeviceInfo subset).
+struct DeviceLimits {
+  std::size_t global_mem_bytes = 0;
+  std::size_t local_mem_bytes = 0;
+  std::size_t max_workgroup_size = 0;
+};
+
+class Device {
+public:
+  Device(std::string name, DeviceKind kind, DeviceLimits limits);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] DeviceKind kind() const { return kind_; }
+  [[nodiscard]] const DeviceLimits& limits() const { return limits_; }
+
+  [[nodiscard]] RuntimeStats& stats() { return stats_; }
+  [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  /// Runs one NDRange synchronously (called by CommandQueue).
+  void execute(const Kernel& kernel, const KernelArgs& args, NDRange range);
+
+private:
+  std::string name_;
+  DeviceKind kind_;
+  DeviceLimits limits_;
+  RuntimeStats stats_;
+  WorkGroupExecutor executor_;
+};
+
+}  // namespace binopt::ocl

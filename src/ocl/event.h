@@ -1,0 +1,25 @@
+// Command events — the simulator's cl_event profiling records.
+//
+// Each enqueued command produces an Event describing what moved or ran.
+// The functional simulator does not invent wall-clock times; the perf
+// layer derives modelled durations from these records plus device models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ocl/types.h"
+
+namespace binopt::ocl {
+
+struct Event {
+  std::uint64_t sequence = 0;    ///< monotonically increasing per queue
+  CommandKind kind = CommandKind::kNDRangeKernel;
+  std::string label;             ///< buffer or kernel name
+  std::uint64_t bytes = 0;       ///< transfer size (0 for kernel launches)
+  std::uint64_t work_items = 0;  ///< NDRange size (0 for transfers)
+  std::uint64_t work_groups = 0; ///< group count (0 for transfers)
+  bool completed = false;        ///< command has actually executed
+};
+
+}  // namespace binopt::ocl

@@ -1,0 +1,101 @@
+#include "ocl/fiber.h"
+
+namespace binopt::ocl {
+
+namespace {
+// makecontext() only passes int arguments portably; hand the Fiber pointer
+// to the trampoline through a thread-local instead. Safe because a fiber is
+// always resumed from its creating thread and the value is consumed
+// immediately on first entry.
+thread_local Fiber* g_entering_fiber = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::size_t stack_bytes) : stack_(stack_bytes) {
+  BINOPT_REQUIRE(stack_bytes >= 16 * 1024, "fiber stack too small: ",
+                 stack_bytes, " bytes");
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::start(Fn fn) {
+  BINOPT_REQUIRE(done_, "cannot re-start a fiber that is still running");
+  BINOPT_REQUIRE(static_cast<bool>(fn), "fiber function must be callable");
+  fn_ = std::move(fn);
+  done_ = false;
+  entered_ = false;
+  pending_exception_ = nullptr;
+
+  BINOPT_ENSURE(getcontext(&fiber_ctx_) == 0, "getcontext failed");
+  fiber_ctx_.uc_stack.ss_sp = stack_.data();
+  fiber_ctx_.uc_stack.ss_size = stack_.size();
+  fiber_ctx_.uc_link = &caller_ctx_;
+  makecontext(&fiber_ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_entering_fiber;
+  g_entering_fiber = nullptr;
+  try {
+    self->fn_();
+  } catch (...) {
+    self->pending_exception_ = std::current_exception();
+  }
+  self->done_ = true;
+  // Return through the jmp_buf of the MOST RECENT resume() call — never
+  // via uc_link, which would unwind into the stale stack frame of the
+  // first resume() invocation.
+  _longjmp(self->caller_jmp_, 1);
+}
+
+bool Fiber::resume() {
+  BINOPT_REQUIRE(!done_, "cannot resume a finished fiber");
+  // ucontext's swapcontext saves/restores the signal mask (a syscall per
+  // switch, microseconds); after the first entry we switch with
+  // _setjmp/_longjmp instead, which stay in user space (~tens of ns).
+  // The ucontext path is only used to bootstrap the fiber's stack and to
+  // unwind back to the caller when the body returns.
+  if (_setjmp(caller_jmp_) == 0) {
+    if (!entered_) {
+      entered_ = true;
+      g_entering_fiber = this;
+      BINOPT_ENSURE(swapcontext(&caller_ctx_, &fiber_ctx_) == 0,
+                    "swapcontext into fiber failed");
+      // Not reached: the fiber always comes back via longjmp(caller_jmp_).
+      throw InvariantError("fiber returned through uc_link unexpectedly");
+    }
+    _longjmp(fiber_jmp_, 1);
+    // not reached
+  }
+  // A yield or body completion longjmp'ed us back here.
+  if (pending_exception_) {
+    std::exception_ptr e = pending_exception_;
+    pending_exception_ = nullptr;
+    fn_ = nullptr;
+    std::rethrow_exception(e);
+  }
+  if (done_) fn_ = nullptr;
+  return !done_;
+}
+
+void Fiber::yield() {
+  if (_setjmp(fiber_jmp_) == 0) {
+    _longjmp(caller_jmp_, 1);
+  }
+  // resumed
+}
+
+std::vector<Fiber*> FiberPool::acquire(std::size_t count) {
+  while (fibers_.size() < count) {
+    fibers_.push_back(std::make_unique<Fiber>(stack_bytes_));
+  }
+  std::vector<Fiber*> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    BINOPT_REQUIRE(fibers_[i]->done(),
+                   "fiber pool acquired while a previous group is running");
+    out.push_back(fibers_[i].get());
+  }
+  return out;
+}
+
+}  // namespace binopt::ocl

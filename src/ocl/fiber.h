@@ -1,0 +1,83 @@
+// Cooperative fibers — the execution vehicle for simulated work-items.
+//
+// OpenCL barriers require every work-item of a work-group to be suspended
+// and resumed at arbitrary points inside the kernel body. Threads would be
+// far too heavy at work-group size 1024; instead each work-item runs on a
+// ucontext-based fiber with its own small stack, scheduled round-robin by
+// the work-group executor. Stacks are pooled and reused across groups.
+#pragma once
+
+#include <setjmp.h>
+#include <ucontext.h>
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+
+namespace binopt::ocl {
+
+/// A single cooperative fiber. Not thread-safe: a fiber must always be
+/// resumed from the same thread that created it.
+class Fiber {
+public:
+  using Fn = std::function<void()>;
+
+  /// Creates a fiber with its own stack; it runs nothing until start().
+  explicit Fiber(std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Arms the fiber with a function. May be called again after the
+  /// previous function has finished (stack reuse).
+  void start(Fn fn);
+
+  /// Switches into the fiber until it yields or finishes.
+  /// Returns true while the fiber is still alive (yielded), false once the
+  /// function has returned. Rethrows any exception that escaped the body.
+  bool resume();
+
+  /// Called from *inside* the fiber body: returns control to resume().
+  void yield();
+
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] bool started() const { return static_cast<bool>(fn_); }
+
+  static constexpr std::size_t kDefaultStackBytes = 64 * 1024;
+
+private:
+  static void trampoline();
+
+  ucontext_t caller_ctx_{};  ///< bootstrap context (first entry only)
+  ucontext_t fiber_ctx_{};
+  jmp_buf caller_jmp_{};     ///< fast-switch state of the current resume()
+  jmp_buf fiber_jmp_{};      ///< fast-switch state of the last yield()
+  std::vector<std::byte> stack_;
+  Fn fn_;
+  bool done_ = true;
+  bool entered_ = false;
+  std::exception_ptr pending_exception_;
+};
+
+/// Reusable pool of fibers sized for one work-group at a time.
+class FiberPool {
+public:
+  explicit FiberPool(std::size_t stack_bytes = Fiber::kDefaultStackBytes)
+      : stack_bytes_(stack_bytes) {}
+
+  /// Ensures at least `count` fibers exist and returns them.
+  std::vector<Fiber*> acquire(std::size_t count);
+
+  [[nodiscard]] std::size_t size() const { return fibers_.size(); }
+
+private:
+  std::size_t stack_bytes_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+};
+
+}  // namespace binopt::ocl

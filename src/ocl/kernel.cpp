@@ -1,0 +1,53 @@
+#include "ocl/kernel.h"
+
+namespace binopt::ocl {
+
+void KernelArgs::set(std::size_t index, Value value) {
+  if (index >= args_.size()) args_.resize(index + 1);
+  args_[index] = std::move(value);
+}
+
+const KernelArgs::Value& KernelArgs::at(std::size_t index) const {
+  BINOPT_REQUIRE(index < args_.size() && args_[index].has_value(),
+                 "kernel argument ", index, " is not bound");
+  return *args_[index];
+}
+
+Buffer& KernelArgs::buffer(std::size_t index) const {
+  const Value& v = at(index);
+  BINOPT_REQUIRE(std::holds_alternative<Buffer*>(v), "kernel argument ", index,
+                 " is not a buffer");
+  Buffer* b = std::get<Buffer*>(v);
+  BINOPT_ENSURE(b != nullptr, "null buffer bound at argument ", index);
+  return *b;
+}
+
+double KernelArgs::f64(std::size_t index) const {
+  const Value& v = at(index);
+  BINOPT_REQUIRE(std::holds_alternative<double>(v), "kernel argument ", index,
+                 " is not a double");
+  return std::get<double>(v);
+}
+
+std::int64_t KernelArgs::i64(std::size_t index) const {
+  const Value& v = at(index);
+  BINOPT_REQUIRE(std::holds_alternative<std::int64_t>(v), "kernel argument ",
+                 index, " is not an int64");
+  return std::get<std::int64_t>(v);
+}
+
+std::uint64_t KernelArgs::u64(std::size_t index) const {
+  const Value& v = at(index);
+  BINOPT_REQUIRE(std::holds_alternative<std::uint64_t>(v), "kernel argument ",
+                 index, " is not a uint64");
+  return std::get<std::uint64_t>(v);
+}
+
+void KernelArgs::validate_complete() const {
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    BINOPT_REQUIRE(args_[i].has_value(), "kernel argument ", i,
+                   " left unbound at launch");
+  }
+}
+
+}  // namespace binopt::ocl

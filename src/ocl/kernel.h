@@ -1,0 +1,56 @@
+// Kernel objects and argument binding (the simulator's cl_kernel).
+//
+// A kernel is a name plus a C++ callable invoked once per work-item with a
+// WorkItemCtx (ids, barriers, local memory) and its bound arguments.
+// Arguments are position-indexed like clSetKernelArg: buffers or scalars.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/error.h"
+#include "ocl/buffer.h"
+
+namespace binopt::ocl {
+
+class WorkItemCtx;  // defined in workgroup_executor.h
+
+/// Bound argument list for one kernel enqueue.
+class KernelArgs {
+public:
+  using Value = std::variant<Buffer*, double, std::int64_t, std::uint64_t>;
+
+  /// Binds argument `index` (gaps are allowed until launch time).
+  void set(std::size_t index, Value value);
+
+  [[nodiscard]] std::size_t size() const { return args_.size(); }
+
+  [[nodiscard]] Buffer& buffer(std::size_t index) const;
+  [[nodiscard]] double f64(std::size_t index) const;
+  [[nodiscard]] std::int64_t i64(std::size_t index) const;
+  [[nodiscard]] std::uint64_t u64(std::size_t index) const;
+
+  /// Throws unless every argument slot in [0, size) has been bound.
+  void validate_complete() const;
+
+private:
+  [[nodiscard]] const Value& at(std::size_t index) const;
+
+  std::vector<std::optional<Value>> args_;
+};
+
+/// A compiled kernel: body invoked once per work-item.
+struct Kernel {
+  std::string name;
+  std::function<void(WorkItemCtx&, const KernelArgs&)> body;
+  /// Kernels that never call barrier() may declare it and run on the
+  /// executor's direct-call fast path instead of fibers. A barrier()
+  /// inside such a kernel is detected and raises an error.
+  bool uses_barriers = true;
+};
+
+}  // namespace binopt::ocl

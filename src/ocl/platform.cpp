@@ -1,0 +1,56 @@
+#include "ocl/platform.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace binopt::ocl {
+
+Platform::Platform(std::string name) : name_(std::move(name)) {}
+
+Device& Platform::add_device(std::string name, DeviceKind kind,
+                             DeviceLimits limits) {
+  devices_.push_back(
+      std::make_unique<Device>(std::move(name), kind, limits));
+  return *devices_.back();
+}
+
+Device& Platform::device(std::size_t index) {
+  BINOPT_REQUIRE(index < devices_.size(), "device index ", index,
+                 " out of range (have ", devices_.size(), ")");
+  return *devices_[index];
+}
+
+Device& Platform::device_by_kind(DeviceKind kind) {
+  for (auto& d : devices_) {
+    if (d->kind() == kind) return *d;
+  }
+  throw PreconditionError("no device of kind " + to_string(kind) +
+                          " on platform " + name_);
+}
+
+std::unique_ptr<Platform> Platform::make_reference_platform() {
+  auto platform = std::make_unique<Platform>("binopt-sim");
+
+  // Host CPU: Xeon X5450 running the reference software. Local memory is
+  // a cache model placeholder; the CPU path never uses work-group local.
+  platform->add_device("Intel Xeon X5450 (sim)", DeviceKind::kCpu,
+                       DeviceLimits{16 * kGiB, 32 * kKiB, 1024});
+
+  // GPU: GTX660 Ti — 2 GiB GDDR5 global, 48 KiB L1-as-local per compute
+  // unit (paper Section V-A), work-groups up to 1024.
+  platform->add_device("NVIDIA GTX660 Ti (sim)", DeviceKind::kGpu,
+                       DeviceLimits{2 * kGiB, 48 * kKiB, 1024});
+
+  // FPGA: Terasic DE4, Stratix IV 4SGX530 — 2 GiB DDR2 global; local
+  // memory implemented in M9K RAM blocks. 32 KiB comfortably holds the
+  // optimized kernel's (N+1)-double row at N = 1024 plus temporaries.
+  platform->add_device("Terasic DE4 / Stratix IV 4SGX530 (sim)",
+                       DeviceKind::kFpga,
+                       DeviceLimits{2 * kGiB, 32 * kKiB, 1024});
+
+  return platform;
+}
+
+}  // namespace binopt::ocl

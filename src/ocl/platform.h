@@ -1,0 +1,39 @@
+// Platform: the root object enumerating simulated devices
+// (the simulator's cl_platform_id).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ocl/device.h"
+
+namespace binopt::ocl {
+
+class Platform {
+public:
+  explicit Platform(std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Registers a device and returns it.
+  Device& add_device(std::string name, DeviceKind kind, DeviceLimits limits);
+
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+  [[nodiscard]] Device& device(std::size_t index);
+
+  /// First device of the requested kind; throws if none exists.
+  [[nodiscard]] Device& device_by_kind(DeviceKind kind);
+
+  /// Builds the paper's test environment (Section V-A): one CPU device
+  /// (Xeon X5450 class host), one GPU device (GTX660 Ti class: 48 KiB
+  /// local per compute unit, 2 GiB global), and one FPGA device (DE4 /
+  /// Stratix IV: 2 GiB DDR2 global, M9K-backed local memory).
+  static std::unique_ptr<Platform> make_reference_platform();
+
+private:
+  std::string name_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace binopt::ocl

@@ -1,0 +1,58 @@
+// Program objects (the simulator's cl_program) with Altera-OpenCL-style
+// build options.
+//
+// The paper drives parallelisation entirely through compiler options
+// ("compiler directives can be used to either replicate entire hardware
+// pipelines or to vectorize the kernel execution ... it is also possible
+// to unroll any loop included in the kernel", Section V-B). A Program
+// bundles registered kernels with a build-options string in the Altera
+// attribute style and exposes the parsed fpga::CompileOptions so the same
+// source-of-truth reaches both the functional runtime and the toolchain
+// model.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "fpga/ir.h"
+#include "ocl/kernel.h"
+
+namespace binopt::ocl {
+
+/// Parses an Altera-style build-options string, e.g.
+///   "-DNUM_SIMD_WORK_ITEMS=4 -DNUM_COMPUTE_UNITS=1 -DUNROLL_FACTOR=2"
+/// Unknown -D defines are ignored (OpenCL semantics); malformed values
+/// throw. Missing options default to 1.
+[[nodiscard]] fpga::CompileOptions parse_build_options(std::string_view options);
+
+/// Renders options back to the canonical flag string (round-trips with
+/// parse_build_options).
+[[nodiscard]] std::string render_build_options(const fpga::CompileOptions& options);
+
+class Program {
+public:
+  /// "Builds" the program: parses and stores the option string.
+  explicit Program(std::string build_options = "");
+
+  [[nodiscard]] const fpga::CompileOptions& compile_options() const {
+    return compile_options_;
+  }
+  [[nodiscard]] const std::string& build_options() const {
+    return build_options_;
+  }
+
+  /// Registers a kernel under its name (clCreateKernel lookup).
+  void add_kernel(Kernel kernel);
+
+  [[nodiscard]] const Kernel& kernel(const std::string& name) const;
+  [[nodiscard]] bool has_kernel(const std::string& name) const;
+  [[nodiscard]] std::size_t kernel_count() const { return kernels_.size(); }
+
+private:
+  std::string build_options_;
+  fpga::CompileOptions compile_options_;
+  std::map<std::string, Kernel> kernels_;
+};
+
+}  // namespace binopt::ocl

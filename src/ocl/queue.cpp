@@ -1,0 +1,101 @@
+#include "ocl/queue.h"
+
+#include <utility>
+
+namespace binopt::ocl {
+
+CommandQueue::CommandQueue(Context& context, QueueMode mode)
+    : context_(context), mode_(mode) {}
+
+Event& CommandQueue::record(Event event) {
+  event.sequence = next_sequence_++;
+  events_.push_back(std::move(event));
+  return events_.back();
+}
+
+Event& CommandQueue::dispatch(Event event, std::function<void()> action) {
+  Event& recorded = record(std::move(event));
+  if (mode_ == QueueMode::kImmediate) {
+    action();
+    recorded.completed = true;
+  } else {
+    pending_.emplace_back(recorded.sequence, std::move(action));
+  }
+  return recorded;
+}
+
+void CommandQueue::finish() {
+  // In-order execution of everything enqueued since the last finish.
+  for (auto& [sequence, action] : pending_) {
+    action();
+    // Events may have been appended since this command was recorded, but
+    // sequences are dense from the front of the log.
+    for (Event& event : events_) {
+      if (event.sequence == sequence) {
+        event.completed = true;
+        break;
+      }
+    }
+  }
+  pending_.clear();
+}
+
+Event& CommandQueue::enqueue_write(Buffer& buffer,
+                                   std::span<const std::byte> src,
+                                   std::size_t offset_bytes) {
+  BINOPT_REQUIRE(offset_bytes + src.size() <= buffer.size_bytes(),
+                 "write overruns buffer '", buffer.name(), "': offset ",
+                 offset_bytes, " + ", src.size(), " > ", buffer.size_bytes());
+  Event event;
+  event.kind = CommandKind::kWriteBuffer;
+  event.label = buffer.name();
+  event.bytes = src.size();
+
+  Buffer* target = &buffer;
+  Device* device = &this->device();
+  return dispatch(std::move(event), [target, src, offset_bytes, device] {
+    std::memcpy(target->data() + offset_bytes, src.data(), src.size());
+    RuntimeStats& stats = device->stats();
+    stats.host_to_device_bytes += src.size();
+    ++stats.host_transfers;
+  });
+}
+
+Event& CommandQueue::enqueue_read(Buffer& buffer, std::span<std::byte> dst,
+                                  std::size_t offset_bytes) {
+  BINOPT_REQUIRE(offset_bytes + dst.size() <= buffer.size_bytes(),
+                 "read overruns buffer '", buffer.name(), "': offset ",
+                 offset_bytes, " + ", dst.size(), " > ", buffer.size_bytes());
+  Event event;
+  event.kind = CommandKind::kReadBuffer;
+  event.label = buffer.name();
+  event.bytes = dst.size();
+
+  Buffer* source = &buffer;
+  Device* device = &this->device();
+  return dispatch(std::move(event), [source, dst, offset_bytes, device] {
+    std::memcpy(dst.data(), source->data() + offset_bytes, dst.size());
+    RuntimeStats& stats = device->stats();
+    stats.device_to_host_bytes += dst.size();
+    ++stats.host_transfers;
+  });
+}
+
+Event& CommandQueue::enqueue_ndrange(const Kernel& kernel,
+                                     const KernelArgs& args, NDRange range) {
+  Event event;
+  event.kind = CommandKind::kNDRangeKernel;
+  event.label = kernel.name;
+  event.work_items = range.global_size;
+  event.work_groups = range.global_size / range.local_size;
+
+  Device* device = &this->device();
+  // Capture by value: the host may rebind args after enqueueing, exactly
+  // as clSetKernelArg may be called again once the command is queued.
+  return dispatch(std::move(event),
+                  [device, kernel, args, range] {
+                    device->execute(kernel, args, range);
+                  });
+}
+
+}  // namespace binopt::ocl

@@ -1,0 +1,100 @@
+// In-order command queue (the simulator's cl_command_queue).
+//
+// The host program drives all data movement explicitly, as the paper
+// stresses (Section III-C): writes and reads between host memory and the
+// device's global memory go through the queue so PCIe traffic is counted,
+// and kernel launches are dispatched to the device executor.
+//
+// Two execution modes, both valid OpenCL schedules:
+//  - kImmediate (default): each enqueue executes synchronously — the
+//    simplest deterministic schedule.
+//  - kDeferred: enqueues only record commands (like a real non-blocking
+//    clEnqueue*), and finish() executes them in order — the semantics the
+//    paper's host depends on when it overlaps memory operations with
+//    kernel batches. As with real OpenCL non-blocking reads, the host
+//    spans passed to deferred reads/writes must stay alive until
+//    finish().
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "ocl/context.h"
+#include "ocl/event.h"
+#include "ocl/kernel.h"
+
+namespace binopt::ocl {
+
+/// When queue commands actually execute.
+enum class QueueMode { kImmediate, kDeferred };
+
+class CommandQueue {
+public:
+  explicit CommandQueue(Context& context,
+                        QueueMode mode = QueueMode::kImmediate);
+
+  /// clEnqueueWriteBuffer: host -> device global memory.
+  Event& enqueue_write(Buffer& buffer, std::span<const std::byte> src,
+                       std::size_t offset_bytes = 0);
+
+  /// clEnqueueReadBuffer: device global memory -> host.
+  Event& enqueue_read(Buffer& buffer, std::span<std::byte> dst,
+                      std::size_t offset_bytes = 0);
+
+  /// Typed write helper.
+  template <typename T>
+  Event& write(Buffer& buffer, std::span<const T> src,
+               std::size_t offset_elems = 0) {
+    return enqueue_write(buffer, std::as_bytes(src),
+                         offset_elems * sizeof(T));
+  }
+
+  /// Typed read helper.
+  template <typename T>
+  Event& read(Buffer& buffer, std::span<T> dst, std::size_t offset_elems = 0) {
+    return enqueue_read(buffer, std::as_writable_bytes(dst),
+                        offset_elems * sizeof(T));
+  }
+
+  /// clEnqueueNDRangeKernel. In deferred mode the kernel and args are
+  /// captured by value (args may be rebound by the host afterwards).
+  Event& enqueue_ndrange(const Kernel& kernel, const KernelArgs& args,
+                         NDRange range);
+
+  /// clFinish — executes all pending commands (deferred mode) or is a
+  /// fidelity no-op (immediate mode).
+  void finish();
+
+  [[nodiscard]] QueueMode mode() const { return mode_; }
+  [[nodiscard]] std::size_t pending_commands() const {
+    return pending_.size();
+  }
+
+  /// Events are marked completed once their command has executed.
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  void clear_events() {
+    BINOPT_REQUIRE(pending_.empty(),
+                   "cannot clear events while commands are pending");
+    events_.clear();
+  }
+
+  [[nodiscard]] Context& context() { return context_; }
+  [[nodiscard]] Device& device() { return context_.device(); }
+
+private:
+  Event& record(Event event);
+
+  /// Runs `action` now (immediate) or stashes it for finish() (deferred).
+  Event& dispatch(Event event, std::function<void()> action);
+
+  Context& context_;
+  QueueMode mode_;
+  std::vector<Event> events_;
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> pending_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace binopt::ocl

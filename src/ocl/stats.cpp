@@ -1,0 +1,25 @@
+#include "ocl/stats.h"
+
+#include <sstream>
+
+#include "common/units.h"
+
+namespace binopt::ocl {
+
+std::string RuntimeStats::to_string() const {
+  std::ostringstream os;
+  os << "RuntimeStats{"
+     << "h2d=" << format_bytes(static_cast<double>(host_to_device_bytes))
+     << ", d2h=" << format_bytes(static_cast<double>(device_to_host_bytes))
+     << ", gld=" << format_bytes(static_cast<double>(global_load_bytes))
+     << ", gst=" << format_bytes(static_cast<double>(global_store_bytes))
+     << ", lld=" << format_bytes(static_cast<double>(local_load_bytes))
+     << ", lst=" << format_bytes(static_cast<double>(local_store_bytes))
+     << ", kernels=" << kernels_enqueued
+     << ", work_items=" << work_items_executed
+     << ", groups=" << work_groups_executed
+     << ", barriers=" << barriers_executed << "}";
+  return os.str();
+}
+
+}  // namespace binopt::ocl

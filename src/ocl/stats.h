@@ -1,0 +1,67 @@
+// Traffic and execution counters collected by the runtime simulator.
+//
+// These counters are the ground truth the performance models consume: the
+// paper's two kernels differ almost entirely in *where* their bytes move
+// (IV.A: everything through global memory + a full ping-pong readback per
+// batch; IV.B: leaves/rows in local + private memory, global touched once),
+// and the counters make that difference measurable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace binopt::ocl {
+
+/// Aggregated counters for one device (resettable between experiments).
+struct RuntimeStats {
+  // Host <-> device transfers (bytes over PCIe in the modelled systems).
+  std::uint64_t host_to_device_bytes = 0;
+  std::uint64_t device_to_host_bytes = 0;
+  std::uint64_t host_transfers = 0;
+
+  // Kernel-side memory traffic (element accesses x element size).
+  std::uint64_t global_load_bytes = 0;
+  std::uint64_t global_store_bytes = 0;
+  std::uint64_t local_load_bytes = 0;
+  std::uint64_t local_store_bytes = 0;
+
+  // Execution structure.
+  std::uint64_t kernels_enqueued = 0;
+  std::uint64_t work_items_executed = 0;
+  std::uint64_t work_groups_executed = 0;
+  std::uint64_t barriers_executed = 0;  ///< one per work-item per barrier
+
+  void reset() { *this = RuntimeStats{}; }
+
+  /// Counter-wise difference (for per-run deltas of cumulative counters).
+  [[nodiscard]] RuntimeStats minus(const RuntimeStats& earlier) const {
+    RuntimeStats d;
+    d.host_to_device_bytes = host_to_device_bytes - earlier.host_to_device_bytes;
+    d.device_to_host_bytes = device_to_host_bytes - earlier.device_to_host_bytes;
+    d.host_transfers = host_transfers - earlier.host_transfers;
+    d.global_load_bytes = global_load_bytes - earlier.global_load_bytes;
+    d.global_store_bytes = global_store_bytes - earlier.global_store_bytes;
+    d.local_load_bytes = local_load_bytes - earlier.local_load_bytes;
+    d.local_store_bytes = local_store_bytes - earlier.local_store_bytes;
+    d.kernels_enqueued = kernels_enqueued - earlier.kernels_enqueued;
+    d.work_items_executed = work_items_executed - earlier.work_items_executed;
+    d.work_groups_executed = work_groups_executed - earlier.work_groups_executed;
+    d.barriers_executed = barriers_executed - earlier.barriers_executed;
+    return d;
+  }
+
+  [[nodiscard]] std::uint64_t total_global_bytes() const {
+    return global_load_bytes + global_store_bytes;
+  }
+  [[nodiscard]] std::uint64_t total_local_bytes() const {
+    return local_load_bytes + local_store_bytes;
+  }
+  [[nodiscard]] std::uint64_t total_pcie_bytes() const {
+    return host_to_device_bytes + device_to_host_bytes;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace binopt::ocl

@@ -1,0 +1,23 @@
+#include "ocl/types.h"
+
+namespace binopt::ocl {
+
+std::string to_string(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kCpu: return "cpu";
+    case DeviceKind::kGpu: return "gpu";
+    case DeviceKind::kFpga: return "fpga";
+  }
+  return "unknown";
+}
+
+std::string to_string(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kWriteBuffer: return "write_buffer";
+    case CommandKind::kReadBuffer: return "read_buffer";
+    case CommandKind::kNDRangeKernel: return "ndrange_kernel";
+  }
+  return "unknown";
+}
+
+}  // namespace binopt::ocl

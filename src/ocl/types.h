@@ -1,0 +1,48 @@
+// Shared vocabulary types of the OpenCL-like runtime simulator.
+//
+// The simulator reproduces the OpenCL 1.1 execution and memory model the
+// paper programs against (Section III-C): host + devices, command queues,
+// global/local/private memory, NDRange kernel dispatch with work-groups
+// and in-group barriers. It is a *functional* simulator — numerics, memory
+// traffic, and synchronisation are real; wall-clock timing is supplied by
+// the analytic models in src/perf/.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace binopt::ocl {
+
+/// Kind of modelled device, matching the paper's three targets.
+enum class DeviceKind {
+  kCpu,   ///< host-class CPU (reference software target)
+  kGpu,   ///< GPU accelerator (GTX660 Ti class)
+  kFpga,  ///< FPGA accelerator (DE4 / Stratix IV class)
+};
+
+[[nodiscard]] std::string to_string(DeviceKind kind);
+
+/// Buffer access intent, mirroring CL_MEM_* flags.
+enum class MemFlags {
+  kReadWrite,
+  kReadOnly,   ///< kernel may only load
+  kWriteOnly,  ///< kernel may only store
+};
+
+/// 1-D NDRange: the paper's kernels are both 1-D enqueues.
+struct NDRange {
+  std::size_t global_size = 0;  ///< total number of work-items
+  std::size_t local_size = 0;   ///< work-group size (must divide global)
+};
+
+/// Kinds of commands a queue can execute (for event bookkeeping).
+enum class CommandKind {
+  kWriteBuffer,
+  kReadBuffer,
+  kNDRangeKernel,
+};
+
+[[nodiscard]] std::string to_string(CommandKind kind);
+
+}  // namespace binopt::ocl

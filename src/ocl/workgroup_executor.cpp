@@ -1,0 +1,154 @@
+#include "ocl/workgroup_executor.h"
+
+namespace binopt::ocl {
+
+void WorkItemCtx::barrier() {
+  BINOPT_REQUIRE(fiber_ != nullptr,
+                 "barrier() in a kernel declared with uses_barriers=false "
+                 "(or outside kernel execution)");
+  state_ = detail::ItemState::kAtBarrier;
+  ++group_->stats->barriers_executed;
+  fiber_->yield();
+  // If a sibling work-item threw while we were parked, unwind this
+  // work-item's stack too so the fiber (and its RAII state) finishes
+  // cleanly and the pool stays reusable.
+  if (group_->aborting) throw detail::KernelAborted{};
+}
+
+WorkGroupExecutor::WorkGroupExecutor(std::size_t local_mem_bytes,
+                                     std::size_t max_workgroup_size,
+                                     std::size_t stack_bytes)
+    : local_mem_bytes_(local_mem_bytes),
+      max_workgroup_size_(max_workgroup_size),
+      pool_(stack_bytes) {
+  BINOPT_REQUIRE(max_workgroup_size_ >= 1, "device must allow work-groups");
+}
+
+void WorkGroupExecutor::execute(const Kernel& kernel, const KernelArgs& args,
+                                NDRange range, RuntimeStats& stats) {
+  BINOPT_REQUIRE(static_cast<bool>(kernel.body), "kernel '", kernel.name,
+                 "' has no body");
+  BINOPT_REQUIRE(range.global_size >= 1, "empty NDRange");
+  BINOPT_REQUIRE(range.local_size >= 1, "work-group size must be >= 1");
+  BINOPT_REQUIRE(range.local_size <= max_workgroup_size_,
+                 "work-group size ", range.local_size,
+                 " exceeds device maximum ", max_workgroup_size_);
+  BINOPT_REQUIRE(range.global_size % range.local_size == 0,
+                 "global size ", range.global_size,
+                 " is not a multiple of local size ", range.local_size);
+  args.validate_complete();
+
+  const std::size_t num_groups = range.global_size / range.local_size;
+  ++stats.kernels_enqueued;
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    run_group(kernel, args, range, g, stats);
+  }
+}
+
+void WorkGroupExecutor::run_group(const Kernel& kernel, const KernelArgs& args,
+                                  NDRange range, std::size_t group_id,
+                                  RuntimeStats& stats) {
+  const std::size_t n = range.local_size;
+
+  detail::GroupState group;
+  if (arena_.size() < local_mem_bytes_) arena_.resize(local_mem_bytes_);
+  group.arena = arena_.data();
+  group.arena_capacity = local_mem_bytes_;
+  group.stats = &stats;
+
+  if (!kernel.uses_barriers) {
+    // Fast path: no synchronisation possible, so each work-item runs to
+    // completion as a plain call. barrier() raises (fiber_ is null).
+    WorkItemCtx ctx;
+    ctx.group_id_ = group_id;
+    ctx.local_size_ = n;
+    ctx.global_size_ = range.global_size;
+    ctx.group_ = &group;
+    for (std::size_t i = 0; i < n; ++i) {
+      ctx.local_id_ = i;
+      ctx.global_id_ = group_id * n + i;
+      ctx.alloc_cursor_ = 0;
+      ctx.state_ = detail::ItemState::kRunnable;
+      kernel.body(ctx, args);
+    }
+    ++stats.work_groups_executed;
+    stats.work_items_executed += n;
+    return;
+  }
+
+  std::vector<WorkItemCtx> items(n);
+  std::vector<Fiber*> fibers = pool_.acquire(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    WorkItemCtx& ctx = items[i];
+    ctx.local_id_ = i;
+    ctx.group_id_ = group_id;
+    ctx.global_id_ = group_id * n + i;
+    ctx.local_size_ = n;
+    ctx.global_size_ = range.global_size;
+    ctx.group_ = &group;
+    ctx.fiber_ = fibers[i];
+    ctx.state_ = detail::ItemState::kRunnable;
+    fibers[i]->start([&kernel, &args, &ctx] { kernel.body(ctx, args); });
+  }
+
+  // On any work-item exception: mark the group aborting, drain every
+  // parked fiber (each unwinds via KernelAborted at its barrier), then
+  // rethrow the original error. This keeps the fiber pool reusable.
+  auto drain_group = [&](std::vector<WorkItemCtx>& ctxs,
+                         std::vector<Fiber*>& fbs) {
+    group.aborting = true;
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+      if (ctxs[i].state_ == detail::ItemState::kDone) continue;
+      try {
+        while (fbs[i]->resume()) {
+        }
+      } catch (...) {
+        // Secondary failures (including KernelAborted) are expected here.
+      }
+      ctxs[i].state_ = detail::ItemState::kDone;
+    }
+  };
+
+  // Round-robin between barriers: each pass resumes every live work-item
+  // until it either finishes or parks at the next barrier.
+  std::size_t alive = n;
+  try {
+    while (alive > 0) {
+      std::size_t at_barrier = 0;
+      std::size_t finished_this_pass = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        WorkItemCtx& ctx = items[i];
+        if (ctx.state_ == detail::ItemState::kDone) continue;
+        ctx.state_ = detail::ItemState::kRunnable;
+        const bool still_alive = fibers[i]->resume();
+        if (!still_alive) {
+          ctx.state_ = detail::ItemState::kDone;
+          --alive;
+          ++finished_this_pass;
+        } else {
+          BINOPT_ENSURE(ctx.state_ == detail::ItemState::kAtBarrier,
+                        "work-item yielded without reaching a barrier");
+          ++at_barrier;
+        }
+      }
+      // Every live work-item is now parked at a barrier. OpenCL requires
+      // the *whole* group at each barrier: if any work-item returned
+      // during a pass in which others parked, the group has divergent
+      // barrier counts (undefined behaviour on real hardware — we fail
+      // loudly instead).
+      BINOPT_REQUIRE(at_barrier == 0 || finished_this_pass == 0,
+                     "barrier divergence in kernel '", kernel.name, "': ",
+                     at_barrier, " work-items at a barrier while ",
+                     finished_this_pass, " returned in the same pass");
+    }
+  } catch (...) {
+    drain_group(items, fibers);
+    throw;
+  }
+
+  ++stats.work_groups_executed;
+  stats.work_items_executed += n;
+}
+
+}  // namespace binopt::ocl

@@ -1,0 +1,174 @@
+// NDRange execution engine: work-groups, work-items, barriers, local memory.
+//
+// Work-groups execute sequentially (a functional simulator needs no host
+// parallelism for correctness); inside a group every work-item runs on a
+// fiber and the executor schedules them round-robin between barriers. This
+// gives the paper's kernel IV.B its real OpenCL semantics: all work-items
+// of a group observe local memory writes that precede a barrier.
+//
+// Barrier contract enforced (and its violation *detected*, where real
+// OpenCL would be silently undefined): if any work-item of a group reaches
+// a barrier, every work-item must reach it before finishing the kernel.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+#include "ocl/buffer.h"
+#include "ocl/fiber.h"
+#include "ocl/kernel.h"
+#include "ocl/stats.h"
+#include "ocl/types.h"
+
+namespace binopt::ocl {
+
+class WorkGroupExecutor;
+
+namespace detail {
+
+/// One named local-memory allocation within a group's arena.
+struct LocalAlloc {
+  std::size_t offset = 0;
+  std::size_t bytes = 0;
+};
+
+/// Thrown inside parked work-items to unwind their stacks when the group
+/// aborts (another work-item raised). Never escapes the executor.
+struct KernelAborted {};
+
+/// Per-group shared state (local arena + allocation log + barrier phase).
+/// The arena storage itself is owned by the executor and reused across
+/// groups (real local memory is likewise uninitialised between groups).
+struct GroupState {
+  std::byte* arena = nullptr;
+  std::size_t arena_capacity = 0;
+  std::size_t arena_used = 0;
+  std::vector<LocalAlloc> allocs;
+  RuntimeStats* stats = nullptr;
+  bool aborting = false;  ///< set when a sibling work-item threw
+};
+
+/// Per-work-item scheduling state.
+enum class ItemState { kRunnable, kAtBarrier, kDone };
+
+}  // namespace detail
+
+/// Typed, traffic-counted view of a local-memory array.
+template <typename T>
+class LocalSpan {
+public:
+  LocalSpan(T* data, std::size_t count, RuntimeStats& stats)
+      : data_(data), count_(count), stats_(&stats) {}
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  [[nodiscard]] T get(std::size_t i) const {
+    BINOPT_REQUIRE(i < count_, "local load out of bounds: ", i, " >= ",
+                   count_);
+    stats_->local_load_bytes += sizeof(T);
+    return data_[i];
+  }
+
+  void set(std::size_t i, T value) {
+    BINOPT_REQUIRE(i < count_, "local store out of bounds: ", i, " >= ",
+                   count_);
+    stats_->local_store_bytes += sizeof(T);
+    data_[i] = value;
+  }
+
+private:
+  T* data_;
+  std::size_t count_;
+  RuntimeStats* stats_;
+};
+
+/// Execution context handed to the kernel body — the work-item's window
+/// onto ids, synchronisation, and the three OpenCL memory levels.
+class WorkItemCtx {
+public:
+  [[nodiscard]] std::size_t global_id() const { return global_id_; }
+  [[nodiscard]] std::size_t local_id() const { return local_id_; }
+  [[nodiscard]] std::size_t group_id() const { return group_id_; }
+  [[nodiscard]] std::size_t local_size() const { return local_size_; }
+  [[nodiscard]] std::size_t global_size() const { return global_size_; }
+  [[nodiscard]] std::size_t num_groups() const {
+    return global_size_ / local_size_;
+  }
+
+  /// OpenCL barrier(CLK_LOCAL_MEM_FENCE): suspends this work-item until
+  /// every work-item of the group has reached the same barrier.
+  void barrier();
+
+  /// Global-memory accessor for a bound buffer.
+  template <typename T>
+  [[nodiscard]] GlobalSpan<T> global(Buffer& buffer) const {
+    return GlobalSpan<T>(buffer, *group_->stats);
+  }
+
+  /// Local-memory array, shared across the group. Every work-item must
+  /// issue the same sequence of local_array calls (sizes included), which
+  /// is exactly OpenCL's static local allocation discipline.
+  template <typename T>
+  [[nodiscard]] LocalSpan<T> local_array(std::size_t count) {
+    const std::size_t bytes = count * sizeof(T);
+    detail::GroupState& g = *group_;
+    if (alloc_cursor_ < g.allocs.size()) {
+      const detail::LocalAlloc& a = g.allocs[alloc_cursor_];
+      BINOPT_REQUIRE(a.bytes == bytes,
+                     "divergent local allocation: work-item ", local_id_,
+                     " requested ", bytes, " bytes, group allocated ",
+                     a.bytes);
+      ++alloc_cursor_;
+      return LocalSpan<T>(reinterpret_cast<T*>(g.arena + a.offset), count,
+                          *g.stats);
+    }
+    constexpr std::size_t kAlign = 16;
+    const std::size_t offset = (g.arena_used + kAlign - 1) / kAlign * kAlign;
+    BINOPT_REQUIRE(offset + bytes <= g.arena_capacity,
+                   "local memory exhausted: need ", offset + bytes,
+                   " bytes, device local size is ", g.arena_capacity);
+    g.allocs.push_back(detail::LocalAlloc{offset, bytes});
+    g.arena_used = offset + bytes;
+    ++alloc_cursor_;
+    return LocalSpan<T>(reinterpret_cast<T*>(g.arena + offset), count,
+                        *g.stats);
+  }
+
+private:
+  friend class WorkGroupExecutor;
+
+  std::size_t global_id_ = 0;
+  std::size_t local_id_ = 0;
+  std::size_t group_id_ = 0;
+  std::size_t local_size_ = 0;
+  std::size_t global_size_ = 0;
+  std::size_t alloc_cursor_ = 0;
+  detail::GroupState* group_ = nullptr;
+  Fiber* fiber_ = nullptr;
+  detail::ItemState state_ = detail::ItemState::kRunnable;
+};
+
+/// Drives a full NDRange over the fiber pool.
+class WorkGroupExecutor {
+public:
+  WorkGroupExecutor(std::size_t local_mem_bytes, std::size_t max_workgroup_size,
+                    std::size_t stack_bytes = Fiber::kDefaultStackBytes);
+
+  /// Executes every work-group of `range` with the given kernel and args.
+  /// Updates `stats` with work-item counts, barrier counts, and memory
+  /// traffic generated through the ctx accessors.
+  void execute(const Kernel& kernel, const KernelArgs& args, NDRange range,
+               RuntimeStats& stats);
+
+private:
+  void run_group(const Kernel& kernel, const KernelArgs& args, NDRange range,
+                 std::size_t group_id, RuntimeStats& stats);
+
+  std::size_t local_mem_bytes_;
+  std::size_t max_workgroup_size_;
+  FiberPool pool_;
+  std::vector<std::byte> arena_;  ///< local-memory storage, reused per group
+};
+
+}  // namespace binopt::ocl

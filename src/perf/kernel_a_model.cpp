@@ -1,0 +1,54 @@
+#include "perf/kernel_a_model.h"
+
+namespace binopt::perf {
+
+void KernelAParams::validate() const {
+  BINOPT_REQUIRE(shape.steps >= 1, "tree needs at least one step");
+  BINOPT_REQUIRE(node_rate_per_s > 0.0, "node rate must be positive");
+  BINOPT_REQUIRE(record_bytes > 0.0, "record size must be positive");
+  BINOPT_REQUIRE(host_overhead_s >= 0.0, "negative host overhead");
+}
+
+KernelAModel::KernelAModel(KernelAParams params) : params_(std::move(params)) {
+  params_.validate();
+}
+
+double KernelAModel::read_bytes_per_batch() const {
+  if (params_.reduced_reads) {
+    // Only the options that completed plus pipeline head state: one result
+    // row of (N + 1) doubles instead of the full ping-pong buffer.
+    return params_.shape.leaves_per_option() * 8.0;
+  }
+  return params_.shape.kernel_a_buffer_bytes(params_.record_bytes);
+}
+
+double KernelAModel::write_bytes_per_batch() const {
+  // One option enters the pipeline per batch: its leaf values (host
+  // initialised, Section V-C) plus the option-parameter record.
+  return params_.shape.leaves_per_option() * 8.0 + 64.0;
+}
+
+BatchBreakdown KernelAModel::batch() const {
+  BatchBreakdown b;
+  b.host_overhead_s = params_.host_overhead_s;
+  b.write_s = params_.pcie.transfer_seconds(write_bytes_per_batch());
+  b.kernel_s = params_.shape.kernel_a_work_items() / params_.node_rate_per_s;
+  b.read_s = params_.pcie.transfer_seconds(read_bytes_per_batch());
+  return b;
+}
+
+double KernelAModel::options_per_second() const { return 1.0 / batch().total(); }
+
+double KernelAModel::nodes_per_second() const {
+  return options_per_second() * params_.shape.nodes_per_option();
+}
+
+double KernelAModel::time_for_options(double count) const {
+  BINOPT_REQUIRE(count >= 1.0, "need at least one option");
+  // Pipeline fill: the first option needs N batches to reach the root;
+  // afterwards one option exits per batch.
+  const double fill_batches = static_cast<double>(params_.shape.steps);
+  return (fill_batches + count) * batch().total();
+}
+
+}  // namespace binopt::perf

@@ -1,0 +1,72 @@
+// Analytic performance model of kernel IV.A (the straightforward dataflow
+// implementation, paper Section IV-A / V-C).
+//
+// The host iterates batches: initialise input data, write it to global
+// memory, enqueue N(N+1)/2 node-kernels, and read results back. One option
+// completes per batch once the pipeline is full, and — the paper's key
+// finding — one entire ping-pong buffer (~19 MB at N = 1024) is read back
+// between batches, "effectively stalling the kernel". The model therefore
+// sums, per batch: host overhead + input write + kernel execution + the
+// readback, with the readback dominating. The "modified version ... with a
+// reduced number of read operations" (14x faster on GPU) is the same model
+// with only the per-option results read back.
+#pragma once
+
+#include "perf/transfer_model.h"
+#include "perf/tree_shape.h"
+
+namespace binopt::perf {
+
+/// Per-batch time decomposition.
+struct BatchBreakdown {
+  double host_overhead_s = 0.0;
+  double write_s = 0.0;
+  double kernel_s = 0.0;
+  double read_s = 0.0;
+
+  [[nodiscard]] double total() const {
+    return host_overhead_s + write_s + kernel_s + read_s;
+  }
+};
+
+/// Model inputs for one (device, variant) instantiation.
+struct KernelAParams {
+  TreeShape shape{};
+  double node_rate_per_s = 0.0;   ///< device compute rate on node updates
+  TransferLink pcie{};
+  double host_overhead_s = 0.0;   ///< enqueue/sync/buffer-switch per batch
+  double record_bytes = 38.0;     ///< ping-pong record size per node
+  bool reduced_reads = false;     ///< the modified (14x) variant
+
+  void validate() const;
+};
+
+class KernelAModel {
+public:
+  explicit KernelAModel(KernelAParams params);
+
+  [[nodiscard]] const KernelAParams& params() const { return params_; }
+
+  /// Time decomposition of one steady-state batch.
+  [[nodiscard]] BatchBreakdown batch() const;
+
+  /// Steady-state throughput: one option exits the pipeline per batch.
+  [[nodiscard]] double options_per_second() const;
+
+  [[nodiscard]] double nodes_per_second() const;
+
+  /// Time to price `count` options including pipeline fill (the first
+  /// option takes N batches to traverse the tree).
+  [[nodiscard]] double time_for_options(double count) const;
+
+  /// Bytes read from the device per batch.
+  [[nodiscard]] double read_bytes_per_batch() const;
+
+  /// Bytes written to the device per batch (one option's leaf/param data).
+  [[nodiscard]] double write_bytes_per_batch() const;
+
+private:
+  KernelAParams params_;
+};
+
+}  // namespace binopt::perf

@@ -1,0 +1,33 @@
+#include "perf/kernel_b_model.h"
+
+namespace binopt::perf {
+
+void KernelBParams::validate() const {
+  BINOPT_REQUIRE(shape.steps >= 1, "tree needs at least one step");
+  BINOPT_REQUIRE(peak_node_rate_per_s > 0.0, "peak node rate must be positive");
+  BINOPT_REQUIRE(efficiency > 0.0 && efficiency <= 1.0,
+                 "efficiency must be in (0,1], got ", efficiency);
+  BINOPT_REQUIRE(bytes_per_option_io >= 0.0, "negative option IO size");
+}
+
+KernelBModel::KernelBModel(KernelBParams params) : params_(std::move(params)) {
+  params_.validate();
+}
+
+double KernelBModel::nodes_per_second() const {
+  return params_.peak_node_rate_per_s * params_.efficiency;
+}
+
+double KernelBModel::options_per_second() const {
+  return nodes_per_second() / params_.shape.nodes_per_option();
+}
+
+double KernelBModel::time_for_options(double count) const {
+  BINOPT_REQUIRE(count >= 1.0, "need at least one option");
+  const double compute_s = count / options_per_second();
+  const double io_s =
+      params_.pcie.transfer_seconds(count * params_.bytes_per_option_io);
+  return compute_s + io_s;
+}
+
+}  // namespace binopt::perf

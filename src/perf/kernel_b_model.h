@@ -1,0 +1,43 @@
+// Analytic performance model of kernel IV.B (the optimized work-group-per-
+// option implementation, paper Section IV-B / V-C).
+//
+// Host-device interaction is "reduced to a minimum": parameters written
+// once, results read once, so throughput is compute-bound at the device's
+// sustained node-update rate. On the FPGA that rate is lanes x fmax times
+// a pipeline occupancy (idle work-items at row ends); on the GPU it is the
+// ALU peak divided by the per-node FLOPs, derated by a sustained-efficiency
+// factor (occupancy + barrier cost).
+#pragma once
+
+#include "perf/transfer_model.h"
+#include "perf/tree_shape.h"
+
+namespace binopt::perf {
+
+struct KernelBParams {
+  TreeShape shape{};
+  double peak_node_rate_per_s = 0.0;  ///< lanes x fmax, or ALU peak / FLOPs
+  double efficiency = 1.0;            ///< sustained / peak, in (0, 1]
+  TransferLink pcie{};                ///< for the (tiny) one-off transfers
+  double bytes_per_option_io = 64.0;  ///< params in + result out
+
+  void validate() const;
+};
+
+class KernelBModel {
+public:
+  explicit KernelBModel(KernelBParams params);
+
+  [[nodiscard]] const KernelBParams& params() const { return params_; }
+
+  [[nodiscard]] double nodes_per_second() const;
+  [[nodiscard]] double options_per_second() const;
+
+  /// Time to price `count` options (bulk transfer + compute).
+  [[nodiscard]] double time_for_options(double count) const;
+
+private:
+  KernelBParams params_;
+};
+
+}  // namespace binopt::perf

@@ -1,0 +1,188 @@
+#include "perf/platform_models.h"
+
+#include "devices/calibration.h"
+#include "devices/de4_stratix4.h"
+#include "devices/gtx660ti.h"
+#include "devices/keystone_c6678.h"
+#include "devices/mali_t604.h"
+#include "devices/xeon_x5450.h"
+#include "fpga/clock_model.h"
+#include "fpga/power_model.h"
+
+namespace binopt::perf {
+
+namespace {
+
+const devices::De4StratixIv& de4() {
+  static const devices::De4StratixIv board;
+  return board;
+}
+
+const devices::Gtx660Ti& gtx() {
+  static const devices::Gtx660Ti gpu;
+  return gpu;
+}
+
+const devices::XeonX5450& xeon() {
+  static const devices::XeonX5450 cpu;
+  return cpu;
+}
+
+TransferLink fpga_pcie() {
+  return TransferLink{de4().pcie_bandwidth_bps(),
+                      devices::kFpgaPcieEfficiency};
+}
+
+TransferLink gpu_pcie() {
+  return TransferLink{gtx().pcie_bandwidth_bps(),
+                      devices::kGpuPcieEfficiency};
+}
+
+}  // namespace
+
+FpgaOperatingPoint PlatformModels::fpga_point_kernel_a() {
+  const fpga::ClockModel clock;
+  const fpga::PowerModel power;
+  FpgaOperatingPoint p;
+  // Published design: vectorized x2, replicated x3 at 99% logic.
+  p.lanes = devices::kernel_a_published_options().straightline_copies();
+  p.fmax_hz = clock.fmax_mhz(fpga::ClockModel::kAnchorUtilA) * 1.0e6;
+  p.power_watts = power
+                      .estimate(fpga::PowerModel::kAnchorA_Util,
+                                fpga::PowerModel::kAnchorA_M9k,
+                                fpga::PowerModel::kAnchorA_Fmax)
+                      .total();
+  return p;
+}
+
+FpgaOperatingPoint PlatformModels::fpga_point_kernel_b() {
+  const fpga::ClockModel clock;
+  const fpga::PowerModel power;
+  FpgaOperatingPoint p;
+  // Published design: unrolled x2, vectorized x4 at 66% logic.
+  p.lanes = devices::kernel_b_published_options().loop_lanes();
+  p.fmax_hz = clock.fmax_mhz(fpga::ClockModel::kAnchorUtilB) * 1.0e6;
+  p.power_watts = power
+                      .estimate(fpga::PowerModel::kAnchorB_Util,
+                                fpga::PowerModel::kAnchorB_M9k,
+                                fpga::PowerModel::kAnchorB_Fmax)
+                      .total();
+  return p;
+}
+
+KernelAModel PlatformModels::fpga_kernel_a(TreeShape shape,
+                                           bool reduced_reads) {
+  const FpgaOperatingPoint point = fpga_point_kernel_a();
+  KernelAParams params;
+  params.shape = shape;
+  params.node_rate_per_s = static_cast<double>(point.lanes) * point.fmax_hz;
+  params.pcie = fpga_pcie();
+  params.host_overhead_s = devices::kFpgaHostOverheadSeconds;
+  params.record_bytes = devices::kKernelARecordBytes;
+  params.reduced_reads = reduced_reads;
+  return KernelAModel(params);
+}
+
+KernelAModel PlatformModels::gpu_kernel_a(TreeShape shape, bool reduced_reads) {
+  KernelAParams params;
+  params.shape = shape;
+  // Kernel A on the GPU is memory-system bound per node, not ALU bound:
+  // ~54 B of global traffic per node against 144 GB/s.
+  const double bytes_per_node = devices::kKernelARecordBytes + 16.0;
+  params.node_rate_per_s = gtx().mem_bandwidth_bps / bytes_per_node;
+  params.pcie = gpu_pcie();
+  params.host_overhead_s = devices::kGpuHostOverheadSeconds;
+  params.record_bytes = devices::kKernelARecordBytes;
+  params.reduced_reads = reduced_reads;
+  return KernelAModel(params);
+}
+
+KernelBModel PlatformModels::fpga_kernel_b(TreeShape shape) {
+  const FpgaOperatingPoint point = fpga_point_kernel_b();
+  KernelBParams params;
+  params.shape = shape;
+  params.peak_node_rate_per_s = static_cast<double>(point.lanes) * point.fmax_hz;
+  params.efficiency = devices::kFpgaPipelineOccupancy;
+  params.pcie = fpga_pcie();
+  return KernelBModel(params);
+}
+
+KernelBModel PlatformModels::gpu_kernel_b(TreeShape shape,
+                                          bool double_precision) {
+  KernelBParams params;
+  params.shape = shape;
+  params.peak_node_rate_per_s =
+      gtx().peak_flops(double_precision) / devices::kFlopsPerNode;
+  params.efficiency = double_precision
+                          ? devices::kGpuKernelBEfficiencyDouble
+                          : devices::kGpuKernelBEfficiencySingle;
+  params.pcie = gpu_pcie();
+  return KernelBModel(params);
+}
+
+KernelBModel PlatformModels::dsp_kernel_b(TreeShape shape,
+                                          bool double_precision) {
+  static const devices::KeystoneC6678 dsp;
+  KernelBParams params;
+  params.shape = shape;
+  params.peak_node_rate_per_s =
+      dsp.peak_flops(double_precision) / devices::kFlopsPerNode;
+  // A C66x has no hardware work-groups at all: OpenCL work-items are
+  // loop-chunked onto the 8 cores and every barrier() is a full software
+  // sync across them — at two barriers per tree level that overhead
+  // dominates, so the sustained fraction sits well below the GPU's.
+  params.efficiency = 0.10;
+  params.pcie = TransferLink{dsp.mem_bandwidth_bps, 0.5};
+  return KernelBModel(params);
+}
+
+KernelBModel PlatformModels::mali_kernel_b(TreeShape shape,
+                                           bool double_precision) {
+  static const devices::MaliT604 mali;
+  KernelBParams params;
+  params.shape = shape;
+  params.peak_node_rate_per_s =
+      mali.peak_flops(double_precision) / devices::kFlopsPerNode;
+  // Mobile GPU with shared LPDDR and heavy barrier cost: assume the
+  // GTX660's single-precision sustained fraction.
+  params.efficiency = devices::kGpuKernelBEfficiencySingle;
+  params.pcie = TransferLink{mali.mem_bandwidth_bps, 0.5};
+  return KernelBModel(params);
+}
+
+double PlatformModels::cpu_reference_options_per_s(TreeShape shape,
+                                                   bool double_precision) {
+  return xeon().nodes_per_second(double_precision) / shape.nodes_per_option();
+}
+
+double PlatformModels::fpga_power_watts_kernel_a() {
+  return fpga_point_kernel_a().power_watts;
+}
+
+double PlatformModels::fpga_power_watts_kernel_b() {
+  return fpga_point_kernel_b().power_watts;
+}
+
+double PlatformModels::gpu_power_watts() { return gtx().tdp_watts; }
+
+double PlatformModels::cpu_power_watts() { return xeon().tdp_watts; }
+
+double PlatformModels::dsp_power_watts() {
+  static const devices::KeystoneC6678 dsp;
+  return dsp.typical_power_watts;
+}
+
+double PlatformModels::mali_power_watts() {
+  static const devices::MaliT604 mali;
+  return mali.gpu_power_watts;
+}
+
+SaturationCurve PlatformModels::saturation(double peak_options_per_s,
+                                           bool is_gpu_kernel_b) {
+  return SaturationCurve(peak_options_per_s,
+                         is_gpu_kernel_b
+                             ? devices::kGpuKernelBSaturationOptions
+                             : devices::kDefaultSaturationOptions);
+}
+
+}  // namespace binopt::perf

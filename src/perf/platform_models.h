@@ -1,0 +1,66 @@
+// Platform-model factory: instantiates the kernel performance models for
+// the paper's three targets using the device descriptors (datasheet
+// numbers) and the calibration record.
+//
+// This is the single place where devices + calibration meet the generic
+// kernel models; Table II, the saturation bench, and the core accelerator
+// API all obtain their models here.
+#pragma once
+
+#include "perf/kernel_a_model.h"
+#include "perf/kernel_b_model.h"
+#include "perf/saturation.h"
+#include "perf/tree_shape.h"
+
+namespace binopt::perf {
+
+/// Modelled FPGA operating point (fmax depends on the compiled design).
+struct FpgaOperatingPoint {
+  double fmax_hz = 0.0;
+  unsigned lanes = 1;      ///< parallel node engines
+  double power_watts = 0.0;
+};
+
+class PlatformModels {
+public:
+  /// FPGA operating points for the two published Table I designs.
+  [[nodiscard]] static FpgaOperatingPoint fpga_point_kernel_a();
+  [[nodiscard]] static FpgaOperatingPoint fpga_point_kernel_b();
+
+  // --- Kernel IV.A (dataflow, host-driven batches) ------------------------
+  [[nodiscard]] static KernelAModel fpga_kernel_a(TreeShape shape,
+                                                  bool reduced_reads = false);
+  [[nodiscard]] static KernelAModel gpu_kernel_a(TreeShape shape,
+                                                 bool reduced_reads = false);
+
+  // --- Kernel IV.B (work-group per option) --------------------------------
+  [[nodiscard]] static KernelBModel fpga_kernel_b(TreeShape shape);
+  [[nodiscard]] static KernelBModel gpu_kernel_b(TreeShape shape,
+                                                 bool double_precision);
+
+  // --- Future-work targets (paper Section VI: other OpenCL devices) -------
+  /// Kernel IV.B on the TI KeyStone C6678 DSP (paper citation [16]).
+  [[nodiscard]] static KernelBModel dsp_kernel_b(TreeShape shape,
+                                                 bool double_precision);
+  /// Kernel IV.B on the ARM Mali-T604 (paper citation [17]).
+  [[nodiscard]] static KernelBModel mali_kernel_b(TreeShape shape,
+                                                  bool double_precision);
+
+  // --- Reference software --------------------------------------------------
+  [[nodiscard]] static double cpu_reference_options_per_s(
+      TreeShape shape, bool double_precision);
+
+  // --- Power draw per platform (chip/TDP, as the paper reports) -----------
+  [[nodiscard]] static double fpga_power_watts_kernel_a();
+  [[nodiscard]] static double fpga_power_watts_kernel_b();
+  [[nodiscard]] static double gpu_power_watts();
+  [[nodiscard]] static double cpu_power_watts();
+  [[nodiscard]] static double dsp_power_watts();
+  [[nodiscard]] static double mali_power_watts();
+
+  // --- Saturation curves (Section V-C) -------------------------------------
+  [[nodiscard]] static SaturationCurve saturation(double peak_options_per_s,
+                                                  bool is_gpu_kernel_b);
+};
+
+}  // namespace binopt::perf

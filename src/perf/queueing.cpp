@@ -1,0 +1,40 @@
+#include "perf/queueing.h"
+
+#include <cmath>
+#include <limits>
+
+namespace binopt::perf {
+
+QueueMetrics md1_metrics(double arrivals_per_s, double service_s) {
+  BINOPT_REQUIRE(arrivals_per_s > 0.0, "arrival rate must be positive");
+  BINOPT_REQUIRE(service_s > 0.0, "service time must be positive");
+
+  QueueMetrics m;
+  m.utilization = arrivals_per_s * service_s;
+  m.stable = m.utilization < 1.0;
+  if (!m.stable) {
+    m.mean_wait_s = std::numeric_limits<double>::infinity();
+    m.mean_response_s = std::numeric_limits<double>::infinity();
+    m.mean_jobs_in_system = std::numeric_limits<double>::infinity();
+    return m;
+  }
+  // Pollaczek-Khinchine for deterministic service: Wq = rho*s / (2(1-rho)).
+  m.mean_wait_s =
+      m.utilization * service_s / (2.0 * (1.0 - m.utilization));
+  m.mean_response_s = m.mean_wait_s + service_s;
+  m.mean_jobs_in_system = arrivals_per_s * m.mean_response_s;
+  return m;
+}
+
+double md1_max_arrival_rate(double service_s, double max_response_s) {
+  BINOPT_REQUIRE(service_s > 0.0, "service time must be positive");
+  BINOPT_REQUIRE(max_response_s > 0.0, "response bound must be positive");
+  if (service_s >= max_response_s) return 0.0;
+  // Solve s + rho*s/(2(1-rho)) = R for rho:
+  //   rho = 2(R - s) / (2R - s), then lambda = rho / s.
+  const double rho =
+      2.0 * (max_response_s - service_s) / (2.0 * max_response_s - service_s);
+  return rho / service_s;
+}
+
+}  // namespace binopt::perf

@@ -1,0 +1,35 @@
+// M/D/1 queueing model for the accelerator-as-a-service question the
+// paper raises in Section V-C: "we consider an accelerator used by a
+// single trader and not a shared resource (e.g., a server component),
+// latency at low workload is an issue and must be minimized."
+//
+// A volatility-curve request is a deterministic-service job (one batched
+// chain evaluation); traders arrive Poisson. M/D/1 gives the mean
+// response time, which bench_trader_latency sweeps across platforms and
+// arrival rates to show where the low-saturation FPGA wins (single
+// trader) and where the high-throughput GPU wins (shared server).
+#pragma once
+
+#include "common/error.h"
+
+namespace binopt::perf {
+
+/// Steady-state metrics of an M/D/1 queue.
+struct QueueMetrics {
+  double utilization = 0.0;          ///< rho = lambda * service_time
+  double mean_wait_s = 0.0;          ///< time in queue (Pollaczek-Khinchine)
+  double mean_response_s = 0.0;      ///< wait + service
+  double mean_jobs_in_system = 0.0;  ///< Little's law
+  bool stable = false;               ///< rho < 1
+};
+
+/// Evaluates an M/D/1 queue with Poisson arrivals at `arrivals_per_s` and
+/// a fixed service time of `service_s` seconds per job.
+[[nodiscard]] QueueMetrics md1_metrics(double arrivals_per_s, double service_s);
+
+/// Largest Poisson arrival rate (jobs/s) that keeps the mean response
+/// time within `max_response_s`; 0 if even an unloaded server misses it.
+[[nodiscard]] double md1_max_arrival_rate(double service_s,
+                                          double max_response_s);
+
+}  // namespace binopt::perf

@@ -1,0 +1,28 @@
+#include "perf/saturation.h"
+
+namespace binopt::perf {
+
+SaturationCurve::SaturationCurve(double peak_options_per_s,
+                                 double saturation_options)
+    : peak_(peak_options_per_s), saturation_(saturation_options) {
+  BINOPT_REQUIRE(peak_ > 0.0, "plateau throughput must be positive");
+  BINOPT_REQUIRE(saturation_ > 0.0, "saturation point must be positive");
+  // Michaelis-Menten-style curve: rate(n) = peak * n / (n + h).
+  // rate(saturation) = 0.9 * peak  =>  h = saturation / 9.
+  half_constant_ = saturation_ / 9.0;
+}
+
+double SaturationCurve::options_per_second(double options) const {
+  BINOPT_REQUIRE(options > 0.0, "workload must be positive");
+  return peak_ * options / (options + half_constant_);
+}
+
+double SaturationCurve::time_for_options(double options) const {
+  return options / options_per_second(options);
+}
+
+double SaturationCurve::efficiency(double options) const {
+  return options_per_second(options) / peak_;
+}
+
+}  // namespace binopt::perf

@@ -1,0 +1,41 @@
+// Device-saturation model (paper Section V-C).
+//
+// "All the presented results were sampled after device saturation ...
+// This saturation typically happens at 1e5 priced options ... Only the
+// kernel IV.B implemented on the GTX660 has a saturation at a higher
+// number of options (1e6)." Below saturation the accelerator's pipeline /
+// SM array is partially idle, so effective throughput rises with workload
+// size toward the plateau. We model the effective rate with a saturating
+// curve parameterised by the plateau rate and the workload at which 90%
+// of the plateau is reached (the paper's "saturation point").
+#pragma once
+
+#include "common/error.h"
+
+namespace binopt::perf {
+
+class SaturationCurve {
+public:
+  /// `peak_options_per_s`: plateau throughput; `saturation_options`: the
+  /// workload at which 90% of the plateau is sustained.
+  SaturationCurve(double peak_options_per_s, double saturation_options);
+
+  /// Effective throughput at a workload of `options` pricings.
+  [[nodiscard]] double options_per_second(double options) const;
+
+  /// Wall time for a workload of `options` pricings.
+  [[nodiscard]] double time_for_options(double options) const;
+
+  /// Fraction of the plateau achieved at this workload.
+  [[nodiscard]] double efficiency(double options) const;
+
+  [[nodiscard]] double peak() const { return peak_; }
+  [[nodiscard]] double saturation_point() const { return saturation_; }
+
+private:
+  double peak_;
+  double saturation_;
+  double half_constant_;  ///< workload at 50% of plateau
+};
+
+}  // namespace binopt::perf

@@ -1,0 +1,78 @@
+// Dependency-scheduled timeline — models the host-side overlap the paper
+// describes for kernel IV.A (Section IV-B: "Memory operations and
+// work-items executions are overlapped with one another and synchronized
+// by the host, but they still incur a cost in computation time").
+//
+// A Timeline is a DAG of tasks with durations and resource classes; the
+// scheduler computes earliest start/finish under two constraints: DAG
+// dependencies, and mutual exclusion within each resource class (one DMA
+// engine, one kernel pipeline, one host thread). This lets us quantify
+// how much of kernel IV.A's batch cost overlap can actually hide.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace binopt::perf {
+
+/// Serial resources a task can occupy.
+enum class Resource {
+  kHost,      ///< host CPU thread (init, bookkeeping)
+  kDmaWrite,  ///< host -> device transfers
+  kDmaRead,   ///< device -> host transfers
+  kKernel,    ///< the device compute pipeline
+};
+
+using TaskId = std::size_t;
+
+struct Task {
+  std::string label;
+  Resource resource = Resource::kHost;
+  double duration_s = 0.0;
+  std::vector<TaskId> deps;
+};
+
+struct ScheduledTask {
+  double start_s = 0.0;
+  double finish_s = 0.0;
+};
+
+class Timeline {
+public:
+  /// Adds a task; dependencies must refer to previously added tasks.
+  TaskId add(std::string label, Resource resource, double duration_s,
+             std::vector<TaskId> deps = {});
+
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+  [[nodiscard]] const Task& task(TaskId id) const;
+
+  /// List-schedules the DAG: each task starts at the max of its
+  /// dependencies' finishes and its resource's availability (tasks are
+  /// dispatched in insertion order per resource, which is how an in-order
+  /// OpenCL queue issues them). Returns per-task times.
+  [[nodiscard]] std::vector<ScheduledTask> schedule() const;
+
+  /// Total makespan of the schedule.
+  [[nodiscard]] double makespan() const;
+
+  /// Busy time of one resource (sum of its task durations).
+  [[nodiscard]] double busy_seconds(Resource resource) const;
+
+private:
+  std::vector<Task> tasks_;
+};
+
+/// Builds the kernel IV.A steady-state pipeline for `batches` batches:
+/// per batch — host init, DMA write (deps: init), kernel (deps: write of
+/// this batch, kernel of previous batch), DMA read (deps: kernel). With
+/// `overlapped`, batch b+1's init/write may run while batch b's kernel
+/// and read are in flight (the paper's host scheduling); without, each
+/// batch is fully serial.
+Timeline make_kernel_a_timeline(std::size_t batches, double host_s,
+                                double write_s, double kernel_s,
+                                double read_s, bool overlapped);
+
+}  // namespace binopt::perf

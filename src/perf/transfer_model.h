@@ -1,0 +1,29 @@
+// Host <-> device transfer-link model (PCIe).
+#pragma once
+
+#include "common/error.h"
+
+namespace binopt::perf {
+
+/// A host-device link with a theoretical bandwidth and an achieved
+/// efficiency factor for a given access pattern.
+struct TransferLink {
+  double theoretical_bandwidth_bps = 0.0;
+  double efficiency = 1.0;  ///< achieved / theoretical, in (0, 1]
+
+  [[nodiscard]] double effective_bandwidth_bps() const {
+    return theoretical_bandwidth_bps * efficiency;
+  }
+
+  /// Seconds to move `bytes` over the link.
+  [[nodiscard]] double transfer_seconds(double bytes) const {
+    BINOPT_REQUIRE(theoretical_bandwidth_bps > 0.0 && efficiency > 0.0 &&
+                       efficiency <= 1.0,
+                   "invalid transfer link: bw = ", theoretical_bandwidth_bps,
+                   ", eff = ", efficiency);
+    BINOPT_REQUIRE(bytes >= 0.0, "negative transfer size");
+    return bytes / effective_bandwidth_bps();
+  }
+};
+
+}  // namespace binopt::perf

@@ -1,0 +1,38 @@
+// Workload geometry shared by all performance models.
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.h"
+
+namespace binopt::perf {
+
+/// Shape of one binomial-tree pricing at a given discretization.
+struct TreeShape {
+  std::size_t steps = 1024;  ///< N; the paper fixes T = 1024 (Section V-B)
+
+  /// Interior node updates per option: N(N+1)/2 (the paper's "roughly
+  /// 5e5 tree nodes" for N = 1024 — exactly 524,800).
+  [[nodiscard]] double nodes_per_option() const {
+    const auto n = static_cast<double>(steps);
+    return n * (n + 1.0) / 2.0;
+  }
+
+  /// Leaves of one tree (N + 1).
+  [[nodiscard]] double leaves_per_option() const {
+    return static_cast<double>(steps) + 1.0;
+  }
+
+  /// Work-items enqueued per kernel IV.A batch (one per tree node).
+  [[nodiscard]] double kernel_a_work_items() const {
+    return nodes_per_option();
+  }
+
+  /// Bytes of one kernel IV.A ping-pong buffer at a given record size.
+  [[nodiscard]] double kernel_a_buffer_bytes(double record_bytes) const {
+    BINOPT_REQUIRE(record_bytes > 0.0, "record size must be positive");
+    return nodes_per_option() * record_bytes;
+  }
+};
+
+}  // namespace binopt::perf

@@ -1,0 +1,62 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+
+namespace binopt {
+namespace {
+
+TEST(SplitMix64, DeterministicForSameSeed) {
+  SplitMix64 a(99);
+  SplitMix64 b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, KnownFirstOutput) {
+  // Reference value of SplitMix64 with seed 0 (Steele et al.).
+  SplitMix64 rng(0);
+  EXPECT_EQ(rng(), 0xE220A8397B1DCDAFull);
+}
+
+TEST(SplitMix64, Uniform01InRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(SplitMix64, UniformMeanIsCentered) {
+  SplitMix64 rng(11);
+  OnlineStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform(10.0, 20.0));
+  EXPECT_NEAR(s.mean(), 15.0, 0.05);
+  EXPECT_GE(s.min(), 10.0);
+  EXPECT_LT(s.max(), 20.0);
+}
+
+TEST(SplitMix64, BelowIsBoundedAndCoversRange) {
+  SplitMix64 rng(13);
+  bool seen[10] = {};
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen[v] = true;
+  }
+  for (bool hit : seen) EXPECT_TRUE(hit);
+}
+
+TEST(SplitMix64, NormalMomentsMatchStandard) {
+  SplitMix64 rng(17);
+  OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace binopt

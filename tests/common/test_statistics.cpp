@@ -1,0 +1,107 @@
+#include "common/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace binopt {
+namespace {
+
+TEST(Rmse, ZeroForIdenticalSeries) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rmse(xs, xs), 0.0);
+}
+
+TEST(Rmse, HandComputedValue) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 2.0, 1.0};
+  // errors: -1, 0, 2 -> mean square 5/3.
+  EXPECT_NEAR(rmse(a, b), std::sqrt(5.0 / 3.0), 1e-15);
+}
+
+TEST(Rmse, RejectsSizeMismatchAndEmpty) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW((void)rmse(a, b), PreconditionError);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)rmse(empty, empty), PreconditionError);
+}
+
+TEST(MaxAbsError, PicksWorstElement) {
+  const std::vector<double> a{1.0, 5.0, -2.0};
+  const std::vector<double> b{1.1, 5.0, -4.5};
+  EXPECT_NEAR(max_abs_error(a, b), 2.5, 1e-15);
+}
+
+TEST(MaxRelError, UsesAbsoluteNearZero) {
+  const std::vector<double> a{1e-16, 2.0};
+  const std::vector<double> b{0.0, 1.0};
+  // First element: |ref| < floor, contributes |diff| = 1e-16.
+  EXPECT_NEAR(max_rel_error(a, b), 1.0, 1e-12);
+}
+
+TEST(OnlineStats, MatchesBatchSummary) {
+  const std::vector<double> xs{3.0, -1.0, 4.0, 1.0, 5.0, -9.0, 2.0};
+  OnlineStats s;
+  for (double x : xs) s.add(x);
+  const Summary batch = summarize(xs);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), batch.mean, 1e-12);
+  EXPECT_NEAR(s.stddev(), batch.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -9.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.sum(), 5.0, 1e-12);
+}
+
+TEST(OnlineStats, EmptyIsSafe) {
+  const OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Geomspace, EndpointsExactAndMonotone) {
+  const auto xs = geomspace(1.0, 1000.0, 7);
+  ASSERT_EQ(xs.size(), 7u);
+  EXPECT_DOUBLE_EQ(xs.front(), 1.0);
+  EXPECT_DOUBLE_EQ(xs.back(), 1000.0);
+  for (std::size_t i = 1; i < xs.size(); ++i) EXPECT_GT(xs[i], xs[i - 1]);
+  // Geometric: constant ratio.
+  const double ratio = xs[1] / xs[0];
+  for (std::size_t i = 2; i < xs.size(); ++i) {
+    EXPECT_NEAR(xs[i] / xs[i - 1], ratio, 1e-9);
+  }
+}
+
+TEST(Geomspace, RejectsBadInput) {
+  EXPECT_THROW((void)geomspace(1.0, 10.0, 1), PreconditionError);
+  EXPECT_THROW((void)geomspace(0.0, 10.0, 5), PreconditionError);
+  EXPECT_THROW((void)geomspace(-1.0, 10.0, 5), PreconditionError);
+}
+
+TEST(Linspace, UniformSpacing) {
+  const auto xs = linspace(0.0, 10.0, 11);
+  ASSERT_EQ(xs.size(), 11u);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(xs[i], static_cast<double>(i), 1e-12);
+  }
+}
+
+TEST(Lerp, Endpoints) {
+  EXPECT_DOUBLE_EQ(lerp(2.0, 6.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 6.0, 1.0), 6.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 6.0, 0.5), 4.0);
+}
+
+}  // namespace
+}  // namespace binopt

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace binopt {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "12345"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  // Header separator row exists.
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthValidation) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), PreconditionError);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), PreconditionError);
+}
+
+TEST(TextTable, CellHelpers) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::integer(42), "42");
+  EXPECT_EQ(TextTable::percent(0.66), "66 %");
+  EXPECT_EQ(TextTable::percent(0.345, 1), "34.5 %");
+}
+
+TEST(TextTable, IndentPrefixesEveryLine) {
+  TextTable table({"x"});
+  table.add_row({"y"});
+  const std::string out = table.render(4);
+  EXPECT_EQ(out.rfind("    x", 0), 0u);
+}
+
+TEST(TextTable, SeparatorRows) {
+  TextTable table({"x"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  EXPECT_EQ(table.rows(), 3u);
+}
+
+TEST(Units, FormatSi) {
+  EXPECT_EQ(format_si(1.3e9, 1), "1.3 G");
+  EXPECT_EQ(format_si(25.0e6, 0), "25 M");
+  EXPECT_EQ(format_si(2400.0, 1), "2.4 k");
+  EXPECT_EQ(format_si(42.0, 0), "42 ");
+  EXPECT_EQ(format_si(0.001, 0), "1 m");
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(19.0 * kMiB, 1), "19.0 MiB");
+  EXPECT_EQ(format_bytes(2.0 * kGiB, 0), "2 GiB");
+  EXPECT_EQ(format_bytes(512.0, 0), "512 B");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(format_seconds(1.5, 1), "1.5 s");
+  EXPECT_EQ(format_seconds(0.0400, 0), "40 ms");
+  EXPECT_EQ(format_seconds(2e-6, 0), "2 us");
+}
+
+TEST(Units, FormatHertz) {
+  EXPECT_EQ(format_hertz(162.62e6, 2), "162.62 MHz");
+  EXPECT_EQ(format_hertz(3.0e9, 1), "3.0 GHz");
+}
+
+TEST(ErrorMacros, RequireThrowsWithContext) {
+  try {
+    BINOPT_REQUIRE(1 == 2, "context ", 42);
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, EnsureThrowsInvariantError) {
+  EXPECT_THROW(BINOPT_ENSURE(false), InvariantError);
+}
+
+TEST(ErrorMacros, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(BINOPT_REQUIRE(true));
+  EXPECT_NO_THROW(BINOPT_ENSURE(2 + 2 == 4, "math works"));
+}
+
+}  // namespace
+}  // namespace binopt

@@ -1,0 +1,122 @@
+#include "core/accelerator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+#include "finance/binomial.h"
+#include "finance/workload.h"
+
+namespace binopt::core {
+namespace {
+
+TEST(Accelerator, CpuReferencePathMatchesPricer) {
+  PricingAccelerator acc({Target::kCpuReference, 64, true});
+  const auto batch = finance::make_random_batch(10, 42);
+  const RunReport report = acc.run(batch);
+  const auto expected = finance::BinomialPricer(64).price_batch(batch);
+  EXPECT_LT(max_abs_error(report.prices, expected), 1e-15);
+  EXPECT_DOUBLE_EQ(report.rmse_vs_reference, 0.0);
+  EXPECT_FALSE(report.device_stats.has_value());
+}
+
+TEST(Accelerator, AcceleratedTargetsReturnDeviceStats) {
+  PricingAccelerator acc({Target::kFpgaKernelB, 32, true});
+  const RunReport report = acc.run(finance::make_random_batch(4, 1));
+  ASSERT_TRUE(report.device_stats.has_value());
+  EXPECT_GT(report.device_stats->work_items_executed, 0u);
+}
+
+TEST(Accelerator, ReportCarriesConsistentModelNumbers) {
+  PricingAccelerator acc({Target::kFpgaKernelB, 1024, false});
+  const auto batch = finance::make_random_batch(3, 2);
+  const RunReport report = acc.run(batch);
+  EXPECT_NEAR(report.nodes_per_second,
+              report.options_per_second * 524800.0, 1.0);
+  EXPECT_NEAR(report.modelled_seconds,
+              3.0 / report.options_per_second, 1e-12);
+  EXPECT_NEAR(report.options_per_joule,
+              report.options_per_second / report.power_watts, 1e-9);
+  EXPECT_NEAR(report.energy_joules,
+              report.modelled_seconds * report.power_watts, 1e-9);
+}
+
+TEST(Accelerator, EveryTargetRunsAndPricesSanely) {
+  const auto batch = finance::make_random_batch(3, 3);
+  const auto expected = finance::BinomialPricer(32).price_batch(batch);
+  for (Target target : all_targets()) {
+    PricingAccelerator acc({target, 32, true});
+    const RunReport report = acc.run(batch);
+    ASSERT_EQ(report.prices.size(), batch.size()) << to_string(target);
+    EXPECT_LT(rmse(report.prices, expected), 1e-2) << to_string(target);
+    EXPECT_GT(report.options_per_second, 0.0) << to_string(target);
+    EXPECT_GT(report.power_watts, 0.0) << to_string(target);
+  }
+}
+
+TEST(Accelerator, FpgaKernelBCarriesThePowDefectOthersDont) {
+  const auto batch = finance::make_random_batch(8, 4);
+  PricingAccelerator fpga_b({Target::kFpgaKernelB, 64, true});
+  PricingAccelerator gpu_b({Target::kGpuKernelB, 64, true});
+  PricingAccelerator fpga_a({Target::kFpgaKernelA, 64, true});
+  const double rmse_fpga_b = fpga_b.run(batch).rmse_vs_reference;
+  const double rmse_gpu_b = gpu_b.run(batch).rmse_vs_reference;
+  const double rmse_fpga_a = fpga_a.run(batch).rmse_vs_reference;
+  EXPECT_GT(rmse_fpga_b, 100.0 * rmse_gpu_b);
+  EXPECT_GT(rmse_fpga_b, 100.0 * rmse_fpga_a);
+}
+
+TEST(Accelerator, ModelledThroughputOrderingMatchesTableII) {
+  const std::size_t n = 1024;
+  const double a_fpga =
+      PricingAccelerator::modelled_options_per_second(Target::kFpgaKernelA, n);
+  const double a_gpu =
+      PricingAccelerator::modelled_options_per_second(Target::kGpuKernelA, n);
+  const double ref =
+      PricingAccelerator::modelled_options_per_second(Target::kCpuReference, n);
+  const double b_fpga =
+      PricingAccelerator::modelled_options_per_second(Target::kFpgaKernelB, n);
+  const double b_gpu =
+      PricingAccelerator::modelled_options_per_second(Target::kGpuKernelB, n);
+  const double b_gpu_sp = PricingAccelerator::modelled_options_per_second(
+      Target::kGpuKernelBSingle, n);
+  // The paper's ordering: IV.A is SLOWER than the reference software;
+  // IV.B beats everything, GPU single on top for raw throughput.
+  EXPECT_LT(a_fpga, ref);
+  EXPECT_LT(a_gpu, ref);
+  EXPECT_GT(b_fpga, 2000.0);  // the use-case target
+  EXPECT_GT(b_gpu, b_fpga);
+  EXPECT_GT(b_gpu_sp, b_gpu);
+}
+
+TEST(Accelerator, EnergyEfficiencyOrderingMatchesTableII) {
+  auto opj = [](Target t) {
+    return PricingAccelerator::modelled_options_per_second(t, 1024) /
+           PricingAccelerator::modelled_power_watts(t);
+  };
+  // options/J: GPU-single 340 > FPGA-B 140 > GPU-B 64 > ref 1.85 > A-FPGA
+  // 1.7 > A-GPU 0.4.
+  EXPECT_GT(opj(Target::kGpuKernelBSingle), opj(Target::kFpgaKernelB));
+  EXPECT_GT(opj(Target::kFpgaKernelB), opj(Target::kGpuKernelB));
+  EXPECT_GT(opj(Target::kGpuKernelB), opj(Target::kCpuReference));
+  EXPECT_GT(opj(Target::kCpuReference), opj(Target::kGpuKernelA));
+  EXPECT_GT(opj(Target::kFpgaKernelA), opj(Target::kGpuKernelA));
+}
+
+TEST(Accelerator, TargetNamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (Target t : all_targets()) {
+    const std::string name = to_string(t);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate " << name;
+  }
+}
+
+TEST(Accelerator, RejectsBadConfig) {
+  EXPECT_THROW(PricingAccelerator({Target::kCpuReference, 1, true}),
+               PreconditionError);
+  PricingAccelerator acc({Target::kCpuReference, 16, true});
+  EXPECT_THROW((void)acc.run({}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace binopt::core

@@ -1,0 +1,100 @@
+#include "core/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "devices/calibration.h"
+#include "finance/workload.h"
+#include "kernels/ir_builders.h"
+
+namespace binopt::core {
+namespace {
+
+TEST(Evaluation, FastModeSkipsFunctionalRuns) {
+  Table2Config config;
+  config.functional_rmse = false;
+  const auto rows = build_table2(config);
+  ASSERT_EQ(rows.size(), 7u);
+  for (const auto& row : rows) {
+    EXPECT_FALSE(row.rmse_measured);
+    EXPECT_DOUBLE_EQ(row.rmse, 0.0);
+    EXPECT_GT(row.options_per_s, 0.0);
+    EXPECT_GT(row.options_per_joule, 0.0);
+    EXPECT_GT(row.nodes_per_s, row.options_per_s);  // N(N+1)/2 > 1
+  }
+}
+
+TEST(Evaluation, RowsAreDeterministic) {
+  Table2Config config;
+  config.functional_rmse = false;
+  const auto a = build_table2(config);
+  const auto b = build_table2(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].options_per_s, b[i].options_per_s);
+    EXPECT_DOUBLE_EQ(a[i].options_per_joule, b[i].options_per_joule);
+  }
+}
+
+TEST(Evaluation, NodesPerSecondConsistentWithShape) {
+  Table2Config config;
+  config.steps = 512;
+  config.functional_rmse = false;
+  const auto rows = build_table2(config);
+  const double nodes_per_option = 512.0 * 513.0 / 2.0;
+  for (const auto& row : rows) {
+    EXPECT_NEAR(row.nodes_per_s / row.options_per_s, nodes_per_option, 1.0);
+  }
+}
+
+TEST(Evaluation, RenderWithoutPaperRowsOmitsThem) {
+  Table2Config config;
+  config.functional_rmse = false;
+  const std::string text = render_table2(build_table2(config), false);
+  EXPECT_EQ(text.find("[paper]"), std::string::npos);
+  EXPECT_NE(text.find("Kernel IV.A"), std::string::npos);
+}
+
+TEST(Evaluation, KernelIrBuildersStayConsistentWithTheKernels) {
+  // Structural facts the fitter relies on; if the kernel bodies change,
+  // these pin the IRs to follow.
+  const auto ir_a = kernels::kernel_a_ir(1024);
+  EXPECT_TRUE(ir_a.coalescing_fifos);
+  EXPECT_TRUE(ir_a.local_buffers.empty());
+  EXPECT_DOUBLE_EQ(ir_a.loop_trip_count, 1.0);
+  for (const auto& op : ir_a.ops) {
+    EXPECT_EQ(op.section, fpga::Section::kStraightLine);
+    EXPECT_NE(op.kind, fpga::OpKind::kFPow);  // host leaves: no pow!
+  }
+
+  const auto ir_b = kernels::kernel_b_ir(1024);
+  EXPECT_FALSE(ir_b.coalescing_fifos);
+  ASSERT_EQ(ir_b.local_buffers.size(), 1u);
+  EXPECT_EQ(ir_b.local_buffers[0].words, 1025u);  // the V row
+  EXPECT_DOUBLE_EQ(ir_b.loop_trip_count, 1024.0);
+  bool has_pow = false;
+  for (const auto& op : ir_b.ops) {
+    if (op.kind == fpga::OpKind::kFPow) {
+      has_pow = true;
+      EXPECT_EQ(op.section, fpga::Section::kStraightLine);  // leaf init only
+    }
+  }
+  EXPECT_TRUE(has_pow);  // the Power operator IS in kernel B
+}
+
+TEST(Evaluation, HostLeavesTargetIsSlightlySlowerThanBase) {
+  const double base = PricingAccelerator::modelled_options_per_second(
+      Target::kFpgaKernelB, 1024);
+  const double fallback = PricingAccelerator::modelled_options_per_second(
+      Target::kFpgaKernelBHostLeaves, 1024);
+  EXPECT_LT(fallback, base);          // "to the detriment of speed"...
+  EXPECT_GT(fallback, base * 0.95);   // ...but only a few percent here
+}
+
+TEST(Evaluation, HostLeavesTargetIsExactThroughTheFullStack) {
+  PricingAccelerator acc({Target::kFpgaKernelBHostLeaves, 64, true});
+  const auto report = acc.run(finance::make_smoke_batch());
+  EXPECT_LT(report.rmse_vs_reference, 1e-11);
+}
+
+}  // namespace
+}  // namespace binopt::core

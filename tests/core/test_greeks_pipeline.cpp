@@ -1,0 +1,70 @@
+#include "core/greeks_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "finance/black_scholes.h"
+#include "finance/greeks.h"
+#include "finance/workload.h"
+
+namespace binopt::core {
+namespace {
+
+TEST(GreeksPipeline, MatchesLatticeGreeksOnExactTarget) {
+  const std::size_t steps = 128;
+  GreeksPipeline pipeline({Target::kGpuKernelB, steps, 1e-3, 1e-3});
+  const auto batch = finance::make_curve_batch(9);
+  const BatchGreeks g = pipeline.run(batch);
+  ASSERT_EQ(g.delta.size(), batch.size());
+
+  for (std::size_t i = 0; i < batch.size(); i += 4) {
+    const finance::Greeks lattice =
+        finance::binomial_greeks(batch[i], steps);
+    EXPECT_NEAR(g.price[i], lattice.price, 1e-9) << "option " << i;
+    // Bump deltas carry lattice-grid noise (the bump shifts S0 relative
+    // to the leaf grid), so the agreement band is looser than the price.
+    EXPECT_NEAR(g.delta[i], lattice.delta, 1e-2) << "option " << i;
+    EXPECT_NEAR(g.vega[i], lattice.vega, 0.5) << "option " << i;
+  }
+}
+
+TEST(GreeksPipeline, CallDeltasDecreaseAcrossTheStrikeLadder) {
+  GreeksPipeline pipeline({Target::kGpuKernelB, 64, 1e-3, 1e-3});
+  const auto batch = finance::make_curve_batch(15);
+  const BatchGreeks g = pipeline.run(batch);
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    EXPECT_LT(g.delta[i], g.delta[i - 1] + 1e-6) << "strike index " << i;
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_GE(g.delta[i], -1e-9);
+    EXPECT_LE(g.delta[i], 1.0 + 1e-9);
+    EXPECT_GT(g.vega[i], 0.0);
+  }
+}
+
+TEST(GreeksPipeline, GammaPositiveNearTheMoney) {
+  GreeksPipeline pipeline({Target::kGpuKernelB, 128, 2e-3, 1e-3});
+  const auto batch = finance::make_curve_batch(5);  // strikes 60..140
+  const BatchGreeks g = pipeline.run(batch);
+  EXPECT_GT(g.gamma[2], 0.0);  // the ATM point
+}
+
+TEST(GreeksPipeline, AccountsPricingsAndModelledCost) {
+  GreeksPipeline pipeline({Target::kFpgaKernelB, 32, 1e-3, 1e-3});
+  const auto batch = finance::make_curve_batch(10);
+  const BatchGreeks g = pipeline.run(batch);
+  EXPECT_EQ(g.pricings, 50u);
+  EXPECT_GT(g.modelled_seconds, 0.0);
+  EXPECT_GT(g.modelled_energy_joules, 0.0);
+}
+
+TEST(GreeksPipeline, ValidatesConfig) {
+  EXPECT_THROW(GreeksPipeline({Target::kGpuKernelB, 64, 0.5, 1e-3}),
+               PreconditionError);
+  EXPECT_THROW(GreeksPipeline({Target::kGpuKernelB, 64, 1e-3, 0.0}),
+               PreconditionError);
+  GreeksPipeline ok({Target::kGpuKernelB, 64, 1e-3, 1e-3});
+  EXPECT_THROW((void)ok.run({}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace binopt::core

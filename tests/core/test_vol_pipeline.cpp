@@ -1,0 +1,103 @@
+#include "core/vol_curve_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finance/vol_curve.h"
+
+namespace binopt::core {
+namespace {
+
+finance::OptionSpec base_option() {
+  finance::OptionSpec spec;
+  spec.spot = 100.0;
+  spec.rate = 0.04;
+  spec.maturity = 1.0;
+  spec.type = finance::OptionType::kCall;
+  spec.style = finance::ExerciseStyle::kAmerican;
+  return spec;
+}
+
+TEST(VolCurvePipeline, RecoversSmileThroughAcceleratedPricer) {
+  const finance::OptionSpec base = base_option();
+  finance::SmileModel smile;
+  smile.base_vol = 0.25;
+  smile.skew = -0.06;
+  smile.smile = 0.08;
+  const std::size_t steps = 32;
+  const auto quotes = finance::synthesize_chain(base, smile, 15, 0.85, 1.15,
+                                                steps);
+
+  VolCurvePipeline::Config config;
+  config.target = Target::kGpuKernelB;  // exact double path
+  config.steps = steps;
+  VolCurvePipeline pipeline(base, config);
+  const CurveResult result = pipeline.solve(quotes);
+
+  ASSERT_EQ(result.curve.size(), quotes.size());
+  const double forward = 100.0 * std::exp(0.04);
+  for (const auto& point : result.curve) {
+    ASSERT_TRUE(point.converged) << "strike " << point.strike;
+    EXPECT_NEAR(point.implied_vol, smile.vol_at(point.strike, forward), 2e-3)
+        << "strike " << point.strike;
+  }
+  EXPECT_GT(result.solver_iterations, 5u);
+  EXPECT_EQ(result.total_pricings,
+            (result.solver_iterations + 2) * quotes.size());
+}
+
+TEST(VolCurvePipeline, FlagsUnattainableQuotes) {
+  const auto base = base_option();
+  VolCurvePipeline::Config config;
+  config.target = Target::kGpuKernelB;
+  config.steps = 16;
+  VolCurvePipeline pipeline(base, config);
+  const CurveResult result = pipeline.solve({{100.0, 1e6}});
+  ASSERT_EQ(result.curve.size(), 1u);
+  EXPECT_FALSE(result.curve[0].converged);
+}
+
+TEST(VolCurvePipeline, ReportsModelledCostAndLatencyTarget) {
+  const auto base = base_option();
+  VolCurvePipeline::Config config;
+  config.target = Target::kFpgaKernelB;
+  config.steps = 16;
+  VolCurvePipeline pipeline(base, config);
+  const auto quotes = finance::synthesize_chain(base, finance::SmileModel{},
+                                                10, 0.9, 1.1, 16);
+  const CurveResult result = pipeline.solve(quotes);
+  EXPECT_GT(result.modelled_seconds, 0.0);
+  EXPECT_GT(result.modelled_energy_joules, 0.0);
+  // 10-quote chains evaluate far faster than the 1 s budget on IV.B.
+  EXPECT_TRUE(result.meets_one_second_target);
+}
+
+TEST(VolCurvePipeline, ApproxPowTargetStillRecoversCurveApproximately) {
+  // The paper's open question: does the defective pow spoil the use case?
+  // The implied-vol error stays in the same 1e-3 class as the price error.
+  const auto base = base_option();
+  finance::SmileModel smile;
+  const std::size_t steps = 32;
+  const auto quotes =
+      finance::synthesize_chain(base, smile, 9, 0.9, 1.1, steps);
+  VolCurvePipeline::Config config;
+  config.target = Target::kFpgaKernelB;  // approx pow
+  config.steps = steps;
+  VolCurvePipeline pipeline(base, config);
+  const CurveResult result = pipeline.solve(quotes);
+  const double forward = 100.0 * std::exp(0.04);
+  for (const auto& point : result.curve) {
+    EXPECT_NEAR(point.implied_vol, smile.vol_at(point.strike, forward), 2e-2);
+  }
+}
+
+TEST(VolCurvePipeline, RejectsEmptyChain) {
+  VolCurvePipeline::Config config;
+  config.steps = 16;
+  VolCurvePipeline pipeline(base_option(), config);
+  EXPECT_THROW((void)pipeline.solve({}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace binopt::core

@@ -1,0 +1,80 @@
+// Energy-accounting tests, including the paper's two headline ratios:
+// FPGA kernel IV.B is >5x more energy efficient than the reference
+// software and ~2x more than the GPU (double precision).
+#include "energy/energy_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/accelerator.h"
+
+namespace binopt::energy {
+namespace {
+
+TEST(EnergyMetrics, BasicIdentities) {
+  const EnergyMetrics m = EnergyMetrics::from(2400.0, 17.0);
+  EXPECT_NEAR(m.options_per_joule, 2400.0 / 17.0, 1e-12);
+  EXPECT_NEAR(m.joules_per_option * m.options_per_joule, 1.0, 1e-12);
+}
+
+TEST(EnergyMetrics, Validation) {
+  EXPECT_THROW((void)EnergyMetrics::from(0.0, 17.0), PreconditionError);
+  EXPECT_THROW((void)EnergyMetrics::from(100.0, 0.0), PreconditionError);
+}
+
+TEST(EnergyForWorkload, ScalesLinearly) {
+  const double one = energy_for_workload(1.0, 2400.0, 17.0);
+  const double many = energy_for_workload(2000.0, 2400.0, 17.0);
+  EXPECT_NEAR(many, 2000.0 * one, 1e-9);
+  // 2000 options at 140 options/J is ~14 J.
+  EXPECT_NEAR(many, 2000.0 * 17.0 / 2400.0, 1e-9);
+}
+
+TEST(EfficiencyRatio, FpgaKernelBVsReferenceExceedsFive) {
+  // Paper Section V-C: "more than 5 times more energy efficient than the
+  // software reference".
+  using core::PricingAccelerator;
+  using core::Target;
+  const EnergyMetrics fpga = EnergyMetrics::from(
+      PricingAccelerator::modelled_options_per_second(Target::kFpgaKernelB,
+                                                      1024),
+      PricingAccelerator::modelled_power_watts(Target::kFpgaKernelB));
+  const EnergyMetrics reference = EnergyMetrics::from(
+      PricingAccelerator::modelled_options_per_second(Target::kCpuReference,
+                                                      1024),
+      PricingAccelerator::modelled_power_watts(Target::kCpuReference));
+  EXPECT_GT(efficiency_ratio(fpga, reference), 5.0);
+}
+
+TEST(EfficiencyRatio, FpgaKernelBVsGpuDoubleAboutTwo) {
+  // Paper Section V-C: "the DE4 board is 2 times more energy-efficient
+  // than the GPU implementation" (double precision).
+  using core::PricingAccelerator;
+  using core::Target;
+  const EnergyMetrics fpga = EnergyMetrics::from(
+      PricingAccelerator::modelled_options_per_second(Target::kFpgaKernelB,
+                                                      1024),
+      PricingAccelerator::modelled_power_watts(Target::kFpgaKernelB));
+  const EnergyMetrics gpu = EnergyMetrics::from(
+      PricingAccelerator::modelled_options_per_second(Target::kGpuKernelB,
+                                                      1024),
+      PricingAccelerator::modelled_power_watts(Target::kGpuKernelB));
+  EXPECT_NEAR(efficiency_ratio(fpga, gpu), 2.2, 0.4);
+}
+
+TEST(EfficiencyRatio, KernelAFpgaStillBeatsItsGpuVersion) {
+  // Table II: 1.7 vs 0.4 options/J.
+  using core::PricingAccelerator;
+  using core::Target;
+  const EnergyMetrics fpga = EnergyMetrics::from(
+      PricingAccelerator::modelled_options_per_second(Target::kFpgaKernelA,
+                                                      1024),
+      PricingAccelerator::modelled_power_watts(Target::kFpgaKernelA));
+  const EnergyMetrics gpu = EnergyMetrics::from(
+      PricingAccelerator::modelled_options_per_second(Target::kGpuKernelA,
+                                                      1024),
+      PricingAccelerator::modelled_power_watts(Target::kGpuKernelA));
+  EXPECT_GT(efficiency_ratio(fpga, gpu), 3.5);
+}
+
+}  // namespace
+}  // namespace binopt::energy

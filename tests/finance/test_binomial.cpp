@@ -1,0 +1,310 @@
+// Unit and property tests of the CRR binomial pricer — the reference
+// software every kernel is validated against, so it gets the heaviest
+// scrutiny in the suite.
+#include "finance/binomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finance/black_scholes.h"
+#include "finance/option.h"
+#include "finance/workload.h"
+
+namespace binopt::finance {
+namespace {
+
+OptionSpec atm_call() {
+  OptionSpec spec;
+  spec.spot = 100.0;
+  spec.strike = 100.0;
+  spec.rate = 0.05;
+  spec.volatility = 0.20;
+  spec.maturity = 1.0;
+  spec.type = OptionType::kCall;
+  spec.style = ExerciseStyle::kAmerican;
+  return spec;
+}
+
+TEST(LatticeParams, StandardCrrIsArbitrageFree) {
+  const LatticeParams lp = LatticeParams::from(atm_call(), 256);
+  EXPECT_GT(lp.prob_up, 0.0);
+  EXPECT_LT(lp.prob_up, 1.0);
+  EXPECT_NEAR(lp.prob_up + lp.prob_down, 1.0, 1e-15);
+  EXPECT_NEAR(lp.up * lp.down, 1.0, 1e-15);
+  EXPECT_GT(lp.up, 1.0);
+  EXPECT_LT(lp.discount, 1.0);
+}
+
+TEST(LatticeParams, MartingaleProperty) {
+  // E[S(t+1)] = S(t) * e^{(r-q) dt} under the risk-neutral measure.
+  const OptionSpec spec = atm_call();
+  const LatticeParams lp = LatticeParams::from(spec, 512);
+  const double growth = std::exp((spec.rate - spec.dividend) * lp.dt);
+  EXPECT_NEAR(lp.prob_up * lp.up + lp.prob_down * lp.down, growth, 1e-14);
+}
+
+TEST(LatticeParams, PaperLiteralConventionDiffers) {
+  const LatticeParams crr = LatticeParams::from(atm_call(), 64);
+  const LatticeParams lit =
+      LatticeParams::from(atm_call(), 64, ParamConvention::kPaperLiteral);
+  // d = exp(-sigma*dt) vs exp(-sigma*sqrt(dt)): different factors at dt<1.
+  EXPECT_NE(crr.down, lit.down);
+  EXPECT_NEAR(lit.down, std::exp(-0.20 * (1.0 / 64.0)), 1e-15);
+}
+
+TEST(LatticeParams, RejectsDegenerateTree) {
+  OptionSpec spec = atm_call();
+  spec.rate = 3.0;  // e^{r dt} > u at one step: p > 1
+  spec.volatility = 0.01;
+  EXPECT_THROW((void)LatticeParams::from(spec, 1), PreconditionError);
+}
+
+TEST(BinomialPricer, ConvergesToBlackScholesForEuropeanCall) {
+  OptionSpec spec = atm_call();
+  spec.style = ExerciseStyle::kEuropean;
+  const double analytic = black_scholes_price(spec);
+  double prev_err = 1e9;
+  for (std::size_t n : {64, 256, 1024}) {
+    const double err = std::abs(BinomialPricer(n).price(spec) - analytic);
+    EXPECT_LT(err, prev_err) << "no convergence at n = " << n;
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 5e-3);
+}
+
+TEST(BinomialPricer, ConvergesToBlackScholesForEuropeanPut) {
+  OptionSpec spec = atm_call();
+  spec.type = OptionType::kPut;
+  spec.style = ExerciseStyle::kEuropean;
+  const double analytic = black_scholes_price(spec);
+  EXPECT_NEAR(BinomialPricer(2048).price(spec), analytic, 2e-3);
+}
+
+TEST(BinomialPricer, AmericanCallOnNonDividendStockEqualsEuropean) {
+  // Classic no-early-exercise result (Merton): American call = European
+  // call when the underlying pays no dividends.
+  OptionSpec american = atm_call();
+  OptionSpec european = american;
+  european.style = ExerciseStyle::kEuropean;
+  const BinomialPricer pricer(512);
+  EXPECT_NEAR(pricer.price(american), pricer.price(european), 1e-12);
+}
+
+TEST(BinomialPricer, AmericanPutCarriesEarlyExercisePremium) {
+  OptionSpec spec = atm_call();
+  spec.type = OptionType::kPut;
+  OptionSpec european = spec;
+  european.style = ExerciseStyle::kEuropean;
+  const BinomialPricer pricer(512);
+  EXPECT_GT(pricer.price(spec), pricer.price(european) + 1e-4);
+}
+
+TEST(BinomialPricer, AmericanDominatesEuropeanEverywhere) {
+  const BinomialPricer pricer(128);
+  for (const OptionSpec& base : make_random_batch(50, 7)) {
+    OptionSpec american = base;
+    american.style = ExerciseStyle::kAmerican;
+    OptionSpec european = base;
+    european.style = ExerciseStyle::kEuropean;
+    EXPECT_GE(pricer.price(american), pricer.price(european) - 1e-12);
+  }
+}
+
+TEST(BinomialPricer, PriceAtLeastIntrinsicForAmerican) {
+  const BinomialPricer pricer(128);
+  for (const OptionSpec& spec : make_random_batch(50, 11)) {
+    EXPECT_GE(pricer.price(spec), spec.payoff(spec.spot) - 1e-12);
+  }
+}
+
+TEST(BinomialPricer, MonotoneInVolatility) {
+  const BinomialPricer pricer(256);
+  OptionSpec spec = atm_call();
+  double prev = 0.0;
+  for (double sigma : {0.05, 0.10, 0.20, 0.40, 0.80}) {
+    spec.volatility = sigma;
+    const double p = pricer.price(spec);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(BinomialPricer, CallMonotoneDecreasingInStrike) {
+  const BinomialPricer pricer(256);
+  OptionSpec spec = atm_call();
+  double prev = 1e18;
+  for (double k : {60.0, 80.0, 100.0, 120.0, 140.0}) {
+    spec.strike = k;
+    const double p = pricer.price(spec);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(BinomialPricer, PutCallParityAtEuropeanLimit) {
+  OptionSpec call = atm_call();
+  call.style = ExerciseStyle::kEuropean;
+  OptionSpec put = call;
+  put.type = OptionType::kPut;
+  const BinomialPricer pricer(2048);
+  const double lhs = pricer.price(call) - pricer.price(put);
+  const double rhs = call.spot - call.strike * std::exp(-call.rate);
+  EXPECT_NEAR(lhs, rhs, 1e-10);  // parity is exact on the lattice
+}
+
+TEST(BinomialPricer, DeepInTheMoneyPutExercisesImmediately) {
+  OptionSpec spec = atm_call();
+  spec.type = OptionType::kPut;
+  spec.strike = 300.0;
+  spec.volatility = 0.10;
+  const double price = BinomialPricer(256).price(spec);
+  EXPECT_NEAR(price, spec.strike - spec.spot, 1e-9);
+}
+
+TEST(BinomialPricer, OneStepTreeMatchesHandComputation) {
+  OptionSpec spec = atm_call();
+  spec.style = ExerciseStyle::kEuropean;
+  const LatticeParams lp = LatticeParams::from(spec, 1);
+  const double up_payoff = std::max(spec.spot * lp.up - spec.strike, 0.0);
+  const double dn_payoff = std::max(spec.spot * lp.down - spec.strike, 0.0);
+  const double expected =
+      lp.discount * (lp.prob_up * up_payoff + lp.prob_down * dn_payoff);
+  EXPECT_NEAR(BinomialPricer(1).price(spec), expected, 1e-12);
+}
+
+TEST(BinomialPricer, LeafAssetsIterativeMatchesPow) {
+  const BinomialPricer pricer(257);  // odd leaf count exercises both ends
+  const OptionSpec spec = atm_call();
+  const auto iter = pricer.leaf_assets_iterative(spec);
+  const auto powd = pricer.leaf_assets_pow<StdMath>(spec);
+  ASSERT_EQ(iter.size(), powd.size());
+  for (std::size_t k = 0; k < iter.size(); ++k) {
+    EXPECT_NEAR(iter[k] / powd[k], 1.0, 1e-12) << "leaf " << k;
+  }
+}
+
+TEST(BinomialPricer, LeavesAreSortedAndStraddleSpot) {
+  const BinomialPricer pricer(64);
+  const auto leaves = pricer.leaf_assets_iterative(atm_call());
+  ASSERT_EQ(leaves.size(), 65u);
+  for (std::size_t k = 1; k < leaves.size(); ++k) {
+    EXPECT_GT(leaves[k], leaves[k - 1]);
+  }
+  EXPECT_LT(leaves.front(), 100.0);
+  EXPECT_GT(leaves.back(), 100.0);
+  EXPECT_NEAR(leaves[32], 100.0, 1e-9);  // middle leaf recombines to S0
+}
+
+TEST(BinomialPricer, PriceFromLeavesMatchesPrice) {
+  const BinomialPricer pricer(128);
+  const OptionSpec spec = atm_call();
+  EXPECT_DOUBLE_EQ(
+      pricer.price_from_leaves(spec, pricer.leaf_assets_iterative(spec)),
+      pricer.price(spec));
+}
+
+TEST(BinomialPricer, PriceFromLeavesValidatesLeafCount) {
+  const BinomialPricer pricer(16);
+  EXPECT_THROW(
+      (void)pricer.price_from_leaves(atm_call(), std::vector<double>(5, 1.0)),
+      PreconditionError);
+}
+
+TEST(BinomialPricer, BatchMatchesScalarPricing) {
+  const auto batch = make_random_batch(20, 3);
+  const BinomialPricer pricer(64);
+  const auto prices = pricer.price_batch(batch);
+  ASSERT_EQ(prices.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(prices[i], pricer.price(batch[i]));
+  }
+}
+
+// --- Figure 1 semantics: the materialised tree -----------------------------
+
+TEST(BinomialTree, ShapeIsRecombining) {
+  const BinomialTree tree = BinomialPricer(8).build_tree(atm_call());
+  EXPECT_EQ(tree.steps, 8u);
+  ASSERT_EQ(tree.asset.size(), 9u);
+  for (std::size_t t = 0; t <= 8; ++t) {
+    EXPECT_EQ(tree.asset[t].size(), t + 1) << "level " << t;
+  }
+}
+
+TEST(BinomialTree, UpThenDownRecombines) {
+  const BinomialTree tree = BinomialPricer(4).build_tree(atm_call());
+  // One up + one down returns to the spot (Figure 1's recombination).
+  EXPECT_NEAR(tree.asset[2][1], 100.0, 1e-12);
+  EXPECT_NEAR(tree.asset[0][0], 100.0, 1e-12);
+}
+
+TEST(BinomialTree, RootMatchesRollingArrayPricer) {
+  const BinomialPricer pricer(64);
+  for (const OptionSpec& spec : make_random_batch(10, 5)) {
+    EXPECT_NEAR(pricer.build_tree(spec).root_value(), pricer.price(spec),
+                1e-12);
+  }
+}
+
+TEST(BinomialTree, LeafValuesAreEuropeanPayoffs) {
+  const OptionSpec spec = atm_call();
+  const BinomialTree tree = BinomialPricer(16).build_tree(spec);
+  for (std::size_t k = 0; k <= 16; ++k) {
+    EXPECT_DOUBLE_EQ(tree.value[16][k], spec.payoff(tree.asset[16][k]));
+  }
+}
+
+TEST(BinomialTree, AmericanPutHasContiguousExerciseRegionAtExpiryLevel) {
+  OptionSpec spec = atm_call();
+  spec.type = OptionType::kPut;
+  const BinomialTree tree = BinomialPricer(64).build_tree(spec);
+  // For a put, exercise happens at LOW asset prices: once we stop seeing
+  // exercise while scanning k upward, it never resumes.
+  for (std::size_t t = 0; t < 64; ++t) {
+    bool seen_no_exercise = false;
+    for (std::size_t k = 0; k <= t; ++k) {
+      if (!tree.exercised[t][k]) seen_no_exercise = true;
+      else EXPECT_FALSE(seen_no_exercise)
+          << "non-contiguous exercise at t=" << t << " k=" << k;
+    }
+  }
+}
+
+TEST(BinomialPricer, ConvenienceFunctionAgrees) {
+  EXPECT_DOUBLE_EQ(binomial_price(atm_call(), 128),
+                   BinomialPricer(128).price(atm_call()));
+}
+
+TEST(BinomialPricer, RejectsZeroSteps) {
+  EXPECT_THROW(BinomialPricer(0), PreconditionError);
+}
+
+// Parameterised convergence sweep: lattice error shrinks ~ O(1/N) for
+// European options across moneyness.
+class ConvergenceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConvergenceSweep, LatticeErrorShrinksWithSteps) {
+  OptionSpec spec = atm_call();
+  spec.style = ExerciseStyle::kEuropean;
+  spec.strike = GetParam();
+  const double analytic = black_scholes_price(spec);
+  // CRR prices oscillate between adjacent step counts for off-ATM
+  // strikes; averaging N and N+1 damps the oscillation so the underlying
+  // O(1/N) convergence is visible.
+  auto smoothed_error = [&](std::size_t n) {
+    const double p =
+        0.5 * (BinomialPricer(n).price(spec) + BinomialPricer(n + 1).price(spec));
+    return std::abs(p - analytic);
+  };
+  const double err_small = smoothed_error(128);
+  const double err_large = smoothed_error(1024);
+  EXPECT_LT(err_large, err_small + 1e-6);
+  EXPECT_LT(err_large, 2e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Moneyness, ConvergenceSweep,
+                         ::testing::Values(70.0, 85.0, 100.0, 115.0, 130.0));
+
+}  // namespace
+}  // namespace binopt::finance

@@ -1,0 +1,110 @@
+#include "finance/black_scholes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace binopt::finance {
+namespace {
+
+OptionSpec base_spec() {
+  OptionSpec spec;
+  spec.spot = 100.0;
+  spec.strike = 100.0;
+  spec.rate = 0.05;
+  spec.volatility = 0.20;
+  spec.maturity = 1.0;
+  spec.type = OptionType::kCall;
+  spec.style = ExerciseStyle::kEuropean;
+  return spec;
+}
+
+TEST(NormCdf, MatchesKnownValues) {
+  EXPECT_NEAR(norm_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(norm_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(norm_cdf(-1.0), 1.0 - 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(norm_cdf(5.0), 1.0, 1e-6);
+}
+
+TEST(NormPdf, SymmetricAndNormalizedAtZero) {
+  EXPECT_NEAR(norm_pdf(0.0), 0.3989422804014327, 1e-14);
+  EXPECT_DOUBLE_EQ(norm_pdf(1.3), norm_pdf(-1.3));
+}
+
+TEST(BlackScholes, HullTextbookCall) {
+  // Hull, Options Futures & Other Derivatives: S=42, K=40, r=10%,
+  // sigma=20%, T=0.5 -> call = 4.759, put = 0.808.
+  OptionSpec spec = base_spec();
+  spec.spot = 42.0;
+  spec.strike = 40.0;
+  spec.rate = 0.10;
+  spec.volatility = 0.20;
+  spec.maturity = 0.5;
+  EXPECT_NEAR(black_scholes_price(spec), 4.759, 1e-3);
+  spec.type = OptionType::kPut;
+  EXPECT_NEAR(black_scholes_price(spec), 0.808, 1e-3);
+}
+
+TEST(BlackScholes, PutCallParity) {
+  OptionSpec call = base_spec();
+  OptionSpec put = call;
+  put.type = OptionType::kPut;
+  const double lhs = black_scholes_price(call) - black_scholes_price(put);
+  const double rhs = call.spot - call.strike * std::exp(-call.rate);
+  EXPECT_NEAR(lhs, rhs, 1e-12);
+}
+
+TEST(BlackScholes, CallBoundedByForwardAndIntrinsic) {
+  OptionSpec spec = base_spec();
+  const double price = black_scholes_price(spec);
+  EXPECT_GT(price, 0.0);
+  EXPECT_LT(price, spec.spot);
+  EXPECT_GE(price, spec.spot - spec.strike * std::exp(-spec.rate) - 1e-12);
+}
+
+TEST(BlackScholes, VegaMatchesFiniteDifference) {
+  OptionSpec spec = base_spec();
+  const double analytic = black_scholes_vega(spec);
+  const double h = 1e-5;
+  OptionSpec up = spec;
+  up.volatility += h;
+  OptionSpec dn = spec;
+  dn.volatility -= h;
+  const double numeric =
+      (black_scholes_price(up) - black_scholes_price(dn)) / (2.0 * h);
+  EXPECT_NEAR(analytic, numeric, 1e-6);
+}
+
+TEST(BlackScholes, VegaPositiveAcrossMoneyness) {
+  OptionSpec spec = base_spec();
+  for (double k : {50.0, 80.0, 100.0, 120.0, 200.0}) {
+    spec.strike = k;
+    EXPECT_GT(black_scholes_vega(spec), 0.0) << "strike " << k;
+  }
+}
+
+TEST(BlackScholes, DividendYieldLowersCall) {
+  OptionSpec no_div = base_spec();
+  OptionSpec with_div = no_div;
+  with_div.dividend = 0.03;
+  EXPECT_LT(black_scholes_price(with_div), black_scholes_price(no_div));
+}
+
+TEST(BlackScholes, DeepItmCallApproachesDiscountedForwardPayoff) {
+  OptionSpec spec = base_spec();
+  spec.strike = 1.0;
+  const double expected = spec.spot - spec.strike * std::exp(-spec.rate);
+  EXPECT_NEAR(black_scholes_price(spec), expected, 1e-9);
+}
+
+TEST(BlackScholes, RejectsInvalidSpec) {
+  OptionSpec spec = base_spec();
+  spec.volatility = -0.1;
+  EXPECT_THROW((void)black_scholes_price(spec), PreconditionError);
+  spec = base_spec();
+  spec.spot = 0.0;
+  EXPECT_THROW((void)black_scholes_price(spec), PreconditionError);
+}
+
+}  // namespace
+}  // namespace binopt::finance

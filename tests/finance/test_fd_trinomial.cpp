@@ -1,0 +1,158 @@
+// Cross-method agreement tests: the finite-difference and trinomial
+// pricers must agree with the binomial reference — three independent
+// numerical schemes converging to the same American option value is a
+// strong correctness argument for all of them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finance/binomial.h"
+#include "finance/black_scholes.h"
+#include "finance/finite_difference.h"
+#include "finance/trinomial.h"
+
+namespace binopt::finance {
+namespace {
+
+OptionSpec base(OptionType type, ExerciseStyle style) {
+  OptionSpec spec;
+  spec.spot = 100.0;
+  spec.strike = 100.0;
+  spec.rate = 0.05;
+  spec.volatility = 0.20;
+  spec.maturity = 1.0;
+  spec.type = type;
+  spec.style = style;
+  return spec;
+}
+
+// --- Finite differences -----------------------------------------------------
+
+TEST(FiniteDifference, EuropeanCallMatchesBlackScholes) {
+  const OptionSpec spec = base(OptionType::kCall, ExerciseStyle::kEuropean);
+  const FdResult r = finite_difference_price(
+      spec, {.price_nodes = 401, .time_steps = 400});
+  EXPECT_NEAR(r.price, black_scholes_price(spec), 2e-2);
+}
+
+TEST(FiniteDifference, EuropeanPutMatchesBlackScholes) {
+  const OptionSpec spec = base(OptionType::kPut, ExerciseStyle::kEuropean);
+  const FdResult r = finite_difference_price(
+      spec, {.price_nodes = 401, .time_steps = 400});
+  EXPECT_NEAR(r.price, black_scholes_price(spec), 2e-2);
+}
+
+TEST(FiniteDifference, AmericanPutMatchesDeepBinomial) {
+  const OptionSpec spec = base(OptionType::kPut, ExerciseStyle::kAmerican);
+  const FdResult r = finite_difference_price(
+      spec, {.price_nodes = 401, .time_steps = 400});
+  EXPECT_NEAR(r.price, BinomialPricer(4096).price(spec), 5e-3);
+  EXPECT_GT(r.psor_iterations, 0u);
+}
+
+TEST(FiniteDifference, AmericanPremiumNonNegative) {
+  const OptionSpec amer = base(OptionType::kPut, ExerciseStyle::kAmerican);
+  const OptionSpec euro = base(OptionType::kPut, ExerciseStyle::kEuropean);
+  const FdConfig config{.price_nodes = 201, .time_steps = 100};
+  EXPECT_GE(finite_difference_price(amer, config).price,
+            finite_difference_price(euro, config).price - 1e-9);
+}
+
+TEST(FiniteDifference, DeltaIsSensible) {
+  const OptionSpec call = base(OptionType::kCall, ExerciseStyle::kEuropean);
+  const FdResult r = finite_difference_price(call);
+  const double bs_delta = norm_cdf(black_scholes_d1(call));
+  EXPECT_NEAR(r.delta, bs_delta, 2e-2);
+}
+
+TEST(FiniteDifference, AmericanValueNeverBelowObstacle) {
+  // Deep ITM put: the PSOR projection must pin the value at intrinsic.
+  OptionSpec spec = base(OptionType::kPut, ExerciseStyle::kAmerican);
+  spec.strike = 180.0;
+  const FdResult r = finite_difference_price(spec);
+  EXPECT_GE(r.price, spec.strike - spec.spot - 1e-9);
+}
+
+TEST(FiniteDifference, RefinementConverges) {
+  const OptionSpec spec = base(OptionType::kPut, ExerciseStyle::kAmerican);
+  const double anchor = BinomialPricer(4096).price(spec);
+  const double coarse = std::abs(
+      finite_difference_price(spec, {.price_nodes = 101, .time_steps = 50})
+          .price -
+      anchor);
+  const double fine = std::abs(
+      finite_difference_price(spec, {.price_nodes = 401, .time_steps = 400})
+          .price -
+      anchor);
+  EXPECT_LT(fine, coarse);
+}
+
+TEST(FiniteDifference, ValidatesConfig) {
+  const OptionSpec spec = base(OptionType::kPut, ExerciseStyle::kAmerican);
+  EXPECT_THROW((void)finite_difference_price(spec, {.price_nodes = 200}),
+               PreconditionError);  // even grid
+  EXPECT_THROW((void)finite_difference_price(spec, {.psor_omega = 2.5}),
+               PreconditionError);
+}
+
+// --- Trinomial ---------------------------------------------------------------
+
+TEST(Trinomial, EuropeanCallMatchesBlackScholes) {
+  const OptionSpec spec = base(OptionType::kCall, ExerciseStyle::kEuropean);
+  EXPECT_NEAR(trinomial_price(spec, 1024).price, black_scholes_price(spec),
+              5e-3);
+}
+
+TEST(Trinomial, AmericanPutMatchesDeepBinomial) {
+  const OptionSpec spec = base(OptionType::kPut, ExerciseStyle::kAmerican);
+  EXPECT_NEAR(trinomial_price(spec, 1024).price,
+              BinomialPricer(4096).price(spec), 5e-3);
+}
+
+TEST(Trinomial, ConvergesFasterPerStepThanBinomial) {
+  const OptionSpec spec = base(OptionType::kCall, ExerciseStyle::kEuropean);
+  const double analytic = black_scholes_price(spec);
+  const double tri_err =
+      std::abs(trinomial_price(spec, 256).price - analytic);
+  const double bin_err =
+      std::abs(BinomialPricer(256).price(spec) - analytic);
+  EXPECT_LT(tri_err, bin_err * 1.5);  // at least comparable per step
+}
+
+TEST(Trinomial, NodeCountIsQuadratic) {
+  const OptionSpec spec = base(OptionType::kCall, ExerciseStyle::kAmerican);
+  const TrinomialResult r = trinomial_price(spec, 10);
+  // Sum of layer widths: (2*10+1) + sum_{t=0..9} (2t+1) = 21 + 100.
+  EXPECT_EQ(r.nodes, 121u);
+}
+
+TEST(Trinomial, RejectsDegenerateProbabilities) {
+  OptionSpec spec = base(OptionType::kCall, ExerciseStyle::kAmerican);
+  spec.rate = 2.5;
+  spec.volatility = 0.05;
+  EXPECT_THROW((void)trinomial_price(spec, 2), PreconditionError);
+  EXPECT_THROW((void)trinomial_price(spec, 64, 1.0), PreconditionError);
+}
+
+TEST(Trinomial, AmericanDominatesEuropean) {
+  const OptionSpec amer = base(OptionType::kPut, ExerciseStyle::kAmerican);
+  const OptionSpec euro = base(OptionType::kPut, ExerciseStyle::kEuropean);
+  EXPECT_GT(trinomial_price(amer, 512).price,
+            trinomial_price(euro, 512).price);
+}
+
+// --- Four-way agreement -------------------------------------------------------
+
+TEST(MethodAgreement, AllSchemesWithinTolerance) {
+  const OptionSpec spec = base(OptionType::kPut, ExerciseStyle::kAmerican);
+  const double binomial = BinomialPricer(2048).price(spec);
+  const double trinomial = trinomial_price(spec, 1024).price;
+  const double fd =
+      finite_difference_price(spec, {.price_nodes = 401, .time_steps = 400})
+          .price;
+  EXPECT_NEAR(trinomial, binomial, 5e-3);
+  EXPECT_NEAR(fd, binomial, 5e-3);
+}
+
+}  // namespace
+}  // namespace binopt::finance

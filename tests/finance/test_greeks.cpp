@@ -1,0 +1,83 @@
+#include "finance/greeks.h"
+
+#include <gtest/gtest.h>
+
+#include "finance/black_scholes.h"
+
+namespace binopt::finance {
+namespace {
+
+OptionSpec euro_call() {
+  OptionSpec spec;
+  spec.spot = 100.0;
+  spec.strike = 100.0;
+  spec.rate = 0.05;
+  spec.volatility = 0.20;
+  spec.maturity = 1.0;
+  spec.type = OptionType::kCall;
+  spec.style = ExerciseStyle::kEuropean;
+  return spec;
+}
+
+TEST(Greeks, EuropeanCallDeltaMatchesBlackScholes) {
+  const OptionSpec spec = euro_call();
+  const Greeks g = binomial_greeks(spec, 2048);
+  const double bs_delta = norm_cdf(black_scholes_d1(spec));
+  EXPECT_NEAR(g.delta, bs_delta, 5e-3);
+}
+
+TEST(Greeks, EuropeanVegaMatchesBlackScholes) {
+  const OptionSpec spec = euro_call();
+  const Greeks g = binomial_greeks(spec, 1024);
+  EXPECT_NEAR(g.vega, black_scholes_vega(spec), 0.05);
+}
+
+TEST(Greeks, CallDeltaInUnitInterval) {
+  OptionSpec spec = euro_call();
+  spec.style = ExerciseStyle::kAmerican;
+  for (double k : {60.0, 100.0, 150.0}) {
+    spec.strike = k;
+    const Greeks g = binomial_greeks(spec, 256);
+    EXPECT_GE(g.delta, 0.0) << "strike " << k;
+    EXPECT_LE(g.delta, 1.0) << "strike " << k;
+  }
+}
+
+TEST(Greeks, PutDeltaNegative) {
+  OptionSpec spec = euro_call();
+  spec.type = OptionType::kPut;
+  spec.style = ExerciseStyle::kAmerican;
+  const Greeks g = binomial_greeks(spec, 256);
+  EXPECT_LT(g.delta, 0.0);
+  EXPECT_GE(g.delta, -1.0);
+}
+
+TEST(Greeks, GammaPositive) {
+  const Greeks g = binomial_greeks(euro_call(), 512);
+  EXPECT_GT(g.gamma, 0.0);
+}
+
+TEST(Greeks, ThetaNegativeForAtmCall) {
+  const Greeks g = binomial_greeks(euro_call(), 512);
+  EXPECT_LT(g.theta, 0.0);
+}
+
+TEST(Greeks, RhoPositiveForCallNegativeForPut) {
+  OptionSpec spec = euro_call();
+  EXPECT_GT(binomial_greeks(spec, 256).rho, 0.0);
+  spec.type = OptionType::kPut;
+  EXPECT_LT(binomial_greeks(spec, 256).rho, 0.0);
+}
+
+TEST(Greeks, PriceFieldMatchesPricer) {
+  const OptionSpec spec = euro_call();
+  EXPECT_NEAR(binomial_greeks(spec, 256).price,
+              BinomialPricer(256).price(spec), 1e-12);
+}
+
+TEST(Greeks, RejectsTinyTrees) {
+  EXPECT_THROW((void)binomial_greeks(euro_call(), 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace binopt::finance

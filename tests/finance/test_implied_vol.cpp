@@ -1,0 +1,122 @@
+#include "finance/implied_vol.h"
+
+#include <gtest/gtest.h>
+
+#include "finance/binomial.h"
+#include "finance/black_scholes.h"
+
+namespace binopt::finance {
+namespace {
+
+OptionSpec euro_call() {
+  OptionSpec spec;
+  spec.spot = 100.0;
+  spec.strike = 105.0;
+  spec.rate = 0.03;
+  spec.volatility = 0.25;  // the "true" vol used to make quotes
+  spec.maturity = 0.75;
+  spec.type = OptionType::kCall;
+  spec.style = ExerciseStyle::kEuropean;
+  return spec;
+}
+
+TEST(ImpliedVol, RoundTripsBlackScholes) {
+  const OptionSpec spec = euro_call();
+  const double quote = black_scholes_price(spec);
+  const ImpliedVolResult r = implied_volatility_black_scholes(spec, quote);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.sigma, spec.volatility, 1e-6);
+  EXPECT_LT(std::abs(r.residual), 1e-7);
+}
+
+TEST(ImpliedVol, RoundTripsBinomialAmericanPut) {
+  OptionSpec spec = euro_call();
+  spec.type = OptionType::kPut;
+  spec.style = ExerciseStyle::kAmerican;
+  const BinomialPricer pricer(256);
+  const double quote = pricer.price(spec);
+  const auto price_fn = [&](const OptionSpec& s) { return pricer.price(s); };
+  ImpliedVolConfig config;
+  // CRR lattices need the lower bracket above the arbitrage-free floor.
+  config.sigma_lo = LatticeParams::min_volatility(spec, 256);
+  const ImpliedVolResult r = implied_volatility(spec, quote, price_fn, config);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.sigma, spec.volatility, 1e-5);
+}
+
+TEST(ImpliedVol, MinVolatilityFloorIsExactlyTheLatticeBoundary) {
+  OptionSpec spec = euro_call();
+  const std::size_t steps = 64;
+  const double floor = LatticeParams::min_volatility(spec, steps);
+  spec.volatility = floor;
+  EXPECT_NO_THROW((void)LatticeParams::from(spec, steps));
+  spec.volatility = floor / 1.10;
+  EXPECT_THROW((void)LatticeParams::from(spec, steps), PreconditionError);
+}
+
+TEST(ImpliedVol, RoundTripsAcrossVolLevels) {
+  for (double sigma : {0.05, 0.15, 0.40, 0.90, 1.80}) {
+    OptionSpec spec = euro_call();
+    spec.volatility = sigma;
+    const double quote = black_scholes_price(spec);
+    const ImpliedVolResult r = implied_volatility_black_scholes(spec, quote);
+    EXPECT_TRUE(r.converged) << "sigma " << sigma;
+    EXPECT_NEAR(r.sigma, sigma, 1e-5) << "sigma " << sigma;
+  }
+}
+
+TEST(ImpliedVol, RejectsPriceBelowAttainableRange) {
+  // With the bracket floored at sigma = 0.05 an ATM-forward call cannot
+  // be nearly free: the quote sits below the attainable price range.
+  const OptionSpec spec = euro_call();
+  ImpliedVolConfig config;
+  config.sigma_lo = 0.05;
+  EXPECT_THROW((void)implied_volatility_black_scholes(spec, 1e-9, config),
+               PreconditionError);
+}
+
+TEST(ImpliedVol, RejectsPriceAboveAttainableRange) {
+  const OptionSpec spec = euro_call();
+  EXPECT_THROW(
+      (void)implied_volatility_black_scholes(spec, /*market_price=*/99.0),
+      PreconditionError);
+}
+
+TEST(ImpliedVol, RespectsIterationBudget) {
+  ImpliedVolConfig config;
+  config.max_iterations = 5;
+  config.price_tol = 1e-14;  // unreachable in 5 bisections
+  config.sigma_tol = 0.0;
+  const OptionSpec spec = euro_call();
+  const double quote = black_scholes_price(spec);
+  const ImpliedVolResult r =
+      implied_volatility_black_scholes(spec, quote, config);
+  EXPECT_LE(r.iterations, 5u);
+}
+
+TEST(ImpliedVol, ConvergesAtBracketEndpoint) {
+  ImpliedVolConfig config;
+  config.sigma_lo = 0.25;  // quote generated exactly at the lower bracket
+  const OptionSpec spec = euro_call();
+  OptionSpec at_lo = spec;
+  at_lo.volatility = config.sigma_lo;
+  const double quote = black_scholes_price(at_lo);
+  const ImpliedVolResult r =
+      implied_volatility_black_scholes(spec, quote, config);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.sigma, 0.25, 1e-6);
+}
+
+TEST(ImpliedVol, ValidatesInputs) {
+  const OptionSpec spec = euro_call();
+  const auto fn = [](const OptionSpec& s) { return black_scholes_price(s); };
+  EXPECT_THROW((void)implied_volatility(spec, -1.0, fn), PreconditionError);
+  ImpliedVolConfig bad;
+  bad.sigma_lo = 0.5;
+  bad.sigma_hi = 0.1;
+  EXPECT_THROW((void)implied_volatility(spec, 5.0, fn, bad),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace binopt::finance

@@ -1,0 +1,122 @@
+#include "finance/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finance/binomial.h"
+#include "finance/black_scholes.h"
+
+namespace binopt::finance {
+namespace {
+
+OptionSpec euro_call() {
+  OptionSpec spec;
+  spec.spot = 100.0;
+  spec.strike = 100.0;
+  spec.rate = 0.05;
+  spec.volatility = 0.20;
+  spec.maturity = 1.0;
+  spec.type = OptionType::kCall;
+  spec.style = ExerciseStyle::kEuropean;
+  return spec;
+}
+
+TEST(MonteCarloEuropean, ConvergesToBlackScholesWithinErrorBars) {
+  const OptionSpec spec = euro_call();
+  McConfig config;
+  config.paths = 200000;
+  const McResult r = monte_carlo_european(spec, config);
+  const double analytic = black_scholes_price(spec);
+  EXPECT_NEAR(r.price, analytic, 5.0 * r.std_error);
+  EXPECT_GT(r.std_error, 0.0);
+  EXPECT_LT(r.std_error, 0.1);
+}
+
+TEST(MonteCarloEuropean, Deterministic) {
+  const OptionSpec spec = euro_call();
+  const McResult a = monte_carlo_european(spec);
+  const McResult b = monte_carlo_european(spec);
+  EXPECT_DOUBLE_EQ(a.price, b.price);
+}
+
+TEST(MonteCarloEuropean, AntitheticReducesVariance) {
+  const OptionSpec spec = euro_call();
+  McConfig plain;
+  plain.paths = 50000;
+  plain.antithetic = false;
+  McConfig anti = plain;
+  anti.antithetic = true;
+  EXPECT_LT(monte_carlo_european(spec, anti).std_error,
+            monte_carlo_european(spec, plain).std_error);
+}
+
+TEST(MonteCarloEuropean, StdErrorShrinksAsSqrtPaths) {
+  const OptionSpec spec = euro_call();
+  McConfig small;
+  small.paths = 10000;
+  McConfig big;
+  big.paths = 160000;  // 16x paths -> ~4x smaller SE
+  const double se_small = monte_carlo_european(spec, small).std_error;
+  const double se_big = monte_carlo_european(spec, big).std_error;
+  EXPECT_NEAR(se_small / se_big, 4.0, 1.2);
+}
+
+TEST(MonteCarloAmerican, LsmPutMatchesBinomial) {
+  OptionSpec put = euro_call();
+  put.type = OptionType::kPut;
+  put.style = ExerciseStyle::kAmerican;
+  McConfig config;
+  config.paths = 60000;
+  config.time_steps = 64;
+  const McResult r = monte_carlo_american(put, config);
+  const double lattice = BinomialPricer(2048).price(put);
+  // LSM carries a small low bias; allow error bars + 1%.
+  EXPECT_NEAR(r.price, lattice, 5.0 * r.std_error + 0.01 * lattice);
+}
+
+TEST(MonteCarloAmerican, AtLeastEuropeanValue) {
+  OptionSpec put = euro_call();
+  put.type = OptionType::kPut;
+  put.style = ExerciseStyle::kAmerican;
+  OptionSpec euro_put = put;
+  euro_put.style = ExerciseStyle::kEuropean;
+  McConfig config;
+  config.paths = 40000;
+  const double american = monte_carlo_american(put, config).price;
+  const double european = black_scholes_price(euro_put);
+  EXPECT_GT(american, european - 0.05);
+}
+
+TEST(MonteCarloAmerican, DeepItmPutReturnsNearIntrinsic) {
+  OptionSpec put = euro_call();
+  put.type = OptionType::kPut;
+  put.style = ExerciseStyle::kAmerican;
+  put.strike = 250.0;
+  put.volatility = 0.10;
+  McConfig config;
+  config.paths = 20000;
+  const McResult r = monte_carlo_american(put, config);
+  EXPECT_NEAR(r.price, 150.0, 1.0);  // immediate exercise dominates
+}
+
+TEST(MonteCarloAmerican, EuropeanStyleFallsBackToTerminalSampler) {
+  const OptionSpec spec = euro_call();
+  const McResult direct = monte_carlo_european(spec);
+  const McResult via_american = monte_carlo_american(spec);
+  EXPECT_DOUBLE_EQ(direct.price, via_american.price);
+  EXPECT_EQ(via_american.time_steps, 1u);
+}
+
+TEST(MonteCarlo, ValidatesConfig) {
+  const OptionSpec spec = euro_call();
+  McConfig bad;
+  bad.paths = 10;
+  EXPECT_THROW((void)monte_carlo_european(spec, bad), PreconditionError);
+  bad = McConfig{};
+  bad.basis_degree = 9;
+  EXPECT_THROW((void)monte_carlo_american(spec, bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace binopt::finance

@@ -1,0 +1,76 @@
+#include "finance/option.h"
+
+#include <gtest/gtest.h>
+
+namespace binopt::finance {
+namespace {
+
+TEST(OptionSpec, DefaultIsValid) {
+  OptionSpec spec;
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(OptionSpec, PayoffCall) {
+  OptionSpec spec;
+  spec.strike = 100.0;
+  spec.type = OptionType::kCall;
+  EXPECT_DOUBLE_EQ(spec.payoff(120.0), 20.0);
+  EXPECT_DOUBLE_EQ(spec.payoff(80.0), 0.0);
+  EXPECT_DOUBLE_EQ(spec.payoff(100.0), 0.0);
+}
+
+TEST(OptionSpec, PayoffPut) {
+  OptionSpec spec;
+  spec.strike = 100.0;
+  spec.type = OptionType::kPut;
+  EXPECT_DOUBLE_EQ(spec.payoff(80.0), 20.0);
+  EXPECT_DOUBLE_EQ(spec.payoff(120.0), 0.0);
+}
+
+TEST(OptionSpec, Moneyness) {
+  OptionSpec spec;
+  spec.spot = 110.0;
+  spec.strike = 100.0;
+  EXPECT_DOUBLE_EQ(spec.moneyness(), 1.1);
+}
+
+TEST(OptionSpec, ValidationRejectsEachBadField) {
+  auto check_throws = [](auto mutate) {
+    OptionSpec spec;
+    mutate(spec);
+    EXPECT_THROW(spec.validate(), PreconditionError);
+  };
+  check_throws([](OptionSpec& s) { s.spot = 0.0; });
+  check_throws([](OptionSpec& s) { s.spot = -10.0; });
+  check_throws([](OptionSpec& s) { s.strike = 0.0; });
+  check_throws([](OptionSpec& s) { s.volatility = 0.0; });
+  check_throws([](OptionSpec& s) { s.volatility = -0.2; });
+  check_throws([](OptionSpec& s) { s.maturity = 0.0; });
+  check_throws([](OptionSpec& s) { s.dividend = -0.01; });
+  check_throws([](OptionSpec& s) { s.spot = std::numeric_limits<double>::quiet_NaN(); });
+  check_throws([](OptionSpec& s) { s.rate = std::numeric_limits<double>::infinity(); });
+}
+
+TEST(OptionSpec, NegativeRatesAreAllowed) {
+  OptionSpec spec;
+  spec.rate = -0.01;  // post-2008 reality
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(OptionSpec, EqualityComparesEconomicFields) {
+  OptionSpec a;
+  OptionSpec b = a;
+  EXPECT_TRUE(a == b);
+  b.strike += 1.0;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(OptionEnums, ToStringRoundtrip) {
+  EXPECT_EQ(to_string(OptionType::kCall), "call");
+  EXPECT_EQ(to_string(OptionType::kPut), "put");
+  EXPECT_EQ(to_string(ExerciseStyle::kAmerican), "american");
+  EXPECT_EQ(to_string(ExerciseStyle::kEuropean), "european");
+}
+
+}  // namespace
+}  // namespace binopt::finance

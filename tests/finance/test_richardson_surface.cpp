@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finance/binomial.h"
+#include "finance/black_scholes.h"
+#include "finance/richardson.h"
+#include "finance/vol_surface.h"
+
+namespace binopt::finance {
+namespace {
+
+OptionSpec base(OptionType type, ExerciseStyle style) {
+  OptionSpec spec;
+  spec.spot = 100.0;
+  spec.strike = 100.0;
+  spec.rate = 0.05;
+  spec.volatility = 0.20;
+  spec.maturity = 1.0;
+  spec.type = type;
+  spec.style = style;
+  return spec;
+}
+
+// --- BBS / BBSR ---------------------------------------------------------------
+
+TEST(Bbs, EuropeanKeepsFirstOrderBiasButBbsrRemovesIt) {
+  const OptionSpec spec = base(OptionType::kCall, ExerciseStyle::kEuropean);
+  const double analytic = black_scholes_price(spec);
+  // BBS only smooths the odd/even oscillation — the O(1/N) bias remains;
+  // Richardson extrapolation (BBSR) cancels it.
+  const double bbs_err = std::abs(bbs_price(spec, 64) - analytic);
+  const double bbsr_err = std::abs(bbsr_price(spec, 64) - analytic);
+  EXPECT_LT(bbs_err, 2e-2);
+  EXPECT_LT(bbsr_err, 5e-4);
+  EXPECT_LT(bbsr_err, bbs_err / 5.0);
+}
+
+TEST(Bbs, SmoothInN) {
+  // Plain CRR oscillates between adjacent N; BBS must not.
+  OptionSpec spec = base(OptionType::kCall, ExerciseStyle::kEuropean);
+  spec.strike = 117.0;  // off the leaf grid, worst case for CRR
+  const double analytic = black_scholes_price(spec);
+  double worst_bbs = 0.0;
+  double worst_crr = 0.0;
+  for (std::size_t n = 100; n <= 110; ++n) {
+    worst_bbs = std::max(worst_bbs, std::abs(bbs_price(spec, n) - analytic));
+    worst_crr = std::max(worst_crr,
+                         std::abs(BinomialPricer(n).price(spec) - analytic));
+  }
+  EXPECT_LT(worst_bbs, worst_crr);
+  EXPECT_LT(worst_bbs, 2e-3);
+}
+
+TEST(Bbsr, BeatsPlainCrrAtEqualWork) {
+  const OptionSpec spec = base(OptionType::kPut, ExerciseStyle::kAmerican);
+  const double anchor = 0.5 * (BinomialPricer(8192).price(spec) +
+                               BinomialPricer(8193).price(spec));
+  // BBSR(128) does ~1.25x the work of CRR(128) but should be much closer
+  // to the converged value than CRR(1024).
+  const double bbsr_err = std::abs(bbsr_price(spec, 128) - anchor);
+  const double crr_err = std::abs(BinomialPricer(1024).price(spec) - anchor);
+  EXPECT_LT(bbsr_err, crr_err + 5e-4);
+  EXPECT_LT(bbsr_err, 2e-3);
+}
+
+TEST(Bbsr, AmericanCallOnNoDividendEqualsEuropean) {
+  const OptionSpec amer = base(OptionType::kCall, ExerciseStyle::kAmerican);
+  const OptionSpec euro = base(OptionType::kCall, ExerciseStyle::kEuropean);
+  EXPECT_NEAR(bbsr_price(amer, 64), bbsr_price(euro, 64), 1e-10);
+}
+
+TEST(Bbsr, ValidatesStepCount) {
+  const OptionSpec spec = base(OptionType::kCall, ExerciseStyle::kEuropean);
+  EXPECT_THROW((void)bbsr_price(spec, 7), PreconditionError);
+  EXPECT_THROW((void)bbsr_price(spec, 2), PreconditionError);
+}
+
+// --- VolSurface -----------------------------------------------------------------
+
+VolSurface make_surface() {
+  // 3 maturities x 4 strikes, gentle smile rising with maturity.
+  return VolSurface({0.25, 1.0, 2.0}, {80.0, 90.0, 100.0, 110.0},
+                    {0.25, 0.22, 0.20, 0.21,    // T = 0.25
+                     0.26, 0.23, 0.21, 0.22,    // T = 1.0
+                     0.27, 0.24, 0.22, 0.23});  // T = 2.0
+}
+
+TEST(VolSurface, GridAccessors) {
+  const VolSurface s = make_surface();
+  EXPECT_EQ(s.maturity_count(), 3u);
+  EXPECT_EQ(s.strike_count(), 4u);
+  EXPECT_DOUBLE_EQ(s.vol_at(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(s.vol_at(2, 3), 0.23);
+  EXPECT_THROW((void)s.vol_at(3, 0), PreconditionError);
+}
+
+TEST(VolSurface, InterpolationReproducesNodes) {
+  const VolSurface s = make_surface();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(s.interpolate(s.maturities()[i], s.strikes()[j]),
+                  s.vol_at(i, j), 1e-14);
+    }
+  }
+}
+
+TEST(VolSurface, BilinearMidpoint) {
+  const VolSurface s = make_surface();
+  // Midpoint of the (T=0.25..1.0, K=90..100) cell.
+  const double expected = 0.25 * (0.22 + 0.20 + 0.23 + 0.21);
+  EXPECT_NEAR(s.interpolate(0.625, 95.0), expected, 1e-14);
+}
+
+TEST(VolSurface, FlatExtrapolationBeyondHull) {
+  const VolSurface s = make_surface();
+  EXPECT_DOUBLE_EQ(s.interpolate(0.01, 50.0), s.vol_at(0, 0));
+  EXPECT_DOUBLE_EQ(s.interpolate(10.0, 500.0), s.vol_at(2, 3));
+}
+
+TEST(VolSurface, CalendarArbitrageDetection) {
+  EXPECT_EQ(make_surface().calendar_arbitrage_violations(), 0u);
+  // Force a violation: huge short-dated vol, tiny long-dated vol.
+  const VolSurface bad({0.25, 1.0}, {90.0, 100.0},
+                       {0.80, 0.80, 0.10, 0.10});
+  EXPECT_GT(bad.calendar_arbitrage_violations(), 0u);
+}
+
+TEST(VolSurface, ValidatesConstruction) {
+  EXPECT_THROW(VolSurface({1.0, 0.5}, {90.0, 100.0}, {0.2, 0.2, 0.2, 0.2}),
+               PreconditionError);  // decreasing maturities
+  EXPECT_THROW(VolSurface({0.5, 1.0}, {90.0, 100.0}, {0.2, 0.2, 0.2}),
+               PreconditionError);  // wrong grid size
+  EXPECT_THROW(VolSurface({0.5, 1.0}, {90.0, 100.0}, {0.2, -0.1, 0.2, 0.2}),
+               PreconditionError);  // negative vol
+}
+
+}  // namespace
+}  // namespace binopt::finance

@@ -1,0 +1,109 @@
+#include "finance/vol_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finance/binomial.h"
+
+namespace binopt::finance {
+namespace {
+
+OptionSpec base_option() {
+  OptionSpec spec;
+  spec.spot = 100.0;
+  spec.rate = 0.04;
+  spec.maturity = 1.0;
+  spec.type = OptionType::kCall;
+  spec.style = ExerciseStyle::kAmerican;
+  return spec;
+}
+
+TEST(SmileModel, AtForwardReturnsBaseVol) {
+  const SmileModel smile;
+  EXPECT_NEAR(smile.vol_at(100.0, 100.0), smile.base_vol, 1e-15);
+}
+
+TEST(SmileModel, SkewTiltsWings) {
+  SmileModel smile;
+  smile.skew = -0.10;
+  smile.smile = 0.0;
+  EXPECT_GT(smile.vol_at(80.0, 100.0), smile.vol_at(120.0, 100.0));
+}
+
+TEST(SmileModel, FlooredAtMinVol) {
+  SmileModel smile;
+  smile.base_vol = 0.05;
+  smile.skew = 0.5;  // would go negative for low strikes
+  smile.smile = 0.0;
+  EXPECT_GE(smile.vol_at(10.0, 100.0), smile.min_vol);
+}
+
+TEST(SynthesizeChain, ProducesMonotoneStrikesAndPositivePrices) {
+  const auto chain =
+      synthesize_chain(base_option(), SmileModel{}, 25, 0.7, 1.3, 128);
+  ASSERT_EQ(chain.size(), 25u);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_GT(chain[i].price, 0.0);
+    if (i > 0) {
+      EXPECT_GT(chain[i].strike, chain[i - 1].strike);
+    }
+  }
+}
+
+TEST(SynthesizeChain, CallPricesDecreaseWithStrike) {
+  const auto chain =
+      synthesize_chain(base_option(), SmileModel{}, 15, 0.8, 1.2, 128);
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_LT(chain[i].price, chain[i - 1].price);
+  }
+}
+
+TEST(VolCurveBuilder, RecoversTheGeneratingSmile) {
+  const OptionSpec base = base_option();
+  SmileModel smile;
+  smile.base_vol = 0.22;
+  smile.skew = -0.08;
+  smile.smile = 0.10;
+  const std::size_t steps = 128;
+  const auto chain = synthesize_chain(base, smile, 21, 0.8, 1.2, steps);
+
+  const BinomialPricer pricer(steps);
+  ImpliedVolConfig config;
+  config.sigma_lo = LatticeParams::min_volatility(base, steps);
+  VolCurveBuilder builder(
+      base, [&](const OptionSpec& s) { return pricer.price(s); }, config);
+  const auto curve = builder.build(chain);
+  ASSERT_EQ(curve.size(), chain.size());
+
+  const double forward =
+      base.spot * std::exp((base.rate - base.dividend) * base.maturity);
+  for (const VolCurvePoint& point : curve) {
+    ASSERT_TRUE(point.converged) << "strike " << point.strike;
+    EXPECT_NEAR(point.implied_vol, smile.vol_at(point.strike, forward), 5e-4)
+        << "strike " << point.strike;
+  }
+}
+
+TEST(VolCurveBuilder, FlagsJunkQuotesWithoutThrowing) {
+  const OptionSpec base = base_option();
+  const BinomialPricer pricer(64);
+  VolCurveBuilder builder(base,
+                          [&](const OptionSpec& s) { return pricer.price(s); });
+  std::vector<MarketQuote> quotes{{100.0, 1e9}};  // absurd premium
+  const auto curve = builder.build(quotes);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_FALSE(curve[0].converged);
+}
+
+TEST(VolCurveBuilder, MaxPricingsBoundsWork) {
+  const OptionSpec base = base_option();
+  ImpliedVolConfig config;
+  config.max_iterations = 50;
+  VolCurveBuilder builder(
+      base, [](const OptionSpec& s) { return s.spot; }, config);
+  EXPECT_EQ(builder.max_pricings(2000), 2000u * 52u);
+}
+
+}  // namespace
+}  // namespace binopt::finance

@@ -1,0 +1,71 @@
+#include "finance/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace binopt::finance {
+namespace {
+
+TEST(Workload, RandomBatchIsDeterministic) {
+  const auto a = make_random_batch(100, 1234);
+  const auto b = make_random_batch(100, 1234);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  const auto a = make_random_batch(50, 1);
+  const auto b = make_random_batch(50, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Workload, RandomBatchRespectsRanges) {
+  WorkloadConfig config;
+  for (const OptionSpec& spec : make_random_batch(500, 77, config)) {
+    EXPECT_GE(spec.strike, config.strike_lo);
+    EXPECT_LE(spec.strike, config.strike_hi);
+    EXPECT_GE(spec.volatility, config.vol_lo);
+    EXPECT_LE(spec.volatility, config.vol_hi);
+    EXPECT_GE(spec.rate, config.rate_lo);
+    EXPECT_LE(spec.rate, config.rate_hi);
+    EXPECT_GE(spec.maturity, config.maturity_lo);
+    EXPECT_LE(spec.maturity, config.maturity_hi);
+    EXPECT_NO_THROW(spec.validate());
+  }
+}
+
+TEST(Workload, CurveBatchHasLadderedStrikesAndSmileVols) {
+  const auto batch = make_curve_batch(2000);
+  ASSERT_EQ(batch.size(), 2000u);  // the paper's curve size
+  EXPECT_NEAR(batch.front().strike, 60.0, 1e-12);
+  EXPECT_NEAR(batch.back().strike, 140.0, 1e-12);
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    EXPECT_GT(batch[i].strike, batch[i - 1].strike);
+  }
+  // Smile: wings above the middle.
+  EXPECT_GT(batch.front().volatility, batch[1000].volatility);
+}
+
+TEST(Workload, CurveBatchIsAmericanCalls) {
+  for (const OptionSpec& spec : make_curve_batch(10)) {
+    EXPECT_EQ(spec.style, ExerciseStyle::kAmerican);
+    EXPECT_EQ(spec.type, OptionType::kCall);
+  }
+}
+
+TEST(Workload, SmokeBatchIsCuratedAndValid) {
+  const auto batch = make_smoke_batch();
+  EXPECT_GE(batch.size(), 6u);
+  for (const OptionSpec& spec : batch) EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(Workload, RejectsEmptyBatches) {
+  EXPECT_THROW((void)make_random_batch(0, 1), PreconditionError);
+  EXPECT_THROW((void)make_curve_batch(1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace binopt::finance

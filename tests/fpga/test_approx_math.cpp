@@ -1,0 +1,106 @@
+// Tests of the reduced-precision math modelling the Altera 13.0 Power
+// operator: accurate enough to price, inaccurate enough to reproduce the
+// paper's RMSE defect, with error growing with the pow exponent.
+#include "fpga/approx_math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace binopt::fpga {
+namespace {
+
+TEST(ApproxLog2, ExactAtPowersOfTwo) {
+  for (int k = -8; k <= 8; ++k) {
+    EXPECT_NEAR(approx_log2(std::ldexp(1.0, k)), static_cast<double>(k), 1e-12)
+        << "k = " << k;
+  }
+}
+
+TEST(ApproxLog2, SmallBoundedErrorOnMantissaRange) {
+  for (double x = 1.0; x < 2.0; x += 0.01) {
+    EXPECT_NEAR(approx_log2(x), std::log2(x), 5e-5) << "x = " << x;
+  }
+}
+
+TEST(ApproxLog2, DomainErrors) {
+  EXPECT_THROW((void)approx_log2(0.0), PreconditionError);
+  EXPECT_THROW((void)approx_log2(-1.0), PreconditionError);
+}
+
+TEST(ApproxExp2, ExactAtIntegers) {
+  for (int k = -10; k <= 10; ++k) {
+    EXPECT_NEAR(approx_exp2(static_cast<double>(k)) / std::ldexp(1.0, k), 1.0,
+                1e-12);
+  }
+}
+
+TEST(ApproxExp2, RelativeErrorInOperatorClass) {
+  // The defective operator class: relative error up to a few 1e-5 —
+  // noticeably worse than double (1e-16) but not garbage.
+  double worst = 0.0;
+  for (double x = -6.0; x <= 6.0; x += 0.0137) {
+    const double rel = std::abs(approx_exp2(x) / std::exp2(x) - 1.0);
+    worst = std::max(worst, rel);
+  }
+  EXPECT_LT(worst, 1e-4);
+  EXPECT_GT(worst, 1e-7);  // must NOT be double-accurate
+}
+
+TEST(ApproxExp2, RangeGuards) {
+  EXPECT_THROW((void)approx_exp2(2000.0), PreconditionError);
+  EXPECT_THROW((void)approx_exp2(-2000.0), PreconditionError);
+}
+
+TEST(ApproxPow, ExactCases) {
+  EXPECT_DOUBLE_EQ(approx_pow(3.7, 0.0), 1.0);
+  EXPECT_NEAR(approx_pow(2.0, 10.0), 1024.0, 1024.0 * 1e-4);
+  EXPECT_NEAR(approx_pow(4.0, 0.5), 2.0, 2.0 * 1e-4);
+}
+
+TEST(ApproxPow, ErrorGrowsWithExponentMagnitude) {
+  // The paper's mechanism: pow(u, 2k - N) with u near 1 and exponents up
+  // to N. The log error is multiplied by the exponent, so the relative
+  // error at |e| = 1000 must exceed the error at |e| = 10.
+  const double u = 1.0063;  // a typical CRR up factor at N = 1024
+  auto rel_err = [&](double e) {
+    return std::abs(approx_pow(u, e) / std::pow(u, e) - 1.0);
+  };
+  EXPECT_GT(rel_err(1000.0) + rel_err(-1000.0),
+            rel_err(10.0) + rel_err(-10.0));
+  EXPECT_LT(rel_err(1000.0), 1e-2);  // still usable
+}
+
+TEST(ApproxPow, MatchesStdPowToOperatorAccuracy) {
+  for (double base : {0.5, 0.99, 1.0063, 1.5, 7.3}) {
+    for (double e : {-700.0, -33.3, -1.0, 0.25, 2.0, 512.0}) {
+      const double expect = std::pow(base, e);
+      if (!std::isfinite(expect) || expect == 0.0) continue;
+      EXPECT_NEAR(approx_pow(base, e) / expect, 1.0, 5e-3)
+          << "base " << base << " exp " << e;
+    }
+  }
+}
+
+TEST(ApproxPow, DomainErrors) {
+  EXPECT_THROW((void)approx_pow(-2.0, 2.0), PreconditionError);
+  EXPECT_THROW((void)approx_pow(0.0, 2.0), PreconditionError);
+}
+
+TEST(ApproxExpLog, NaturalVariantsRoundTrip) {
+  for (double x : {0.1, 1.0, 2.718, 42.0}) {
+    EXPECT_NEAR(approx_exp(approx_log(x)) / x, 1.0, 1e-4) << "x = " << x;
+  }
+  EXPECT_NEAR(approx_log(std::exp(1.0)), 1.0, 1e-4);
+}
+
+TEST(ApproxMathPolicy, SatisfiesPricerMathInterface) {
+  EXPECT_NEAR(ApproxMath::pow(2.0, 3.0), 8.0, 8.0 * 1e-4);
+  EXPECT_NEAR(ApproxMath::exp(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(ApproxMath::log(1.0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace binopt::fpga

@@ -1,0 +1,103 @@
+// Clock and power model tests: exactness at the paper's two anchors, and
+// the Section V-C workaround behaviour (lower the clock to meet 10 W).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "fpga/clock_model.h"
+#include "fpga/power_model.h"
+
+namespace binopt::fpga {
+namespace {
+
+TEST(ClockModel, ReproducesBothTableIAnchors) {
+  const ClockModel clock;
+  EXPECT_NEAR(clock.fmax_mhz(0.99), 98.27, 1e-9);
+  EXPECT_NEAR(clock.fmax_mhz(0.66), 162.62, 1e-9);
+}
+
+TEST(ClockModel, FmaxFallsWithUtilization) {
+  const ClockModel clock;
+  double prev = 1e9;
+  for (double util : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    const double f = clock.fmax_mhz(util);
+    EXPECT_LE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(ClockModel, ClampedToPracticalRange) {
+  const ClockModel clock;
+  EXPECT_LE(clock.fmax_mhz(0.0), ClockModel::kMaxFmax);
+  EXPECT_GE(clock.fmax_mhz(1.2), ClockModel::kMinFmax);
+}
+
+TEST(ClockModel, RejectsNonsenseUtilization) {
+  const ClockModel clock;
+  EXPECT_THROW((void)clock.fmax_mhz(-0.1), PreconditionError);
+  EXPECT_THROW((void)clock.fmax_mhz(2.0), PreconditionError);
+}
+
+TEST(PowerModel, ReproducesBothTableIAnchors) {
+  const PowerModel power;
+  EXPECT_NEAR(power
+                  .estimate(PowerModel::kAnchorA_Util, PowerModel::kAnchorA_M9k,
+                            PowerModel::kAnchorA_Fmax)
+                  .total(),
+              15.0, 1e-9);
+  EXPECT_NEAR(power
+                  .estimate(PowerModel::kAnchorB_Util, PowerModel::kAnchorB_M9k,
+                            PowerModel::kAnchorB_Fmax)
+                  .total(),
+              17.0, 1e-9);
+}
+
+TEST(PowerModel, StaticFloorAtZeroClock) {
+  const PowerModel power;
+  const PowerBreakdown p = power.estimate(0.5, 0.5, 0.0);
+  EXPECT_DOUBLE_EQ(p.dynamic_watts, 0.0);
+  EXPECT_DOUBLE_EQ(p.total(), PowerModel::kStaticWatts);
+}
+
+TEST(PowerModel, DynamicPowerLinearInClock) {
+  const PowerModel power;
+  const double p100 = power.estimate(0.8, 0.8, 100.0).dynamic_watts;
+  const double p200 = power.estimate(0.8, 0.8, 200.0).dynamic_watts;
+  EXPECT_NEAR(p200, 2.0 * p100, 1e-9);
+}
+
+TEST(PowerModel, BudgetInversionMatchesForwardModel) {
+  const PowerModel power;
+  // Section V-C workaround: what clock keeps kernel IV.B under 10 W?
+  const double fmax = power.max_fmax_for_budget(
+      PowerModel::kAnchorB_Util, PowerModel::kAnchorB_M9k, 10.0);
+  EXPECT_GT(fmax, 0.0);
+  EXPECT_LT(fmax, PowerModel::kAnchorB_Fmax);  // must be lower than 162.62
+  EXPECT_NEAR(power
+                  .estimate(PowerModel::kAnchorB_Util, PowerModel::kAnchorB_M9k,
+                            fmax)
+                  .total(),
+              10.0, 1e-9);
+}
+
+TEST(PowerModel, ImpossibleBudgetReturnsZero) {
+  const PowerModel power;
+  EXPECT_DOUBLE_EQ(power.max_fmax_for_budget(0.9, 0.9, 3.0), 0.0);
+}
+
+TEST(PowerModel, CoefficientsArePositive) {
+  const PowerModel power;
+  EXPECT_GT(power.logic_coeff(), 0.0);
+  EXPECT_GT(power.ram_coeff(), 0.0);
+}
+
+TEST(PowerModel, FpgaOrderOfMagnitudeBelowCpuGpu) {
+  // The paper's headline: ~10-20 W FPGA vs 120/140 W CPU/GPU TDPs.
+  const PowerModel power;
+  const double fpga =
+      power.estimate(0.99, 0.98, 98.27).total();
+  EXPECT_LT(fpga * 5.0, 120.0);
+  EXPECT_LT(fpga * 5.0, 140.0);
+}
+
+}  // namespace
+}  // namespace binopt::fpga

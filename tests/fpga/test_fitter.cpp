@@ -1,0 +1,162 @@
+// Fitter tests: Table I reproduction at the published design points, and
+// monotone response of the resource model to the three parallelisation
+// options (the properties the design-space exploration depends on).
+#include "fpga/fitter.h"
+
+#include <gtest/gtest.h>
+
+#include "devices/calibration.h"
+#include "fpga/op_library.h"
+#include "kernels/ir_builders.h"
+
+namespace binopt::fpga {
+namespace {
+
+class FitterTest : public ::testing::Test {
+protected:
+  Fitter fitter_;
+  KernelIR ir_a_ = kernels::kernel_a_ir(1024);
+  KernelIR ir_b_ = kernels::kernel_b_ir(1024);
+};
+
+TEST_F(FitterTest, CalibratedKernelAMatchesTableI) {
+  const CompileOptions opts = devices::kernel_a_published_options();
+  const ResourceUsage target = devices::kernel_a_published_usage();
+  const FitCalibration cal = fitter_.calibrate(ir_a_, opts, target);
+  const FitResult fit = fitter_.fit(ir_a_, opts, cal);
+  EXPECT_NEAR(fit.logic_utilization, 0.99, 0.005);
+  EXPECT_NEAR(fit.usage.registers, 411.0 * 1024.0, 512.0);
+  EXPECT_NEAR(fit.usage.memory_bits, 10843.0 * 1024.0, 1024.0);
+  EXPECT_NEAR(fit.usage.m9k, 1250.0, 1.0);
+  EXPECT_NEAR(fit.usage.dsp18, 586.0, 1.0);
+  EXPECT_TRUE(fit.fits);
+}
+
+TEST_F(FitterTest, CalibratedKernelBMatchesTableI) {
+  const CompileOptions opts = devices::kernel_b_published_options();
+  const ResourceUsage target = devices::kernel_b_published_usage();
+  const FitCalibration cal = fitter_.calibrate(ir_b_, opts, target);
+  const FitResult fit = fitter_.fit(ir_b_, opts, cal);
+  EXPECT_NEAR(fit.logic_utilization, 0.66, 0.005);
+  EXPECT_NEAR(fit.usage.registers, 245.0 * 1024.0, 512.0);
+  EXPECT_NEAR(fit.usage.memory_bits, 7990.0 * 1024.0, 1024.0);
+  EXPECT_NEAR(fit.usage.m9k, 1118.0, 1.0);
+  EXPECT_NEAR(fit.usage.dsp18, 760.0, 1.0);
+  EXPECT_TRUE(fit.fits);
+}
+
+TEST_F(FitterTest, VectorizationScalesDatapathResources) {
+  CompileOptions narrow{1, 1, 1};
+  CompileOptions wide{4, 1, 1};
+  const ResourceUsage a = fitter_.model(ir_b_, narrow);
+  const ResourceUsage b = fitter_.model(ir_b_, wide);
+  EXPECT_GT(b.dsp18, a.dsp18 * 3.0);  // near-linear in SIMD width
+  EXPECT_GT(b.aluts, a.aluts * 2.0);
+  EXPECT_GT(b.registers, a.registers);
+}
+
+TEST_F(FitterTest, ReplicationScalesEverythingLinearly) {
+  CompileOptions one{2, 1, 1};
+  CompileOptions three{2, 3, 1};
+  const ResourceUsage a = fitter_.model(ir_a_, one);
+  const ResourceUsage b = fitter_.model(ir_a_, three);
+  EXPECT_NEAR(b.aluts / a.aluts, 3.0, 1e-9);
+  EXPECT_NEAR(b.dsp18 / a.dsp18, 3.0, 1e-9);
+  EXPECT_NEAR(b.m9k / a.m9k, 3.0, 1e-9);
+}
+
+TEST_F(FitterTest, UnrollingScalesLoopBodyOnly) {
+  CompileOptions rolled{1, 1, 1};
+  CompileOptions unrolled{1, 1, 4};
+  const ResourceUsage a = fitter_.model(ir_b_, rolled);
+  const ResourceUsage b = fitter_.model(ir_b_, unrolled);
+  EXPECT_GT(b.dsp18, a.dsp18);
+  // The pow unit is straight-line, so DSP must grow SUBlinearly with the
+  // unroll factor (loop muls x4, pow x1).
+  EXPECT_LT(b.dsp18, a.dsp18 * 4.0);
+  // Kernel A has no loop: unrolling must be a no-op on it.
+  EXPECT_DOUBLE_EQ(fitter_.model(ir_a_, rolled).dsp18,
+                   fitter_.model(ir_a_, CompileOptions{1, 1, 4}).dsp18);
+}
+
+TEST_F(FitterTest, LocalBufferPortsDriveM9kReplication) {
+  CompileOptions few_lanes{1, 1, 1};
+  CompileOptions many_lanes{4, 1, 2};
+  const ResourceUsage a = fitter_.model(ir_b_, few_lanes);
+  const ResourceUsage b = fitter_.model(ir_b_, many_lanes);
+  EXPECT_GT(b.m9k, a.m9k);
+}
+
+TEST_F(FitterTest, OversizedDesignFailsToFit) {
+  const FitResult fit =
+      fitter_.fit(ir_a_, CompileOptions{8, 8, 1},
+                  fitter_.calibrate(ir_a_, devices::kernel_a_published_options(),
+                                    devices::kernel_a_published_usage()));
+  EXPECT_FALSE(fit.fits);
+  EXPECT_FALSE(fit.failures.empty());
+}
+
+TEST_F(FitterTest, M9kOverflowSpillsToM144k) {
+  // Huge local buffer: far beyond the 1280 M9K blocks.
+  KernelIR ir = ir_b_;
+  ir.local_buffers[0].words = 200000;
+  ir.local_buffers[0].access_sites = 16.0;
+  const FitResult fit = fitter_.fit(ir, CompileOptions{4, 1, 4});
+  EXPECT_LE(fit.usage.m9k, fitter_.device().capacity.m9k + 1e-9);
+  EXPECT_GT(fit.usage.m144k, 0.0);
+}
+
+TEST_F(FitterTest, PipelineLatencyGrowsWithOpChain) {
+  const CompileOptions opts{1, 1, 1};
+  const FitResult fa = fitter_.fit(ir_a_, opts);
+  KernelIR longer = ir_a_;
+  longer.ops.push_back(
+      OpInstance{OpKind::kFDiv, Precision::kDouble, Section::kStraightLine, 2.0});
+  const FitResult fb = fitter_.fit(longer, opts);
+  EXPECT_GT(fb.pipeline_latency_cycles, fa.pipeline_latency_cycles);
+}
+
+TEST_F(FitterTest, SinglePrecisionIsCheaper) {
+  const KernelIR dp = kernels::kernel_b_ir(1024, Precision::kDouble);
+  const KernelIR sp = kernels::kernel_b_ir(1024, Precision::kSingle);
+  const CompileOptions opts{4, 1, 2};
+  const ResourceUsage rd = fitter_.model(dp, opts);
+  const ResourceUsage rs = fitter_.model(sp, opts);
+  EXPECT_LT(rs.dsp18, rd.dsp18);
+  EXPECT_LT(rs.aluts, rd.aluts);
+}
+
+TEST_F(FitterTest, ValidationCatchesBadInputs) {
+  EXPECT_THROW((void)fitter_.model(ir_a_, CompileOptions{3, 1, 1}),
+               PreconditionError);  // non-power-of-two SIMD
+  KernelIR empty;
+  empty.name = "empty";
+  EXPECT_THROW((void)fitter_.model(empty, CompileOptions{1, 1, 1}),
+               PreconditionError);
+}
+
+TEST(OpLibrary, PowIsComposedOfLogMulExp) {
+  const OpCost p = op_cost(OpKind::kFPow, Precision::kDouble);
+  const OpCost l = op_cost(OpKind::kFLog, Precision::kDouble);
+  const OpCost m = op_cost(OpKind::kFMul, Precision::kDouble);
+  const OpCost e = op_cost(OpKind::kFExp, Precision::kDouble);
+  EXPECT_DOUBLE_EQ(p.dsp18, l.dsp18 + m.dsp18 + e.dsp18);
+  EXPECT_DOUBLE_EQ(p.latency_cycles,
+                   l.latency_cycles + m.latency_cycles + e.latency_cycles);
+}
+
+TEST(OpLibrary, M9kBlocksPerReplicaGeometry) {
+  // 1025 x 64-bit: ceil(1025/256) = 5 depth blocks x 2 width slices = 10.
+  EXPECT_DOUBLE_EQ(m9k_blocks_per_replica(LocalBuffer{1025, 8, 1.0}), 10.0);
+  // 256 x 32-bit fits one block.
+  EXPECT_DOUBLE_EQ(m9k_blocks_per_replica(LocalBuffer{256, 4, 1.0}), 1.0);
+}
+
+TEST(OpLibrary, GlobalLsuCarriesFifosOnlyWhenCoalescing) {
+  const AccessSite site{MemSpace::kGlobal, false, Section::kStraightLine, 8, 1.0};
+  EXPECT_GT(lsu_cost(site, true).m9k_fifo, 0.0);
+  EXPECT_DOUBLE_EQ(lsu_cost(site, false).m9k_fifo, 0.0);
+}
+
+}  // namespace
+}  // namespace binopt::fpga

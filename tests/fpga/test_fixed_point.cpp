@@ -1,0 +1,112 @@
+#include "fpga/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace binopt::fpga {
+namespace {
+
+using Q8 = Fixed<8, 16>;
+
+TEST(FixedPoint, RoundTripsDoubles) {
+  for (double x : {0.0, 1.0, -1.0, 3.14159, -127.5, 0.0001}) {
+    EXPECT_NEAR(Q8::from_double(x).to_double(), x, Q8::epsilon());
+  }
+}
+
+TEST(FixedPoint, EpsilonIsTheLsb) {
+  EXPECT_DOUBLE_EQ(Q8::epsilon(), 1.0 / 65536.0);
+  EXPECT_DOUBLE_EQ(PriceFixed::epsilon(), std::ldexp(1.0, -46));
+}
+
+TEST(FixedPoint, AddSubExact) {
+  const Q8 a = Q8::from_double(2.5);
+  const Q8 b = Q8::from_double(1.25);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), 1.25);
+}
+
+TEST(FixedPoint, MultiplyRoundsToNearest) {
+  const Q8 a = Q8::from_double(1.5);
+  const Q8 b = Q8::from_double(2.25);
+  EXPECT_NEAR((a * b).to_double(), 3.375, Q8::epsilon());
+  // Negative operands too.
+  const Q8 c = Q8::from_double(-1.5);
+  EXPECT_NEAR((c * b).to_double(), -3.375, Q8::epsilon());
+}
+
+TEST(FixedPoint, SaturatesInsteadOfWrapping) {
+  const Q8 big = Q8::from_double(200.0);
+  const Q8 sum = big + big;  // 400 > 2^8 range
+  EXPECT_DOUBLE_EQ(sum.raw(), Q8::kMaxRaw);
+  const Q8 neg = Q8::from_double(-200.0);
+  EXPECT_DOUBLE_EQ((neg + neg).raw(), Q8::kMinRaw);
+  // from_double saturates too.
+  EXPECT_DOUBLE_EQ(Q8::from_double(1e9).raw(), Q8::kMaxRaw);
+  EXPECT_DOUBLE_EQ(Q8::from_double(-1e9).raw(), Q8::kMinRaw);
+}
+
+TEST(FixedPoint, RejectsNaN) {
+  EXPECT_THROW((void)Q8::from_double(std::nan("")), PreconditionError);
+}
+
+TEST(FixedPoint, ComparisonAndMax) {
+  const Q8 a = Q8::from_double(1.0);
+  const Q8 b = Q8::from_double(2.0);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(Q8::max(a, b) == b);
+}
+
+TEST(FixedPoint, IpowMatchesStdPow) {
+  const PriceFixed u = PriceFixed::from_double(1.0063);
+  for (std::uint64_t e : {0ull, 1ull, 7ull, 64ull, 511ull, 1024ull}) {
+    const double expect = std::pow(1.0063, static_cast<double>(e));
+    EXPECT_NEAR(PriceFixed::ipow(u, e).to_double() / expect, 1.0, 1e-9)
+        << "e = " << e;
+  }
+}
+
+TEST(FixedPoint, PriceFormatCoversTheDocumentedTreeRange) {
+  // Extreme leaf of an N = 1024, sigma = 0.20 tree (the paper's market
+  // regime): S0 * u^1024 ~ 600x the spot — inside Q17.46's 17 integer
+  // bits, as documented on PriceFixed.
+  const double u = std::exp(0.20 * std::sqrt(1.0 / 1024.0));
+  const double extreme = 100.0 * std::pow(u, 1024);
+  EXPECT_LT(extreme, std::ldexp(1.0, PriceFixed::kIntBits));
+  EXPECT_NEAR(PriceFixed::from_double(extreme).to_double() / extreme, 1.0,
+              1e-10);
+}
+
+TEST(FixedPoint, SaturatesGracefullyBeyondTheFormatEnvelope) {
+  // sigma = 0.6 at N = 1024 produces ~2e10 extreme leaves — outside any
+  // 64-bit Q format. The documented behaviour is saturation, not wrap:
+  // the custom-data-type route needs per-workload format engineering,
+  // which is exactly the development-cost argument of Section V-B.
+  const double u = std::exp(0.60 * std::sqrt(1.0 / 1024.0));
+  const double extreme = 100.0 * std::pow(u, 1024);
+  EXPECT_GT(extreme, std::ldexp(1.0, PriceFixed::kIntBits));
+  EXPECT_DOUBLE_EQ(PriceFixed::from_double(extreme).raw(), PriceFixed::kMaxRaw);
+}
+
+TEST(FixedOpCost, MultiplierTilesDsps) {
+  // 64-bit multiplier: ceil(64/18)^2 = 16 DSP elements.
+  EXPECT_DOUBLE_EQ(fixed_op_cost(OpKind::kFMul, 64).dsp18, 16.0);
+  EXPECT_DOUBLE_EQ(fixed_op_cost(OpKind::kFMul, 36).dsp18, 4.0);
+  EXPECT_DOUBLE_EQ(fixed_op_cost(OpKind::kFMul, 18).dsp18, 1.0);
+}
+
+TEST(FixedOpCost, AddsAreDspFreeAndCheap) {
+  const OpCost add = fixed_op_cost(OpKind::kFAdd, 64);
+  EXPECT_DOUBLE_EQ(add.dsp18, 0.0);
+  EXPECT_LT(add.aluts, op_cost(OpKind::kFAdd, Precision::kDouble).aluts);
+}
+
+TEST(FixedOpCost, ValidatesWidth) {
+  EXPECT_THROW((void)fixed_op_cost(OpKind::kFMul, 4), PreconditionError);
+  EXPECT_THROW((void)fixed_op_cost(OpKind::kFMul, 128), PreconditionError);
+}
+
+}  // namespace
+}  // namespace binopt::fpga

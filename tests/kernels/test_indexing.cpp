@@ -1,0 +1,80 @@
+#include "kernels/indexing.h"
+
+#include <gtest/gtest.h>
+
+namespace binopt::kernels {
+namespace {
+
+TEST(Indexing, NodeCountsMatchTriangularNumbers) {
+  EXPECT_EQ(interior_nodes(1), 1u);
+  EXPECT_EQ(interior_nodes(2), 3u);
+  EXPECT_EQ(interior_nodes(1024), 524800u);  // the paper's "roughly 5e5"
+  EXPECT_EQ(pingpong_length(2), 6u);
+  EXPECT_EQ(pingpong_length(1024), 524800u + 1025u);
+}
+
+TEST(Indexing, NodeIdMatchesFigure3Layout) {
+  // Figure 3's flattened tree (root-first): (0,0)=0, (1,0)=1, (1,1)=2,
+  // (2,0)=3, (2,1)=4, (2,2)=5.
+  EXPECT_EQ(node_id(0, 0), 0u);
+  EXPECT_EQ(node_id(1, 0), 1u);
+  EXPECT_EQ(node_id(1, 1), 2u);
+  EXPECT_EQ(node_id(2, 0), 3u);
+  EXPECT_EQ(node_id(2, 1), 4u);
+  EXPECT_EQ(node_id(2, 2), 5u);
+}
+
+TEST(Indexing, LevelOfInvertsNodeId) {
+  for (std::size_t t = 0; t < 80; ++t) {
+    for (std::size_t k = 0; k <= t; ++k) {
+      const std::size_t id = node_id(t, k);
+      EXPECT_EQ(level_of(id), t) << "id " << id;
+      EXPECT_EQ(k_of(id, t), k) << "id " << id;
+    }
+  }
+}
+
+TEST(Indexing, LevelOfHandlesLargeIds) {
+  const std::size_t t = 1023;
+  EXPECT_EQ(level_of(node_id(t, 0)), t);
+  EXPECT_EQ(level_of(node_id(t, t)), t);
+  EXPECT_EQ(level_of(node_id(t, t) + 1), t + 1);
+}
+
+TEST(Indexing, ChildAddressesAreNextLevelNeighbours) {
+  for (std::size_t t = 0; t < 30; ++t) {
+    for (std::size_t k = 0; k <= t; ++k) {
+      const std::size_t id = node_id(t, k);
+      EXPECT_EQ(down_child(id, t), node_id(t + 1, k));
+      EXPECT_EQ(down_child(id, t) + 1, node_id(t + 1, k + 1));
+    }
+  }
+}
+
+TEST(Indexing, LastLevelChildrenLandInLeafRegion) {
+  const std::size_t n = 16;
+  const std::size_t nodes = interior_nodes(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t id = node_id(n - 1, k);
+    const std::size_t child = down_child(id, n - 1);
+    EXPECT_EQ(child, nodes + k);
+    EXPECT_LT(child + 1, pingpong_length(n) + 0u);
+    EXPECT_LE(child + 1, nodes + n);
+  }
+}
+
+TEST(Indexing, OptionInFlightPipelinesNPlusOneOptions) {
+  const long long n = 8;
+  // At batch b the leaves' level (t = n-1) processes option b; the root
+  // (t = 0) processes option b - (n-1).
+  EXPECT_EQ(option_in_flight(0, n - 1, n), 0);
+  EXPECT_EQ(option_in_flight(0, 0, n), -(n - 1));
+  EXPECT_EQ(option_in_flight(n - 1, 0, n), 0);
+  // Exactly n distinct options touched across levels at one batch.
+  long long lo = option_in_flight(20, 0, n);
+  long long hi = option_in_flight(20, n - 1, n);
+  EXPECT_EQ(hi - lo, n - 1);
+}
+
+}  // namespace
+}  // namespace binopt::kernels

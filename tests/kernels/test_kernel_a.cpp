@@ -1,0 +1,138 @@
+// Functional validation of kernel IV.A on the OpenCL simulator: prices
+// must match the reference software, the ping-pong pipeline must keep
+// N+1 options in flight, and the traffic counters must show the paper's
+// full-buffer-readback problem.
+#include "kernels/kernel_a.h"
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+#include "finance/workload.h"
+#include "ocl/platform.h"
+
+namespace binopt::kernels {
+namespace {
+
+class KernelATest : public ::testing::Test {
+protected:
+  KernelATest() : platform_(ocl::Platform::make_reference_platform()) {}
+
+  ocl::Device& fpga() { return platform_->device_by_kind(ocl::DeviceKind::kFpga); }
+  ocl::Device& gpu() { return platform_->device_by_kind(ocl::DeviceKind::kGpu); }
+
+  std::unique_ptr<ocl::Platform> platform_;
+};
+
+TEST_F(KernelATest, MatchesReferenceOnSmokeBatch) {
+  const auto batch = finance::make_smoke_batch();
+  KernelAHostProgram host(fpga(), {.steps = 64});
+  const KernelAResult result = host.run(batch);
+  const finance::BinomialPricer reference(64);
+  const auto expected = reference.price_batch(batch);
+  ASSERT_EQ(result.prices.size(), expected.size());
+  EXPECT_LT(max_abs_error(result.prices, expected), 1e-10);
+}
+
+TEST_F(KernelATest, MatchesReferenceOnRandomBatch) {
+  const auto batch = finance::make_random_batch(40, 99);
+  KernelAHostProgram host(fpga(), {.steps = 32});
+  const KernelAResult result = host.run(batch);
+  const auto expected = finance::BinomialPricer(32).price_batch(batch);
+  EXPECT_LT(rmse(result.prices, expected), 1e-11);
+}
+
+TEST_F(KernelATest, SingleOptionWorks) {
+  const auto batch = finance::make_random_batch(1, 5);
+  KernelAHostProgram host(fpga(), {.steps = 16});
+  const KernelAResult result = host.run(batch);
+  EXPECT_NEAR(result.prices[0], finance::BinomialPricer(16).price(batch[0]),
+              1e-12);
+}
+
+TEST_F(KernelATest, FewerOptionsThanPipelineDepthWorks) {
+  // 3 options through a 32-deep pipeline: mostly bubbles.
+  const auto batch = finance::make_random_batch(3, 6);
+  KernelAHostProgram host(fpga(), {.steps = 32});
+  const KernelAResult result = host.run(batch);
+  const auto expected = finance::BinomialPricer(32).price_batch(batch);
+  EXPECT_LT(max_abs_error(result.prices, expected), 1e-11);
+}
+
+TEST_F(KernelATest, BatchCountIsOptionsPlusFill) {
+  const auto batch = finance::make_random_batch(10, 1);
+  KernelAHostProgram host(fpga(), {.steps = 16});
+  const KernelAResult result = host.run(batch);
+  // One option exits per batch after N-1 fill batches.
+  EXPECT_EQ(result.batches, 10u + 16u - 1u);
+  EXPECT_EQ(result.work_items_per_batch, interior_nodes(16));
+}
+
+TEST_F(KernelATest, FullReadbackDominatesTransferStats) {
+  const auto batch = finance::make_random_batch(6, 2);
+  KernelAHostProgram host(fpga(), {.steps = 16});
+  const KernelAResult result = host.run(batch);
+  // Every batch reads one full ping-pong V buffer back.
+  const std::uint64_t expected_read =
+      result.batches * pingpong_length(16) * sizeof(double);
+  EXPECT_EQ(result.stats.device_to_host_bytes, expected_read);
+  EXPECT_GT(result.stats.device_to_host_bytes,
+            10 * result.stats.host_to_device_bytes);
+}
+
+TEST_F(KernelATest, ReducedReadsVariantShrinksTrafficNotPrices) {
+  const auto batch = finance::make_random_batch(12, 3);
+  KernelAHostProgram full(fpga(), {.steps = 16, .reduced_reads = false});
+  const KernelAResult r_full = full.run(batch);
+  KernelAHostProgram reduced(gpu(), {.steps = 16, .reduced_reads = true});
+  const KernelAResult r_reduced = reduced.run(batch);
+
+  ASSERT_EQ(r_full.prices.size(), r_reduced.prices.size());
+  EXPECT_LT(max_abs_error(r_full.prices, r_reduced.prices), 1e-13);
+  // The modified variant reads ~1/pingpong_length of the bytes.
+  EXPECT_LT(r_reduced.stats.device_to_host_bytes * 100,
+            r_full.stats.device_to_host_bytes);
+}
+
+TEST_F(KernelATest, NoBarriersInDataflowKernel) {
+  const auto batch = finance::make_random_batch(4, 8);
+  KernelAHostProgram host(fpga(), {.steps = 8});
+  const KernelAResult result = host.run(batch);
+  EXPECT_EQ(result.stats.barriers_executed, 0u);
+}
+
+TEST_F(KernelATest, WorkItemCountsMatchEnqueues) {
+  const auto batch = finance::make_random_batch(5, 4);
+  KernelAHostProgram host(fpga(), {.steps = 8});
+  const KernelAResult result = host.run(batch);
+  EXPECT_EQ(result.stats.kernels_enqueued, result.batches);
+  EXPECT_EQ(result.stats.work_items_executed,
+            result.batches * interior_nodes(8));
+}
+
+TEST_F(KernelATest, PutsPriceCorrectlyThroughThePipeline) {
+  finance::WorkloadConfig config;
+  config.type = finance::OptionType::kPut;
+  const auto batch = finance::make_random_batch(15, 21, config);
+  KernelAHostProgram host(fpga(), {.steps = 24});
+  const KernelAResult result = host.run(batch);
+  const auto expected = finance::BinomialPricer(24).price_batch(batch);
+  EXPECT_LT(max_abs_error(result.prices, expected), 1e-11);
+}
+
+TEST_F(KernelATest, RunsIdenticallyOnGpuAndFpgaDevices) {
+  // The OpenCL promise: same kernel, any device, same results.
+  const auto batch = finance::make_random_batch(8, 31);
+  KernelAHostProgram on_fpga(fpga(), {.steps = 16});
+  KernelAHostProgram on_gpu(gpu(), {.steps = 16});
+  const auto a = on_fpga.run(batch).prices;
+  const auto b = on_gpu.run(batch).prices;
+  EXPECT_LT(max_abs_error(a, b), 0.0 + 1e-15);
+}
+
+TEST_F(KernelATest, RejectsEmptyBatch) {
+  KernelAHostProgram host(fpga(), {.steps = 8});
+  EXPECT_THROW((void)host.run({}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace binopt::kernels

@@ -1,0 +1,181 @@
+// Functional validation of kernel IV.B: exact in double mode, ~1e-3-class
+// error in the FPGA approx-pow mode (the paper's accuracy finding), local
+// memory + barrier structure as in Figure 4, minimal host traffic.
+#include "kernels/kernel_b.h"
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+#include "finance/workload.h"
+#include "fpga/approx_math.h"
+#include "ocl/platform.h"
+
+namespace binopt::kernels {
+namespace {
+
+class KernelBTest : public ::testing::Test {
+protected:
+  KernelBTest() : platform_(ocl::Platform::make_reference_platform()) {}
+
+  ocl::Device& fpga() { return platform_->device_by_kind(ocl::DeviceKind::kFpga); }
+  ocl::Device& gpu() { return platform_->device_by_kind(ocl::DeviceKind::kGpu); }
+
+  std::unique_ptr<ocl::Platform> platform_;
+};
+
+TEST_F(KernelBTest, ExactModeMatchesReference) {
+  const auto batch = finance::make_smoke_batch();
+  KernelBHostProgram host(gpu(), {.steps = 64, .mode = MathMode::kExactDouble});
+  const KernelBResult result = host.run(batch);
+  const auto expected = finance::BinomialPricer(64).price_batch(batch);
+  EXPECT_LT(max_abs_error(result.prices, expected), 1e-10);
+}
+
+TEST_F(KernelBTest, ExactModeMatchesReferenceOnRandomBatch) {
+  const auto batch = finance::make_random_batch(24, 123);
+  KernelBHostProgram host(gpu(), {.steps = 48, .mode = MathMode::kExactDouble});
+  const KernelBResult result = host.run(batch);
+  const auto expected = finance::BinomialPricer(48).price_batch(batch);
+  EXPECT_LT(rmse(result.prices, expected), 1e-11);
+}
+
+TEST_F(KernelBTest, ApproxPowModeShowsTheFpgaAccuracyDefect) {
+  const auto batch = finance::make_random_batch(24, 123);
+  KernelBHostProgram exact(gpu(), {.steps = 48, .mode = MathMode::kExactDouble});
+  KernelBHostProgram approx(fpga(),
+                            {.steps = 48, .mode = MathMode::kFpgaApproxPow});
+  const auto expected = finance::BinomialPricer(48).price_batch(batch);
+  const double rmse_exact = rmse(exact.run(batch).prices, expected);
+  const double rmse_approx = rmse(approx.run(batch).prices, expected);
+  // The Power-operator error must dominate the exact path by orders of
+  // magnitude but stay in the "usable" range the paper reports.
+  EXPECT_GT(rmse_approx, 1e3 * rmse_exact);
+  EXPECT_LT(rmse_approx, 1e-2);
+  EXPECT_GT(rmse_approx, 1e-7);
+}
+
+TEST_F(KernelBTest, ApproxPowErrorMatchesDirectLeafSubstitution) {
+  // The kernel's only inexact operation is the pow leaf initialisation,
+  // so pricing from approx leaves directly must agree with the kernel.
+  const auto batch = finance::make_random_batch(10, 9);
+  const std::size_t n = 32;
+  KernelBHostProgram approx(fpga(),
+                            {.steps = n, .mode = MathMode::kFpgaApproxPow});
+  const auto kernel_prices = approx.run(batch).prices;
+
+  const finance::BinomialPricer pricer(n);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const double direct = pricer.price_from_leaves(
+        batch[i], pricer.leaf_assets_pow<fpga::ApproxMath>(batch[i]));
+    EXPECT_NEAR(kernel_prices[i], direct, 1e-9) << "option " << i;
+  }
+}
+
+TEST_F(KernelBTest, SingleModeErrorIsFloatClass) {
+  const auto batch = finance::make_random_batch(16, 55);
+  KernelBHostProgram single(gpu(), {.steps = 64, .mode = MathMode::kSingle});
+  const auto expected = finance::BinomialPricer(64).price_batch(batch);
+  const double e = rmse(single.run(batch).prices, expected);
+  EXPECT_GT(e, 1e-9);  // clearly not double
+  EXPECT_LT(e, 1e-2);  // clearly not broken
+}
+
+TEST_F(KernelBTest, FixedPointModeIsNearDoubleAccurate) {
+  // The "custom data types" alternative (paper Section V-B): Q17.46 has
+  // 46 fractional bits and exact binary-powering leaves, so it must beat
+  // both the approximate-pow and the single-precision modes by orders of
+  // magnitude while not being bit-identical to double.
+  const auto batch = finance::make_random_batch(12, 61);
+  const std::size_t n = 64;
+  const auto expected = finance::BinomialPricer(n).price_batch(batch);
+  auto measure = [&](MathMode mode) {
+    KernelBHostProgram host(fpga(), {.steps = n, .mode = mode});
+    return rmse(host.run(batch).prices, expected);
+  };
+  const double fixed = measure(MathMode::kFixedPoint);
+  EXPECT_LT(fixed, 1e-8);
+  EXPECT_GT(fixed, 0.0);  // quantisation is real
+  EXPECT_LT(fixed, measure(MathMode::kFpgaApproxPow) / 100.0);
+  EXPECT_LT(fixed, measure(MathMode::kSingle) / 100.0);
+}
+
+TEST_F(KernelBTest, FixedPointModeHandlesPuts) {
+  finance::WorkloadConfig config;
+  config.type = finance::OptionType::kPut;
+  const auto batch = finance::make_random_batch(8, 67, config);
+  KernelBHostProgram host(fpga(), {.steps = 48, .mode = MathMode::kFixedPoint});
+  const auto expected = finance::BinomialPricer(48).price_batch(batch);
+  EXPECT_LT(max_abs_error(host.run(batch).prices, expected), 1e-8);
+}
+
+TEST_F(KernelBTest, HostTrafficIsMinimal) {
+  // The paper's three host commands: params in, kernels, results out.
+  const auto batch = finance::make_random_batch(20, 77);
+  KernelBHostProgram host(fpga(), {.steps = 32});
+  const KernelBResult result = host.run(batch);
+  EXPECT_EQ(result.stats.host_transfers, 2u);  // one write + one read
+  EXPECT_EQ(result.stats.kernels_enqueued, 1u);
+  EXPECT_EQ(result.stats.device_to_host_bytes, 20u * sizeof(double));
+  // Unlike kernel A there is NO per-batch buffer readback.
+  EXPECT_LT(result.stats.device_to_host_bytes,
+            result.stats.host_to_device_bytes);
+}
+
+TEST_F(KernelBTest, WorkGroupPerOptionStructure) {
+  const auto batch = finance::make_random_batch(7, 13);
+  KernelBHostProgram host(fpga(), {.steps = 16});
+  const KernelBResult result = host.run(batch);
+  EXPECT_EQ(result.work_groups, 7u);
+  EXPECT_EQ(result.stats.work_groups_executed, 7u);
+  EXPECT_EQ(result.stats.work_items_executed, 7u * 16u);
+}
+
+TEST_F(KernelBTest, BarrierCountMatchesFigure4Dataflow) {
+  const std::size_t n = 16;
+  const auto batch = finance::make_random_batch(2, 17);
+  KernelBHostProgram host(fpga(), {.steps = n});
+  const KernelBResult result = host.run(batch);
+  // Per work-item: 1 after leaf init + 2 per backward step.
+  EXPECT_EQ(result.stats.barriers_executed, 2u * n * (1u + 2u * n));
+}
+
+TEST_F(KernelBTest, LocalMemoryCarriesTheValueRow) {
+  // Local traffic grows with the tree area (N^2), global with its edge
+  // (N): at N = 64 local must dwarf global — the whole point of IV.B.
+  const auto batch = finance::make_random_batch(2, 19);
+  KernelBHostProgram host(fpga(), {.steps = 64});
+  const KernelBResult result = host.run(batch);
+  EXPECT_GT(result.stats.local_load_bytes, 0u);
+  EXPECT_GT(result.stats.local_store_bytes, 0u);
+  EXPECT_GT(result.stats.total_local_bytes(),
+            10 * result.stats.total_global_bytes());
+}
+
+TEST_F(KernelBTest, AgreesWithKernelAInExactMode) {
+  const auto batch = finance::make_random_batch(9, 29);
+  KernelBHostProgram b(gpu(), {.steps = 24, .mode = MathMode::kExactDouble});
+  const auto b_prices = b.run(batch).prices;
+  const auto expected = finance::BinomialPricer(24).price_batch(batch);
+  EXPECT_LT(max_abs_error(b_prices, expected), 1e-11);
+}
+
+TEST_F(KernelBTest, PutsPriceCorrectly) {
+  finance::WorkloadConfig config;
+  config.type = finance::OptionType::kPut;
+  const auto batch = finance::make_random_batch(12, 37, config);
+  KernelBHostProgram host(gpu(), {.steps = 40});
+  const auto expected = finance::BinomialPricer(40).price_batch(batch);
+  EXPECT_LT(max_abs_error(host.run(batch).prices, expected), 1e-10);
+}
+
+TEST_F(KernelBTest, RejectsTreesBeyondWorkGroupLimit) {
+  EXPECT_THROW(KernelBHostProgram(fpga(), {.steps = 4096}), PreconditionError);
+}
+
+TEST_F(KernelBTest, RejectsEmptyBatch) {
+  KernelBHostProgram host(fpga(), {.steps = 8});
+  EXPECT_THROW((void)host.run({}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace binopt::kernels

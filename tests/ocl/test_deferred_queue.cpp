@@ -1,0 +1,123 @@
+// Deferred-queue semantics: non-blocking enqueues execute at finish(),
+// in order — the OpenCL behaviour the paper's host exploits to overlap
+// memory operations with kernel batches.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ocl/context.h"
+#include "ocl/queue.h"
+
+namespace binopt::ocl {
+namespace {
+
+class DeferredQueueTest : public ::testing::Test {
+protected:
+  DeferredQueueTest()
+      : device_("d", DeviceKind::kFpga, DeviceLimits{1 << 20, 4096, 64}),
+        context_(device_),
+        queue_(context_, QueueMode::kDeferred) {}
+
+  Device device_;
+  Context context_;
+  CommandQueue queue_;
+};
+
+TEST_F(DeferredQueueTest, WritesLandOnlyAtFinish) {
+  Buffer& buffer =
+      context_.create_buffer_of<double>(4, MemFlags::kReadWrite, "b");
+  const std::vector<double> data{1.0, 2.0, 3.0, 4.0};
+  const Event& event = queue_.write<double>(buffer, data);
+  EXPECT_FALSE(event.completed);
+  EXPECT_EQ(queue_.pending_commands(), 1u);
+  EXPECT_EQ(device_.stats().host_to_device_bytes, 0u);  // nothing moved
+
+  queue_.finish();
+  EXPECT_EQ(queue_.pending_commands(), 0u);
+  EXPECT_EQ(device_.stats().host_to_device_bytes, 32u);
+  EXPECT_TRUE(queue_.events()[0].completed);
+}
+
+TEST_F(DeferredQueueTest, ReadSpanFilledAtFinishNotBefore) {
+  Buffer& buffer =
+      context_.create_buffer_of<double>(2, MemFlags::kReadWrite, "b");
+  const std::vector<double> data{7.0, 9.0};
+  queue_.write<double>(buffer, data);
+  std::vector<double> out(2, -1.0);
+  queue_.read<double>(buffer, out);
+  EXPECT_DOUBLE_EQ(out[0], -1.0);  // still untouched
+  queue_.finish();
+  EXPECT_DOUBLE_EQ(out[0], 7.0);
+  EXPECT_DOUBLE_EQ(out[1], 9.0);
+}
+
+TEST_F(DeferredQueueTest, CommandsExecuteInEnqueueOrder) {
+  Buffer& buffer =
+      context_.create_buffer_of<double>(1, MemFlags::kReadWrite, "b");
+  const std::vector<double> first{1.0};
+  const std::vector<double> second{2.0};
+  std::vector<double> out(1, 0.0);
+  queue_.write<double>(buffer, first);
+  queue_.write<double>(buffer, second);  // must win: enqueued later
+  queue_.read<double>(buffer, out);
+  queue_.finish();
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+}
+
+TEST_F(DeferredQueueTest, KernelRunsAtFinishWithCapturedArgs) {
+  Buffer& buffer =
+      context_.create_buffer_of<double>(8, MemFlags::kReadWrite, "b");
+  Kernel kernel;
+  kernel.name = "fill";
+  kernel.uses_barriers = false;
+  kernel.body = [&buffer](WorkItemCtx& ctx, const KernelArgs& args) {
+    auto view = ctx.global<double>(args.buffer(0));
+    view.set(ctx.global_id(), args.f64(1));
+  };
+  KernelArgs args;
+  args.set(0, &buffer);
+  args.set(1, 5.0);
+  queue_.enqueue_ndrange(kernel, args, NDRange{8, 8});
+  // Rebinding after enqueue must NOT affect the queued command (args are
+  // captured by value, clSetKernelArg semantics).
+  args.set(1, 99.0);
+  EXPECT_EQ(device_.stats().kernels_enqueued, 0u);
+
+  std::vector<double> out(8, 0.0);
+  queue_.read<double>(buffer, out);
+  queue_.finish();
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 5.0);
+}
+
+TEST_F(DeferredQueueTest, ValidationStillHappensAtEnqueueTime) {
+  Buffer& buffer =
+      context_.create_buffer_of<double>(2, MemFlags::kReadWrite, "b");
+  std::vector<double> too_big(3, 0.0);
+  EXPECT_THROW(queue_.write<double>(buffer, too_big), PreconditionError);
+  EXPECT_EQ(queue_.pending_commands(), 0u);  // rejected, not queued
+}
+
+TEST_F(DeferredQueueTest, ClearEventsRefusesWhilePending) {
+  Buffer& buffer =
+      context_.create_buffer_of<double>(1, MemFlags::kReadWrite, "b");
+  const std::vector<double> data{1.0};
+  queue_.write<double>(buffer, data);
+  EXPECT_THROW(queue_.clear_events(), PreconditionError);
+  queue_.finish();
+  EXPECT_NO_THROW(queue_.clear_events());
+}
+
+TEST(ImmediateQueue, StillExecutesEagerly) {
+  Device device("d", DeviceKind::kCpu, DeviceLimits{4096, 256, 16});
+  Context context(device);
+  CommandQueue queue(context);  // default immediate
+  Buffer& buffer = context.create_buffer_of<double>(1, MemFlags::kReadWrite, "b");
+  const std::vector<double> data{3.0};
+  const Event& event = queue.write<double>(buffer, data);
+  EXPECT_TRUE(event.completed);
+  EXPECT_EQ(queue.pending_commands(), 0u);
+  EXPECT_EQ(device.stats().host_to_device_bytes, 8u);
+}
+
+}  // namespace
+}  // namespace binopt::ocl

@@ -1,0 +1,136 @@
+#include "ocl/fiber.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace binopt::ocl {
+namespace {
+
+TEST(Fiber, RunsToCompletionWithoutYield) {
+  Fiber fiber;
+  int value = 0;
+  fiber.start([&] { value = 42; });
+  EXPECT_FALSE(fiber.resume());
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(fiber.done());
+}
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  Fiber fiber;
+  std::vector<int> trace;
+  fiber.start([&] {
+    trace.push_back(1);
+    fiber.yield();
+    trace.push_back(2);
+    fiber.yield();
+    trace.push_back(3);
+  });
+  EXPECT_TRUE(fiber.resume());
+  EXPECT_EQ(trace, (std::vector<int>{1}));
+  EXPECT_TRUE(fiber.resume());
+  EXPECT_EQ(trace, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(fiber.resume());
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Fiber, ManyYieldsSurvive) {
+  Fiber fiber;
+  int counter = 0;
+  fiber.start([&] {
+    for (int i = 0; i < 10000; ++i) {
+      ++counter;
+      fiber.yield();
+    }
+  });
+  int resumes = 0;
+  while (fiber.resume()) ++resumes;
+  EXPECT_EQ(counter, 10000);
+  EXPECT_EQ(resumes, 10000);
+}
+
+TEST(Fiber, ExceptionsPropagateToResumer) {
+  Fiber fiber;
+  fiber.start([] { throw PreconditionError("boom"); });
+  EXPECT_THROW((void)fiber.resume(), PreconditionError);
+  EXPECT_TRUE(fiber.done());
+}
+
+TEST(Fiber, ExceptionAfterYieldPropagates) {
+  Fiber fiber;
+  fiber.start([&] {
+    fiber.yield();
+    throw InvariantError("late boom");
+  });
+  EXPECT_TRUE(fiber.resume());
+  EXPECT_THROW((void)fiber.resume(), InvariantError);
+}
+
+TEST(Fiber, ReusableAfterCompletion) {
+  Fiber fiber;
+  int runs = 0;
+  for (int i = 0; i < 3; ++i) {
+    fiber.start([&] { ++runs; });
+    EXPECT_FALSE(fiber.resume());
+  }
+  EXPECT_EQ(runs, 3);
+}
+
+TEST(Fiber, ResumingFinishedFiberThrows) {
+  Fiber fiber;
+  fiber.start([] {});
+  (void)fiber.resume();
+  EXPECT_THROW((void)fiber.resume(), PreconditionError);
+}
+
+TEST(Fiber, RejectsTinyStack) {
+  EXPECT_THROW(Fiber(1024), PreconditionError);
+}
+
+TEST(Fiber, InterleavedFibersKeepSeparateStacks) {
+  Fiber a;
+  Fiber b;
+  std::vector<std::string> trace;
+  a.start([&] {
+    trace.push_back("a1");
+    a.yield();
+    trace.push_back("a2");
+  });
+  b.start([&] {
+    trace.push_back("b1");
+    b.yield();
+    trace.push_back("b2");
+  });
+  EXPECT_TRUE(a.resume());
+  EXPECT_TRUE(b.resume());
+  EXPECT_FALSE(a.resume());
+  EXPECT_FALSE(b.resume());
+  EXPECT_EQ(trace,
+            (std::vector<std::string>{"a1", "b1", "a2", "b2"}));
+}
+
+TEST(FiberPool, GrowsAndReuses) {
+  FiberPool pool;
+  const auto first = pool.acquire(4);
+  EXPECT_EQ(first.size(), 4u);
+  EXPECT_EQ(pool.size(), 4u);
+  const auto second = pool.acquire(8);
+  EXPECT_EQ(second.size(), 8u);
+  EXPECT_EQ(pool.size(), 8u);
+  // The first four are the same objects (reused).
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(first[i], second[i]);
+}
+
+TEST(FiberPool, RefusesAcquireWhileRunning) {
+  FiberPool pool;
+  auto fibers = pool.acquire(1);
+  fibers[0]->start([&] { fibers[0]->yield(); });
+  EXPECT_TRUE(fibers[0]->resume());  // parked at yield
+  EXPECT_THROW((void)pool.acquire(1), PreconditionError);
+  EXPECT_FALSE(fibers[0]->resume());
+}
+
+}  // namespace
+}  // namespace binopt::ocl

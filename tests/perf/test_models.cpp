@@ -1,0 +1,172 @@
+// Performance-model tests: Table II throughput reproduction at the
+// calibrated points and the structural properties of the batch model
+// (readback dominates kernel IV.A; kernel IV.B is compute bound).
+#include <gtest/gtest.h>
+
+#include "perf/kernel_a_model.h"
+#include "perf/kernel_b_model.h"
+#include "perf/platform_models.h"
+#include "perf/saturation.h"
+#include "perf/transfer_model.h"
+#include "perf/tree_shape.h"
+
+namespace binopt::perf {
+namespace {
+
+constexpr TreeShape kShape{1024};
+
+TEST(TreeShape, PaperNodeCounts) {
+  EXPECT_DOUBLE_EQ(kShape.nodes_per_option(), 524800.0);  // "roughly 5e5"
+  EXPECT_DOUBLE_EQ(kShape.leaves_per_option(), 1025.0);
+  // "approximately 19 MB for N = 1024" at the 38-byte record.
+  EXPECT_NEAR(kShape.kernel_a_buffer_bytes(38.0) / (1024.0 * 1024.0), 19.0,
+              0.1);
+}
+
+TEST(TransferLink, TimesAreLinear) {
+  const TransferLink link{2.0e9, 0.5};
+  EXPECT_DOUBLE_EQ(link.effective_bandwidth_bps(), 1.0e9);
+  EXPECT_DOUBLE_EQ(link.transfer_seconds(1.0e9), 1.0);
+  EXPECT_DOUBLE_EQ(link.transfer_seconds(0.0), 0.0);
+}
+
+TEST(TransferLink, Validation) {
+  const TransferLink bad{0.0, 0.5};
+  EXPECT_THROW((void)bad.transfer_seconds(10.0), PreconditionError);
+}
+
+// --- Table II throughput reproduction (within 5% of the paper) -------------
+
+TEST(PlatformModels, KernelAFpgaNear25OptionsPerSecond) {
+  EXPECT_NEAR(PlatformModels::fpga_kernel_a(kShape).options_per_second(), 25.0,
+              25.0 * 0.05);
+}
+
+TEST(PlatformModels, KernelAGpuNear53OptionsPerSecond) {
+  EXPECT_NEAR(PlatformModels::gpu_kernel_a(kShape).options_per_second(), 53.0,
+              53.0 * 0.05);
+}
+
+TEST(PlatformModels, KernelBFpgaNear2400OptionsPerSecond) {
+  EXPECT_NEAR(PlatformModels::fpga_kernel_b(kShape).options_per_second(),
+              2400.0, 2400.0 * 0.05);
+}
+
+TEST(PlatformModels, KernelBGpuDoubleNear8900) {
+  EXPECT_NEAR(PlatformModels::gpu_kernel_b(kShape, true).options_per_second(),
+              8900.0, 8900.0 * 0.05);
+}
+
+TEST(PlatformModels, KernelBGpuSingleNear47000) {
+  EXPECT_NEAR(PlatformModels::gpu_kernel_b(kShape, false).options_per_second(),
+              47000.0, 47000.0 * 0.05);
+}
+
+TEST(PlatformModels, CpuReferenceNearPaperRows) {
+  EXPECT_NEAR(PlatformModels::cpu_reference_options_per_s(kShape, true), 222.0,
+              222.0 * 0.05);
+  EXPECT_NEAR(PlatformModels::cpu_reference_options_per_s(kShape, false),
+              116.0, 116.0 * 0.05);
+}
+
+TEST(PlatformModels, ModifiedKernelAGpuNear840) {
+  // Section V-C: "840 options/s vs 58.4 options/s ... 14 times better".
+  const double reduced =
+      PlatformModels::gpu_kernel_a(kShape, /*reduced_reads=*/true)
+          .options_per_second();
+  EXPECT_NEAR(reduced, 840.0, 840.0 * 0.10);
+  const double full =
+      PlatformModels::gpu_kernel_a(kShape).options_per_second();
+  EXPECT_NEAR(reduced / full, 14.0, 3.0);  // the paper's 14x
+}
+
+TEST(PlatformModels, ModifiedKernelAFpgaSameOrderOfMagnitudeGain) {
+  // Paper: "the same order of magnitude of acceleration can be expected".
+  const double full = PlatformModels::fpga_kernel_a(kShape).options_per_second();
+  const double reduced =
+      PlatformModels::fpga_kernel_a(kShape, true).options_per_second();
+  EXPECT_GT(reduced / full, 5.0);
+  EXPECT_LT(reduced / full, 100.0);
+}
+
+// --- Structural properties ---------------------------------------------------
+
+TEST(KernelAModel, ReadbackDominatesBatchTime) {
+  const KernelAModel model = PlatformModels::fpga_kernel_a(kShape);
+  const BatchBreakdown b = model.batch();
+  EXPECT_GT(b.read_s, 0.5 * b.total());  // the Section V-C stall
+  EXPECT_GT(b.read_s, 10.0 * b.kernel_s);
+}
+
+TEST(KernelAModel, ReducedReadsShrinkOnlyTheReadTerm) {
+  const KernelAModel full = PlatformModels::fpga_kernel_a(kShape);
+  const KernelAModel reduced = PlatformModels::fpga_kernel_a(kShape, true);
+  EXPECT_LT(reduced.batch().read_s, full.batch().read_s / 100.0);
+  EXPECT_DOUBLE_EQ(reduced.batch().kernel_s, full.batch().kernel_s);
+  EXPECT_DOUBLE_EQ(reduced.batch().write_s, full.batch().write_s);
+}
+
+TEST(KernelAModel, PipelineFillAddsNBatches) {
+  const KernelAModel model = PlatformModels::fpga_kernel_a(kShape);
+  const double t1 = model.time_for_options(1.0);
+  const double t2 = model.time_for_options(1001.0);
+  EXPECT_NEAR(t2 - t1, 1000.0 * model.batch().total(), 1e-9);
+  EXPECT_NEAR(t1, 1025.0 * model.batch().total(), 1e-9);
+}
+
+TEST(KernelBModel, ComputeBoundThroughput) {
+  const KernelBModel model = PlatformModels::fpga_kernel_b(kShape);
+  EXPECT_NEAR(model.nodes_per_second(),
+              model.options_per_second() * kShape.nodes_per_option(), 1.0);
+  // FPGA kernel B: ~1.3 G nodes/s (8 lanes x 162.62 MHz x occupancy).
+  EXPECT_NEAR(model.nodes_per_second(), 1.26e9, 0.05e9);
+}
+
+TEST(KernelBModel, TransfersAreNegligible) {
+  const KernelBModel model = PlatformModels::fpga_kernel_b(kShape);
+  const double compute_only = 2000.0 / model.options_per_second();
+  EXPECT_NEAR(model.time_for_options(2000.0), compute_only,
+              compute_only * 0.01);
+}
+
+TEST(KernelBModel, MeetsThePapersUseCaseTarget) {
+  // "more than 2000 options can be computed in less than a second".
+  const KernelBModel model = PlatformModels::fpga_kernel_b(kShape);
+  EXPECT_LT(model.time_for_options(2000.0), 1.0);
+}
+
+// --- Saturation (Section V-C) -----------------------------------------------
+
+TEST(Saturation, NinetyPercentAtTheSaturationPoint) {
+  const SaturationCurve curve(1000.0, 1.0e5);
+  EXPECT_NEAR(curve.efficiency(1.0e5), 0.9, 1e-12);
+  EXPECT_LT(curve.efficiency(1.0e3), 0.9);
+  EXPECT_GT(curve.efficiency(1.0e6), 0.98);
+}
+
+TEST(Saturation, ThroughputMonotoneInWorkload) {
+  const SaturationCurve curve(2400.0, 1.0e5);
+  double prev = 0.0;
+  for (double n : {1e2, 1e3, 1e4, 1e5, 1e6}) {
+    const double rate = curve.options_per_second(n);
+    EXPECT_GT(rate, prev);
+    EXPECT_LE(rate, 2400.0);
+    prev = rate;
+  }
+}
+
+TEST(Saturation, GpuKernelBSaturatesTenTimesLater) {
+  const SaturationCurve fpga = PlatformModels::saturation(2400.0, false);
+  const SaturationCurve gpu = PlatformModels::saturation(47000.0, true);
+  EXPECT_NEAR(gpu.saturation_point() / fpga.saturation_point(), 10.0, 1e-9);
+}
+
+TEST(Saturation, TimeIsWorkloadOverRate) {
+  const SaturationCurve curve(100.0, 1e4);
+  const double n = 5e3;
+  EXPECT_NEAR(curve.time_for_options(n), n / curve.options_per_second(n),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace binopt::perf

@@ -1,0 +1,76 @@
+// Tests of the future-work platform projections (paper Section VI:
+// KeyStone DSP [16] and Mali [17]) — datasheet sanity plus the relative
+// ordering the projection must respect.
+#include <gtest/gtest.h>
+
+#include "devices/keystone_c6678.h"
+#include "devices/mali_t604.h"
+#include "perf/platform_models.h"
+
+namespace binopt::perf {
+namespace {
+
+constexpr TreeShape kShape{1024};
+
+TEST(KeystoneDescriptor, DatasheetPeaks) {
+  const devices::KeystoneC6678 dsp;
+  EXPECT_NEAR(dsp.peak_flops(false), 160.0e9, 1e9);  // 160 GFLOPS SP
+  EXPECT_NEAR(dsp.peak_flops(true), 40.0e9, 1e9);    // 40 GFLOPS DP
+}
+
+TEST(MaliDescriptor, DatasheetPeaks) {
+  const devices::MaliT604 mali;
+  EXPECT_NEAR(mali.peak_flops(false), 72.5e9, 1.0e9);
+  EXPECT_NEAR(mali.peak_flops(true), mali.peak_flops(false) * 0.25, 1e6);
+}
+
+TEST(PortabilityProjection, DspSlowerThanGtxFasterThanNothing) {
+  const double dsp =
+      PlatformModels::dsp_kernel_b(kShape, true).options_per_second();
+  const double gtx =
+      PlatformModels::gpu_kernel_b(kShape, true).options_per_second();
+  EXPECT_LT(dsp, gtx);
+  EXPECT_GT(dsp, 100.0);
+}
+
+TEST(PortabilityProjection, MaliIsTheLowPowerLowRatePoint) {
+  const double mali_rate =
+      PlatformModels::mali_kernel_b(kShape, true).options_per_second();
+  EXPECT_LT(mali_rate, 2000.0);  // cannot meet the throughput target
+  EXPECT_LT(PlatformModels::mali_power_watts(), 10.0);  // but fits the budget
+}
+
+TEST(PortabilityProjection, FpgaStaysMostEnergyEfficientAtDouble) {
+  const double fpga_opj =
+      PlatformModels::fpga_kernel_b(kShape).options_per_second() /
+      PlatformModels::fpga_power_watts_kernel_b();
+  const double dsp_opj =
+      PlatformModels::dsp_kernel_b(kShape, true).options_per_second() /
+      PlatformModels::dsp_power_watts();
+  const double mali_opj =
+      PlatformModels::mali_kernel_b(kShape, true).options_per_second() /
+      PlatformModels::mali_power_watts();
+  const double gpu_opj =
+      PlatformModels::gpu_kernel_b(kShape, true).options_per_second() /
+      PlatformModels::gpu_power_watts();
+  EXPECT_GT(fpga_opj, dsp_opj);
+  EXPECT_GT(fpga_opj, gpu_opj);
+  // Mali's tiny envelope makes it the only platform in the FPGA's class.
+  EXPECT_GT(mali_opj, gpu_opj);
+}
+
+TEST(PortabilityProjection, SinglePrecisionScalesByTheAluRatio) {
+  const double dsp_sp =
+      PlatformModels::dsp_kernel_b(kShape, false).options_per_second();
+  const double dsp_dp =
+      PlatformModels::dsp_kernel_b(kShape, true).options_per_second();
+  EXPECT_NEAR(dsp_sp / dsp_dp, 4.0, 1e-6);  // 160/40 GFLOPS
+  const double mali_sp =
+      PlatformModels::mali_kernel_b(kShape, false).options_per_second();
+  const double mali_dp =
+      PlatformModels::mali_kernel_b(kShape, true).options_per_second();
+  EXPECT_NEAR(mali_sp / mali_dp, 4.0, 1e-6);  // FP64 at 1/4 rate
+}
+
+}  // namespace
+}  // namespace binopt::perf

@@ -1,0 +1,66 @@
+#include "perf/queueing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace binopt::perf {
+namespace {
+
+TEST(Md1, LightLoadResponseApproachesServiceTime) {
+  const QueueMetrics m = md1_metrics(/*arrivals=*/0.001, /*service=*/1.0);
+  EXPECT_TRUE(m.stable);
+  EXPECT_NEAR(m.mean_response_s, 1.0, 0.01);
+}
+
+TEST(Md1, KnownHalfLoadValue) {
+  // rho = 0.5: Wq = 0.5*s / (2*0.5) = s/2.
+  const QueueMetrics m = md1_metrics(0.5, 1.0);
+  EXPECT_NEAR(m.utilization, 0.5, 1e-12);
+  EXPECT_NEAR(m.mean_wait_s, 0.5, 1e-12);
+  EXPECT_NEAR(m.mean_response_s, 1.5, 1e-12);
+}
+
+TEST(Md1, LittlesLawHolds) {
+  const QueueMetrics m = md1_metrics(0.7, 1.0);
+  EXPECT_NEAR(m.mean_jobs_in_system, 0.7 * m.mean_response_s, 1e-12);
+}
+
+TEST(Md1, OverloadIsUnstable) {
+  const QueueMetrics m = md1_metrics(2.0, 1.0);
+  EXPECT_FALSE(m.stable);
+  EXPECT_TRUE(std::isinf(m.mean_response_s));
+}
+
+TEST(Md1, ResponseMonotoneInLoad) {
+  double prev = 0.0;
+  for (double lambda : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const QueueMetrics m = md1_metrics(lambda, 1.0);
+    EXPECT_GT(m.mean_response_s, prev);
+    prev = m.mean_response_s;
+  }
+}
+
+TEST(Md1, MaxArrivalRateInvertsTheResponseBound) {
+  const double service = 0.8;
+  const double bound = 1.0;
+  const double lambda = md1_max_arrival_rate(service, bound);
+  ASSERT_GT(lambda, 0.0);
+  EXPECT_NEAR(md1_metrics(lambda, service).mean_response_s, bound, 1e-9);
+  // Slightly above the rate, the bound is violated.
+  EXPECT_GT(md1_metrics(lambda * 1.05, service).mean_response_s, bound);
+}
+
+TEST(Md1, ImpossibleBoundGivesZeroCapacity) {
+  EXPECT_DOUBLE_EQ(md1_max_arrival_rate(2.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(md1_max_arrival_rate(1.0, 1.0), 0.0);
+}
+
+TEST(Md1, Validation) {
+  EXPECT_THROW((void)md1_metrics(0.0, 1.0), PreconditionError);
+  EXPECT_THROW((void)md1_metrics(1.0, 0.0), PreconditionError);
+  EXPECT_THROW((void)md1_max_arrival_rate(0.0, 1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace binopt::perf

@@ -1,0 +1,87 @@
+#include "perf/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace binopt::perf {
+namespace {
+
+TEST(Timeline, IndependentTasksOnDistinctResourcesOverlap) {
+  Timeline t;
+  t.add("a", Resource::kDmaWrite, 2.0);
+  t.add("b", Resource::kKernel, 3.0);
+  EXPECT_DOUBLE_EQ(t.makespan(), 3.0);  // parallel, not 5
+}
+
+TEST(Timeline, SameResourceSerializes) {
+  Timeline t;
+  t.add("a", Resource::kDmaWrite, 2.0);
+  t.add("b", Resource::kDmaWrite, 3.0);
+  EXPECT_DOUBLE_EQ(t.makespan(), 5.0);
+}
+
+TEST(Timeline, DependenciesChain) {
+  Timeline t;
+  const TaskId a = t.add("a", Resource::kHost, 1.0);
+  const TaskId b = t.add("b", Resource::kKernel, 2.0, {a});
+  t.add("c", Resource::kDmaRead, 4.0, {b});
+  const auto sched = t.schedule();
+  EXPECT_DOUBLE_EQ(sched[0].finish_s, 1.0);
+  EXPECT_DOUBLE_EQ(sched[1].start_s, 1.0);
+  EXPECT_DOUBLE_EQ(sched[2].start_s, 3.0);
+  EXPECT_DOUBLE_EQ(t.makespan(), 7.0);
+}
+
+TEST(Timeline, BusyTimePerResource) {
+  Timeline t;
+  t.add("a", Resource::kKernel, 2.0);
+  t.add("b", Resource::kKernel, 3.0);
+  t.add("c", Resource::kHost, 1.0);
+  EXPECT_DOUBLE_EQ(t.busy_seconds(Resource::kKernel), 5.0);
+  EXPECT_DOUBLE_EQ(t.busy_seconds(Resource::kHost), 1.0);
+  EXPECT_DOUBLE_EQ(t.busy_seconds(Resource::kDmaRead), 0.0);
+}
+
+TEST(Timeline, RejectsForwardDependencies) {
+  Timeline t;
+  EXPECT_THROW(t.add("a", Resource::kHost, 1.0, {5}), PreconditionError);
+  EXPECT_THROW(t.add("b", Resource::kHost, -1.0), PreconditionError);
+}
+
+TEST(KernelATimeline, SerialScheduleSumsEverything) {
+  // 3 batches, each host 1 + write 2 + kernel 3 + read 10.
+  Timeline t = make_kernel_a_timeline(3, 1.0, 2.0, 3.0, 10.0, false);
+  EXPECT_DOUBLE_EQ(t.makespan(), 3.0 * 16.0);
+}
+
+TEST(KernelATimeline, OverlapHidesInitAndWriteButNotTheRead) {
+  // The paper's finding in miniature: with the read dominating, overlap
+  // only hides host+write time — the readback stall remains.
+  const double host = 1.0;
+  const double write = 2.0;
+  const double kernel = 3.0;
+  const double read = 10.0;
+  const Timeline serial =
+      make_kernel_a_timeline(20, host, write, kernel, read, false);
+  const Timeline overlapped =
+      make_kernel_a_timeline(20, host, write, kernel, read, true);
+  EXPECT_LT(overlapped.makespan(), serial.makespan());
+  // Steady-state batch cost in the overlapped schedule: the ping-pong
+  // hazard (kernel b waits for read b-1) makes it kernel + read.
+  const double steady = (overlapped.makespan() -
+                         (host + write + kernel + read)) /
+                        19.0;
+  EXPECT_NEAR(steady, kernel + read, 1e-9);
+}
+
+TEST(KernelATimeline, ComputeBoundCaseOverlapsTransfersCompletely) {
+  // If the kernel dominates, the overlapped pipeline is kernel-bound...
+  // except for the ping-pong hazard, which still inserts the read.
+  const Timeline overlapped =
+      make_kernel_a_timeline(50, 0.1, 0.2, 10.0, 0.5, true);
+  const double steady_bound =
+      50.0 * (10.0 + 0.5) + 0.3;  // kernel+read per batch plus lead-in
+  EXPECT_LE(overlapped.makespan(), steady_bound + 1e-9);
+}
+
+}  // namespace
+}  // namespace binopt::perf
