@@ -6,11 +6,17 @@
 // be made and document the cost of the fiber-based barrier machinery.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
 #include "finance/binomial.h"
 #include "finance/workload.h"
 #include "fpga/approx_math.h"
 #include "kernels/kernel_a.h"
 #include "kernels/kernel_b.h"
+#include "ocl/device.h"
 #include "ocl/fiber.h"
 #include "ocl/platform.h"
 
@@ -118,6 +124,83 @@ void BM_KernelBFunctional(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_KernelBFunctional)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// Sweep the parallel compute-unit scheduler: 1, 2, 4, and
+// hardware_concurrency worker threads over the same NDRange. Reports
+// work-groups/s and the wall-clock speedup versus the 1-unit run of the
+// same benchmark (the Arg(1) case registers first and seeds the baseline).
+// On a single-core host the speedup plateaus at ~1x; on a multi-core CI
+// runner the 4-unit row is where the >=2x scheduler win shows up.
+void sweep_compute_units(benchmark::internal::Benchmark* b) {
+  std::vector<int> units = {1, 2, 4};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 0 && std::find(units.begin(), units.end(), hw) == units.end()) {
+    units.push_back(hw);
+  }
+  for (int u : units) b->Arg(u);
+}
+
+void BM_ComputeUnitSweep(benchmark::State& state) {
+  const auto units = static_cast<std::size_t>(state.range(0));
+  const std::size_t groups = 256;
+  const std::size_t local = 16;
+  ocl::Device device("cu-sweep", ocl::DeviceKind::kFpga,
+                     ocl::DeviceLimits{64u << 20, 16u << 10, 64, units});
+  ocl::Kernel kernel;
+  kernel.name = "cu_sweep";
+  kernel.body = [](ocl::WorkItemCtx& ctx, const ocl::KernelArgs&) {
+    auto row = ctx.local_array<double>(ctx.local_size());
+    row.set(ctx.local_id(), 1.0 + 1e-9 * static_cast<double>(ctx.global_id()));
+    ctx.barrier();
+    double acc = row.get((ctx.local_id() + 1) % ctx.local_size());
+    for (int i = 0; i < 256; ++i) acc = acc * 1.0000001 + 1e-12;
+    benchmark::DoNotOptimize(acc);
+  };
+  ocl::KernelArgs args;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    device.execute(kernel, args, ocl::NDRange{groups * local, local});
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const double iters = static_cast<double>(state.iterations());
+  const double s_per_range =
+      std::chrono::duration<double>(t1 - t0).count() / std::max(1.0, iters);
+  static double baseline_s_per_range = 0.0;
+  if (units == 1) baseline_s_per_range = s_per_range;
+  if (baseline_s_per_range > 0.0 && s_per_range > 0.0) {
+    state.counters["speedup_vs_1cu"] = baseline_s_per_range / s_per_range;
+  }
+  state.counters["work_groups/s"] = benchmark::Counter(
+      static_cast<double>(groups) * iters, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ComputeUnitSweep)
+    ->Apply(sweep_compute_units)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The same sweep through the real kernel IV.B host program: one option per
+// work-group, so compute units scale across independent options exactly as
+// the replicated FPGA pipelines do in the paper's Table I.
+void BM_KernelBComputeUnitSweep(benchmark::State& state) {
+  const auto units = static_cast<std::size_t>(state.range(0));
+  ocl::Device device("cu-sweep-b", ocl::DeviceKind::kFpga,
+                     ocl::DeviceLimits{64u << 20, 16u << 10, 256, units});
+  const auto batch = finance::make_random_batch(64, 5);
+  kernels::KernelBHostProgram host(device, {.steps = 128});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(host.run(batch).prices);
+  }
+  state.counters["sim_options/s"] = benchmark::Counter(
+      static_cast<double>(batch.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KernelBComputeUnitSweep)
+    ->Apply(sweep_compute_units)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

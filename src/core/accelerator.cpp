@@ -143,6 +143,9 @@ RunReport PricingAccelerator::run(
   } else if (uses_kernel_a(target)) {
     ocl::Device& device = platform_->device_by_kind(
         is_fpga(target) ? ocl::DeviceKind::kFpga : ocl::DeviceKind::kGpu);
+    if (config_.compute_units > 0) {
+      device.set_compute_units(config_.compute_units);
+    }
     kernels::KernelAHostProgram::Config cfg;
     cfg.steps = steps;
     cfg.reduced_reads = target == Target::kGpuKernelAReduced ||
@@ -155,6 +158,9 @@ RunReport PricingAccelerator::run(
     BINOPT_ENSURE(uses_kernel_b(target), "unexpected target");
     ocl::Device& device = platform_->device_by_kind(
         is_fpga(target) ? ocl::DeviceKind::kFpga : ocl::DeviceKind::kGpu);
+    if (config_.compute_units > 0) {
+      device.set_compute_units(config_.compute_units);
+    }
     kernels::KernelBHostProgram::Config cfg;
     cfg.steps = steps;
     cfg.mode = math_mode_for(target);

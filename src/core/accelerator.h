@@ -69,6 +69,13 @@ public:
     /// Compute RMSE against the reference software (prices the batch a
     /// second time on the CPU path; disable for big throughput runs).
     bool compute_rmse = true;
+    /// Host worker threads for the functional simulation (one per modelled
+    /// compute unit; independent work-groups — one option per group for
+    /// kernel IV.B — execute concurrently). 0 keeps the device default:
+    /// the paper CU count of the selected device (GTX660 Ti: 5 SMX, DE4:
+    /// 3 replicated pipelines), or BINOPT_OCL_COMPUTE_UNITS if set.
+    /// Prices and RuntimeStats are identical for any value.
+    std::size_t compute_units = 0;
   };
 
   explicit PricingAccelerator(Config config);

@@ -13,6 +13,10 @@ namespace binopt::devices {
 
 struct De4StratixIv {
   fpga::FpgaDeviceSpec fabric{};  ///< EP4SGX530 resource capacity
+  /// Replicated OpenCL pipelines on the fabric — the paper's best kernel
+  /// IV.A fit uses num_compute_units=3 (Table I, rep x3); this is the
+  /// device's work-group-level parallelism (CL_DEVICE_MAX_COMPUTE_UNITS).
+  int replicated_pipelines = 3;
   double ddr2_bandwidth_bps = 12.75e9;
   double ddr2_clock_hz = 400.0e6;
   double pcie_lanes = 4.0;

@@ -1,0 +1,111 @@
+// Parallel compute-unit scheduler: maps independent work-groups of one
+// NDRange onto a persistent pool of host worker threads, one per modelled
+// compute unit (FPGA pipeline replica, GPU SM, CPU core).
+//
+// OpenCL guarantees nothing about inter-group ordering, so any assignment
+// of groups to units is a conformant schedule. Each worker owns a private
+// WorkGroupExecutor (its own fiber pool and local-memory arena — local
+// memory is per-compute-unit on real devices too) and pulls chunks of
+// consecutive group ids from an atomic cursor. Counters are collected in
+// per-worker RuntimeStats shards and merged on the enqueuing thread after
+// the range completes; since every counter is an unsigned sum, the merged
+// totals are bit-identical to a serial run of the same kernel.
+//
+// Error contract: if any work-group throws, the scheduler stops handing
+// out new chunks, lets every worker drain its in-flight group (the
+// executor's abort-unwinding leaves each private fiber pool reusable),
+// and rethrows the recorded error — preferring the lowest-numbered failing
+// group, which is the error a serial run would have surfaced first — on
+// the enqueuing thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ocl/fiber.h"
+#include "ocl/kernel.h"
+#include "ocl/stats.h"
+#include "ocl/types.h"
+#include "ocl/workgroup_executor.h"
+
+namespace binopt::ocl {
+
+class ComputeUnitScheduler {
+public:
+  /// `compute_units` must be >= 1. Worker threads are started lazily on
+  /// the first NDRange that can use more than one unit.
+  ComputeUnitScheduler(std::size_t compute_units, std::size_t local_mem_bytes,
+                       std::size_t max_workgroup_size,
+                       std::size_t stack_bytes = Fiber::kDefaultStackBytes);
+  ~ComputeUnitScheduler();
+
+  ComputeUnitScheduler(const ComputeUnitScheduler&) = delete;
+  ComputeUnitScheduler& operator=(const ComputeUnitScheduler&) = delete;
+
+  [[nodiscard]] std::size_t compute_units() const { return units_.size(); }
+
+  /// Runs one NDRange to completion and merges all counters into `stats`.
+  /// Synchronous: returns (or throws) only after every group has finished
+  /// or the range has been cancelled and drained. Not itself thread-safe —
+  /// one scheduler serves one in-order command queue at a time.
+  void execute(const Kernel& kernel, const KernelArgs& args, NDRange range,
+               RuntimeStats& stats);
+
+private:
+  /// One modelled compute unit: a worker thread plus its private execution
+  /// engine and counter shard.
+  struct Unit {
+    explicit Unit(std::size_t local_mem_bytes, std::size_t max_workgroup_size,
+                  std::size_t stack_bytes)
+        : executor(local_mem_bytes, max_workgroup_size, stack_bytes) {}
+    WorkGroupExecutor executor;
+    RuntimeStats shard;
+    std::thread thread;
+  };
+
+  void start_workers();
+  void worker_loop(std::size_t unit_index);
+  void run_chunks(Unit& unit);
+  void record_error(std::exception_ptr error, std::size_t group_id);
+
+  std::vector<std::unique_ptr<Unit>> units_;
+
+  // Job hand-off. The enqueuing thread publishes the job fields under
+  // `mutex_`, bumps `job_generation_`, and wakes the workers; they answer
+  // by decrementing `workers_remaining_`. Group distribution itself stays
+  // lock-free through `next_group_`.
+  std::mutex mutex_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  std::uint64_t job_generation_ = 0;
+  std::size_t workers_remaining_ = 0;
+  bool stopping_ = false;
+  bool workers_started_ = false;
+
+  const Kernel* job_kernel_ = nullptr;
+  const KernelArgs* job_args_ = nullptr;
+  NDRange job_range_{};
+  std::size_t job_num_groups_ = 0;
+  std::size_t job_chunk_groups_ = 1;
+  std::atomic<std::size_t> next_group_{0};
+  std::atomic<bool> cancelled_{false};
+
+  // First-error bookkeeping (lowest failing group id wins).
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+  std::size_t error_group_ = 0;
+};
+
+/// Resolves the number of compute units a device should schedule with:
+/// the BINOPT_OCL_COMPUTE_UNITS environment variable when set (debug knob,
+/// beats everything), otherwise an explicit DeviceLimits value, otherwise
+/// the host's hardware concurrency (never less than 1).
+[[nodiscard]] std::size_t resolve_compute_units(std::size_t limit_value);
+
+}  // namespace binopt::ocl

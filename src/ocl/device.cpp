@@ -7,21 +7,29 @@
 namespace binopt::ocl {
 
 Device::Device(std::string name, DeviceKind kind, DeviceLimits limits)
-    : name_(std::move(name)),
-      kind_(kind),
-      limits_(limits),
-      executor_(limits.local_mem_bytes, limits.max_workgroup_size) {
+    : name_(std::move(name)), kind_(kind), limits_(limits) {
   BINOPT_REQUIRE(limits_.global_mem_bytes > 0, "device '", name_,
                  "' must have global memory");
   BINOPT_REQUIRE(limits_.local_mem_bytes > 0, "device '", name_,
                  "' must have local memory");
   BINOPT_REQUIRE(limits_.max_workgroup_size > 0, "device '", name_,
                  "' must allow work-groups");
+  scheduler_ = std::make_unique<ComputeUnitScheduler>(
+      resolve_compute_units(limits_.compute_units), limits_.local_mem_bytes,
+      limits_.max_workgroup_size);
+}
+
+void Device::set_compute_units(std::size_t units) {
+  BINOPT_REQUIRE(units >= 1, "device '", name_,
+                 "' needs at least one compute unit");
+  if (units == scheduler_->compute_units()) return;
+  scheduler_ = std::make_unique<ComputeUnitScheduler>(
+      units, limits_.local_mem_bytes, limits_.max_workgroup_size);
 }
 
 void Device::execute(const Kernel& kernel, const KernelArgs& args,
                      NDRange range) {
-  executor_.execute(kernel, args, range, stats_);
+  scheduler_->execute(kernel, args, range, stats_);
 }
 
 }  // namespace binopt::ocl

@@ -1,18 +1,23 @@
 // Simulated OpenCL devices.
 //
 // An ocl::Device enforces the *functional* limits OpenCL exposes to the
-// programmer (local memory size, max work-group size, global memory size)
-// and owns the execution engine and traffic counters. Microarchitectural
-// parameters used for timing/energy (ALU counts, bandwidths, TDP) live in
-// src/devices/ and src/perf/ — the functional runtime does not need them.
+// programmer (local memory size, max work-group size, global memory size,
+// compute units) and owns the execution engine and traffic counters.
+// NDRanges are dispatched through a ComputeUnitScheduler: one persistent
+// worker thread per modelled compute unit, each with a private fiber pool
+// and local-memory arena, pulling independent work-groups from a shared
+// queue. Microarchitectural parameters used for timing/energy (ALU counts,
+// bandwidths, TDP) live in src/devices/ and src/perf/ — the functional
+// runtime does not need them.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
+#include "ocl/cu_scheduler.h"
 #include "ocl/stats.h"
 #include "ocl/types.h"
-#include "ocl/workgroup_executor.h"
 
 namespace binopt::ocl {
 
@@ -21,6 +26,10 @@ struct DeviceLimits {
   std::size_t global_mem_bytes = 0;
   std::size_t local_mem_bytes = 0;
   std::size_t max_workgroup_size = 0;
+  /// Parallel compute units (CL_DEVICE_MAX_COMPUTE_UNITS): how many
+  /// work-groups may execute concurrently. 0 = resolve automatically
+  /// (BINOPT_OCL_COMPUTE_UNITS env var, else hardware concurrency).
+  std::size_t compute_units = 0;
 };
 
 class Device {
@@ -31,11 +40,23 @@ public:
   [[nodiscard]] DeviceKind kind() const { return kind_; }
   [[nodiscard]] const DeviceLimits& limits() const { return limits_; }
 
+  /// Number of compute units the scheduler actually runs with (after
+  /// env-var/limits/hardware resolution, or a set_compute_units call).
+  [[nodiscard]] std::size_t compute_units() const {
+    return scheduler_->compute_units();
+  }
+
+  /// Re-sizes the worker pool (API override; beats the env var and the
+  /// constructor limits). Must not be called while a kernel is executing.
+  void set_compute_units(std::size_t units);
+
   [[nodiscard]] RuntimeStats& stats() { return stats_; }
   [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 
-  /// Runs one NDRange synchronously (called by CommandQueue).
+  /// Runs one NDRange synchronously (called by CommandQueue). Work-groups
+  /// are spread across the compute units; stats_ totals are bit-identical
+  /// to a serial execution of the same kernel.
   void execute(const Kernel& kernel, const KernelArgs& args, NDRange range);
 
 private:
@@ -43,7 +64,7 @@ private:
   DeviceKind kind_;
   DeviceLimits limits_;
   RuntimeStats stats_;
-  WorkGroupExecutor executor_;
+  std::unique_ptr<ComputeUnitScheduler> scheduler_;
 };
 
 }  // namespace binopt::ocl

@@ -23,6 +23,7 @@ void Fiber::start(Fn fn) {
   fn_ = std::move(fn);
   done_ = false;
   entered_ = false;
+  owner_ = std::this_thread::get_id();
   pending_exception_ = nullptr;
 
   BINOPT_ENSURE(getcontext(&fiber_ctx_) == 0, "getcontext failed");
@@ -49,6 +50,9 @@ void Fiber::trampoline() {
 
 bool Fiber::resume() {
   BINOPT_REQUIRE(!done_, "cannot resume a finished fiber");
+  BINOPT_REQUIRE(owner_ == std::this_thread::get_id(),
+                 "fiber resumed from a thread other than its starter — "
+                 "each compute-unit worker must drive only its own pool");
   // ucontext's swapcontext saves/restores the signal mask (a syscall per
   // switch, microseconds); after the first entry we switch with
   // _setjmp/_longjmp instead, which stay in user space (~tens of ns).

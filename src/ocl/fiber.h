@@ -14,14 +14,20 @@
 #include <exception>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/error.h"
 
 namespace binopt::ocl {
 
-/// A single cooperative fiber. Not thread-safe: a fiber must always be
-/// resumed from the same thread that created it.
+/// A single cooperative fiber. Not thread-safe: between start() and body
+/// completion a fiber must always be resumed from the thread that called
+/// start() — its jmp_buf chain lives on that thread's resume() frames.
+/// The owning thread is recorded at start() and enforced on resume(), so
+/// a compute-unit worker can never accidentally touch a sibling worker's
+/// fibers. A *finished* fiber may be re-start()ed from any thread (the
+/// pool of one compute unit is only ever driven by that unit's thread).
 class Fiber {
 public:
   using Fn = std::function<void()>;
@@ -61,6 +67,7 @@ private:
   Fn fn_;
   bool done_ = true;
   bool entered_ = false;
+  std::thread::id owner_;  ///< thread that called start(); sole resumer
   std::exception_ptr pending_exception_;
 };
 

@@ -4,6 +4,9 @@
 
 #include "common/error.h"
 #include "common/units.h"
+#include "devices/de4_stratix4.h"
+#include "devices/gtx660ti.h"
+#include "devices/xeon_x5450.h"
 
 namespace binopt::ocl {
 
@@ -33,22 +36,33 @@ Device& Platform::device_by_kind(DeviceKind kind) {
 std::unique_ptr<Platform> Platform::make_reference_platform() {
   auto platform = std::make_unique<Platform>("binopt-sim");
 
+  // Compute-unit counts come from the device descriptors so the
+  // functional scheduler mirrors the paper hardware's work-group-level
+  // parallelism (overridable per device or via BINOPT_OCL_COMPUTE_UNITS).
+  const auto cpu_cus = static_cast<std::size_t>(devices::XeonX5450{}.cores);
+  const auto gpu_cus =
+      static_cast<std::size_t>(devices::Gtx660Ti{}.compute_units);
+  const auto fpga_cus =
+      static_cast<std::size_t>(devices::De4StratixIv{}.replicated_pipelines);
+
   // Host CPU: Xeon X5450 running the reference software. Local memory is
   // a cache model placeholder; the CPU path never uses work-group local.
+  // 4 cores = 4 compute units (the paper benchmarks one; OpenCL sees all).
   platform->add_device("Intel Xeon X5450 (sim)", DeviceKind::kCpu,
-                       DeviceLimits{16 * kGiB, 32 * kKiB, 1024});
+                       DeviceLimits{16 * kGiB, 32 * kKiB, 1024, cpu_cus});
 
   // GPU: GTX660 Ti — 2 GiB GDDR5 global, 48 KiB L1-as-local per compute
-  // unit (paper Section V-A), work-groups up to 1024.
+  // unit (paper Section V-A), work-groups up to 1024, 5 SMX compute units.
   platform->add_device("NVIDIA GTX660 Ti (sim)", DeviceKind::kGpu,
-                       DeviceLimits{2 * kGiB, 48 * kKiB, 1024});
+                       DeviceLimits{2 * kGiB, 48 * kKiB, 1024, gpu_cus});
 
   // FPGA: Terasic DE4, Stratix IV 4SGX530 — 2 GiB DDR2 global; local
   // memory implemented in M9K RAM blocks. 32 KiB comfortably holds the
   // optimized kernel's (N+1)-double row at N = 1024 plus temporaries.
+  // Compute units = the replicated pipelines of the Table I design point.
   platform->add_device("Terasic DE4 / Stratix IV 4SGX530 (sim)",
                        DeviceKind::kFpga,
-                       DeviceLimits{2 * kGiB, 32 * kKiB, 1024});
+                       DeviceLimits{2 * kGiB, 32 * kKiB, 1024, fpga_cus});
 
   return platform;
 }

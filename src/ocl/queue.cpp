@@ -19,23 +19,21 @@ Event& CommandQueue::dispatch(Event event, std::function<void()> action) {
     action();
     recorded.completed = true;
   } else {
-    pending_.emplace_back(recorded.sequence, std::move(action));
+    // Remember the event's position in the log, not a reference: events_
+    // may reallocate as later commands are recorded. Indices stay valid
+    // because clear_events() refuses to run while commands are pending.
+    pending_.emplace_back(events_.size() - 1, std::move(action));
   }
   return recorded;
 }
 
 void CommandQueue::finish() {
-  // In-order execution of everything enqueued since the last finish.
-  for (auto& [sequence, action] : pending_) {
+  // In-order execution of everything enqueued since the last finish; each
+  // pending entry carries its event's index, so completion marking is O(1)
+  // per command instead of a scan of the whole event log.
+  for (auto& [event_index, action] : pending_) {
     action();
-    // Events may have been appended since this command was recorded, but
-    // sequences are dense from the front of the log.
-    for (Event& event : events_) {
-      if (event.sequence == sequence) {
-        event.completed = true;
-        break;
-      }
-    }
+    events_[event_index].completed = true;
   }
   pending_.clear();
 }
@@ -87,7 +85,7 @@ Event& CommandQueue::enqueue_ndrange(const Kernel& kernel,
   event.kind = CommandKind::kNDRangeKernel;
   event.label = kernel.name;
   event.work_items = range.global_size;
-  event.work_groups = range.global_size / range.local_size;
+  event.work_groups = range.num_groups();
 
   Device* device = &this->device();
   // Capture by value: the host may rebind args after enqueueing, exactly

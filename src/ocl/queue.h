@@ -93,7 +93,9 @@ private:
   Context& context_;
   QueueMode mode_;
   std::vector<Event> events_;
-  std::vector<std::pair<std::uint64_t, std::function<void()>>> pending_;
+  /// Deferred commands paired with their event's index into events_ (for
+  /// O(1) completion marking at finish()).
+  std::vector<std::pair<std::size_t, std::function<void()>>> pending_;
   std::uint64_t next_sequence_ = 0;
 };
 

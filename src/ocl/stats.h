@@ -5,6 +5,11 @@
 // (IV.A: everything through global memory + a full ping-pong readback per
 // batch; IV.B: leaves/rows in local + private memory, global touched once),
 // and the counters make that difference measurable.
+//
+// The field set is maintained as an X-macro so that reset(), minus(),
+// operator+= (the compute-unit shard merge), equality, and the visitor all
+// derive from ONE list — adding a counter cannot silently miss the delta
+// or merge paths.
 #pragma once
 
 #include <cstddef>
@@ -13,42 +18,68 @@
 
 namespace binopt::ocl {
 
+/// The single source of truth for every RuntimeStats counter.
+///   Host <-> device transfers: bytes over PCIe in the modelled systems.
+///   Kernel-side memory traffic: element accesses x element size.
+///   Execution structure: enqueues, work-items/groups, per-item barriers.
+#define BINOPT_RUNTIME_STATS_COUNTERS(X) \
+  X(host_to_device_bytes)                \
+  X(device_to_host_bytes)                \
+  X(host_transfers)                      \
+  X(global_load_bytes)                   \
+  X(global_store_bytes)                  \
+  X(local_load_bytes)                    \
+  X(local_store_bytes)                   \
+  X(kernels_enqueued)                    \
+  X(work_items_executed)                 \
+  X(work_groups_executed)                \
+  X(barriers_executed)
+
 /// Aggregated counters for one device (resettable between experiments).
+/// `barriers_executed` counts one crossing per work-item per barrier.
 struct RuntimeStats {
-  // Host <-> device transfers (bytes over PCIe in the modelled systems).
-  std::uint64_t host_to_device_bytes = 0;
-  std::uint64_t device_to_host_bytes = 0;
-  std::uint64_t host_transfers = 0;
-
-  // Kernel-side memory traffic (element accesses x element size).
-  std::uint64_t global_load_bytes = 0;
-  std::uint64_t global_store_bytes = 0;
-  std::uint64_t local_load_bytes = 0;
-  std::uint64_t local_store_bytes = 0;
-
-  // Execution structure.
-  std::uint64_t kernels_enqueued = 0;
-  std::uint64_t work_items_executed = 0;
-  std::uint64_t work_groups_executed = 0;
-  std::uint64_t barriers_executed = 0;  ///< one per work-item per barrier
+#define BINOPT_STATS_DECLARE(field) std::uint64_t field = 0;
+  BINOPT_RUNTIME_STATS_COUNTERS(BINOPT_STATS_DECLARE)
+#undef BINOPT_STATS_DECLARE
 
   void reset() { *this = RuntimeStats{}; }
 
   /// Counter-wise difference (for per-run deltas of cumulative counters).
   [[nodiscard]] RuntimeStats minus(const RuntimeStats& earlier) const {
     RuntimeStats d;
-    d.host_to_device_bytes = host_to_device_bytes - earlier.host_to_device_bytes;
-    d.device_to_host_bytes = device_to_host_bytes - earlier.device_to_host_bytes;
-    d.host_transfers = host_transfers - earlier.host_transfers;
-    d.global_load_bytes = global_load_bytes - earlier.global_load_bytes;
-    d.global_store_bytes = global_store_bytes - earlier.global_store_bytes;
-    d.local_load_bytes = local_load_bytes - earlier.local_load_bytes;
-    d.local_store_bytes = local_store_bytes - earlier.local_store_bytes;
-    d.kernels_enqueued = kernels_enqueued - earlier.kernels_enqueued;
-    d.work_items_executed = work_items_executed - earlier.work_items_executed;
-    d.work_groups_executed = work_groups_executed - earlier.work_groups_executed;
-    d.barriers_executed = barriers_executed - earlier.barriers_executed;
+#define BINOPT_STATS_MINUS(field) d.field = field - earlier.field;
+    BINOPT_RUNTIME_STATS_COUNTERS(BINOPT_STATS_MINUS)
+#undef BINOPT_STATS_MINUS
     return d;
+  }
+
+  /// Counter-wise accumulation — how per-compute-unit shards are merged
+  /// back into the device totals after a parallel NDRange. Unsigned
+  /// addition is associative and commutative, so merged totals are
+  /// bit-identical to a serial run regardless of worker interleaving.
+  RuntimeStats& operator+=(const RuntimeStats& shard) {
+#define BINOPT_STATS_ADD(field) field += shard.field;
+    BINOPT_RUNTIME_STATS_COUNTERS(BINOPT_STATS_ADD)
+#undef BINOPT_STATS_ADD
+    return *this;
+  }
+
+  friend bool operator==(const RuntimeStats&, const RuntimeStats&) = default;
+
+  /// Visits every counter as (name, value) — used by tests to prove the
+  /// field list and the arithmetic above cannot drift apart.
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) {
+#define BINOPT_STATS_VISIT(field) fn(#field, field);
+    BINOPT_RUNTIME_STATS_COUNTERS(BINOPT_STATS_VISIT)
+#undef BINOPT_STATS_VISIT
+  }
+
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) const {
+#define BINOPT_STATS_VISIT(field) fn(#field, field);
+    BINOPT_RUNTIME_STATS_COUNTERS(BINOPT_STATS_VISIT)
+#undef BINOPT_STATS_VISIT
   }
 
   [[nodiscard]] std::uint64_t total_global_bytes() const {

@@ -34,6 +34,11 @@ enum class MemFlags {
 struct NDRange {
   std::size_t global_size = 0;  ///< total number of work-items
   std::size_t local_size = 0;   ///< work-group size (must divide global)
+
+  /// Number of work-groups (only meaningful for a validated range).
+  [[nodiscard]] std::size_t num_groups() const {
+    return local_size == 0 ? 0 : global_size / local_size;
+  }
 };
 
 /// Kinds of commands a queue can execute (for event bookkeeping).

@@ -24,8 +24,8 @@ WorkGroupExecutor::WorkGroupExecutor(std::size_t local_mem_bytes,
   BINOPT_REQUIRE(max_workgroup_size_ >= 1, "device must allow work-groups");
 }
 
-void WorkGroupExecutor::execute(const Kernel& kernel, const KernelArgs& args,
-                                NDRange range, RuntimeStats& stats) {
+void WorkGroupExecutor::validate(const Kernel& kernel, const KernelArgs& args,
+                                 NDRange range) const {
   BINOPT_REQUIRE(static_cast<bool>(kernel.body), "kernel '", kernel.name,
                  "' has no body");
   BINOPT_REQUIRE(range.global_size >= 1, "empty NDRange");
@@ -37,12 +37,23 @@ void WorkGroupExecutor::execute(const Kernel& kernel, const KernelArgs& args,
                  "global size ", range.global_size,
                  " is not a multiple of local size ", range.local_size);
   args.validate_complete();
+}
 
-  const std::size_t num_groups = range.global_size / range.local_size;
+void WorkGroupExecutor::execute(const Kernel& kernel, const KernelArgs& args,
+                                NDRange range, RuntimeStats& stats) {
+  validate(kernel, args, range);
+  const std::size_t num_groups = range.num_groups();
   ++stats.kernels_enqueued;
   for (std::size_t g = 0; g < num_groups; ++g) {
     run_group(kernel, args, range, g, stats);
   }
+}
+
+void WorkGroupExecutor::execute_group(const Kernel& kernel,
+                                      const KernelArgs& args, NDRange range,
+                                      std::size_t group_id,
+                                      RuntimeStats& stats) {
+  run_group(kernel, args, range, group_id, stats);
 }
 
 void WorkGroupExecutor::run_group(const Kernel& kernel, const KernelArgs& args,

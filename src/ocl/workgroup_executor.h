@@ -1,10 +1,16 @@
 // NDRange execution engine: work-groups, work-items, barriers, local memory.
 //
-// Work-groups execute sequentially (a functional simulator needs no host
-// parallelism for correctness); inside a group every work-item runs on a
-// fiber and the executor schedules them round-robin between barriers. This
-// gives the paper's kernel IV.B its real OpenCL semantics: all work-items
-// of a group observe local memory writes that precede a barrier.
+// One executor drives work-groups sequentially on the calling thread;
+// inside a group every work-item runs on a fiber and the executor
+// schedules them round-robin between barriers. This gives the paper's
+// kernel IV.B its real OpenCL semantics: all work-items of a group observe
+// local memory writes that precede a barrier.
+//
+// Device-level parallelism (independent work-groups on parallel compute
+// units) is layered on top by ComputeUnitScheduler: each worker thread
+// owns a *private* executor — private fiber pool, private local-memory
+// arena — and pulls disjoint group ranges through execute_group(). An
+// executor instance itself is strictly single-threaded.
 //
 // Barrier contract enforced (and its violation *detected*, where real
 // OpenCL would be silently undefined): if any work-item of a group reaches
@@ -160,6 +166,19 @@ public:
   /// traffic generated through the ctx accessors.
   void execute(const Kernel& kernel, const KernelArgs& args, NDRange range,
                RuntimeStats& stats);
+
+  /// Throws unless (kernel, args, range) form a launchable NDRange on this
+  /// executor. execute() calls this itself; the compute-unit scheduler
+  /// calls it once on the enqueuing thread before fanning groups out.
+  void validate(const Kernel& kernel, const KernelArgs& args,
+                NDRange range) const;
+
+  /// Executes ONE work-group of an already-validated range. Counts the
+  /// group's work-items/barriers/traffic into `stats` (does not touch
+  /// kernels_enqueued). Used by compute-unit workers to run disjoint
+  /// group subsets on private executors.
+  void execute_group(const Kernel& kernel, const KernelArgs& args,
+                     NDRange range, std::size_t group_id, RuntimeStats& stats);
 
 private:
   void run_group(const Kernel& kernel, const KernelArgs& args, NDRange range,

@@ -102,6 +102,23 @@ TEST(Accelerator, EnergyEfficiencyOrderingMatchesTableII) {
   EXPECT_GT(opj(Target::kFpgaKernelA), opj(Target::kGpuKernelA));
 }
 
+TEST(Accelerator, ComputeUnitCountNeverChangesPricesOrStats) {
+  // The parallel compute-unit scheduler must be invisible in the results:
+  // same prices (bitwise) and same RuntimeStats totals for any worker
+  // count, for both kernel shapes.
+  const auto batch = finance::make_random_batch(12, 9);
+  for (Target target : {Target::kFpgaKernelB, Target::kGpuKernelA}) {
+    PricingAccelerator serial({target, 32, false, 1});
+    PricingAccelerator parallel({target, 32, false, 4});
+    const RunReport a = serial.run(batch);
+    const RunReport b = parallel.run(batch);
+    EXPECT_EQ(a.prices, b.prices) << to_string(target);
+    ASSERT_TRUE(a.device_stats.has_value()) << to_string(target);
+    ASSERT_TRUE(b.device_stats.has_value()) << to_string(target);
+    EXPECT_TRUE(*a.device_stats == *b.device_stats) << to_string(target);
+  }
+}
+
 TEST(Accelerator, TargetNamesAreUniqueAndNonEmpty) {
   std::set<std::string> names;
   for (Target t : all_targets()) {

@@ -2,7 +2,10 @@
 // contexts, queues, events, platform construction.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "ocl/buffer.h"
@@ -192,6 +195,46 @@ TEST(RuntimeStats, MinusComputesDeltas) {
   const RuntimeStats d = after.minus(before);
   EXPECT_EQ(d.global_load_bytes, 150u);
   EXPECT_EQ(d.kernels_enqueued, 3u);
+}
+
+TEST(RuntimeStats, XMacroRoundTripCoversEveryCounter) {
+  // Set a distinct value on every counter through the visitor, then check
+  // that +=, minus(), reset(), and operator== all observe every field.
+  // A counter missing from BINOPT_RUNTIME_STATS_COUNTERS would break one
+  // of these round-trips.
+  RuntimeStats a;
+  std::uint64_t next = 1;
+  a.for_each_counter([&](const char*, std::uint64_t& v) { v = next++; });
+  const std::uint64_t fields = next - 1;
+  EXPECT_EQ(fields, 11u) << "update this test when adding a counter";
+
+  RuntimeStats doubled = a;
+  doubled += a;
+  std::uint64_t expect = 1;
+  doubled.for_each_counter([&](const char* name, std::uint64_t& v) {
+    EXPECT_EQ(v, 2 * expect) << name;
+    ++expect;
+  });
+
+  EXPECT_EQ(doubled.minus(a), a);  // 2a - a == a, counter-wise
+
+  RuntimeStats cleared = a;
+  cleared.reset();
+  EXPECT_EQ(cleared, RuntimeStats{});
+  EXPECT_NE(a, RuntimeStats{});
+}
+
+TEST(RuntimeStats, CounterNamesUniqueAndPresentInToString) {
+  RuntimeStats s;
+  s.kernels_enqueued = 1;
+  const std::string text = s.to_string();
+  std::set<std::string> names;
+  s.for_each_counter([&](const char* name, std::uint64_t&) {
+    EXPECT_TRUE(names.insert(name).second) << "duplicate counter " << name;
+  });
+  EXPECT_EQ(names.size(), 11u);
+  // Spot-check that the human-readable dump talks about the same counters.
+  EXPECT_NE(text.find("kernels=1"), std::string::npos) << text;
 }
 
 }  // namespace
