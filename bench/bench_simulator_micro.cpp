@@ -202,6 +202,37 @@ BENCHMARK(BM_KernelBComputeUnitSweep)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Cost of the kernel hazard analyzer on kernel IV.B: Arg(0) runs with the
+// analyzer disabled (its fast path is one null test per access — this row
+// must match BM_KernelBFunctional), Arg(1) with full shadow-memory
+// tracking. The ratio between the two rows is the documented overhead of
+// `binopt_cli --check` / BINOPT_OCL_ANALYZE=1.
+void BM_KernelBAnalyzer(benchmark::State& state) {
+  const bool analyze = state.range(0) != 0;
+  ocl::Device device("analyzer-bench", ocl::DeviceKind::kFpga,
+                     ocl::DeviceLimits{64u << 20, 16u << 10, 256, 2});
+  if (analyze) {
+    ocl::analyzer::AnalyzerConfig config;
+    config.enabled = true;
+    device.set_analyzer(config);
+  }
+  const auto batch = finance::make_random_batch(16, 5);
+  kernels::KernelBHostProgram host(device, {.steps = 128});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(host.run(batch).prices);
+  }
+  state.SetLabel(analyze ? "analyzer-on" : "analyzer-off");
+  state.counters["sim_options/s"] = benchmark::Counter(
+      static_cast<double>(batch.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KernelBAnalyzer)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

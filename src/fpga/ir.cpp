@@ -34,10 +34,28 @@ void KernelIR::validate() const {
     BINOPT_REQUIRE(site.count > 0.0, "access-site count must be positive in '",
                    name, "'");
     BINOPT_REQUIRE(site.element_bytes > 0, "access element size must be > 0");
+    if (site.buffer != AccessSite::kNoBuffer) {
+      const std::size_t declared = site.space == MemSpace::kGlobal
+                                       ? global_buffers.size()
+                                       : local_buffers.size();
+      BINOPT_REQUIRE(site.buffer < declared, "access site in '", name,
+                     "' references undeclared buffer #", site.buffer);
+    }
+  }
+  for (const GlobalBufferDecl& buf : global_buffers) {
+    BINOPT_REQUIRE(!buf.name.empty(), "global buffer declarations in '", name,
+                   "' need names");
+    BINOPT_REQUIRE(buf.words > 0 && buf.word_bytes > 0,
+                   "global buffer '", buf.name, "' must be non-empty in '",
+                   name, "'");
   }
   for (const LocalBuffer& buf : local_buffers) {
     BINOPT_REQUIRE(buf.words > 0 && buf.word_bytes > 0,
                    "local buffer must be non-empty in '", name, "'");
+  }
+  for (const BarrierSite& barrier : barriers) {
+    BINOPT_REQUIRE(barrier.count > 0.0,
+                   "barrier-site count must be positive in '", name, "'");
   }
   BINOPT_REQUIRE(loop_trip_count >= 1.0, "loop trip count must be >= 1");
 }

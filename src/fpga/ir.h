@@ -56,12 +56,33 @@ struct OpInstance {
 enum class MemSpace { kGlobal, kLocal };
 
 /// A static load/store site in the kernel (each becomes an LSU).
+///
+/// The optional index-bound annotation feeds the static hazard lint
+/// (src/ocl/analyzer/ir_lint.*): `buffer` names the declared buffer the
+/// site touches (index into KernelIR::global_buffers or ::local_buffers by
+/// `space`), and `max_index` is the largest element index the kernel's
+/// index expression can produce — for the paper's kernels these are affine
+/// in the work-item/loop ids, so the bound is a compile-time constant.
 struct AccessSite {
   MemSpace space = MemSpace::kGlobal;
   bool is_store = false;
   Section section = Section::kStraightLine;
   std::size_t element_bytes = 8;
   double count = 1.0;  ///< static sites of this shape
+
+  static constexpr std::size_t kNoBuffer = static_cast<std::size_t>(-1);
+  std::size_t buffer = kNoBuffer;  ///< declared buffer (kNoBuffer = untyped)
+  bool has_index_bound = false;    ///< max_index is meaningful
+  std::size_t max_index = 0;       ///< largest reachable element index
+};
+
+/// A kernel argument buffer in global memory, as declared to the
+/// toolchain. `words` is the per-work-group extent the kernel indexes
+/// (kernel IV.B sees an 8-word parameter record per option).
+struct GlobalBufferDecl {
+  std::string name;
+  std::size_t words = 0;
+  std::size_t word_bytes = 8;
 };
 
 /// A local-memory buffer declared by the kernel.
@@ -71,13 +92,24 @@ struct LocalBuffer {
   double access_sites = 1.0;    ///< static load+store sites touching it
 };
 
+/// A barrier site in the kernel body. The Altera OpenCL compiler (like
+/// every conformant implementation) requires barriers to be reached by all
+/// work-items of the group: a barrier under a work-item-dependent branch
+/// is statically detectable undefined behaviour, flagged by the lint.
+struct BarrierSite {
+  bool divergent = false;  ///< under work-item-dependent control flow
+  double count = 1.0;      ///< static sites of this shape
+};
+
 /// The full kernel description handed to the toolchain.
 struct KernelIR {
   std::string name;
   Precision precision = Precision::kDouble;
   std::vector<OpInstance> ops;
   std::vector<AccessSite> accesses;
+  std::vector<GlobalBufferDecl> global_buffers;  ///< lint metadata
   std::vector<LocalBuffer> local_buffers;
+  std::vector<BarrierSite> barriers;  ///< lint metadata
   double loop_trip_count = 1.0;   ///< informational (latency model)
   bool coalescing_fifos = false;  ///< kernel IV.A-style global FIFOs
   std::size_t private_doubles = 0;  ///< private values held in flip-flops

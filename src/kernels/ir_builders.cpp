@@ -1,6 +1,7 @@
 #include "kernels/ir_builders.h"
 
 #include "common/error.h"
+#include "kernels/indexing.h"
 
 namespace binopt::kernels {
 
@@ -33,13 +34,41 @@ fpga::KernelIR kernel_a_ir(std::size_t steps, Precision precision) {
       OpInstance{OpKind::kIMul, precision, Section::kStraightLine, 2.0},
   };
 
-  // Global access sites: tstep constant, 5 parameter words (2 coalesced
-  // LSU sites), s_child, v_down, v_up loads; s and v stores.
-  ir.accesses = {
-      AccessSite{MemSpace::kGlobal, false, Section::kStraightLine, 4, 1.0},
-      AccessSite{MemSpace::kGlobal, false, Section::kStraightLine, 8, 5.0},
-      AccessSite{MemSpace::kGlobal, true, Section::kStraightLine, 8, 2.0},
+  // Buffer extents as the host program (kernel_a.cpp) allocates them: the
+  // four ping-pong buffers span interior nodes plus the leaf region, the
+  // parameter array holds n+1 six-word slots, and the per-node time-step
+  // constants are one 32-bit word per interior node.
+  const std::size_t nodes = interior_nodes(steps);
+  const std::size_t length = pingpong_length(steps);
+  ir.global_buffers = {
+      fpga::GlobalBufferDecl{"S_read", length, 8},
+      fpga::GlobalBufferDecl{"V_read", length, 8},
+      fpga::GlobalBufferDecl{"S_write", length, 8},
+      fpga::GlobalBufferDecl{"V_write", length, 8},
+      fpga::GlobalBufferDecl{"option_params", (steps + 1) * 6, 8},
+      fpga::GlobalBufferDecl{"time_steps", nodes, 4},
   };
+
+  // Global access sites: tstep constant, 5 parameter words (2 coalesced
+  // LSU sites), s_child, v_down, v_up loads; s and v stores. One entry per
+  // buffer so each can carry its worst-case index bound: the deepest node
+  // id is nodes-1 (level n-1), whose down-child sits at length-2 and
+  // up-child at length-1.
+  ir.accesses = {
+      AccessSite{MemSpace::kGlobal, false, Section::kStraightLine, 4, 1.0,
+                 /*buffer=*/5, true, nodes - 1},
+      AccessSite{MemSpace::kGlobal, false, Section::kStraightLine, 8, 2.0,
+                 /*buffer=*/4, true, (steps + 1) * 6 - 1},
+      AccessSite{MemSpace::kGlobal, false, Section::kStraightLine, 8, 1.0,
+                 /*buffer=*/0, true, length - 2},
+      AccessSite{MemSpace::kGlobal, false, Section::kStraightLine, 8, 2.0,
+                 /*buffer=*/1, true, length - 1},
+      AccessSite{MemSpace::kGlobal, true, Section::kStraightLine, 8, 1.0,
+                 /*buffer=*/2, true, nodes - 1},
+      AccessSite{MemSpace::kGlobal, true, Section::kStraightLine, 8, 1.0,
+                 /*buffer=*/3, true, nodes - 1},
+  };
+  // Kernel IV.A is pure dataflow — no barriers.
   return ir;
 }
 
@@ -65,17 +94,37 @@ fpga::KernelIR kernel_b_ir(std::size_t steps, Precision precision) {
       OpInstance{OpKind::kIAdd, precision, Section::kLoopBody, 2.0},
   };
 
+  // Per-work-group view of global memory: the group indexes one 8-word
+  // parameter record and writes one result word.
+  ir.global_buffers = {
+      fpga::GlobalBufferDecl{"option_params", 8, 8},
+      fpga::GlobalBufferDecl{"results", 1, 8},
+  };
+
   // Global traffic is minimal: parameter record in, one result out.
   ir.accesses = {
-      AccessSite{MemSpace::kGlobal, false, Section::kStraightLine, 8, 2.0},
-      AccessSite{MemSpace::kGlobal, true, Section::kStraightLine, 8, 1.0},
-      // Local row accesses inside the loop (2 loads + 1 store).
-      AccessSite{MemSpace::kLocal, false, Section::kLoopBody, 8, 2.0},
-      AccessSite{MemSpace::kLocal, true, Section::kLoopBody, 8, 1.0},
+      AccessSite{MemSpace::kGlobal, false, Section::kStraightLine, 8, 2.0,
+                 /*buffer=*/0, true, 7},
+      AccessSite{MemSpace::kGlobal, true, Section::kStraightLine, 8, 1.0,
+                 /*buffer=*/1, true, 0},
+      // Local row accesses inside the loop (2 loads + 1 store); work-item
+      // k <= n-1 reaches values[k+1] = values[n] at most.
+      AccessSite{MemSpace::kLocal, false, Section::kLoopBody, 8, 2.0,
+                 /*buffer=*/0, true, steps},
+      AccessSite{MemSpace::kLocal, true, Section::kLoopBody, 8, 1.0,
+                 /*buffer=*/0, true, steps},
   };
 
   ir.local_buffers = {
       fpga::LocalBuffer{steps + 1, 8, /*access_sites=*/3.0},
+  };
+
+  // Every work-item of the group reaches every barrier (the idle-tail
+  // items keep hitting them with `active` false): one site after leaf
+  // initialisation, two in the backward-loop body.
+  ir.barriers = {
+      fpga::BarrierSite{false, 1.0},
+      fpga::BarrierSite{false, 2.0},
   };
   return ir;
 }

@@ -2,6 +2,12 @@
 // model — the operator mixes, memory access sites and local buffers of
 // the bodies implemented in kernel_a.cpp / kernel_b.cpp, expressed in the
 // form the fitter consumes. Keep these in sync with the functional code.
+//
+// The IRs also carry the static-lint metadata of src/ocl/analyzer/ir_lint
+// (declared buffer extents, per-site worst-case index bounds, barrier
+// placement). Both kernels index with affine expressions in the work-item
+// and loop ids, so each access site's largest reachable element index is a
+// closed-form constant in `steps`.
 #pragma once
 
 #include <cstddef>

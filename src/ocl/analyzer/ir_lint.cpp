@@ -1,0 +1,80 @@
+#include "ocl/analyzer/ir_lint.h"
+
+#include <sstream>
+#include <utility>
+
+namespace binopt::ocl::analyzer {
+
+namespace {
+
+std::string site_description(const fpga::AccessSite& site,
+                             const std::string& buffer_name) {
+  std::ostringstream os;
+  os << (site.is_store ? "store" : "load") << " site on "
+     << (site.space == fpga::MemSpace::kGlobal ? "global" : "local")
+     << " buffer '" << buffer_name << "'";
+  return os.str();
+}
+
+}  // namespace
+
+std::size_t lint_kernel_ir(const fpga::KernelIR& ir, HazardReport& report) {
+  ir.validate();
+  std::size_t found = 0;
+
+  for (std::size_t i = 0; i < ir.accesses.size(); ++i) {
+    const fpga::AccessSite& site = ir.accesses[i];
+    if (site.buffer == fpga::AccessSite::kNoBuffer || !site.has_index_bound) {
+      continue;
+    }
+    std::string buffer_name;
+    std::size_t words = 0;
+    if (site.space == fpga::MemSpace::kGlobal) {
+      const fpga::GlobalBufferDecl& decl = ir.global_buffers[site.buffer];
+      buffer_name = decl.name;
+      words = decl.words;
+    } else {
+      std::ostringstream os;
+      os << "local[" << site.buffer << "]";
+      buffer_name = os.str();
+      words = ir.local_buffers[site.buffer].words;
+    }
+    if (site.max_index < words) continue;
+
+    Hazard hazard;
+    hazard.kind = HazardKind::kStaticIndexOutOfBounds;
+    hazard.kernel = ir.name;
+    hazard.resource = buffer_name;
+    hazard.byte_offset = site.max_index * site.element_bytes;
+    hazard.bytes = site.element_bytes;
+    hazard.second.is_write = site.is_store;
+    std::ostringstream os;
+    os << site_description(site, buffer_name) << " (access site #" << i
+       << ") can reach element " << site.max_index
+       << " but the buffer declares only " << words << " elements";
+    hazard.message = os.str();
+    report.add(std::move(hazard));
+    ++found;
+  }
+
+  for (std::size_t i = 0; i < ir.barriers.size(); ++i) {
+    if (!ir.barriers[i].divergent) continue;
+    Hazard hazard;
+    hazard.kind = HazardKind::kStaticDivergentBarrier;
+    hazard.kernel = ir.name;
+    std::ostringstream resource;
+    resource << "barrier#" << i;
+    hazard.resource = resource.str();
+    std::ostringstream os;
+    os << "barrier site #" << i
+       << " sits under work-item-dependent control flow; OpenCL requires "
+          "every work-item of the group to reach each barrier";
+    hazard.message = os.str();
+    report.add(std::move(hazard));
+    ++found;
+  }
+
+  return found;
+}
+
+}  // namespace binopt::ocl::analyzer

@@ -1,0 +1,26 @@
+// Static lint over the kernel dataflow IR (src/fpga/ir.h) — hazards that
+// can be proven without executing a single work-item.
+//
+// The FPGA toolchain model already receives, per kernel, its access sites,
+// declared buffers, and barrier placement. Because both paper kernels
+// index with affine expressions in the work-item/loop ids, each access
+// site can carry a static bound on the largest element index it produces
+// (AccessSite::max_index, populated by src/kernels/ir_builders.*). The
+// lint cross-checks those bounds against the declared buffer extents and
+// flags barriers placed under work-item-dependent control flow — the two
+// classes of kernel bug an OpenCL-for-FPGA port hits before it ever runs.
+//
+// Findings land in the same HazardReport the dynamic analyzer uses, so
+// `binopt_cli --check` prints one combined report.
+#pragma once
+
+#include "fpga/ir.h"
+#include "ocl/analyzer/hazard.h"
+
+namespace binopt::ocl::analyzer {
+
+/// Lints one kernel IR; appends findings to `report` and returns how many
+/// hazards this call added.
+std::size_t lint_kernel_ir(const fpga::KernelIR& ir, HazardReport& report);
+
+}  // namespace binopt::ocl::analyzer

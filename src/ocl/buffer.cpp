@@ -9,4 +9,31 @@ Buffer::Buffer(std::size_t bytes, MemFlags flags, std::string name)
   BINOPT_REQUIRE(bytes > 0, "buffer '", name_, "' must be non-empty");
 }
 
+Buffer::~Buffer() = default;
+
+void Buffer::write(std::size_t offset_bytes, std::span<const std::byte> src) {
+  BINOPT_REQUIRE(offset_bytes <= storage_.size() &&
+                     src.size() <= storage_.size() - offset_bytes,
+                 "host write overruns buffer '", name_, "': offset ",
+                 offset_bytes, " + ", src.size(), " bytes > buffer size ",
+                 storage_.size());
+  std::memcpy(storage_.data() + offset_bytes, src.data(), src.size());
+  if (shadow_ != nullptr) shadow_->mark_written(offset_bytes, src.size());
+}
+
+void Buffer::read(std::size_t offset_bytes, std::span<std::byte> dst) const {
+  BINOPT_REQUIRE(offset_bytes <= storage_.size() &&
+                     dst.size() <= storage_.size() - offset_bytes,
+                 "host read overruns buffer '", name_, "': offset ",
+                 offset_bytes, " + ", dst.size(), " bytes > buffer size ",
+                 storage_.size());
+  std::memcpy(dst.data(), storage_.data() + offset_bytes, dst.size());
+}
+
+void Buffer::enable_shadow() {
+  if (shadow_ == nullptr) {
+    shadow_ = std::make_unique<analyzer::BufferShadow>(storage_.size());
+  }
+}
+
 }  // namespace binopt::ocl

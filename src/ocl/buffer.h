@@ -4,14 +4,25 @@
 // through the command queue (enqueue_write/enqueue_read) so PCIe traffic is
 // accounted; kernel access goes through GlobalSpan handed out by the
 // work-item context so global load/store traffic is accounted per element.
+//
+// When the hazard analyzer is enabled (BINOPT_OCL_ANALYZE / binopt_cli
+// --check) each buffer additionally carries a BufferShadow recording which
+// bytes have ever been written — host writes mark it directly, kernel
+// stores land in per-compute-unit shards merged in after each NDRange —
+// and GlobalSpan routes every access through the analyzer so out-of-bounds
+// and never-written-byte reads become structured diagnostics instead of
+// thrown errors. With the analyzer off the only cost is one null test per
+// access and behaviour is unchanged.
 #pragma once
 
 #include <cstddef>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/error.h"
+#include "ocl/analyzer/shadow.h"
 #include "ocl/stats.h"
 #include "ocl/types.h"
 
@@ -20,6 +31,7 @@ namespace binopt::ocl {
 class Buffer {
 public:
   Buffer(std::size_t bytes, MemFlags flags, std::string name);
+  ~Buffer();
 
   [[nodiscard]] std::size_t size_bytes() const { return storage_.size(); }
   [[nodiscard]] MemFlags flags() const { return flags_; }
@@ -30,16 +42,34 @@ public:
   [[nodiscard]] std::byte* data() { return storage_.data(); }
   [[nodiscard]] const std::byte* data() const { return storage_.data(); }
 
+  /// Host-side transfer into the buffer. Range-checks the offset/length
+  /// with a descriptive error (no UB on bad enqueue offsets) and marks the
+  /// written bytes in the shadow when the analyzer is enabled. The command
+  /// queue's enqueue_write lands here.
+  void write(std::size_t offset_bytes, std::span<const std::byte> src);
+
+  /// Host-side transfer out of the buffer, with the same range checking.
+  void read(std::size_t offset_bytes, std::span<std::byte> dst) const;
+
   /// Number of elements of T the buffer can hold.
   template <typename T>
   [[nodiscard]] std::size_t count() const {
     return storage_.size() / sizeof(T);
   }
 
+  /// Attaches a written-byte shadow (idempotent). Called by the context
+  /// when the owning device has the hazard analyzer enabled.
+  void enable_shadow();
+  [[nodiscard]] analyzer::BufferShadow* shadow() { return shadow_.get(); }
+  [[nodiscard]] const analyzer::BufferShadow* shadow() const {
+    return shadow_.get();
+  }
+
 private:
   std::vector<std::byte> storage_;
   MemFlags flags_;
   std::string name_;
+  std::unique_ptr<analyzer::BufferShadow> shadow_;  ///< null = analyzer off
 };
 
 /// Typed, traffic-counted kernel view of a Buffer's global memory.
@@ -51,17 +81,32 @@ private:
 template <typename T>
 class GlobalSpan {
 public:
-  GlobalSpan(Buffer& buffer, RuntimeStats& stats)
-      : data_(reinterpret_cast<T*>(buffer.data())),
+  GlobalSpan(Buffer& buffer, RuntimeStats& stats,
+             analyzer::GroupAnalysis* analysis = nullptr,
+             std::size_t work_item = 0)
+      : buffer_(&buffer),
+        data_(reinterpret_cast<T*>(buffer.data())),
         count_(buffer.count<T>()),
         flags_(buffer.flags()),
-        stats_(&stats) {}
+        stats_(&stats),
+        analysis_(analysis),
+        work_item_(work_item) {}
 
   [[nodiscard]] std::size_t size() const { return count_; }
 
   [[nodiscard]] T get(std::size_t i) const {
-    BINOPT_REQUIRE(i < count_, "global load out of bounds: ", i, " >= ",
-                   count_);
+    if (analysis_ != nullptr) {
+      // Analyzer mode: OOB is reported as a diagnostic and the access is
+      // suppressed (reads yield T{}) so the kernel keeps running and can
+      // surface further hazards.
+      if (!analysis_->global_read(*buffer_, work_item_, i, count_,
+                                  sizeof(T))) {
+        return T{};
+      }
+    } else {
+      BINOPT_REQUIRE(i < count_, "global load out of bounds: ", i, " >= ",
+                     count_);
+    }
     BINOPT_REQUIRE(flags_ != MemFlags::kWriteOnly,
                    "global load from a write-only buffer");
     stats_->global_load_bytes += sizeof(T);
@@ -69,8 +114,15 @@ public:
   }
 
   void set(std::size_t i, T value) {
-    BINOPT_REQUIRE(i < count_, "global store out of bounds: ", i, " >= ",
-                   count_);
+    if (analysis_ != nullptr) {
+      if (!analysis_->global_write(*buffer_, work_item_, i, count_,
+                                   sizeof(T))) {
+        return;
+      }
+    } else {
+      BINOPT_REQUIRE(i < count_, "global store out of bounds: ", i, " >= ",
+                     count_);
+    }
     BINOPT_REQUIRE(flags_ != MemFlags::kReadOnly,
                    "global store to a read-only buffer");
     stats_->global_store_bytes += sizeof(T);
@@ -78,10 +130,13 @@ public:
   }
 
 private:
+  Buffer* buffer_;
   T* data_;
   std::size_t count_;
   MemFlags flags_;
   RuntimeStats* stats_;
+  analyzer::GroupAnalysis* analysis_;
+  std::size_t work_item_;
 };
 
 }  // namespace binopt::ocl

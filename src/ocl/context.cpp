@@ -16,6 +16,9 @@ Buffer& Context::create_buffer(std::size_t bytes, MemFlags flags,
                  " exceeds ", device_.limits().global_mem_bytes);
   buffers_.push_back(std::make_unique<Buffer>(bytes, flags, std::move(name)));
   allocated_ += bytes;
+  // Under the hazard analyzer every buffer tracks which bytes have been
+  // written, so kernel reads of never-written memory can be flagged.
+  if (device_.analyzer_enabled()) buffers_.back()->enable_shadow();
   return *buffers_.back();
 }
 

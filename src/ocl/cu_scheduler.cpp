@@ -54,6 +54,11 @@ void ComputeUnitScheduler::start_workers() {
   }
 }
 
+void ComputeUnitScheduler::enable_analysis(
+    analyzer::HazardReport& report, const analyzer::AnalyzerConfig& config) {
+  for (auto& unit : units_) unit->executor.enable_analysis(report, config);
+}
+
 void ComputeUnitScheduler::execute(const Kernel& kernel,
                                    const KernelArgs& args, NDRange range,
                                    RuntimeStats& stats) {
@@ -65,7 +70,13 @@ void ComputeUnitScheduler::execute(const Kernel& kernel,
   // scheduling overhead. Counter-wise this is the definitional baseline
   // the parallel path must (and does) reproduce exactly.
   if (units_.size() == 1 || num_groups == 1) {
-    units_[0]->executor.execute(kernel, args, range, stats);
+    try {
+      units_[0]->executor.execute(kernel, args, range, stats);
+    } catch (...) {
+      units_[0]->executor.flush_analysis();
+      throw;
+    }
+    units_[0]->executor.flush_analysis();
     return;
   }
 
@@ -101,7 +112,12 @@ void ComputeUnitScheduler::execute(const Kernel& kernel,
   // Deterministic merge: shards are folded in unit order on this thread.
   // (Every counter is an unsigned sum, so any order would produce the
   // same bits — fixing the order keeps that property self-evident.)
-  for (auto& unit : units_) stats += unit->shard;
+  // Analyzer written-byte shards merge the same way (bit-wise OR, so
+  // order cannot matter there either).
+  for (auto& unit : units_) {
+    stats += unit->shard;
+    unit->executor.flush_analysis();
+  }
 
   if (error_) {
     std::exception_ptr error = error_;

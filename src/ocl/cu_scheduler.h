@@ -50,6 +50,14 @@ public:
 
   [[nodiscard]] std::size_t compute_units() const { return units_.size(); }
 
+  /// Arms the hazard analyzer on every worker's private executor: each
+  /// compute unit keeps its own shadow shard (exactly like its RuntimeStats
+  /// shard) and reports into the shared, mutex-guarded `report`. Shards
+  /// are merged into the buffers' base shadows after each range. Call
+  /// before the first execute().
+  void enable_analysis(analyzer::HazardReport& report,
+                       const analyzer::AnalyzerConfig& config);
+
   /// Runs one NDRange to completion and merges all counters into `stats`.
   /// Synchronous: returns (or throws) only after every group has finished
   /// or the range has been cancelled and drained. Not itself thread-safe —

@@ -7,24 +7,39 @@
 namespace binopt::ocl {
 
 Device::Device(std::string name, DeviceKind kind, DeviceLimits limits)
-    : name_(std::move(name)), kind_(kind), limits_(limits) {
+    : name_(std::move(name)),
+      kind_(kind),
+      limits_(limits),
+      analyzer_config_(analyzer::AnalyzerConfig::from_env()),
+      hazard_report_(analyzer_config_.max_reports) {
   BINOPT_REQUIRE(limits_.global_mem_bytes > 0, "device '", name_,
                  "' must have global memory");
   BINOPT_REQUIRE(limits_.local_mem_bytes > 0, "device '", name_,
                  "' must have local memory");
   BINOPT_REQUIRE(limits_.max_workgroup_size > 0, "device '", name_,
                  "' must allow work-groups");
+  rebuild_scheduler(resolve_compute_units(limits_.compute_units));
+}
+
+void Device::rebuild_scheduler(std::size_t units) {
   scheduler_ = std::make_unique<ComputeUnitScheduler>(
-      resolve_compute_units(limits_.compute_units), limits_.local_mem_bytes,
-      limits_.max_workgroup_size);
+      units, limits_.local_mem_bytes, limits_.max_workgroup_size);
+  if (analyzer_config_.enabled) {
+    scheduler_->enable_analysis(hazard_report_, analyzer_config_);
+  }
 }
 
 void Device::set_compute_units(std::size_t units) {
   BINOPT_REQUIRE(units >= 1, "device '", name_,
                  "' needs at least one compute unit");
   if (units == scheduler_->compute_units()) return;
-  scheduler_ = std::make_unique<ComputeUnitScheduler>(
-      units, limits_.local_mem_bytes, limits_.max_workgroup_size);
+  rebuild_scheduler(units);
+}
+
+void Device::set_analyzer(analyzer::AnalyzerConfig config) {
+  analyzer_config_ = config;
+  hazard_report_.set_max_reports(config.max_reports);
+  rebuild_scheduler(scheduler_->compute_units());
 }
 
 void Device::execute(const Kernel& kernel, const KernelArgs& args,

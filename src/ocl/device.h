@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "ocl/analyzer/hazard.h"
 #include "ocl/cu_scheduler.h"
 #include "ocl/stats.h"
 #include "ocl/types.h"
@@ -54,16 +55,39 @@ public:
   [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 
+  /// The kernel hazard analyzer (see src/ocl/analyzer/). Off by default
+  /// and resolved from BINOPT_OCL_ANALYZE at construction; set_analyzer()
+  /// overrides per device. Enable it *before* creating buffers so they
+  /// get written-byte shadows. Must not be called mid-kernel.
+  void set_analyzer(analyzer::AnalyzerConfig config);
+  [[nodiscard]] bool analyzer_enabled() const {
+    return analyzer_config_.enabled;
+  }
+  [[nodiscard]] const analyzer::AnalyzerConfig& analyzer_config() const {
+    return analyzer_config_;
+  }
+  /// Diagnostics accumulated across every range run under the analyzer.
+  [[nodiscard]] analyzer::HazardReport& hazard_report() {
+    return hazard_report_;
+  }
+  [[nodiscard]] const analyzer::HazardReport& hazard_report() const {
+    return hazard_report_;
+  }
+
   /// Runs one NDRange synchronously (called by CommandQueue). Work-groups
   /// are spread across the compute units; stats_ totals are bit-identical
   /// to a serial execution of the same kernel.
   void execute(const Kernel& kernel, const KernelArgs& args, NDRange range);
 
 private:
+  void rebuild_scheduler(std::size_t units);
+
   std::string name_;
   DeviceKind kind_;
   DeviceLimits limits_;
   RuntimeStats stats_;
+  analyzer::AnalyzerConfig analyzer_config_;
+  analyzer::HazardReport hazard_report_;
   std::unique_ptr<ComputeUnitScheduler> scheduler_;
 };
 

@@ -41,7 +41,11 @@ void CommandQueue::finish() {
 Event& CommandQueue::enqueue_write(Buffer& buffer,
                                    std::span<const std::byte> src,
                                    std::size_t offset_bytes) {
-  BINOPT_REQUIRE(offset_bytes + src.size() <= buffer.size_bytes(),
+  // Early range check at enqueue time for immediate feedback; the actual
+  // transfer in Buffer::write re-validates (deferred actions may run
+  // later) and marks the analyzer's written-byte shadow.
+  BINOPT_REQUIRE(offset_bytes <= buffer.size_bytes() &&
+                     src.size() <= buffer.size_bytes() - offset_bytes,
                  "write overruns buffer '", buffer.name(), "': offset ",
                  offset_bytes, " + ", src.size(), " > ", buffer.size_bytes());
   Event event;
@@ -52,7 +56,7 @@ Event& CommandQueue::enqueue_write(Buffer& buffer,
   Buffer* target = &buffer;
   Device* device = &this->device();
   return dispatch(std::move(event), [target, src, offset_bytes, device] {
-    std::memcpy(target->data() + offset_bytes, src.data(), src.size());
+    target->write(offset_bytes, src);
     RuntimeStats& stats = device->stats();
     stats.host_to_device_bytes += src.size();
     ++stats.host_transfers;
@@ -61,7 +65,8 @@ Event& CommandQueue::enqueue_write(Buffer& buffer,
 
 Event& CommandQueue::enqueue_read(Buffer& buffer, std::span<std::byte> dst,
                                   std::size_t offset_bytes) {
-  BINOPT_REQUIRE(offset_bytes + dst.size() <= buffer.size_bytes(),
+  BINOPT_REQUIRE(offset_bytes <= buffer.size_bytes() &&
+                     dst.size() <= buffer.size_bytes() - offset_bytes,
                  "read overruns buffer '", buffer.name(), "': offset ",
                  offset_bytes, " + ", dst.size(), " > ", buffer.size_bytes());
   Event event;
@@ -72,7 +77,7 @@ Event& CommandQueue::enqueue_read(Buffer& buffer, std::span<std::byte> dst,
   Buffer* source = &buffer;
   Device* device = &this->device();
   return dispatch(std::move(event), [source, dst, offset_bytes, device] {
-    std::memcpy(dst.data(), source->data() + offset_bytes, dst.size());
+    source->read(offset_bytes, dst);
     RuntimeStats& stats = device->stats();
     stats.device_to_host_bytes += dst.size();
     ++stats.host_transfers;

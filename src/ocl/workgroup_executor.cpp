@@ -56,6 +56,15 @@ void WorkGroupExecutor::execute_group(const Kernel& kernel,
   run_group(kernel, args, range, group_id, stats);
 }
 
+void WorkGroupExecutor::enable_analysis(
+    analyzer::HazardReport& report, const analyzer::AnalyzerConfig& config) {
+  analysis_ = std::make_unique<analyzer::GroupAnalysis>(report, config);
+}
+
+void WorkGroupExecutor::flush_analysis() {
+  if (analysis_ != nullptr) analysis_->flush_buffers();
+}
+
 void WorkGroupExecutor::run_group(const Kernel& kernel, const KernelArgs& args,
                                   NDRange range, std::size_t group_id,
                                   RuntimeStats& stats) {
@@ -66,6 +75,10 @@ void WorkGroupExecutor::run_group(const Kernel& kernel, const KernelArgs& args,
   group.arena = arena_.data();
   group.arena_capacity = local_mem_bytes_;
   group.stats = &stats;
+  if (analysis_ != nullptr) {
+    analysis_->begin_group(kernel.name, group_id, local_mem_bytes_);
+    group.analysis = analysis_.get();
+  }
 
   if (!kernel.uses_barriers) {
     // Fast path: no synchronisation possible, so each work-item runs to
@@ -146,12 +159,22 @@ void WorkGroupExecutor::run_group(const Kernel& kernel, const KernelArgs& args,
       // Every live work-item is now parked at a barrier. OpenCL requires
       // the *whole* group at each barrier: if any work-item returned
       // during a pass in which others parked, the group has divergent
-      // barrier counts (undefined behaviour on real hardware — we fail
-      // loudly instead).
+      // barrier counts (undefined behaviour on real hardware). Under the
+      // analyzer this becomes a diagnostic and the group is drained so the
+      // rest of the range can still be checked; otherwise we fail loudly.
+      if (at_barrier != 0 && finished_this_pass != 0 &&
+          analysis_ != nullptr) {
+        analysis_->record_barrier_divergence(at_barrier, finished_this_pass);
+        drain_group(items, fibers);
+        return;
+      }
       BINOPT_REQUIRE(at_barrier == 0 || finished_this_pass == 0,
                      "barrier divergence in kernel '", kernel.name, "': ",
                      at_barrier, " work-items at a barrier while ",
                      finished_this_pass, " returned in the same pass");
+      // The whole group has crossed this barrier: accesses after it are
+      // ordered against everything before it.
+      if (at_barrier > 0 && analysis_ != nullptr) analysis_->advance_epoch();
     }
   } catch (...) {
     drain_group(items, fibers);

@@ -15,12 +15,23 @@
 // Barrier contract enforced (and its violation *detected*, where real
 // OpenCL would be silently undefined): if any work-item of a group reaches
 // a barrier, every work-item must reach it before finishing the kernel.
+//
+// With the hazard analyzer enabled (enable_analysis), the executor also
+// maintains barrier-epoch bookkeeping: every time the whole group crosses
+// a barrier the epoch advances, and every local/global access is recorded
+// against the current epoch in the analyzer's shadow memory. Two accesses
+// to the same local byte by different work-items in the same epoch have no
+// barrier between them — OpenCL's intra-group race — and are reported with
+// work-item coordinates and both access sites. Barrier divergence is then
+// reported as a diagnostic (and the group drained) instead of thrown.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/error.h"
+#include "ocl/analyzer/shadow.h"
 #include "ocl/buffer.h"
 #include "ocl/fiber.h"
 #include "ocl/kernel.h"
@@ -52,6 +63,7 @@ struct GroupState {
   std::size_t arena_used = 0;
   std::vector<LocalAlloc> allocs;
   RuntimeStats* stats = nullptr;
+  analyzer::GroupAnalysis* analysis = nullptr;  ///< null = analyzer off
   bool aborting = false;  ///< set when a sibling work-item threw
 };
 
@@ -64,21 +76,46 @@ enum class ItemState { kRunnable, kAtBarrier, kDone };
 template <typename T>
 class LocalSpan {
 public:
-  LocalSpan(T* data, std::size_t count, RuntimeStats& stats)
-      : data_(data), count_(count), stats_(&stats) {}
+  LocalSpan(T* data, std::size_t count, RuntimeStats& stats,
+            analyzer::GroupAnalysis* analysis = nullptr,
+            std::size_t work_item = 0, std::size_t arena_offset = 0,
+            std::size_t alloc_index = 0)
+      : data_(data),
+        count_(count),
+        stats_(&stats),
+        analysis_(analysis),
+        work_item_(work_item),
+        arena_offset_(arena_offset),
+        alloc_index_(alloc_index) {}
 
   [[nodiscard]] std::size_t size() const { return count_; }
 
   [[nodiscard]] T get(std::size_t i) const {
-    BINOPT_REQUIRE(i < count_, "local load out of bounds: ", i, " >= ",
-                   count_);
+    if (analysis_ != nullptr) {
+      // Analyzer mode: records races/uninitialised reads and suppresses
+      // out-of-bounds accesses (returning T{}) so execution continues.
+      if (!analysis_->local_read(work_item_, alloc_index_, arena_offset_, i,
+                                 count_, sizeof(T))) {
+        return T{};
+      }
+    } else {
+      BINOPT_REQUIRE(i < count_, "local load out of bounds: ", i, " >= ",
+                     count_);
+    }
     stats_->local_load_bytes += sizeof(T);
     return data_[i];
   }
 
   void set(std::size_t i, T value) {
-    BINOPT_REQUIRE(i < count_, "local store out of bounds: ", i, " >= ",
-                   count_);
+    if (analysis_ != nullptr) {
+      if (!analysis_->local_write(work_item_, alloc_index_, arena_offset_, i,
+                                  count_, sizeof(T))) {
+        return;
+      }
+    } else {
+      BINOPT_REQUIRE(i < count_, "local store out of bounds: ", i, " >= ",
+                     count_);
+    }
     stats_->local_store_bytes += sizeof(T);
     data_[i] = value;
   }
@@ -87,6 +124,10 @@ private:
   T* data_;
   std::size_t count_;
   RuntimeStats* stats_;
+  analyzer::GroupAnalysis* analysis_;
+  std::size_t work_item_;
+  std::size_t arena_offset_;
+  std::size_t alloc_index_;
 };
 
 /// Execution context handed to the kernel body — the work-item's window
@@ -109,7 +150,7 @@ public:
   /// Global-memory accessor for a bound buffer.
   template <typename T>
   [[nodiscard]] GlobalSpan<T> global(Buffer& buffer) const {
-    return GlobalSpan<T>(buffer, *group_->stats);
+    return GlobalSpan<T>(buffer, *group_->stats, group_->analysis, local_id_);
   }
 
   /// Local-memory array, shared across the group. Every work-item must
@@ -125,9 +166,9 @@ public:
                      "divergent local allocation: work-item ", local_id_,
                      " requested ", bytes, " bytes, group allocated ",
                      a.bytes);
-      ++alloc_cursor_;
+      const std::size_t index = alloc_cursor_++;
       return LocalSpan<T>(reinterpret_cast<T*>(g.arena + a.offset), count,
-                          *g.stats);
+                          *g.stats, g.analysis, local_id_, a.offset, index);
     }
     constexpr std::size_t kAlign = 16;
     const std::size_t offset = (g.arena_used + kAlign - 1) / kAlign * kAlign;
@@ -136,9 +177,10 @@ public:
                    " bytes, device local size is ", g.arena_capacity);
     g.allocs.push_back(detail::LocalAlloc{offset, bytes});
     g.arena_used = offset + bytes;
-    ++alloc_cursor_;
+    const std::size_t index = alloc_cursor_++;
+    if (g.analysis != nullptr) g.analysis->on_local_alloc(offset, bytes);
     return LocalSpan<T>(reinterpret_cast<T*>(g.arena + offset), count,
-                        *g.stats);
+                        *g.stats, g.analysis, local_id_, offset, index);
   }
 
 private:
@@ -180,6 +222,21 @@ public:
   void execute_group(const Kernel& kernel, const KernelArgs& args,
                      NDRange range, std::size_t group_id, RuntimeStats& stats);
 
+  /// Arms the hazard analyzer for every group this executor runs: accesses
+  /// are shadow-tracked and diagnostics delivered to `report`. Call before
+  /// execution starts (the compute-unit scheduler does this per worker).
+  void enable_analysis(analyzer::HazardReport& report,
+                       const analyzer::AnalyzerConfig& config);
+
+  /// Merges this executor's per-buffer written-byte shards into the
+  /// buffers' base shadows (no-op with the analyzer off). Called on the
+  /// enqueuing thread after a range completes.
+  void flush_analysis();
+
+  [[nodiscard]] analyzer::GroupAnalysis* analysis() {
+    return analysis_.get();
+  }
+
 private:
   void run_group(const Kernel& kernel, const KernelArgs& args, NDRange range,
                  std::size_t group_id, RuntimeStats& stats);
@@ -188,6 +245,7 @@ private:
   std::size_t max_workgroup_size_;
   FiberPool pool_;
   std::vector<std::byte> arena_;  ///< local-memory storage, reused per group
+  std::unique_ptr<analyzer::GroupAnalysis> analysis_;  ///< null = off
 };
 
 }  // namespace binopt::ocl

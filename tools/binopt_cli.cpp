@@ -9,13 +9,26 @@
 // Prints the price, the accuracy vs the reference software, and the
 // modelled throughput/power/energy of the chosen accelerator. Run with
 // --help for the full flag list, --list-targets for the target names.
+//
+// `binopt_cli --check` instead runs both paper kernels under the runtime
+// hazard analyzer (shadow-memory race/out-of-bounds/uninitialized-read
+// detection, see src/ocl/analyzer/) plus the static IR lint, and exits
+// non-zero if any diagnostic fires.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/accelerator.h"
 #include "finance/option.h"
+#include "finance/workload.h"
+#include "kernels/ir_builders.h"
+#include "kernels/kernel_a.h"
+#include "kernels/kernel_b.h"
+#include "ocl/analyzer/ir_lint.h"
+#include "ocl/device.h"
 
 namespace {
 
@@ -35,7 +48,58 @@ void print_usage() {
       "  --steps <N>        tree steps             (default 1024)\n"
       "  --target <name>    accelerator target     (default cpu reference)\n"
       "  --list-targets     print target names and exit\n"
+      "  --check            run the kernel hazard analyzer + static IR\n"
+      "                     lint over both paper kernels and exit non-zero\n"
+      "                     on any diagnostic (--steps selects tree depth)\n"
       "  --help             this text\n");
+}
+
+/// The --check mode: execute kernels IV.A and IV.B under the shadow-memory
+/// analyzer on a multi-compute-unit device, lint their dataflow IRs, and
+/// print the combined hazard report.
+int run_check(std::size_t steps) {
+  namespace an = ocl::analyzer;
+  constexpr std::size_t kMiB = 1024 * 1024;
+  const std::size_t group = std::max<std::size_t>(steps, 256);
+  ocl::Device device("hazard-check", ocl::DeviceKind::kFpga,
+                     ocl::DeviceLimits{256 * kMiB, 64 * 1024, group,
+                                       /*compute_units=*/4});
+  an::AnalyzerConfig config;
+  config.enabled = true;
+  device.set_analyzer(config);
+
+  const std::vector<finance::OptionSpec> options =
+      finance::make_random_batch(8, /*seed=*/42);
+
+  std::printf("kernel IV.A (dataflow, N = %zu) ... ", steps);
+  kernels::KernelAHostProgram program_a(device, {.steps = steps});
+  (void)program_a.run(options);
+  std::printf("%zu hazard(s)\n", device.hazard_report().size());
+
+  std::printf("kernel IV.B (work-group/option, N = %zu) ... ", steps);
+  const std::size_t before = device.hazard_report().size();
+  kernels::KernelBHostProgram program_b(device, {.steps = steps});
+  (void)program_b.run(options);
+  std::printf("%zu hazard(s)\n", device.hazard_report().size() - before);
+
+  std::printf("static IR lint ... ");
+  std::size_t lint = 0;
+  lint += an::lint_kernel_ir(kernels::kernel_a_ir(steps),
+                             device.hazard_report());
+  lint += an::lint_kernel_ir(kernels::kernel_b_ir(steps),
+                             device.hazard_report());
+  std::printf("%zu finding(s)\n", lint);
+
+  const an::HazardReport& report = device.hazard_report();
+  if (report.empty()) {
+    std::printf("check passed: no hazards detected (%zu compute units)\n",
+                device.compute_units());
+    return 0;
+  }
+  std::printf("\n%s", report.to_string().c_str());
+  std::printf("check FAILED: %zu distinct hazard site(s), %zu occurrence(s)\n",
+              report.size(), report.total_occurrences());
+  return 1;
 }
 
 bool parse_target(const std::string& name, core::Target& out) {
@@ -67,6 +131,8 @@ double parse_double(const char* flag, const char* value) {
 int main(int argc, char** argv) {
   finance::OptionSpec spec;
   std::size_t steps = 1024;
+  bool steps_given = false;
+  bool check = false;
   core::Target target = core::Target::kCpuReference;
 
   for (int i = 1; i < argc; ++i) {
@@ -80,6 +146,10 @@ int main(int argc, char** argv) {
         std::printf("%s\n", core::to_string(t).c_str());
       }
       return 0;
+    }
+    if (flag == "--check") {
+      check = true;
+      continue;
     }
     if (i + 1 >= argc) fail("missing value for " + flag);
     const char* value = argv[++i];
@@ -103,6 +173,7 @@ int main(int argc, char** argv) {
       }
     } else if (flag == "--steps") {
       steps = static_cast<std::size_t>(parse_double("--steps", value));
+      steps_given = true;
     } else if (flag == "--target") {
       if (!parse_target(value, target)) {
         fail(std::string("unknown target '") + value +
@@ -114,6 +185,12 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (check) {
+      // Shadow-memory analysis visits every byte of every access; a
+      // modest default depth keeps the check fast while exercising both
+      // kernels' full structure.
+      return run_check(steps_given ? steps : 64);
+    }
     spec.validate();
     core::PricingAccelerator accelerator({target, steps, true});
     const core::RunReport report = accelerator.run({spec});
