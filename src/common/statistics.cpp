@@ -57,7 +57,10 @@ void OnlineStats::add(double x) {
 }
 
 double OnlineStats::variance() const {
-  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  // Sample (n-1) variance: the accumulator summarises small benchmark
+  // repetition counts, where the population divisor visibly understates
+  // the spread. n == 0 and n == 1 both report 0 by convention.
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }

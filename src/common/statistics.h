@@ -31,7 +31,7 @@ public:
 
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
-  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1; 0 if n<2)
   [[nodiscard]] double stddev() const;
   [[nodiscard]] double min() const { return min_; }
   [[nodiscard]] double max() const { return max_; }

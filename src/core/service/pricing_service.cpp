@@ -1,0 +1,304 @@
+#include "core/service/pricing_service.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace binopt::core {
+
+using service::CacheKey;
+using service::ServiceStats;
+
+PricingService::PricingService(ServiceConfig config)
+    : config_(std::move(config)), cache_(config_.cache_capacity) {
+  BINOPT_REQUIRE(!config_.targets.empty(),
+                 "service needs at least one Target backend");
+  BINOPT_REQUIRE(config_.max_batch >= 1, "max_batch must be >= 1");
+  BINOPT_REQUIRE(config_.queue_capacity >= 1, "queue_capacity must be >= 1");
+  BINOPT_REQUIRE(config_.steps >= 2, "need at least two tree steps");
+  workers_.reserve(config_.targets.size());
+  for (std::size_t i = 0; i < config_.targets.size(); ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->target = config_.targets[i];
+  }
+  // Spawn only after every Worker slot exists: workers index into workers_.
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+PricingService::~PricingService() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void PricingService::fulfil(Request& request, double price, Target target,
+                            bool from_cache) {
+  if (!request.batch) {
+    request.single.set_value(Quote{price, target, from_cache});
+    return;
+  }
+  BatchState& batch = *request.batch;
+  batch.results[request.index] = price;
+  // The last element to resolve publishes the whole vector; if any element
+  // failed, the batch promise already carries that exception.
+  if (batch.remaining.fetch_sub(1) == 1 && !batch.failed.load()) {
+    batch.promise.set_value(std::move(batch.results));
+  }
+}
+
+void PricingService::fail(Request& request, const std::exception_ptr& error) {
+  if (!request.batch) {
+    request.single.set_exception(error);
+    return;
+  }
+  BatchState& batch = *request.batch;
+  // First failure wins the batch promise; later outcomes only count down.
+  if (!batch.failed.exchange(true)) {
+    batch.promise.set_exception(error);
+  }
+  batch.remaining.fetch_sub(1);
+}
+
+std::chrono::steady_clock::time_point PricingService::deadline_for(
+    std::chrono::milliseconds timeout, bool& has_deadline) const {
+  has_deadline = timeout >= std::chrono::milliseconds::zero();
+  return has_deadline ? std::chrono::steady_clock::now() + timeout
+                      : std::chrono::steady_clock::time_point{};
+}
+
+std::future<Quote> PricingService::submit(const finance::OptionSpec& spec) {
+  return submit(spec, config_.default_timeout);
+}
+
+std::future<Quote> PricingService::submit(const finance::OptionSpec& spec,
+                                          std::chrono::milliseconds timeout) {
+  spec.validate();
+  Request request;
+  request.spec = spec;
+  request.deadline = deadline_for(timeout, request.has_deadline);
+  std::future<Quote> future = request.single.get_future();
+  std::vector<Request> one;
+  one.push_back(std::move(request));
+  enqueue_requests(std::move(one));
+  return future;
+}
+
+std::future<std::vector<double>> PricingService::submit_batch(
+    const std::vector<finance::OptionSpec>& specs) {
+  return submit_batch(specs, config_.default_timeout);
+}
+
+std::future<std::vector<double>> PricingService::submit_batch(
+    const std::vector<finance::OptionSpec>& specs,
+    std::chrono::milliseconds timeout) {
+  auto state = std::make_shared<BatchState>(specs.size());
+  std::future<std::vector<double>> future = state->promise.get_future();
+  if (specs.empty()) {
+    state->promise.set_value({});
+    return future;
+  }
+  bool has_deadline = false;
+  const auto deadline = deadline_for(timeout, has_deadline);
+  std::vector<Request> requests;
+  requests.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].validate();
+    Request request;
+    request.spec = specs[i];
+    request.deadline = deadline;
+    request.has_deadline = has_deadline;
+    request.batch = state;
+    request.index = i;
+    requests.push_back(std::move(request));
+  }
+  enqueue_requests(std::move(requests));
+  return future;
+}
+
+void PricingService::enqueue_requests(std::vector<Request>&& requests) {
+  std::size_t admitted = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (admitted < requests.size()) {
+      not_full_.wait(lock, [&] {
+        return stopping_ || queue_.size() < config_.queue_capacity;
+      });
+      if (stopping_) break;
+      // Admit as many as fit right now, then (if needed) wait again —
+      // backpressure is per option, so an oversized curve streams in as
+      // the workers drain the queue.
+      while (admitted < requests.size() &&
+             queue_.size() < config_.queue_capacity) {
+        queue_.push_back(std::move(requests[admitted]));
+        ++admitted;
+        ++submitted_;
+      }
+      not_empty_.notify_all();
+    }
+  }
+  if (admitted == requests.size()) return;
+  // Shutdown interrupted admission: resolve the unadmitted tail so the
+  // caller's future never dangles, then surface the shutdown.
+  const auto error = std::make_exception_ptr(
+      ServiceShutdownError("pricing service is shutting down"));
+  for (std::size_t i = admitted; i < requests.size(); ++i) {
+    fail(requests[i], error);
+  }
+  throw ServiceShutdownError("pricing service is shutting down");
+}
+
+bool PricingService::collect_batch(std::vector<Request>& out) {
+  out.clear();
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // stopping and fully drained
+
+  const auto pop_available = [&] {
+    while (out.size() < config_.max_batch && !queue_.empty()) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  };
+  pop_available();
+
+  // Micro-batching: hold a partial batch open for up to `linger` so that a
+  // burst of single submits coalesces into one NDRange launch instead of
+  // many tiny ones. Stop early on a full batch or shutdown.
+  if (out.size() < config_.max_batch &&
+      config_.linger > std::chrono::microseconds::zero() && !stopping_) {
+    const auto linger_deadline =
+        std::chrono::steady_clock::now() + config_.linger;
+    while (out.size() < config_.max_batch && !stopping_) {
+      if (!not_empty_.wait_until(lock, linger_deadline, [&] {
+            return stopping_ || !queue_.empty();
+          })) {
+        break;  // linger window expired
+      }
+      pop_available();
+    }
+  }
+  lock.unlock();
+  not_full_.notify_all();
+  return true;
+}
+
+void PricingService::worker_loop(std::size_t worker_index) {
+  Worker& worker = *workers_[worker_index];
+  PricingAccelerator accelerator({worker.target, config_.steps,
+                                  /*compute_rmse=*/false,
+                                  config_.compute_units});
+  std::vector<Request> batch;
+  while (collect_batch(batch)) {
+    process_batch(worker, accelerator, batch);
+  }
+}
+
+void PricingService::process_batch(Worker& worker,
+                                   PricingAccelerator& accelerator,
+                                   std::vector<Request>& batch) {
+  const Target target = worker.target;
+  const auto now = std::chrono::steady_clock::now();
+  ServiceStats delta;
+
+  // Outcomes are computed first and the promises resolved LAST, after the
+  // stats delta lands in the worker shard: a client that calls stats()
+  // right after future.get() must already see its own request counted.
+  struct Completion {
+    Request* request;
+    double price;
+    bool from_cache;
+  };
+  std::vector<Completion> completions;
+  std::vector<std::pair<Request*, std::exception_ptr>> failures;
+  std::vector<Request*> to_price;
+  std::vector<finance::OptionSpec> specs;
+  completions.reserve(batch.size());
+  to_price.reserve(batch.size());
+  specs.reserve(batch.size());
+
+  for (Request& request : batch) {
+    // Expiry first: a stale quote is worthless even if cached — serving it
+    // would hide that the client's deadline was missed.
+    if (request.has_deadline && now > request.deadline) {
+      failures.emplace_back(&request,
+                            std::make_exception_ptr(ServiceTimeoutError(
+                                "quote request expired before pricing")));
+      ++delta.requests_timed_out;
+      continue;
+    }
+    if (cache_.enabled()) {
+      const CacheKey key = CacheKey::from(request.spec, config_.steps, target);
+      if (const auto hit = cache_.lookup(key)) {
+        completions.push_back({&request, *hit, /*from_cache=*/true});
+        ++delta.cache_hits;
+        ++delta.requests_completed;
+        continue;
+      }
+      ++delta.cache_misses;
+    }
+    to_price.push_back(&request);
+    specs.push_back(request.spec);
+  }
+
+  if (!to_price.empty()) {
+    ++delta.batches_launched;
+    delta.options_priced += to_price.size();
+    try {
+      const RunReport report = accelerator.run(specs);
+      for (std::size_t i = 0; i < to_price.size(); ++i) {
+        if (cache_.enabled()) {
+          delta.cache_evictions += cache_.insert(
+              CacheKey::from(specs[i], config_.steps, target),
+              report.prices[i]);
+        }
+        completions.push_back(
+            {to_price[i], report.prices[i], /*from_cache=*/false});
+        ++delta.requests_completed;
+      }
+    } catch (...) {
+      const std::exception_ptr error = std::current_exception();
+      for (Request* request : to_price) {
+        failures.emplace_back(request, error);
+        ++delta.requests_failed;
+      }
+    }
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(worker.shard_mutex);
+    worker.shard += delta;
+  }
+  for (const Completion& done : completions) {
+    fulfil(*done.request, done.price, target, done.from_cache);
+  }
+  for (auto& [request, error] : failures) {
+    fail(*request, error);
+  }
+}
+
+ServiceStats PricingService::stats() const {
+  ServiceStats total;
+  total.requests_submitted = submitted_.load();
+  // Merge in worker-index order; addition commutes, so totals are the same
+  // regardless of which worker served which request.
+  for (const auto& worker : workers_) {
+    const std::lock_guard<std::mutex> lock(worker->shard_mutex);
+    total += worker->shard;
+  }
+  return total;
+}
+
+std::size_t PricingService::queued_requests() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace binopt::core

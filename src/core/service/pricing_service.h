@@ -1,0 +1,192 @@
+// PricingService — asynchronous batched serving front-end over
+// PricingAccelerator.
+//
+// The paper's deployment story (Section I) is a request-batching problem:
+// a trader's 2000-option volatility curve is recomputed on every market
+// tick, and the accelerator only earns its throughput when the host keeps
+// it saturated with full batches. This service is the seam between "many
+// small concurrent quote requests" and "few large NDRange launches":
+//
+//   submit()/submit_batch()  futures for single quotes / whole curves
+//   micro-batcher            per-backend workers coalesce queued requests
+//                            into one accelerator run (up to max_batch,
+//                            lingering up to `linger` for stragglers)
+//   sharding                 one worker per configured Target backend, all
+//                            pulling from one FIFO — an oversized batch
+//                            naturally spreads across backends
+//   admission control        bounded queue; submitters block (backpressure)
+//                            when it is full; per-request timeouts expire
+//                            stale quotes instead of wasting device time
+//   result cache             LRU keyed by (quantized OptionSpec, steps,
+//                            target); repeat ticks become O(1) hits
+//
+// Prices are bit-identical to a direct PricingAccelerator::run of the same
+// options on the same target: batching only regroups per-option-independent
+// work, and cache hits replay exact previous results (asserted by
+// tests/core/test_pricing_service.cpp, including under ThreadSanitizer).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "core/accelerator.h"
+#include "core/service/quote_cache.h"
+#include "core/service/service_stats.h"
+#include "finance/option.h"
+
+namespace binopt::core {
+
+/// A request sat in the queue past its deadline.
+class ServiceTimeoutError : public Error {
+public:
+  explicit ServiceTimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// The service is shutting down and cannot accept (or finish admitting)
+/// the request.
+class ServiceShutdownError : public Error {
+public:
+  explicit ServiceShutdownError(const std::string& what) : Error(what) {}
+};
+
+/// Sentinel: no per-request deadline.
+inline constexpr std::chrono::milliseconds kNoTimeout{-1};
+
+struct ServiceConfig {
+  /// One worker (and one PricingAccelerator instance) per entry; repeat a
+  /// target to shard homogeneous load, mix targets to tier the fleet
+  /// (e.g. CPU reference + kernel A GPU + kernel B FPGA).
+  std::vector<Target> targets{Target::kCpuReference};
+  std::size_t steps = 1024;
+  /// Largest number of options coalesced into one accelerator run.
+  std::size_t max_batch = 256;
+  /// How long a worker holds a partial batch open for stragglers. 0 means
+  /// launch whatever is queued immediately.
+  std::chrono::microseconds linger{200};
+  /// Bounded admission queue (in options). Submitters block when full.
+  std::size_t queue_capacity = 8192;
+  /// Deadline applied when submit() is not given one explicitly.
+  /// kNoTimeout disables; 0 expires immediately (useful in tests).
+  std::chrono::milliseconds default_timeout = kNoTimeout;
+  /// LRU quote-cache entries; 0 disables caching.
+  std::size_t cache_capacity = 0;
+  /// Forwarded to every worker's PricingAccelerator (0 = device default).
+  std::size_t compute_units = 0;
+};
+
+/// Resolution of one single-quote request.
+struct Quote {
+  double price = 0.0;
+  Target target = Target::kCpuReference;  ///< backend that produced it
+  bool from_cache = false;
+};
+
+class PricingService {
+public:
+  explicit PricingService(ServiceConfig config);
+  /// Drains every admitted request (their futures all resolve), then joins
+  /// the workers. Submitters still blocked on backpressure receive
+  /// ServiceShutdownError.
+  ~PricingService();
+
+  PricingService(const PricingService&) = delete;
+  PricingService& operator=(const PricingService&) = delete;
+
+  /// Queues one quote request; the future resolves with the priced Quote,
+  /// or with ServiceTimeoutError / the accelerator's error. Blocks while
+  /// the admission queue is full. `timeout` overrides the config default.
+  std::future<Quote> submit(const finance::OptionSpec& spec);
+  std::future<Quote> submit(const finance::OptionSpec& spec,
+                            std::chrono::milliseconds timeout);
+
+  /// Queues a whole batch (e.g. one volatility curve); the future resolves
+  /// with the prices in input order once every element is priced, or with
+  /// the first element's error. Blocks while the queue is full.
+  std::future<std::vector<double>> submit_batch(
+      const std::vector<finance::OptionSpec>& specs);
+  std::future<std::vector<double>> submit_batch(
+      const std::vector<finance::OptionSpec>& specs,
+      std::chrono::milliseconds timeout);
+
+  /// Per-worker shards merged in worker-index order, plus the admission
+  /// counter. Safe to call while requests are in flight.
+  [[nodiscard]] service::ServiceStats stats() const;
+
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t queued_requests() const;
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+
+private:
+  /// Countdown state shared by the per-option requests of one
+  /// submit_batch call.
+  struct BatchState {
+    explicit BatchState(std::size_t n) : results(n, 0.0), remaining(n) {}
+    std::promise<std::vector<double>> promise;
+    std::vector<double> results;
+    std::atomic<std::size_t> remaining;
+    std::atomic<bool> failed{false};
+  };
+
+  /// One queued option: either a single-quote promise or one element of a
+  /// batch.
+  struct Request {
+    finance::OptionSpec spec;
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+    std::promise<Quote> single;
+    std::shared_ptr<BatchState> batch;  ///< null for single requests
+    std::size_t index = 0;              ///< position within the batch
+  };
+
+  /// One modelled backend: worker thread + stats shard. The accelerator
+  /// itself lives on the worker's stack (each backend owns its own
+  /// simulated platform, so workers never share device state).
+  struct Worker {
+    Target target = Target::kCpuReference;
+    std::thread thread;
+    mutable std::mutex shard_mutex;
+    service::ServiceStats shard;
+  };
+
+  static void fulfil(Request& request, double price, Target target,
+                     bool from_cache);
+  static void fail(Request& request, const std::exception_ptr& error);
+
+  [[nodiscard]] std::chrono::steady_clock::time_point deadline_for(
+      std::chrono::milliseconds timeout, bool& has_deadline) const;
+
+  /// Blocks until every request is admitted (backpressure). On shutdown
+  /// mid-admission, fails the unadmitted requests and throws.
+  void enqueue_requests(std::vector<Request>&& requests);
+
+  /// Pops up to max_batch requests, lingering for stragglers. Returns
+  /// false when the service is stopping and the queue is drained.
+  bool collect_batch(std::vector<Request>& out);
+
+  void worker_loop(std::size_t worker_index);
+  void process_batch(Worker& worker, PricingAccelerator& accelerator,
+                     std::vector<Request>& batch);
+
+  ServiceConfig config_;
+  service::QuoteCache cache_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> submitted_{0};
+};
+
+}  // namespace binopt::core

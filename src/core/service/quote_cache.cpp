@@ -1,0 +1,85 @@
+#include "core/service/quote_cache.h"
+
+#include <cmath>
+
+namespace binopt::core::service {
+
+namespace {
+
+/// 1e-9 absolute quantization grid. OptionSpec fields are economic
+/// magnitudes (prices ~1e2, rates/vols ~1e-1, maturities ~1e0), so the
+/// scaled values sit far inside int64 range; llround keeps ties stable.
+std::int64_t quantize(double x) { return std::llround(x * 1e9); }
+
+}  // namespace
+
+CacheKey CacheKey::from(const finance::OptionSpec& spec, std::size_t steps,
+                        Target target) {
+  CacheKey key;
+  key.spot = quantize(spec.spot);
+  key.strike = quantize(spec.strike);
+  key.rate = quantize(spec.rate);
+  key.dividend = quantize(spec.dividend);
+  key.volatility = quantize(spec.volatility);
+  key.maturity = quantize(spec.maturity);
+  key.type = static_cast<std::uint8_t>(spec.type);
+  key.style = static_cast<std::uint8_t>(spec.style);
+  key.steps = static_cast<std::uint32_t>(steps);
+  key.target = static_cast<std::uint8_t>(target);
+  return key;
+}
+
+std::size_t CacheKeyHash::operator()(const CacheKey& key) const noexcept {
+  // FNV-1a over the key's scalar fields.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(key.spot));
+  mix(static_cast<std::uint64_t>(key.strike));
+  mix(static_cast<std::uint64_t>(key.rate));
+  mix(static_cast<std::uint64_t>(key.dividend));
+  mix(static_cast<std::uint64_t>(key.volatility));
+  mix(static_cast<std::uint64_t>(key.maturity));
+  mix(static_cast<std::uint64_t>(key.type) |
+      static_cast<std::uint64_t>(key.style) << 8 |
+      static_cast<std::uint64_t>(key.target) << 16 |
+      static_cast<std::uint64_t>(key.steps) << 24);
+  return static_cast<std::size_t>(h);
+}
+
+std::optional<double> QuoteCache::lookup(const CacheKey& key) {
+  if (capacity_ == 0) return std::nullopt;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  order_.splice(order_.begin(), order_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+std::size_t QuoteCache::insert(const CacheKey& key, double price) {
+  if (capacity_ == 0) return 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = map_.find(key); it != map_.end()) {
+    it->second->second = price;
+    order_.splice(order_.begin(), order_, it->second);
+    return 0;
+  }
+  std::size_t evicted = 0;
+  if (order_.size() >= capacity_) {
+    map_.erase(order_.back().first);
+    order_.pop_back();
+    evicted = 1;
+  }
+  order_.emplace_front(key, price);
+  map_.emplace(key, order_.begin());
+  return evicted;
+}
+
+std::size_t QuoteCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return order_.size();
+}
+
+}  // namespace binopt::core::service

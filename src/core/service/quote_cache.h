@@ -1,0 +1,82 @@
+// LRU result cache for the PricingService.
+//
+// A volatility-curve front-end reprices the same (contract, market, depth,
+// target) points on every tick; caching the exact quote turns the repeat
+// traffic into O(1) lookups. Keys quantize the OptionSpec's floating-point
+// fields onto a 1e-9 absolute grid so that byte-wise float noise from
+// upstream serialisation cannot split identical requests across entries,
+// while any economically distinguishable contracts stay distinct. A hit
+// returns the exact double a PricingAccelerator::run produced for the same
+// (spec, steps, target), so cached quotes preserve the service's
+// bit-identical parity with direct runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "core/accelerator.h"
+#include "finance/option.h"
+
+namespace binopt::core::service {
+
+/// Quantized identity of a priced quote: OptionSpec fields scaled onto an
+/// integer grid plus the tree depth and the accelerator target (prices are
+/// target-specific — e.g. the FPGA approx-pow path must never serve a
+/// GPU-double request from cache).
+struct CacheKey {
+  std::int64_t spot = 0;
+  std::int64_t strike = 0;
+  std::int64_t rate = 0;
+  std::int64_t dividend = 0;
+  std::int64_t volatility = 0;
+  std::int64_t maturity = 0;
+  std::uint8_t type = 0;
+  std::uint8_t style = 0;
+  std::uint32_t steps = 0;
+  std::uint8_t target = 0;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+
+  /// Builds the key for one request. Quantization grid: 1e-9 absolute.
+  [[nodiscard]] static CacheKey from(const finance::OptionSpec& spec,
+                                     std::size_t steps, Target target);
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const noexcept;
+};
+
+/// Thread-safe LRU map CacheKey -> price. Capacity 0 disables every
+/// operation (lookup always misses, insert is a no-op), so the service can
+/// keep one unconditional code path.
+class QuoteCache {
+public:
+  explicit QuoteCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached price and refreshes the entry's recency, or
+  /// nullopt on a miss.
+  [[nodiscard]] std::optional<double> lookup(const CacheKey& key);
+
+  /// Inserts (or refreshes) an entry; returns the number of entries
+  /// evicted to make room (0 or 1).
+  std::size_t insert(const CacheKey& key, double price);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+
+private:
+  using Entry = std::pair<CacheKey, double>;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> order_;  ///< front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_;
+};
+
+}  // namespace binopt::core::service

@@ -1,0 +1,88 @@
+// Operational counters for the PricingService front-end.
+//
+// Mirrors the ocl::RuntimeStats scheme: the field set is an X-macro so
+// reset(), minus(), operator+= (the per-worker shard merge), equality and
+// the visitor all derive from ONE list. Each service worker accumulates
+// into a private shard (guarded by a per-worker mutex so stats() can read
+// mid-flight); stats() merges shards in worker-index order, and since every
+// counter is an unsigned sum the merged totals are independent of request
+// interleaving.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace binopt::core::service {
+
+/// The single source of truth for every ServiceStats counter.
+///   Admission: requests accepted into the bounded queue.
+///   Outcomes: exactly one of completed / timed_out / failed per request.
+///   Cache: LRU quote-cache hits, misses, and evictions.
+///   Batching: NDRange-sized launches actually sent to an accelerator and
+///   the options they carried (occupancy = options_priced / slots).
+#define BINOPT_SERVICE_STATS_COUNTERS(X) \
+  X(requests_submitted)                  \
+  X(requests_completed)                  \
+  X(requests_timed_out)                  \
+  X(requests_failed)                     \
+  X(cache_hits)                          \
+  X(cache_misses)                        \
+  X(cache_evictions)                     \
+  X(batches_launched)                    \
+  X(options_priced)
+
+struct ServiceStats {
+#define BINOPT_SERVICE_STATS_DECLARE(field) std::uint64_t field = 0;
+  BINOPT_SERVICE_STATS_COUNTERS(BINOPT_SERVICE_STATS_DECLARE)
+#undef BINOPT_SERVICE_STATS_DECLARE
+
+  void reset() { *this = ServiceStats{}; }
+
+  /// Counter-wise difference (per-interval deltas of cumulative counters).
+  [[nodiscard]] ServiceStats minus(const ServiceStats& earlier) const {
+    ServiceStats d;
+#define BINOPT_SERVICE_STATS_MINUS(field) d.field = field - earlier.field;
+    BINOPT_SERVICE_STATS_COUNTERS(BINOPT_SERVICE_STATS_MINUS)
+#undef BINOPT_SERVICE_STATS_MINUS
+    return d;
+  }
+
+  /// Counter-wise accumulation — how per-worker shards merge into the
+  /// service totals. Unsigned addition commutes, so the merged totals do
+  /// not depend on which worker served which request.
+  ServiceStats& operator+=(const ServiceStats& shard) {
+#define BINOPT_SERVICE_STATS_ADD(field) field += shard.field;
+    BINOPT_SERVICE_STATS_COUNTERS(BINOPT_SERVICE_STATS_ADD)
+#undef BINOPT_SERVICE_STATS_ADD
+    return *this;
+  }
+
+  friend bool operator==(const ServiceStats&, const ServiceStats&) = default;
+
+  /// Visits every counter as (name, value); keeps tests honest about the
+  /// field list and the derived arithmetic never drifting apart.
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) const {
+#define BINOPT_SERVICE_STATS_VISIT(field) fn(#field, field);
+    BINOPT_SERVICE_STATS_COUNTERS(BINOPT_SERVICE_STATS_VISIT)
+#undef BINOPT_SERVICE_STATS_VISIT
+  }
+
+  /// Fraction of cache lookups that hit (0 when the cache is unused).
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::uint64_t lookups = cache_hits + cache_misses;
+    return lookups ? static_cast<double>(cache_hits) /
+                         static_cast<double>(lookups)
+                   : 0.0;
+  }
+
+  /// Mean fill of launched batches relative to the configured max_batch.
+  [[nodiscard]] double batch_occupancy(std::size_t max_batch) const {
+    const std::uint64_t slots = batches_launched * max_batch;
+    return slots ? static_cast<double>(options_priced) /
+                       static_cast<double>(slots)
+                 : 0.0;
+  }
+};
+
+}  // namespace binopt::core::service

@@ -1,6 +1,8 @@
 #include "ocl/cu_scheduler.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <string>
 
@@ -10,11 +12,27 @@ namespace binopt::ocl {
 
 std::size_t resolve_compute_units(std::size_t limit_value) {
   if (const char* env = std::getenv("BINOPT_OCL_COMPUTE_UNITS")) {
+    // strtoul quietly wraps negative input ("-1" -> ULONG_MAX) and signals
+    // overflow only through errno, so a bare `parsed >= 1` check would
+    // accept both and try to spawn an absurd worker count. Require a pure
+    // digit string (no sign, no whitespace), check errno, and cap at
+    // kMaxComputeUnits.
+    const bool digits_only =
+        *env != '\0' &&
+        [env] {
+          for (const char* p = env; *p != '\0'; ++p) {
+            if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+          }
+          return true;
+        }();
+    errno = 0;
     char* end = nullptr;
     const unsigned long parsed = std::strtoul(env, &end, 10);
-    BINOPT_REQUIRE(end != env && *end == '\0' && parsed >= 1,
-                   "BINOPT_OCL_COMPUTE_UNITS must be a positive integer, "
-                   "got '", env, "'");
+    BINOPT_REQUIRE(digits_only && end != env && *end == '\0' &&
+                       errno != ERANGE && parsed >= 1 &&
+                       parsed <= kMaxComputeUnits,
+                   "BINOPT_OCL_COMPUTE_UNITS must be an unsigned integer in "
+                   "[1, ", kMaxComputeUnits, "], got '", env, "'");
     return static_cast<std::size_t>(parsed);
   }
   if (limit_value >= 1) return limit_value;

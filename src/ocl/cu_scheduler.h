@@ -110,10 +110,16 @@ private:
   std::size_t error_group_ = 0;
 };
 
+/// Hard ceiling on the modelled compute-unit count: far above any device
+/// this repo models, low enough that a mis-set environment variable can
+/// never ask the host for millions of worker threads.
+inline constexpr std::size_t kMaxComputeUnits = 1024;
+
 /// Resolves the number of compute units a device should schedule with:
 /// the BINOPT_OCL_COMPUTE_UNITS environment variable when set (debug knob,
-/// beats everything), otherwise an explicit DeviceLimits value, otherwise
-/// the host's hardware concurrency (never less than 1).
+/// beats everything; must be a pure digit string in [1, kMaxComputeUnits]),
+/// otherwise an explicit DeviceLimits value, otherwise the host's hardware
+/// concurrency (never less than 1).
 [[nodiscard]] std::size_t resolve_compute_units(std::size_t limit_value);
 
 }  // namespace binopt::ocl

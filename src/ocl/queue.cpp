@@ -31,9 +31,20 @@ void CommandQueue::finish() {
   // In-order execution of everything enqueued since the last finish; each
   // pending entry carries its event's index, so completion marking is O(1)
   // per command instead of a scan of the whole event log.
-  for (auto& [event_index, action] : pending_) {
-    action();
-    events_[event_index].completed = true;
+  //
+  // Exception safety: a throwing command must not leave the queue poisoned.
+  // Commands that already ran stay marked completed; the failing command
+  // and everything after it are dropped (their events stay incomplete, as
+  // with a real device abort) so the next finish() cannot re-execute the
+  // failed command or double-count the successful ones.
+  try {
+    for (auto& [event_index, action] : pending_) {
+      action();
+      events_[event_index].completed = true;
+    }
+  } catch (...) {
+    pending_.clear();
+    throw;
   }
   pending_.clear();
 }

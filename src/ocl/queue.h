@@ -65,7 +65,10 @@ public:
                          NDRange range);
 
   /// clFinish — executes all pending commands (deferred mode) or is a
-  /// fidelity no-op (immediate mode).
+  /// fidelity no-op (immediate mode). If a command throws, commands that
+  /// already ran stay completed, the failing command and its successors
+  /// are dropped (events left incomplete), the error propagates, and the
+  /// queue remains usable for new enqueues.
   void finish();
 
   [[nodiscard]] QueueMode mode() const { return mode_; }

@@ -56,6 +56,24 @@ TEST(OnlineStats, MatchesBatchSummary) {
   EXPECT_NEAR(s.sum(), 5.0, 1e-12);
 }
 
+TEST(OnlineStats, SampleVarianceHandComputed) {
+  // xs = {2,4,4,4,5,5,7,9}: mean 5, sum of squared deviations 32.
+  // Sample variance is 32/7; the old population divisor gave 32/8 = 4,
+  // understating the stddev benchmarks report for small repetition counts.
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(OnlineStats, TwoValuesUseSampleDivisor) {
+  OnlineStats s;
+  s.add(1.0);
+  s.add(3.0);
+  // Deviations ±1 -> m2 = 2; sample variance 2/(2-1) = 2 (population: 1).
+  EXPECT_NEAR(s.variance(), 2.0, 1e-12);
+}
+
 TEST(OnlineStats, EmptyIsSafe) {
   const OnlineStats s;
   EXPECT_EQ(s.count(), 0u);

@@ -1,0 +1,330 @@
+// PricingService behaviour: bit-identical parity with direct
+// PricingAccelerator runs (also under sharding and caching), cache-hit
+// determinism, per-request timeouts, backpressure under concurrent
+// submitters, shard-merged stats, and drain-on-destruction. test_core is
+// part of the ThreadSanitizer CI job, so every test here is also a race
+// check of the service's queue/worker/cache machinery.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/accelerator.h"
+#include "core/service/pricing_service.h"
+#include "finance/workload.h"
+
+namespace binopt::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::size_t kSteps = 64;
+
+ServiceConfig small_config(Target target, std::size_t workers = 1) {
+  ServiceConfig config;
+  config.targets.assign(workers, target);
+  config.steps = kSteps;
+  config.max_batch = 16;
+  config.linger = 0us;
+  return config;
+}
+
+std::vector<double> direct_prices(Target target,
+                                  const std::vector<finance::OptionSpec>& batch) {
+  PricingAccelerator accelerator({target, kSteps, /*compute_rmse=*/false});
+  return accelerator.run(batch).prices;
+}
+
+// --- Parity -------------------------------------------------------------
+
+TEST(PricingService, SingleQuoteMatchesDirectRunBitwise) {
+  const auto batch = finance::make_smoke_batch();
+  const std::vector<double> expected = direct_prices(Target::kCpuReference, batch);
+
+  PricingService service(small_config(Target::kCpuReference));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Quote quote = service.submit(batch[i]).get();
+    EXPECT_EQ(quote.price, expected[i]);  // bitwise-equal doubles
+    EXPECT_EQ(quote.target, Target::kCpuReference);
+    EXPECT_FALSE(quote.from_cache);
+  }
+}
+
+TEST(PricingService, ShardedBatchParityOnEveryKernelFamily) {
+  // 3 homogeneous workers, max_batch 16, 48 options: the curve is forced
+  // through multiple shards on multiple backends, and every price must
+  // still equal the one direct run of the whole batch.
+  const auto batch = finance::make_curve_batch(48);
+  for (const Target target :
+       {Target::kCpuReference, Target::kFpgaKernelB, Target::kGpuKernelA}) {
+    SCOPED_TRACE(to_string(target));
+    const std::vector<double> expected = direct_prices(target, batch);
+
+    PricingService service(small_config(target, /*workers=*/3));
+    const std::vector<double> got = service.submit_batch(batch).get();
+    EXPECT_EQ(got, expected);
+
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.options_priced, batch.size());
+    EXPECT_GE(stats.batches_launched, batch.size() / service.config().max_batch);
+  }
+}
+
+TEST(PricingService, CachedRepriceStaysBitIdentical) {
+  // Same curve submitted twice with the cache on: the second pass is
+  // served from cache and must reproduce the first pass exactly.
+  const auto batch = finance::make_curve_batch(24);
+  ServiceConfig config = small_config(Target::kFpgaKernelB);
+  config.cache_capacity = 64;
+  PricingService service(config);
+
+  const std::vector<double> first = service.submit_batch(batch).get();
+  const std::vector<double> second = service.submit_batch(batch).get();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, direct_prices(Target::kFpgaKernelB, batch));
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, batch.size());    // whole second pass
+  EXPECT_EQ(stats.cache_misses, batch.size());  // whole first pass
+  EXPECT_EQ(stats.options_priced, batch.size());  // priced only once
+}
+
+// --- Cache --------------------------------------------------------------
+
+TEST(PricingService, CacheHitDeterminism) {
+  ServiceConfig config = small_config(Target::kCpuReference);
+  config.cache_capacity = 8;
+  PricingService service(config);
+
+  finance::OptionSpec spec;
+  const Quote miss = service.submit(spec).get();
+  const Quote hit = service.submit(spec).get();
+  EXPECT_FALSE(miss.from_cache);
+  EXPECT_TRUE(hit.from_cache);
+  EXPECT_EQ(hit.price, miss.price);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.batches_launched, 1u);
+  EXPECT_EQ(service.cache_size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.cache_hit_rate(), 0.5);
+}
+
+TEST(PricingService, CacheEvictsLeastRecentlyUsed) {
+  ServiceConfig config = small_config(Target::kCpuReference);
+  config.cache_capacity = 2;
+  PricingService service(config);
+
+  auto spec_with_strike = [](double strike) {
+    finance::OptionSpec spec;
+    spec.strike = strike;
+    return spec;
+  };
+  (void)service.submit(spec_with_strike(90.0)).get();
+  (void)service.submit(spec_with_strike(100.0)).get();
+  (void)service.submit(spec_with_strike(110.0)).get();  // evicts strike 90
+  EXPECT_EQ(service.cache_size(), 2u);
+  EXPECT_EQ(service.stats().cache_evictions, 1u);
+
+  const Quote again = service.submit(spec_with_strike(90.0)).get();
+  EXPECT_FALSE(again.from_cache);  // was evicted, repriced
+}
+
+TEST(PricingService, CacheKeySeparatesTargetsAndQuantizes) {
+  finance::OptionSpec spec;
+  const auto key_cpu =
+      service::CacheKey::from(spec, kSteps, Target::kCpuReference);
+  const auto key_fpga =
+      service::CacheKey::from(spec, kSteps, Target::kFpgaKernelB);
+  EXPECT_FALSE(key_cpu == key_fpga);
+
+  finance::OptionSpec nudged = spec;
+  nudged.strike += 1e-12;  // below the 1e-9 grid: same key
+  EXPECT_EQ(service::CacheKey::from(nudged, kSteps, Target::kCpuReference),
+            key_cpu);
+  nudged.strike += 1e-6;  // above the grid: distinct key
+  EXPECT_FALSE(service::CacheKey::from(nudged, kSteps,
+                                       Target::kCpuReference) == key_cpu);
+}
+
+// --- Timeouts -----------------------------------------------------------
+
+TEST(PricingService, ZeroTimeoutExpiresBeforePricing) {
+  ServiceConfig config = small_config(Target::kCpuReference);
+  config.linger = 2000us;  // hold the batch open past the deadline
+  PricingService service(config);
+
+  auto expired = service.submit(finance::OptionSpec{}, 0ms);
+  EXPECT_THROW((void)expired.get(), ServiceTimeoutError);
+  EXPECT_EQ(service.stats().requests_timed_out, 1u);
+}
+
+TEST(PricingService, TimeoutOnlyHitsExpiredRequests) {
+  ServiceConfig config = small_config(Target::kCpuReference);
+  config.linger = 2000us;
+  PricingService service(config);
+
+  auto expired = service.submit(finance::OptionSpec{}, 0ms);
+  auto healthy = service.submit(finance::OptionSpec{});  // no deadline
+  EXPECT_THROW((void)expired.get(), ServiceTimeoutError);
+  EXPECT_GT(healthy.get().price, 0.0);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests_timed_out, 1u);
+  EXPECT_EQ(stats.requests_completed, 1u);
+  EXPECT_EQ(stats.requests_submitted, 2u);
+}
+
+TEST(PricingService, BatchTimeoutFailsWholeCurveFuture) {
+  ServiceConfig config = small_config(Target::kCpuReference);
+  config.linger = 2000us;
+  PricingService service(config);
+
+  const auto batch = finance::make_curve_batch(8);
+  auto future = service.submit_batch(batch, 0ms);
+  EXPECT_THROW((void)future.get(), ServiceTimeoutError);
+  EXPECT_EQ(service.stats().requests_timed_out, batch.size());
+}
+
+// --- Backpressure & concurrency (TSan-covered) --------------------------
+
+TEST(PricingService, BackpressureBoundsAdmissionQueue) {
+  ServiceConfig config = small_config(Target::kCpuReference, /*workers=*/2);
+  config.queue_capacity = 4;
+  config.max_batch = 2;
+  PricingService service(config);
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 32;
+  std::vector<std::thread> submitters;
+  std::atomic<std::size_t> completed{0};
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&service, &completed] {
+      finance::OptionSpec spec;
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        spec.strike = 80.0 + static_cast<double>(i);
+        if (service.submit(spec).get().price > 0.0) ++completed;
+      }
+    });
+  }
+  // The bound must hold at every instant while submitters outpace pricing.
+  for (int poll = 0; poll < 50; ++poll) {
+    EXPECT_LE(service.queued_requests(), config.queue_capacity);
+    std::this_thread::sleep_for(100us);
+  }
+  for (auto& thread : submitters) thread.join();
+  EXPECT_EQ(completed.load(), kThreads * kPerThread);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests_submitted, kThreads * kPerThread);
+  EXPECT_EQ(stats.requests_completed, kThreads * kPerThread);
+  EXPECT_EQ(stats.requests_failed, 0u);
+}
+
+TEST(PricingService, ConcurrentSubmitterParityWithShardingAndCache) {
+  // The acceptance gate: >= 4 concurrent submitters, sharding across 2
+  // backends, cache enabled — every returned price bit-identical to one
+  // direct accelerator run of the full curve.
+  const auto curve = finance::make_curve_batch(64);
+  const std::vector<double> expected =
+      direct_prices(Target::kCpuReference, curve);
+
+  ServiceConfig config = small_config(Target::kCpuReference, /*workers=*/2);
+  config.cache_capacity = 128;
+  config.linger = 100us;
+  PricingService service(config);
+
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::thread> submitters;
+  std::vector<int> mismatches(kThreads, 0);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      // Overlapping slices: every thread reprices a stride of the curve,
+      // so cache hits and fresh pricings interleave across submitters.
+      for (std::size_t i = t % 2; i < curve.size(); i += 2) {
+        const Quote quote = service.submit(curve[i]).get();
+        if (quote.price != expected[i]) ++mismatches[t];
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "submitter " << t;
+  }
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests_submitted, 2u * curve.size());
+  EXPECT_EQ(stats.requests_completed, 2u * curve.size());
+  // Every curve point was priced at least once; overlap came from cache.
+  EXPECT_GE(stats.cache_hits + stats.options_priced, 2u * curve.size());
+}
+
+TEST(PricingService, DestructorDrainsAdmittedRequests) {
+  std::future<std::vector<double>> future;
+  const auto batch = finance::make_curve_batch(12);
+  {
+    ServiceConfig config = small_config(Target::kCpuReference);
+    config.linger = 5000us;  // destructor must cut the linger short
+    PricingService service(config);
+    future = service.submit_batch(batch);
+  }
+  // Admitted work resolves even though the service is gone.
+  EXPECT_EQ(future.get().size(), batch.size());
+}
+
+// --- Stats plumbing -----------------------------------------------------
+
+TEST(ServiceStats, MergeMinusAndVisitorAgree) {
+  service::ServiceStats a;
+  a.requests_completed = 5;
+  a.cache_hits = 2;
+  service::ServiceStats b;
+  b.requests_completed = 7;
+  b.batches_launched = 3;
+
+  service::ServiceStats sum = a;
+  sum += b;
+  EXPECT_EQ(sum.requests_completed, 12u);
+  EXPECT_EQ(sum.minus(a), b);
+
+  std::uint64_t visited_total = 0;
+  std::size_t fields = 0;
+  sum.for_each_counter([&](const char*, std::uint64_t v) {
+    visited_total += v;
+    ++fields;
+  });
+  EXPECT_EQ(visited_total, 12u + 2u + 3u);
+  EXPECT_EQ(fields, 9u);  // the X-macro list
+}
+
+TEST(ServiceStats, OccupancyAndHitRateHelpers) {
+  service::ServiceStats stats;
+  EXPECT_DOUBLE_EQ(stats.batch_occupancy(16), 0.0);
+  EXPECT_DOUBLE_EQ(stats.cache_hit_rate(), 0.0);
+  stats.batches_launched = 2;
+  stats.options_priced = 24;
+  EXPECT_DOUBLE_EQ(stats.batch_occupancy(16), 0.75);
+}
+
+TEST(PricingService, EmptyBatchResolvesImmediately) {
+  PricingService service(small_config(Target::kCpuReference));
+  auto future = service.submit_batch({});
+  EXPECT_TRUE(future.get().empty());
+}
+
+TEST(PricingService, RejectsInvalidConfigAndSpecs) {
+  ServiceConfig no_targets;
+  no_targets.targets.clear();
+  EXPECT_THROW(PricingService{no_targets}, PreconditionError);
+
+  PricingService service(small_config(Target::kCpuReference));
+  finance::OptionSpec bad;
+  bad.volatility = -1.0;
+  EXPECT_THROW((void)service.submit(bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace binopt::core

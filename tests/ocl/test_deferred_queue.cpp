@@ -3,6 +3,7 @@
 // memory operations with kernel batches.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "ocl/context.h"
@@ -104,6 +105,90 @@ TEST_F(DeferredQueueTest, ClearEventsRefusesWhilePending) {
   queue_.write<double>(buffer, data);
   EXPECT_THROW(queue_.clear_events(), PreconditionError);
   queue_.finish();
+  EXPECT_NO_THROW(queue_.clear_events());
+}
+
+// --- Failure path: a throwing deferred command must not poison the queue.
+
+TEST_F(DeferredQueueTest, ThrowingCommandDrainsQueueAndMarksPrefix) {
+  Buffer& buffer =
+      context_.create_buffer_of<double>(4, MemFlags::kReadWrite, "b");
+  const std::vector<double> first{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> second{9.0, 9.0, 9.0, 9.0};
+
+  Kernel bad;
+  bad.name = "thrower";
+  bad.uses_barriers = false;
+  bad.body = [](WorkItemCtx&, const KernelArgs&) {
+    throw InvariantError("deferred boom");
+  };
+
+  queue_.write<double>(buffer, first);                   // event 0: succeeds
+  queue_.enqueue_ndrange(bad, KernelArgs{}, NDRange{4, 4});  // event 1: throws
+  queue_.write<double>(buffer, second);                  // event 2: never runs
+  EXPECT_EQ(queue_.pending_commands(), 3u);
+
+  EXPECT_THROW(queue_.finish(), InvariantError);
+
+  // Drained, not stuck: nothing pending, and `completed` flags reflect
+  // exactly what executed — the prefix before the failure.
+  EXPECT_EQ(queue_.pending_commands(), 0u);
+  EXPECT_TRUE(queue_.events()[0].completed);
+  EXPECT_FALSE(queue_.events()[1].completed);
+  EXPECT_FALSE(queue_.events()[2].completed);
+  // The write after the failure was dropped, so only `first` moved.
+  EXPECT_EQ(device_.stats().host_to_device_bytes, 32u);
+}
+
+TEST_F(DeferredQueueTest, NoDoubleExecutionOnNextFinish) {
+  Buffer& buffer =
+      context_.create_buffer_of<double>(1, MemFlags::kReadWrite, "b");
+  const std::vector<double> data{5.0};
+
+  Kernel bad;
+  bad.name = "thrower";
+  bad.uses_barriers = false;
+  bad.body = [](WorkItemCtx&, const KernelArgs&) {
+    throw InvariantError("deferred boom");
+  };
+
+  queue_.write<double>(buffer, data);
+  queue_.enqueue_ndrange(bad, KernelArgs{}, NDRange{1, 1});
+  EXPECT_THROW(queue_.finish(), InvariantError);
+  const std::uint64_t bytes_after_failure =
+      device_.stats().host_to_device_bytes;
+  const std::uint64_t kernels_after_failure =
+      device_.stats().kernels_enqueued;
+
+  // A second finish() must be a no-op: the failed command must not be
+  // retried and the successful write must not execute twice.
+  EXPECT_NO_THROW(queue_.finish());
+  EXPECT_EQ(device_.stats().host_to_device_bytes, bytes_after_failure);
+  EXPECT_EQ(device_.stats().kernels_enqueued, kernels_after_failure);
+}
+
+TEST_F(DeferredQueueTest, QueueReusableAfterFailedFinish) {
+  Buffer& buffer =
+      context_.create_buffer_of<double>(2, MemFlags::kReadWrite, "b");
+  const std::vector<double> data{7.0, 8.0};
+
+  Kernel bad;
+  bad.name = "thrower";
+  bad.uses_barriers = false;
+  bad.body = [](WorkItemCtx&, const KernelArgs&) {
+    throw InvariantError("deferred boom");
+  };
+  queue_.enqueue_ndrange(bad, KernelArgs{}, NDRange{2, 2});
+  EXPECT_THROW(queue_.finish(), InvariantError);
+
+  // Fresh commands enqueue and run normally on the same queue.
+  queue_.write<double>(buffer, data);
+  std::vector<double> out(2, 0.0);
+  queue_.read<double>(buffer, out);
+  queue_.finish();
+  EXPECT_DOUBLE_EQ(out[0], 7.0);
+  EXPECT_DOUBLE_EQ(out[1], 8.0);
+  // And clear_events() works again once nothing is pending.
   EXPECT_NO_THROW(queue_.clear_events());
 }
 

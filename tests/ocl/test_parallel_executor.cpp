@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "finance/workload.h"
@@ -57,6 +58,36 @@ TEST(ComputeUnitResolution, EnvVarBeatsLimits) {
 TEST(ComputeUnitResolution, MalformedEnvVarThrows) {
   ScopedComputeUnitsEnv env("not-a-number");
   EXPECT_THROW(make_device(0), PreconditionError);
+}
+
+TEST(ComputeUnitResolution, NegativeEnvVarRejectedNotWrapped) {
+  // strtoul would wrap "-1" to ULONG_MAX, sail past the `>= 1` check, and
+  // ask the scheduler for ~1.8e19 worker threads. Must throw instead.
+  ScopedComputeUnitsEnv env("-1");
+  EXPECT_THROW((void)resolve_compute_units(0), PreconditionError);
+}
+
+TEST(ComputeUnitResolution, ExplicitSignRejected) {
+  ScopedComputeUnitsEnv env("+4");
+  EXPECT_THROW((void)resolve_compute_units(0), PreconditionError);
+}
+
+TEST(ComputeUnitResolution, OverflowingEnvVarRejected) {
+  // 2^64 * 10-ish: strtoul saturates to ULONG_MAX and only reports the
+  // overflow through errno == ERANGE, which must not be swallowed.
+  ScopedComputeUnitsEnv env("184467440737095516160");
+  EXPECT_THROW((void)resolve_compute_units(0), PreconditionError);
+}
+
+TEST(ComputeUnitResolution, AboveSaneMaximumRejected) {
+  ScopedComputeUnitsEnv env("1000000");
+  EXPECT_THROW((void)resolve_compute_units(0), PreconditionError);
+}
+
+TEST(ComputeUnitResolution, MaximumItselfAccepted) {
+  const std::string max = std::to_string(kMaxComputeUnits);
+  ScopedComputeUnitsEnv env(max.c_str());
+  EXPECT_EQ(resolve_compute_units(0), kMaxComputeUnits);
 }
 
 TEST(ComputeUnitResolution, ApiOverrideBeatsEverything) {

@@ -14,14 +14,23 @@
 // hazard analyzer (shadow-memory race/out-of-bounds/uninitialized-read
 // detection, see src/ocl/analyzer/) plus the static IR lint, and exits
 // non-zero if any diagnostic fires.
+//
+// `binopt_cli serve-bench` drives a volatility-curve workload through the
+// async PricingService (concurrent submitters, micro-batching, quote
+// cache) and exits non-zero if any served price differs bitwise from a
+// direct PricingAccelerator run of the same curve.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/accelerator.h"
+#include "core/service/pricing_service.h"
 #include "finance/option.h"
 #include "finance/workload.h"
 #include "kernels/ir_builders.h"
@@ -51,7 +60,104 @@ void print_usage() {
       "  --check            run the kernel hazard analyzer + static IR\n"
       "                     lint over both paper kernels and exit non-zero\n"
       "                     on any diagnostic (--steps selects tree depth)\n"
-      "  --help             this text\n");
+      "  --help             this text\n"
+      "\n"
+      "subcommand: binopt_cli serve-bench [flags]\n"
+      "  Drives a volatility-curve workload through the async\n"
+      "  PricingService and checks every served price bitwise against a\n"
+      "  direct accelerator run. Exits non-zero on any mismatch.\n"
+      "  --options <N>      curve size             (default 2000)\n"
+      "  --steps <N>        tree steps             (default 256)\n"
+      "  --target <name>    accelerator target     (default cpu reference)\n"
+      "  --workers <N>      backend worker count   (default min(2, cores))\n"
+      "  --submitters <N>   client threads         (default 4)\n"
+      "  --max-batch <N>    micro-batch ceiling    (default 256)\n"
+      "  --linger-us <N>    batch linger window    (default 200)\n"
+      "  --cache <N>        quote-cache capacity   (default 4096)\n");
+}
+
+/// The serve-bench mode: price one volatility curve three ways — directly
+/// on the accelerator (the parity reference), through the service from
+/// concurrent submitter threads, and again as one batch to replay the
+/// cache — then print throughput and service counters.
+int run_serve_bench(std::size_t num_options, std::size_t steps,
+                    core::Target target, std::size_t workers,
+                    std::size_t submitters, std::size_t max_batch,
+                    std::size_t linger_us, std::size_t cache_capacity) {
+  using Clock = std::chrono::steady_clock;
+  const auto curve = finance::make_curve_batch(num_options);
+
+  core::PricingAccelerator direct({target, steps, /*compute_rmse=*/false});
+  const std::vector<double> reference = direct.run(curve).prices;
+
+  core::ServiceConfig config;
+  config.targets.assign(workers, target);
+  config.steps = steps;
+  config.max_batch = max_batch;
+  config.linger = std::chrono::microseconds{linger_us};
+  config.cache_capacity = cache_capacity;
+  core::PricingService service(config);
+
+  std::printf("serve-bench: %zu options, %zu steps, target %s\n",
+              num_options, steps, core::to_string(target).c_str());
+  std::printf("  %zu worker(s), %zu submitter(s), max_batch %zu, "
+              "linger %zu us, cache %zu\n",
+              workers, submitters, max_batch, linger_us, cache_capacity);
+
+  // Pass 1: concurrent submitters stream disjoint slices of the curve as
+  // single-quote submissions — the micro-batcher has to reassemble them.
+  std::vector<double> served(curve.size());
+  const auto cold_start = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(submitters);
+    for (std::size_t t = 0; t < submitters; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = t; i < curve.size(); i += submitters) {
+          served[i] = service.submit(curve[i]).get().price;
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  const double cold_s =
+      std::chrono::duration<double>(Clock::now() - cold_start).count();
+
+  // Pass 2: the whole curve as one batch on the next "tick" — every quote
+  // should now replay from the cache (when the cache is enabled).
+  const auto warm_start = Clock::now();
+  const std::vector<double> warm = service.submit_batch(curve).get();
+  const double warm_s =
+      std::chrono::duration<double>(Clock::now() - warm_start).count();
+
+  const auto stats = service.stats();
+  std::printf("  cold pass : %10.1f options/s (%.3f s)\n",
+              static_cast<double>(curve.size()) / cold_s, cold_s);
+  std::printf("  warm pass : %10.1f options/s (%.3f s)\n",
+              static_cast<double>(curve.size()) / warm_s, warm_s);
+  std::printf("  batches   : %llu launched, occupancy %.1f%%\n",
+              static_cast<unsigned long long>(stats.batches_launched),
+              100.0 * stats.batch_occupancy(config.max_batch));
+  std::printf("  cache     : %llu hits / %llu misses (%.1f%% hit rate)\n",
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses),
+              100.0 * stats.cache_hit_rate());
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (served[i] != reference[i] || warm[i] != reference[i]) ++mismatches;
+  }
+  if (mismatches != 0) {
+    std::fprintf(stderr,
+                 "serve-bench FAILED: %zu of %zu prices differ from the "
+                 "direct accelerator run\n",
+                 mismatches, curve.size());
+    return 1;
+  }
+  std::printf("serve-bench passed: %zu prices bit-identical to the direct "
+              "run on both passes\n",
+              curve.size());
+  return 0;
 }
 
 /// The --check mode: execute kernels IV.A and IV.B under the shadow-memory
@@ -126,9 +232,74 @@ double parse_double(const char* flag, const char* value) {
   return parsed;
 }
 
+std::size_t parse_size(const char* flag, const char* value) {
+  const double parsed = parse_double(flag, value);
+  if (parsed < 0 || parsed != static_cast<double>(
+                                  static_cast<std::size_t>(parsed))) {
+    fail(std::string("expected a non-negative integer for ") + flag + ": " +
+         value);
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+int main_serve_bench(int argc, char** argv) {
+  std::size_t num_options = 2000;
+  std::size_t steps = 256;
+  std::size_t workers = std::max<std::size_t>(
+      1, std::min<std::size_t>(2, std::thread::hardware_concurrency()));
+  std::size_t submitters = 4;
+  std::size_t max_batch = 256;
+  std::size_t linger_us = 200;
+  std::size_t cache_capacity = 4096;
+  core::Target target = core::Target::kCpuReference;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help") {
+      print_usage();
+      return 0;
+    }
+    if (i + 1 >= argc) fail("missing value for " + flag);
+    const char* value = argv[++i];
+    if (flag == "--options") num_options = parse_size("--options", value);
+    else if (flag == "--steps") steps = parse_size("--steps", value);
+    else if (flag == "--workers") workers = parse_size("--workers", value);
+    else if (flag == "--submitters") {
+      submitters = parse_size("--submitters", value);
+    } else if (flag == "--max-batch") {
+      max_batch = parse_size("--max-batch", value);
+    } else if (flag == "--linger-us") {
+      linger_us = parse_size("--linger-us", value);
+    } else if (flag == "--cache") {
+      cache_capacity = parse_size("--cache", value);
+    } else if (flag == "--target") {
+      if (!parse_target(value, target)) {
+        fail(std::string("unknown target '") + value +
+             "' (try --list-targets)");
+      }
+    } else {
+      fail("unknown serve-bench flag " + flag + " (try --help)");
+    }
+  }
+  if (num_options == 0) fail("--options must be >= 1");
+  if (submitters == 0) fail("--submitters must be >= 1");
+  if (workers == 0) fail("--workers must be >= 1");
+
+  try {
+    return run_serve_bench(num_options, steps, target, workers, submitters,
+                           max_batch, linger_us, cache_capacity);
+  } catch (const Error& e) {
+    fail(e.what());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "serve-bench") == 0) {
+    return main_serve_bench(argc, argv);
+  }
+
   finance::OptionSpec spec;
   std::size_t steps = 1024;
   bool steps_given = false;
