@@ -145,10 +145,21 @@ int main(int argc, char** argv) {
   std::printf("batches launched       : %llu (occupancy %.1f%%)\n",
               static_cast<unsigned long long>(stats.batches_launched),
               100.0 * occupancy);
-  std::printf("cache                  : %llu hits / %llu misses (%.1f%% hit rate)\n\n",
+  std::printf("cache                  : %llu hits / %llu misses (%.1f%% hit rate)\n",
               static_cast<unsigned long long>(stats.cache_hits),
               static_cast<unsigned long long>(stats.cache_misses),
               100.0 * stats.cache_hit_rate());
+  std::printf("request latency        : p50 %.3f ms, p95 %.3f ms, "
+              "p99 %.3f ms (mean %.3f ms)\n",
+              stats.request_latency_ns.p50() / 1e6,
+              stats.request_latency_ns.p95() / 1e6,
+              stats.request_latency_ns.p99() / 1e6,
+              stats.request_latency_ns.mean() / 1e6);
+  std::printf("queue wait             : p50 %.3f ms, p95 %.3f ms, "
+              "p99 %.3f ms\n\n",
+              stats.queue_wait_ns.p50() / 1e6,
+              stats.queue_wait_ns.p95() / 1e6,
+              stats.queue_wait_ns.p99() / 1e6);
 
   std::printf(
       "{\"benchmark\":\"service_throughput\",\"target\":\"%s\","
@@ -156,10 +167,18 @@ int main(int argc, char** argv) {
       "\"options_per_second\":%.1f,\"baseline_options_per_second\":%.1f,"
       "\"speedup_vs_baseline\":%.3f,\"direct_options_per_second\":%.1f,"
       "\"warm_options_per_second\":%.1f,"
-      "\"cache_hit_rate\":%.4f,\"batch_occupancy\":%.4f}\n",
+      "\"cache_hit_rate\":%.4f,\"batch_occupancy\":%.4f,"
+      "\"latency_p50_ms\":%.4f,\"latency_p95_ms\":%.4f,"
+      "\"latency_p99_ms\":%.4f,\"latency_mean_ms\":%.4f,"
+      "\"queue_wait_p99_ms\":%.4f}\n",
       core::to_string(target).c_str(), num_options, steps, workers, cold_ops,
       baseline_ops, cold_ops / baseline_ops, direct_ops, warm_ops,
-      stats.cache_hit_rate(), occupancy);
+      stats.cache_hit_rate(), occupancy,
+      stats.request_latency_ns.p50() / 1e6,
+      stats.request_latency_ns.p95() / 1e6,
+      stats.request_latency_ns.p99() / 1e6,
+      stats.request_latency_ns.mean() / 1e6,
+      stats.queue_wait_ns.p99() / 1e6);
 
   if (baseline_prices != reference || cold != reference || warm != reference) {
     std::fprintf(stderr,

@@ -1,0 +1,109 @@
+// Fixed log-bucket histogram for latency-class metrics.
+//
+// The serving path needs tail latency (p50/p95/p99), not just means, and it
+// needs them from per-worker shards merged on demand — the same
+// shard-then-merge discipline as RuntimeStats/ServiceStats. A fixed array
+// of power-of-two buckets gives both: recording is an increment (no
+// allocation, no sorting), and merging is bucket-wise unsigned addition,
+// which is associative and commutative, so the merged distribution is
+// independent of which worker observed which sample (asserted by
+// tests/common/test_histogram.cpp).
+//
+// Bucket b holds values whose bit-width is b (bucket 0 holds the value 0),
+// so relative resolution is a factor of two everywhere — coarse, but tails
+// of queueing distributions spread over decades, and a 2x-resolution p99 is
+// exactly what a serving dashboard needs. Quantiles report the bucket's
+// inclusive upper bound, i.e. they never under-state a tail.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace binopt {
+
+class LogHistogram {
+public:
+  /// Buckets 0..64: bucket 0 = {0}, bucket b = [2^(b-1), 2^b - 1].
+  static constexpr std::size_t kBuckets = 65;
+
+  static constexpr std::size_t bucket_index(std::uint64_t value) {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+
+  /// Inclusive upper bound of a bucket (what quantiles report).
+  static constexpr std::uint64_t bucket_upper_bound(std::size_t bucket) {
+    if (bucket == 0) return 0;
+    if (bucket >= kBuckets - 1) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << bucket) - 1;
+  }
+
+  void record(std::uint64_t value) {
+    ++buckets_[bucket_index(value)];
+    ++count_;
+    sum_ += value;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t bucket) const {
+    return buckets_[bucket];
+  }
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th smallest sample (0 on an empty histogram).
+  [[nodiscard]] std::uint64_t quantile(double q) const {
+    if (count_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // ceil(q * count) clamped to [1, count].
+    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    if (rank * 1.0 < q * static_cast<double>(count_)) ++rank;
+    if (rank == 0) rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen >= rank) return bucket_upper_bound(b);
+    }
+    return bucket_upper_bound(kBuckets - 1);
+  }
+
+  [[nodiscard]] std::uint64_t p50() const { return quantile(0.50); }
+  [[nodiscard]] std::uint64_t p95() const { return quantile(0.95); }
+  [[nodiscard]] std::uint64_t p99() const { return quantile(0.99); }
+
+  /// Bucket-wise merge (how per-worker shards fold into totals).
+  LogHistogram& operator+=(const LogHistogram& other) {
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    return *this;
+  }
+
+  /// Bucket-wise difference (per-interval deltas of cumulative shards).
+  [[nodiscard]] LogHistogram minus(const LogHistogram& earlier) const {
+    LogHistogram d;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      d.buckets_[b] = buckets_[b] - earlier.buckets_[b];
+    }
+    d.count_ = count_ - earlier.count_;
+    d.sum_ = sum_ - earlier.sum_;
+    return d;
+  }
+
+  void reset() { *this = LogHistogram{}; }
+
+  friend bool operator==(const LogHistogram&, const LogHistogram&) = default;
+
+private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace binopt

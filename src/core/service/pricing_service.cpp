@@ -1,13 +1,33 @@
 #include "core/service/pricing_service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
+#include <sstream>
 #include <utility>
 
 namespace binopt::core {
 
 using service::CacheKey;
 using service::ServiceStats;
+
+namespace {
+
+/// steady_clock time_point -> the tracer/histogram nanosecond timebase
+/// (trace::monotonic_ns() reads the same clock).
+std::uint64_t to_ns(std::chrono::steady_clock::time_point tp) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) {
+  return to > from ? to_ns(to) - to_ns(from) : 0;
+}
+
+}  // namespace
 
 PricingService::PricingService(ServiceConfig config)
     : config_(std::move(config)), cache_(config_.cache_capacity) {
@@ -16,10 +36,20 @@ PricingService::PricingService(ServiceConfig config)
   BINOPT_REQUIRE(config_.max_batch >= 1, "max_batch must be >= 1");
   BINOPT_REQUIRE(config_.queue_capacity >= 1, "queue_capacity must be >= 1");
   BINOPT_REQUIRE(config_.steps >= 2, "need at least two tree steps");
+  tracer_ = config_.tracer ? config_.tracer : ocl::trace::env_tracer();
+  if (tracer_ != nullptr) {
+    trace_pid_ = tracer_->register_process("pricing-service");
+    for (std::size_t i = 0; i < config_.targets.size(); ++i) {
+      tracer_->set_thread_name(trace_pid_, i,
+                               "worker " + std::to_string(i) + " (" +
+                                   to_string(config_.targets[i]) + ")");
+    }
+  }
   workers_.reserve(config_.targets.size());
   for (std::size_t i = 0; i < config_.targets.size(); ++i) {
     workers_.push_back(std::make_unique<Worker>());
     workers_.back()->target = config_.targets[i];
+    workers_.back()->index = i;
   }
   // Spawn only after every Worker slot exists: workers index into workers_.
   for (std::size_t i = 0; i < workers_.size(); ++i) {
@@ -67,6 +97,33 @@ void PricingService::fail(Request& request, const std::exception_ptr& error) {
   batch.remaining.fetch_sub(1);
 }
 
+void PricingService::check_admissible(const finance::OptionSpec& spec) {
+  // Field-by-field finiteness first so the rejection names the culprit:
+  // a NaN/Inf field would be undefined behaviour in the quote cache's
+  // llround-based key quantization, not merely a bad price.
+  const std::pair<const char*, double> fields[] = {
+      {"spot", spec.spot},           {"strike", spec.strike},
+      {"rate", spec.rate},           {"dividend", spec.dividend},
+      {"volatility", spec.volatility}, {"maturity", spec.maturity}};
+  for (const auto& [name, value] : fields) {
+    if (!std::isfinite(value)) {
+      std::ostringstream os;
+      os << "pricing service rejected request: OptionSpec field '" << name
+         << "' is not finite (" << value << ")";
+      throw ServiceRejectedError(name, os.str());
+    }
+  }
+  // Range checks (positive spot/strike/vol/maturity, non-negative
+  // dividend) reuse the spec's own contract.
+  try {
+    spec.validate();
+  } catch (const PreconditionError& error) {
+    throw ServiceRejectedError(
+        "spec", std::string("pricing service rejected request: ") +
+                    error.what());
+  }
+}
+
 std::chrono::steady_clock::time_point PricingService::deadline_for(
     std::chrono::milliseconds timeout, bool& has_deadline) const {
   has_deadline = timeout >= std::chrono::milliseconds::zero();
@@ -80,7 +137,7 @@ std::future<Quote> PricingService::submit(const finance::OptionSpec& spec) {
 
 std::future<Quote> PricingService::submit(const finance::OptionSpec& spec,
                                           std::chrono::milliseconds timeout) {
-  spec.validate();
+  check_admissible(spec);
   Request request;
   request.spec = spec;
   request.deadline = deadline_for(timeout, request.has_deadline);
@@ -110,7 +167,7 @@ std::future<std::vector<double>> PricingService::submit_batch(
   std::vector<Request> requests;
   requests.reserve(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    specs[i].validate();
+    check_admissible(specs[i]);
     Request request;
     request.spec = specs[i];
     request.deadline = deadline;
@@ -124,6 +181,11 @@ std::future<std::vector<double>> PricingService::submit_batch(
 }
 
 void PricingService::enqueue_requests(std::vector<Request>&& requests) {
+  // One clock read per submit call: every request in it was handed over at
+  // the same moment, and latency measured from here counts backpressure
+  // blocking — the wait the client actually experienced.
+  const auto admitted_at = std::chrono::steady_clock::now();
+  for (Request& request : requests) request.admitted_at = admitted_at;
   std::size_t admitted = 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -224,7 +286,12 @@ void PricingService::process_batch(Worker& worker,
   to_price.reserve(batch.size());
   specs.reserve(batch.size());
 
+  auto earliest_admission = now;
   for (Request& request : batch) {
+    // Queue wait: admission to batch collection, for every popped request
+    // (expired ones included — that wait is *why* they expired).
+    delta.queue_wait_ns.record(elapsed_ns(request.admitted_at, now));
+    earliest_admission = std::min(earliest_admission, request.admitted_at);
     // Expiry first: a stale quote is worthless even if cached — serving it
     // would hide that the client's deadline was missed.
     if (request.has_deadline && now > request.deadline) {
@@ -248,11 +315,16 @@ void PricingService::process_batch(Worker& worker,
     specs.push_back(request.spec);
   }
 
+  auto launch_start = now;
+  auto launch_end = now;
   if (!to_price.empty()) {
     ++delta.batches_launched;
     delta.options_priced += to_price.size();
+    delta.batch_fill.record(to_price.size());
+    launch_start = std::chrono::steady_clock::now();
     try {
       const RunReport report = accelerator.run(specs);
+      launch_end = std::chrono::steady_clock::now();
       for (std::size_t i = 0; i < to_price.size(); ++i) {
         if (cache_.enabled()) {
           delta.cache_evictions += cache_.insert(
@@ -264,12 +336,24 @@ void PricingService::process_batch(Worker& worker,
         ++delta.requests_completed;
       }
     } catch (...) {
+      launch_end = std::chrono::steady_clock::now();
       const std::exception_ptr error = std::current_exception();
       for (Request* request : to_price) {
         failures.emplace_back(request, error);
         ++delta.requests_failed;
       }
     }
+  }
+
+  // Every outcome is decided here; request latency runs from admission to
+  // this point (promise resolution below is the client's own wakeup cost).
+  const auto decided = std::chrono::steady_clock::now();
+  for (const Completion& done : completions) {
+    delta.request_latency_ns.record(
+        elapsed_ns(done.request->admitted_at, decided));
+  }
+  for (const auto& [request, error] : failures) {
+    delta.request_latency_ns.record(elapsed_ns(request->admitted_at, decided));
   }
 
   {
@@ -281,6 +365,49 @@ void PricingService::process_batch(Worker& worker,
   }
   for (auto& [request, error] : failures) {
     fail(*request, error);
+  }
+
+  if (tracer_ != nullptr) {
+    const auto resolved = std::chrono::steady_clock::now();
+    // Batch lifecycle on this worker's lane: the enclosing "batch" span
+    // starts at the earliest admission (so queueing/linger time is the
+    // visible gap before "launch") and closes once every promise resolved.
+    ocl::trace::TraceEvent batch_span;
+    batch_span.name = "batch";
+    batch_span.category = "service";
+    batch_span.start_ns = to_ns(earliest_admission);
+    batch_span.dur_ns = to_ns(resolved) - to_ns(earliest_admission);
+    batch_span.pid = trace_pid_;
+    batch_span.tid = worker.index;
+    batch_span.args.emplace_back("requests", std::to_string(batch.size()));
+    batch_span.args.emplace_back("priced", std::to_string(to_price.size()));
+    batch_span.args.emplace_back(
+        "cache_hits", std::to_string(delta.cache_hits));
+    batch_span.args.emplace_back(
+        "timed_out", std::to_string(delta.requests_timed_out));
+    tracer_->record(std::move(batch_span));
+
+    if (!to_price.empty()) {
+      ocl::trace::TraceEvent launch_span;
+      launch_span.name = "launch " + to_string(target);
+      launch_span.category = "service";
+      launch_span.start_ns = to_ns(launch_start);
+      launch_span.dur_ns = to_ns(launch_end) - to_ns(launch_start);
+      launch_span.pid = trace_pid_;
+      launch_span.tid = worker.index;
+      launch_span.args.emplace_back("options",
+                                    std::to_string(to_price.size()));
+      tracer_->record(std::move(launch_span));
+    }
+
+    ocl::trace::TraceEvent resolve_span;
+    resolve_span.name = "resolve";
+    resolve_span.category = "service";
+    resolve_span.start_ns = to_ns(decided);
+    resolve_span.dur_ns = to_ns(resolved) - to_ns(decided);
+    resolve_span.pid = trace_pid_;
+    resolve_span.tid = worker.index;
+    tracer_->record(std::move(resolve_span));
   }
 }
 

@@ -42,6 +42,7 @@
 #include "core/service/quote_cache.h"
 #include "core/service/service_stats.h"
 #include "finance/option.h"
+#include "ocl/trace/tracer.h"
 
 namespace binopt::core {
 
@@ -49,6 +50,21 @@ namespace binopt::core {
 class ServiceTimeoutError : public Error {
 public:
   explicit ServiceTimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// The service refused a request at admission (malformed OptionSpec —
+/// e.g. a NaN/Inf field, which would be UB in the quote cache's key
+/// quantization). Derives from PreconditionError so existing callers that
+/// catch contract violations keep working; field() names the offending
+/// spec field for structured handling.
+class ServiceRejectedError : public PreconditionError {
+public:
+  ServiceRejectedError(std::string field, const std::string& what)
+      : PreconditionError(what), field_(std::move(field)) {}
+  [[nodiscard]] const std::string& field() const { return field_; }
+
+private:
+  std::string field_;
 };
 
 /// The service is shutting down and cannot accept (or finish admitting)
@@ -81,6 +97,10 @@ struct ServiceConfig {
   std::size_t cache_capacity = 0;
   /// Forwarded to every worker's PricingAccelerator (0 = device default).
   std::size_t compute_units = 0;
+  /// Tracer receiving batch-lifecycle spans (admit -> linger -> launch ->
+  /// resolve) on one lane per worker. nullptr = use the process tracer
+  /// armed by BINOPT_OCL_TRACE, if any.
+  ocl::trace::Tracer* tracer = nullptr;
 };
 
 /// Resolution of one single-quote request.
@@ -141,6 +161,10 @@ private:
   struct Request {
     finance::OptionSpec spec;
     std::chrono::steady_clock::time_point deadline{};
+    /// When the submitter handed the request to the service (set at
+    /// enqueue_requests entry, so measured latency includes backpressure
+    /// blocking — the wait the client actually experienced).
+    std::chrono::steady_clock::time_point admitted_at{};
     bool has_deadline = false;
     std::promise<Quote> single;
     std::shared_ptr<BatchState> batch;  ///< null for single requests
@@ -152,6 +176,7 @@ private:
   /// simulated platform, so workers never share device state).
   struct Worker {
     Target target = Target::kCpuReference;
+    std::size_t index = 0;  ///< worker number (trace lane tid)
     std::thread thread;
     mutable std::mutex shard_mutex;
     service::ServiceStats shard;
@@ -160,6 +185,11 @@ private:
   static void fulfil(Request& request, double price, Target target,
                      bool from_cache);
   static void fail(Request& request, const std::exception_ptr& error);
+
+  /// Admission gate: rejects specs the service must not accept (non-finite
+  /// fields, out-of-range economics) with a ServiceRejectedError naming
+  /// the offending field.
+  static void check_admissible(const finance::OptionSpec& spec);
 
   [[nodiscard]] std::chrono::steady_clock::time_point deadline_for(
       std::chrono::milliseconds timeout, bool& has_deadline) const;
@@ -178,6 +208,8 @@ private:
 
   ServiceConfig config_;
   service::QuoteCache cache_;
+  ocl::trace::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
   std::vector<std::unique_ptr<Worker>> workers_;
 
   mutable std::mutex mutex_;

@@ -1,6 +1,9 @@
 #include "core/service/quote_cache.h"
 
 #include <cmath>
+#include <limits>
+
+#include "common/error.h"
 
 namespace binopt::core::service {
 
@@ -9,7 +12,21 @@ namespace {
 /// 1e-9 absolute quantization grid. OptionSpec fields are economic
 /// magnitudes (prices ~1e2, rates/vols ~1e-1, maturities ~1e0), so the
 /// scaled values sit far inside int64 range; llround keeps ties stable.
-std::int64_t quantize(double x) { return std::llround(x * 1e9); }
+///
+/// llround on a non-finite or out-of-range double is undefined behaviour,
+/// so non-finite input is rejected outright (the service refuses such
+/// specs at admission — this is the backstop) and absurd-but-finite
+/// magnitudes saturate to the int64 rails instead of overflowing.
+std::int64_t quantize(double x) {
+  BINOPT_REQUIRE(std::isfinite(x),
+                 "cache key field must be finite, got ", x);
+  const double scaled = x * 1e9;
+  constexpr double kMax =
+      static_cast<double>(std::numeric_limits<std::int64_t>::max());
+  if (scaled >= kMax) return std::numeric_limits<std::int64_t>::max();
+  if (scaled <= -kMax) return std::numeric_limits<std::int64_t>::min();
+  return std::llround(scaled);
+}
 
 }  // namespace
 

@@ -7,10 +7,18 @@
 // mid-flight); stats() merges shards in worker-index order, and since every
 // counter is an unsigned sum the merged totals are independent of request
 // interleaving.
+// Latency histograms ride along in the same shards: LogHistogram merges
+// bucket-wise (associative, commutative — see src/common/histogram.h), so
+// the shard-then-merge discipline extends from plain counters to whole
+// distributions. Histograms are NOT part of the counter X-macro: the
+// visitor keeps exposing scalar counters only (tests pin that set), while
+// the histogram fields travel through reset/minus/+=/== alongside it.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+
+#include "common/histogram.h"
 
 namespace binopt::core::service {
 
@@ -36,6 +44,14 @@ struct ServiceStats {
   BINOPT_SERVICE_STATS_COUNTERS(BINOPT_SERVICE_STATS_DECLARE)
 #undef BINOPT_SERVICE_STATS_DECLARE
 
+  /// Latency distributions (host steady-clock nanoseconds, except
+  /// batch_fill which counts options). Recorded into the worker's shard
+  /// delta *before* the request's promise resolves — same visibility
+  /// invariant as the counters.
+  LogHistogram request_latency_ns;  ///< admission -> outcome decided
+  LogHistogram queue_wait_ns;       ///< admission -> batch collected
+  LogHistogram batch_fill;          ///< options per launched batch
+
   void reset() { *this = ServiceStats{}; }
 
   /// Counter-wise difference (per-interval deltas of cumulative counters).
@@ -44,16 +60,23 @@ struct ServiceStats {
 #define BINOPT_SERVICE_STATS_MINUS(field) d.field = field - earlier.field;
     BINOPT_SERVICE_STATS_COUNTERS(BINOPT_SERVICE_STATS_MINUS)
 #undef BINOPT_SERVICE_STATS_MINUS
+    d.request_latency_ns = request_latency_ns.minus(earlier.request_latency_ns);
+    d.queue_wait_ns = queue_wait_ns.minus(earlier.queue_wait_ns);
+    d.batch_fill = batch_fill.minus(earlier.batch_fill);
     return d;
   }
 
   /// Counter-wise accumulation — how per-worker shards merge into the
-  /// service totals. Unsigned addition commutes, so the merged totals do
-  /// not depend on which worker served which request.
+  /// service totals. Unsigned addition commutes (bucket-wise for the
+  /// histograms), so the merged totals do not depend on which worker
+  /// served which request.
   ServiceStats& operator+=(const ServiceStats& shard) {
 #define BINOPT_SERVICE_STATS_ADD(field) field += shard.field;
     BINOPT_SERVICE_STATS_COUNTERS(BINOPT_SERVICE_STATS_ADD)
 #undef BINOPT_SERVICE_STATS_ADD
+    request_latency_ns += shard.request_latency_ns;
+    queue_wait_ns += shard.queue_wait_ns;
+    batch_fill += shard.batch_fill;
     return *this;
   }
 

@@ -47,7 +47,8 @@ ComputeUnitScheduler::ComputeUnitScheduler(std::size_t compute_units,
   BINOPT_REQUIRE(compute_units >= 1, "need at least one compute unit");
   units_.reserve(compute_units);
   for (std::size_t i = 0; i < compute_units; ++i) {
-    units_.push_back(std::make_unique<Unit>(local_mem_bytes,
+    units_.push_back(std::make_unique<Unit>(static_cast<std::uint32_t>(i),
+                                            local_mem_bytes,
                                             max_workgroup_size, stack_bytes));
   }
 }
@@ -77,6 +78,30 @@ void ComputeUnitScheduler::enable_analysis(
   for (auto& unit : units_) unit->executor.enable_analysis(report, config);
 }
 
+void ComputeUnitScheduler::set_tracer(trace::Tracer* tracer,
+                                      std::uint32_t pid) {
+  tracer_ = tracer;
+  trace_pid_ = pid;
+}
+
+void ComputeUnitScheduler::flush_spans(const Kernel& kernel) {
+  if (tracer_ == nullptr) return;
+  for (auto& unit : units_) {
+    for (const trace::WorkGroupSpan& span : unit->spans) {
+      trace::TraceEvent te;
+      te.name = kernel.name;
+      te.category = "cu";
+      te.start_ns = span.start_ns;
+      te.dur_ns = span.end_ns - span.start_ns;
+      te.pid = trace_pid_;
+      te.tid = 1 + span.cu;  // lane 0 is the command queue
+      te.args.emplace_back("group", std::to_string(span.group_id));
+      tracer_->record(std::move(te));
+    }
+    unit->spans.clear();
+  }
+}
+
 void ComputeUnitScheduler::execute(const Kernel& kernel,
                                    const KernelArgs& args, NDRange range,
                                    RuntimeStats& stats) {
@@ -88,13 +113,39 @@ void ComputeUnitScheduler::execute(const Kernel& kernel,
   // scheduling overhead. Counter-wise this is the definitional baseline
   // the parallel path must (and does) reproduce exactly.
   if (units_.size() == 1 || num_groups == 1) {
+    Unit& unit = *units_[0];
+    if (tracer_ == nullptr) {
+      try {
+        unit.executor.execute(kernel, args, range, stats);
+      } catch (...) {
+        unit.executor.flush_analysis();
+        throw;
+      }
+      unit.executor.flush_analysis();
+      return;
+    }
+    // Traced serial path: same group loop as WorkGroupExecutor::execute
+    // (validate above, one kernels_enqueued bump, in-order groups) so the
+    // stats stay bit-identical, plus a span per group.
+    unit.spans.clear();
+    ++stats.kernels_enqueued;
     try {
-      units_[0]->executor.execute(kernel, args, range, stats);
+      for (std::size_t g = 0; g < num_groups; ++g) {
+        trace::WorkGroupSpan span;
+        span.cu = 0;
+        span.group_id = g;
+        span.start_ns = trace::monotonic_ns();
+        unit.executor.execute_group(kernel, args, range, g, stats);
+        span.end_ns = trace::monotonic_ns();
+        unit.spans.push_back(span);
+      }
     } catch (...) {
-      units_[0]->executor.flush_analysis();
+      unit.executor.flush_analysis();
+      flush_spans(kernel);
       throw;
     }
-    units_[0]->executor.flush_analysis();
+    unit.executor.flush_analysis();
+    flush_spans(kernel);
     return;
   }
 
@@ -136,6 +187,7 @@ void ComputeUnitScheduler::execute(const Kernel& kernel,
     stats += unit->shard;
     unit->executor.flush_analysis();
   }
+  flush_spans(kernel);
 
   if (error_) {
     std::exception_ptr error = error_;
@@ -168,6 +220,8 @@ void ComputeUnitScheduler::worker_loop(std::size_t unit_index) {
 
 void ComputeUnitScheduler::run_chunks(Unit& unit) {
   unit.shard.reset();
+  unit.spans.clear();
+  const bool tracing = tracer_ != nullptr;
   while (!cancelled_.load(std::memory_order_acquire)) {
     const std::size_t begin =
         next_group_.fetch_add(job_chunk_groups_, std::memory_order_relaxed);
@@ -177,8 +231,19 @@ void ComputeUnitScheduler::run_chunks(Unit& unit) {
     for (std::size_t g = begin; g < end; ++g) {
       if (cancelled_.load(std::memory_order_acquire)) return;
       try {
-        unit.executor.execute_group(*job_kernel_, *job_args_, job_range_, g,
-                                    unit.shard);
+        if (tracing) {
+          trace::WorkGroupSpan span;
+          span.cu = unit.index;
+          span.group_id = g;
+          span.start_ns = trace::monotonic_ns();
+          unit.executor.execute_group(*job_kernel_, *job_args_, job_range_, g,
+                                      unit.shard);
+          span.end_ns = trace::monotonic_ns();
+          unit.spans.push_back(span);
+        } else {
+          unit.executor.execute_group(*job_kernel_, *job_args_, job_range_, g,
+                                      unit.shard);
+        }
       } catch (...) {
         // run_group has already drained this unit's fibers; remember the
         // error, stop the fleet, and let execute() rethrow.

@@ -31,6 +31,7 @@
 #include "ocl/fiber.h"
 #include "ocl/kernel.h"
 #include "ocl/stats.h"
+#include "ocl/trace/tracer.h"
 #include "ocl/types.h"
 #include "ocl/workgroup_executor.h"
 
@@ -58,6 +59,15 @@ public:
   void enable_analysis(analyzer::HazardReport& report,
                        const analyzer::AnalyzerConfig& config);
 
+  /// Attaches (or detaches, with nullptr) a tracer: every executed
+  /// work-group is captured as a (cu, group, start, end) span in the
+  /// worker's private shard and folded into the tracer on the enqueuing
+  /// thread after the range — same contention-free discipline as the
+  /// RuntimeStats shards. `pid` is the device's trace process id; spans
+  /// land on thread lanes 1 + cu (lane 0 is the command queue). With no
+  /// tracer the per-range cost is one branch; stats stay bit-identical.
+  void set_tracer(trace::Tracer* tracer, std::uint32_t pid);
+
   /// Runs one NDRange to completion and merges all counters into `stats`.
   /// Synchronous: returns (or throws) only after every group has finished
   /// or the range has been cancelled and drained. Not itself thread-safe —
@@ -69,11 +79,16 @@ private:
   /// One modelled compute unit: a worker thread plus its private execution
   /// engine and counter shard.
   struct Unit {
-    explicit Unit(std::size_t local_mem_bytes, std::size_t max_workgroup_size,
-                  std::size_t stack_bytes)
-        : executor(local_mem_bytes, max_workgroup_size, stack_bytes) {}
+    Unit(std::uint32_t index, std::size_t local_mem_bytes,
+         std::size_t max_workgroup_size, std::size_t stack_bytes)
+        : index(index),
+          executor(local_mem_bytes, max_workgroup_size, stack_bytes) {}
+    const std::uint32_t index;  ///< compute-unit number (trace lane 1+index)
     WorkGroupExecutor executor;
     RuntimeStats shard;
+    /// Work-group spans captured while a tracer is attached; reset per
+    /// range, merged into the tracer by the enqueuing thread.
+    std::vector<trace::WorkGroupSpan> spans;
     std::thread thread;
   };
 
@@ -81,8 +96,14 @@ private:
   void worker_loop(std::size_t unit_index);
   void run_chunks(Unit& unit);
   void record_error(std::exception_ptr error, std::size_t group_id);
+  /// Folds every unit's span shard into the tracer (unit order) and
+  /// clears the shards. No-op without a tracer.
+  void flush_spans(const Kernel& kernel);
 
   std::vector<std::unique_ptr<Unit>> units_;
+
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
 
   // Job hand-off. The enqueuing thread publishes the job fields under
   // `mutex_`, bumps `job_generation_`, and wakes the workers; they answer

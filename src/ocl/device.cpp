@@ -19,6 +19,7 @@ Device::Device(std::string name, DeviceKind kind, DeviceLimits limits)
   BINOPT_REQUIRE(limits_.max_workgroup_size > 0, "device '", name_,
                  "' must allow work-groups");
   rebuild_scheduler(resolve_compute_units(limits_.compute_units));
+  if (trace::Tracer* env = trace::env_tracer()) set_tracer(env);
 }
 
 void Device::rebuild_scheduler(std::size_t units) {
@@ -26,6 +27,29 @@ void Device::rebuild_scheduler(std::size_t units) {
       units, limits_.local_mem_bytes, limits_.max_workgroup_size);
   if (analyzer_config_.enabled) {
     scheduler_->enable_analysis(hazard_report_, analyzer_config_);
+  }
+  if (tracer_ != nullptr) {
+    scheduler_->set_tracer(tracer_, trace_pid_);
+    name_trace_lanes();
+  }
+}
+
+void Device::set_tracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) {
+    scheduler_->set_tracer(nullptr, 0);
+    return;
+  }
+  trace_pid_ = tracer_->register_process("device " + name_);
+  profiling_ = true;  // spans and event stamps share the same clock
+  scheduler_->set_tracer(tracer_, trace_pid_);
+  name_trace_lanes();
+}
+
+void Device::name_trace_lanes() {
+  tracer_->set_thread_name(trace_pid_, 0, "command queue");
+  for (std::size_t i = 0; i < scheduler_->compute_units(); ++i) {
+    tracer_->set_thread_name(trace_pid_, 1 + i, "cu " + std::to_string(i));
   }
 }
 

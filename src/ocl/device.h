@@ -18,6 +18,7 @@
 #include "ocl/analyzer/hazard.h"
 #include "ocl/cu_scheduler.h"
 #include "ocl/stats.h"
+#include "ocl/trace/tracer.h"
 #include "ocl/types.h"
 
 namespace binopt::ocl {
@@ -74,6 +75,25 @@ public:
     return hazard_report_;
   }
 
+  /// Attaches this device to a tracer (DESIGN.md §2.4): registers a trace
+  /// process ("device <name>") with a command-queue lane plus one lane per
+  /// compute unit, enables event profiling, and arms per-work-group span
+  /// capture in the scheduler. Resolved from BINOPT_OCL_TRACE at
+  /// construction; nullptr detaches (profiling stays as set). Must not be
+  /// called mid-kernel.
+  void set_tracer(trace::Tracer* tracer);
+  [[nodiscard]] trace::Tracer* tracer() const { return tracer_; }
+  /// The tracer process id this device's lanes live under.
+  [[nodiscard]] std::uint32_t trace_pid() const { return trace_pid_; }
+
+  /// Event profiling (CL_QUEUE_PROFILING_ENABLE equivalent, device-wide):
+  /// when on, queues stamp queued/submitted/start/end host-nanosecond
+  /// timestamps into their events. Off by default — one branch per
+  /// command when disabled; prices and RuntimeStats are unaffected either
+  /// way.
+  void set_profiling(bool enabled) { profiling_ = enabled; }
+  [[nodiscard]] bool profiling() const { return profiling_; }
+
   /// Runs one NDRange synchronously (called by CommandQueue). Work-groups
   /// are spread across the compute units; stats_ totals are bit-identical
   /// to a serial execution of the same kernel.
@@ -81,6 +101,7 @@ public:
 
 private:
   void rebuild_scheduler(std::size_t units);
+  void name_trace_lanes();
 
   std::string name_;
   DeviceKind kind_;
@@ -88,6 +109,9 @@ private:
   RuntimeStats stats_;
   analyzer::AnalyzerConfig analyzer_config_;
   analyzer::HazardReport hazard_report_;
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
+  bool profiling_ = false;
   std::unique_ptr<ComputeUnitScheduler> scheduler_;
 };
 

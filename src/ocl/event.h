@@ -1,8 +1,11 @@
 // Command events — the simulator's cl_event profiling records.
 //
 // Each enqueued command produces an Event describing what moved or ran.
-// The functional simulator does not invent wall-clock times; the perf
-// layer derives modelled durations from these records plus device models.
+// The functional simulator does not invent wall-clock times for the perf
+// models (those derive modelled durations from these records plus device
+// models); when profiling is enabled the queue additionally stamps each
+// event with *host* monotonic nanoseconds following
+// clGetEventProfilingInfo semantics, so a session can be traced.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +15,16 @@
 
 namespace binopt::ocl {
 
+/// clGetEventProfilingInfo timestamps (host steady-clock nanoseconds).
+/// All four are 0 unless the owning device had profiling enabled when the
+/// command was enqueued (CL_QUEUE_PROFILING_ENABLE equivalent).
+struct EventProfile {
+  std::uint64_t queued_ns = 0;     ///< COMMAND_QUEUED: enqueue_* call
+  std::uint64_t submitted_ns = 0;  ///< COMMAND_SUBMIT: handed to the device
+  std::uint64_t start_ns = 0;      ///< COMMAND_START: execution began
+  std::uint64_t end_ns = 0;        ///< COMMAND_END: execution finished
+};
+
 struct Event {
   std::uint64_t sequence = 0;    ///< monotonically increasing per queue
   CommandKind kind = CommandKind::kNDRangeKernel;
@@ -20,6 +33,16 @@ struct Event {
   std::uint64_t work_items = 0;  ///< NDRange size (0 for transfers)
   std::uint64_t work_groups = 0; ///< group count (0 for transfers)
   bool completed = false;        ///< command has actually executed
+  EventProfile profile;          ///< zeros unless profiling was enabled
+};
+
+/// Stable handle to an event in a CommandQueue's log. Unlike a reference
+/// into the log's storage it survives later enqueues (which may relocate
+/// events) and names the event even after the log retires it — the queue's
+/// accessor then reports retirement instead of reading freed memory.
+struct EventId {
+  std::uint64_t sequence = 0;
+  friend bool operator==(EventId, EventId) = default;
 };
 
 }  // namespace binopt::ocl

@@ -1,5 +1,24 @@
 #include "ocl/fiber.h"
 
+#if defined(__SANITIZE_ADDRESS__)
+#define BINOPT_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define BINOPT_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef BINOPT_ASAN_FIBERS
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* bottom, size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     size_t* size_old);
+void __asan_unpoison_memory_region(void const volatile* addr, size_t size);
+}
+#endif
+
 namespace binopt::ocl {
 
 namespace {
@@ -17,6 +36,45 @@ Fiber::Fiber(std::size_t stack_bytes) : stack_(stack_bytes) {
 
 Fiber::~Fiber() = default;
 
+// Leaving the caller's stack for the fiber's: save the caller's fake
+// stack and announce the fiber stack's bounds.
+void Fiber::asan_switch_to_fiber() {
+#ifdef BINOPT_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&asan_caller_fake_, stack_.data(),
+                                 stack_.size());
+#endif
+}
+
+// Arrived on the fiber stack. On first entry `fake_stack` is nullptr and
+// the caller's stack bounds come back for the return switches; on
+// re-entry it is the fiber's own saved fake stack.
+void Fiber::asan_enter_fiber(void* fake_stack) {
+#ifdef BINOPT_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(fake_stack, &asan_caller_bottom_,
+                                  &asan_caller_size_);
+#else
+  (void)fake_stack;
+#endif
+}
+
+// Leaving the fiber's stack for the caller's. A dying fiber passes
+// nullptr so ASan releases its fake-stack frames instead of saving them.
+void Fiber::asan_switch_to_caller(bool dying) {
+#ifdef BINOPT_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(dying ? nullptr : &asan_fiber_fake_,
+                                 asan_caller_bottom_, asan_caller_size_);
+#else
+  (void)dying;
+#endif
+}
+
+// Back on the caller's stack after a yield or fiber completion.
+void Fiber::asan_return_to_caller() {
+#ifdef BINOPT_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(asan_caller_fake_, nullptr, nullptr);
+#endif
+}
+
 void Fiber::start(Fn fn) {
   BINOPT_REQUIRE(done_, "cannot re-start a fiber that is still running");
   BINOPT_REQUIRE(static_cast<bool>(fn), "fiber function must be callable");
@@ -25,6 +83,11 @@ void Fiber::start(Fn fn) {
   entered_ = false;
   owner_ = std::this_thread::get_id();
   pending_exception_ = nullptr;
+#ifdef BINOPT_ASAN_FIBERS
+  // A reused stack may carry stale scope poison from the previous run
+  // (e.g. frames abandoned by the trampoline's final longjmp).
+  __asan_unpoison_memory_region(stack_.data(), stack_.size());
+#endif
 
   BINOPT_ENSURE(getcontext(&fiber_ctx_) == 0, "getcontext failed");
   fiber_ctx_.uc_stack.ss_sp = stack_.data();
@@ -36,6 +99,7 @@ void Fiber::start(Fn fn) {
 void Fiber::trampoline() {
   Fiber* self = g_entering_fiber;
   g_entering_fiber = nullptr;
+  self->asan_enter_fiber(nullptr);  // first time on this stack
   try {
     self->fn_();
   } catch (...) {
@@ -45,6 +109,7 @@ void Fiber::trampoline() {
   // Return through the jmp_buf of the MOST RECENT resume() call — never
   // via uc_link, which would unwind into the stale stack frame of the
   // first resume() invocation.
+  self->asan_switch_to_caller(/*dying=*/true);
   _longjmp(self->caller_jmp_, 1);
 }
 
@@ -59,6 +124,7 @@ bool Fiber::resume() {
   // The ucontext path is only used to bootstrap the fiber's stack and to
   // unwind back to the caller when the body returns.
   if (_setjmp(caller_jmp_) == 0) {
+    asan_switch_to_fiber();
     if (!entered_) {
       entered_ = true;
       g_entering_fiber = this;
@@ -71,6 +137,7 @@ bool Fiber::resume() {
     // not reached
   }
   // A yield or body completion longjmp'ed us back here.
+  asan_return_to_caller();
   if (pending_exception_) {
     std::exception_ptr e = pending_exception_;
     pending_exception_ = nullptr;
@@ -83,9 +150,11 @@ bool Fiber::resume() {
 
 void Fiber::yield() {
   if (_setjmp(fiber_jmp_) == 0) {
+    asan_switch_to_caller(/*dying=*/false);
     _longjmp(caller_jmp_, 1);
   }
   // resumed
+  asan_enter_fiber(asan_fiber_fake_);
 }
 
 std::vector<Fiber*> FiberPool::acquire(std::size_t count) {

@@ -59,6 +59,15 @@ public:
 private:
   static void trampoline();
 
+  // AddressSanitizer must be told about every stack switch
+  // (__sanitizer_start/finish_switch_fiber), or its longjmp interceptor
+  // unpoisons the wrong stack and reports false positives on the fiber
+  // stacks. No-ops in non-ASan builds.
+  void asan_switch_to_fiber();
+  void asan_enter_fiber(void* fake_stack);
+  void asan_switch_to_caller(bool dying);
+  void asan_return_to_caller();
+
   ucontext_t caller_ctx_{};  ///< bootstrap context (first entry only)
   ucontext_t fiber_ctx_{};
   jmp_buf caller_jmp_{};     ///< fast-switch state of the current resume()
@@ -69,6 +78,13 @@ private:
   bool entered_ = false;
   std::thread::id owner_;  ///< thread that called start(); sole resumer
   std::exception_ptr pending_exception_;
+  /// ASan fiber-switch bookkeeping (unused without ASan): the suspended
+  /// side's fake-stack handle plus the caller stack's bounds as reported
+  /// by __sanitizer_finish_switch_fiber on first entry.
+  void* asan_caller_fake_ = nullptr;
+  void* asan_fiber_fake_ = nullptr;
+  const void* asan_caller_bottom_ = nullptr;
+  std::size_t asan_caller_size_ = 0;
 };
 
 /// Reusable pool of fibers sized for one work-group at a time.

@@ -1,36 +1,137 @@
 #include "ocl/queue.h"
 
+#include <string>
 #include <utility>
 
+#include "ocl/device.h"
+#include "ocl/trace/tracer.h"
+
 namespace binopt::ocl {
+namespace {
+
+std::string trace_name(const Event& event) {
+  switch (event.kind) {
+    case CommandKind::kWriteBuffer: return "write " + event.label;
+    case CommandKind::kReadBuffer: return "read " + event.label;
+    case CommandKind::kNDRangeKernel: return event.label;
+  }
+  return event.label;
+}
+
+}  // namespace
 
 CommandQueue::CommandQueue(Context& context, QueueMode mode)
     : context_(context), mode_(mode) {}
 
-Event& CommandQueue::record(Event event) {
+EventId CommandQueue::record(Event event) {
   event.sequence = next_sequence_++;
+  if (device().profiling()) {
+    event.profile.queued_ns = trace::monotonic_ns();
+  }
+  const EventId id{event.sequence};
   events_.push_back(std::move(event));
-  return events_.back();
+  retire_excess();
+  return id;
 }
 
-Event& CommandQueue::dispatch(Event event, std::function<void()> action) {
-  Event& recorded = record(std::move(event));
-  if (mode_ == QueueMode::kImmediate) {
-    action();
-    recorded.completed = true;
-  } else {
-    // Remember the event's position in the log, not a reference: events_
-    // may reallocate as later commands are recorded. Indices stay valid
-    // because clear_events() refuses to run while commands are pending.
-    pending_.emplace_back(events_.size() - 1, std::move(action));
+Event& CommandQueue::live_event(std::uint64_t sequence) {
+  return events_[static_cast<std::size_t>(sequence -
+                                          events_.front().sequence)];
+}
+
+const Event& CommandQueue::event(EventId id) const {
+  BINOPT_REQUIRE(id.sequence < next_sequence_,
+                 "event handle ", id.sequence,
+                 " was never issued by this queue (", next_sequence_,
+                 " events recorded)");
+  const std::uint64_t first =
+      events_.empty() ? next_sequence_ : events_.front().sequence;
+  BINOPT_REQUIRE(id.sequence >= first, "event ", id.sequence,
+                 " has retired from the bounded log (oldest retained: ",
+                 first, "); raise set_event_log_capacity() to keep it");
+  return events_[static_cast<std::size_t>(id.sequence - first)];
+}
+
+bool CommandQueue::has_event(EventId id) const {
+  if (id.sequence >= next_sequence_ || events_.empty()) return false;
+  return id.sequence >= events_.front().sequence;
+}
+
+void CommandQueue::set_event_log_capacity(std::size_t capacity) {
+  BINOPT_REQUIRE(capacity >= 1, "event log capacity must be >= 1");
+  capacity_ = capacity;
+  retire_excess();
+}
+
+void CommandQueue::retire_excess() {
+  // The oldest pending command pins the front of the log: its event (and,
+  // by in-order contiguity, everything before it has already completed or
+  // been dropped, so only the pending window itself needs protection).
+  const std::uint64_t pending_floor =
+      pending_.empty() ? next_sequence_ : pending_.front().first;
+  while (events_.size() > capacity_ &&
+         events_.front().sequence < pending_floor) {
+    events_.pop_front();
+    ++retired_;
   }
-  return recorded;
+}
+
+void CommandQueue::run_command(std::uint64_t sequence,
+                               const std::function<void()>& action) {
+  Device& dev = device();
+  const bool profiling = dev.profiling();
+  if (profiling) {
+    Event& ev = live_event(sequence);
+    if (ev.profile.submitted_ns == 0) {
+      ev.profile.submitted_ns = trace::monotonic_ns();
+    }
+    ev.profile.start_ns = trace::monotonic_ns();
+  }
+  action();
+  Event& ev = live_event(sequence);
+  if (profiling) ev.profile.end_ns = trace::monotonic_ns();
+  ev.completed = true;
+  if (trace::Tracer* tracer = dev.tracer()) {
+    trace::TraceEvent te;
+    te.name = trace_name(ev);
+    te.category = "queue";
+    te.start_ns = ev.profile.start_ns;
+    te.dur_ns = ev.profile.end_ns - ev.profile.start_ns;
+    te.pid = dev.trace_pid();
+    te.tid = 0;  // the command-queue lane
+    te.args.emplace_back("sequence", std::to_string(ev.sequence));
+    if (ev.bytes != 0) {
+      te.args.emplace_back("bytes", std::to_string(ev.bytes));
+    }
+    if (ev.kind == CommandKind::kNDRangeKernel) {
+      te.args.emplace_back("work_items", std::to_string(ev.work_items));
+      te.args.emplace_back("work_groups", std::to_string(ev.work_groups));
+    }
+    tracer->record(std::move(te));
+  }
+}
+
+EventId CommandQueue::dispatch(Event event, std::function<void()> action) {
+  const EventId id = record(std::move(event));
+  if (mode_ == QueueMode::kImmediate) {
+    // COMMAND_SUBMIT == COMMAND_QUEUED for an immediate schedule.
+    if (device().profiling()) {
+      live_event(id.sequence).profile.submitted_ns =
+          live_event(id.sequence).profile.queued_ns;
+    }
+    run_command(id.sequence, action);
+  } else {
+    // Remember the event's sequence, not a reference or index: the log
+    // both reallocates and retires as later commands are recorded.
+    pending_.emplace_back(id.sequence, std::move(action));
+  }
+  return id;
 }
 
 void CommandQueue::finish() {
   // In-order execution of everything enqueued since the last finish; each
-  // pending entry carries its event's index, so completion marking is O(1)
-  // per command instead of a scan of the whole event log.
+  // pending entry carries its event's sequence, so completion marking is
+  // O(1) per command instead of a scan of the whole event log.
   //
   // Exception safety: a throwing command must not leave the queue poisoned.
   // Commands that already ran stay marked completed; the failing command
@@ -38,20 +139,21 @@ void CommandQueue::finish() {
   // with a real device abort) so the next finish() cannot re-execute the
   // failed command or double-count the successful ones.
   try {
-    for (auto& [event_index, action] : pending_) {
-      action();
-      events_[event_index].completed = true;
+    for (auto& [sequence, action] : pending_) {
+      run_command(sequence, action);
     }
   } catch (...) {
     pending_.clear();
+    retire_excess();
     throw;
   }
   pending_.clear();
+  retire_excess();
 }
 
-Event& CommandQueue::enqueue_write(Buffer& buffer,
-                                   std::span<const std::byte> src,
-                                   std::size_t offset_bytes) {
+EventId CommandQueue::enqueue_write(Buffer& buffer,
+                                    std::span<const std::byte> src,
+                                    std::size_t offset_bytes) {
   // Early range check at enqueue time for immediate feedback; the actual
   // transfer in Buffer::write re-validates (deferred actions may run
   // later) and marks the analyzer's written-byte shadow.
@@ -74,8 +176,8 @@ Event& CommandQueue::enqueue_write(Buffer& buffer,
   });
 }
 
-Event& CommandQueue::enqueue_read(Buffer& buffer, std::span<std::byte> dst,
-                                  std::size_t offset_bytes) {
+EventId CommandQueue::enqueue_read(Buffer& buffer, std::span<std::byte> dst,
+                                   std::size_t offset_bytes) {
   BINOPT_REQUIRE(offset_bytes <= buffer.size_bytes() &&
                      dst.size() <= buffer.size_bytes() - offset_bytes,
                  "read overruns buffer '", buffer.name(), "': offset ",
@@ -95,8 +197,8 @@ Event& CommandQueue::enqueue_read(Buffer& buffer, std::span<std::byte> dst,
   });
 }
 
-Event& CommandQueue::enqueue_ndrange(const Kernel& kernel,
-                                     const KernelArgs& args, NDRange range) {
+EventId CommandQueue::enqueue_ndrange(const Kernel& kernel,
+                                      const KernelArgs& args, NDRange range) {
   Event event;
   event.kind = CommandKind::kNDRangeKernel;
   event.label = kernel.name;

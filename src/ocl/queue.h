@@ -14,9 +14,18 @@
 //    kernel batches. As with real OpenCL non-blocking reads, the host
 //    spans passed to deferred reads/writes must stay alive until
 //    finish().
+//
+// Event log: enqueues return EventId handles, not references — the log is
+// a bounded ring (default kDefaultEventLogCapacity records) whose oldest
+// completed entries retire as new commands arrive, so a long-running
+// service that reuses its queues does not grow memory linearly in
+// requests. events_recorded()/events_retired() keep lifetime totals, and
+// a device-attached Tracer (DESIGN.md §2.4) receives every completed
+// command before it can retire, so bounding the log loses nothing.
 #pragma once
 
 #include <cstring>
+#include <deque>
 #include <functional>
 #include <span>
 #include <vector>
@@ -31,38 +40,44 @@ namespace binopt::ocl {
 /// When queue commands actually execute.
 enum class QueueMode { kImmediate, kDeferred };
 
+/// How many events the queue retains before retiring the oldest completed
+/// ones. Large enough to hold any single paper-kernel batch sequence,
+/// small enough that a service streaming millions of requests stays flat.
+inline constexpr std::size_t kDefaultEventLogCapacity = 4096;
+
 class CommandQueue {
 public:
   explicit CommandQueue(Context& context,
                         QueueMode mode = QueueMode::kImmediate);
 
   /// clEnqueueWriteBuffer: host -> device global memory.
-  Event& enqueue_write(Buffer& buffer, std::span<const std::byte> src,
-                       std::size_t offset_bytes = 0);
+  EventId enqueue_write(Buffer& buffer, std::span<const std::byte> src,
+                        std::size_t offset_bytes = 0);
 
   /// clEnqueueReadBuffer: device global memory -> host.
-  Event& enqueue_read(Buffer& buffer, std::span<std::byte> dst,
-                      std::size_t offset_bytes = 0);
+  EventId enqueue_read(Buffer& buffer, std::span<std::byte> dst,
+                       std::size_t offset_bytes = 0);
 
   /// Typed write helper.
   template <typename T>
-  Event& write(Buffer& buffer, std::span<const T> src,
-               std::size_t offset_elems = 0) {
+  EventId write(Buffer& buffer, std::span<const T> src,
+                std::size_t offset_elems = 0) {
     return enqueue_write(buffer, std::as_bytes(src),
                          offset_elems * sizeof(T));
   }
 
   /// Typed read helper.
   template <typename T>
-  Event& read(Buffer& buffer, std::span<T> dst, std::size_t offset_elems = 0) {
+  EventId read(Buffer& buffer, std::span<T> dst,
+               std::size_t offset_elems = 0) {
     return enqueue_read(buffer, std::as_writable_bytes(dst),
                         offset_elems * sizeof(T));
   }
 
   /// clEnqueueNDRangeKernel. In deferred mode the kernel and args are
   /// captured by value (args may be rebound by the host afterwards).
-  Event& enqueue_ndrange(const Kernel& kernel, const KernelArgs& args,
-                         NDRange range);
+  EventId enqueue_ndrange(const Kernel& kernel, const KernelArgs& args,
+                          NDRange range);
 
   /// clFinish — executes all pending commands (deferred mode) or is a
   /// fidelity no-op (immediate mode). If a command throws, commands that
@@ -76,11 +91,34 @@ public:
     return pending_.size();
   }
 
-  /// Events are marked completed once their command has executed.
-  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  /// Looks up an event by handle. Throws PreconditionError if the handle
+  /// was never issued by this queue or the event has already retired from
+  /// the bounded log.
+  [[nodiscard]] const Event& event(EventId id) const;
+  /// True while `event(id)` would succeed.
+  [[nodiscard]] bool has_event(EventId id) const;
+
+  /// The retained window of the log, oldest first. Events are marked
+  /// completed once their command has executed. Handles (EventId) stay
+  /// meaningful across enqueues; references into this container do not.
+  [[nodiscard]] const std::deque<Event>& events() const { return events_; }
+
+  /// Lifetime totals across retirement: every enqueue counts in
+  /// events_recorded(); events_retired() of them have left the log.
+  [[nodiscard]] std::uint64_t events_recorded() const {
+    return next_sequence_;
+  }
+  [[nodiscard]] std::uint64_t events_retired() const { return retired_; }
+
+  /// Ring capacity of the retained log (>= 1). Shrinking retires the
+  /// oldest completed events immediately.
+  [[nodiscard]] std::size_t event_log_capacity() const { return capacity_; }
+  void set_event_log_capacity(std::size_t capacity);
+
   void clear_events() {
     BINOPT_REQUIRE(pending_.empty(),
                    "cannot clear events while commands are pending");
+    retired_ += events_.size();
     events_.clear();
   }
 
@@ -88,18 +126,32 @@ public:
   [[nodiscard]] Device& device() { return context_.device(); }
 
 private:
-  Event& record(Event event);
+  EventId record(Event event);
 
   /// Runs `action` now (immediate) or stashes it for finish() (deferred).
-  Event& dispatch(Event event, std::function<void()> action);
+  EventId dispatch(Event event, std::function<void()> action);
+
+  /// O(1) sequence -> slot lookup: the retained window holds contiguous
+  /// sequences, so slot = sequence - front.sequence.
+  [[nodiscard]] Event& live_event(std::uint64_t sequence);
+
+  /// Stamps start/end around `action`, marks the event completed, and
+  /// forwards it to the device's tracer (if any).
+  void run_command(std::uint64_t sequence, const std::function<void()>& action);
+
+  /// Pops oldest events past capacity_. Never drops an event whose
+  /// command is still pending.
+  void retire_excess();
 
   Context& context_;
   QueueMode mode_;
-  std::vector<Event> events_;
-  /// Deferred commands paired with their event's index into events_ (for
-  /// O(1) completion marking at finish()).
-  std::vector<std::pair<std::size_t, std::function<void()>>> pending_;
+  std::deque<Event> events_;
+  /// Deferred commands paired with their event's sequence number (stable
+  /// across log retirement, unlike indices or references).
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> pending_;
   std::uint64_t next_sequence_ = 0;
+  std::uint64_t retired_ = 0;
+  std::size_t capacity_ = kDefaultEventLogCapacity;
 };
 
 }  // namespace binopt::ocl

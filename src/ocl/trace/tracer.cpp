@@ -1,0 +1,168 @@
+#include "ocl/trace/tracer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+namespace binopt::ocl::trace {
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// enough for buffer/kernel names and lane labels.
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Chrome's ts/dur are microseconds; emit ns-resolution fractions so
+/// adjacent sub-µs work-group spans stay distinguishable in Perfetto.
+void write_us(std::ostream& os, std::uint64_t ns) {
+  os << ns / 1000 << '.' << std::setw(3) << std::setfill('0') << ns % 1000
+     << std::setfill(' ');
+}
+
+}  // namespace
+
+std::uint32_t Tracer::register_process(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint32_t pid = next_pid_++;
+  process_names_.emplace_back(pid, name);
+  return pid;
+}
+
+void Tracer::set_thread_name(std::uint32_t pid, std::uint64_t tid,
+                             const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  thread_names_[{pid, tid}] = name;
+}
+
+void Tracer::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void Tracer::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&os, &first] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (const auto& [pid, name] : process_names_) {
+    sep();
+    os << R"({"ph":"M","name":"process_name","pid":)" << pid
+       << R"(,"tid":0,"args":{"name":)";
+    write_json_string(os, name);
+    os << "}}";
+  }
+  for (const auto& [key, name] : thread_names_) {
+    sep();
+    os << R"({"ph":"M","name":"thread_name","pid":)" << key.first
+       << R"(,"tid":)" << key.second << R"(,"args":{"name":)";
+    write_json_string(os, name);
+    os << R"(}},{"ph":"M","name":"thread_sort_index","pid":)" << key.first
+       << R"(,"tid":)" << key.second << R"(,"args":{"sort_index":)"
+       << key.second << "}}";
+  }
+  for (const TraceEvent& e : events_) {
+    sep();
+    os << R"({"ph":"X","name":)";
+    write_json_string(os, e.name);
+    os << R"(,"cat":)";
+    write_json_string(os, e.category.empty() ? std::string("runtime")
+                                             : e.category);
+    // Rebase onto the session start so the trace opens at t = 0; clamp in
+    // case an event from a tracer-armed helper predates this tracer.
+    const std::uint64_t rel =
+        e.start_ns >= session_start_ns_ ? e.start_ns - session_start_ns_ : 0;
+    os << R"(,"ts":)";
+    write_us(os, rel);
+    os << R"(,"dur":)";
+    write_us(os, e.dur_ns);
+    os << R"(,"pid":)" << e.pid << R"(,"tid":)" << e.tid;
+    if (!e.args.empty()) {
+      os << R"(,"args":{)";
+      bool first_arg = true;
+      for (const auto& [k, v] : e.args) {
+        if (!first_arg) os << ",";
+        first_arg = false;
+        write_json_string(os, k);
+        os << ":" << v;
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "binopt: cannot open trace output '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  write_json(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+struct EnvTracerHolder {
+  Tracer tracer;
+  std::string path;
+  ~EnvTracerHolder() { tracer.write_file(path); }
+};
+
+}  // namespace
+
+Tracer* env_tracer() {
+  // Leaked-on-purpose singleton *object* would lose the exit-time write;
+  // instead a function-local static whose destructor flushes the JSON when
+  // the process exits normally. Armed once from the environment.
+  static EnvTracerHolder* holder = [] {
+    const char* path = std::getenv("BINOPT_OCL_TRACE");
+    if (path == nullptr || *path == '\0') return (EnvTracerHolder*)nullptr;
+    static EnvTracerHolder h;
+    h.path = path;
+    return &h;
+  }();
+  return holder ? &holder->tracer : nullptr;
+}
+
+}  // namespace binopt::ocl::trace

@@ -1,0 +1,112 @@
+// Runtime tracing: serializes one session of the simulator — queue
+// commands, per-compute-unit work-group lanes, pricing-service batch
+// lifecycle — to the Chrome trace_event JSON format, loadable in
+// chrome://tracing and Perfetto.
+//
+// Layering mirrors the stats design: the hot paths never touch the tracer
+// directly. Work-group spans are captured into per-worker shards
+// (ComputeUnitScheduler's units, exactly like their RuntimeStats shards)
+// and folded into the tracer on the enqueuing thread after the range
+// completes, so compute-unit workers stay contention-free; queue commands
+// and service batches record one event per command/batch, which is already
+// off the per-access fast path. With no tracer attached the runtime pays
+// one branch per command (and zero per memory access) — prices, events and
+// RuntimeStats are bit-identical, asserted by tests/ocl/test_events_trace.cpp.
+//
+// Lane model (Perfetto rows are (pid, tid) pairs):
+//   pid  = one per register_process() call — a device or a service
+//   tid 0            = the device's command-queue lane
+//   tid 1..N         = compute-unit lanes ("cu 0".."cu N-1")
+//   service tid i    = backend worker i's batch lifecycle lane
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace binopt::ocl::trace {
+
+/// Monotonic nanoseconds (steady clock); the timebase of every profiling
+/// timestamp and trace span in the simulator.
+[[nodiscard]] inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One executed work-group, captured in a compute-unit worker's shard.
+struct WorkGroupSpan {
+  std::uint32_t cu = 0;
+  std::uint64_t group_id = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+/// One Chrome trace_event "X" (complete) record. Timestamps are absolute
+/// monotonic_ns(); write_json() rebases them onto the tracer's session
+/// start so the trace opens at t = 0.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t pid = 0;
+  std::uint64_t tid = 0;
+  /// Pre-rendered key -> JSON-value pairs (values must already be valid
+  /// JSON literals, e.g. "128" or "\"kernel-b\"").
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+public:
+  Tracer() : session_start_ns_(monotonic_ns()) {}
+
+  /// Allocates a process lane (a device, a service). Counters are
+  /// per-tracer, so two sessions over the same workload produce
+  /// structurally identical traces.
+  std::uint32_t register_process(const std::string& name);
+
+  /// Names a thread lane within a process (idempotent).
+  void set_thread_name(std::uint32_t pid, std::uint64_t tid,
+                       const std::string& name);
+
+  /// Appends one complete event. Thread-safe.
+  void record(TraceEvent event);
+
+  /// Snapshot of everything recorded so far (copies under the lock; used
+  /// by tests and the CLI summary, not by hot paths).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::uint64_t session_start_ns() const {
+    return session_start_ns_;
+  }
+
+  /// Serializes the session as Chrome trace_event JSON ("traceEvents"
+  /// array of X records plus process/thread metadata records).
+  void write_json(std::ostream& os) const;
+
+  /// write_json to a file; returns false (after logging to stderr) if the
+  /// file cannot be opened.
+  bool write_file(const std::string& path) const;
+
+private:
+  const std::uint64_t session_start_ns_;
+  mutable std::mutex mutex_;
+  std::uint32_t next_pid_ = 0;
+  std::vector<std::pair<std::uint32_t, std::string>> process_names_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::string> thread_names_;
+  std::vector<TraceEvent> events_;
+};
+
+/// The process-wide tracer armed by BINOPT_OCL_TRACE=<path>, or nullptr
+/// when the variable is unset. Devices and services attach to it at
+/// construction; the JSON file is written once at process exit.
+[[nodiscard]] Tracer* env_tracer();
+
+}  // namespace binopt::ocl::trace

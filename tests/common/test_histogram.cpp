@@ -1,0 +1,140 @@
+// LogHistogram — the fixed log-bucket latency histogram behind the
+// service's p50/p95/p99 reporting. The load-bearing properties: bucket
+// assignment by bit-width, quantiles that never under-state a tail, and a
+// bucket-wise merge that is associative and commutative (the shard-then-
+// merge discipline depends on it).
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace binopt {
+namespace {
+
+TEST(LogHistogram, BucketIndexIsBitWidth) {
+  EXPECT_EQ(LogHistogram::bucket_index(0), 0u);
+  EXPECT_EQ(LogHistogram::bucket_index(1), 1u);
+  EXPECT_EQ(LogHistogram::bucket_index(2), 2u);
+  EXPECT_EQ(LogHistogram::bucket_index(3), 2u);
+  EXPECT_EQ(LogHistogram::bucket_index(4), 3u);
+  EXPECT_EQ(LogHistogram::bucket_index(1023), 10u);
+  EXPECT_EQ(LogHistogram::bucket_index(1024), 11u);
+  EXPECT_EQ(LogHistogram::bucket_index(~std::uint64_t{0}), 64u);
+}
+
+TEST(LogHistogram, BucketBoundsBracketTheirValues) {
+  for (std::size_t b = 0; b < LogHistogram::kBuckets; ++b) {
+    const std::uint64_t upper = LogHistogram::bucket_upper_bound(b);
+    EXPECT_EQ(LogHistogram::bucket_index(upper), b) << "bucket " << b;
+  }
+}
+
+TEST(LogHistogram, CountsSumsAndMean) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p99(), 0u);  // empty histogram reports 0, not garbage
+
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(LogHistogram, QuantilesNeverUnderstateATail) {
+  LogHistogram h;
+  std::mt19937_64 rng(7);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 1000; ++i) {
+    // Latency-like spread over several decades.
+    const std::uint64_t v = 1 + (rng() % (1u << (rng() % 20)));
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  // The reported quantile is the bucket's inclusive upper bound, so it is
+  // >= the exact sample quantile and within 2x of it (one bucket wide).
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const std::uint64_t exact =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    const std::uint64_t reported = h.quantile(q);
+    EXPECT_GE(reported, exact) << "q=" << q;
+    EXPECT_LE(reported, exact * 2) << "q=" << q;
+  }
+  EXPECT_EQ(h.quantile(1.0),
+            LogHistogram::bucket_upper_bound(
+                LogHistogram::bucket_index(samples.back())));
+}
+
+TEST(LogHistogram, SingleValueQuantilesAreItsBucketBound) {
+  LogHistogram h;
+  h.record(100);
+  const std::uint64_t bound =
+      LogHistogram::bucket_upper_bound(LogHistogram::bucket_index(100));
+  EXPECT_EQ(h.p50(), bound);
+  EXPECT_EQ(h.p95(), bound);
+  EXPECT_EQ(h.p99(), bound);
+}
+
+// The shard-then-merge contract: merging per-worker shards must yield the
+// same histogram regardless of which worker observed which sample and of
+// the order shards are folded.
+TEST(LogHistogram, MergeIsAssociativeAndCommutative) {
+  std::mt19937_64 rng(42);
+  std::vector<std::uint64_t> samples(3000);
+  for (auto& s : samples) s = rng() % 1000000;
+
+  LogHistogram serial;
+  for (const auto s : samples) serial.record(s);
+
+  // Deal the samples across three shards round-robin.
+  LogHistogram a, b, c;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).record(samples[i]);
+  }
+
+  LogHistogram ab_c = a;
+  ab_c += b;
+  ab_c += c;
+  LogHistogram c_ba = c;
+  c_ba += b;
+  c_ba += a;
+  EXPECT_EQ(ab_c, serial);
+  EXPECT_EQ(c_ba, serial);
+  EXPECT_EQ(ab_c.p99(), serial.p99());
+}
+
+TEST(LogHistogram, MinusInvertsMerge) {
+  LogHistogram before;
+  before.record(5);
+  before.record(500);
+
+  LogHistogram after = before;
+  after.record(50000);
+  after.record(7);
+
+  LogHistogram delta = after.minus(before);
+  EXPECT_EQ(delta.count(), 2u);
+  EXPECT_EQ(delta.sum(), 50007u);
+  LogHistogram expected;
+  expected.record(50000);
+  expected.record(7);
+  EXPECT_EQ(delta, expected);
+}
+
+TEST(LogHistogram, ResetRestoresEmptyState) {
+  LogHistogram h;
+  h.record(123);
+  h.reset();
+  EXPECT_EQ(h, LogHistogram{});
+}
+
+}  // namespace
+}  // namespace binopt

@@ -8,6 +8,8 @@
 
 #include <chrono>
 #include <future>
+#include <limits>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -324,6 +326,127 @@ TEST(PricingService, RejectsInvalidConfigAndSpecs) {
   finance::OptionSpec bad;
   bad.volatility = -1.0;
   EXPECT_THROW((void)service.submit(bad), PreconditionError);
+}
+
+// --- Admission validation (bugfix: NaN/Inf reached llround UB) ----------
+
+TEST(PricingService, RejectsNonFiniteSpecFieldsAtAdmission) {
+  // A NaN/Inf field used to flow straight into the quote cache's
+  // llround-based key quantization — undefined behaviour. Admission now
+  // rejects it with a structured error naming the offending field.
+  PricingService service(small_config(Target::kCpuReference));
+
+  finance::OptionSpec nan_spot;
+  nan_spot.spot = std::numeric_limits<double>::quiet_NaN();
+  try {
+    (void)service.submit(nan_spot);
+    FAIL() << "NaN spot was admitted";
+  } catch (const ServiceRejectedError& error) {
+    EXPECT_EQ(error.field(), "spot");
+    EXPECT_NE(std::string(error.what()).find("spot"), std::string::npos);
+  }
+
+  finance::OptionSpec inf_vol;
+  inf_vol.volatility = std::numeric_limits<double>::infinity();
+  try {
+    (void)service.submit(inf_vol);
+    FAIL() << "Inf volatility was admitted";
+  } catch (const ServiceRejectedError& error) {
+    EXPECT_EQ(error.field(), "volatility");
+  }
+
+  finance::OptionSpec neg_inf_rate;
+  neg_inf_rate.rate = -std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)service.submit(neg_inf_rate), ServiceRejectedError);
+  // ServiceRejectedError is a PreconditionError, so existing callers that
+  // catch the base class keep working.
+  EXPECT_THROW((void)service.submit(nan_spot), PreconditionError);
+
+  // Nothing reached the workers or the stats.
+  EXPECT_EQ(service.stats().requests_submitted, 0u);
+
+  // A finite spec still prices normally afterwards.
+  EXPECT_GT(service.submit(finance::OptionSpec{}).get().price, 0.0);
+}
+
+TEST(PricingService, RejectsBatchContainingNonFiniteSpec) {
+  PricingService service(small_config(Target::kCpuReference));
+  auto batch = finance::make_curve_batch(8);
+  batch[5].maturity = std::numeric_limits<double>::quiet_NaN();
+  try {
+    (void)service.submit_batch(batch);
+    FAIL() << "batch with NaN maturity was admitted";
+  } catch (const ServiceRejectedError& error) {
+    EXPECT_EQ(error.field(), "maturity");
+  }
+  // Rejection happens before any request is admitted: the whole batch is
+  // refused, not partially priced.
+  EXPECT_EQ(service.stats().requests_submitted, 0u);
+}
+
+TEST(QuoteCache, KeyQuantizationSaturatesExtremeFiniteValues) {
+  // Finite-but-huge values must not overflow llround; they saturate to the
+  // int64 grid edge instead (distinct keys are not guaranteed out there,
+  // deterministic keys are).
+  finance::OptionSpec huge;
+  huge.strike = 1e300;
+  const auto key = service::CacheKey::from(huge, kSteps, Target::kCpuReference);
+  EXPECT_EQ(key, service::CacheKey::from(huge, kSteps, Target::kCpuReference));
+
+  finance::OptionSpec tiny = huge;
+  tiny.strike = -1e300;
+  EXPECT_FALSE(service::CacheKey::from(tiny, kSteps, Target::kCpuReference) ==
+               key);
+}
+
+// --- Latency histograms -------------------------------------------------
+
+TEST(PricingService, LatencyHistogramsTrackTraffic) {
+  ServiceConfig config = small_config(Target::kCpuReference, /*workers=*/2);
+  config.cache_capacity = 64;
+  PricingService service(config);
+
+  const auto batch = finance::make_curve_batch(32);
+  (void)service.submit_batch(batch).get();
+  (void)service.submit_batch(batch).get();  // cache replay
+
+  const auto stats = service.stats();
+  // Every decided request (completed or failed) contributes one latency
+  // sample; every popped request contributes one queue-wait sample.
+  EXPECT_EQ(stats.request_latency_ns.count(),
+            stats.requests_completed + stats.requests_failed);
+  EXPECT_EQ(stats.queue_wait_ns.count(), 2 * batch.size());
+  // One occupancy sample per launched batch, summing to options priced.
+  EXPECT_EQ(stats.batch_fill.count(), stats.batches_launched);
+  EXPECT_EQ(stats.batch_fill.sum(), stats.options_priced);
+  // Quantiles are reportable and ordered.
+  EXPECT_GT(stats.request_latency_ns.p50(), 0u);
+  EXPECT_LE(stats.request_latency_ns.p50(), stats.request_latency_ns.p99());
+}
+
+TEST(ServiceStats, HistogramsTravelThroughMergeAndMinus) {
+  service::ServiceStats a;
+  a.requests_completed = 1;
+  a.request_latency_ns.record(1000);
+  a.queue_wait_ns.record(10);
+  service::ServiceStats b;
+  b.requests_completed = 2;
+  b.request_latency_ns.record(2000);
+  b.batch_fill.record(16);
+
+  service::ServiceStats sum = a;
+  sum += b;
+  EXPECT_EQ(sum.request_latency_ns.count(), 2u);
+  EXPECT_EQ(sum.request_latency_ns.sum(), 3000u);
+  EXPECT_EQ(sum.queue_wait_ns.count(), 1u);
+  EXPECT_EQ(sum.batch_fill.count(), 1u);
+  EXPECT_EQ(sum.minus(a), b);  // minus inverts merge, histograms included
+
+  // The counter visitor stays counters-only: histograms are reported via
+  // their own accessors, and the X-macro field count is pinned elsewhere.
+  std::size_t fields = 0;
+  sum.for_each_counter([&](const char*, std::uint64_t) { ++fields; });
+  EXPECT_EQ(fields, 9u);
 }
 
 }  // namespace

@@ -28,8 +28,8 @@ TEST_F(DeferredQueueTest, WritesLandOnlyAtFinish) {
   Buffer& buffer =
       context_.create_buffer_of<double>(4, MemFlags::kReadWrite, "b");
   const std::vector<double> data{1.0, 2.0, 3.0, 4.0};
-  const Event& event = queue_.write<double>(buffer, data);
-  EXPECT_FALSE(event.completed);
+  const EventId event = queue_.write<double>(buffer, data);
+  EXPECT_FALSE(queue_.event(event).completed);
   EXPECT_EQ(queue_.pending_commands(), 1u);
   EXPECT_EQ(device_.stats().host_to_device_bytes, 0u);  // nothing moved
 
@@ -198,8 +198,8 @@ TEST(ImmediateQueue, StillExecutesEagerly) {
   CommandQueue queue(context);  // default immediate
   Buffer& buffer = context.create_buffer_of<double>(1, MemFlags::kReadWrite, "b");
   const std::vector<double> data{3.0};
-  const Event& event = queue.write<double>(buffer, data);
-  EXPECT_TRUE(event.completed);
+  const EventId event = queue.write<double>(buffer, data);
+  EXPECT_TRUE(queue.event(event).completed);
   EXPECT_EQ(queue.pending_commands(), 0u);
   EXPECT_EQ(device.stats().host_to_device_bytes, 8u);
 }

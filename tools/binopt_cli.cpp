@@ -19,6 +19,11 @@
 // async PricingService (concurrent submitters, micro-batching, quote
 // cache) and exits non-zero if any served price differs bitwise from a
 // direct PricingAccelerator run of the same curve.
+//
+// `binopt_cli trace` runs both paper kernels on a multi-compute-unit
+// device plus a short PricingService session with the tracer attached and
+// writes the whole session as Chrome trace_event JSON (open the file in
+// chrome://tracing or https://ui.perfetto.dev).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -38,6 +43,7 @@
 #include "kernels/kernel_b.h"
 #include "ocl/analyzer/ir_lint.h"
 #include "ocl/device.h"
+#include "ocl/trace/tracer.h"
 
 namespace {
 
@@ -73,7 +79,16 @@ void print_usage() {
       "  --submitters <N>   client threads         (default 4)\n"
       "  --max-batch <N>    micro-batch ceiling    (default 256)\n"
       "  --linger-us <N>    batch linger window    (default 200)\n"
-      "  --cache <N>        quote-cache capacity   (default 4096)\n");
+      "  --cache <N>        quote-cache capacity   (default 4096)\n"
+      "\n"
+      "subcommand: binopt_cli trace [flags]\n"
+      "  Runs kernels IV.A and IV.B on a 4-compute-unit device plus a\n"
+      "  short PricingService session with the tracer attached, and\n"
+      "  writes the session as Chrome trace_event JSON for\n"
+      "  chrome://tracing / Perfetto.\n"
+      "  --out <path>       output file            (default trace.json)\n"
+      "  --options <N>      options per workload   (default 8)\n"
+      "  --steps <N>        tree steps             (default 64)\n");
 }
 
 /// The serve-bench mode: price one volatility curve three ways — directly
@@ -142,6 +157,16 @@ int run_serve_bench(std::size_t num_options, std::size_t steps,
               static_cast<unsigned long long>(stats.cache_hits),
               static_cast<unsigned long long>(stats.cache_misses),
               100.0 * stats.cache_hit_rate());
+  std::printf("  latency   : p50 %.3f ms, p95 %.3f ms, p99 %.3f ms "
+              "(mean %.3f ms)\n",
+              stats.request_latency_ns.p50() / 1e6,
+              stats.request_latency_ns.p95() / 1e6,
+              stats.request_latency_ns.p99() / 1e6,
+              stats.request_latency_ns.mean() / 1e6);
+  std::printf("  queue wait: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+              stats.queue_wait_ns.p50() / 1e6,
+              stats.queue_wait_ns.p95() / 1e6,
+              stats.queue_wait_ns.p99() / 1e6);
 
   std::size_t mismatches = 0;
   for (std::size_t i = 0; i < curve.size(); ++i) {
@@ -157,6 +182,57 @@ int run_serve_bench(std::size_t num_options, std::size_t steps,
   std::printf("serve-bench passed: %zu prices bit-identical to the direct "
               "run on both passes\n",
               curve.size());
+  return 0;
+}
+
+/// The trace mode: run both paper kernels and a short service session with
+/// a tracer attached, then serialize everything to Chrome trace JSON.
+int run_trace(const std::string& out_path, std::size_t num_options,
+              std::size_t steps) {
+  ocl::trace::Tracer tracer;
+  const std::vector<finance::OptionSpec> options =
+      finance::make_random_batch(num_options, /*seed=*/42);
+
+  // Kernel section: both paper kernels on one 4-compute-unit device, so
+  // the trace shows the command-queue lane plus four work-group lanes.
+  constexpr std::size_t kMiB = 1024 * 1024;
+  const std::size_t group = std::max<std::size_t>(steps, 256);
+  ocl::Device device("trace-demo", ocl::DeviceKind::kFpga,
+                     ocl::DeviceLimits{256 * kMiB, 64 * 1024, group,
+                                       /*compute_units=*/4});
+  device.set_tracer(&tracer);
+
+  std::printf("kernel IV.A (N = %zu, %zu options) ... ", steps, num_options);
+  kernels::KernelAHostProgram program_a(device, {.steps = steps});
+  (void)program_a.run(options);
+  std::printf("done\n");
+
+  std::printf("kernel IV.B (N = %zu, %zu options) ... ", steps, num_options);
+  kernels::KernelBHostProgram program_b(device, {.steps = steps});
+  (void)program_b.run(options);
+  std::printf("done\n");
+
+  // Service section: a two-worker service pricing the same options twice
+  // (second pass replays the cache), so the trace shows the batch
+  // lifecycle lanes: admit/linger gap, launch, resolve.
+  std::printf("service session (2 workers) ... ");
+  {
+    core::ServiceConfig config;
+    config.targets.assign(2, core::Target::kCpuReference);
+    config.steps = steps;
+    config.max_batch = std::max<std::size_t>(1, num_options / 2);
+    config.cache_capacity = 1024;
+    config.tracer = &tracer;
+    core::PricingService service(config);
+    (void)service.submit_batch(options).get();
+    (void)service.submit_batch(options).get();
+  }
+  std::printf("done\n");
+
+  if (!tracer.write_file(out_path)) return 1;
+  std::printf("trace: %zu events -> %s (open in chrome://tracing or "
+              "ui.perfetto.dev)\n",
+              tracer.event_count(), out_path.c_str());
   return 0;
 }
 
@@ -293,11 +369,42 @@ int main_serve_bench(int argc, char** argv) {
   }
 }
 
+int main_trace(int argc, char** argv) {
+  std::string out_path = "trace.json";
+  std::size_t num_options = 8;
+  std::size_t steps = 64;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help") {
+      print_usage();
+      return 0;
+    }
+    if (i + 1 >= argc) fail("missing value for " + flag);
+    const char* value = argv[++i];
+    if (flag == "--out") out_path = value;
+    else if (flag == "--options") num_options = parse_size("--options", value);
+    else if (flag == "--steps") steps = parse_size("--steps", value);
+    else fail("unknown trace flag " + flag + " (try --help)");
+  }
+  if (num_options == 0) fail("--options must be >= 1");
+  if (steps < 2) fail("--steps must be >= 2");
+
+  try {
+    return run_trace(out_path, num_options, steps);
+  } catch (const Error& e) {
+    fail(e.what());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "serve-bench") == 0) {
     return main_serve_bench(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "trace") == 0) {
+    return main_trace(argc, argv);
   }
 
   finance::OptionSpec spec;
