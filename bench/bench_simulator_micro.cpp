@@ -233,6 +233,38 @@ BENCHMARK(BM_KernelBAnalyzer)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Cost of the fault-injection layer on kernel IV.B: Arg(0) runs with no
+// fault plan (the disabled-mode fast path is one null test per injection
+// point — this row must match BM_KernelBFunctional), Arg(1) with a plan
+// armed whose clauses never fire (the per-launch/read/write ordinal
+// bookkeeping with zero faults). The gap between the rows is the
+// documented cost of leaving BINOPT_OCL_FAULTS armed in production.
+void BM_KernelBFaultInjection(benchmark::State& state) {
+  const bool armed = state.range(0) != 0;
+  ocl::Device device("faults-bench", ocl::DeviceKind::kFpga,
+                     ocl::DeviceLimits{64u << 20, 16u << 10, 256, 2});
+  if (armed) {
+    device.set_fault_plan(ocl::faults::parse_fault_plan(
+        "device-lost@1000000000;read-error@1000000000;"
+        "write-error@1000000000"));
+  }
+  const auto batch = finance::make_random_batch(16, 5);
+  kernels::KernelBHostProgram host(device, {.steps = 128});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(host.run(batch).prices);
+  }
+  state.SetLabel(armed ? "faults-armed-idle" : "faults-off");
+  state.counters["sim_options/s"] = benchmark::Counter(
+      static_cast<double>(batch.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KernelBFaultInjection)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -1,5 +1,7 @@
 #include "core/accelerator.h"
 
+#include <utility>
+
 #include "common/statistics.h"
 #include "kernels/kernel_a.h"
 #include "kernels/kernel_b.h"
@@ -66,8 +68,21 @@ std::vector<Target> all_targets() {
 }
 
 PricingAccelerator::PricingAccelerator(Config config)
-    : config_(config), platform_(ocl::Platform::make_reference_platform()) {
+    : config_(std::move(config)),
+      platform_(ocl::Platform::make_reference_platform()) {
   BINOPT_REQUIRE(config_.steps >= 2, "need at least two tree steps");
+  // Arm (or explicitly disarm) fault injection on the device this target
+  // runs on; the CPU reference path has no simulated device to fault.
+  if (config_.fault_plan.has_value() && !is_cpu(config_.target)) {
+    ocl::Device& device = platform_->device_by_kind(
+        is_fpga(config_.target) ? ocl::DeviceKind::kFpga
+                                : ocl::DeviceKind::kGpu);
+    if (config_.fault_plan->empty()) {
+      device.clear_fault_plan();
+    } else {
+      device.set_fault_plan(*config_.fault_plan);
+    }
+  }
 }
 
 PricingAccelerator::~PricingAccelerator() = default;

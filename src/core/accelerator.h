@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "finance/option.h"
+#include "ocl/faults/fault_plan.h"
 #include "ocl/platform.h"
 #include "ocl/stats.h"
 
@@ -76,6 +77,12 @@ public:
     /// 3 replicated pipelines), or BINOPT_OCL_COMPUTE_UNITS if set.
     /// Prices and RuntimeStats are identical for any value.
     std::size_t compute_units = 0;
+    /// Fault plan armed on this accelerator's devices (DESIGN.md §2.5);
+    /// overrides the process-wide BINOPT_OCL_FAULTS for this instance.
+    /// nullopt inherits the env plan (if any); an engaged empty plan
+    /// explicitly disarms injection. CPU reference targets never touch a
+    /// simulated device, so plans cannot affect them.
+    std::optional<ocl::faults::FaultPlan> fault_plan;
   };
 
   explicit PricingAccelerator(Config config);

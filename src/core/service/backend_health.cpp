@@ -1,0 +1,148 @@
+#include "core/service/backend_health.h"
+
+#include <algorithm>
+
+namespace binopt::core::service {
+
+std::string to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+void RetryPolicy::validate() const {
+  BINOPT_REQUIRE(max_attempts >= 1 && max_attempts <= 100,
+                 "RetryPolicy.max_attempts must be in [1, 100], got ",
+                 max_attempts);
+  BINOPT_REQUIRE(base_backoff > std::chrono::microseconds::zero(),
+                 "RetryPolicy.base_backoff must be positive: a zero backoff "
+                 "turns retries into a hot spin against a failing device");
+  BINOPT_REQUIRE(max_backoff >= base_backoff,
+                 "RetryPolicy.max_backoff (", max_backoff.count(),
+                 "us) must be >= base_backoff (", base_backoff.count(),
+                 "us)");
+}
+
+std::chrono::nanoseconds RetryPolicy::backoff_for(
+    std::size_t attempt, std::uint64_t& rng_state) const {
+  // Exponent clamped so the shift can never overflow; the max_backoff cap
+  // makes larger exponents indistinguishable anyway.
+  const std::size_t exponent = std::min<std::size_t>(
+      attempt >= 2 ? attempt - 2 : 0, 40);
+  const auto base =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(base_backoff);
+  const auto cap =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(max_backoff);
+  std::uint64_t delay_ns =
+      static_cast<std::uint64_t>(base.count()) << exponent;
+  delay_ns = std::min(delay_ns, static_cast<std::uint64_t>(cap.count()));
+  // Jitter to [50%, 100%]: full-range jitter can collapse to ~0 and spin;
+  // no jitter synchronizes retries across workers (thundering herd).
+  std::uint64_t z = (rng_state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  const std::uint64_t half = delay_ns / 2;
+  return std::chrono::nanoseconds(half + (half != 0 ? z % (half + 1) : 0));
+}
+
+void HealthPolicy::validate() const {
+  BINOPT_REQUIRE(degrade_after >= 1,
+                 "HealthPolicy.degrade_after must be >= 1, got ",
+                 degrade_after);
+  BINOPT_REQUIRE(quarantine_after >= degrade_after,
+                 "HealthPolicy.quarantine_after (", quarantine_after,
+                 ") must be >= degrade_after (", degrade_after,
+                 "): a backend cannot skip straight past degraded");
+  BINOPT_REQUIRE(probe_backoff > std::chrono::microseconds::zero(),
+                 "HealthPolicy.probe_backoff must be positive: a zero "
+                 "backoff probes a dead device in a hot loop");
+  BINOPT_REQUIRE(max_probe_backoff >= probe_backoff,
+                 "HealthPolicy.max_probe_backoff (", max_probe_backoff.count(),
+                 "us) must be >= probe_backoff (", probe_backoff.count(),
+                 "us)");
+  BINOPT_REQUIRE(probe_successes >= 1,
+                 "HealthPolicy.probe_successes must be >= 1, got ",
+                 probe_successes);
+}
+
+BackendHealth::BackendHealth(HealthPolicy policy) : policy_(policy) {
+  policy_.validate();
+}
+
+void BackendHealth::open_circuit(Clock::time_point now) {
+  if (state_ != HealthState::kQuarantined) {
+    // First opening of this outage: stamp the entry time the recovery
+    // duration is measured from. Re-openings (failed probes) keep it.
+    if (open_count_ == 0) quarantined_at_ = now;
+  }
+  state_ = HealthState::kQuarantined;
+  good_probes_ = 0;
+  ++open_count_;
+  const std::size_t exponent = std::min<std::size_t>(open_count_ - 1, 40);
+  const auto base =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          policy_.probe_backoff);
+  const auto cap = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      policy_.max_probe_backoff);
+  const std::uint64_t delay_ns = std::min(
+      static_cast<std::uint64_t>(base.count()) << exponent,
+      static_cast<std::uint64_t>(cap.count()));
+  next_probe_at_ = now + std::chrono::nanoseconds(delay_ns);
+}
+
+BackendHealth::Event BackendHealth::record_success(Clock::time_point now) {
+  Event event;
+  event.before = state_;
+  consecutive_failures_ = 0;
+  if (state_ == HealthState::kQuarantined) {
+    ++good_probes_;
+    if (good_probes_ >= policy_.probe_successes) {
+      state_ = HealthState::kHealthy;
+      event.recovered_after_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now - quarantined_at_)
+              .count());
+      good_probes_ = 0;
+      open_count_ = 0;
+    } else {
+      // Half-open and promising: the next probe may go immediately.
+      next_probe_at_ = now;
+    }
+  } else {
+    state_ = HealthState::kHealthy;
+  }
+  event.after = state_;
+  return event;
+}
+
+BackendHealth::Event BackendHealth::record_transient(Clock::time_point now) {
+  Event event;
+  event.before = state_;
+  if (state_ == HealthState::kQuarantined) {
+    // A probe failed: re-open with a doubled delay.
+    open_circuit(now);
+  } else {
+    ++consecutive_failures_;
+    if (consecutive_failures_ >= policy_.quarantine_after) {
+      open_circuit(now);
+    } else if (consecutive_failures_ >= policy_.degrade_after) {
+      state_ = HealthState::kDegraded;
+    }
+  }
+  event.after = state_;
+  return event;
+}
+
+BackendHealth::Event BackendHealth::record_fatal(Clock::time_point now) {
+  Event event;
+  event.before = state_;
+  open_circuit(now);
+  event.after = state_;
+  return event;
+}
+
+}  // namespace binopt::core::service

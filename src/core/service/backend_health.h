@@ -1,0 +1,142 @@
+// Per-backend health tracking for the PricingService (DESIGN.md §2.5).
+//
+// Each service worker owns one BackendHealth: a three-state circuit
+// breaker driven by the outcomes of its accelerator launches.
+//
+//   kHealthy      normal serving
+//   kDegraded     `degrade_after` consecutive retryable failures — still
+//                 serving, but one more bad streak away from quarantine
+//   kQuarantined  the circuit is open: the worker stops pulling normal
+//                 traffic and only sends half-open *probe* batches, spaced
+//                 by an exponentially backed-off delay. `probe_successes`
+//                 consecutive good probes close the circuit (recovery);
+//                 a failed probe re-opens it with a doubled delay.
+//
+// A fatal error (DeviceLostError, watchdog expiry) quarantines immediately
+// from any state. Transitions are returned to the caller as an Event so
+// the worker can translate them into ServiceStats counters (transition
+// counts, quarantine entries, time-to-recovery) without the state machine
+// knowing about stats at all.
+//
+// RetryPolicy rides alongside: bounded attempts with jittered exponential
+// backoff for retryable failures. Both policies validate strictly (the
+// resolve_compute_units discipline): zero backoffs, inverted ranges, and
+// absurd attempt counts are rejected at service construction, not
+// discovered mid-incident.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace binopt::core::service {
+
+enum class HealthState { kHealthy, kDegraded, kQuarantined };
+
+[[nodiscard]] std::string to_string(HealthState state);
+
+/// Bounded retry with jittered exponential backoff for retryable
+/// (TransientDeviceError-class) failures.
+struct RetryPolicy {
+  /// Total attempts per request, the first included (1 = never retry).
+  std::size_t max_attempts = 3;
+  /// Backoff before attempt 2; doubles per further attempt.
+  std::chrono::microseconds base_backoff{200};
+  /// Ceiling on the (pre-jitter) backoff.
+  std::chrono::microseconds max_backoff{50'000};
+
+  /// Rejects zero/inverted backoffs and attempt counts outside [1, 100]
+  /// with a PreconditionError naming the field.
+  void validate() const;
+
+  /// Delay before attempt `attempt` (2-based: the delay after the first
+  /// failure is backoff_for(2, ...)). Exponential in the attempt number,
+  /// capped at max_backoff, then jittered to [50%, 100%] of the cap using
+  /// `rng_state` (SplitMix64; callers keep one state per worker so
+  /// backoffs decorrelate across workers without shared RNG state).
+  [[nodiscard]] std::chrono::nanoseconds backoff_for(
+      std::size_t attempt, std::uint64_t& rng_state) const;
+};
+
+/// When the circuit breaker trips and how it probes its way back.
+struct HealthPolicy {
+  /// Consecutive retryable failures before kHealthy -> kDegraded.
+  std::size_t degrade_after = 1;
+  /// Consecutive retryable failures before quarantine.
+  std::size_t quarantine_after = 3;
+  /// Delay before the first half-open probe; doubles per failed probe.
+  std::chrono::microseconds probe_backoff{1'000};
+  /// Ceiling on the probe delay.
+  std::chrono::microseconds max_probe_backoff{1'000'000};
+  /// Consecutive successful probes that close the circuit.
+  std::size_t probe_successes = 2;
+
+  /// Rejects zero thresholds/backoffs and quarantine_after < degrade_after
+  /// with a PreconditionError naming the field.
+  void validate() const;
+};
+
+class BackendHealth {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// What one outcome did to the state machine. `recovered_after_ns` is
+  /// non-zero only when this outcome closed the circuit: the total outage,
+  /// first quarantine entry to recovery, across failed probes.
+  struct Event {
+    HealthState before = HealthState::kHealthy;
+    HealthState after = HealthState::kHealthy;
+    std::uint64_t recovered_after_ns = 0;
+    [[nodiscard]] bool changed() const { return before != after; }
+    [[nodiscard]] bool entered_quarantine() const {
+      return changed() && after == HealthState::kQuarantined;
+    }
+    [[nodiscard]] bool recovered() const {
+      return before == HealthState::kQuarantined &&
+             after == HealthState::kHealthy;
+    }
+  };
+
+  explicit BackendHealth(HealthPolicy policy = {});
+
+  [[nodiscard]] HealthState state() const { return state_; }
+
+  /// True while the worker should pull normal traffic (closed circuit).
+  [[nodiscard]] bool serving() const {
+    return state_ != HealthState::kQuarantined;
+  }
+  /// True when a quarantined backend's next half-open probe is due.
+  [[nodiscard]] bool probe_due(Clock::time_point now) const {
+    return state_ == HealthState::kQuarantined && now >= next_probe_at_;
+  }
+  [[nodiscard]] Clock::time_point next_probe_at() const {
+    return next_probe_at_;
+  }
+
+  /// A launch succeeded: resets the failure streak; a degraded backend
+  /// heals, a quarantined one advances its half-open probe count (and
+  /// recovers once `probe_successes` probes passed).
+  Event record_success(Clock::time_point now);
+  /// A retryable failure (transient launch error, CU death, I/O error).
+  Event record_transient(Clock::time_point now);
+  /// A fatal failure (device lost, watchdog): quarantine immediately.
+  Event record_fatal(Clock::time_point now);
+
+private:
+  void open_circuit(Clock::time_point now);
+
+  HealthPolicy policy_;
+  HealthState state_ = HealthState::kHealthy;
+  std::size_t consecutive_failures_ = 0;
+  std::size_t good_probes_ = 0;
+  /// How many times the circuit opened this outage (probe backoff doubles
+  /// with it); reset on recovery.
+  std::size_t open_count_ = 0;
+  Clock::time_point quarantined_at_{};
+  Clock::time_point next_probe_at_{};
+};
+
+}  // namespace binopt::core::service

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <utility>
 
+#include "ocl/faults/fault_plan.h"
+
 namespace binopt::core {
 
 using service::CacheKey;
@@ -36,6 +38,14 @@ PricingService::PricingService(ServiceConfig config)
   BINOPT_REQUIRE(config_.max_batch >= 1, "max_batch must be >= 1");
   BINOPT_REQUIRE(config_.queue_capacity >= 1, "queue_capacity must be >= 1");
   BINOPT_REQUIRE(config_.steps >= 2, "need at least two tree steps");
+  config_.retry.validate();
+  config_.health.validate();
+  BINOPT_REQUIRE(config_.worker_fault_plans.empty() ||
+                     config_.worker_fault_plans.size() ==
+                         config_.targets.size(),
+                 "worker_fault_plans must be empty or carry exactly one "
+                 "plan per target (got ", config_.worker_fault_plans.size(),
+                 " plans for ", config_.targets.size(), " targets)");
   tracer_ = config_.tracer ? config_.tracer : ocl::trace::env_tracer();
   if (tracer_ != nullptr) {
     trace_pid_ = tracer_->register_process("pricing-service");
@@ -50,6 +60,9 @@ PricingService::PricingService(ServiceConfig config)
     workers_.push_back(std::make_unique<Worker>());
     workers_.back()->target = config_.targets[i];
     workers_.back()->index = i;
+    workers_.back()->health = service::BackendHealth(config_.health);
+    // Distinct jitter streams per worker (any distinct seeds do).
+    workers_.back()->rng = 0x9E3779B97F4A7C15ull * (i + 1);
   }
   // Spawn only after every Worker slot exists: workers index into workers_.
   for (std::size_t i = 0; i < workers_.size(); ++i) {
@@ -70,9 +83,11 @@ PricingService::~PricingService() {
 }
 
 void PricingService::fulfil(Request& request, double price, Target target,
-                            bool from_cache) {
+                            bool from_cache, bool degraded) {
+  if (request.resolved) return;  // at-most-once, by construction
+  request.resolved = true;
   if (!request.batch) {
-    request.single.set_value(Quote{price, target, from_cache});
+    request.single.set_value(Quote{price, target, from_cache, degraded});
     return;
   }
   BatchState& batch = *request.batch;
@@ -85,6 +100,8 @@ void PricingService::fulfil(Request& request, double price, Target target,
 }
 
 void PricingService::fail(Request& request, const std::exception_ptr& error) {
+  if (request.resolved) return;  // at-most-once, by construction
+  request.resolved = true;
   if (!request.batch) {
     request.single.set_exception(error);
     return;
@@ -217,34 +234,61 @@ void PricingService::enqueue_requests(std::vector<Request>&& requests) {
   throw ServiceShutdownError("pricing service is shutting down");
 }
 
-bool PricingService::collect_batch(std::vector<Request>& out) {
+bool PricingService::collect_batch(std::vector<Request>& out,
+                                   std::size_t limit) {
   out.clear();
   std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-  if (queue_.empty()) return false;  // stopping and fully drained
 
-  const auto pop_available = [&] {
-    while (out.size() < config_.max_batch && !queue_.empty()) {
-      out.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+  // Retry-aware pop: requests still inside their backoff window stay
+  // queued (FIFO order among the rest is preserved); during shutdown the
+  // backoff is ignored so draining stays fast.
+  const auto pop_available = [&](std::chrono::steady_clock::time_point now) {
+    for (auto it = queue_.begin();
+         it != queue_.end() && out.size() < limit;) {
+      if (stopping_ || !it->has_ready_at || it->ready_at <= now) {
+        out.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
     }
   };
-  pop_available();
+  const auto has_ready = [&] {
+    const auto now = std::chrono::steady_clock::now();
+    for (const Request& request : queue_) {
+      if (!request.has_ready_at || request.ready_at <= now) return true;
+    }
+    return false;
+  };
+
+  for (;;) {
+    not_empty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (stopping_ && queue_.empty()) return false;  // fully drained
+    pop_available(std::chrono::steady_clock::now());
+    if (!out.empty()) break;
+    // Everything queued is backing off: sleep until the earliest retry
+    // comes due (or a new arrival / shutdown wakes us).
+    auto wake = queue_.front().ready_at;
+    for (const Request& request : queue_) {
+      wake = std::min(wake, request.ready_at);
+    }
+    not_empty_.wait_until(lock, wake);
+  }
 
   // Micro-batching: hold a partial batch open for up to `linger` so that a
   // burst of single submits coalesces into one NDRange launch instead of
   // many tiny ones. Stop early on a full batch or shutdown.
-  if (out.size() < config_.max_batch &&
+  if (out.size() < limit &&
       config_.linger > std::chrono::microseconds::zero() && !stopping_) {
     const auto linger_deadline =
         std::chrono::steady_clock::now() + config_.linger;
-    while (out.size() < config_.max_batch && !stopping_) {
+    while (out.size() < limit && !stopping_) {
       if (!not_empty_.wait_until(lock, linger_deadline, [&] {
-            return stopping_ || !queue_.empty();
+            return stopping_ || has_ready();
           })) {
         break;  // linger window expired
       }
-      pop_available();
+      pop_available(std::chrono::steady_clock::now());
     }
   }
   lock.unlock();
@@ -252,23 +296,83 @@ bool PricingService::collect_batch(std::vector<Request>& out) {
   return true;
 }
 
+void PricingService::requeue(std::vector<Request*>& requests) {
+  if (requests.empty()) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (Request* request : requests) {
+      queue_.push_back(std::move(*request));
+      // The moved-from shell stays in the worker's batch vector; marking
+      // it resolved keeps batch unwinding away from the promise that just
+      // travelled back into the queue.
+      request->resolved = true;
+    }
+  }
+  not_empty_.notify_all();
+}
+
 void PricingService::worker_loop(std::size_t worker_index) {
   Worker& worker = *workers_[worker_index];
-  PricingAccelerator accelerator({worker.target, config_.steps,
-                                  /*compute_rmse=*/false,
-                                  config_.compute_units});
+  PricingAccelerator::Config acfg;
+  acfg.target = worker.target;
+  acfg.steps = config_.steps;
+  acfg.compute_rmse = false;
+  acfg.compute_units = config_.compute_units;
+  if (worker.index < config_.worker_fault_plans.size()) {
+    acfg.fault_plan = config_.worker_fault_plans[worker.index];
+  }
+  PricingAccelerator accelerator(std::move(acfg));
   std::vector<Request> batch;
-  while (collect_batch(batch)) {
-    process_batch(worker, accelerator, batch);
+  for (;;) {
+    bool probing = false;
+    {
+      // Quarantine gate: while this backend's circuit is open and the next
+      // half-open probe is not due, pull no traffic — the shared queue
+      // fails the load over to the surviving workers. Shutdown overrides
+      // the gate so a broken backend cannot strand queued requests.
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!stopping_ && !worker.health.serving() &&
+             !worker.health.probe_due(std::chrono::steady_clock::now())) {
+        not_empty_.wait_until(lock, worker.health.next_probe_at());
+      }
+      probing = !stopping_ &&
+                worker.health.state() == service::HealthState::kQuarantined;
+    }
+    // A probe is one request: the smallest blast radius that still
+    // exercises the real pricing path end to end.
+    if (!collect_batch(batch, probing ? 1 : config_.max_batch)) break;
+    try {
+      process_batch(worker, accelerator, batch, probing);
+    } catch (...) {
+      // Last-resort guard: process_batch resolves every request itself,
+      // but if it ever unwinds (allocation failure, a bug), no admitted
+      // promise may dangle — fail whatever is still unresolved and keep
+      // serving. Requeued shells are marked resolved and stay untouched.
+      const std::exception_ptr error = std::current_exception();
+      for (Request& request : batch) {
+        if (!request.resolved) fail(request, error);
+      }
+    }
   }
 }
 
 void PricingService::process_batch(Worker& worker,
                                    PricingAccelerator& accelerator,
-                                   std::vector<Request>& batch) {
+                                   std::vector<Request>& batch,
+                                   bool probing) {
   const Target target = worker.target;
   const auto now = std::chrono::steady_clock::now();
   ServiceStats delta;
+
+  const auto note_health =
+      [&delta](const service::BackendHealth::Event& event) {
+        if (event.changed()) ++delta.health_transitions;
+        if (event.entered_quarantine()) ++delta.quarantines_entered;
+        if (event.recovered()) {
+          ++delta.recoveries;
+          delta.time_to_recovery_ns.record(event.recovered_after_ns);
+        }
+      };
 
   // Outcomes are computed first and the promises resolved LAST, after the
   // stats delta lands in the worker shard: a client that calls stats()
@@ -277,10 +381,13 @@ void PricingService::process_batch(Worker& worker,
     Request* request;
     double price;
     bool from_cache;
+    bool degraded;
   };
   std::vector<Completion> completions;
   std::vector<std::pair<Request*, std::exception_ptr>> failures;
   std::vector<Request*> to_price;
+  std::vector<Request*> to_requeue;
+  std::vector<Request*> to_degrade;
   std::vector<finance::OptionSpec> specs;
   completions.reserve(batch.size());
   to_price.reserve(batch.size());
@@ -304,9 +411,9 @@ void PricingService::process_batch(Worker& worker,
     if (cache_.enabled()) {
       const CacheKey key = CacheKey::from(request.spec, config_.steps, target);
       if (const auto hit = cache_.lookup(key)) {
-        completions.push_back({&request, *hit, /*from_cache=*/true});
+        completions.push_back({&request, *hit, /*from_cache=*/true,
+                               /*degraded=*/false});
         ++delta.cache_hits;
-        ++delta.requests_completed;
         continue;
       }
       ++delta.cache_misses;
@@ -321,21 +428,35 @@ void PricingService::process_batch(Worker& worker,
     ++delta.batches_launched;
     delta.options_priced += to_price.size();
     delta.batch_fill.record(to_price.size());
+    if (probing) ++delta.probes_launched;
     launch_start = std::chrono::steady_clock::now();
+    std::exception_ptr fault_error;
+    bool fatal = false;
     try {
       const RunReport report = accelerator.run(specs);
       launch_end = std::chrono::steady_clock::now();
+      note_health(worker.health.record_success(launch_end));
+      if (probing) ++delta.probes_succeeded;
       for (std::size_t i = 0; i < to_price.size(); ++i) {
         if (cache_.enabled()) {
           delta.cache_evictions += cache_.insert(
               CacheKey::from(specs[i], config_.steps, target),
               report.prices[i]);
         }
-        completions.push_back(
-            {to_price[i], report.prices[i], /*from_cache=*/false});
-        ++delta.requests_completed;
+        completions.push_back({to_price[i], report.prices[i],
+                               /*from_cache=*/false, /*degraded=*/false});
       }
+    } catch (const ocl::faults::DeviceLostError&) {
+      launch_end = std::chrono::steady_clock::now();
+      fault_error = std::current_exception();
+      fatal = true;
+    } catch (const ocl::faults::TransientDeviceError&) {
+      launch_end = std::chrono::steady_clock::now();
+      fault_error = std::current_exception();
     } catch (...) {
+      // A non-fault error (contract violation, kernel bug) is not a device
+      // failure: retrying or failing over would just re-run the bug
+      // elsewhere. Fail the batch, leave the backend's health alone.
       launch_end = std::chrono::steady_clock::now();
       const std::exception_ptr error = std::current_exception();
       for (Request* request : to_price) {
@@ -343,12 +464,84 @@ void PricingService::process_batch(Worker& worker,
         ++delta.requests_failed;
       }
     }
+    if (fault_error) {
+      note_health(fatal ? worker.health.record_fatal(launch_end)
+                        : worker.health.record_transient(launch_end));
+      if (probing) ++delta.probes_failed;
+      for (Request* request : to_price) {
+        ++request->attempts;
+        if (request->attempts < config_.retry.max_attempts) {
+          if (fatal) {
+            // Failover: the backend is quarantined; a surviving worker may
+            // pick the request up immediately.
+            request->has_ready_at = false;
+            ++delta.failovers;
+          } else {
+            request->ready_at =
+                launch_end + config_.retry.backoff_for(
+                                 request->attempts + 1, worker.rng);
+            request->has_ready_at = true;
+            ++delta.retries;
+          }
+          to_requeue.push_back(request);
+        } else if (config_.degrade_to_cpu &&
+                   target != Target::kCpuReference) {
+          to_degrade.push_back(request);
+        } else {
+          failures.emplace_back(request, fault_error);
+          ++delta.requests_failed;
+        }
+      }
+    }
+  }
+
+  // Graceful degradation: requests out of retry budget are answered by a
+  // private CPU-reference fallback — a worse (not bit-identical) answer,
+  // flagged as such, instead of no answer. Not cached: emergency prices
+  // must not outlive the emergency.
+  if (!to_degrade.empty()) {
+    if (!worker.fallback) {
+      PricingAccelerator::Config fallback_config;
+      fallback_config.target = Target::kCpuReference;
+      fallback_config.steps = config_.steps;
+      fallback_config.compute_rmse = false;
+      worker.fallback =
+          std::make_unique<PricingAccelerator>(std::move(fallback_config));
+    }
+    std::vector<finance::OptionSpec> fallback_specs;
+    fallback_specs.reserve(to_degrade.size());
+    for (const Request* request : to_degrade) {
+      fallback_specs.push_back(request->spec);
+    }
+    const RunReport report = worker.fallback->run(fallback_specs);
+    for (std::size_t i = 0; i < to_degrade.size(); ++i) {
+      completions.push_back({to_degrade[i], report.prices[i],
+                             /*from_cache=*/false, /*degraded=*/true});
+      ++delta.degraded_completions;
+    }
   }
 
   // Every outcome is decided here; request latency runs from admission to
   // this point (promise resolution below is the client's own wakeup cost).
+  // The absolute deadline is enforced AGAIN at this point: a price decided
+  // past its request's deadline resolves as ServiceTimeoutError — pricing
+  // time counts against the deadline, not just queue wait.
   const auto decided = std::chrono::steady_clock::now();
+  std::vector<Completion> resolved;
+  resolved.reserve(completions.size());
   for (const Completion& done : completions) {
+    if (done.request->has_deadline && decided > done.request->deadline) {
+      failures.emplace_back(done.request,
+                            std::make_exception_ptr(ServiceTimeoutError(
+                                "quote request expired during pricing "
+                                "(absolute deadline passed)")));
+      ++delta.requests_timed_out;
+    } else {
+      resolved.push_back(done);
+      ++delta.requests_completed;
+    }
+  }
+  for (const Completion& done : resolved) {
     delta.request_latency_ns.record(
         elapsed_ns(done.request->admitted_at, decided));
   }
@@ -360,11 +553,25 @@ void PricingService::process_batch(Worker& worker,
     const std::lock_guard<std::mutex> lock(worker.shard_mutex);
     worker.shard += delta;
   }
-  for (const Completion& done : completions) {
-    fulfil(*done.request, done.price, target, done.from_cache);
+  // Redeliver retries/failovers before resolving this batch's outcomes so
+  // surviving workers can start on them immediately.
+  requeue(to_requeue);
+  for (const Completion& done : resolved) {
+    fulfil(*done.request, done.price,
+           done.degraded ? Target::kCpuReference : target, done.from_cache,
+           done.degraded);
   }
   for (auto& [request, error] : failures) {
     fail(*request, error);
+  }
+  // Belt and braces: every batch element must have been resolved or
+  // requeued above; a request falling through would hang its client
+  // forever, so surface the bug as a typed error instead.
+  for (Request& request : batch) {
+    if (!request.resolved) {
+      fail(request, std::make_exception_ptr(InvariantError(
+                        "pricing-service batch left a request unresolved")));
+    }
   }
 
   if (tracer_ != nullptr) {

@@ -16,9 +16,33 @@
 //                            naturally spreads across backends
 //   admission control        bounded queue; submitters block (backpressure)
 //                            when it is full; per-request timeouts expire
-//                            stale quotes instead of wasting device time
+//                            stale quotes instead of wasting device time —
+//                            the deadline is absolute (stamped at
+//                            admission) and enforced both before AND after
+//                            pricing: a result decided past the deadline
+//                            resolves as ServiceTimeoutError, never as a
+//                            stale price
 //   result cache             LRU keyed by (quantized OptionSpec, steps,
 //                            target); repeat ticks become O(1) hits
+//   fault tolerance          (DESIGN.md §2.5) retryable backend failures
+//                            re-enqueue the affected requests with
+//                            jittered exponential backoff (RetryPolicy);
+//                            fatal failures quarantine the backend
+//                            (BackendHealth circuit breaker with half-open
+//                            probes) and fail its in-flight work over to
+//                            the surviving workers via the shared queue;
+//                            optionally, requests that exhaust their retry
+//                            budget degrade to a CPU-reference fallback
+//                            instead of failing (Quote.degraded)
+//
+// Resolution contract: every admitted request resolves EXACTLY once — with
+// a price, a typed error, or a failover to another worker — even when a
+// worker dies mid-batch or the service shuts down with a broken backend.
+// A per-request latch makes resolution at-most-once by construction, and a
+// catch-all guard in the worker loop makes it at-least-once: any request
+// still unresolved when a batch unwinds is failed with the unwinding
+// error. Retries are bounded by RetryPolicy::max_attempts, so resolution
+// always terminates.
 //
 // Prices are bit-identical to a direct PricingAccelerator::run of the same
 // options on the same target: batching only regroups per-option-independent
@@ -39,6 +63,7 @@
 
 #include "common/error.h"
 #include "core/accelerator.h"
+#include "core/service/backend_health.h"
 #include "core/service/quote_cache.h"
 #include "core/service/service_stats.h"
 #include "finance/option.h"
@@ -101,6 +126,23 @@ struct ServiceConfig {
   /// resolve) on one lane per worker. nullptr = use the process tracer
   /// armed by BINOPT_OCL_TRACE, if any.
   ocl::trace::Tracer* tracer = nullptr;
+  /// Retry budget and backoff for retryable backend failures. Validated
+  /// strictly at construction (zero backoffs rejected).
+  service::RetryPolicy retry;
+  /// Circuit-breaker thresholds and half-open probe cadence, one
+  /// BackendHealth per worker. Validated strictly at construction.
+  service::HealthPolicy health;
+  /// When a request exhausts its retry budget on a faulting backend, price
+  /// it on a private CPU-reference fallback instead of failing. The Quote
+  /// reports target = kCpuReference and degraded = true, and the
+  /// completion counts in ServiceStats::degraded_completions. Off by
+  /// default: the fallback's prices are NOT bit-identical to the OCL
+  /// targets', so parity-sensitive callers must opt in.
+  bool degrade_to_cpu = false;
+  /// Per-worker fault plans (chaos testing): empty = no injection, else
+  /// exactly one plan per target, index-matched (an engaged-but-empty plan
+  /// explicitly disarms BINOPT_OCL_FAULTS for that worker's devices).
+  std::vector<ocl::faults::FaultPlan> worker_fault_plans;
 };
 
 /// Resolution of one single-quote request.
@@ -108,6 +150,9 @@ struct Quote {
   double price = 0.0;
   Target target = Target::kCpuReference;  ///< backend that produced it
   bool from_cache = false;
+  /// True when the configured backend gave up and the CPU-reference
+  /// fallback priced this quote instead (degrade_to_cpu).
+  bool degraded = false;
 };
 
 class PricingService {
@@ -160,12 +205,27 @@ private:
   /// batch.
   struct Request {
     finance::OptionSpec spec;
+    /// Absolute deadline, stamped once at admission. Enforced before
+    /// pricing (a stale request never reaches the device) and again after
+    /// the outcome is decided (a result computed past the deadline
+    /// resolves as ServiceTimeoutError, never as a late price).
     std::chrono::steady_clock::time_point deadline{};
     /// When the submitter handed the request to the service (set at
     /// enqueue_requests entry, so measured latency includes backpressure
     /// blocking — the wait the client actually experienced).
     std::chrono::steady_clock::time_point admitted_at{};
     bool has_deadline = false;
+    /// Pricing attempts consumed so far; requeues are bounded by
+    /// RetryPolicy::max_attempts so resolution always terminates.
+    std::size_t attempts = 0;
+    /// Retry backoff: the request is not collectable before ready_at
+    /// (ignored during shutdown so draining stays fast).
+    std::chrono::steady_clock::time_point ready_at{};
+    bool has_ready_at = false;
+    /// At-most-once latch: fulfil/fail flip it and refuse a second
+    /// resolution; requeue marks the moved-from shell so batch unwinding
+    /// cannot touch a promise that travelled back to the queue.
+    bool resolved = false;
     std::promise<Quote> single;
     std::shared_ptr<BatchState> batch;  ///< null for single requests
     std::size_t index = 0;              ///< position within the batch
@@ -180,10 +240,17 @@ private:
     std::thread thread;
     mutable std::mutex shard_mutex;
     service::ServiceStats shard;
+    /// Circuit breaker for this backend; touched only by the owning
+    /// worker thread (transitions surface through shard counters).
+    service::BackendHealth health;
+    /// Per-worker SplitMix64 state for backoff jitter.
+    std::uint64_t rng = 0;
+    /// Lazily-built CPU-reference fallback for degrade_to_cpu.
+    std::unique_ptr<PricingAccelerator> fallback;
   };
 
   static void fulfil(Request& request, double price, Target target,
-                     bool from_cache);
+                     bool from_cache, bool degraded = false);
   static void fail(Request& request, const std::exception_ptr& error);
 
   /// Admission gate: rejects specs the service must not accept (non-finite
@@ -198,13 +265,22 @@ private:
   /// mid-admission, fails the unadmitted requests and throws.
   void enqueue_requests(std::vector<Request>&& requests);
 
-  /// Pops up to max_batch requests, lingering for stragglers. Returns
-  /// false when the service is stopping and the queue is drained.
-  bool collect_batch(std::vector<Request>& out);
+  /// Pops up to `limit` requests whose retry backoff (ready_at) has
+  /// passed, lingering for stragglers. During shutdown backoffs are
+  /// ignored so draining stays fast. Returns false when the service is
+  /// stopping and the queue is drained.
+  bool collect_batch(std::vector<Request>& out, std::size_t limit);
+
+  /// Internal redelivery (retry / failover): moves requests back into the
+  /// queue, bypassing the admission capacity bound — workers must never
+  /// block as producers on a queue they are the consumers of. Bounded
+  /// naturally by the in-flight request count. Marks the moved-from
+  /// shells resolved so the caller's batch unwinding skips them.
+  void requeue(std::vector<Request*>& requests);
 
   void worker_loop(std::size_t worker_index);
   void process_batch(Worker& worker, PricingAccelerator& accelerator,
-                     std::vector<Request>& batch);
+                     std::vector<Request>& batch, bool probing);
 
   ServiceConfig config_;
   service::QuoteCache cache_;

@@ -28,6 +28,12 @@ namespace binopt::core::service {
 ///   Cache: LRU quote-cache hits, misses, and evictions.
 ///   Batching: NDRange-sized launches actually sent to an accelerator and
 ///   the options they carried (occupancy = options_priced / slots).
+///   Robustness (DESIGN.md §2.5): retries counts re-enqueues after a
+///   retryable failure; failovers counts re-enqueues after a fatal one
+///   (the request moves to a surviving backend); degraded_completions are
+///   requests answered by the CPU-reference fallback after the primary
+///   gave up. Health: every BackendHealth transition, quarantine entries,
+///   half-open probe outcomes, and full recoveries (circuit closed).
 #define BINOPT_SERVICE_STATS_COUNTERS(X) \
   X(requests_submitted)                  \
   X(requests_completed)                  \
@@ -37,7 +43,16 @@ namespace binopt::core::service {
   X(cache_misses)                        \
   X(cache_evictions)                     \
   X(batches_launched)                    \
-  X(options_priced)
+  X(options_priced)                      \
+  X(retries)                             \
+  X(failovers)                           \
+  X(degraded_completions)                \
+  X(health_transitions)                  \
+  X(quarantines_entered)                 \
+  X(probes_launched)                     \
+  X(probes_succeeded)                    \
+  X(probes_failed)                       \
+  X(recoveries)
 
 struct ServiceStats {
 #define BINOPT_SERVICE_STATS_DECLARE(field) std::uint64_t field = 0;
@@ -51,6 +66,9 @@ struct ServiceStats {
   LogHistogram request_latency_ns;  ///< admission -> outcome decided
   LogHistogram queue_wait_ns;       ///< admission -> batch collected
   LogHistogram batch_fill;          ///< options per launched batch
+  /// Quarantine entry -> circuit closed, one sample per recovery (spans
+  /// failed probes: the whole outage, not the last probe gap).
+  LogHistogram time_to_recovery_ns;
 
   void reset() { *this = ServiceStats{}; }
 
@@ -63,6 +81,8 @@ struct ServiceStats {
     d.request_latency_ns = request_latency_ns.minus(earlier.request_latency_ns);
     d.queue_wait_ns = queue_wait_ns.minus(earlier.queue_wait_ns);
     d.batch_fill = batch_fill.minus(earlier.batch_fill);
+    d.time_to_recovery_ns =
+        time_to_recovery_ns.minus(earlier.time_to_recovery_ns);
     return d;
   }
 
@@ -77,6 +97,7 @@ struct ServiceStats {
     request_latency_ns += shard.request_latency_ns;
     queue_wait_ns += shard.queue_wait_ns;
     batch_fill += shard.batch_fill;
+    time_to_recovery_ns += shard.time_to_recovery_ns;
     return *this;
   }
 

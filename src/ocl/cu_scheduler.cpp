@@ -84,6 +84,13 @@ void ComputeUnitScheduler::set_tracer(trace::Tracer* tracer,
   trace_pid_ = pid;
 }
 
+void ComputeUnitScheduler::arm_worker_death(std::size_t cu,
+                                            faults::FaultContext context) {
+  death_cu_ = cu % units_.size();
+  death_context_ = std::move(context);
+  death_context_.cu = death_cu_;
+}
+
 void ComputeUnitScheduler::flush_spans(const Kernel& kernel) {
   if (tracer_ == nullptr) return;
   for (auto& unit : units_) {
@@ -108,11 +115,27 @@ void ComputeUnitScheduler::execute(const Kernel& kernel,
   units_[0]->executor.validate(kernel, args, range);
   const std::size_t num_groups = range.num_groups();
 
+  // Consume an armed worker death (one-shot, whatever the outcome).
+  const std::size_t kill_cu = death_cu_;
+  const faults::FaultContext death_context = std::move(death_context_);
+  death_cu_ = kNoDeath;
+  death_context_ = {};
+
   // Serial fast path: a single unit (or a single group) gains nothing
   // from the worker pool — run inline on the enqueuing thread with zero
   // scheduling overhead. Counter-wise this is the definitional baseline
   // the parallel path must (and does) reproduce exactly.
   if (units_.size() == 1 || num_groups == 1) {
+    if (kill_cu != kNoDeath) {
+      // The lone serving unit dies before pulling any work: no group ran,
+      // no counters moved — the same observable contract as the parallel
+      // path's cancel-before-first-chunk.
+      throw faults::TransientDeviceError(
+          faults::FaultKind::kCuDeath, death_context,
+          "injected fault: compute-unit worker " +
+              std::to_string(death_context.cu) + " died (" +
+              death_context.describe() + ")");
+    }
     Unit& unit = *units_[0];
     if (tracer_ == nullptr) {
       try {
@@ -165,6 +188,8 @@ void ComputeUnitScheduler::execute(const Kernel& kernel,
     job_range_ = range;
     job_num_groups_ = num_groups;
     job_chunk_groups_ = chunk;
+    job_kill_cu_ = kill_cu;
+    if (kill_cu != kNoDeath) death_context_ = death_context;
     next_group_.store(0, std::memory_order_relaxed);
     cancelled_.store(false, std::memory_order_relaxed);
     error_ = nullptr;
@@ -221,6 +246,20 @@ void ComputeUnitScheduler::worker_loop(std::size_t unit_index) {
 void ComputeUnitScheduler::run_chunks(Unit& unit) {
   unit.shard.reset();
   unit.spans.clear();
+  if (unit.index == job_kill_cu_) {
+    // Injected worker death: this unit dies before pulling any work.
+    // Group id 0 makes this error win record_error's lowest-group
+    // preference, mirroring what a serial run would have surfaced first.
+    record_error(
+        std::make_exception_ptr(faults::TransientDeviceError(
+            faults::FaultKind::kCuDeath, death_context_,
+            "injected fault: compute-unit worker " +
+                std::to_string(unit.index) + " died (" +
+                death_context_.describe() + ")")),
+        0);
+    cancelled_.store(true, std::memory_order_release);
+    return;
+  }
   const bool tracing = tracer_ != nullptr;
   while (!cancelled_.load(std::memory_order_acquire)) {
     const std::size_t begin =

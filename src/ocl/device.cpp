@@ -1,10 +1,28 @@
 #include "ocl/device.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/error.h"
 
 namespace binopt::ocl {
+namespace {
+
+/// Quotes a context string as a JSON literal for TraceEvent args.
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
 
 Device::Device(std::string name, DeviceKind kind, DeviceLimits limits)
     : name_(std::move(name)),
@@ -20,6 +38,29 @@ Device::Device(std::string name, DeviceKind kind, DeviceLimits limits)
                  "' must allow work-groups");
   rebuild_scheduler(resolve_compute_units(limits_.compute_units));
   if (trace::Tracer* env = trace::env_tracer()) set_tracer(env);
+  if (const faults::FaultPlan* plan = faults::env_fault_plan()) {
+    set_fault_plan(*plan);
+  }
+}
+
+void Device::set_fault_plan(faults::FaultPlan plan) {
+  injector_ = std::make_unique<faults::FaultInjector>(std::move(plan));
+}
+
+void Device::note_fault(faults::FaultKind kind,
+                        const faults::FaultContext& context) {
+  if (injector_ != nullptr) injector_->record(kind, context);
+  if (tracer_ == nullptr) return;
+  trace::TraceEvent te;
+  te.name = "fault:" + faults::to_string(kind);
+  te.category = "fault";
+  te.phase = 'i';
+  te.start_ns = trace::monotonic_ns();
+  te.pid = trace_pid_;
+  te.tid = 0;  // command-queue lane
+  te.args.emplace_back("ordinal", std::to_string(context.ordinal));
+  te.args.emplace_back("context", json_quote(context.describe()));
+  tracer_->record(std::move(te));
 }
 
 void Device::rebuild_scheduler(std::size_t units) {
@@ -68,6 +109,39 @@ void Device::set_analyzer(analyzer::AnalyzerConfig config) {
 
 void Device::execute(const Kernel& kernel, const KernelArgs& args,
                      NDRange range) {
+  if (injector_ != nullptr) {
+    const faults::LaunchFaults f = injector_->next_launch();
+    faults::FaultContext ctx;
+    ctx.device = name_;
+    ctx.resource = kernel.name;
+    ctx.domain = faults::FaultDomain::kLaunch;
+    ctx.ordinal = f.ordinal;
+    if (f.stall_ns != 0) {
+      // Stalled launch: burn real wall time before (maybe) running, so the
+      // queue's watchdog deadline — which measures actual elapsed time —
+      // can classify this command as lost.
+      note_fault(faults::FaultKind::kStall, ctx);
+      std::this_thread::sleep_for(std::chrono::nanoseconds(f.stall_ns));
+    }
+    if (f.device_lost) {
+      note_fault(faults::FaultKind::kDeviceLost, ctx);
+      throw faults::DeviceLostError(
+          faults::FaultKind::kDeviceLost, ctx,
+          "injected fault: device lost (" + ctx.describe() + ")");
+    }
+    if (f.transient) {
+      note_fault(faults::FaultKind::kTransient, ctx);
+      throw faults::TransientDeviceError(
+          faults::FaultKind::kTransient, ctx,
+          "injected fault: transient launch failure (" + ctx.describe() +
+              ")");
+    }
+    if (f.kill_cu.has_value()) {
+      ctx.cu = *f.kill_cu % scheduler_->compute_units();
+      note_fault(faults::FaultKind::kCuDeath, ctx);
+      scheduler_->arm_worker_death(*f.kill_cu, ctx);
+    }
+  }
   scheduler_->execute(kernel, args, range, stats_);
 }
 

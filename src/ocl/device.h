@@ -17,6 +17,7 @@
 
 #include "ocl/analyzer/hazard.h"
 #include "ocl/cu_scheduler.h"
+#include "ocl/faults/fault_plan.h"
 #include "ocl/stats.h"
 #include "ocl/trace/tracer.h"
 #include "ocl/types.h"
@@ -86,6 +87,25 @@ public:
   /// The tracer process id this device's lanes live under.
   [[nodiscard]] std::uint32_t trace_pid() const { return trace_pid_; }
 
+  /// Arms deterministic fault injection (DESIGN.md §2.5): the plan is
+  /// compiled into a FaultInjector whose per-domain ordinal counters
+  /// decide, on every kernel launch / buffer read / buffer write, whether
+  /// an injected fault fires. Resolved from BINOPT_OCL_FAULTS at
+  /// construction; set_fault_plan() overrides per device. Must not be
+  /// called mid-kernel. With no plan armed the cost is one branch per
+  /// injection point and behavior is bit-identical.
+  void set_fault_plan(faults::FaultPlan plan);
+  void clear_fault_plan() { injector_.reset(); }
+  /// The armed injector, or nullptr when fault injection is off.
+  [[nodiscard]] faults::FaultInjector* fault_injector() const {
+    return injector_.get();
+  }
+  /// Records a fired fault in the injector's log and, when a tracer is
+  /// attached, emits an 'i' (instant) trace marker on the command-queue
+  /// lane. Called by the device itself and by CommandQueue for
+  /// read/write/watchdog faults.
+  void note_fault(faults::FaultKind kind, const faults::FaultContext& context);
+
   /// Event profiling (CL_QUEUE_PROFILING_ENABLE equivalent, device-wide):
   /// when on, queues stamp queued/submitted/start/end host-nanosecond
   /// timestamps into their events. Off by default — one branch per
@@ -113,6 +133,7 @@ private:
   std::uint32_t trace_pid_ = 0;
   bool profiling_ = false;
   std::unique_ptr<ComputeUnitScheduler> scheduler_;
+  std::unique_ptr<faults::FaultInjector> injector_;
 };
 
 }  // namespace binopt::ocl

@@ -1,0 +1,291 @@
+#include "ocl/faults/fault_plan.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "ocl/cu_scheduler.h"
+
+namespace binopt::ocl::faults {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDeviceLost: return "device-lost";
+    case FaultKind::kTransient: return "transient";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kCuDeath: return "cu-death";
+    case FaultKind::kReadError: return "read-error";
+    case FaultKind::kCorruptRead: return "corrupt-read";
+    case FaultKind::kWriteError: return "write-error";
+  }
+  return "unknown";
+}
+
+FaultDomain domain_of(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kReadError:
+    case FaultKind::kCorruptRead:
+      return FaultDomain::kRead;
+    case FaultKind::kWriteError:
+      return FaultDomain::kWrite;
+    default:
+      return FaultDomain::kLaunch;
+  }
+}
+
+namespace {
+
+const char* domain_name(FaultDomain domain) {
+  switch (domain) {
+    case FaultDomain::kLaunch: return "launch";
+    case FaultDomain::kRead: return "read";
+    case FaultDomain::kWrite: return "write";
+  }
+  return "?";
+}
+
+/// Strict unsigned parse, the resolve_compute_units discipline: pure digit
+/// string (no sign, no whitespace), overflow rejected via errno.
+std::uint64_t parse_uint(const std::string& text, const std::string& clause,
+                         const char* what) {
+  const bool digits_only =
+      !text.empty() && [&text] {
+        for (const char c : text) {
+          if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+        }
+        return true;
+      }();
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  BINOPT_REQUIRE(digits_only && end != text.c_str() && *end == '\0' &&
+                     errno != ERANGE,
+                 "fault plan clause '", clause, "': ", what,
+                 " must be an unsigned integer, got '", text, "'");
+  return static_cast<std::uint64_t>(parsed);
+}
+
+bool parse_kind(const std::string& name, FaultKind& out) {
+  for (const FaultKind kind :
+       {FaultKind::kDeviceLost, FaultKind::kTransient, FaultKind::kStall,
+        FaultKind::kCuDeath, FaultKind::kReadError, FaultKind::kCorruptRead,
+        FaultKind::kWriteError}) {
+    if (to_string(kind) == name) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t end = text.find(sep, begin);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(begin));
+      return parts;
+    }
+    parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+}
+
+FaultClause parse_clause(const std::string& clause) {
+  const std::size_t at = clause.find('@');
+  BINOPT_REQUIRE(at != std::string::npos && at > 0,
+                 "fault plan clause '", clause,
+                 "' is malformed: expected <kind>@<trigger>[,<param>...]");
+  FaultClause parsed;
+  const std::string kind_name = clause.substr(0, at);
+  BINOPT_REQUIRE(parse_kind(kind_name, parsed.kind),
+                 "fault plan clause '", clause, "': unknown fault kind '",
+                 kind_name, "' (known: device-lost, transient, stall, "
+                 "cu-death, read-error, corrupt-read, write-error)");
+
+  const std::vector<std::string> parts = split(clause.substr(at + 1), ',');
+  const std::string& trigger = parts.front();
+  if (!trigger.empty() && trigger.front() == '~') {
+    parsed.percent = static_cast<std::uint32_t>(
+        parse_uint(trigger.substr(1), clause, "probability percent"));
+    BINOPT_REQUIRE(parsed.percent >= 1 && parsed.percent <= 100,
+                   "fault plan clause '", clause,
+                   "': probability percent must be in [1, 100], got ",
+                   parsed.percent);
+  } else {
+    const std::size_t x = trigger.find('x');
+    const std::string ordinal_text =
+        x == std::string::npos ? trigger : trigger.substr(0, x);
+    parsed.ordinal = parse_uint(ordinal_text, clause, "ordinal");
+    BINOPT_REQUIRE(parsed.ordinal >= 1, "fault plan clause '", clause,
+                   "': ordinals are 1-based; 0 never fires");
+    if (x != std::string::npos) {
+      parsed.count = parse_uint(trigger.substr(x + 1), clause, "count");
+      BINOPT_REQUIRE(parsed.count >= 1, "fault plan clause '", clause,
+                     "': repeat count must be >= 1");
+      BINOPT_REQUIRE(parsed.ordinal + parsed.count > parsed.ordinal,
+                     "fault plan clause '", clause,
+                     "': ordinal + count overflows");
+    }
+  }
+
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::size_t eq = parts[i].find('=');
+    BINOPT_REQUIRE(eq != std::string::npos, "fault plan clause '", clause,
+                   "': parameter '", parts[i], "' is not key=value");
+    const std::string key = parts[i].substr(0, eq);
+    const std::string value = parts[i].substr(eq + 1);
+    if (key == "ms") {
+      BINOPT_REQUIRE(parsed.kind == FaultKind::kStall,
+                     "fault plan clause '", clause,
+                     "': 'ms=' only applies to stall faults");
+      parsed.stall_ms = parse_uint(value, clause, "stall ms");
+      BINOPT_REQUIRE(parsed.stall_ms >= 1, "fault plan clause '", clause,
+                     "': a zero-ms stall is not a stall");
+      BINOPT_REQUIRE(parsed.stall_ms <= 60'000, "fault plan clause '",
+                     clause, "': stall ms capped at 60000 (one minute)");
+    } else if (key == "cu") {
+      BINOPT_REQUIRE(parsed.kind == FaultKind::kCuDeath,
+                     "fault plan clause '", clause,
+                     "': 'cu=' only applies to cu-death faults");
+      parsed.cu = parse_uint(value, clause, "compute unit");
+      BINOPT_REQUIRE(parsed.cu < kMaxComputeUnits, "fault plan clause '",
+                     clause, "': cu must be < ", kMaxComputeUnits);
+    } else {
+      BINOPT_REQUIRE(false, "fault plan clause '", clause,
+                     "': unknown parameter '", key,
+                     "' (known: ms= for stall, cu= for cu-death)");
+    }
+  }
+  return parsed;
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& raw : split(spec, ';')) {
+    // Allow (and skip) empty clauses from trailing/duplicate semicolons.
+    std::string clause;
+    for (const char c : raw) {
+      if (!std::isspace(static_cast<unsigned char>(c))) clause.push_back(c);
+    }
+    if (clause.empty()) continue;
+    if (clause.rfind("watchdog-ms=", 0) == 0) {
+      const std::uint64_t ms =
+          parse_uint(clause.substr(12), clause, "watchdog ms");
+      BINOPT_REQUIRE(ms >= 1, "fault plan clause '", clause,
+                     "': a zero watchdog would declare every command lost");
+      BINOPT_REQUIRE(ms <= 3'600'000, "fault plan clause '", clause,
+                     "': watchdog ms capped at 3600000 (one hour)");
+      plan.watchdog_ns = ms * 1'000'000ull;
+      continue;
+    }
+    if (clause.rfind("seed=", 0) == 0) {
+      plan.seed = parse_uint(clause.substr(5), clause, "seed");
+      continue;
+    }
+    plan.clauses.push_back(parse_clause(clause));
+  }
+  return plan;
+}
+
+const FaultPlan* env_fault_plan() {
+  static const FaultPlan* plan = [] {
+    const char* spec = std::getenv("BINOPT_OCL_FAULTS");
+    if (spec == nullptr || *spec == '\0') return (const FaultPlan*)nullptr;
+    static const FaultPlan parsed = parse_fault_plan(spec);
+    return &parsed;
+  }();
+  return plan;
+}
+
+std::string FaultContext::describe() const {
+  std::ostringstream os;
+  os << "device '" << device << "', " << domain_name(domain) << " ordinal "
+     << ordinal;
+  if (!resource.empty()) {
+    os << (domain == FaultDomain::kLaunch ? ", kernel '" : ", buffer '")
+       << resource << '\'';
+  }
+  if (domain == FaultDomain::kLaunch && cu != 0) os << ", cu " << cu;
+  if (sequence != kNoSequence) os << ", command sequence " << sequence;
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+bool FaultInjector::clause_fires(const FaultClause& clause,
+                                 std::uint64_t ordinal) const {
+  if (clause.percent != 0) {
+    // SplitMix64 finalizer over (seed, kind, ordinal): two injectors built
+    // from the same plan fire identically — deterministic chaos.
+    std::uint64_t z = plan_.seed ^ (ordinal * 0x9E3779B97F4A7C15ull) ^
+                      (static_cast<std::uint64_t>(clause.kind) << 32);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return z % 100 < clause.percent;
+  }
+  return ordinal >= clause.ordinal && ordinal < clause.ordinal + clause.count;
+}
+
+LaunchFaults FaultInjector::next_launch() {
+  LaunchFaults out;
+  out.ordinal = launches_.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (const FaultClause& clause : plan_.clauses) {
+    if (domain_of(clause.kind) != FaultDomain::kLaunch) continue;
+    if (!clause_fires(clause, out.ordinal)) continue;
+    switch (clause.kind) {
+      case FaultKind::kDeviceLost: out.device_lost = true; break;
+      case FaultKind::kTransient: out.transient = true; break;
+      case FaultKind::kStall: out.stall_ns = clause.stall_ms * 1'000'000ull;
+        break;
+      case FaultKind::kCuDeath: out.kill_cu = clause.cu; break;
+      default: break;
+    }
+  }
+  return out;
+}
+
+ReadFaults FaultInjector::next_read() {
+  ReadFaults out;
+  out.ordinal = reads_.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (const FaultClause& clause : plan_.clauses) {
+    if (domain_of(clause.kind) != FaultDomain::kRead) continue;
+    if (!clause_fires(clause, out.ordinal)) continue;
+    if (clause.kind == FaultKind::kReadError) out.error = true;
+    if (clause.kind == FaultKind::kCorruptRead) out.corrupt = true;
+  }
+  return out;
+}
+
+std::pair<std::uint64_t, bool> FaultInjector::next_write() {
+  const std::uint64_t ordinal =
+      writes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (const FaultClause& clause : plan_.clauses) {
+    if (domain_of(clause.kind) != FaultDomain::kWrite) continue;
+    if (clause_fires(clause, ordinal)) return {ordinal, true};
+  }
+  return {ordinal, false};
+}
+
+void FaultInjector::record(FaultKind kind, const FaultContext& context) {
+  const std::lock_guard<std::mutex> lock(log_mutex_);
+  log_.push_back(FaultRecord{kind, context});
+}
+
+std::vector<FaultRecord> FaultInjector::fired() const {
+  const std::lock_guard<std::mutex> lock(log_mutex_);
+  return log_;
+}
+
+std::size_t FaultInjector::fired_count() const {
+  const std::lock_guard<std::mutex> lock(log_mutex_);
+  return log_.size();
+}
+
+}  // namespace binopt::ocl::faults

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ocl/device.h"
+#include "ocl/faults/fault_plan.h"
 #include "ocl/trace/tracer.h"
 
 namespace binopt::ocl {
@@ -16,6 +17,15 @@ std::string trace_name(const Event& event) {
     case CommandKind::kNDRangeKernel: return event.label;
   }
   return event.label;
+}
+
+faults::FaultDomain command_domain(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kWriteBuffer: return faults::FaultDomain::kWrite;
+    case CommandKind::kReadBuffer: return faults::FaultDomain::kRead;
+    case CommandKind::kNDRangeKernel: return faults::FaultDomain::kLaunch;
+  }
+  return faults::FaultDomain::kLaunch;
 }
 
 }  // namespace
@@ -80,14 +90,51 @@ void CommandQueue::run_command(std::uint64_t sequence,
                                const std::function<void()>& action) {
   Device& dev = device();
   const bool profiling = dev.profiling();
+  faults::FaultInjector* injector = dev.fault_injector();
+  const std::uint64_t watchdog_ns =
+      injector != nullptr ? injector->watchdog_ns() : 0;
+  std::uint64_t start_ns = 0;
   if (profiling) {
     Event& ev = live_event(sequence);
     if (ev.profile.submitted_ns == 0) {
       ev.profile.submitted_ns = trace::monotonic_ns();
     }
     ev.profile.start_ns = trace::monotonic_ns();
+    start_ns = ev.profile.start_ns;
+  } else if (watchdog_ns != 0) {
+    start_ns = trace::monotonic_ns();
   }
-  action();
+  try {
+    action();
+  } catch (faults::FaultError& fault) {
+    // Attribute the fault to this command before it propagates; catching
+    // by reference and rethrowing with `throw;` keeps the same exception
+    // object, so the sequence survives to the caller.
+    fault.set_sequence(sequence);
+    throw;
+  }
+  if (watchdog_ns != 0) {
+    const std::uint64_t elapsed = trace::monotonic_ns() - start_ns;
+    if (elapsed > watchdog_ns) {
+      // Watchdog deadline: the command eventually returned, but far past
+      // its deadline — a real runtime would have declared the device lost
+      // long ago, and any result is untrusted. The event stays incomplete
+      // (run_command's caller drops it with the rest of the pending tail).
+      Event& timed_out = live_event(sequence);
+      faults::FaultContext ctx;
+      ctx.device = dev.name();
+      ctx.resource = timed_out.label;
+      ctx.domain = command_domain(timed_out.kind);
+      ctx.sequence = sequence;
+      dev.note_fault(faults::FaultKind::kDeviceLost, ctx);
+      throw faults::DeviceLostError(
+          faults::FaultKind::kDeviceLost, ctx,
+          "injected fault: watchdog expired — command ran " +
+              std::to_string(elapsed / 1'000'000) + " ms against a " +
+              std::to_string(watchdog_ns / 1'000'000) + " ms deadline (" +
+              ctx.describe() + ")");
+    }
+  }
   Event& ev = live_event(sequence);
   if (profiling) ev.profile.end_ns = trace::monotonic_ns();
   ev.completed = true;
@@ -169,6 +216,20 @@ EventId CommandQueue::enqueue_write(Buffer& buffer,
   Buffer* target = &buffer;
   Device* device = &this->device();
   return dispatch(std::move(event), [target, src, offset_bytes, device] {
+    if (faults::FaultInjector* injector = device->fault_injector()) {
+      const auto [ordinal, fail] = injector->next_write();
+      if (fail) {
+        faults::FaultContext ctx;
+        ctx.device = device->name();
+        ctx.resource = target->name();
+        ctx.domain = faults::FaultDomain::kWrite;
+        ctx.ordinal = ordinal;
+        device->note_fault(faults::FaultKind::kWriteError, ctx);
+        throw faults::TransientDeviceError(
+            faults::FaultKind::kWriteError, ctx,
+            "injected fault: buffer write failed (" + ctx.describe() + ")");
+      }
+    }
     target->write(offset_bytes, src);
     RuntimeStats& stats = device->stats();
     stats.host_to_device_bytes += src.size();
@@ -190,7 +251,31 @@ EventId CommandQueue::enqueue_read(Buffer& buffer, std::span<std::byte> dst,
   Buffer* source = &buffer;
   Device* device = &this->device();
   return dispatch(std::move(event), [source, dst, offset_bytes, device] {
+    faults::ReadFaults rf;
+    if (faults::FaultInjector* injector = device->fault_injector()) {
+      rf = injector->next_read();
+    }
+    faults::FaultContext ctx;
+    if (rf.error || rf.corrupt) {
+      ctx.device = device->name();
+      ctx.resource = source->name();
+      ctx.domain = faults::FaultDomain::kRead;
+      ctx.ordinal = rf.ordinal;
+    }
+    if (rf.error) {
+      device->note_fault(faults::FaultKind::kReadError, ctx);
+      throw faults::TransientDeviceError(
+          faults::FaultKind::kReadError, ctx,
+          "injected fault: buffer read failed (" + ctx.describe() + ")");
+    }
     source->read(offset_bytes, dst);
+    if (rf.corrupt && !dst.empty()) {
+      // Silent DMA-style corruption: flip the leading bytes. The transfer
+      // "succeeds" — only a checksum or parity harness can tell.
+      const std::size_t n = dst.size() < 8 ? dst.size() : 8;
+      for (std::size_t i = 0; i < n; ++i) dst[i] ^= std::byte{0xFF};
+      device->note_fault(faults::FaultKind::kCorruptRead, ctx);
+    }
     RuntimeStats& stats = device->stats();
     stats.device_to_host_bytes += dst.size();
     ++stats.host_transfers;

@@ -99,7 +99,8 @@ void Tracer::write_json(std::ostream& os) const {
   }
   for (const TraceEvent& e : events_) {
     sep();
-    os << R"({"ph":"X","name":)";
+    const bool instant = e.phase == 'i';
+    os << R"({"ph":")" << (instant ? 'i' : 'X') << R"(","name":)";
     write_json_string(os, e.name);
     os << R"(,"cat":)";
     write_json_string(os, e.category.empty() ? std::string("runtime")
@@ -110,8 +111,12 @@ void Tracer::write_json(std::ostream& os) const {
         e.start_ns >= session_start_ns_ ? e.start_ns - session_start_ns_ : 0;
     os << R"(,"ts":)";
     write_us(os, rel);
-    os << R"(,"dur":)";
-    write_us(os, e.dur_ns);
+    if (instant) {
+      os << R"(,"s":"t")";  // thread-scoped instant marker
+    } else {
+      os << R"(,"dur":)";
+      write_us(os, e.dur_ns);
+    }
     os << R"(,"pid":)" << e.pid << R"(,"tid":)" << e.tid;
     if (!e.args.empty()) {
       os << R"(,"args":{)";

@@ -48,12 +48,17 @@ struct WorkGroupSpan {
   std::uint64_t end_ns = 0;
 };
 
-/// One Chrome trace_event "X" (complete) record. Timestamps are absolute
-/// monotonic_ns(); write_json() rebases them onto the tracer's session
-/// start so the trace opens at t = 0.
+/// One Chrome trace_event record: an "X" (complete) span by default, or an
+/// "i" (instant) marker — used for injected faults, which have a moment
+/// but no duration. Timestamps are absolute monotonic_ns(); write_json()
+/// rebases them onto the tracer's session start so the trace opens at
+/// t = 0.
 struct TraceEvent {
   std::string name;
   std::string category;
+  /// Chrome phase: 'X' = complete span, 'i' = instant (dur_ns ignored,
+  /// rendered as a thread-scoped marker).
+  char phase = 'X';
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
   std::uint32_t pid = 0;

@@ -299,7 +299,7 @@ TEST(ServiceStats, MergeMinusAndVisitorAgree) {
     ++fields;
   });
   EXPECT_EQ(visited_total, 12u + 2u + 3u);
-  EXPECT_EQ(fields, 9u);  // the X-macro list
+  EXPECT_EQ(fields, 18u);  // the X-macro list (9 core + 9 robustness)
 }
 
 TEST(ServiceStats, OccupancyAndHitRateHelpers) {
@@ -433,6 +433,7 @@ TEST(ServiceStats, HistogramsTravelThroughMergeAndMinus) {
   b.requests_completed = 2;
   b.request_latency_ns.record(2000);
   b.batch_fill.record(16);
+  b.time_to_recovery_ns.record(5'000'000);
 
   service::ServiceStats sum = a;
   sum += b;
@@ -440,13 +441,14 @@ TEST(ServiceStats, HistogramsTravelThroughMergeAndMinus) {
   EXPECT_EQ(sum.request_latency_ns.sum(), 3000u);
   EXPECT_EQ(sum.queue_wait_ns.count(), 1u);
   EXPECT_EQ(sum.batch_fill.count(), 1u);
+  EXPECT_EQ(sum.time_to_recovery_ns.count(), 1u);
   EXPECT_EQ(sum.minus(a), b);  // minus inverts merge, histograms included
 
   // The counter visitor stays counters-only: histograms are reported via
   // their own accessors, and the X-macro field count is pinned elsewhere.
   std::size_t fields = 0;
   sum.for_each_counter([&](const char*, std::uint64_t) { ++fields; });
-  EXPECT_EQ(fields, 9u);
+  EXPECT_EQ(fields, 18u);
 }
 
 }  // namespace

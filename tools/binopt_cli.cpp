@@ -20,6 +20,12 @@
 // cache) and exits non-zero if any served price differs bitwise from a
 // direct PricingAccelerator run of the same curve.
 //
+// `binopt_cli chaos` prices a curve through the PricingService while a
+// deterministic fault plan (DESIGN.md §2.5) injects device failures into
+// every backend worker, and exits non-zero unless every price is bitwise
+// identical to the fault-free run, no request is lost, and any quarantined
+// backend recovered.
+//
 // `binopt_cli trace` runs both paper kernels on a multi-compute-unit
 // device plus a short PricingService session with the tracer attached and
 // writes the whole session as Chrome trace_event JSON (open the file in
@@ -43,11 +49,14 @@
 #include "kernels/kernel_b.h"
 #include "ocl/analyzer/ir_lint.h"
 #include "ocl/device.h"
+#include "ocl/faults/fault_plan.h"
 #include "ocl/trace/tracer.h"
 
 namespace {
 
 using namespace binopt;
+
+[[noreturn]] void fail(const std::string& message);
 
 void print_usage() {
   std::printf(
@@ -80,6 +89,20 @@ void print_usage() {
       "  --max-batch <N>    micro-batch ceiling    (default 256)\n"
       "  --linger-us <N>    batch linger window    (default 200)\n"
       "  --cache <N>        quote-cache capacity   (default 4096)\n"
+      "\n"
+      "subcommand: binopt_cli chaos [flags]\n"
+      "  Prices a volatility curve through the PricingService while a\n"
+      "  fault plan (DESIGN.md 2.5) injects failures into every backend\n"
+      "  worker, then asserts bitwise price parity with the fault-free\n"
+      "  direct run, zero lost requests, and quarantine -> recovery when\n"
+      "  a fatal fault fired. Exits non-zero on any violation.\n"
+      "  --options <N>      curve size             (default 256)\n"
+      "  --steps <N>        tree steps             (default 128)\n"
+      "  --target <name>    accelerator target     (default kernel-b-fpga;\n"
+      "                     must be an OpenCL target, not cpu)\n"
+      "  --workers <N>      backend worker count   (default 2)\n"
+      "  --faults <spec>    fault plan for every worker (default\n"
+      "                     'device-lost@1;transient@3x2;seed=7')\n"
       "\n"
       "subcommand: binopt_cli trace [flags]\n"
       "  Runs kernels IV.A and IV.B on a 4-compute-unit device plus a\n"
@@ -181,6 +204,114 @@ int run_serve_bench(std::size_t num_options, std::size_t steps,
   }
   std::printf("serve-bench passed: %zu prices bit-identical to the direct "
               "run on both passes\n",
+              curve.size());
+  return 0;
+}
+
+/// The chaos mode: price one curve through the service while every backend
+/// worker runs under an injected fault plan, then hold the service to the
+/// robustness contract — bitwise parity with the fault-free direct run,
+/// zero lost or double-resolved requests, and (when a fatal fault fired)
+/// a full quarantine -> probe -> recovery cycle visible in the stats.
+int run_chaos(std::size_t num_options, std::size_t steps, core::Target target,
+              std::size_t workers, const std::string& fault_spec) {
+  using Clock = std::chrono::steady_clock;
+  if (target == core::Target::kCpuReference ||
+      target == core::Target::kCpuReferenceSingle) {
+    fail("chaos needs an OpenCL-simulated target (the CPU reference has no "
+         "device to fault); try --target kernel-b-fpga");
+  }
+  const ocl::faults::FaultPlan plan = ocl::faults::parse_fault_plan(fault_spec);
+  const auto curve = finance::make_curve_batch(num_options);
+
+  core::PricingAccelerator direct({target, steps, /*compute_rmse=*/false});
+  const std::vector<double> reference = direct.run(curve).prices;
+
+  core::ServiceConfig config;
+  config.targets.assign(workers, target);
+  config.steps = steps;
+  config.max_batch = 64;
+  config.linger = std::chrono::microseconds{0};
+  config.retry.max_attempts = 10;
+  config.retry.base_backoff = std::chrono::microseconds{200};
+  config.retry.max_backoff = std::chrono::microseconds{5'000};
+  config.health.probe_backoff = std::chrono::microseconds{2'000};
+  config.health.max_probe_backoff = std::chrono::microseconds{50'000};
+  config.worker_fault_plans.assign(workers, plan);
+  core::PricingService service(config);
+
+  std::printf("chaos: %zu options, %zu steps, target %s, %zu worker(s)\n",
+              num_options, steps, core::to_string(target).c_str(), workers);
+  std::printf("  fault plan: %s\n", fault_spec.c_str());
+
+  // Single-quote submissions: every request has its own future, so a lost
+  // request hangs .get() (never happens) and a double resolution would
+  // throw inside the service — conservation is checked per request.
+  const auto start = Clock::now();
+  std::vector<std::future<core::Quote>> futures;
+  futures.reserve(curve.size());
+  for (const auto& spec : curve) futures.push_back(service.submit(spec));
+
+  std::size_t mismatches = 0;
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      if (futures[i].get().price != reference[i]) ++mismatches;
+    } catch (const Error&) {
+      ++failed;
+    }
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  const auto stats = service.stats();
+  std::printf("  served    : %10.1f options/s (%.3f s)\n",
+              static_cast<double>(curve.size()) / elapsed_s, elapsed_s);
+  std::printf("  faults    : %llu retries, %llu failovers\n",
+              static_cast<unsigned long long>(stats.retries),
+              static_cast<unsigned long long>(stats.failovers));
+  std::printf("  health    : %llu quarantine(s), %llu probe(s) "
+              "(%llu ok / %llu failed), %llu recovery(ies)\n",
+              static_cast<unsigned long long>(stats.quarantines_entered),
+              static_cast<unsigned long long>(stats.probes_launched),
+              static_cast<unsigned long long>(stats.probes_succeeded),
+              static_cast<unsigned long long>(stats.probes_failed),
+              static_cast<unsigned long long>(stats.recoveries));
+  if (stats.recoveries > 0) {
+    std::printf("  recovery  : p50 %.3f ms time-to-recovery\n",
+                stats.time_to_recovery_ns.p50() / 1e6);
+  }
+
+  bool ok = true;
+  if (mismatches != 0) {
+    std::fprintf(stderr,
+                 "chaos FAILED: %zu of %zu prices differ from the "
+                 "fault-free direct run\n",
+                 mismatches, curve.size());
+    ok = false;
+  }
+  if (failed != 0) {
+    std::fprintf(stderr,
+                 "chaos FAILED: %zu of %zu requests errored (retry budget "
+                 "exhausted under this plan?)\n",
+                 failed, curve.size());
+    ok = false;
+  }
+  if (stats.requests_completed + stats.requests_failed +
+          stats.requests_timed_out !=
+      stats.requests_submitted) {
+    std::fprintf(stderr, "chaos FAILED: request conservation violated "
+                         "(completed + failed + timed_out != submitted)\n");
+    ok = false;
+  }
+  if (stats.quarantines_entered > 0 && stats.recoveries == 0) {
+    std::fprintf(stderr, "chaos FAILED: a backend was quarantined and "
+                         "never recovered\n");
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::printf("chaos passed: %zu prices bit-identical under injected "
+              "faults, zero requests lost\n",
               curve.size());
   return 0;
 }
@@ -369,6 +500,45 @@ int main_serve_bench(int argc, char** argv) {
   }
 }
 
+int main_chaos(int argc, char** argv) {
+  std::size_t num_options = 256;
+  std::size_t steps = 128;
+  std::size_t workers = 2;
+  core::Target target = core::Target::kFpgaKernelB;
+  std::string fault_spec = "device-lost@1;transient@3x2;seed=7";
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help") {
+      print_usage();
+      return 0;
+    }
+    if (i + 1 >= argc) fail("missing value for " + flag);
+    const char* value = argv[++i];
+    if (flag == "--options") num_options = parse_size("--options", value);
+    else if (flag == "--steps") steps = parse_size("--steps", value);
+    else if (flag == "--workers") workers = parse_size("--workers", value);
+    else if (flag == "--faults") fault_spec = value;
+    else if (flag == "--target") {
+      if (!parse_target(value, target)) {
+        fail(std::string("unknown target '") + value +
+             "' (try --list-targets)");
+      }
+    } else {
+      fail("unknown chaos flag " + flag + " (try --help)");
+    }
+  }
+  if (num_options == 0) fail("--options must be >= 1");
+  if (workers == 0) fail("--workers must be >= 1");
+  if (steps < 2) fail("--steps must be >= 2");
+
+  try {
+    return run_chaos(num_options, steps, target, workers, fault_spec);
+  } catch (const Error& e) {
+    fail(e.what());
+  }
+}
+
 int main_trace(int argc, char** argv) {
   std::string out_path = "trace.json";
   std::size_t num_options = 8;
@@ -402,6 +572,9 @@ int main_trace(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "serve-bench") == 0) {
     return main_serve_bench(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "chaos") == 0) {
+    return main_chaos(argc, argv);
   }
   if (argc >= 2 && std::strcmp(argv[1], "trace") == 0) {
     return main_trace(argc, argv);
