@@ -76,6 +76,7 @@ public:
   [[nodiscard]] std::uint64_t p50() const { return quantile(0.50); }
   [[nodiscard]] std::uint64_t p95() const { return quantile(0.95); }
   [[nodiscard]] std::uint64_t p99() const { return quantile(0.99); }
+  [[nodiscard]] std::uint64_t p999() const { return quantile(0.999); }
 
   /// Bucket-wise merge (how per-worker shards fold into totals).
   LogHistogram& operator+=(const LogHistogram& other) {

@@ -1,8 +1,10 @@
 #include "core/accelerator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/statistics.h"
+#include "finance/binomial_batch.h"
 #include "kernels/kernel_a.h"
 #include "kernels/kernel_b.h"
 #include "perf/platform_models.h"
@@ -39,6 +41,47 @@ kernels::MathMode math_mode_for(Target t) {
   }
   if (t == Target::kGpuKernelBSingle) return kernels::MathMode::kSingle;
   return kernels::MathMode::kExactDouble;
+}
+
+struct DeviceRun {
+  std::vector<double> prices;
+  std::optional<ocl::RuntimeStats> stats;
+};
+
+/// Functional simulation for the non-CPU targets — shared by run() (which
+/// also wants the RuntimeStats) and run_prices() (which only wants
+/// prices).
+DeviceRun run_on_device(const PricingAccelerator::Config& config,
+                        ocl::Platform& platform,
+                        const std::vector<finance::OptionSpec>& options) {
+  const Target target = config.target;
+  ocl::Device& device = platform.device_by_kind(
+      is_fpga(target) ? ocl::DeviceKind::kFpga : ocl::DeviceKind::kGpu);
+  if (config.compute_units > 0) {
+    device.set_compute_units(config.compute_units);
+  }
+  DeviceRun out;
+  if (uses_kernel_a(target)) {
+    kernels::KernelAHostProgram::Config cfg;
+    cfg.steps = config.steps;
+    cfg.reduced_reads = target == Target::kGpuKernelAReduced ||
+                        target == Target::kFpgaKernelAReduced;
+    kernels::KernelAHostProgram host(device, cfg);
+    auto res = host.run(options);
+    out.prices = std::move(res.prices);
+    out.stats = res.stats;
+  } else {
+    BINOPT_ENSURE(uses_kernel_b(target), "unexpected target");
+    kernels::KernelBHostProgram::Config cfg;
+    cfg.steps = config.steps;
+    cfg.mode = math_mode_for(target);
+    cfg.host_leaves = target == Target::kFpgaKernelBHostLeaves;
+    kernels::KernelBHostProgram host(device, cfg);
+    auto res = host.run(options);
+    out.prices = std::move(res.prices);
+    out.stats = res.stats;
+  }
+  return out;
 }
 
 }  // namespace
@@ -146,42 +189,14 @@ RunReport PricingAccelerator::run(
 
   // --- Functional execution ------------------------------------------------
   if (is_cpu(target)) {
-    const finance::BinomialPricer pricer(steps);
-    report.prices = pricer.price_batch(options);
-    if (target == Target::kCpuReferenceSingle) {
-      // Single-precision reference: re-round every leaf/node through
-      // float via the kernel-B single path run host-side. For simplicity
-      // and speed we round the final double prices to float — the
-      // throughput model, not the numerics, is what this target is for.
-      for (double& p : report.prices) p = static_cast<float>(p);
-    }
-  } else if (uses_kernel_a(target)) {
-    ocl::Device& device = platform_->device_by_kind(
-        is_fpga(target) ? ocl::DeviceKind::kFpga : ocl::DeviceKind::kGpu);
-    if (config_.compute_units > 0) {
-      device.set_compute_units(config_.compute_units);
-    }
-    kernels::KernelAHostProgram::Config cfg;
-    cfg.steps = steps;
-    cfg.reduced_reads = target == Target::kGpuKernelAReduced ||
-                        target == Target::kFpgaKernelAReduced;
-    kernels::KernelAHostProgram host(device, cfg);
-    auto res = host.run(options);
-    report.prices = std::move(res.prices);
-    report.device_stats = res.stats;
+    // The vectorized batch pricer is bit-identical to BinomialPricer
+    // (tests/finance/test_binomial_batch.cpp), so the reference target's
+    // prices are unchanged — just produced 4 lanes at a time when the
+    // host CPU has AVX2.
+    report.prices.resize(options.size());
+    run_prices(options.data(), options.size(), report.prices.data());
   } else {
-    BINOPT_ENSURE(uses_kernel_b(target), "unexpected target");
-    ocl::Device& device = platform_->device_by_kind(
-        is_fpga(target) ? ocl::DeviceKind::kFpga : ocl::DeviceKind::kGpu);
-    if (config_.compute_units > 0) {
-      device.set_compute_units(config_.compute_units);
-    }
-    kernels::KernelBHostProgram::Config cfg;
-    cfg.steps = steps;
-    cfg.mode = math_mode_for(target);
-    cfg.host_leaves = target == Target::kFpgaKernelBHostLeaves;
-    kernels::KernelBHostProgram host(device, cfg);
-    auto res = host.run(options);
+    DeviceRun res = run_on_device(config_, *platform_, options);
     report.prices = std::move(res.prices);
     report.device_stats = res.stats;
   }
@@ -207,6 +222,35 @@ RunReport PricingAccelerator::run(
     }
   }
   return report;
+}
+
+void PricingAccelerator::run_prices(const finance::OptionSpec* specs,
+                                    std::size_t n, double* out) {
+  BINOPT_REQUIRE(specs != nullptr || n == 0, "null spec array");
+  BINOPT_REQUIRE(out != nullptr || n == 0, "null output array");
+  if (n == 0) return;
+  const Target target = config_.target;
+  if (is_cpu(target)) {
+    if (!batch_pricer_) {
+      batch_pricer_ = std::make_unique<finance::BatchPricer>(config_.steps);
+    }
+    batch_pricer_->price_into(specs, n, out);
+    if (target == Target::kCpuReferenceSingle) {
+      // Single-precision reference: round the final double prices to
+      // float — the throughput model, not the numerics, is what this
+      // target is for.
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<float>(out[i]);
+      }
+    }
+    return;
+  }
+  // Device targets go through the functional simulation, which works on
+  // vectors; the copy is noise next to the simulated kernel execution.
+  const std::vector<finance::OptionSpec> options(specs, specs + n);
+  DeviceRun res = run_on_device(config_, *platform_, options);
+  BINOPT_ENSURE(res.prices.size() == n, "device returned wrong batch size");
+  std::copy(res.prices.begin(), res.prices.end(), out);
 }
 
 }  // namespace binopt::core

@@ -19,6 +19,10 @@
 #include "ocl/platform.h"
 #include "ocl/stats.h"
 
+namespace binopt::finance {
+class BatchPricer;
+}  // namespace binopt::finance
+
 namespace binopt::core {
 
 /// The accelerator configurations evaluated in the paper.
@@ -96,6 +100,16 @@ public:
   /// Prices a batch and assembles the full report.
   [[nodiscard]] RunReport run(const std::vector<finance::OptionSpec>& options);
 
+  /// Prices specs[0..n) into out[0..n) — the same prices run() would
+  /// report, without assembling a RunReport. This is the service hot
+  /// path: on the CPU reference targets it runs the (runtime-dispatched
+  /// SIMD) BatchPricer with instance-owned scratch, so steady-state calls
+  /// perform no heap allocation; device targets go through the same
+  /// functional simulation as run(). Not thread-safe per instance — give
+  /// each worker its own accelerator, exactly as with run().
+  void run_prices(const finance::OptionSpec* specs, std::size_t n,
+                  double* out);
+
   /// The modelled saturated throughput of a target without running
   /// anything (used by the saturation and energy sweeps).
   [[nodiscard]] static double modelled_options_per_second(Target target,
@@ -107,6 +121,9 @@ public:
 private:
   Config config_;
   std::unique_ptr<ocl::Platform> platform_;
+  /// Lazily-built vectorized CPU pricer (reference targets only); owns
+  /// the reusable lattice scratch behind run_prices' zero-alloc promise.
+  std::unique_ptr<finance::BatchPricer> batch_pricer_;
 };
 
 }  // namespace binopt::core

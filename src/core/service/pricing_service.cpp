@@ -1,7 +1,9 @@
 #include "core/service/pricing_service.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <exception>
 #include <sstream>
 #include <utility>
@@ -29,10 +31,52 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
   return to > from ? to_ns(to) - to_ns(from) : 0;
 }
 
+/// Safety-net nap bounds for the EventGate waits: wakeups are normally
+/// delivered by notify(), these only cap how long a (theoretically) lost
+/// one can delay progress.
+constexpr std::chrono::milliseconds kIdleNap{2};
+constexpr std::chrono::milliseconds kBackpressureNap{1};
+
+/// The lock-free ring's physical capacity: next power of two covering
+/// queue_capacity, raisable via BINOPT_SERVICE_RING_CAPACITY (strictly
+/// validated — a typo'd knob must fail loudly, not silently misconfigure
+/// the spine). The admission credit still bounds logical occupancy to
+/// queue_capacity.
+std::size_t ring_capacity_for(std::size_t queue_capacity) {
+  std::size_t want = queue_capacity;
+  if (const char* env = std::getenv("BINOPT_SERVICE_RING_CAPACITY")) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    BINOPT_REQUIRE(end != env && *end == '\0' && errno == 0 && parsed >= 1,
+                   "BINOPT_SERVICE_RING_CAPACITY must be a positive "
+                   "integer, got '", env, "'");
+    want = std::max<std::size_t>(want, static_cast<std::size_t>(parsed));
+  }
+  return service::next_pow2(want);
+}
+
+/// RAII registration of a submitter inside admission; the destructor
+/// spins on this count so no push can land after teardown.
+class AdmissionScope {
+public:
+  explicit AdmissionScope(std::atomic<std::size_t>& counter)
+      : counter_(counter) {
+    counter_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~AdmissionScope() { counter_.fetch_sub(1, std::memory_order_acq_rel); }
+  AdmissionScope(const AdmissionScope&) = delete;
+  AdmissionScope& operator=(const AdmissionScope&) = delete;
+
+private:
+  std::atomic<std::size_t>& counter_;
+};
+
 }  // namespace
 
 PricingService::PricingService(ServiceConfig config)
-    : config_(std::move(config)), cache_(config_.cache_capacity) {
+    : config_(std::move(config)),
+      cache_(config_.cache_capacity, config_.cache_shards) {
   BINOPT_REQUIRE(!config_.targets.empty(),
                  "service needs at least one Target backend");
   BINOPT_REQUIRE(config_.max_batch >= 1, "max_batch must be >= 1");
@@ -46,6 +90,18 @@ PricingService::PricingService(ServiceConfig config)
                  "worker_fault_plans must be empty or carry exactly one "
                  "plan per target (got ", config_.worker_fault_plans.size(),
                  " plans for ", config_.targets.size(), " targets)");
+
+  const std::size_t ring_capacity = ring_capacity_for(config_.queue_capacity);
+  if (config_.hot_path == HotPath::kLockFree) {
+    ring_.emplace(ring_capacity);
+  }
+  // Arena bound: everything that can hold a slot at once — the queued
+  // population, every worker's in-flight batch, and a margin of
+  // submitters blocked mid-admission. Past the bound, acquire() waits for
+  // recycling instead of growing (a second backpressure layer).
+  arena_.emplace(ring_capacity + config_.targets.size() * config_.max_batch +
+                 1024);
+
   tracer_ = config_.tracer ? config_.tracer : ocl::trace::env_tracer();
   if (tracer_ != nullptr) {
     trace_pid_ = tracer_->register_process("pricing-service");
@@ -71,14 +127,48 @@ PricingService::PricingService(ServiceConfig config)
 }
 
 PricingService::~PricingService() {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
+  stopping_.store(true, std::memory_order_release);
+  not_empty_.notify();
+  not_full_.notify();
+  // Let every submitter leave admission first (blocked ones wake, see
+  // stopping_, and bail), so no push can race the workers' final drain.
+  while (admissions_in_flight_.load(std::memory_order_acquire) > 0) {
+    not_full_.notify();
+    not_empty_.notify();
+    std::this_thread::sleep_for(std::chrono::microseconds{50});
   }
-  not_empty_.notify_all();
-  not_full_.notify_all();
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
+  }
+  // Belt and braces: workers drain every admitted request before exiting,
+  // but a request admitted in the closing race window (after the last
+  // worker's final empty-check) would otherwise dangle its future.
+  const auto error = std::make_exception_ptr(
+      ServiceShutdownError("pricing service is shutting down"));
+  Request* request = nullptr;
+  if (ring_.has_value()) {
+    while (ring_->try_pop(request)) {
+      queue_count_.fetch_sub(1, std::memory_order_acq_rel);
+      fail(*request, error);
+      release_request(request);
+    }
+  } else {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (Request* r : mutex_queue_) {
+      queue_count_.fetch_sub(1, std::memory_order_acq_rel);
+      fail(*r, error);
+      release_request(r);
+    }
+    mutex_queue_.clear();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(retry_mutex_);
+    for (Request* r : retry_queue_) {
+      fail(*r, error);
+      release_request(r);
+    }
+    retry_queue_.clear();
+    retry_count_.store(0, std::memory_order_release);
   }
 }
 
@@ -86,32 +176,58 @@ void PricingService::fulfil(Request& request, double price, Target target,
                             bool from_cache, bool degraded) {
   if (request.resolved) return;  // at-most-once, by construction
   request.resolved = true;
-  if (!request.batch) {
-    request.single.set_value(Quote{price, target, from_cache, degraded});
-    return;
-  }
-  BatchState& batch = *request.batch;
-  batch.results[request.index] = price;
-  // The last element to resolve publishes the whole vector; if any element
-  // failed, the batch promise already carries that exception.
-  if (batch.remaining.fetch_sub(1) == 1 && !batch.failed.load()) {
-    batch.promise.set_value(std::move(batch.results));
+  switch (request.sink) {
+    case SinkKind::kSingle:
+      request.single->set_value(Quote{price, target, from_cache, degraded});
+      return;
+    case SinkKind::kBatch: {
+      BatchState& batch = *request.batch;
+      batch.results[request.index] = price;
+      // The last element to resolve publishes the whole vector; if any
+      // element failed, the batch promise already carries that exception.
+      if (batch.remaining.fetch_sub(1) == 1 && !batch.failed.load()) {
+        batch.promise.set_value(std::move(batch.results));
+      }
+      return;
+    }
+    case SinkKind::kSync: {
+      SyncGroup& group = *request.sync;
+      const std::lock_guard<std::mutex> lock(group.mutex);
+      group.out[request.index] = price;
+      if (--group.remaining == 0) group.cv.notify_all();
+      return;
+    }
   }
 }
 
 void PricingService::fail(Request& request, const std::exception_ptr& error) {
   if (request.resolved) return;  // at-most-once, by construction
   request.resolved = true;
-  if (!request.batch) {
-    request.single.set_exception(error);
-    return;
+  switch (request.sink) {
+    case SinkKind::kSingle:
+      request.single->set_exception(error);
+      return;
+    case SinkKind::kBatch: {
+      BatchState& batch = *request.batch;
+      // First failure wins the batch promise; later outcomes only count
+      // down.
+      if (!batch.failed.exchange(true)) {
+        batch.promise.set_exception(error);
+      }
+      batch.remaining.fetch_sub(1);
+      return;
+    }
+    case SinkKind::kSync: {
+      SyncGroup& group = *request.sync;
+      const std::lock_guard<std::mutex> lock(group.mutex);
+      if (!group.failed) {
+        group.failed = true;
+        group.error = error;
+      }
+      if (--group.remaining == 0) group.cv.notify_all();
+      return;
+    }
   }
-  BatchState& batch = *request.batch;
-  // First failure wins the batch promise; later outcomes only count down.
-  if (!batch.failed.exchange(true)) {
-    batch.promise.set_exception(error);
-  }
-  batch.remaining.fetch_sub(1);
 }
 
 void PricingService::check_admissible(const finance::OptionSpec& spec) {
@@ -148,6 +264,33 @@ std::chrono::steady_clock::time_point PricingService::deadline_for(
                       : std::chrono::steady_clock::time_point{};
 }
 
+void PricingService::init_request(
+    Request& request, const finance::OptionSpec& spec,
+    std::chrono::steady_clock::time_point deadline, bool has_deadline,
+    std::chrono::steady_clock::time_point admitted_at) {
+  request.spec = spec;
+  request.deadline = deadline;
+  request.admitted_at = admitted_at;
+  request.has_deadline = has_deadline;
+  request.attempts = 0;
+  request.ready_at = {};
+  request.has_ready_at = false;
+  request.resolved = false;
+  request.sink = SinkKind::kSingle;
+  request.single.reset();
+  request.batch.reset();
+  request.sync = nullptr;
+  request.index = 0;
+}
+
+void PricingService::release_request(Request* request) {
+  request->single.reset();
+  request->batch.reset();
+  request->sync = nullptr;
+  request->resolved = false;
+  arena_->release(request);
+}
+
 std::future<Quote> PricingService::submit(const finance::OptionSpec& spec) {
   return submit(spec, config_.default_timeout);
 }
@@ -155,13 +298,22 @@ std::future<Quote> PricingService::submit(const finance::OptionSpec& spec) {
 std::future<Quote> PricingService::submit(const finance::OptionSpec& spec,
                                           std::chrono::milliseconds timeout) {
   check_admissible(spec);
-  Request request;
-  request.spec = spec;
-  request.deadline = deadline_for(timeout, request.has_deadline);
-  std::future<Quote> future = request.single.get_future();
-  std::vector<Request> one;
-  one.push_back(std::move(request));
-  enqueue_requests(std::move(one));
+  bool has_deadline = false;
+  const auto deadline = deadline_for(timeout, has_deadline);
+  Request* request = arena_->acquire();
+  init_request(*request, spec, deadline, has_deadline,
+               std::chrono::steady_clock::now());
+  request->single.emplace();
+  std::future<Quote> future = request->single->get_future();
+  // After a successful admission the slot belongs to the workers (it may
+  // resolve and recycle before we return) — hence the future is taken
+  // first and the pointer is dead to us past this call.
+  if (enqueue_requests(&request, 1) != 1) {
+    fail(*request, std::make_exception_ptr(ServiceShutdownError(
+                       "pricing service is shutting down")));
+    release_request(request);
+    throw ServiceShutdownError("pricing service is shutting down");
+  }
   return future;
 }
 
@@ -179,136 +331,256 @@ std::future<std::vector<double>> PricingService::submit_batch(
     state->promise.set_value({});
     return future;
   }
+  // Validate before leasing any slot, so a rejected spec leaks nothing.
+  for (const finance::OptionSpec& spec : specs) check_admissible(spec);
   bool has_deadline = false;
   const auto deadline = deadline_for(timeout, has_deadline);
-  std::vector<Request> requests;
+  const auto admitted_at = std::chrono::steady_clock::now();
+  std::vector<Request*> requests;
   requests.reserve(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    check_admissible(specs[i]);
-    Request request;
-    request.spec = specs[i];
-    request.deadline = deadline;
-    request.has_deadline = has_deadline;
-    request.batch = state;
-    request.index = i;
-    requests.push_back(std::move(request));
+    Request* request = arena_->acquire();
+    init_request(*request, specs[i], deadline, has_deadline, admitted_at);
+    request->sink = SinkKind::kBatch;
+    request->batch = state;
+    request->index = i;
+    requests.push_back(request);
   }
-  enqueue_requests(std::move(requests));
-  return future;
-}
-
-void PricingService::enqueue_requests(std::vector<Request>&& requests) {
-  // One clock read per submit call: every request in it was handed over at
-  // the same moment, and latency measured from here counts backpressure
-  // blocking — the wait the client actually experienced.
-  const auto admitted_at = std::chrono::steady_clock::now();
-  for (Request& request : requests) request.admitted_at = admitted_at;
-  std::size_t admitted = 0;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    while (admitted < requests.size()) {
-      not_full_.wait(lock, [&] {
-        return stopping_ || queue_.size() < config_.queue_capacity;
-      });
-      if (stopping_) break;
-      // Admit as many as fit right now, then (if needed) wait again —
-      // backpressure is per option, so an oversized curve streams in as
-      // the workers drain the queue.
-      while (admitted < requests.size() &&
-             queue_.size() < config_.queue_capacity) {
-        queue_.push_back(std::move(requests[admitted]));
-        ++admitted;
-        ++submitted_;
-      }
-      not_empty_.notify_all();
-    }
-  }
-  if (admitted == requests.size()) return;
+  const std::size_t admitted =
+      enqueue_requests(requests.data(), requests.size());
+  if (admitted == requests.size()) return future;
   // Shutdown interrupted admission: resolve the unadmitted tail so the
   // caller's future never dangles, then surface the shutdown.
   const auto error = std::make_exception_ptr(
       ServiceShutdownError("pricing service is shutting down"));
   for (std::size_t i = admitted; i < requests.size(); ++i) {
-    fail(requests[i], error);
+    fail(*requests[i], error);
+    release_request(requests[i]);
   }
   throw ServiceShutdownError("pricing service is shutting down");
 }
 
-bool PricingService::collect_batch(std::vector<Request>& out,
-                                   std::size_t limit) {
-  out.clear();
-  std::unique_lock<std::mutex> lock(mutex_);
+void PricingService::price_batch_blocking(const finance::OptionSpec* specs,
+                                          std::size_t n, double* out) {
+  price_batch_blocking(specs, n, out, config_.default_timeout);
+}
 
-  // Retry-aware pop: requests still inside their backoff window stay
-  // queued (FIFO order among the rest is preserved); during shutdown the
-  // backoff is ignored so draining stays fast.
-  const auto pop_available = [&](std::chrono::steady_clock::time_point now) {
-    for (auto it = queue_.begin();
-         it != queue_.end() && out.size() < limit;) {
-      if (stopping_ || !it->has_ready_at || it->ready_at <= now) {
-        out.push_back(std::move(*it));
-        it = queue_.erase(it);
+void PricingService::price_batch_blocking(const finance::OptionSpec* specs,
+                                          std::size_t n, double* out,
+                                          std::chrono::milliseconds timeout) {
+  BINOPT_REQUIRE(specs != nullptr || n == 0, "null spec array");
+  BINOPT_REQUIRE(out != nullptr || n == 0, "null output array");
+  if (n == 0) return;
+  // Validate before leasing any slot, so a rejected spec leaks nothing.
+  for (std::size_t i = 0; i < n; ++i) check_admissible(specs[i]);
+  bool has_deadline = false;
+  const auto deadline = deadline_for(timeout, has_deadline);
+  const auto admitted_at = std::chrono::steady_clock::now();
+
+  SyncGroup group;
+  group.remaining = n;
+  group.out = out;
+
+  // Admit one at a time — no side array of pointers, so the whole call
+  // allocates nothing: once admitted, a request resolves straight into
+  // `out` through the group and recycles its slot without us ever
+  // touching it again.
+  std::size_t not_admitted = 0;
+  {
+    const AdmissionScope scope(admissions_in_flight_);
+    for (std::size_t i = 0; i < n; ++i) {
+      Request* request = arena_->acquire();
+      init_request(*request, specs[i], deadline, has_deadline, admitted_at);
+      request->sink = SinkKind::kSync;
+      request->sync = &group;
+      request->index = i;
+      if (!admit_one(request)) {
+        release_request(request);
+        not_admitted = n - i;
+        break;
+      }
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (not_admitted > 0) {
+    // Shutdown mid-admission: settle the unadmitted tail locally, then
+    // fall through to wait for whatever was admitted before throwing.
+    const std::lock_guard<std::mutex> lock(group.mutex);
+    if (!group.failed) {
+      group.failed = true;
+      group.error = std::make_exception_ptr(ServiceShutdownError(
+          "pricing service is shutting down"));
+    }
+    group.remaining -= not_admitted;
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(group.mutex);
+    group.cv.wait(lock, [&] { return group.remaining == 0; });
+    if (group.failed) error = group.error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+bool PricingService::admit_one(Request* request) {
+  // Acquire one admission credit: the credit count — not the ring's
+  // rounded-up physical size — is what bounds queued_requests() to
+  // queue_capacity.
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire)) return false;
+    std::size_t count = queue_count_.load(std::memory_order_relaxed);
+    bool acquired = false;
+    while (count < config_.queue_capacity) {
+      if (queue_count_.compare_exchange_weak(count, count + 1,
+                                             std::memory_order_acq_rel)) {
+        acquired = true;
+        break;
+      }
+    }
+    if (acquired) break;
+    not_full_.wait_until(
+        std::chrono::steady_clock::now() + kBackpressureNap, [&] {
+          return stopping_.load(std::memory_order_relaxed) ||
+                 queue_count_.load(std::memory_order_relaxed) <
+                     config_.queue_capacity;
+        });
+  }
+  if (ring_.has_value()) {
+    // With a credit held the ring has logical room; a failed push only
+    // means a consumer is mid-recycle on that slot — yield and retry.
+    while (!ring_->try_push(request)) std::this_thread::yield();
+  } else {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    mutex_queue_.push_back(request);
+  }
+  not_empty_.notify();
+  return true;
+}
+
+std::size_t PricingService::enqueue_requests(Request* const* requests,
+                                             std::size_t n) {
+  const AdmissionScope scope(admissions_in_flight_);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!admit_one(requests[i])) return i;
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::size_t PricingService::pop_available(
+    std::chrono::steady_clock::time_point now, std::vector<Request*>& out,
+    std::size_t limit) {
+  std::size_t popped = 0;
+  // Ready retries first: redelivered work is older than anything fresh.
+  // The atomic guard keeps the fault-free hot path off the retry lock.
+  if (retry_count_.load(std::memory_order_acquire) > 0) {
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    const std::lock_guard<std::mutex> lock(retry_mutex_);
+    for (auto it = retry_queue_.begin();
+         it != retry_queue_.end() && out.size() < limit;) {
+      Request* request = *it;
+      // During shutdown backoffs are ignored so draining stays fast.
+      if (stopping || !request->has_ready_at || request->ready_at <= now) {
+        out.push_back(request);
+        it = retry_queue_.erase(it);
+        ++popped;
       } else {
         ++it;
       }
     }
-  };
-  const auto has_ready = [&] {
-    const auto now = std::chrono::steady_clock::now();
-    for (const Request& request : queue_) {
-      if (!request.has_ready_at || request.ready_at <= now) return true;
+    retry_count_.store(retry_queue_.size(), std::memory_order_release);
+  }
+  if (ring_.has_value()) {
+    Request* request = nullptr;
+    while (out.size() < limit && ring_->try_pop(request)) {
+      queue_count_.fetch_sub(1, std::memory_order_acq_rel);
+      out.push_back(request);
+      ++popped;
     }
-    return false;
-  };
+  } else {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    while (out.size() < limit && !mutex_queue_.empty()) {
+      out.push_back(mutex_queue_.front());
+      mutex_queue_.pop_front();
+      queue_count_.fetch_sub(1, std::memory_order_acq_rel);
+      ++popped;
+    }
+  }
+  if (popped > 0) not_full_.notify();
+  return popped;
+}
 
+bool PricingService::retry_ready(std::chrono::steady_clock::time_point now) {
+  if (retry_count_.load(std::memory_order_acquire) == 0) return false;
+  if (stopping_.load(std::memory_order_acquire)) return true;
+  const std::lock_guard<std::mutex> lock(retry_mutex_);
+  for (const Request* request : retry_queue_) {
+    if (!request->has_ready_at || request->ready_at <= now) return true;
+  }
+  return false;
+}
+
+bool PricingService::collect_batch(std::vector<Request*>& out,
+                                   std::size_t limit) {
+  out.clear();
   for (;;) {
-    not_empty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-    if (stopping_ && queue_.empty()) return false;  // fully drained
-    pop_available(std::chrono::steady_clock::now());
+    const auto now = std::chrono::steady_clock::now();
+    pop_available(now, out, limit);
     if (!out.empty()) break;
-    // Everything queued is backing off: sleep until the earliest retry
-    // comes due (or a new arrival / shutdown wakes us).
-    auto wake = queue_.front().ready_at;
-    for (const Request& request : queue_) {
-      wake = std::min(wake, request.ready_at);
+    if (stopping_.load(std::memory_order_acquire) &&
+        queue_count_.load(std::memory_order_acquire) == 0 &&
+        retry_count_.load(std::memory_order_acquire) == 0) {
+      return false;  // fully drained
     }
-    not_empty_.wait_until(lock, wake);
+    // Idle: park until an arrival, the earliest pending retry, or
+    // shutdown (the nap caps a theoretically-lost wakeup, nothing more).
+    auto wake = now + kIdleNap;
+    if (retry_count_.load(std::memory_order_acquire) > 0) {
+      const std::lock_guard<std::mutex> lock(retry_mutex_);
+      for (const Request* request : retry_queue_) {
+        if (request->has_ready_at) wake = std::min(wake, request->ready_at);
+      }
+    }
+    not_empty_.wait_until(wake, [&] {
+      return stopping_.load(std::memory_order_relaxed) ||
+             queue_count_.load(std::memory_order_relaxed) > 0 ||
+             retry_ready(std::chrono::steady_clock::now());
+    });
   }
 
   // Micro-batching: hold a partial batch open for up to `linger` so that a
   // burst of single submits coalesces into one NDRange launch instead of
   // many tiny ones. Stop early on a full batch or shutdown.
   if (out.size() < limit &&
-      config_.linger > std::chrono::microseconds::zero() && !stopping_) {
+      config_.linger > std::chrono::microseconds::zero() &&
+      !stopping_.load(std::memory_order_acquire)) {
     const auto linger_deadline =
         std::chrono::steady_clock::now() + config_.linger;
-    while (out.size() < limit && !stopping_) {
-      if (!not_empty_.wait_until(lock, linger_deadline, [&] {
-            return stopping_ || has_ready();
+    while (out.size() < limit &&
+           !stopping_.load(std::memory_order_acquire)) {
+      if (!not_empty_.wait_until(linger_deadline, [&] {
+            return stopping_.load(std::memory_order_relaxed) ||
+                   queue_count_.load(std::memory_order_relaxed) > 0 ||
+                   retry_ready(std::chrono::steady_clock::now());
           })) {
         break;  // linger window expired
       }
-      pop_available(std::chrono::steady_clock::now());
+      pop_available(std::chrono::steady_clock::now(), out, limit);
     }
   }
-  lock.unlock();
-  not_full_.notify_all();
   return true;
 }
 
-void PricingService::requeue(std::vector<Request*>& requests) {
-  if (requests.empty()) return;
+void PricingService::requeue(Request* const* requests, std::size_t n) {
+  if (n == 0) return;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    for (Request* request : requests) {
-      queue_.push_back(std::move(*request));
-      // The moved-from shell stays in the worker's batch vector; marking
-      // it resolved keeps batch unwinding away from the promise that just
-      // travelled back into the queue.
-      request->resolved = true;
+    const std::lock_guard<std::mutex> lock(retry_mutex_);
+    for (std::size_t i = 0; i < n; ++i) {
+      retry_queue_.push_back(requests[i]);
     }
+    retry_count_.store(retry_queue_.size(), std::memory_order_release);
   }
-  not_empty_.notify_all();
+  not_empty_.notify();
 }
 
 void PricingService::worker_loop(std::size_t worker_index) {
@@ -322,35 +594,49 @@ void PricingService::worker_loop(std::size_t worker_index) {
     acfg.fault_plan = config_.worker_fault_plans[worker.index];
   }
   PricingAccelerator accelerator(std::move(acfg));
-  std::vector<Request> batch;
+  // Reserve every scratch vector once: the steady-state collect -> price
+  // -> resolve cycle then allocates nothing.
+  worker.batch.reserve(config_.max_batch);
+  worker.completions.reserve(config_.max_batch);
+  worker.failures.reserve(config_.max_batch);
+  worker.to_price.reserve(config_.max_batch);
+  worker.to_requeue.reserve(config_.max_batch);
+  worker.requeue_ptrs.reserve(config_.max_batch);
+  worker.to_degrade.reserve(config_.max_batch);
+  worker.specs.reserve(config_.max_batch);
+  worker.prices.reserve(config_.max_batch);
   for (;;) {
     bool probing = false;
-    {
-      // Quarantine gate: while this backend's circuit is open and the next
-      // half-open probe is not due, pull no traffic — the shared queue
-      // fails the load over to the surviving workers. Shutdown overrides
-      // the gate so a broken backend cannot strand queued requests.
-      std::unique_lock<std::mutex> lock(mutex_);
-      while (!stopping_ && !worker.health.serving() &&
-             !worker.health.probe_due(std::chrono::steady_clock::now())) {
-        not_empty_.wait_until(lock, worker.health.next_probe_at());
-      }
-      probing = !stopping_ &&
-                worker.health.state() == service::HealthState::kQuarantined;
+    // Quarantine gate: while this backend's circuit is open and the next
+    // half-open probe is not due, pull no traffic — the shared queue
+    // fails the load over to the surviving workers. Shutdown overrides
+    // the gate so a broken backend cannot strand queued requests.
+    while (!stopping_.load(std::memory_order_acquire) &&
+           !worker.health.serving() &&
+           !worker.health.probe_due(std::chrono::steady_clock::now())) {
+      not_empty_.wait_until(worker.health.next_probe_at(), [&] {
+        return stopping_.load(std::memory_order_relaxed);
+      });
     }
+    probing = !stopping_.load(std::memory_order_acquire) &&
+              worker.health.state() == service::HealthState::kQuarantined;
     // A probe is one request: the smallest blast radius that still
     // exercises the real pricing path end to end.
-    if (!collect_batch(batch, probing ? 1 : config_.max_batch)) break;
+    if (!collect_batch(worker.batch, probing ? 1 : config_.max_batch)) break;
     try {
-      process_batch(worker, accelerator, batch, probing);
+      process_batch(worker, accelerator, probing);
     } catch (...) {
       // Last-resort guard: process_batch resolves every request itself,
       // but if it ever unwinds (allocation failure, a bug), no admitted
       // promise may dangle — fail whatever is still unresolved and keep
-      // serving. Requeued shells are marked resolved and stay untouched.
+      // serving. Requeued/resolved entries were nulled out and stay
+      // untouched.
       const std::exception_ptr error = std::current_exception();
-      for (Request& request : batch) {
-        if (!request.resolved) fail(request, error);
+      for (Request*& request : worker.batch) {
+        if (request == nullptr) continue;
+        if (!request->resolved) fail(*request, error);
+        release_request(request);
+        request = nullptr;
       }
     }
   }
@@ -358,9 +644,9 @@ void PricingService::worker_loop(std::size_t worker_index) {
 
 void PricingService::process_batch(Worker& worker,
                                    PricingAccelerator& accelerator,
-                                   std::vector<Request>& batch,
                                    bool probing) {
   const Target target = worker.target;
+  std::vector<Request*>& batch = worker.batch;
   const auto now = std::chrono::steady_clock::now();
   ServiceStats delta;
 
@@ -374,27 +660,27 @@ void PricingService::process_batch(Worker& worker,
         }
       };
 
-  // Outcomes are computed first and the promises resolved LAST, after the
+  // Outcomes are computed first and the sinks resolved LAST, after the
   // stats delta lands in the worker shard: a client that calls stats()
   // right after future.get() must already see its own request counted.
-  struct Completion {
-    Request* request;
-    double price;
-    bool from_cache;
-    bool degraded;
-  };
-  std::vector<Completion> completions;
-  std::vector<std::pair<Request*, std::exception_ptr>> failures;
-  std::vector<Request*> to_price;
-  std::vector<Request*> to_requeue;
-  std::vector<Request*> to_degrade;
-  std::vector<finance::OptionSpec> specs;
-  completions.reserve(batch.size());
-  to_price.reserve(batch.size());
-  specs.reserve(batch.size());
+  std::vector<Completion>& completions = worker.completions;
+  std::vector<Failure>& failures = worker.failures;
+  std::vector<std::size_t>& to_price = worker.to_price;
+  std::vector<std::size_t>& to_requeue = worker.to_requeue;
+  std::vector<std::size_t>& to_degrade = worker.to_degrade;
+  std::vector<finance::OptionSpec>& specs = worker.specs;
+  std::vector<double>& prices = worker.prices;
+  completions.clear();
+  failures.clear();
+  to_price.clear();
+  to_requeue.clear();
+  to_degrade.clear();
+  specs.clear();
+  prices.clear();
 
   auto earliest_admission = now;
-  for (Request& request : batch) {
+  for (std::size_t pos = 0; pos < batch.size(); ++pos) {
+    Request& request = *batch[pos];
     // Queue wait: admission to batch collection, for every popped request
     // (expired ones included — that wait is *why* they expired).
     delta.queue_wait_ns.record(elapsed_ns(request.admitted_at, now));
@@ -402,23 +688,23 @@ void PricingService::process_batch(Worker& worker,
     // Expiry first: a stale quote is worthless even if cached — serving it
     // would hide that the client's deadline was missed.
     if (request.has_deadline && now > request.deadline) {
-      failures.emplace_back(&request,
-                            std::make_exception_ptr(ServiceTimeoutError(
-                                "quote request expired before pricing")));
+      failures.push_back(
+          {pos, std::make_exception_ptr(ServiceTimeoutError(
+                    "quote request expired before pricing"))});
       ++delta.requests_timed_out;
       continue;
     }
     if (cache_.enabled()) {
       const CacheKey key = CacheKey::from(request.spec, config_.steps, target);
       if (const auto hit = cache_.lookup(key)) {
-        completions.push_back({&request, *hit, /*from_cache=*/true,
+        completions.push_back({pos, *hit, /*from_cache=*/true,
                                /*degraded=*/false});
         ++delta.cache_hits;
         continue;
       }
       ++delta.cache_misses;
     }
-    to_price.push_back(&request);
+    to_price.push_back(pos);
     specs.push_back(request.spec);
   }
 
@@ -433,17 +719,17 @@ void PricingService::process_batch(Worker& worker,
     std::exception_ptr fault_error;
     bool fatal = false;
     try {
-      const RunReport report = accelerator.run(specs);
+      prices.resize(to_price.size());
+      accelerator.run_prices(specs.data(), specs.size(), prices.data());
       launch_end = std::chrono::steady_clock::now();
       note_health(worker.health.record_success(launch_end));
       if (probing) ++delta.probes_succeeded;
       for (std::size_t i = 0; i < to_price.size(); ++i) {
         if (cache_.enabled()) {
           delta.cache_evictions += cache_.insert(
-              CacheKey::from(specs[i], config_.steps, target),
-              report.prices[i]);
+              CacheKey::from(specs[i], config_.steps, target), prices[i]);
         }
-        completions.push_back({to_price[i], report.prices[i],
+        completions.push_back({to_price[i], prices[i],
                                /*from_cache=*/false, /*degraded=*/false});
       }
     } catch (const ocl::faults::DeviceLostError&) {
@@ -459,8 +745,8 @@ void PricingService::process_batch(Worker& worker,
       // elsewhere. Fail the batch, leave the backend's health alone.
       launch_end = std::chrono::steady_clock::now();
       const std::exception_ptr error = std::current_exception();
-      for (Request* request : to_price) {
-        failures.emplace_back(request, error);
+      for (const std::size_t pos : to_price) {
+        failures.push_back({pos, error});
         ++delta.requests_failed;
       }
     }
@@ -468,27 +754,28 @@ void PricingService::process_batch(Worker& worker,
       note_health(fatal ? worker.health.record_fatal(launch_end)
                         : worker.health.record_transient(launch_end));
       if (probing) ++delta.probes_failed;
-      for (Request* request : to_price) {
-        ++request->attempts;
-        if (request->attempts < config_.retry.max_attempts) {
+      for (const std::size_t pos : to_price) {
+        Request& request = *batch[pos];
+        ++request.attempts;
+        if (request.attempts < config_.retry.max_attempts) {
           if (fatal) {
             // Failover: the backend is quarantined; a surviving worker may
             // pick the request up immediately.
-            request->has_ready_at = false;
+            request.has_ready_at = false;
             ++delta.failovers;
           } else {
-            request->ready_at =
+            request.ready_at =
                 launch_end + config_.retry.backoff_for(
-                                 request->attempts + 1, worker.rng);
-            request->has_ready_at = true;
+                                 request.attempts + 1, worker.rng);
+            request.has_ready_at = true;
             ++delta.retries;
           }
-          to_requeue.push_back(request);
+          to_requeue.push_back(pos);
         } else if (config_.degrade_to_cpu &&
                    target != Target::kCpuReference) {
-          to_degrade.push_back(request);
+          to_degrade.push_back(pos);
         } else {
-          failures.emplace_back(request, fault_error);
+          failures.push_back({pos, fault_error});
           ++delta.requests_failed;
         }
       }
@@ -508,45 +795,51 @@ void PricingService::process_batch(Worker& worker,
       worker.fallback =
           std::make_unique<PricingAccelerator>(std::move(fallback_config));
     }
-    std::vector<finance::OptionSpec> fallback_specs;
-    fallback_specs.reserve(to_degrade.size());
-    for (const Request* request : to_degrade) {
-      fallback_specs.push_back(request->spec);
+    std::vector<finance::OptionSpec>& fallback_specs = worker.fallback_specs;
+    std::vector<double>& fallback_prices = worker.fallback_prices;
+    fallback_specs.clear();
+    for (const std::size_t pos : to_degrade) {
+      fallback_specs.push_back(batch[pos]->spec);
     }
-    const RunReport report = worker.fallback->run(fallback_specs);
+    fallback_prices.resize(fallback_specs.size());
+    worker.fallback->run_prices(fallback_specs.data(), fallback_specs.size(),
+                                fallback_prices.data());
     for (std::size_t i = 0; i < to_degrade.size(); ++i) {
-      completions.push_back({to_degrade[i], report.prices[i],
+      completions.push_back({to_degrade[i], fallback_prices[i],
                              /*from_cache=*/false, /*degraded=*/true});
       ++delta.degraded_completions;
     }
   }
 
   // Every outcome is decided here; request latency runs from admission to
-  // this point (promise resolution below is the client's own wakeup cost).
+  // this point (sink resolution below is the client's own wakeup cost).
   // The absolute deadline is enforced AGAIN at this point: a price decided
   // past its request's deadline resolves as ServiceTimeoutError — pricing
   // time counts against the deadline, not just queue wait.
   const auto decided = std::chrono::steady_clock::now();
-  std::vector<Completion> resolved;
-  resolved.reserve(completions.size());
-  for (const Completion& done : completions) {
-    if (done.request->has_deadline && decided > done.request->deadline) {
-      failures.emplace_back(done.request,
-                            std::make_exception_ptr(ServiceTimeoutError(
-                                "quote request expired during pricing "
-                                "(absolute deadline passed)")));
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < completions.size(); ++i) {
+    const Completion& done = completions[i];
+    const Request& request = *batch[done.pos];
+    if (request.has_deadline && decided > request.deadline) {
+      failures.push_back(
+          {done.pos, std::make_exception_ptr(ServiceTimeoutError(
+                         "quote request expired during pricing "
+                         "(absolute deadline passed)"))});
       ++delta.requests_timed_out;
     } else {
-      resolved.push_back(done);
+      completions[completed++] = done;  // compact in place, order kept
       ++delta.requests_completed;
     }
   }
-  for (const Completion& done : resolved) {
+  completions.resize(completed);
+  for (const Completion& done : completions) {
     delta.request_latency_ns.record(
-        elapsed_ns(done.request->admitted_at, decided));
+        elapsed_ns(batch[done.pos]->admitted_at, decided));
   }
-  for (const auto& [request, error] : failures) {
-    delta.request_latency_ns.record(elapsed_ns(request->admitted_at, decided));
+  for (const Failure& failure : failures) {
+    delta.request_latency_ns.record(
+        elapsed_ns(batch[failure.pos]->admitted_at, decided));
   }
 
   {
@@ -554,36 +847,53 @@ void PricingService::process_batch(Worker& worker,
     worker.shard += delta;
   }
   // Redeliver retries/failovers before resolving this batch's outcomes so
-  // surviving workers can start on them immediately.
-  requeue(to_requeue);
-  for (const Completion& done : resolved) {
-    fulfil(*done.request, done.price,
+  // surviving workers can start on them immediately. The batch slots are
+  // nulled first: the instant a pointer is requeued, another worker may
+  // pop and mutate it, and nothing here may touch it again.
+  if (!to_requeue.empty()) {
+    std::vector<Request*>& staged = worker.requeue_ptrs;
+    staged.clear();
+    for (const std::size_t pos : to_requeue) {
+      staged.push_back(batch[pos]);
+      batch[pos] = nullptr;
+    }
+    requeue(staged.data(), staged.size());
+  }
+  for (const Completion& done : completions) {
+    Request* request = batch[done.pos];
+    fulfil(*request, done.price,
            done.degraded ? Target::kCpuReference : target, done.from_cache,
            done.degraded);
+    release_request(request);
+    batch[done.pos] = nullptr;
   }
-  for (auto& [request, error] : failures) {
-    fail(*request, error);
+  for (const Failure& failure : failures) {
+    Request* request = batch[failure.pos];
+    fail(*request, failure.error);
+    release_request(request);
+    batch[failure.pos] = nullptr;
   }
   // Belt and braces: every batch element must have been resolved or
   // requeued above; a request falling through would hang its client
   // forever, so surface the bug as a typed error instead.
-  for (Request& request : batch) {
-    if (!request.resolved) {
-      fail(request, std::make_exception_ptr(InvariantError(
-                        "pricing-service batch left a request unresolved")));
-    }
+  for (Request*& request : batch) {
+    if (request == nullptr) continue;
+    fail(*request, std::make_exception_ptr(InvariantError(
+                       "pricing-service batch left a request unresolved")));
+    release_request(request);
+    request = nullptr;
   }
 
   if (tracer_ != nullptr) {
-    const auto resolved = std::chrono::steady_clock::now();
+    const auto resolved_at = std::chrono::steady_clock::now();
     // Batch lifecycle on this worker's lane: the enclosing "batch" span
     // starts at the earliest admission (so queueing/linger time is the
-    // visible gap before "launch") and closes once every promise resolved.
+    // visible gap before "launch") and closes once every sink resolved.
     ocl::trace::TraceEvent batch_span;
     batch_span.name = "batch";
     batch_span.category = "service";
     batch_span.start_ns = to_ns(earliest_admission);
-    batch_span.dur_ns = to_ns(resolved) - to_ns(earliest_admission);
+    batch_span.dur_ns = to_ns(resolved_at) - to_ns(earliest_admission);
     batch_span.pid = trace_pid_;
     batch_span.tid = worker.index;
     batch_span.args.emplace_back("requests", std::to_string(batch.size()));
@@ -611,7 +921,7 @@ void PricingService::process_batch(Worker& worker,
     resolve_span.name = "resolve";
     resolve_span.category = "service";
     resolve_span.start_ns = to_ns(decided);
-    resolve_span.dur_ns = to_ns(resolved) - to_ns(decided);
+    resolve_span.dur_ns = to_ns(resolved_at) - to_ns(decided);
     resolve_span.pid = trace_pid_;
     resolve_span.tid = worker.index;
     tracer_->record(std::move(resolve_span));
@@ -631,8 +941,8 @@ ServiceStats PricingService::stats() const {
 }
 
 std::size_t PricingService::queued_requests() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return queue_count_.load(std::memory_order_acquire) +
+         retry_count_.load(std::memory_order_acquire);
 }
 
 }  // namespace binopt::core

@@ -8,6 +8,10 @@
 // small concurrent quote requests" and "few large NDRange launches":
 //
 //   submit()/submit_batch()  futures for single quotes / whole curves
+//   price_batch_blocking()   synchronous zero-allocation variant: prices
+//                            land in a caller buffer and the caller blocks
+//                            on a stack-allocated sync group — no promise,
+//                            no future, no heap (the benchmark hot path)
 //   micro-batcher            per-backend workers coalesce queued requests
 //                            into one accelerator run (up to max_batch,
 //                            lingering up to `linger` for stragglers)
@@ -22,8 +26,9 @@
 //                            pricing: a result decided past the deadline
 //                            resolves as ServiceTimeoutError, never as a
 //                            stale price
-//   result cache             LRU keyed by (quantized OptionSpec, steps,
-//                            target); repeat ticks become O(1) hits
+//   result cache             sharded LRU keyed by (quantized OptionSpec,
+//                            steps, target); repeat ticks become O(1) hits
+//                            that contend only per shard
 //   fault tolerance          (DESIGN.md §2.5) retryable backend failures
 //                            re-enqueue the affected requests with
 //                            jittered exponential backoff (RetryPolicy);
@@ -35,6 +40,19 @@
 //                            budget degrade to a CPU-reference fallback
 //                            instead of failing (Quote.degraded)
 //
+// Hot-path architecture (DESIGN.md §2.6). Requests live in stable slots
+// leased from a slab arena (SlabArena) and travel as raw pointers — never
+// copied — through a bounded lock-free MPMC ring (MpmcRing). Submitters
+// bound the ring's logical occupancy to queue_capacity with an atomic
+// admission credit, so backpressure semantics are exactly the old mutexed
+// queue's while the push/pop themselves are CAS-only; threads park on
+// EventGates only when genuinely idle. Retries and failovers ride a small
+// mutexed side queue (they need ready_at-ordered scanning, and they are
+// rare by construction), guarded by an atomic counter so the fault-free
+// hot path never takes its lock. ServiceConfig::hot_path can pin the old
+// mutex+deque spine (HotPath::kMutex) — kept as the honest baseline the
+// throughput benchmark compares against.
+//
 // Resolution contract: every admitted request resolves EXACTLY once — with
 // a price, a typed error, or a failover to another worker — even when a
 // worker dies mid-batch or the service shuts down with a broken backend.
@@ -42,7 +60,8 @@
 // catch-all guard in the worker loop makes it at-least-once: any request
 // still unresolved when a batch unwinds is failed with the unwinding
 // error. Retries are bounded by RetryPolicy::max_attempts, so resolution
-// always terminates.
+// always terminates. A request's arena slot is recycled only after its
+// resolution, so queued pointers are always live.
 //
 // Prices are bit-identical to a direct PricingAccelerator::run of the same
 // options on the same target: batching only regroups per-option-independent
@@ -55,17 +74,21 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/error.h"
 #include "core/accelerator.h"
 #include "core/service/backend_health.h"
+#include "core/service/mpmc_ring.h"
 #include "core/service/quote_cache.h"
 #include "core/service/service_stats.h"
+#include "core/service/slab_arena.h"
 #include "finance/option.h"
 #include "ocl/trace/tracer.h"
 
@@ -102,6 +125,12 @@ public:
 /// Sentinel: no per-request deadline.
 inline constexpr std::chrono::milliseconds kNoTimeout{-1};
 
+/// Which admission/completion spine the service runs on.
+enum class HotPath {
+  kLockFree,  ///< MPMC ring + arena slots (the default)
+  kMutex,     ///< mutex+deque spine — the benchmark baseline
+};
+
 struct ServiceConfig {
   /// One worker (and one PricingAccelerator instance) per entry; repeat a
   /// target to shard homogeneous load, mix targets to tier the fleet
@@ -114,6 +143,9 @@ struct ServiceConfig {
   /// launch whatever is queued immediately.
   std::chrono::microseconds linger{200};
   /// Bounded admission queue (in options). Submitters block when full.
+  /// The lock-free ring is sized to the next power of two >= this (or
+  /// BINOPT_SERVICE_RING_CAPACITY if larger), but the admission credit
+  /// keeps the *logical* occupancy bound exactly here.
   std::size_t queue_capacity = 8192;
   /// Deadline applied when submit() is not given one explicitly.
   /// kNoTimeout disables; 0 expires immediately (useful in tests).
@@ -143,6 +175,12 @@ struct ServiceConfig {
   /// exactly one plan per target, index-matched (an engaged-but-empty plan
   /// explicitly disarms BINOPT_OCL_FAULTS for that worker's devices).
   std::vector<ocl::faults::FaultPlan> worker_fault_plans;
+  /// Admission/completion spine; kMutex pins the pre-redesign path for
+  /// apples-to-apples benchmarking.
+  HotPath hot_path = HotPath::kLockFree;
+  /// Quote-cache shard count; 0 picks automatically from cache_capacity
+  /// (small caches stay one exact global LRU — see QuoteCache).
+  std::size_t cache_shards = 0;
 };
 
 /// Resolution of one single-quote request.
@@ -182,13 +220,30 @@ public:
       const std::vector<finance::OptionSpec>& specs,
       std::chrono::milliseconds timeout);
 
+  /// Synchronous batch pricing into a caller buffer: blocks until every
+  /// spec is priced (out[i] = price of specs[i]) or rethrows the first
+  /// element's error. Same admission, batching, caching, retry, and
+  /// deadline semantics as submit_batch — but the completion sink is a
+  /// stack-allocated countdown instead of promise/future, so on the
+  /// lock-free hot path a steady-state call performs ZERO heap
+  /// allocations end to end (asserted by tests/core/test_alloc_hotpath.cpp).
+  void price_batch_blocking(const finance::OptionSpec* specs, std::size_t n,
+                            double* out);
+  void price_batch_blocking(const finance::OptionSpec* specs, std::size_t n,
+                            double* out, std::chrono::milliseconds timeout);
+
   /// Per-worker shards merged in worker-index order, plus the admission
   /// counter. Safe to call while requests are in flight.
   [[nodiscard]] service::ServiceStats stats() const;
 
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
+  /// Logical queue occupancy (admission credits held + pending retries);
+  /// never exceeds queue_capacity while no retries are in flight.
   [[nodiscard]] std::size_t queued_requests() const;
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] std::size_t cache_shard_count() const {
+    return cache_.shard_count();
+  }
 
 private:
   /// Countdown state shared by the per-option requests of one
@@ -201,8 +256,29 @@ private:
     std::atomic<bool> failed{false};
   };
 
-  /// One queued option: either a single-quote promise or one element of a
-  /// batch.
+  /// Stack-allocated completion sink for price_batch_blocking: the caller
+  /// waits on `cv` until every element resolved. ALL decrements happen
+  /// under `mutex`, so the final waker still holds it when remaining hits
+  /// zero — the waiter can only observe completion after that unlock,
+  /// which makes destroying the group on the caller's stack safe.
+  struct SyncGroup {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+    bool failed = false;
+    std::exception_ptr error;
+    double* out = nullptr;
+  };
+
+  /// How a request's outcome is delivered.
+  enum class SinkKind {
+    kSingle,  ///< std::promise<Quote> (submit)
+    kBatch,   ///< shared BatchState countdown (submit_batch)
+    kSync,    ///< SyncGroup on a blocked caller's stack (zero-alloc)
+  };
+
+  /// One queued option, living in a stable arena slot and queued by
+  /// pointer. The slot is recycled only after resolution.
   struct Request {
     finance::OptionSpec spec;
     /// Absolute deadline, stamped once at admission. Enforced before
@@ -211,7 +287,7 @@ private:
     /// resolves as ServiceTimeoutError, never as a late price).
     std::chrono::steady_clock::time_point deadline{};
     /// When the submitter handed the request to the service (set at
-    /// enqueue_requests entry, so measured latency includes backpressure
+    /// admission entry, so measured latency includes backpressure
     /// blocking — the wait the client actually experienced).
     std::chrono::steady_clock::time_point admitted_at{};
     bool has_deadline = false;
@@ -223,30 +299,66 @@ private:
     std::chrono::steady_clock::time_point ready_at{};
     bool has_ready_at = false;
     /// At-most-once latch: fulfil/fail flip it and refuse a second
-    /// resolution; requeue marks the moved-from shell so batch unwinding
-    /// cannot touch a promise that travelled back to the queue.
+    /// resolution.
     bool resolved = false;
-    std::promise<Quote> single;
-    std::shared_ptr<BatchState> batch;  ///< null for single requests
-    std::size_t index = 0;              ///< position within the batch
+    SinkKind sink = SinkKind::kSingle;
+    /// Engaged only for kSingle, so kSync requests never pay the
+    /// promise's shared-state allocation.
+    std::optional<std::promise<Quote>> single;
+    std::shared_ptr<BatchState> batch;  ///< kBatch only
+    SyncGroup* sync = nullptr;          ///< kSync only (caller's stack)
+    std::size_t index = 0;              ///< position within batch/group
   };
 
-  /// One modelled backend: worker thread + stats shard. The accelerator
-  /// itself lives on the worker's stack (each backend owns its own
-  /// simulated platform, so workers never share device state).
-  struct Worker {
+  /// One decided outcome, indexed into the worker's current batch.
+  struct Completion {
+    std::size_t pos = 0;
+    double price = 0.0;
+    bool from_cache = false;
+    bool degraded = false;
+  };
+  struct Failure {
+    std::size_t pos = 0;
+    std::exception_ptr error;
+  };
+
+  /// One modelled backend: worker thread + stats shard + reusable batch
+  /// scratch. alignas(64) (and the member alignments below) keep one
+  /// worker's hot state — its stats shard a submitter merges from, its
+  /// health machine — off every other worker's cache lines: with the
+  /// queue lock gone, shard false-sharing was the next coherence
+  /// bottleneck.
+  struct alignas(64) Worker {
     Target target = Target::kCpuReference;
     std::size_t index = 0;  ///< worker number (trace lane tid)
     std::thread thread;
-    mutable std::mutex shard_mutex;
+    /// Stats shard on its own cache line (written per batch by the owner,
+    /// read by stats() callers).
+    alignas(64) mutable std::mutex shard_mutex;
     service::ServiceStats shard;
     /// Circuit breaker for this backend; touched only by the owning
-    /// worker thread (transitions surface through shard counters).
-    service::BackendHealth health;
+    /// worker thread (transitions surface through shard counters). Own
+    /// cache line: its state flips exactly when fault storms make every
+    /// worker's loop hot.
+    alignas(64) service::BackendHealth health;
     /// Per-worker SplitMix64 state for backoff jitter.
     std::uint64_t rng = 0;
     /// Lazily-built CPU-reference fallback for degrade_to_cpu.
     std::unique_ptr<PricingAccelerator> fallback;
+    /// Batch scratch, reserved once to max_batch: the worker's collect ->
+    /// price -> resolve cycle reuses these and allocates nothing in
+    /// steady state.
+    std::vector<Request*> batch;
+    std::vector<Completion> completions;
+    std::vector<Failure> failures;
+    std::vector<std::size_t> to_price;    ///< positions into batch
+    std::vector<std::size_t> to_requeue;  ///< positions into batch
+    std::vector<Request*> requeue_ptrs;   ///< staging for requeue()
+    std::vector<std::size_t> to_degrade;  ///< positions into batch
+    std::vector<finance::OptionSpec> specs;
+    std::vector<double> prices;
+    std::vector<finance::OptionSpec> fallback_specs;
+    std::vector<double> fallback_prices;
   };
 
   static void fulfil(Request& request, double price, Target target,
@@ -261,26 +373,50 @@ private:
   [[nodiscard]] std::chrono::steady_clock::time_point deadline_for(
       std::chrono::milliseconds timeout, bool& has_deadline) const;
 
-  /// Blocks until every request is admitted (backpressure). On shutdown
-  /// mid-admission, fails the unadmitted requests and throws.
-  void enqueue_requests(std::vector<Request>&& requests);
+  /// Resets a leased slot to a clean single-quote shell.
+  static void init_request(Request& request, const finance::OptionSpec& spec,
+                           std::chrono::steady_clock::time_point deadline,
+                           bool has_deadline,
+                           std::chrono::steady_clock::time_point admitted_at);
+  /// Clears per-lease state and returns the slot to the arena. Only after
+  /// resolution (or for never-admitted requests).
+  void release_request(Request* request);
 
-  /// Pops up to `limit` requests whose retry backoff (ready_at) has
-  /// passed, lingering for stragglers. During shutdown backoffs are
+  /// Admits one request: blocks on backpressure until a credit frees,
+  /// then publishes the pointer on the configured spine. False when the
+  /// service is stopping (the request was NOT queued).
+  bool admit_one(Request* request);
+
+  /// Admits requests[0..n) in order, blocking per element (backpressure is
+  /// per option, so an oversized curve streams in as workers drain).
+  /// Returns how many were admitted; on shutdown the tail is untouched.
+  std::size_t enqueue_requests(Request* const* requests, std::size_t n);
+
+  /// Non-blocking: moves every currently-collectable request (ready
+  /// retries first, then main-queue FIFO) into `out`, up to `limit` total.
+  /// Returns the number popped.
+  std::size_t pop_available(std::chrono::steady_clock::time_point now,
+                            std::vector<Request*>& out, std::size_t limit);
+
+  /// True when a retry is collectable right now (cheap atomic check
+  /// first; takes the retry lock only when retries exist).
+  [[nodiscard]] bool retry_ready(std::chrono::steady_clock::time_point now);
+
+  /// Pops up to `limit` requests, blocking while nothing is collectable
+  /// and lingering for stragglers. During shutdown retry backoffs are
   /// ignored so draining stays fast. Returns false when the service is
-  /// stopping and the queue is drained.
-  bool collect_batch(std::vector<Request>& out, std::size_t limit);
+  /// stopping and the queues are drained.
+  bool collect_batch(std::vector<Request*>& out, std::size_t limit);
 
-  /// Internal redelivery (retry / failover): moves requests back into the
-  /// queue, bypassing the admission capacity bound — workers must never
-  /// block as producers on a queue they are the consumers of. Bounded
-  /// naturally by the in-flight request count. Marks the moved-from
-  /// shells resolved so the caller's batch unwinding skips them.
-  void requeue(std::vector<Request*>& requests);
+  /// Internal redelivery (retry / failover): pushes requests onto the
+  /// mutexed side queue, bypassing the admission capacity bound — workers
+  /// must never block as producers on a queue they are the consumers of.
+  /// Bounded naturally by the in-flight request count.
+  void requeue(Request* const* requests, std::size_t n);
 
   void worker_loop(std::size_t worker_index);
   void process_batch(Worker& worker, PricingAccelerator& accelerator,
-                     std::vector<Request>& batch, bool probing);
+                     bool probing);
 
   ServiceConfig config_;
   service::QuoteCache cache_;
@@ -288,12 +424,33 @@ private:
   std::uint32_t trace_pid_ = 0;
   std::vector<std::unique_ptr<Worker>> workers_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<Request> queue_;
-  bool stopping_ = false;
+  /// Stable storage for every in-flight request (see SlabArena); sized to
+  /// cover the ring + all workers' batches + blocked submitters.
+  std::optional<service::SlabArena<Request>> arena_;
+  /// Lock-free spine (HotPath::kLockFree).
+  std::optional<service::MpmcRing<Request*>> ring_;
+  /// Mutex spine (HotPath::kMutex) — the benchmark baseline.
+  mutable std::mutex queue_mutex_;
+  std::deque<Request*> mutex_queue_;
 
+  /// Admission credits: logical main-queue occupancy, bounded by
+  /// queue_capacity regardless of the ring's rounded-up size. On its own
+  /// cache line — every submitter CASes it.
+  alignas(64) std::atomic<std::size_t> queue_count_{0};
+  /// Pending retries/failovers; lets the hot path skip the retry lock.
+  alignas(64) std::atomic<std::size_t> retry_count_{0};
+  std::mutex retry_mutex_;
+  std::deque<Request*> retry_queue_;
+
+  /// Park/wake gates: consumers idle on not_empty_, backpressured
+  /// submitters on not_full_. Untouched while the queues keep moving.
+  service::EventGate not_empty_;
+  service::EventGate not_full_;
+
+  std::atomic<bool> stopping_{false};
+  /// Submitters currently inside admission; the destructor waits for this
+  /// to drain before joining workers so no push lands after teardown.
+  std::atomic<std::size_t> admissions_in_flight_{0};
   std::atomic<std::uint64_t> submitted_{0};
 };
 

@@ -1,5 +1,6 @@
 #include "core/service/quote_cache.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -66,37 +67,76 @@ std::size_t CacheKeyHash::operator()(const CacheKey& key) const noexcept {
   return static_cast<std::size_t>(h);
 }
 
+QuoteCache::QuoteCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+  std::size_t count = shards;
+  if (capacity_ == 0) {
+    count = 1;  // disabled cache: one empty shard keeps the code uniform
+  } else if (count == 0) {
+    count = std::clamp<std::size_t>(capacity_ / kEntriesPerShard, 1,
+                                    kMaxShards);
+  } else {
+    count = std::clamp<std::size_t>(count, 1,
+                                    std::min(kMaxShards, capacity_));
+  }
+  shards_.reserve(count);
+  // Capacity divides as evenly as possible; the first (capacity % count)
+  // shards take one extra entry so the total is exactly capacity_.
+  const std::size_t base = capacity_ / count;
+  const std::size_t extra = capacity_ % count;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < extra ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::size_t QuoteCache::shard_for(const CacheKey& key) const {
+  if (shards_.size() == 1) return 0;
+  // The map inside each shard buckets by the hash's low bits; select the
+  // shard from the high bits so the two partitions stay independent.
+  const std::size_t h = CacheKeyHash{}(key);
+  return (h >> 32) % shards_.size();
+}
+
 std::optional<double> QuoteCache::lookup(const CacheKey& key) {
   if (capacity_ == 0) return std::nullopt;
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = map_.find(key);
-  if (it == map_.end()) return std::nullopt;
-  order_.splice(order_.begin(), order_, it->second);  // refresh recency
+  Shard& shard = *shards_[shard_for(key)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return std::nullopt;
+  shard.order.splice(shard.order.begin(), shard.order,
+                     it->second);  // refresh recency
   return it->second->second;
 }
 
 std::size_t QuoteCache::insert(const CacheKey& key, double price) {
   if (capacity_ == 0) return 0;
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (const auto it = map_.find(key); it != map_.end()) {
+  Shard& shard = *shards_[shard_for(key)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (const auto it = shard.map.find(key); it != shard.map.end()) {
     it->second->second = price;
-    order_.splice(order_.begin(), order_, it->second);
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
     return 0;
   }
   std::size_t evicted = 0;
-  if (order_.size() >= capacity_) {
-    map_.erase(order_.back().first);
-    order_.pop_back();
+  if (shard.order.size() >= shard.capacity) {
+    shard.map.erase(shard.order.back().first);
+    shard.order.pop_back();
     evicted = 1;
   }
-  order_.emplace_front(key, price);
-  map_.emplace(key, order_.begin());
+  shard.order.emplace_front(key, price);
+  shard.map.emplace(key, shard.order.begin());
   return evicted;
 }
 
 std::size_t QuoteCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return order_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->order.size();
+  }
+  return total;
 }
 
 }  // namespace binopt::core::service

@@ -1,4 +1,4 @@
-// LRU result cache for the PricingService.
+// Sharded LRU result cache for the PricingService (DESIGN.md §2.6).
 //
 // A volatility-curve front-end reprices the same (contract, market, depth,
 // target) points on every tick; caching the exact quote turns the repeat
@@ -9,15 +9,27 @@
 // returns the exact double a PricingAccelerator::run produced for the same
 // (spec, steps, target), so cached quotes preserve the service's
 // bit-identical parity with direct runs.
+//
+// The cache used to be one globally-locked LRU: every worker and every
+// cache-hit submitter serialized on a single mutex, which at
+// millions-of-requests/s throughput cost more than the lookups it saved.
+// It is now split into independently-locked segments selected by the
+// quantized key's hash; capacity divides across segments and each keeps
+// exact LRU order locally, so concurrent workers only contend when they
+// touch the same segment. Small caches (below one segment's worth of
+// entries) automatically collapse to a single segment, preserving the
+// old cache's exact global-LRU eviction order — which existing tests pin.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "core/accelerator.h"
 #include "finance/option.h"
@@ -51,32 +63,52 @@ struct CacheKeyHash {
   std::size_t operator()(const CacheKey& key) const noexcept;
 };
 
-/// Thread-safe LRU map CacheKey -> price. Capacity 0 disables every
-/// operation (lookup always misses, insert is a no-op), so the service can
-/// keep one unconditional code path.
+/// Thread-safe sharded LRU map CacheKey -> price. Capacity 0 disables
+/// every operation (lookup always misses, insert is a no-op), so the
+/// service can keep one unconditional code path.
 class QuoteCache {
 public:
-  explicit QuoteCache(std::size_t capacity) : capacity_(capacity) {}
+  /// Entries a shard should hold before another shard is worth its lock:
+  /// below this the cache stays a single exact global LRU.
+  static constexpr std::size_t kEntriesPerShard = 64;
+  static constexpr std::size_t kMaxShards = 64;
 
-  /// Returns the cached price and refreshes the entry's recency, or
-  /// nullopt on a miss.
+  /// `shards` = 0 picks automatically: one shard per kEntriesPerShard of
+  /// capacity, at most kMaxShards; explicit values are clamped to
+  /// [1, min(kMaxShards, capacity)].
+  explicit QuoteCache(std::size_t capacity, std::size_t shards = 0);
+
+  /// Returns the cached price and refreshes the entry's recency within
+  /// its shard, or nullopt on a miss.
   [[nodiscard]] std::optional<double> lookup(const CacheKey& key);
 
   /// Inserts (or refreshes) an entry; returns the number of entries
-  /// evicted to make room (0 or 1).
+  /// evicted from the key's shard to make room (0 or 1).
   std::size_t insert(const CacheKey& key, double price);
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+
+  /// The shard a key routes to (exposed for tests).
+  [[nodiscard]] std::size_t shard_for(const CacheKey& key) const;
 
 private:
   using Entry = std::pair<CacheKey, double>;
 
+  /// One independently-locked LRU segment, alignas(64) so neighbouring
+  /// shards' mutexes and list heads never false-share a cache line.
+  struct alignas(64) Shard {
+    std::mutex mutex;
+    std::size_t capacity = 0;
+    std::list<Entry> order;  ///< front = most recently used
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+        map;
+  };
+
   std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> order_;  ///< front = most recently used
-  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace binopt::core::service

@@ -1,0 +1,116 @@
+// Slab/arena allocator for PricingService request objects (DESIGN.md §2.6).
+//
+// The old hot path paid one heap allocation per queued request (deque
+// growth) plus one per promise; at millions of requests/s the allocator
+// lock showed up before the lattice math did. The arena preallocates
+// requests in slabs and recycles them through a lock-free MPMC freelist,
+// so the steady-state submit -> price -> resolve lifecycle performs ZERO
+// heap allocations (asserted by tests/core/test_alloc_hotpath.cpp with
+// operator-new counting hooks):
+//
+//   acquire()  pop a recycled slot from the freelist (lock-free); only
+//              when the freelist is dry does the arena take a mutex and
+//              carve a new slab (cold path: warmup and load spikes)
+//   release()  reset the slot and push it back (lock-free)
+//
+// Slots are stable in memory for their whole lease — the service queues
+// raw pointers, so requests are never copied or moved between admission
+// and resolution (the zero-copy half of the redesign; batches hand the
+// specs to the accelerator as a structure-of-arrays gather of these
+// slots).
+//
+// Total slot count is bounded by the freelist ring capacity: the service
+// sizes it to cover the admission ring + every worker's in-flight batch +
+// a generous margin of concurrently-blocked submitters, so growth stops
+// and acquire() falls back to a bounded wait for a recycled slot instead
+// of growing without limit.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "core/service/mpmc_ring.h"
+
+namespace binopt::core::service {
+
+template <typename T>
+class SlabArena {
+public:
+  /// `max_slots` bounds the total live slots (rounded up to a power of
+  /// two); `slab_size` is the growth granularity.
+  explicit SlabArena(std::size_t max_slots, std::size_t slab_size = 256)
+      : slab_size_(slab_size), free_(max_slots) {
+    BINOPT_REQUIRE(slab_size >= 1, "arena slab size must be >= 1");
+  }
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  /// Leases a slot. Lock-free when the freelist has a recycled slot (the
+  /// steady state); takes the growth mutex only to carve a new slab, and
+  /// once the bound is reached spins/naps until a slot is released (the
+  /// service's in-flight population can't exceed the bound by
+  /// construction, so this terminates).
+  [[nodiscard]] T* acquire() {
+    T* slot = nullptr;
+    for (;;) {
+      if (free_.try_pop(slot)) return slot;
+      if (try_grow()) continue;
+      std::this_thread::sleep_for(std::chrono::microseconds{50});
+    }
+  }
+
+  /// Returns a slot to the freelist (lock-free). The caller must have
+  /// reset any per-lease state; the arena does not touch the object.
+  void release(T* slot) { push_spin(slot); }
+
+  /// Slots ever created (monotone; slabs are never freed until
+  /// destruction, so live pointers stay valid for the arena's lifetime).
+  [[nodiscard]] std::size_t allocated() const {
+    const std::lock_guard<std::mutex> lock(grow_mutex_);
+    return allocated_;
+  }
+
+  [[nodiscard]] std::size_t max_slots() const { return free_.capacity(); }
+
+private:
+  /// Carves one slab and feeds it to the freelist. Returns false when the
+  /// bound is reached (caller waits for releases instead).
+  bool try_grow() {
+    const std::lock_guard<std::mutex> lock(grow_mutex_);
+    if (allocated_ >= free_.capacity()) return false;
+    const std::size_t count =
+        std::min(slab_size_, free_.capacity() - allocated_);
+    slabs_.push_back(std::make_unique<T[]>(count));
+    T* slab = slabs_.back().get();
+    for (std::size_t i = 0; i < count; ++i) push_spin(&slab[i]);
+    allocated_ += count;
+    return true;
+  }
+
+  /// Pushes onto the freelist, riding out the ring's transient-full window.
+  /// The ring never holds more than `allocated_ <= capacity()` slots, but a
+  /// concurrent acquire() that has claimed a ring slot and not yet published
+  /// its recycled sequence number makes that slot look occupied to a
+  /// producer wrapping onto it, so try_push can fail spuriously under
+  /// contention. The in-flight pop finishes in a few instructions, so spin
+  /// briefly, then yield to let it run on oversubscribed cores.
+  void push_spin(T* slot) {
+    for (std::size_t spins = 0; !free_.try_push(slot); ++spins) {
+      if (spins >= 64) std::this_thread::yield();
+    }
+  }
+
+  std::size_t slab_size_;
+  MpmcRing<T*> free_;
+  mutable std::mutex grow_mutex_;
+  std::vector<std::unique_ptr<T[]>> slabs_;
+  std::size_t allocated_ = 0;
+};
+
+}  // namespace binopt::core::service

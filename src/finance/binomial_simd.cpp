@@ -1,0 +1,102 @@
+// AVX2 lattice kernel for BatchPricer (see binomial_batch.h for the
+// bitwise-parity argument). This translation unit — and only this one —
+// is compiled with -mavx2 (src/finance/CMakeLists.txt); callers reach it
+// strictly behind the cpu_has_avx2() runtime check, so the library still
+// runs on pre-AVX2 hosts. Deliberately NO -mfma and no fused intrinsics:
+// every multiply and add rounds exactly where the scalar pricer rounds.
+#include "finance/binomial_batch.h"
+
+#include "common/error.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace binopt::finance::detail {
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+bool cpu_has_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+namespace {
+
+/// payoff per lane: call lanes max(s-K, 0), put lanes max(K-s, 0).
+/// vmaxpd(x, 0) picks the second operand on ties and negatives, exactly
+/// like std::max(x, 0.0) picks 0.0 only when x < 0 — identical bits for
+/// every input the validated specs can produce (no NaN, no -0 assets).
+inline __m256d payoff4(__m256d s, __m256d strike, __m256d put_mask,
+                       __m256d zero) {
+  const __m256d call = _mm256_max_pd(_mm256_sub_pd(s, strike), zero);
+  const __m256d put = _mm256_max_pd(_mm256_sub_pd(strike, s), zero);
+  return _mm256_blendv_pd(call, put, put_mask);
+}
+
+}  // namespace
+
+void price4_avx2(const Lane4& lanes, std::size_t steps, double* assets,
+                 double* values, double* out4) {
+  const __m256d spot = _mm256_loadu_pd(lanes.spot);
+  const __m256d strike = _mm256_loadu_pd(lanes.strike);
+  const __m256d up = _mm256_loadu_pd(lanes.up);
+  const __m256d down = _mm256_loadu_pd(lanes.down);
+  const __m256d prob_up = _mm256_loadu_pd(lanes.prob_up);
+  const __m256d prob_down = _mm256_loadu_pd(lanes.prob_down);
+  const __m256d discount = _mm256_loadu_pd(lanes.discount);
+  const __m256d put_mask = _mm256_castsi256_pd(_mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(lanes.put_mask)));
+  const __m256d american_mask = _mm256_castsi256_pd(_mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(lanes.american_mask)));
+  const __m256d zero = _mm256_setzero_pd();
+
+  // Leaves by iterated multiplication — the same multiply chain, in the
+  // same order, as BinomialPricer::leaf_assets_iterative, one option per
+  // lane.
+  __m256d s = spot;
+  for (std::size_t i = 0; i < steps; ++i) s = _mm256_mul_pd(s, down);
+  const __m256d up2 = _mm256_mul_pd(up, up);
+  for (std::size_t k = 0; k <= steps; ++k) {
+    _mm256_storeu_pd(assets + 4 * k, s);
+    s = _mm256_mul_pd(s, up2);
+  }
+  for (std::size_t k = 0; k <= steps; ++k) {
+    _mm256_storeu_pd(values + 4 * k,
+                     payoff4(_mm256_loadu_pd(assets + 4 * k), strike,
+                             put_mask, zero));
+  }
+
+  // Backward induction. Order of operations per lane matches the scalar
+  // rolling-array loop exactly: asset roll-up first, then
+  // discount * (p*V_up + q*V_down) with the products rounded before the
+  // add (no FMA), then the American early-exercise max behind a blend.
+  for (std::size_t t = steps; t-- > 0;) {
+    for (std::size_t k = 0; k <= t; ++k) {
+      const __m256d a =
+          _mm256_mul_pd(_mm256_loadu_pd(assets + 4 * k), up);
+      _mm256_storeu_pd(assets + 4 * k, a);
+      const __m256d v_up = _mm256_loadu_pd(values + 4 * (k + 1));
+      const __m256d v_down = _mm256_loadu_pd(values + 4 * k);
+      const __m256d continuation = _mm256_mul_pd(
+          discount, _mm256_add_pd(_mm256_mul_pd(prob_up, v_up),
+                                  _mm256_mul_pd(prob_down, v_down)));
+      const __m256d exercised =
+          _mm256_max_pd(payoff4(a, strike, put_mask, zero), continuation);
+      _mm256_storeu_pd(values + 4 * k,
+                       _mm256_blendv_pd(continuation, exercised,
+                                        american_mask));
+    }
+  }
+  const __m256d root = _mm256_loadu_pd(values);
+  _mm256_storeu_pd(out4, root);
+}
+
+#else  // non-x86: the dispatcher never selects the vector kernel.
+
+bool cpu_has_avx2() { return false; }
+
+void price4_avx2(const Lane4&, std::size_t, double*, double*, double*) {
+  throw binopt::InvariantError("AVX2 kernel called on a non-x86 build");
+}
+
+#endif
+
+}  // namespace binopt::finance::detail

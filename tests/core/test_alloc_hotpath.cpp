@@ -1,0 +1,177 @@
+// Zero-allocation gate for the service hot path (DESIGN.md §2.6).
+//
+// This binary replaces the global allocation operators with counting
+// versions and asserts that, after warmup, a price_batch_blocking call on
+// the lock-free spine performs NO heap allocation end to end: admission
+// (arena slot + ring push), batching (reused worker scratch), pricing
+// (BatchPricer's reused lanes), and resolution (stack SyncGroup). It is a
+// separate test binary so the hooks cannot perturb the other suites or
+// the ThreadSanitizer job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/accelerator.h"
+#include "core/service/pricing_service.h"
+#include "finance/workload.h"
+
+namespace {
+// Counts every path into the heap. Relaxed is fine: the test reads the
+// counter only after joining/quiescing the threads whose allocations it
+// wants to observe (the blocking call returns only after the worker has
+// resolved every element).
+std::atomic<std::uint64_t> g_heap_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded ? rounded : align);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace binopt::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::size_t kSteps = 64;
+constexpr std::size_t kBatch = 64;
+
+ServiceConfig hotpath_config(HotPath hot_path) {
+  ServiceConfig config;
+  config.targets = {Target::kCpuReference};
+  config.steps = kSteps;
+  config.max_batch = kBatch;
+  config.linger = 0us;
+  config.queue_capacity = 256;
+  config.cache_capacity = 0;  // cache insertions allocate by design
+  config.hot_path = hot_path;
+  return config;
+}
+
+TEST(AllocHotPath, SteadyStateBlockingBatchMakesZeroHeapAllocations) {
+  const auto specs = finance::make_curve_batch(kBatch);
+  PricingAccelerator direct({Target::kCpuReference, kSteps,
+                             /*compute_rmse=*/false});
+  const std::vector<double> expected = direct.run(specs).prices;
+
+  PricingService service(hotpath_config(HotPath::kLockFree));
+  std::vector<double> out(specs.size(), 0.0);
+
+  // Warmup: lazily builds the worker's BatchPricer, reserves all scratch,
+  // and carves every arena slab the steady-state lease pattern touches.
+  for (int i = 0; i < 200; ++i) {
+    service.price_batch_blocking(specs.data(), specs.size(), out.data());
+  }
+
+  const std::uint64_t before =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  constexpr int kMeasuredReps = 100;
+  for (int i = 0; i < kMeasuredReps; ++i) {
+    service.price_batch_blocking(specs.data(), specs.size(), out.data());
+  }
+  const std::uint64_t after =
+      g_heap_allocations.load(std::memory_order_relaxed);
+
+  // The acceptance gate: zero allocations per request in steady state —
+  // submit -> ring -> batch -> price -> resolve never touches the heap.
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " allocations across " << kMeasuredReps
+      << " blocking batches of " << specs.size();
+
+  // And the zero-alloc path still prices correctly (bitwise).
+  ASSERT_EQ(out, expected);
+}
+
+TEST(AllocHotPath, BlockingBatchMatchesFutureApisOnBothSpines) {
+  const auto specs = finance::make_curve_batch(48);
+  PricingAccelerator direct({Target::kCpuReference, kSteps,
+                             /*compute_rmse=*/false});
+  const std::vector<double> expected = direct.run(specs).prices;
+
+  for (const HotPath hot_path : {HotPath::kLockFree, HotPath::kMutex}) {
+    PricingService service(hotpath_config(hot_path));
+    std::vector<double> blocking(specs.size(), 0.0);
+    service.price_batch_blocking(specs.data(), specs.size(), blocking.data());
+    EXPECT_EQ(blocking, expected);
+
+    const std::vector<double> via_future = service.submit_batch(specs).get();
+    EXPECT_EQ(via_future, expected);
+
+    const Quote quote = service.submit(specs.front()).get();
+    EXPECT_EQ(quote.price, expected.front());
+  }
+}
+
+TEST(AllocHotPath, StatsStillTrackZeroAllocTraffic) {
+  // kSync requests must feed the same counters/histograms as the
+  // promise-based sinks — observability cannot be the price of zero-alloc.
+  const auto specs = finance::make_curve_batch(32);
+  PricingService service(hotpath_config(HotPath::kLockFree));
+  std::vector<double> out(specs.size(), 0.0);
+  service.price_batch_blocking(specs.data(), specs.size(), out.data());
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests_submitted, specs.size());
+  EXPECT_EQ(stats.requests_completed, specs.size());
+  EXPECT_EQ(stats.requests_failed, 0u);
+  EXPECT_EQ(stats.options_priced, specs.size());
+  EXPECT_EQ(stats.request_latency_ns.count(), specs.size());
+  EXPECT_EQ(stats.queue_wait_ns.count(), specs.size());
+  EXPECT_GE(stats.batches_launched, 1u);
+}
+
+}  // namespace
+}  // namespace binopt::core

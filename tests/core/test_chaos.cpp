@@ -159,14 +159,19 @@ TEST(Chaos, FleetWideDeviceLossFailsOverAndHeals) {
 }
 
 TEST(Chaos, WatchdogExpiryIsFatalAndRecoverable) {
-  // The first launch stalls 80ms against a 10ms watchdog: the queue
+  // The first launch stalls 600ms against a 150ms watchdog: the queue
   // declares the device lost, the service quarantines and fails over,
   // probes find the healed device, and everything completes with parity.
+  // The watchdog measures wall-clock time and applies to every launch, so
+  // the deadline leaves generous headroom over a legitimate 6-option
+  // launch (~ms, tens of ms sanitized) and the assertions tolerate an
+  // extra expiry cycle rather than demanding exactly one.
   const auto stats =
-      assert_parity_under("stall@1,ms=80;watchdog-ms=10", 1, 6);
+      assert_parity_under("stall@1,ms=600;watchdog-ms=150", 1, 6);
   EXPECT_GE(stats.failovers, 1u);
-  EXPECT_EQ(stats.quarantines_entered, 1u);
-  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_GE(stats.quarantines_entered, 1u);
+  EXPECT_GE(stats.recoveries, 1u);
+  EXPECT_EQ(stats.quarantines_entered, stats.recoveries);
 }
 
 // ---------------------------------------------------------------------------

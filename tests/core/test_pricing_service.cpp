@@ -451,5 +451,82 @@ TEST(ServiceStats, HistogramsTravelThroughMergeAndMinus) {
   EXPECT_EQ(fields, 18u);
 }
 
+// --- Hot-path spine ------------------------------------------------------
+
+TEST(PricingService, MutexAndLockFreeSpinesAgreeBitwise) {
+  // The benchmark baseline (HotPath::kMutex) and the default lock-free
+  // spine must produce identical prices — the spine only moves pointers.
+  const auto batch = finance::make_curve_batch(48);
+  const std::vector<double> expected =
+      direct_prices(Target::kCpuReference, batch);
+
+  for (const HotPath hot_path : {HotPath::kLockFree, HotPath::kMutex}) {
+    ServiceConfig config = small_config(Target::kCpuReference, /*workers=*/2);
+    config.hot_path = hot_path;
+    PricingService service(config);
+    const std::vector<double> got = service.submit_batch(batch).get();
+    ASSERT_EQ(got, expected);  // bitwise-equal doubles
+
+    std::vector<double> blocking(batch.size(), -1.0);
+    service.price_batch_blocking(batch.data(), batch.size(), blocking.data());
+    ASSERT_EQ(blocking, expected);
+  }
+}
+
+TEST(PricingService, PriceBatchBlockingHonoursTimeouts) {
+  ServiceConfig config = small_config(Target::kCpuReference);
+  PricingService service(config);
+  const auto batch = finance::make_curve_batch(8);
+  std::vector<double> out(batch.size(), 0.0);
+  EXPECT_THROW(
+      service.price_batch_blocking(batch.data(), batch.size(), out.data(), 0ms),
+      ServiceTimeoutError);
+}
+
+TEST(PricingService, PriceBatchBlockingRejectsInvalidSpecsUpfront) {
+  PricingService service(small_config(Target::kCpuReference));
+  auto batch = finance::make_curve_batch(4);
+  batch[2].volatility = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> out(batch.size(), 0.0);
+  EXPECT_THROW(
+      service.price_batch_blocking(batch.data(), batch.size(), out.data()),
+      ServiceRejectedError);
+}
+
+TEST(PricingService, ShutdownMidBurstResolvesEverySubmittedFuture) {
+  // 4 submitters blast 256 singles through a small-batch service, and the
+  // service is destroyed while most of that burst is still queued (large
+  // linger, tiny batches). Every future must resolve with a price: the
+  // destructor drains admitted work instead of dropping it. Run on both
+  // spines; under TSan this race-checks teardown against workers mid-burst.
+  const auto batch = finance::make_curve_batch(16);
+  for (const HotPath hot_path : {HotPath::kLockFree, HotPath::kMutex}) {
+    std::vector<std::future<Quote>> futures[4];
+    {
+      ServiceConfig config = small_config(Target::kCpuReference, /*workers=*/2);
+      config.hot_path = hot_path;
+      config.max_batch = 4;
+      config.linger = 2000us;
+      PricingService service(config);
+      std::vector<std::thread> submitters;
+      for (int t = 0; t < 4; ++t) {
+        submitters.emplace_back([&, t] {
+          for (int i = 0; i < 64; ++i) {
+            futures[t].push_back(service.submit(batch[i % batch.size()]));
+          }
+        });
+      }
+      for (auto& thread : submitters) thread.join();
+      // Destructor runs here, with the bulk of the burst still queued.
+    }
+    for (auto& per_thread : futures) {
+      ASSERT_EQ(per_thread.size(), 64u);
+      for (auto& future : per_thread) {
+        EXPECT_GT(future.get().price, 0.0);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace binopt::core

@@ -1,0 +1,214 @@
+// Sharded QuoteCache behaviour: shard-count policy (small caches stay one
+// exact global LRU), hit/miss/evict parity with a reference LRU, routing
+// stability, and concurrent readers racing eviction. test_core runs under
+// the ThreadSanitizer CI job, so the concurrency tests double as race
+// checks of the per-shard locking.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <list>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/service/quote_cache.h"
+#include "finance/workload.h"
+
+namespace binopt::core::service {
+namespace {
+
+finance::OptionSpec spec_with_strike(double strike) {
+  finance::OptionSpec spec;
+  spec.spot = 100.0;
+  spec.strike = strike;
+  spec.rate = 0.03;
+  spec.dividend = 0.0;
+  spec.volatility = 0.25;
+  spec.maturity = 1.0;
+  spec.type = finance::OptionType::kPut;
+  spec.style = finance::ExerciseStyle::kAmerican;
+  return spec;
+}
+
+CacheKey key_for(double strike) {
+  return CacheKey::from(spec_with_strike(strike), 64, Target::kFpgaKernelB);
+}
+
+/// The old single-mutex LRU, reimplemented minimally as the behavioural
+/// oracle for the single-shard configuration.
+class ReferenceLru {
+public:
+  explicit ReferenceLru(std::size_t capacity) : capacity_(capacity) {}
+
+  std::optional<double> lookup(const CacheKey& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  std::size_t insert(const CacheKey& key, double price) {
+    if (const auto it = map_.find(key); it != map_.end()) {
+      it->second->second = price;
+      order_.splice(order_.begin(), order_, it->second);
+      return 0;
+    }
+    std::size_t evicted = 0;
+    if (order_.size() >= capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+      evicted = 1;
+    }
+    order_.emplace_front(key, price);
+    map_.emplace(key, order_.begin());
+    return evicted;
+  }
+
+private:
+  std::size_t capacity_;
+  std::list<std::pair<CacheKey, double>> order_;
+  std::unordered_map<CacheKey, decltype(order_)::iterator, CacheKeyHash> map_;
+};
+
+TEST(QuoteCacheSharding, AutoPolicyKeepsSmallCachesSingleShard) {
+  // Below one shard's worth of entries the cache must stay a single
+  // exact global LRU — existing service tests pin exact eviction order
+  // at capacities 2 and 64.
+  EXPECT_EQ(QuoteCache(2).shard_count(), 1u);
+  EXPECT_EQ(QuoteCache(64).shard_count(), 1u);
+  EXPECT_EQ(QuoteCache(128).shard_count(), 2u);
+  EXPECT_EQ(QuoteCache(4096).shard_count(), 64u);
+  // Capped at kMaxShards however large the cache grows.
+  EXPECT_EQ(QuoteCache(1 << 20).shard_count(), QuoteCache::kMaxShards);
+  // Explicit counts are honoured (clamped to [1, min(64, capacity)]).
+  EXPECT_EQ(QuoteCache(1024, 8).shard_count(), 8u);
+  EXPECT_EQ(QuoteCache(4, 100).shard_count(), 4u);
+  // Disabled cache: no entries, one inert shard.
+  const QuoteCache disabled(0);
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_EQ(disabled.shard_count(), 1u);
+}
+
+TEST(QuoteCacheSharding, CapacityDividesExactlyAcrossShards) {
+  const QuoteCache cache(100, 8);
+  EXPECT_EQ(cache.capacity(), 100u);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  // Fill far past capacity; total size must settle at exactly capacity.
+  QuoteCache full(100, 8);
+  for (int i = 0; i < 1000; ++i) {
+    full.insert(key_for(10.0 + i), static_cast<double>(i));
+  }
+  EXPECT_EQ(full.size(), 100u);
+}
+
+TEST(QuoteCacheSharding, SingleShardMatchesReferenceLruExactly) {
+  // Hit/miss/evict parity against the pre-sharding implementation: with
+  // one shard, every lookup result and every eviction count must match
+  // the oracle step for step across a mixed workload.
+  QuoteCache cache(8, 1);
+  ReferenceLru oracle(8);
+  ASSERT_EQ(cache.shard_count(), 1u);
+
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  const auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  std::size_t hits = 0;
+  std::size_t evictions = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const double strike = 50.0 + static_cast<double>(next() % 24);
+    const CacheKey key = key_for(strike);
+    if (next() % 2 == 0) {
+      const auto got = cache.lookup(key);
+      const auto want = oracle.lookup(key);
+      ASSERT_EQ(got.has_value(), want.has_value()) << "step " << i;
+      if (got.has_value()) {
+        ASSERT_EQ(*got, *want) << "step " << i;
+        ++hits;
+      }
+    } else {
+      const double price = static_cast<double>(next() % 1000);
+      const std::size_t got = cache.insert(key, price);
+      const std::size_t want = oracle.insert(key, price);
+      ASSERT_EQ(got, want) << "step " << i;
+      evictions += got;
+    }
+  }
+  // The workload must actually have exercised both paths.
+  EXPECT_GT(hits, 0u);
+  EXPECT_GT(evictions, 0u);
+}
+
+TEST(QuoteCacheSharding, RoutingIsStableAndInRange) {
+  const QuoteCache cache(4096);
+  ASSERT_GT(cache.shard_count(), 1u);
+  for (int i = 0; i < 100; ++i) {
+    const CacheKey key = key_for(10.0 + i);
+    const std::size_t shard = cache.shard_for(key);
+    EXPECT_LT(shard, cache.shard_count());
+    EXPECT_EQ(shard, cache.shard_for(key));  // deterministic
+  }
+}
+
+TEST(QuoteCacheSharding, InsertedEntriesAreFoundWhereverTheyShard) {
+  QuoteCache cache(4096);
+  for (int i = 0; i < 500; ++i) {
+    cache.insert(key_for(10.0 + i), 1000.0 + i);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const auto hit = cache.lookup(key_for(10.0 + i));
+    ASSERT_TRUE(hit.has_value()) << "strike " << 10.0 + i;
+    EXPECT_EQ(*hit, 1000.0 + i);
+  }
+  EXPECT_EQ(cache.size(), 500u);
+}
+
+TEST(QuoteCacheSharding, ConcurrentReadersSurviveEviction) {
+  // Readers hammer a fixed key range while a writer churns a much larger
+  // range through a small sharded cache, forcing constant eviction. Any
+  // hit must return the exact value written for that key; under TSan
+  // this also race-checks lookup's recency splice against eviction.
+  QuoteCache cache(128, 4);
+  ASSERT_EQ(cache.shard_count(), 4u);
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> hits{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < 64; ++i) {
+          const auto hit = cache.lookup(key_for(10.0 + i));
+          if (hit.has_value()) {
+            // Value integrity: a concurrent eviction may miss us, but it
+            // must never hand back another key's price.
+            ASSERT_EQ(*hit, 1000.0 + i);
+            hits.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      cache.insert(key_for(10.0 + i), 1000.0 + i);
+    }
+    // Churn: unrelated keys that force evictions in every shard.
+    for (int i = 0; i < 64; ++i) {
+      const int k = round * 64 + i;
+      cache.insert(key_for(5000.0 + k), -1.0 - k);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& reader : readers) reader.join();
+  EXPECT_GT(hits.load(), 0u);
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+}  // namespace
+}  // namespace binopt::core::service

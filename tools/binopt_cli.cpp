@@ -89,6 +89,9 @@ void print_usage() {
       "  --max-batch <N>    micro-batch ceiling    (default 256)\n"
       "  --linger-us <N>    batch linger window    (default 200)\n"
       "  --cache <N>        quote-cache capacity   (default 4096)\n"
+      "  --hot-path <name>  admission spine: lockfree|mutex\n"
+      "                     (default lockfree; mutex pins the\n"
+      "                     pre-redesign queue for A/B comparison)\n"
       "\n"
       "subcommand: binopt_cli chaos [flags]\n"
       "  Prices a volatility curve through the PricingService while a\n"
@@ -103,6 +106,7 @@ void print_usage() {
       "  --workers <N>      backend worker count   (default 2)\n"
       "  --faults <spec>    fault plan for every worker (default\n"
       "                     'device-lost@1;transient@3x2;seed=7')\n"
+      "  --hot-path <name>  admission spine: lockfree|mutex\n"
       "\n"
       "subcommand: binopt_cli trace [flags]\n"
       "  Runs kernels IV.A and IV.B on a 4-compute-unit device plus a\n"
@@ -118,10 +122,18 @@ void print_usage() {
 /// on the accelerator (the parity reference), through the service from
 /// concurrent submitter threads, and again as one batch to replay the
 /// cache — then print throughput and service counters.
+core::HotPath parse_hot_path(const char* value) {
+  const std::string name = value;
+  if (name == "lockfree") return core::HotPath::kLockFree;
+  if (name == "mutex") return core::HotPath::kMutex;
+  fail("unknown hot path '" + name + "' (lockfree|mutex)");
+}
+
 int run_serve_bench(std::size_t num_options, std::size_t steps,
                     core::Target target, std::size_t workers,
                     std::size_t submitters, std::size_t max_batch,
-                    std::size_t linger_us, std::size_t cache_capacity) {
+                    std::size_t linger_us, std::size_t cache_capacity,
+                    core::HotPath hot_path) {
   using Clock = std::chrono::steady_clock;
   const auto curve = finance::make_curve_batch(num_options);
 
@@ -134,13 +146,15 @@ int run_serve_bench(std::size_t num_options, std::size_t steps,
   config.max_batch = max_batch;
   config.linger = std::chrono::microseconds{linger_us};
   config.cache_capacity = cache_capacity;
+  config.hot_path = hot_path;
   core::PricingService service(config);
 
   std::printf("serve-bench: %zu options, %zu steps, target %s\n",
               num_options, steps, core::to_string(target).c_str());
   std::printf("  %zu worker(s), %zu submitter(s), max_batch %zu, "
-              "linger %zu us, cache %zu\n",
-              workers, submitters, max_batch, linger_us, cache_capacity);
+              "linger %zu us, cache %zu, %s spine\n",
+              workers, submitters, max_batch, linger_us, cache_capacity,
+              hot_path == core::HotPath::kLockFree ? "lock-free" : "mutex");
 
   // Pass 1: concurrent submitters stream disjoint slices of the curve as
   // single-quote submissions — the micro-batcher has to reassemble them.
@@ -214,7 +228,8 @@ int run_serve_bench(std::size_t num_options, std::size_t steps,
 /// zero lost or double-resolved requests, and (when a fatal fault fired)
 /// a full quarantine -> probe -> recovery cycle visible in the stats.
 int run_chaos(std::size_t num_options, std::size_t steps, core::Target target,
-              std::size_t workers, const std::string& fault_spec) {
+              std::size_t workers, const std::string& fault_spec,
+              core::HotPath hot_path) {
   using Clock = std::chrono::steady_clock;
   if (target == core::Target::kCpuReference ||
       target == core::Target::kCpuReferenceSingle) {
@@ -238,6 +253,7 @@ int run_chaos(std::size_t num_options, std::size_t steps, core::Target target,
   config.health.probe_backoff = std::chrono::microseconds{2'000};
   config.health.max_probe_backoff = std::chrono::microseconds{50'000};
   config.worker_fault_plans.assign(workers, plan);
+  config.hot_path = hot_path;
   core::PricingService service(config);
 
   std::printf("chaos: %zu options, %zu steps, target %s, %zu worker(s)\n",
@@ -459,6 +475,7 @@ int main_serve_bench(int argc, char** argv) {
   std::size_t linger_us = 200;
   std::size_t cache_capacity = 4096;
   core::Target target = core::Target::kCpuReference;
+  core::HotPath hot_path = core::HotPath::kLockFree;
 
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -479,6 +496,8 @@ int main_serve_bench(int argc, char** argv) {
       linger_us = parse_size("--linger-us", value);
     } else if (flag == "--cache") {
       cache_capacity = parse_size("--cache", value);
+    } else if (flag == "--hot-path") {
+      hot_path = parse_hot_path(value);
     } else if (flag == "--target") {
       if (!parse_target(value, target)) {
         fail(std::string("unknown target '") + value +
@@ -494,7 +513,7 @@ int main_serve_bench(int argc, char** argv) {
 
   try {
     return run_serve_bench(num_options, steps, target, workers, submitters,
-                           max_batch, linger_us, cache_capacity);
+                           max_batch, linger_us, cache_capacity, hot_path);
   } catch (const Error& e) {
     fail(e.what());
   }
@@ -506,6 +525,7 @@ int main_chaos(int argc, char** argv) {
   std::size_t workers = 2;
   core::Target target = core::Target::kFpgaKernelB;
   std::string fault_spec = "device-lost@1;transient@3x2;seed=7";
+  core::HotPath hot_path = core::HotPath::kLockFree;
 
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -519,6 +539,7 @@ int main_chaos(int argc, char** argv) {
     else if (flag == "--steps") steps = parse_size("--steps", value);
     else if (flag == "--workers") workers = parse_size("--workers", value);
     else if (flag == "--faults") fault_spec = value;
+    else if (flag == "--hot-path") hot_path = parse_hot_path(value);
     else if (flag == "--target") {
       if (!parse_target(value, target)) {
         fail(std::string("unknown target '") + value +
@@ -533,7 +554,8 @@ int main_chaos(int argc, char** argv) {
   if (steps < 2) fail("--steps must be >= 2");
 
   try {
-    return run_chaos(num_options, steps, target, workers, fault_spec);
+    return run_chaos(num_options, steps, target, workers, fault_spec,
+                     hot_path);
   } catch (const Error& e) {
     fail(e.what());
   }
