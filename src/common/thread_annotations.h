@@ -1,0 +1,48 @@
+// Clang thread-safety annotation macros (-Wthread-safety).
+//
+// The annotations turn the locking discipline the comments already claim
+// ("guarded by shard_mutex", "all decrements happen under mutex") into
+// compiler-checked contracts: clang's thread-safety analysis proves every
+// annotated field is only touched with its mutex held and fails the build
+// otherwise. The CI `thread-safety` job compiles the service headers with
+// -Werror=thread-safety; under GCC (which has no such analysis) every
+// macro expands to nothing, so local builds are unaffected.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define BINOPT_TSA_HAS(x) __has_attribute(x)
+#else
+#define BINOPT_TSA_HAS(x) 0
+#endif
+
+#if BINOPT_TSA_HAS(guarded_by)
+#define BINOPT_TSA(x) __attribute__((x))
+#else
+#define BINOPT_TSA(x)
+#endif
+
+/// Marks a type as a lockable capability (std::mutex already is one in
+/// libc++; this is for wrapper types).
+#define BINOPT_CAPABILITY(name) BINOPT_TSA(capability(name))
+
+/// Field may only be read or written with `mu` held.
+#define BINOPT_GUARDED_BY(mu) BINOPT_TSA(guarded_by(mu))
+
+/// Pointer field: the pointed-to data is guarded by `mu` (the pointer
+/// itself is not).
+#define BINOPT_PT_GUARDED_BY(mu) BINOPT_TSA(pt_guarded_by(mu))
+
+/// Function requires `mu` held on entry (caller locks).
+#define BINOPT_REQUIRES(mu) BINOPT_TSA(requires_capability(mu))
+
+/// Function acquires/releases `mu` itself.
+#define BINOPT_ACQUIRE(mu) BINOPT_TSA(acquire_capability(mu))
+#define BINOPT_RELEASE(mu) BINOPT_TSA(release_capability(mu))
+
+/// Function must NOT be called with `mu` held (deadlock prevention).
+#define BINOPT_EXCLUDES(mu) BINOPT_TSA(locks_excluded(mu))
+
+/// Escape hatch for functions whose locking the analysis cannot follow
+/// (std::unique_lock hand-offs, condition-variable waits).
+#define BINOPT_NO_THREAD_SAFETY_ANALYSIS \
+  BINOPT_TSA(no_thread_safety_analysis)

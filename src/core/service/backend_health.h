@@ -23,6 +23,12 @@
 // resolve_compute_units discipline): zero backoffs, inverted ranges, and
 // absurd attempt counts are rejected at service construction, not
 // discovered mid-incident.
+//
+// Thread-safety: BackendHealth deliberately carries NO mutex and no
+// BINOPT_GUARDED_BY annotations — each instance is owned by exactly one
+// worker thread (PricingService::Worker::health) and is never shared;
+// cross-thread visibility of health changes flows through the worker's
+// annotated stats shard instead.
 #pragma once
 
 #include <chrono>

@@ -83,6 +83,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/thread_annotations.h"
 #include "core/accelerator.h"
 #include "core/service/backend_health.h"
 #include "core/service/mpmc_ring.h"
@@ -335,7 +336,7 @@ private:
     /// Stats shard on its own cache line (written per batch by the owner,
     /// read by stats() callers).
     alignas(64) mutable std::mutex shard_mutex;
-    service::ServiceStats shard;
+    service::ServiceStats shard BINOPT_GUARDED_BY(shard_mutex);
     /// Circuit breaker for this backend; touched only by the owning
     /// worker thread (transitions surface through shard counters). Own
     /// cache line: its state flips exactly when fault storms make every
@@ -431,7 +432,7 @@ private:
   std::optional<service::MpmcRing<Request*>> ring_;
   /// Mutex spine (HotPath::kMutex) — the benchmark baseline.
   mutable std::mutex queue_mutex_;
-  std::deque<Request*> mutex_queue_;
+  std::deque<Request*> mutex_queue_ BINOPT_GUARDED_BY(queue_mutex_);
 
   /// Admission credits: logical main-queue occupancy, bounded by
   /// queue_capacity regardless of the ring's rounded-up size. On its own
@@ -440,7 +441,7 @@ private:
   /// Pending retries/failovers; lets the hot path skip the retry lock.
   alignas(64) std::atomic<std::size_t> retry_count_{0};
   std::mutex retry_mutex_;
-  std::deque<Request*> retry_queue_;
+  std::deque<Request*> retry_queue_ BINOPT_GUARDED_BY(retry_mutex_);
 
   /// Park/wake gates: consumers idle on not_empty_, backpressured
   /// submitters on not_full_. Untouched while the queues keep moving.

@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/accelerator.h"
 #include "finance/option.h"
 
@@ -101,10 +102,11 @@ private:
   /// shards' mutexes and list heads never false-share a cache line.
   struct alignas(64) Shard {
     std::mutex mutex;
-    std::size_t capacity = 0;
-    std::list<Entry> order;  ///< front = most recently used
+    std::size_t capacity = 0;  ///< immutable after construction
+    /// front = most recently used
+    std::list<Entry> order BINOPT_GUARDED_BY(mutex);
     std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
-        map;
+        map BINOPT_GUARDED_BY(mutex);
   };
 
   std::size_t capacity_;

@@ -18,4 +18,10 @@ double ClockModel::fmax_mhz(double logic_utilization) const {
   return std::clamp(f, kMinFmax, kMaxFmax);
 }
 
+double ClockModel::latency_us(double cycles, double logic_utilization) const {
+  BINOPT_REQUIRE(cycles >= 0.0, "cycle count must be non-negative, got ",
+                 cycles);
+  return cycles / fmax_mhz(logic_utilization);
+}
+
 }  // namespace binopt::fpga

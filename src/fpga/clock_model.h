@@ -18,6 +18,12 @@ public:
   /// Achievable kernel clock in MHz at a given logic utilization [0, 1].
   [[nodiscard]] double fmax_mhz(double logic_utilization) const;
 
+  /// Wall-clock microseconds for a cycle count at that utilization's
+  /// clock — the bridge from the fitter's II-aware pipeline_latency_cycles
+  /// to predicted kernel latency (cycles / MHz = microseconds).
+  [[nodiscard]] double latency_us(double cycles,
+                                  double logic_utilization) const;
+
   // The published anchor points (Table I).
   static constexpr double kAnchorUtilA = 0.99;
   static constexpr double kAnchorFmaxA = 98.27;

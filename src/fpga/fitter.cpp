@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "fpga/ii_analysis.h"
 
 namespace binopt::fpga {
 
@@ -162,7 +163,15 @@ FitResult Fitter::fit(const KernelIR& kernel, const CompileOptions& options,
   result.m9k_utilization = result.usage.m9k / cap.m9k;
   result.dsp_utilization = result.usage.dsp18 / cap.dsp18;
   result.memory_bit_utilization = result.usage.memory_bits / cap.memory_bits;
-  result.pipeline_latency_cycles = pipeline_latency(kernel, options);
+  result.pipeline_depth_cycles = pipeline_latency(kernel, options);
+  const IIAnalysis ii = analyze_initiation_interval(kernel);
+  result.initiation_interval = ii.ii;
+  // The loop issues trip_count iterations; each after the first waits for
+  // the recurrence, so the work-item occupies the pipeline for
+  // depth + (trip - 1) * II cycles.
+  result.pipeline_latency_cycles =
+      result.pipeline_depth_cycles +
+      (kernel.loop_trip_count - 1.0) * result.initiation_interval;
 
   auto check = [&](double used, double capacity, const char* what) {
     if (used > capacity) {

@@ -66,6 +66,14 @@ struct FitResult {
   double m9k_utilization = 0.0;
   double dsp_utilization = 0.0;
   double memory_bit_utilization = 0.0;
+  /// Depth of the datapath: cycles from a work-item entering the pipeline
+  /// to its results retiring (operators + LSUs along the serial chain).
+  double pipeline_depth_cycles = 0.0;
+  /// Initiation-interval lower bound from the loop-carried dependency
+  /// analysis (fpga/ii_analysis.h); 1 for fully streaming kernels.
+  double initiation_interval = 1.0;
+  /// End-to-end latency of one work-item: depth plus the II stall the
+  /// recurrence imposes on every loop iteration after the first.
   double pipeline_latency_cycles = 0.0;
   bool fits = false;
   std::vector<std::string> failures;   ///< which resources overflow

@@ -1,0 +1,175 @@
+#include "fpga/ii_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "fpga/op_library.h"
+
+namespace binopt::fpga {
+
+namespace {
+
+// Enumeration cap for iteration distances when store and load advance at
+// different rates; recurrences further apart than this contribute less
+// than chain_latency / 64 cycles to the II bound and are ignored.
+constexpr long long kMaxDistance = 64;
+
+struct Interval {
+  long long lo = 0;
+  long long hi = 0;
+};
+
+/// Symbol ranges the overlap test evaluates over (loop iteration excluded —
+/// it is handled by the distance shift).
+struct SymBox {
+  long long steps = 0;
+  long long local_max = 0;   ///< local_id in [0, local_max]
+  long long group_max = 0;
+  long long global_max = 0;
+};
+
+SymBox box_for(const KernelIR& kernel) {
+  SymBox box;
+  box.steps = static_cast<long long>(kernel.steps);
+  const long long local =
+      kernel.launch_local != 0 ? static_cast<long long>(kernel.launch_local)
+      : kernel.steps != 0      ? static_cast<long long>(kernel.steps)
+                               : 1024;
+  box.local_max = std::max<long long>(0, local - 1);
+  const long long global = kernel.launch_global != 0
+                               ? static_cast<long long>(kernel.launch_global)
+                               : local;
+  box.global_max = std::max<long long>(0, global - 1);
+  box.group_max = std::max<long long>(0, global / std::max<long long>(1, local) - 1);
+  return box;
+}
+
+/// Hull of the expression over the box, with the loop term stripped (the
+/// caller applies the iteration shift itself).
+Interval hull_no_loop(const AffineIndexExpr& e, const SymBox& box) {
+  Interval r{e.c0 + e.c_steps * box.steps, e.c0 + e.c_steps * box.steps};
+  auto add = [&](long long c, long long lo, long long hi) {
+    if (c == 0) return;
+    if (c > 0) { r.lo += c * lo; r.hi += c * hi; }
+    else       { r.lo += c * hi; r.hi += c * lo; }
+  };
+  add(e.c_local, 0, box.local_max);
+  add(e.c_group, 0, box.group_max);
+  add(e.c_global, 0, box.global_max);
+  const long long aux_hi =
+      std::max<long long>(0, e.aux_bound_c0 + e.aux_bound_csteps * box.steps);
+  add(e.c_aux, 0, aux_hi);
+  return r;
+}
+
+bool intersects(Interval a, Interval b) { return a.lo <= b.hi && b.lo <= a.hi; }
+
+/// Smallest iteration distance d >= 1 at which an element the store wrote
+/// at iteration i can be read at iteration i+d, or 0 when no such distance
+/// exists within [1, max_d].
+long long min_distance(const AccessSite& store, const AccessSite& load,
+                       const SymBox& box, long long max_d) {
+  const Interval w = hull_no_loop(store.index, box);
+  const Interval r = hull_no_loop(load.index, box);
+  const long long cw = store.index.c_loop;
+  const long long cr = load.index.c_loop;
+  for (long long d = 1; d <= max_d; ++d) {
+    // Store element set at iteration i: w + cw*i. Load set at i+d:
+    // r + cr*(i+d). With equal rates the shift cancels and the test is
+    // exact; with differing rates evaluating i over its hull independently
+    // on both sides over-approximates (conservative for a lower bound).
+    if (cw == cr) {
+      if (intersects(w, Interval{r.lo + cr * d, r.hi + cr * d})) return d;
+    } else {
+      // i ranges over [0, T-1-d]; fold it into both hulls.
+      const long long imax = max_d;  // bounded by the enumeration window
+      Interval ws = w, rs{r.lo + cr * d, r.hi + cr * d};
+      if (cw > 0) ws.hi += cw * imax; else ws.lo += cw * imax;
+      if (cr > 0) rs.hi += cr * imax; else rs.lo += cr * imax;
+      if (intersects(ws, rs)) return d;
+    }
+  }
+  return 0;
+}
+
+/// Latency of the dependence chain between iterations: the load that
+/// observes the carried value, one traversal of each floating-point
+/// operator class in the loop body (the critical path passes each once),
+/// and the store that hands it to the next iteration.
+double chain_latency(const KernelIR& kernel, const AccessSite& store,
+                     const AccessSite& load) {
+  double cycles = lsu_cost(load, kernel.coalescing_fifos).latency_cycles +
+                  lsu_cost(store, kernel.coalescing_fifos).latency_cycles;
+  std::set<OpKind> seen;
+  for (const OpInstance& op : kernel.ops) {
+    if (op.section != Section::kLoopBody) continue;
+    if (op.kind == OpKind::kIAdd || op.kind == OpKind::kIMul) continue;
+    if (!seen.insert(op.kind).second) continue;
+    cycles += op_cost(op.kind, op.precision).latency_cycles;
+  }
+  return cycles;
+}
+
+}  // namespace
+
+std::string IIAnalysis::to_string() const {
+  std::ostringstream os;
+  os << "II>=" << ii;
+  for (const DependenceEdge& e : memory_edges) {
+    os << " mem[store#" << e.store_site << "->load#" << e.load_site
+       << " d=" << e.distance << " chain=" << e.chain_latency_cycles << "]";
+  }
+  for (const ScalarRecurrenceEdge& e : scalar_edges) {
+    os << " scalar[" << e.name << " chain=" << e.chain_latency_cycles << "]";
+  }
+  return os.str();
+}
+
+IIAnalysis analyze_initiation_interval(const KernelIR& kernel) {
+  IIAnalysis result;
+  const long long trip =
+      static_cast<long long>(std::llround(kernel.loop_trip_count));
+  if (trip < 2) return result;  // nothing is carried across iterations
+
+  const SymBox box = box_for(kernel);
+  const long long max_d = std::min<long long>(kMaxDistance, trip - 1);
+
+  for (std::size_t ws = 0; ws < kernel.accesses.size(); ++ws) {
+    const AccessSite& store = kernel.accesses[ws];
+    if (!store.is_store || store.section != Section::kLoopBody) continue;
+    if (!store.has_affine_index) continue;
+    for (std::size_t rs = 0; rs < kernel.accesses.size(); ++rs) {
+      const AccessSite& load = kernel.accesses[rs];
+      if (load.is_store || load.section != Section::kLoopBody) continue;
+      if (!load.has_affine_index) continue;
+      if (load.space != store.space || load.buffer != store.buffer) continue;
+      const long long d = min_distance(store, load, box, max_d);
+      if (d == 0) continue;
+      DependenceEdge edge;
+      edge.store_site = ws;
+      edge.load_site = rs;
+      edge.distance = d;
+      edge.chain_latency_cycles = chain_latency(kernel, store, load);
+      edge.ii_cycles =
+          std::ceil(edge.chain_latency_cycles / static_cast<double>(d));
+      result.memory_edges.push_back(edge);
+      result.ii = std::max(result.ii, edge.ii_cycles);
+    }
+  }
+
+  for (const ScalarRecurrence& rec : kernel.recurrences) {
+    ScalarRecurrenceEdge edge;
+    edge.name = rec.name;
+    for (OpKind kind : rec.chain) {
+      edge.chain_latency_cycles +=
+          op_cost(kind, kernel.precision).latency_cycles;
+    }
+    result.scalar_edges.push_back(edge);
+    result.ii = std::max(result.ii, edge.chain_latency_cycles);
+  }
+  return result;
+}
+
+}  // namespace binopt::fpga

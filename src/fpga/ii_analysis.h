@@ -1,0 +1,60 @@
+// Loop-carried dependency analysis: initiation-interval lower bounds.
+//
+// The Altera OpenCL compiler pipelines a kernel's innermost loop; the
+// achievable initiation interval (II — cycles between successive iteration
+// launches) is bounded below by every dependence cycle that feeds an
+// iteration's input from an earlier iteration's output. Two carriers
+// matter for the paper's kernels: local-memory recurrences (kernel IV.B
+// writes values[k] that iteration i+1 reads back — the lattice's backward
+// induction) and private scalar recurrences (the running spot price
+// `s *= u`). Kernel IV.A has neither: each pipeline invocation is one
+// lattice level streamed through ping-pong global buffers, so its II stays
+// 1 — this asymmetry is exactly why the paper's two architectures scale so
+// differently, and the fitter folds it into predicted latency.
+//
+// Distances come from the AffineIndexExpr annotations (see fpga/ir.h):
+// when store and load advance identically with the iteration the element
+// overlap test is exact; otherwise the analysis falls back to a
+// conservative interval check, which can only over-estimate the bound for
+// exotic IRs, never under-estimate a real recurrence.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fpga/ir.h"
+
+namespace binopt::fpga {
+
+/// One loop-carried memory dependence: a store whose value a later
+/// iteration's load observes.
+struct DependenceEdge {
+  std::size_t store_site = 0;  ///< index into KernelIR::accesses
+  std::size_t load_site = 0;   ///< index into KernelIR::accesses
+  long long distance = 1;      ///< iterations between producer and consumer
+  double chain_latency_cycles = 0.0;  ///< load -> compute -> store path
+  double ii_cycles = 1.0;  ///< ceil(chain_latency / distance)
+};
+
+/// One private scalar carried across iterations.
+struct ScalarRecurrenceEdge {
+  std::string name;
+  double chain_latency_cycles = 0.0;
+};
+
+/// Result of the II analysis for one kernel variant.
+struct IIAnalysis {
+  double ii = 1.0;  ///< initiation-interval lower bound, cycles
+  std::vector<DependenceEdge> memory_edges;
+  std::vector<ScalarRecurrenceEdge> scalar_edges;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Compute the II lower bound for a kernel. Pure function of the IR; the
+/// bound is independent of unrolling (a recurrence serialises no matter how
+/// many lanes are instantiated).
+[[nodiscard]] IIAnalysis analyze_initiation_interval(const KernelIR& kernel);
+
+}  // namespace binopt::fpga

@@ -1,5 +1,6 @@
 #include "fpga/ir.h"
 
+#include <cmath>
 #include <sstream>
 
 namespace binopt::fpga {
@@ -23,41 +24,132 @@ std::string to_string(Precision p) {
   return p == Precision::kDouble ? "double" : "single";
 }
 
+std::string AffineIndexExpr::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  auto term = [&](long long c, const char* sym) {
+    if (c == 0) return;
+    if (!first) os << (c > 0 ? " + " : " - ");
+    else if (c < 0) os << "-";
+    first = false;
+    const long long mag = c < 0 ? -c : c;
+    if (mag != 1 || sym[0] == '\0') os << mag;
+    if (sym[0] != '\0') {
+      if (mag != 1) os << "*";
+      os << sym;
+    }
+  };
+  term(c_local, "lid");
+  term(c_group, "gid");
+  term(c_global, "id");
+  term(c_loop, "i");
+  term(c_steps, "steps");
+  term(c_aux, "aux");
+  if (c0 != 0 || first) term(c0, "");
+  return os.str();
+}
+
+std::string AffineGuard::to_string() const {
+  switch (kind) {
+    case Kind::kAlways: return "always";
+    case Kind::kNonNegative: return expr.to_string() + " >= 0";
+    case Kind::kZero: return expr.to_string() + " == 0";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void validate_guard(const AffineGuard& guard, const std::string& kernel,
+                    const char* owner) {
+  // Guard coefficients are integers by construction; the only way to make
+  // one nonsensical is an aux bound that is negative for every steps value.
+  if (guard.kind == AffineGuard::Kind::kAlways) return;
+  BINOPT_REQUIRE(guard.expr.c_aux == 0 ||
+                     guard.expr.aux_bound_c0 >= 0 ||
+                     guard.expr.aux_bound_csteps > 0,
+                 owner, " guard in '", kernel,
+                 "' has an AffineIndexExpr::aux bound that is never "
+                 "satisfiable (aux_bound_c0 < 0 with aux_bound_csteps <= 0)");
+}
+
+}  // namespace
+
 void KernelIR::validate() const {
   BINOPT_REQUIRE(!name.empty(), "kernel IR needs a name");
   BINOPT_REQUIRE(!ops.empty(), "kernel IR '", name, "' has no operators");
   for (const OpInstance& op : ops) {
-    BINOPT_REQUIRE(op.count > 0.0, "operator count must be positive in '",
-                   name, "'");
+    BINOPT_REQUIRE(std::isfinite(op.count),
+                   "OpInstance::count must be finite in '", name, "', got ",
+                   op.count);
+    BINOPT_REQUIRE(op.count > 0.0, "OpInstance::count must be positive in '",
+                   name, "', got ", op.count);
   }
-  for (const AccessSite& site : accesses) {
-    BINOPT_REQUIRE(site.count > 0.0, "access-site count must be positive in '",
-                   name, "'");
-    BINOPT_REQUIRE(site.element_bytes > 0, "access element size must be > 0");
+  for (std::size_t s = 0; s < accesses.size(); ++s) {
+    const AccessSite& site = accesses[s];
+    BINOPT_REQUIRE(std::isfinite(site.count),
+                   "AccessSite::count must be finite in '", name,
+                   "' (site #", s, "), got ", site.count);
+    BINOPT_REQUIRE(site.count > 0.0,
+                   "AccessSite::count must be positive in '", name,
+                   "' (site #", s, "), got ", site.count);
+    BINOPT_REQUIRE(site.element_bytes > 0,
+                   "AccessSite::element_bytes must be > 0 in '", name,
+                   "' (site #", s, ")");
     if (site.buffer != AccessSite::kNoBuffer) {
       const std::size_t declared = site.space == MemSpace::kGlobal
                                        ? global_buffers.size()
                                        : local_buffers.size();
-      BINOPT_REQUIRE(site.buffer < declared, "access site in '", name,
-                     "' references undeclared buffer #", site.buffer);
+      BINOPT_REQUIRE(site.buffer < declared, "AccessSite::buffer in '", name,
+                     "' (site #", s, ") references undeclared ",
+                     site.space == MemSpace::kGlobal ? "global" : "local",
+                     " buffer #", site.buffer, " (", declared, " declared)");
     }
+    if (site.has_affine_index) {
+      BINOPT_REQUIRE(site.buffer != AccessSite::kNoBuffer,
+                     "AccessSite with an affine index in '", name,
+                     "' (site #", s, ") must name its buffer");
+    }
+    validate_guard(site.guard, name, "access-site");
   }
   for (const GlobalBufferDecl& buf : global_buffers) {
     BINOPT_REQUIRE(!buf.name.empty(), "global buffer declarations in '", name,
                    "' need names");
-    BINOPT_REQUIRE(buf.words > 0 && buf.word_bytes > 0,
-                   "global buffer '", buf.name, "' must be non-empty in '",
-                   name, "'");
+    BINOPT_REQUIRE(buf.words > 0, "GlobalBufferDecl::words must be > 0 for '",
+                   buf.name, "' in '", name, "'");
+    BINOPT_REQUIRE(buf.word_bytes > 0,
+                   "GlobalBufferDecl::word_bytes must be > 0 for '", buf.name,
+                   "' in '", name, "'");
   }
-  for (const LocalBuffer& buf : local_buffers) {
-    BINOPT_REQUIRE(buf.words > 0 && buf.word_bytes > 0,
-                   "local buffer must be non-empty in '", name, "'");
+  for (std::size_t b = 0; b < local_buffers.size(); ++b) {
+    const LocalBuffer& buf = local_buffers[b];
+    BINOPT_REQUIRE(buf.words > 0, "LocalBuffer::words must be > 0 in '", name,
+                   "' (buffer #", b, ")");
+    BINOPT_REQUIRE(buf.word_bytes > 0,
+                   "LocalBuffer::word_bytes must be > 0 in '", name,
+                   "' (buffer #", b, ")");
   }
   for (const BarrierSite& barrier : barriers) {
+    BINOPT_REQUIRE(std::isfinite(barrier.count),
+                   "BarrierSite::count must be finite in '", name, "', got ",
+                   barrier.count);
     BINOPT_REQUIRE(barrier.count > 0.0,
-                   "barrier-site count must be positive in '", name, "'");
+                   "BarrierSite::count must be positive in '", name,
+                   "', got ", barrier.count);
+    validate_guard(barrier.guard, name, "barrier");
   }
-  BINOPT_REQUIRE(loop_trip_count >= 1.0, "loop trip count must be >= 1");
+  for (const ScalarRecurrence& rec : recurrences) {
+    BINOPT_REQUIRE(!rec.name.empty(),
+                   "ScalarRecurrence::name must be non-empty in '", name, "'");
+    BINOPT_REQUIRE(!rec.chain.empty(), "ScalarRecurrence '", rec.name,
+                   "' in '", name, "' needs a non-empty operator chain");
+  }
+  BINOPT_REQUIRE(std::isfinite(loop_trip_count),
+                 "KernelIR::loop_trip_count must be finite in '", name,
+                 "', got ", loop_trip_count);
+  BINOPT_REQUIRE(loop_trip_count >= 1.0,
+                 "KernelIR::loop_trip_count must be >= 1 in '", name,
+                 "', got ", loop_trip_count);
 }
 
 void CompileOptions::validate() const {

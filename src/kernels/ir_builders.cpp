@@ -7,11 +7,32 @@ namespace binopt::kernels {
 
 namespace {
 using fpga::AccessSite;
+using fpga::AffineGuard;
+using fpga::AffineIndexExpr;
+using fpga::BarrierSite;
 using fpga::MemSpace;
 using fpga::OpInstance;
 using fpga::OpKind;
 using fpga::Precision;
 using fpga::Section;
+
+AffineGuard always() { return AffineGuard{}; }
+
+/// Kernel IV.B's active predicate `k <= t` with t = n-1-i (the loop runs
+/// t backwards; the IR's iteration symbol i ascends): n-1-i-k >= 0.
+AffineGuard active_guard() {
+  return AffineGuard{AffineGuard::Kind::kNonNegative,
+                     AffineIndexExpr{.c0 = -1, .c_local = -1, .c_loop = -1,
+                                     .c_steps = 1}};
+}
+
+/// Single-writer guard `k == v0 + vsteps*steps`.
+AffineGuard item_equals(long long v0, long long vsteps) {
+  return AffineGuard{AffineGuard::Kind::kZero,
+                     AffineIndexExpr{.c0 = -v0, .c_local = 1,
+                                     .c_steps = -vsteps}};
+}
+
 }  // namespace
 
 fpga::KernelIR kernel_a_ir(std::size_t steps, Precision precision) {
@@ -49,26 +70,51 @@ fpga::KernelIR kernel_a_ir(std::size_t steps, Precision precision) {
       fpga::GlobalBufferDecl{"time_steps", nodes, 4},
   };
 
-  // Global access sites: tstep constant, 5 parameter words (2 coalesced
-  // LSU sites), s_child, v_down, v_up loads; s and v stores. One entry per
-  // buffer so each can carry its worst-case index bound: the deepest node
-  // id is nodes-1 (level n-1), whose down-child sits at length-2 and
-  // up-child at length-1.
-  ir.accesses = {
-      AccessSite{MemSpace::kGlobal, false, Section::kStraightLine, 4, 1.0,
-                 /*buffer=*/5, true, nodes - 1},
-      AccessSite{MemSpace::kGlobal, false, Section::kStraightLine, 8, 2.0,
-                 /*buffer=*/4, true, (steps + 1) * 6 - 1},
-      AccessSite{MemSpace::kGlobal, false, Section::kStraightLine, 8, 1.0,
-                 /*buffer=*/0, true, length - 2},
-      AccessSite{MemSpace::kGlobal, false, Section::kStraightLine, 8, 2.0,
-                 /*buffer=*/1, true, length - 1},
-      AccessSite{MemSpace::kGlobal, true, Section::kStraightLine, 8, 1.0,
-                 /*buffer=*/2, true, nodes - 1},
-      AccessSite{MemSpace::kGlobal, true, Section::kStraightLine, 8, 1.0,
-                 /*buffer=*/3, true, nodes - 1},
+  // Global access sites with their index expressions. `id` is the global
+  // work-item id (one item per interior node); the node's level t and its
+  // parameter slot are data-dependent but bounded, so they appear as aux
+  // symbols: t <= steps-1 and slot_word <= 6*(steps+1)-1. The down-child
+  // index id + t + 1 then tops out at length-2 and the up-child at
+  // length-1 — the ping-pong split (reads from *_read, writes to *_write)
+  // is what makes the kernel race-free with no barriers at all.
+  const AffineIndexExpr id_expr{.c_global = 1};
+  const AffineIndexExpr child_expr{.c0 = 1, .c_global = 1, .c_aux = 1,
+                                   .aux_bound_c0 = -1, .aux_bound_csteps = 1};
+  AffineIndexExpr up_child_expr = child_expr;
+  up_child_expr.c0 = 2;
+  const AffineIndexExpr param_expr{.c_aux = 1, .aux_bound_c0 = 5,
+                                   .aux_bound_csteps = 6};
+
+  auto site = [](MemSpace space, bool is_store, std::size_t element_bytes,
+                 double count, std::size_t buffer, std::size_t max_index,
+                 AffineIndexExpr index) {
+    AccessSite s{space, is_store, Section::kStraightLine, element_bytes,
+                 count, buffer, true, max_index};
+    s.has_affine_index = true;
+    s.index = index;
+    return s;
   };
-  // Kernel IV.A is pure dataflow — no barriers.
+  ir.accesses = {
+      site(MemSpace::kGlobal, false, 4, 1.0, /*buffer=*/5, nodes - 1,
+           id_expr),
+      site(MemSpace::kGlobal, false, 8, 2.0, /*buffer=*/4,
+           (steps + 1) * 6 - 1, param_expr),
+      site(MemSpace::kGlobal, false, 8, 1.0, /*buffer=*/0, length - 2,
+           child_expr),
+      site(MemSpace::kGlobal, false, 8, 1.0, /*buffer=*/1, length - 2,
+           child_expr),
+      site(MemSpace::kGlobal, false, 8, 1.0, /*buffer=*/1, length - 1,
+           up_child_expr),
+      site(MemSpace::kGlobal, true, 8, 1.0, /*buffer=*/2, nodes - 1,
+           id_expr),
+      site(MemSpace::kGlobal, true, 8, 1.0, /*buffer=*/3, nodes - 1,
+           id_expr),
+  };
+  // Kernel IV.A is pure dataflow — no barriers, no recurrences (each
+  // pipeline invocation streams one lattice level).
+  ir.steps = steps;
+  ir.launch_global = nodes;
+  ir.launch_local = 0;  // any grouping works; ids are global
   return ir;
 }
 
@@ -95,24 +141,68 @@ fpga::KernelIR kernel_b_ir(std::size_t steps, Precision precision) {
   };
 
   // Per-work-group view of global memory: the group indexes one 8-word
-  // parameter record and writes one result word.
+  // parameter record and writes one result word (per_workgroup scopes the
+  // race analysis accordingly).
   ir.global_buffers = {
-      fpga::GlobalBufferDecl{"option_params", 8, 8},
-      fpga::GlobalBufferDecl{"results", 1, 8},
+      fpga::GlobalBufferDecl{"option_params", 8, 8, /*per_workgroup=*/true},
+      fpga::GlobalBufferDecl{"results", 1, 8, /*per_workgroup=*/true},
   };
 
-  // Global traffic is minimal: parameter record in, one result out.
+  // Access sites with expressions, guards and barrier epochs. The body
+  // (kernel_b.cpp) is: leaf init writes values[k] (and values[n] from item
+  // n-1); barrier; each iteration reads values[k], values[k+1] and, after
+  // the first in-loop barrier, writes values[k] — both under the active
+  // predicate k <= t; a second in-loop barrier seals the row; item 0
+  // copies values[0] out after the loop.
+  auto local_site = [](bool is_store, AffineIndexExpr index,
+                       AffineGuard guard, Section section, std::size_t epoch,
+                       bool after_loop, std::size_t max_index) {
+    AccessSite s{MemSpace::kLocal, is_store, section, 8, 1.0,
+                 /*buffer=*/0, true, max_index};
+    s.has_affine_index = true;
+    s.index = index;
+    s.guard = guard;
+    s.epoch = epoch;
+    s.after_loop = after_loop;
+    return s;
+  };
+  const AffineIndexExpr lid{.c_local = 1};
+  const AffineIndexExpr lid_up{.c0 = 1, .c_local = 1};
+  const AffineIndexExpr top{.c_steps = 1};
+  const AffineIndexExpr zero{};
+
+  AccessSite params_load{MemSpace::kGlobal, false, Section::kStraightLine, 8,
+                         2.0, /*buffer=*/0, true, 7};
+  params_load.has_affine_index = true;
+  params_load.index = AffineIndexExpr{.c_aux = 1, .aux_bound_c0 = 7};
+
+  AccessSite result_store{MemSpace::kGlobal, true, Section::kStraightLine, 8,
+                          1.0, /*buffer=*/1, true, 0};
+  result_store.has_affine_index = true;
+  result_store.index = zero;
+  result_store.guard = item_equals(0, 0);
+  result_store.after_loop = true;
+
   ir.accesses = {
-      AccessSite{MemSpace::kGlobal, false, Section::kStraightLine, 8, 2.0,
-                 /*buffer=*/0, true, 7},
-      AccessSite{MemSpace::kGlobal, true, Section::kStraightLine, 8, 1.0,
-                 /*buffer=*/1, true, 0},
-      // Local row accesses inside the loop (2 loads + 1 store); work-item
-      // k <= n-1 reaches values[k+1] = values[n] at most.
-      AccessSite{MemSpace::kLocal, false, Section::kLoopBody, 8, 2.0,
-                 /*buffer=*/0, true, steps},
-      AccessSite{MemSpace::kLocal, true, Section::kLoopBody, 8, 1.0,
-                 /*buffer=*/0, true, steps},
+      params_load,
+      result_store,
+      // Leaf initialisation: every item seeds its own row entry; the last
+      // item additionally seeds the all-up leaf values[n].
+      local_site(true, lid, always(), Section::kStraightLine, 0, false,
+                 steps - 1),
+      local_site(true, top, item_equals(-1, 1), Section::kStraightLine, 0,
+                 false, steps),
+      // Loop body, epoch 0 (before the first in-loop barrier): the two row
+      // reads; epoch 1 (between the barriers): the row update.
+      local_site(false, lid, active_guard(), Section::kLoopBody, 0, false,
+                 steps - 1),
+      local_site(false, lid_up, active_guard(), Section::kLoopBody, 0, false,
+                 steps),
+      local_site(true, lid, active_guard(), Section::kLoopBody, 1, false,
+                 steps - 1),
+      // Epilogue: item 0 reads the root value out.
+      local_site(false, zero, item_equals(0, 0), Section::kStraightLine, 0,
+                 true, 0),
   };
 
   ir.local_buffers = {
@@ -123,10 +213,31 @@ fpga::KernelIR kernel_b_ir(std::size_t steps, Precision precision) {
   // items keep hitting them with `active` false): one site after leaf
   // initialisation, two in the backward-loop body.
   ir.barriers = {
-      fpga::BarrierSite{false, 1.0},
-      fpga::BarrierSite{false, 2.0},
+      BarrierSite{false, 1.0, Section::kStraightLine, always()},
+      BarrierSite{false, 1.0, Section::kLoopBody, always()},
+      BarrierSite{false, 1.0, Section::kLoopBody, always()},
   };
+
+  // The running spot price s_priv *= u is a private recurrence the
+  // pipeline must serialise even though no memory carries it.
+  ir.recurrences = {
+      fpga::ScalarRecurrence{"s_priv", {OpKind::kFMul}},
+  };
+
+  ir.steps = steps;
+  ir.launch_global = 0;  // one group per option; option count is free
+  ir.launch_local = steps;
   return ir;
+}
+
+std::vector<KernelVariant> all_kernel_variants(std::size_t steps) {
+  BINOPT_REQUIRE(steps >= 2, "kernel variants need at least two steps");
+  std::vector<KernelVariant> variants;
+  variants.push_back({"IV.A/double", kernel_a_ir(steps, Precision::kDouble)});
+  variants.push_back({"IV.A/single", kernel_a_ir(steps, Precision::kSingle)});
+  variants.push_back({"IV.B/double", kernel_b_ir(steps, Precision::kDouble)});
+  variants.push_back({"IV.B/single", kernel_b_ir(steps, Precision::kSingle)});
+  return variants;
 }
 
 }  // namespace binopt::kernels

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "fpga/ir.h"
 #include "kernels/math_mode.h"
@@ -29,5 +31,17 @@ namespace binopt::kernels {
 [[nodiscard]] fpga::KernelIR kernel_b_ir(std::size_t steps,
                                          fpga::Precision precision =
                                              fpga::Precision::kDouble);
+
+/// A registered kernel variant for sweep-style consumers (the CLI's
+/// static-verification tier, CI's proved-safe gate).
+struct KernelVariant {
+  std::string label;  ///< e.g. "IV.A/double"
+  fpga::KernelIR ir;
+};
+
+/// Every kernel IR the toolchain model knows: both paper architectures in
+/// both floating-point precisions, at the given tree depth.
+[[nodiscard]] std::vector<KernelVariant> all_kernel_variants(
+    std::size_t steps);
 
 }  // namespace binopt::kernels

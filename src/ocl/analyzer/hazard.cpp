@@ -19,13 +19,22 @@ std::string to_string(HazardKind kind) {
       return "static-index-out-of-bounds";
     case HazardKind::kStaticDivergentBarrier:
       return "static-divergent-barrier";
+    case HazardKind::kStaticRaceReadWrite: return "static-race-read-write";
+    case HazardKind::kStaticRaceWriteWrite: return "static-race-write-write";
+    case HazardKind::kStaticUninitRead: return "static-uninitialized-read";
+    case HazardKind::kStaticUnprovableSite: return "static-unprovable-site";
   }
   return "unknown";
 }
 
+std::string to_string(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
 std::string Hazard::to_string() const {
   std::ostringstream os;
-  os << analyzer::to_string(kind) << " in kernel '" << kernel << "': "
+  os << "[" << analyzer::to_string(severity) << "] "
+     << analyzer::to_string(kind) << " in kernel '" << kernel << "': "
      << message;
   if (occurrences > 1) os << " (x" << occurrences << ")";
   return os.str();
@@ -74,6 +83,15 @@ std::size_t HazardReport::total_occurrences() const {
 std::vector<Hazard> HazardReport::hazards() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return hazards_;
+}
+
+std::size_t HazardReport::error_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = dropped_;
+  for (const Hazard& h : hazards_) {
+    if (h.severity == Severity::kError) ++n;
+  }
+  return n;
 }
 
 std::size_t HazardReport::count(HazardKind kind) const {

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace binopt::ocl::analyzer {
 
 /// Everything the analyzer can flag. Dynamic kinds come from the
@@ -35,9 +37,20 @@ enum class HazardKind {
   kBarrierDivergence,     ///< some work-items at a barrier, others returned
   kStaticIndexOutOfBounds,   ///< IR lint: index bound exceeds buffer size
   kStaticDivergentBarrier,   ///< IR lint: barrier in divergent control flow
+  kStaticRaceReadWrite,    ///< verifier: read/write collision, one interval
+  kStaticRaceWriteWrite,   ///< verifier: write/write collision, one interval
+  kStaticUninitRead,       ///< verifier: read precedes every covering write
+  kStaticUnprovableSite,   ///< lint/verifier: site carries no provable bound
 };
 
 [[nodiscard]] std::string to_string(HazardKind kind);
+
+/// Diagnostic severity. Errors fail `binopt_cli --check`; warnings are
+/// printed but do not affect the exit status (the "downgradable" tier for
+/// unprovable sites on IRs that intentionally lack symbolic annotations).
+enum class Severity { kError, kWarning };
+
+[[nodiscard]] std::string to_string(Severity severity);
 
 /// One side of a conflicting access pair (dynamic hazards only).
 struct AccessSiteInfo {
@@ -60,6 +73,7 @@ struct Hazard {
   std::size_t bytes = 0;        ///< access width
   AccessSiteInfo first;
   AccessSiteInfo second;
+  Severity severity = Severity::kError;
   std::string message;          ///< fully formatted, human-readable
   std::size_t occurrences = 1;  ///< dedup counter (same kind+kernel+resource)
 
@@ -97,6 +111,9 @@ public:
   [[nodiscard]] std::vector<Hazard> hazards() const;
   /// Distinct sites of one kind (test convenience).
   [[nodiscard]] std::size_t count(HazardKind kind) const;
+  /// Distinct error-severity sites (what `--check` gates on). Sites dropped
+  /// past the cap count as errors — the cap must never hide a failure.
+  [[nodiscard]] std::size_t error_count() const;
 
   void clear();
 
@@ -108,10 +125,11 @@ public:
 
 private:
   mutable std::mutex mutex_;
-  std::vector<Hazard> hazards_;
-  std::size_t dropped_ = 0;  ///< sites past max_reports_ (still counted)
-  std::size_t total_ = 0;
-  std::size_t max_reports_;
+  std::vector<Hazard> hazards_ BINOPT_GUARDED_BY(mutex_);
+  /// sites past max_reports_ (still counted)
+  std::size_t dropped_ BINOPT_GUARDED_BY(mutex_) = 0;
+  std::size_t total_ BINOPT_GUARDED_BY(mutex_) = 0;
+  std::size_t max_reports_ BINOPT_GUARDED_BY(mutex_);
 };
 
 }  // namespace binopt::ocl::analyzer

@@ -18,13 +18,36 @@ std::string site_description(const fpga::AccessSite& site,
 
 }  // namespace
 
-std::size_t lint_kernel_ir(const fpga::KernelIR& ir, HazardReport& report) {
+std::size_t lint_kernel_ir(const fpga::KernelIR& ir, HazardReport& report,
+                           const LintOptions& options) {
   ir.validate();
   std::size_t found = 0;
 
   for (std::size_t i = 0; i < ir.accesses.size(); ++i) {
     const fpga::AccessSite& site = ir.accesses[i];
     if (site.buffer == fpga::AccessSite::kNoBuffer || !site.has_index_bound) {
+      // Previously skipped silently — an untyped site would sail through
+      // --check. Now every such site is reported as unprovable.
+      Hazard hazard;
+      hazard.kind = HazardKind::kStaticUnprovableSite;
+      hazard.severity = options.unprovable_severity;
+      hazard.kernel = ir.name;
+      std::ostringstream resource;
+      resource << "site#" << i;
+      hazard.resource = resource.str();
+      hazard.bytes = site.element_bytes;
+      hazard.second.is_write = site.is_store;
+      std::ostringstream os;
+      os << (site.is_store ? "store" : "load") << " site #" << i << " on "
+         << (site.space == fpga::MemSpace::kGlobal ? "global" : "local")
+         << " memory "
+         << (site.buffer == fpga::AccessSite::kNoBuffer
+                 ? "names no declared buffer"
+                 : "carries no index bound")
+         << " — the lint cannot prove it in bounds";
+      hazard.message = os.str();
+      report.add(std::move(hazard));
+      ++found;
       continue;
     }
     std::string buffer_name;

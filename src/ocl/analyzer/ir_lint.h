@@ -19,8 +19,18 @@
 
 namespace binopt::ocl::analyzer {
 
+/// Lint knobs.
+struct LintOptions {
+  /// Sites the lint cannot reason about (no declared buffer, or no index
+  /// bound) are reported as kStaticUnprovableSite. They are errors by
+  /// default — an untyped site must not pass `--check` unnoticed — but can
+  /// be downgraded to warnings for IRs that intentionally omit annotations.
+  Severity unprovable_severity = Severity::kError;
+};
+
 /// Lints one kernel IR; appends findings to `report` and returns how many
 /// hazards this call added.
-std::size_t lint_kernel_ir(const fpga::KernelIR& ir, HazardReport& report);
+std::size_t lint_kernel_ir(const fpga::KernelIR& ir, HazardReport& report,
+                           const LintOptions& options = {});
 
 }  // namespace binopt::ocl::analyzer

@@ -1,0 +1,963 @@
+#include "ocl/analyzer/symbolic/verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+namespace binopt::ocl::analyzer::symbolic {
+
+namespace {
+
+using fpga::AccessSite;
+using fpga::AffineGuard;
+using fpga::AffineIndexExpr;
+using fpga::BarrierSite;
+using fpga::KernelIR;
+using fpga::MemSpace;
+using fpga::Section;
+
+// Enumeration ceiling for witness searches. The closed-form paths never
+// enumerate; this only bounds the guard-refined search on refuted kernels.
+constexpr long long kEnumCap = 1 << 16;
+
+/// The launch box: concrete symbol ranges one IR instance is verified over.
+struct Box {
+  long long steps = 0;
+  long long local_size = 1;  ///< work-group size L; local_id in [0, L-1]
+  long long group_hi = 0;    ///< group_id in [0, group_hi]
+  long long global_hi = 0;   ///< global_id in [0, global_hi]
+  long long trip = 1;        ///< loop iterations
+};
+
+struct Assign {
+  long long local = 0;
+  long long group = 0;
+  long long global = 0;
+  long long iter = 0;
+  long long aux = 0;
+};
+
+struct Hull {
+  long long lo = 0;
+  long long hi = 0;
+  Assign at_lo;
+  Assign at_hi;
+};
+
+long long aux_hi(const AffineIndexExpr& e, long long steps) {
+  return std::max<long long>(0, e.aux_bound_c0 + e.aux_bound_csteps * steps);
+}
+
+long long eval_at(const AffineIndexExpr& e, const Assign& a, long long steps) {
+  return e.c0 + e.c_local * a.local + e.c_group * a.group +
+         e.c_global * a.global + e.c_loop * a.iter + e.c_steps * steps +
+         e.c_aux * a.aux;
+}
+
+/// Exact hull of an affine expression over the box, with the local symbol
+/// restricted to [local_lo, local_hi] and the iteration to
+/// [iter_lo, iter_hi]. Corner assignments are recorded so a violated bound
+/// immediately names its witness.
+Hull hull(const AffineIndexExpr& e, const Box& box, long long local_lo,
+          long long local_hi, long long iter_lo, long long iter_hi) {
+  Hull h;
+  h.lo = h.hi = e.c0 + e.c_steps * box.steps;
+  auto fold = [&](long long c, long long lo, long long hi,
+                  long long Assign::* slot) {
+    h.at_lo.*slot = c >= 0 ? lo : hi;
+    h.at_hi.*slot = c >= 0 ? hi : lo;
+    h.lo += c * (h.at_lo.*slot);
+    h.hi += c * (h.at_hi.*slot);
+  };
+  fold(e.c_local, local_lo, local_hi, &Assign::local);
+  fold(e.c_group, 0, box.group_hi, &Assign::group);
+  fold(e.c_global, 0, box.global_hi, &Assign::global);
+  fold(e.c_loop, iter_lo, iter_hi, &Assign::iter);
+  fold(e.c_aux, 0, aux_hi(e, box.steps), &Assign::aux);
+  return h;
+}
+
+struct Interval {
+  long long lo = 0;
+  long long hi = -1;  // empty by default
+  [[nodiscard]] bool empty() const { return lo > hi; }
+};
+
+long long floor_div(long long a, long long b) {
+  long long q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+long long ceil_div(long long a, long long b) {
+  long long q = a / b;
+  if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
+  return q;
+}
+
+/// Guards the engine can refine: affine in {local, loop iteration, steps}.
+bool guard_supported(const AffineGuard& g) {
+  if (g.always()) return true;
+  return g.expr.c_group == 0 && g.expr.c_global == 0 && g.expr.c_aux == 0;
+}
+
+/// Interval of local ids satisfying the guard at a fixed iteration,
+/// intersected with [0, L-1]. Requires guard_supported().
+Interval guard_local_interval(const AffineGuard& g, const Box& box,
+                              long long iter) {
+  Interval full{0, box.local_size - 1};
+  if (g.always()) return full;
+  const long long rest =
+      g.expr.c0 + g.expr.c_steps * box.steps + g.expr.c_loop * iter;
+  const long long c = g.expr.c_local;
+  if (g.kind == AffineGuard::Kind::kNonNegative) {
+    // c*l + rest >= 0
+    if (c == 0) return rest >= 0 ? full : Interval{};
+    if (c > 0) return {std::max(full.lo, ceil_div(-rest, c)), full.hi};
+    return {full.lo, std::min(full.hi, floor_div(rest, -c))};
+  }
+  // c*l + rest == 0
+  if (c == 0) return rest == 0 ? full : Interval{};
+  if ((-rest) % c != 0) return Interval{};
+  const long long l = (-rest) / c;
+  if (l < full.lo || l > full.hi) return Interval{};
+  return {l, l};
+}
+
+struct BarrierLayout {
+  long long before_loop = 0;  ///< Bs: straight-line barrier sites
+  long long in_loop = 0;      ///< Bl: barrier sites per loop iteration
+};
+
+BarrierLayout barrier_layout(const KernelIR& ir) {
+  BarrierLayout layout;
+  for (const BarrierSite& b : ir.barriers) {
+    const auto n = static_cast<long long>(std::llround(b.count));
+    if (b.section == Section::kLoopBody) layout.in_loop += n;
+    else layout.before_loop += n;
+  }
+  return layout;
+}
+
+/// Dynamic barrier count preceding a site, as a function of the loop
+/// iteration: count = base + iter_coeff * i. Two sites are concurrent
+/// (same barrier interval) exactly when their counts coincide.
+struct DynCount {
+  long long base = 0;
+  long long iter_coeff = 0;  ///< 0 outside the loop
+};
+
+DynCount dyn_count(const AccessSite& site, const BarrierLayout& bl,
+                   long long trip) {
+  const auto epoch = static_cast<long long>(site.epoch);
+  if (site.section == Section::kLoopBody) {
+    return {bl.before_loop + epoch, bl.in_loop};
+  }
+  if (site.after_loop) {
+    return {bl.before_loop + trip * bl.in_loop + epoch, 0};
+  }
+  return {epoch, 0};
+}
+
+/// One family of concurrent iteration assignments for a site pair.
+struct IterCase {
+  long long ia_lo = -1, ia_hi = -1;  ///< site A's iterations (-1 = not in loop)
+  long long d = 0;            ///< ib = ia + d (when both sites loop)
+  bool b_in_loop = false;
+  long long ib_fixed = -1;    ///< site B's iteration when only B loops
+  bool independent = false;   ///< no in-loop barrier: all (ia, ib) pairs
+};
+
+/// Enumerate the iteration assignments under which two sites share a
+/// barrier interval. Exact consequence of count equality
+/// base_a + ka*ia == base_b + kb*ib.
+std::vector<IterCase> concurrent_cases(const AccessSite& a,
+                                       const AccessSite& b,
+                                       const BarrierLayout& bl,
+                                       long long trip) {
+  std::vector<IterCase> cases;
+  const DynCount ca = dyn_count(a, bl, trip);
+  const DynCount cb = dyn_count(b, bl, trip);
+  const bool a_loop = a.section == Section::kLoopBody;
+  const bool b_loop = b.section == Section::kLoopBody;
+  if (!a_loop && !b_loop) {
+    if (ca.base == cb.base) cases.push_back(IterCase{});
+    return cases;
+  }
+  if (a_loop && b_loop) {
+    if (bl.in_loop == 0) {
+      if (ca.base == cb.base) {
+        IterCase c;
+        c.ia_lo = 0;
+        c.ia_hi = trip - 1;
+        c.b_in_loop = true;
+        c.independent = true;
+        cases.push_back(c);
+      }
+      return cases;
+    }
+    const long long diff = ca.base - cb.base;  // kb*ib - ka*ia = diff
+    if (diff % bl.in_loop != 0) return cases;
+    const long long d = diff / bl.in_loop;  // ib = ia + d
+    IterCase c;
+    c.d = d;
+    c.b_in_loop = true;
+    c.ia_lo = std::max<long long>(0, -d);
+    c.ia_hi = std::min(trip - 1, trip - 1 - d);
+    if (c.ia_lo <= c.ia_hi) cases.push_back(c);
+    return cases;
+  }
+  // Exactly one of the two sites is in the loop.
+  const bool loop_is_a = a_loop;
+  const DynCount& fixed = loop_is_a ? cb : ca;
+  const DynCount& looped = loop_is_a ? ca : cb;
+  const long long k = bl.in_loop;
+  long long iter = -1;
+  if (k == 0) {
+    if (looped.base != fixed.base) return cases;
+    // Every iteration shares the interval with the straight-line site.
+    IterCase c;
+    if (loop_is_a) {
+      c.ia_lo = 0;
+      c.ia_hi = trip - 1;
+    } else {
+      c.b_in_loop = true;
+      c.ib_fixed = -2;  // marker: all iterations; expanded by the solver
+    }
+    cases.push_back(c);
+    return cases;
+  }
+  const long long num = fixed.base - looped.base;
+  if (num % k != 0) return cases;
+  iter = num / k;
+  if (iter < 0 || iter >= trip) return cases;
+  IterCase c;
+  if (loop_is_a) {
+    c.ia_lo = c.ia_hi = iter;
+  } else {
+    c.b_in_loop = true;
+    c.ib_fixed = iter;
+  }
+  cases.push_back(c);
+  return cases;
+}
+
+/// Scope of a race check: which symbol identifies "distinct work-items".
+enum class RaceScope { kLocalWithinGroup, kGlobalAbsolute };
+
+std::string buffer_name(const KernelIR& ir, const AccessSite& site) {
+  if (site.space == MemSpace::kGlobal) {
+    return ir.global_buffers[site.buffer].name;
+  }
+  std::ostringstream os;
+  os << "local[" << site.buffer << "]";
+  return os.str();
+}
+
+long long buffer_words(const KernelIR& ir, const AccessSite& site) {
+  return site.space == MemSpace::kGlobal
+             ? static_cast<long long>(ir.global_buffers[site.buffer].words)
+             : static_cast<long long>(ir.local_buffers[site.buffer].words);
+}
+
+/// Sorted, disjoint interval union (the written-coverage domain).
+class IntervalUnion {
+public:
+  void add(Interval iv) {
+    if (iv.empty()) return;
+    intervals_.push_back(iv);
+    std::sort(intervals_.begin(), intervals_.end(),
+              [](const Interval& x, const Interval& y) { return x.lo < y.lo; });
+    std::vector<Interval> merged;
+    for (const Interval& cur : intervals_) {
+      if (!merged.empty() && cur.lo <= merged.back().hi + 1) {
+        merged.back().hi = std::max(merged.back().hi, cur.hi);
+      } else {
+        merged.push_back(cur);
+      }
+    }
+    intervals_ = std::move(merged);
+  }
+  [[nodiscard]] bool contains(long long v) const {
+    for (const Interval& iv : intervals_) {
+      if (v >= iv.lo && v <= iv.hi) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool covers(Interval iv) const {
+    for (const Interval& c : intervals_) {
+      if (iv.lo >= c.lo && iv.hi <= c.hi) return true;
+    }
+    return iv.empty();
+  }
+
+private:
+  std::vector<Interval> intervals_;
+};
+
+/// The per-instance verification engine.
+class Verifier {
+public:
+  Verifier(const KernelIR& ir, const VerifyOptions& options)
+      : ir_(ir), options_(options) {
+    result_.kernel = ir.name;
+    result_.steps = ir.steps;
+  }
+
+  VerificationResult run() {
+    ir_.validate();
+    if (!make_box()) {
+      finalize();
+      return result_;
+    }
+    check_bounds();
+    check_uninit_reads();
+    check_races();
+    check_barriers();
+    finalize();
+    return result_;
+  }
+
+private:
+  bool make_box() {
+    box_.steps = static_cast<long long>(ir_.steps);
+    box_.trip = static_cast<long long>(std::llround(ir_.loop_trip_count));
+    const auto max_wg = static_cast<long long>(options_.max_workgroup_size);
+    if (ir_.launch_local != 0) {
+      box_.local_size = static_cast<long long>(ir_.launch_local);
+      if (box_.local_size > max_wg) {
+        unprovable("launch_local ", box_.local_size,
+                   " exceeds the device max work-group size ", max_wg);
+        return false;
+      }
+    } else {
+      // Grouping is free: cover every legal size up to the device limit.
+      box_.local_size = max_wg;
+      if (ir_.launch_global != 0) {
+        box_.local_size =
+            std::min(box_.local_size,
+                     static_cast<long long>(ir_.launch_global));
+      }
+    }
+    if (ir_.launch_global != 0) {
+      box_.global_hi = static_cast<long long>(ir_.launch_global) - 1;
+      box_.group_hi =
+          (static_cast<long long>(ir_.launch_global) + box_.local_size - 1) /
+              box_.local_size -
+          1;
+    } else {
+      box_.global_hi =
+          static_cast<long long>(options_.max_groups) * box_.local_size - 1;
+      box_.group_hi = static_cast<long long>(options_.max_groups) - 1;
+    }
+    result_.local_size = static_cast<std::size_t>(box_.local_size);
+    return true;
+  }
+
+  template <typename... Parts>
+  void unprovable(Parts&&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    result_.unprovable.push_back(os.str());
+  }
+
+  // ----- property 1: bounds ------------------------------------------------
+
+  void check_bounds() {
+    std::size_t checks = 0;
+    for (std::size_t s = 0; s < ir_.accesses.size(); ++s) {
+      const AccessSite& site = ir_.accesses[s];
+      if (!site.has_affine_index) {
+        unprovable("access site #", s,
+                   " carries no affine index expression; bounds, race and "
+                   "init proofs cannot cover it");
+        continue;
+      }
+      ++checks;
+      const long long words = buffer_words(ir_, site);
+      const auto [ilo, ihi] = site_iter_range(site);
+      const Hull h = hull(site.index, box_, 0, box_.local_size - 1, ilo, ihi);
+      if (h.lo >= 0 && h.hi < words) continue;  // proved, guard-free
+      // The unguarded hull escapes; only a guard can save the site now.
+      refute_bounds_or_prove(s, site, words, ilo, ihi);
+    }
+    result_.proofs.push_back({"bounds", checks});
+  }
+
+  std::pair<long long, long long> site_iter_range(
+      const AccessSite& site) const {
+    if (site.section == Section::kLoopBody) return {0, box_.trip - 1};
+    return {0, 0};
+  }
+
+  void refute_bounds_or_prove(std::size_t s, const AccessSite& site,
+                              long long words, long long ilo, long long ihi) {
+    if (!guard_supported(site.guard)) {
+      unprovable("access site #", s, " needs guard refinement but its guard '",
+                 site.guard.to_string(),
+                 "' involves symbols outside {local, iter, steps}");
+      return;
+    }
+    if (ihi - ilo >= kEnumCap) {
+      unprovable("access site #", s,
+                 " bounds refutation would enumerate too many iterations");
+      return;
+    }
+    for (long long i = ilo; i <= ihi; ++i) {
+      const Interval li = guard_local_interval(site.guard, box_, i);
+      if (li.empty()) continue;
+      const Hull h = hull(site.index, box_, li.lo, li.hi, i, i);
+      if (h.hi >= words) {
+        add_bounds_counterexample(s, site, h.at_hi, h.hi, words);
+        return;
+      }
+      if (h.lo < 0) {
+        add_bounds_counterexample(s, site, h.at_lo, h.lo, words);
+        return;
+      }
+    }
+    // The guard keeps every reachable index inside the buffer.
+  }
+
+  void add_bounds_counterexample(std::size_t s, const AccessSite& site,
+                                 const Assign& a, long long element,
+                                 long long words) {
+    Counterexample cx;
+    cx.kind = HazardKind::kStaticIndexOutOfBounds;
+    cx.property = "bounds";
+    cx.site_a = s;
+    cx.resource = buffer_name(ir_, site);
+    cx.element_bytes = site.element_bytes;
+    cx.witness.item_a = site.index.c_global != 0 ? a.global : a.local;
+    cx.witness.iter_a = site.section == Section::kLoopBody ? a.iter : -1;
+    cx.witness.element = element;
+    cx.witness.aux = a.aux;
+    std::ostringstream os;
+    os << (site.is_store ? "store" : "load") << " site #" << s << " on '"
+       << cx.resource << "' reaches element " << element << " of a "
+       << words << "-element buffer: work-item " << cx.witness.item_a;
+    if (cx.witness.iter_a >= 0) os << " at loop iteration " << cx.witness.iter_a;
+    if (site.index.uses_aux()) os << " with aux=" << a.aux;
+    cx.detail = os.str();
+    result_.counterexamples.push_back(std::move(cx));
+  }
+
+  // ----- property 2: read-before-write on local buffers --------------------
+
+  void check_uninit_reads() {
+    std::size_t checks = 0;
+    for (std::size_t buf = 0; buf < ir_.local_buffers.size(); ++buf) {
+      check_uninit_for_buffer(buf, checks);
+    }
+    result_.proofs.push_back({"uninit-reads", checks});
+  }
+
+  /// Coverage an initialisation write contributes: its exact element image,
+  /// when the image is a contiguous interval (|c_local| <= 1, no aux) or a
+  /// guard-pinned single element. Anything else contributes nothing —
+  /// conservative for the reader.
+  std::optional<Interval> write_image(const AccessSite& site) const {
+    const AffineIndexExpr& e = site.index;
+    if (e.c_aux != 0 || e.c_group != 0 || e.c_global != 0) return std::nullopt;
+    if (!guard_supported(site.guard)) return std::nullopt;
+    const Interval li = guard_local_interval(site.guard, box_, 0);
+    if (li.empty()) return Interval{};
+    if (e.c_local == 0 || li.lo == li.hi || e.c_local == 1 ||
+        e.c_local == -1) {
+      const Hull h = hull(e, box_, li.lo, li.hi, 0, 0);
+      return Interval{h.lo, h.hi};
+    }
+    return std::nullopt;  // strided image: not contiguous
+  }
+
+  void check_uninit_for_buffer(std::size_t buf, std::size_t& checks) {
+    const BarrierLayout bl = barrier_layout(ir_);
+    for (std::size_t s = 0; s < ir_.accesses.size(); ++s) {
+      const AccessSite& load = ir_.accesses[s];
+      if (load.is_store || load.space != MemSpace::kLocal ||
+          load.buffer != buf || !load.has_affine_index) {
+        continue;
+      }
+      ++checks;
+      // Writes that provably retire before this load's earliest barrier
+      // interval: straight-line prologue stores in a strictly earlier
+      // interval than the load's interval at iteration 0.
+      const DynCount load_count = dyn_count(load, bl, box_.trip);
+      IntervalUnion covered;
+      bool coverage_exact = true;
+      for (const AccessSite& store : ir_.accesses) {
+        if (!store.is_store || store.space != MemSpace::kLocal ||
+            store.buffer != buf || !store.has_affine_index) {
+          continue;
+        }
+        if (store.section == Section::kLoopBody || store.after_loop) continue;
+        const DynCount store_count = dyn_count(store, bl, box_.trip);
+        if (store_count.base >= load_count.base) continue;  // not ordered
+        const std::optional<Interval> image = write_image(store);
+        if (!image) {
+          coverage_exact = false;
+          continue;
+        }
+        covered.add(*image);
+      }
+      const auto [ilo, ihi] = site_iter_range(load);
+      const Hull h = hull(load.index, box_, 0, box_.local_size - 1, ilo, ihi);
+      if (covered.covers(Interval{h.lo, h.hi})) continue;  // proved
+      refute_uninit_or_prove(s, load, covered, coverage_exact, ilo, ihi);
+    }
+  }
+
+  void refute_uninit_or_prove(std::size_t s, const AccessSite& load,
+                              const IntervalUnion& covered,
+                              bool coverage_exact, long long ilo,
+                              long long ihi) {
+    if (!guard_supported(load.guard) || load.index.c_aux != 0 ||
+        load.index.c_group != 0 || load.index.c_global != 0) {
+      unprovable("local load site #", s,
+                 " cannot be proven initialised (unsupported guard or "
+                 "data-dependent index)");
+      return;
+    }
+    const long long iters = ihi - ilo + 1;
+    if (iters * box_.local_size > kEnumCap * 4) {
+      unprovable("local load site #", s,
+                 " init refutation would enumerate too many assignments");
+      return;
+    }
+    for (long long i = ilo; i <= ihi; ++i) {
+      const Interval li = guard_local_interval(load.guard, box_, i);
+      for (long long l = li.lo; l <= li.hi && !li.empty(); ++l) {
+        Assign a;
+        a.local = l;
+        a.iter = i;
+        const long long elem = eval_at(load.index, a, box_.steps);
+        if (covered.contains(elem)) continue;
+        if (!coverage_exact) {
+          // Some write image was inexpressible; the element may in fact be
+          // initialised. Sound either way: report unprovable, not a proof.
+          unprovable("local load site #", s, " may read element ", elem,
+                     " before any expressible write covers it");
+          return;
+        }
+        Counterexample cx;
+        cx.kind = HazardKind::kStaticUninitRead;
+        cx.property = "uninit-read";
+        cx.site_a = s;
+        cx.resource = buffer_name(ir_, load);
+        cx.element_bytes = load.element_bytes;
+        cx.witness.item_a = l;
+        cx.witness.iter_a = load.section == Section::kLoopBody ? i : -1;
+        cx.witness.element = elem;
+        std::ostringstream os;
+        os << "load site #" << s << " on '" << cx.resource
+           << "': work-item " << l;
+        if (cx.witness.iter_a >= 0) os << " at loop iteration " << i;
+        os << " reads element " << elem
+           << " before any barrier-ordered write covers it";
+        cx.detail = os.str();
+        result_.counterexamples.push_back(std::move(cx));
+        return;
+      }
+    }
+    // Guard refinement showed every readable element is covered.
+  }
+
+  // ----- property 3: races -------------------------------------------------
+
+  void check_races() {
+    std::size_t checks = 0;
+    const BarrierLayout bl = barrier_layout(ir_);
+    for (std::size_t a = 0; a < ir_.accesses.size(); ++a) {
+      const AccessSite& sa = ir_.accesses[a];
+      if (!sa.is_store || !sa.has_affine_index) continue;
+      for (std::size_t b = 0; b < ir_.accesses.size(); ++b) {
+        const AccessSite& sb = ir_.accesses[b];
+        if (!sb.has_affine_index) continue;
+        if (sb.is_store && b < a) continue;  // store pairs once
+        if (sa.space != sb.space || sa.buffer != sb.buffer) continue;
+        const RaceScope scope = race_scope(sa);
+        for (const IterCase& ic : concurrent_cases(sa, sb, bl, box_.trip)) {
+          ++checks;
+          check_pair(a, b, ic, scope);
+        }
+      }
+    }
+    result_.proofs.push_back({"races", checks});
+  }
+
+  RaceScope race_scope(const AccessSite& site) const {
+    if (site.space == MemSpace::kLocal) return RaceScope::kLocalWithinGroup;
+    return ir_.global_buffers[site.buffer].per_workgroup
+               ? RaceScope::kLocalWithinGroup
+               : RaceScope::kGlobalAbsolute;
+  }
+
+  /// Try to find distinct work-items whose accesses collide on an element
+  /// inside one barrier interval; record a counterexample if so.
+  void check_pair(std::size_t a, std::size_t b, const IterCase& ic,
+                  RaceScope scope) {
+    const AccessSite& sa = ir_.accesses[a];
+    const AccessSite& sb = ir_.accesses[b];
+    // Which coefficient carries the "who" symbol.
+    const bool local_scope = scope == RaceScope::kLocalWithinGroup;
+    const long long ca = local_scope ? sa.index.c_local : sa.index.c_global;
+    const long long cb = local_scope ? sb.index.c_local : sb.index.c_global;
+    // Symbols the solver cannot separate per work-item.
+    if (sa.index.c_aux != 0 || sb.index.c_aux != 0) {
+      // Conservative: only safe if the element hulls cannot meet at all.
+      const auto [alo, ahi] = site_iter_range(sa);
+      const auto [blo, bhi] = site_iter_range(sb);
+      const Hull ha = hull(sa.index, box_, 0, box_.local_size - 1, alo, ahi);
+      const Hull hb = hull(sb.index, box_, 0, box_.local_size - 1, blo, bhi);
+      if (ha.hi < hb.lo || hb.hi < ha.lo) return;  // disjoint: proved
+      unprovable("race check between sites #", a, " and #", b,
+                 " involves a data-dependent (aux) index; cannot separate "
+                 "work-items");
+      return;
+    }
+    if (local_scope) {
+      if (sa.index.c_global != 0 || sb.index.c_global != 0 ||
+          sa.index.c_group != sb.index.c_group) {
+        unprovable("race check between sites #", a, " and #", b,
+                   " mixes launch symbols the solver cannot align");
+        return;
+      }
+    } else {
+      if (sa.index.c_local != 0 || sb.index.c_local != 0 ||
+          sa.index.c_group != sb.index.c_group) {
+        unprovable("race check between sites #", a, " and #", b,
+                   " mixes launch symbols the solver cannot align");
+        return;
+      }
+    }
+    if (!guard_supported(sa.guard) || !guard_supported(sb.guard)) {
+      unprovable("race check between sites #", a, " and #", b,
+                 " has a guard outside the supported domain");
+      return;
+    }
+
+    const long long who_hi =
+        local_scope ? box_.local_size - 1 : box_.global_hi;
+    auto solve_at = [&](long long ia, long long ib) -> std::optional<Witness> {
+      // Guard-refined ranges of the two work-items. Straight-line guards
+      // ignore the iteration symbol (their c_loop is irrelevant at -1).
+      Interval pa = guard_range(sa, local_scope, ia, who_hi);
+      Interval qb = guard_range(sb, local_scope, ib, who_hi);
+      if (pa.empty() || qb.empty()) return std::nullopt;
+      const long long K =
+          (sa.index.c0 - sb.index.c0) +
+          box_.steps * (sa.index.c_steps - sb.index.c_steps) +
+          sa.index.c_loop * std::max<long long>(ia, 0) -
+          sb.index.c_loop * std::max<long long>(ib, 0);
+      // Solve ca*p - cb*q + K == 0, p != q, p in pa, q in qb.
+      std::optional<Witness> w = solve_collision(ca, cb, K, pa, qb);
+      if (w) {
+        Assign at;
+        (local_scope ? at.local : at.global) = w->item_a;
+        at.iter = std::max<long long>(ia, 0);
+        w->element = eval_at(sa.index, at, box_.steps);
+      }
+      return w;
+    };
+
+    std::optional<Witness> w;
+    long long wa = -1, wb = -1;
+    if (ic.ia_lo < 0 && !ic.b_in_loop) {
+      w = solve_at(-1, -1);
+    } else if (ic.independent) {
+      if ((ic.ia_hi - ic.ia_lo + 1) * box_.trip > kEnumCap) {
+        unprovable("race check between sites #", a, " and #", b,
+                   " would enumerate too many iteration pairs");
+        return;
+      }
+      for (long long ia = ic.ia_lo; ia <= ic.ia_hi && !w; ++ia) {
+        for (long long ib = 0; ib < box_.trip && !w; ++ib) {
+          w = solve_at(ia, ib);
+          if (w) { wa = ia; wb = ib; }
+        }
+      }
+    } else if (ic.b_in_loop && ic.ia_lo < 0) {
+      if (ic.ib_fixed == -2) {
+        for (long long ib = 0; ib < box_.trip && !w; ++ib) {
+          w = solve_at(-1, ib);
+          if (w) wb = ib;
+        }
+      } else {
+        w = solve_at(-1, ic.ib_fixed);
+        if (w) wb = ic.ib_fixed;
+      }
+    } else {
+      for (long long ia = ic.ia_lo; ia <= ic.ia_hi && !w; ++ia) {
+        const long long ib = ic.b_in_loop ? ia + ic.d : -1;
+        w = solve_at(ia, ib);
+        if (w) { wa = ia; wb = ib; }
+      }
+    }
+    if (!w) return;  // proved for this case
+
+    Counterexample cx;
+    cx.kind = sb.is_store ? HazardKind::kStaticRaceWriteWrite
+                          : HazardKind::kStaticRaceReadWrite;
+    cx.property = "race";
+    cx.site_a = a;
+    cx.site_b = b;
+    cx.resource = buffer_name(ir_, sa);
+    cx.element_bytes = sa.element_bytes;
+    cx.witness = *w;
+    cx.witness.iter_a = sa.section == Section::kLoopBody ? wa : -1;
+    cx.witness.iter_b = sb.section == Section::kLoopBody ? wb : -1;
+    std::ostringstream os;
+    os << "work-item " << cx.witness.item_a << "'s store (site #" << a;
+    if (cx.witness.iter_a >= 0) os << ", iteration " << cx.witness.iter_a;
+    os << ") and work-item " << cx.witness.item_b << "'s "
+       << (sb.is_store ? "store" : "load") << " (site #" << b;
+    if (cx.witness.iter_b >= 0) os << ", iteration " << cx.witness.iter_b;
+    os << ") hit element " << cx.witness.element << " of '" << cx.resource
+       << "' in the same barrier interval";
+    cx.detail = os.str();
+    result_.counterexamples.push_back(std::move(cx));
+  }
+
+  Interval guard_range(const AccessSite& site, bool local_scope,
+                       long long iter, long long who_hi) const {
+    if (local_scope) {
+      return guard_local_interval(site.guard, box_,
+                                  std::max<long long>(iter, 0));
+    }
+    // Global scope: only unguarded sites reach here with exactness; a
+    // guarded global site was filtered by guard_supported + c_local==0, so
+    // the guard is uniform in the work-item — treat as full range when the
+    // guard can hold at all.
+    const Interval li = guard_local_interval(site.guard, box_,
+                                             std::max<long long>(iter, 0));
+    if (li.empty()) return Interval{};
+    return Interval{0, who_hi};
+  }
+
+  static std::optional<Witness> solve_collision(long long a, long long b,
+                                                long long K, Interval pa,
+                                                Interval qb) {
+    // a*p - b*q = -K
+    const long long R = -K;
+    auto witness = [&](long long p, long long q) {
+      Witness w;
+      w.item_a = p;
+      w.item_b = q;
+      return w;
+    };
+    if (a == 0 && b == 0) {
+      if (R != 0) return std::nullopt;
+      // Any two distinct items collide.
+      for (long long p = pa.lo; p <= pa.hi && p <= pa.lo + 1; ++p) {
+        for (long long q = qb.lo; q <= qb.hi && q <= qb.lo + 1; ++q) {
+          if (p != q) return witness(p, q);
+        }
+      }
+      return std::nullopt;
+    }
+    if (b == 0) {
+      if (R % a != 0) return std::nullopt;
+      const long long p = R / a;
+      if (p < pa.lo || p > pa.hi) return std::nullopt;
+      for (long long q = qb.lo; q <= qb.hi && q <= qb.lo + 1; ++q) {
+        if (q != p) return witness(p, q);
+      }
+      return std::nullopt;
+    }
+    if (a == 0) {
+      if (R % b != 0) return std::nullopt;
+      const long long q = -R / b;
+      if (q < qb.lo || q > qb.hi) return std::nullopt;
+      for (long long p = pa.lo; p <= pa.hi && p <= pa.lo + 1; ++p) {
+        if (p != q) return witness(p, q);
+      }
+      return std::nullopt;
+    }
+    if (a == b) {
+      // p - q = R/a.
+      if (R % a != 0) return std::nullopt;
+      const long long delta = R / a;
+      if (delta == 0) return std::nullopt;  // only p == q collides
+      const long long q = std::max(qb.lo, pa.lo - delta);
+      const long long p = q + delta;
+      if (q > qb.hi || p < pa.lo || p > pa.hi) return std::nullopt;
+      return witness(p, q);
+    }
+    // General case: bounded enumeration of p.
+    const long long span = pa.hi - pa.lo;
+    if (span > kEnumCap) return std::nullopt;  // caller treats as unprovable
+    for (long long p = pa.lo; p <= pa.hi; ++p) {
+      const long long num = a * p - R;
+      if (num % b != 0) continue;
+      const long long q = num / b;
+      if (q < qb.lo || q > qb.hi || q == p) continue;
+      return witness(p, q);
+    }
+    return std::nullopt;
+  }
+
+  // ----- property 4: barrier convergence -----------------------------------
+
+  void check_barriers() {
+    std::size_t checks = 0;
+    for (std::size_t i = 0; i < ir_.barriers.size(); ++i) {
+      const BarrierSite& barrier = ir_.barriers[i];
+      ++checks;
+      if (barrier.guard.always()) continue;
+      if (!guard_supported(barrier.guard)) {
+        unprovable("barrier #", i, " guard '", barrier.guard.to_string(),
+                   "' is outside the supported domain");
+        continue;
+      }
+      // Convergence requires the guard to be uniform across the group: a
+      // guard independent of local_id is convergent whatever it evaluates
+      // to; one that splits the group is a proven violation.
+      if (barrier.guard.expr.c_local == 0) continue;
+      const auto [ilo, ihi] =
+          barrier.section == Section::kLoopBody
+              ? std::pair<long long, long long>{0, box_.trip - 1}
+              : std::pair<long long, long long>{0, 0};
+      for (long long it = ilo; it <= ihi; ++it) {
+        const Interval sat = guard_local_interval(barrier.guard, box_, it);
+        if (sat.empty() || (sat.lo == 0 && sat.hi == box_.local_size - 1)) {
+          continue;  // uniform at this iteration
+        }
+        Counterexample cx;
+        cx.kind = HazardKind::kStaticDivergentBarrier;
+        cx.property = "barrier";
+        cx.site_a = i;
+        std::ostringstream rs;
+        rs << "barrier#" << i;
+        cx.resource = rs.str();
+        cx.witness.item_a = sat.lo;  // reaches the barrier
+        cx.witness.item_b = sat.lo > 0 ? sat.lo - 1 : sat.hi + 1;  // bypasses
+        cx.witness.iter_a = cx.witness.iter_b =
+            barrier.section == Section::kLoopBody ? it : -1;
+        std::ostringstream os;
+        os << "barrier #" << i << " under guard '"
+           << barrier.guard.to_string() << "' splits the group";
+        if (cx.witness.iter_a >= 0) {
+          os << " at loop iteration " << cx.witness.iter_a;
+        }
+        os << ": work-item " << cx.witness.item_a << " reaches it, work-item "
+           << cx.witness.item_b << " does not";
+        cx.detail = os.str();
+        result_.counterexamples.push_back(std::move(cx));
+        break;
+      }
+    }
+    result_.proofs.push_back({"barrier-convergence", checks});
+  }
+
+  void finalize() {
+    result_.certified =
+        result_.counterexamples.empty() && result_.unprovable.empty();
+  }
+
+  KernelIR ir_;
+  VerifyOptions options_;
+  Box box_;
+  VerificationResult result_;
+};
+
+}  // namespace
+
+std::string Counterexample::to_string() const {
+  std::ostringstream os;
+  os << analyzer::to_string(kind) << " [" << property << "]: " << detail;
+  return os.str();
+}
+
+std::string VerificationResult::to_string() const {
+  std::ostringstream os;
+  os << "kernel '" << kernel << "' (steps=" << steps
+     << ", work-group size " << local_size << "): ";
+  if (certified) {
+    os << "CERTIFIED safe —";
+    for (const PropertyProof& p : proofs) {
+      os << " " << p.property << "(" << p.checks << ")";
+    }
+    os << "\n";
+    return os.str();
+  }
+  os << counterexamples.size() << " counterexample(s), "
+     << unprovable.size() << " unprovable site(s)\n";
+  for (const Counterexample& cx : counterexamples) {
+    os << "  - " << cx.to_string() << "\n";
+  }
+  for (const std::string& u : unprovable) {
+    os << "  - unprovable: " << u << "\n";
+  }
+  return os.str();
+}
+
+VerificationResult verify_kernel_ir(const fpga::KernelIR& ir,
+                                    const VerifyOptions& options) {
+  return Verifier(ir, options).run();
+}
+
+ParametricSweep verify_parametric(
+    const std::function<fpga::KernelIR(std::size_t)>& builder,
+    std::size_t min_steps, std::size_t max_steps,
+    const VerifyOptions& options) {
+  constexpr std::size_t kMaxFailuresKept = 8;
+  ParametricSweep sweep;
+  for (std::size_t steps = min_steps; steps <= max_steps; ++steps) {
+    VerificationResult result = verify_kernel_ir(builder(steps), options);
+    ++sweep.points;
+    if (result.certified) {
+      ++sweep.certified;
+    } else if (sweep.failures.size() < kMaxFailuresKept) {
+      sweep.failures.push_back(std::move(result));
+    }
+  }
+  return sweep;
+}
+
+std::size_t report_findings(const VerificationResult& result,
+                            HazardReport& report,
+                            const VerifyOptions& options) {
+  std::size_t added = 0;
+  for (const Counterexample& cx : result.counterexamples) {
+    Hazard hazard;
+    hazard.kind = cx.kind;
+    hazard.kernel = result.kernel;
+    hazard.resource = cx.resource;
+    if (cx.witness.element >= 0) {
+      hazard.byte_offset =
+          static_cast<std::size_t>(cx.witness.element) * cx.element_bytes;
+    }
+    hazard.bytes = cx.element_bytes;
+    if (cx.witness.item_a >= 0) {
+      hazard.first.work_item = static_cast<std::size_t>(cx.witness.item_a);
+      hazard.first.epoch = cx.witness.iter_a >= 0
+                               ? static_cast<std::size_t>(cx.witness.iter_a)
+                               : 0;
+      hazard.first.is_write = true;
+    }
+    if (cx.witness.item_b >= 0) {
+      hazard.second.work_item = static_cast<std::size_t>(cx.witness.item_b);
+      hazard.second.epoch = cx.witness.iter_b >= 0
+                                ? static_cast<std::size_t>(cx.witness.iter_b)
+                                : 0;
+    }
+    hazard.message = cx.detail;
+    report.add(std::move(hazard));
+    ++added;
+  }
+  for (const std::string& u : result.unprovable) {
+    Hazard hazard;
+    hazard.kind = HazardKind::kStaticUnprovableSite;
+    hazard.severity = options.unprovable_severity;
+    hazard.kernel = result.kernel;
+    hazard.resource = u.substr(0, 48);
+    hazard.message = u;
+    report.add(std::move(hazard));
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace binopt::ocl::analyzer::symbolic

@@ -1,0 +1,126 @@
+// Symbolic kernel verifier — parametric proofs over the expression-level
+// kernel IR (fpga::AffineIndexExpr et al.), executed without running a
+// single work-item.
+//
+// The abstract domains are intervals and affine forms over the launch
+// symbols {local_id, group_id, global_id, loop iteration, steps, aux}. An
+// affine function over an integer box attains its extremes at box corners,
+// so interval evaluation of an affine index expression is *exact* (not
+// merely sound): a bound that holds at the corners holds everywhere, and a
+// violated bound always yields the concrete corner assignment as a
+// counterexample — work-item ids plus loop iteration, the same attribution
+// the dynamic analyzer produces. The only approximation in the whole
+// engine is the per-site `aux` symbol (data-dependent but bounded values,
+// e.g. kernel IV.A's in-flight level); sites whose race disambiguation
+// would hinge on aux are reported as unprovable rather than silently
+// certified.
+//
+// Per IR instance (one concrete `steps`) the verifier proves, for ALL
+// work-items, work-groups and loop iterations:
+//   - global/local out-of-bounds freedom,
+//   - read-before-write freedom on local buffers across barrier epochs,
+//   - absence of inter-work-item write-write / read-write races within a
+//     barrier interval (dynamic barrier counts computed from the barrier
+//     layout: a site in loop iteration i at epoch e executes between
+//     barriers number Bs + i*Bl + e and the next),
+//   - barrier convergence (no barrier under a work-item-dependent guard).
+// verify_parametric() then sweeps `steps` across the device-limit range,
+// which extends the proof to every launch shape the device admits — each
+// per-steps check is closed-form, so the sweep is cheap.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fpga/ir.h"
+#include "ocl/analyzer/hazard.h"
+
+namespace binopt::ocl::analyzer::symbolic {
+
+/// Verifier knobs; the device limits bound the parameter ranges.
+struct VerifyOptions {
+  std::size_t max_workgroup_size = 1024;  ///< device work-group ceiling
+  std::size_t max_groups = 1u << 20;      ///< symbolic cap on group count
+  Severity unprovable_severity = Severity::kError;
+};
+
+/// Concrete assignment refuting a property: which work-items, which loop
+/// iteration(s), which element.
+struct Witness {
+  long long item_a = -1;  ///< offending work-item (local id, or global id
+                          ///< for absolute global buffers)
+  long long item_b = -1;  ///< second party of a race/divergence (-1 = none)
+  long long iter_a = -1;  ///< ascending loop iteration of item_a's access
+  long long iter_b = -1;  ///< iteration of item_b's access (-1 = none)
+  long long element = -1; ///< element index involved (-1 = n/a)
+  long long aux = 0;      ///< aux value at the corner, when the site has one
+};
+
+/// A disproved property instance.
+struct Counterexample {
+  static constexpr std::size_t kNoSite = static_cast<std::size_t>(-1);
+  HazardKind kind = HazardKind::kStaticIndexOutOfBounds;
+  std::string property;  ///< "bounds", "uninit-read", "race", "barrier"
+  std::size_t site_a = kNoSite;  ///< index into KernelIR::accesses/barriers
+  std::size_t site_b = kNoSite;
+  std::string resource;  ///< buffer name / "local[i]" / "barrier#i"
+  std::size_t element_bytes = 8;
+  Witness witness;
+  std::string detail;  ///< human-readable, includes the witness
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One proved property with the number of closed-form checks discharged.
+struct PropertyProof {
+  std::string property;
+  std::size_t checks = 0;
+};
+
+/// Proof certificate or refutation for one IR instance.
+struct VerificationResult {
+  std::string kernel;
+  std::size_t steps = 0;
+  std::size_t local_size = 0;  ///< work-group size the proof covers
+  bool certified = false;      ///< all properties proved, nothing unprovable
+  std::vector<PropertyProof> proofs;
+  std::vector<Counterexample> counterexamples;
+  std::vector<std::string> unprovable;  ///< sites the domains cannot decide
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Verify one IR instance (its own `steps` value) for all work-items,
+/// groups and loop iterations. Pure static analysis; never executes.
+[[nodiscard]] VerificationResult verify_kernel_ir(
+    const fpga::KernelIR& ir, const VerifyOptions& options = {});
+
+/// Outcome of a parametric sweep over `steps`.
+struct ParametricSweep {
+  std::size_t points = 0;     ///< steps values verified
+  std::size_t certified = 0;  ///< of which proved safe
+  std::vector<VerificationResult> failures;  ///< non-certified instances
+
+  [[nodiscard]] bool all_certified() const {
+    return points > 0 && certified == points;
+  }
+};
+
+/// Sweep `steps` over [min_steps, max_steps], building each instance with
+/// `builder` and verifying it. Failures keep their full result (capped at
+/// a handful; the counts always cover the whole range).
+[[nodiscard]] ParametricSweep verify_parametric(
+    const std::function<fpga::KernelIR(std::size_t)>& builder,
+    std::size_t min_steps, std::size_t max_steps,
+    const VerifyOptions& options = {});
+
+/// Feed a result's counterexamples and unprovable entries into the shared
+/// HazardReport (severity of unprovable entries per `options`); returns
+/// the number of hazards added.
+std::size_t report_findings(const VerificationResult& result,
+                            HazardReport& report,
+                            const VerifyOptions& options = {});
+
+}  // namespace binopt::ocl::analyzer::symbolic

@@ -429,6 +429,7 @@ TEST(IrLint, IndexBoundPastDeclaredExtentIsFlagged) {
   for (fpga::AccessSite& site : ir.accesses) {
     if (site.space == fpga::MemSpace::kLocal && !site.is_store) {
       site.max_index = 65;  // declared words = 65 -> max legal index 64
+      break;
     }
   }
   an::HazardReport report;
@@ -464,6 +465,43 @@ TEST(IrLint, ValidateRejectsUndeclaredBufferReference) {
   ir.accesses[0].buffer = 99;
   an::HazardReport report;
   EXPECT_THROW(an::lint_kernel_ir(ir, report), Error);
+}
+
+TEST(IrLint, UntypedSiteIsAnUnprovableErrorByDefault) {
+  fpga::KernelIR ir = kernels::kernel_b_ir(64);
+  fpga::AccessSite untyped;  // names no buffer, carries no bound
+  ir.accesses.push_back(untyped);
+  an::HazardReport report;
+  EXPECT_EQ(an::lint_kernel_ir(ir, report), 1u);
+  EXPECT_EQ(report.count(HazardKind::kStaticUnprovableSite), 1u);
+  EXPECT_EQ(report.error_count(), 1u);
+  const std::vector<Hazard> hazards = report.hazards();
+  ASSERT_EQ(hazards.size(), 1u);
+  EXPECT_NE(hazards[0].message.find("names no declared buffer"),
+            std::string::npos)
+      << hazards[0].message;
+}
+
+TEST(IrLint, MissingIndexBoundIsUnprovableAndDowngradable) {
+  fpga::KernelIR ir = kernels::kernel_b_ir(64);
+  fpga::AccessSite unbounded;
+  unbounded.space = fpga::MemSpace::kLocal;
+  unbounded.buffer = 0;
+  unbounded.has_index_bound = false;  // buffer named, bound absent
+  ir.accesses.push_back(unbounded);
+
+  an::HazardReport report;
+  an::LintOptions options;
+  options.unprovable_severity = an::Severity::kWarning;
+  EXPECT_EQ(an::lint_kernel_ir(ir, report, options), 1u);
+  EXPECT_EQ(report.count(HazardKind::kStaticUnprovableSite), 1u);
+  EXPECT_EQ(report.error_count(), 0u);  // warnings never fail --check
+  const std::vector<Hazard> hazards = report.hazards();
+  ASSERT_EQ(hazards.size(), 1u);
+  const Hazard& hazard = hazards[0];
+  EXPECT_NE(hazard.message.find("carries no index bound"), std::string::npos)
+      << hazard.message;
+  EXPECT_NE(hazard.to_string().find("[warning]"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

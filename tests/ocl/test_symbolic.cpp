@@ -1,0 +1,301 @@
+// Symbolic kernel verifier tests (src/ocl/analyzer/symbolic/).
+//
+// Three layers:
+//   1. Certification — both paper kernels must be PROVED safe for every
+//      launch shape the device admits (parametric in `steps` and the
+//      work-group size) without executing a single work-item.
+//   2. Refutation — a corpus of seeded-bug IRs (the classic OpenCL-port
+//      mistakes, mirroring the dynamic analyzer's seeded kernels) must
+//      each be refuted with a CONCRETE counterexample: work-item ids plus
+//      loop iteration, matching the attribution the dynamic analyzer
+//      produces for the same bug.
+//   3. Soundness cross-validation — the dynamic analyzer acts as oracle:
+//      for randomly sampled launch shapes, a verifier-certified kernel
+//      must show zero dynamic hazards when actually executed.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "finance/workload.h"
+#include "kernels/ir_builders.h"
+#include "kernels/kernel_a.h"
+#include "kernels/kernel_b.h"
+#include "ocl/analyzer/symbolic/verifier.h"
+#include "ocl/context.h"
+#include "ocl/device.h"
+#include "ocl/queue.h"
+
+namespace binopt::ocl {
+namespace {
+
+namespace an = analyzer;
+namespace sym = analyzer::symbolic;
+using an::HazardKind;
+using sym::Counterexample;
+using sym::VerificationResult;
+using sym::verify_kernel_ir;
+
+constexpr std::size_t kMiB = 1024 * 1024;
+
+const Counterexample* find_counterexample(const VerificationResult& result,
+                                          HazardKind kind) {
+  for (const Counterexample& cx : result.counterexamples) {
+    if (cx.kind == kind) return &cx;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Certification of the paper kernels.
+// ---------------------------------------------------------------------------
+
+TEST(SymbolicVerifier, KernelAIsCertifiedWithoutExecution) {
+  const VerificationResult result = verify_kernel_ir(kernels::kernel_a_ir(1024));
+  EXPECT_TRUE(result.certified) << result.to_string();
+  EXPECT_TRUE(result.counterexamples.empty());
+  EXPECT_TRUE(result.unprovable.empty());
+  // All seven access sites get a closed-form bounds proof.
+  bool saw_bounds = false;
+  for (const sym::PropertyProof& proof : result.proofs) {
+    if (proof.property == "bounds") {
+      saw_bounds = true;
+      EXPECT_EQ(proof.checks, 7u);
+    }
+  }
+  EXPECT_TRUE(saw_bounds);
+}
+
+TEST(SymbolicVerifier, KernelBIsCertifiedAcrossGroupSizes) {
+  for (const std::size_t steps : {2u, 3u, 8u, 64u, 257u, 1024u}) {
+    const VerificationResult result =
+        verify_kernel_ir(kernels::kernel_b_ir(steps));
+    EXPECT_TRUE(result.certified)
+        << "steps=" << steps << "\n" << result.to_string();
+    EXPECT_EQ(result.local_size, steps);  // one work-item per leaf pair
+  }
+}
+
+TEST(SymbolicVerifier, ParametricSweepCoversEveryDeviceAdmissibleShape) {
+  // Kernel IV.B requires local size == steps, so the device's work-group
+  // ceiling bounds the sweep; every point in the range must certify.
+  sym::VerifyOptions options;
+  options.max_workgroup_size = 1024;
+  const sym::ParametricSweep sweep_b = sym::verify_parametric(
+      [](std::size_t steps) { return kernels::kernel_b_ir(steps); }, 2, 1024,
+      options);
+  EXPECT_EQ(sweep_b.points, 1023u);
+  EXPECT_TRUE(sweep_b.all_certified())
+      << (sweep_b.failures.empty() ? "" : sweep_b.failures[0].to_string());
+
+  const sym::ParametricSweep sweep_a = sym::verify_parametric(
+      [](std::size_t steps) { return kernels::kernel_a_ir(steps); }, 1, 1024,
+      options);
+  EXPECT_TRUE(sweep_a.all_certified())
+      << (sweep_a.failures.empty() ? "" : sweep_a.failures[0].to_string());
+}
+
+TEST(SymbolicVerifier, GroupSizePastTheDeviceLimitIsRejectedNotCertified) {
+  sym::VerifyOptions options;
+  options.max_workgroup_size = 256;
+  const VerificationResult result =
+      verify_kernel_ir(kernels::kernel_b_ir(512), options);
+  EXPECT_FALSE(result.certified);
+  ASSERT_FALSE(result.unprovable.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Seeded-bug corpus. Each IR starts from the correct kernel IV.B (8 steps,
+// local row of 9 words, one straight-line + two in-loop barriers) and
+// re-introduces one classic porting mistake. The witnesses are golden: the
+// verifier must name the exact work-items / iterations / elements.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kSteps = 8;
+
+// Site indices in kernels::kernel_b_ir's access list.
+constexpr std::size_t kTopStoreSite = 3;    // values[n] seed by item n-1
+constexpr std::size_t kLoadUpSite = 5;      // loop load of values[k+1]
+constexpr std::size_t kLoopStoreSite = 6;   // loop store of values[k]
+
+TEST(SymbolicSeededBugs, OffByOneLoadIsRefutedAtTheExactCorner) {
+  fpga::KernelIR ir = kernels::kernel_b_ir(kSteps);
+  // values[k+2] instead of values[k+1]: the deepest active item at the
+  // first iteration reaches one element past the 9-word row.
+  ir.accesses[kLoadUpSite].index.c0 = 2;
+  const VerificationResult result = verify_kernel_ir(ir);
+  EXPECT_FALSE(result.certified);
+  const Counterexample* cx =
+      find_counterexample(result, HazardKind::kStaticIndexOutOfBounds);
+  ASSERT_NE(cx, nullptr) << result.to_string();
+  EXPECT_EQ(cx->site_a, kLoadUpSite);
+  EXPECT_EQ(cx->witness.item_a, 7);       // local id steps-1
+  EXPECT_EQ(cx->witness.iter_a, 0);       // first (deepest) iteration
+  EXPECT_EQ(cx->witness.element, 9);      // row declares 9 words: 0..8
+  EXPECT_EQ(cx->resource, "local[0]");
+}
+
+TEST(SymbolicSeededBugs, DivergentBarrierIsRefutedWithAWitnessPair) {
+  fpga::KernelIR ir = kernels::kernel_b_ir(kSteps);
+  // Hoist the second in-loop barrier under the active predicate k <= t —
+  // from iteration 1 on, the idle tail items no longer reach it.
+  ir.barriers[2].guard =
+      fpga::AffineGuard{fpga::AffineGuard::Kind::kNonNegative,
+                        fpga::AffineIndexExpr{.c0 = -1, .c_local = -1,
+                                              .c_loop = -1, .c_steps = 1}};
+  const VerificationResult result = verify_kernel_ir(ir);
+  EXPECT_FALSE(result.certified);
+  const Counterexample* cx =
+      find_counterexample(result, HazardKind::kStaticDivergentBarrier);
+  ASSERT_NE(cx, nullptr) << result.to_string();
+  EXPECT_EQ(cx->site_a, 2u);
+  EXPECT_EQ(cx->witness.iter_a, 1);   // iteration 0 still has everyone active
+  EXPECT_EQ(cx->witness.item_a, 0);   // reaches the barrier (k <= t)
+  EXPECT_EQ(cx->witness.item_b, 7);   // bypasses it (k > t = 6)
+}
+
+TEST(SymbolicSeededBugs, MissingTopSeedIsRefutedAsUninitRead) {
+  fpga::KernelIR ir = kernels::kernel_b_ir(kSteps);
+  // Drop the `if (k == n-1) values[n] = ...` seed: the first iteration's
+  // deepest item reads values[n] before anything wrote it.
+  ir.accesses.erase(ir.accesses.begin() + kTopStoreSite);
+  const VerificationResult result = verify_kernel_ir(ir);
+  EXPECT_FALSE(result.certified);
+  const Counterexample* cx =
+      find_counterexample(result, HazardKind::kStaticUninitRead);
+  ASSERT_NE(cx, nullptr) << result.to_string();
+  EXPECT_EQ(cx->witness.item_a, 7);
+  EXPECT_EQ(cx->witness.iter_a, 0);
+  EXPECT_EQ(cx->witness.element, 8);  // values[n], the never-seeded top
+}
+
+TEST(SymbolicSeededBugs, UnguardedSharedStoreIsRefutedAsWriteWriteRace) {
+  fpga::KernelIR ir = kernels::kernel_b_ir(kSteps);
+  // Every item writes values[0] unconditionally — a textbook reduction
+  // race: two items collide on the same element inside one interval.
+  ir.accesses[kLoopStoreSite].index = fpga::AffineIndexExpr{};
+  ir.accesses[kLoopStoreSite].guard = fpga::AffineGuard{};
+  const VerificationResult result = verify_kernel_ir(ir);
+  EXPECT_FALSE(result.certified);
+  const Counterexample* cx =
+      find_counterexample(result, HazardKind::kStaticRaceWriteWrite);
+  ASSERT_NE(cx, nullptr) << result.to_string();
+  EXPECT_EQ(cx->witness.element, 0);
+  EXPECT_NE(cx->witness.item_a, cx->witness.item_b);
+}
+
+TEST(SymbolicSeededBugs, MissingSecondBarrierIsRefutedAsLoopCarriedRace) {
+  fpga::KernelIR ir = kernels::kernel_b_ir(kSteps);
+  // The dynamic analyzer's flagship seeded bug: drop the barrier after
+  // the row update. Item k's store to values[k] then shares an interval
+  // with item k-1's NEXT-iteration load of values[k].
+  ir.barriers.erase(ir.barriers.begin() + 2);
+  const VerificationResult result = verify_kernel_ir(ir);
+  EXPECT_FALSE(result.certified);
+  const Counterexample* cx =
+      find_counterexample(result, HazardKind::kStaticRaceReadWrite);
+  ASSERT_NE(cx, nullptr) << result.to_string();
+  // Golden attribution, identical to the dynamic analyzer's
+  // MissingBarrierRaceIsFlaggedWithAttribution: item 1's store and item
+  // 0's load of element 1, one loop level apart.
+  EXPECT_EQ(cx->site_a, kLoopStoreSite);
+  EXPECT_EQ(cx->site_b, kLoadUpSite);
+  EXPECT_EQ(cx->witness.item_a, 1);
+  EXPECT_EQ(cx->witness.item_b, 0);
+  EXPECT_EQ(cx->witness.iter_b, cx->witness.iter_a + 1);
+  EXPECT_EQ(cx->witness.element, 1);
+}
+
+TEST(SymbolicSeededBugs, UntypedSiteIsUnprovableNeverSilentlyCertified) {
+  fpga::KernelIR ir = kernels::kernel_b_ir(kSteps);
+  fpga::AccessSite untyped;
+  untyped.space = fpga::MemSpace::kLocal;
+  untyped.buffer = 0;
+  untyped.has_index_bound = true;
+  untyped.max_index = 0;
+  untyped.has_affine_index = false;  // bound known, expression not
+  ir.accesses.push_back(untyped);
+  const VerificationResult result = verify_kernel_ir(ir);
+  EXPECT_FALSE(result.certified);
+  EXPECT_TRUE(result.counterexamples.empty()) << result.to_string();
+  ASSERT_FALSE(result.unprovable.empty());
+}
+
+// ---------------------------------------------------------------------------
+// HazardReport bridge: one combined static+dynamic report vocabulary.
+// ---------------------------------------------------------------------------
+
+TEST(SymbolicReport, CounterexamplesLandInTheSharedHazardReport) {
+  fpga::KernelIR ir = kernels::kernel_b_ir(kSteps);
+  ir.barriers.erase(ir.barriers.begin() + 2);
+  const VerificationResult result = verify_kernel_ir(ir);
+  an::HazardReport report;
+  EXPECT_EQ(sym::report_findings(result, report), 1u);
+  EXPECT_EQ(report.count(HazardKind::kStaticRaceReadWrite), 1u);
+  EXPECT_EQ(report.error_count(), 1u);
+  const an::Hazard hazard = report.hazards()[0];
+  EXPECT_EQ(hazard.kernel, "binomial_workgroup_option");
+  EXPECT_EQ(hazard.resource, "local[0]");
+  EXPECT_EQ(hazard.byte_offset, 8u);  // element 1 of an 8-byte row
+  EXPECT_EQ(hazard.first.work_item, 1u);
+  EXPECT_TRUE(hazard.first.is_write);
+  EXPECT_EQ(hazard.second.work_item, 0u);
+}
+
+TEST(SymbolicReport, UnprovableSitesAreDowngradableToWarnings) {
+  fpga::KernelIR ir = kernels::kernel_b_ir(kSteps);
+  fpga::AccessSite untyped;
+  untyped.space = fpga::MemSpace::kLocal;
+  untyped.buffer = 0;
+  untyped.has_index_bound = true;
+  ir.accesses.push_back(untyped);
+  const VerificationResult result = verify_kernel_ir(ir);
+
+  an::HazardReport as_errors;
+  sym::VerifyOptions strict;
+  EXPECT_GE(sym::report_findings(result, as_errors, strict), 1u);
+  EXPECT_GE(as_errors.error_count(), 1u);
+
+  an::HazardReport as_warnings;
+  sym::VerifyOptions lax;
+  lax.unprovable_severity = an::Severity::kWarning;
+  EXPECT_GE(sym::report_findings(result, as_warnings, lax), 1u);
+  EXPECT_EQ(as_warnings.error_count(), 0u);
+  EXPECT_GE(as_warnings.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Soundness cross-validation: the dynamic analyzer as oracle. For sampled
+// launch shapes, verifier-certified IRs must execute with zero dynamic
+// hazards — a certified kernel with a runtime hazard would disprove the
+// abstract domains.
+// ---------------------------------------------------------------------------
+
+TEST(SymbolicCrossValidation, CertifiedShapesShowNoDynamicHazards) {
+  std::mt19937 rng(20260808u);
+  std::uniform_int_distribution<std::size_t> steps_dist(4, 48);
+  std::uniform_int_distribution<std::uint64_t> seed_dist(1, 1u << 20);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t steps = steps_dist(rng);
+    ASSERT_TRUE(verify_kernel_ir(kernels::kernel_a_ir(steps)).certified);
+    ASSERT_TRUE(verify_kernel_ir(kernels::kernel_b_ir(steps)).certified);
+
+    const auto options = finance::make_random_batch(4, seed_dist(rng));
+    Device device("sym-xval", DeviceKind::kFpga,
+                  DeviceLimits{16 * kMiB, 16 * 1024, 256, 2});
+    an::AnalyzerConfig config;
+    config.enabled = true;
+    device.set_analyzer(config);
+
+    kernels::KernelAHostProgram a(device, {.steps = steps});
+    (void)a.run(options);
+    kernels::KernelBHostProgram b(device, {.steps = steps});
+    (void)b.run(options);
+    EXPECT_TRUE(device.hazard_report().empty())
+        << "steps=" << steps << "\n" << device.hazard_report().to_string();
+  }
+}
+
+}  // namespace
+}  // namespace binopt::ocl

@@ -35,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <string>
 #include <thread>
@@ -44,10 +45,12 @@
 #include "core/service/pricing_service.h"
 #include "finance/option.h"
 #include "finance/workload.h"
+#include "fpga/ii_analysis.h"
 #include "kernels/ir_builders.h"
 #include "kernels/kernel_a.h"
 #include "kernels/kernel_b.h"
 #include "ocl/analyzer/ir_lint.h"
+#include "ocl/analyzer/symbolic/verifier.h"
 #include "ocl/device.h"
 #include "ocl/faults/fault_plan.h"
 #include "ocl/trace/tracer.h"
@@ -72,9 +75,17 @@ void print_usage() {
       "  --steps <N>        tree steps             (default 1024)\n"
       "  --target <name>    accelerator target     (default cpu reference)\n"
       "  --list-targets     print target names and exit\n"
-      "  --check            run the kernel hazard analyzer + static IR\n"
-      "                     lint over both paper kernels and exit non-zero\n"
-      "                     on any diagnostic (--steps selects tree depth)\n"
+      "  --check            run the symbolic kernel verifier + static IR\n"
+      "                     lint + the dynamic hazard analyzer over both\n"
+      "                     paper kernels and exit non-zero on any error\n"
+      "                     diagnostic (--steps selects tree depth)\n"
+      "  --static-only      with --check: proofs only, execute nothing —\n"
+      "                     the verifier certifies every kernel variant\n"
+      "                     parametrically across all device-admissible\n"
+      "                     launch shapes\n"
+      "  --report-json <p>  with --check: write a machine-readable report\n"
+      "                     (certified variants, proofs, counterexamples,\n"
+      "                     II bounds) to <p>\n"
       "  --help             this text\n"
       "\n"
       "subcommand: binopt_cli serve-bench [flags]\n"
@@ -383,51 +394,222 @@ int run_trace(const std::string& out_path, std::size_t num_options,
   return 0;
 }
 
-/// The --check mode: execute kernels IV.A and IV.B under the shadow-memory
-/// analyzer on a multi-compute-unit device, lint their dataflow IRs, and
-/// print the combined hazard report.
-int run_check(std::size_t steps) {
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Accumulates the machine-readable --report-json payload while the check
+/// prints its human-readable progress.
+struct CheckReportJson {
+  std::string variants;       // joined variant objects
+  std::string sweeps;         // joined sweep objects
+  std::size_t proved_safe = 0;
+
+  void add_variant(const std::string& label,
+                   const ocl::analyzer::symbolic::VerificationResult& result,
+                   double ii) {
+    if (!variants.empty()) variants += ",";
+    variants += "\n    {\"label\": \"";
+    json_escape_into(variants, label);
+    variants += "\", \"kernel\": \"";
+    json_escape_into(variants, result.kernel);
+    variants += "\", \"steps\": " + std::to_string(result.steps);
+    variants += ", \"local_size\": " + std::to_string(result.local_size);
+    variants +=
+        std::string(", \"certified\": ") + (result.certified ? "true" : "false");
+    variants += ", \"initiation_interval\": " + std::to_string(ii);
+    variants += ", \"proofs\": [";
+    for (std::size_t i = 0; i < result.proofs.size(); ++i) {
+      if (i > 0) variants += ", ";
+      variants += "{\"property\": \"";
+      json_escape_into(variants, result.proofs[i].property);
+      variants +=
+          "\", \"checks\": " + std::to_string(result.proofs[i].checks) + "}";
+    }
+    variants += "], \"counterexamples\": [";
+    for (std::size_t i = 0; i < result.counterexamples.size(); ++i) {
+      if (i > 0) variants += ", ";
+      variants += "{\"detail\": \"";
+      json_escape_into(variants, result.counterexamples[i].to_string());
+      variants += "\"}";
+    }
+    variants += "], \"unprovable\": [";
+    for (std::size_t i = 0; i < result.unprovable.size(); ++i) {
+      if (i > 0) variants += ", ";
+      variants += "\"";
+      json_escape_into(variants, result.unprovable[i]);
+      variants += "\"";
+    }
+    variants += "]}";
+    if (result.certified) ++proved_safe;
+  }
+
+  void add_sweep(const std::string& kernel, std::size_t min_steps,
+                 std::size_t max_steps,
+                 const ocl::analyzer::symbolic::ParametricSweep& sweep) {
+    if (!sweeps.empty()) sweeps += ",";
+    sweeps += "\n    {\"kernel\": \"";
+    json_escape_into(sweeps, kernel);
+    sweeps += "\", \"min_steps\": " + std::to_string(min_steps);
+    sweeps += ", \"max_steps\": " + std::to_string(max_steps);
+    sweeps += ", \"points\": " + std::to_string(sweep.points);
+    sweeps += ", \"certified\": " + std::to_string(sweep.certified) + "}";
+  }
+
+  [[nodiscard]] std::string render(std::size_t steps, bool static_only,
+                                   bool dynamic_ran,
+                                   std::size_t dynamic_hazards,
+                                   std::size_t errors) const {
+    std::string out = "{\n";
+    out += "  \"steps\": " + std::to_string(steps) + ",\n";
+    out +=
+        std::string("  \"static_only\": ") + (static_only ? "true" : "false") +
+        ",\n";
+    out += "  \"proved_safe\": " + std::to_string(proved_safe) + ",\n";
+    out += "  \"variants\": [" + variants + "\n  ],\n";
+    out += "  \"sweeps\": [" + sweeps + "\n  ],\n";
+    out += std::string("  \"dynamic\": {\"ran\": ") +
+           (dynamic_ran ? "true" : "false") +
+           ", \"hazards\": " + std::to_string(dynamic_hazards) + "},\n";
+    out += "  \"errors\": " + std::to_string(errors) + "\n";
+    out += "}\n";
+    return out;
+  }
+};
+
+/// The symbolic-verification section of --check: prove every registered
+/// kernel variant safe at the selected depth, then sweep `steps` across
+/// every device-admissible launch shape. Pure static analysis.
+void run_static_verification(std::size_t steps, std::size_t max_group,
+                             ocl::analyzer::HazardReport& report,
+                             CheckReportJson& json) {
+  namespace sym = ocl::analyzer::symbolic;
+  sym::VerifyOptions options;
+  options.max_workgroup_size = max_group;
+
+  std::printf("symbolic verifier (N = %zu, work-group ceiling %zu):\n", steps,
+              max_group);
+  for (const kernels::KernelVariant& variant :
+       kernels::all_kernel_variants(steps)) {
+    const sym::VerificationResult result =
+        sym::verify_kernel_ir(variant.ir, options);
+    const fpga::IIAnalysis ii =
+        fpga::analyze_initiation_interval(variant.ir);
+    std::printf("  %-12s %s  (II >= %.0f)\n", variant.label.c_str(),
+                result.certified ? "CERTIFIED" : "REFUTED", ii.ii);
+    if (!result.certified) {
+      std::printf("%s", result.to_string().c_str());
+    }
+    sym::report_findings(result, report, options);
+    json.add_variant(variant.label, result, ii.ii);
+  }
+
+  // Parametric sweeps: kernel IV.A admits any steps >= 1; kernel IV.B
+  // requires work-group size == steps, so the device ceiling bounds it.
+  const std::size_t sweep_hi = max_group;
+  const auto sweep = [&](const char* name, std::size_t lo,
+                         auto&& builder) {
+    const sym::ParametricSweep result =
+        sym::verify_parametric(builder, lo, sweep_hi, options);
+    std::printf("  %s parametric steps in [%zu, %zu]: %zu/%zu certified\n",
+                name, lo, sweep_hi, result.certified, result.points);
+    for (const sym::VerificationResult& failure : result.failures) {
+      std::printf("%s", failure.to_string().c_str());
+      sym::report_findings(failure, report, options);
+    }
+    json.add_sweep(name, lo, sweep_hi, result);
+  };
+  sweep("IV.A", 1,
+        [](std::size_t n) { return kernels::kernel_a_ir(n); });
+  sweep("IV.B", 2,
+        [](std::size_t n) { return kernels::kernel_b_ir(n); });
+}
+
+/// The --check mode. Always: symbolic verification (parametric proofs) and
+/// the static IR lint. Unless --static-only: additionally execute kernels
+/// IV.A and IV.B under the shadow-memory analyzer on a multi-compute-unit
+/// device. One combined report; the exit status gates on error-severity
+/// findings.
+int run_check(std::size_t steps, bool static_only,
+              const std::string& report_json_path) {
   namespace an = ocl::analyzer;
   constexpr std::size_t kMiB = 1024 * 1024;
   const std::size_t group = std::max<std::size_t>(steps, 256);
-  ocl::Device device("hazard-check", ocl::DeviceKind::kFpga,
-                     ocl::DeviceLimits{256 * kMiB, 64 * 1024, group,
-                                       /*compute_units=*/4});
-  an::AnalyzerConfig config;
-  config.enabled = true;
-  device.set_analyzer(config);
 
-  const std::vector<finance::OptionSpec> options =
-      finance::make_random_batch(8, /*seed=*/42);
-
-  std::printf("kernel IV.A (dataflow, N = %zu) ... ", steps);
-  kernels::KernelAHostProgram program_a(device, {.steps = steps});
-  (void)program_a.run(options);
-  std::printf("%zu hazard(s)\n", device.hazard_report().size());
-
-  std::printf("kernel IV.B (work-group/option, N = %zu) ... ", steps);
-  const std::size_t before = device.hazard_report().size();
-  kernels::KernelBHostProgram program_b(device, {.steps = steps});
-  (void)program_b.run(options);
-  std::printf("%zu hazard(s)\n", device.hazard_report().size() - before);
+  an::HazardReport static_report;
+  CheckReportJson json;
+  run_static_verification(steps, group, static_report, json);
 
   std::printf("static IR lint ... ");
   std::size_t lint = 0;
-  lint += an::lint_kernel_ir(kernels::kernel_a_ir(steps),
-                             device.hazard_report());
-  lint += an::lint_kernel_ir(kernels::kernel_b_ir(steps),
-                             device.hazard_report());
+  lint += an::lint_kernel_ir(kernels::kernel_a_ir(steps), static_report);
+  lint += an::lint_kernel_ir(kernels::kernel_b_ir(steps), static_report);
   std::printf("%zu finding(s)\n", lint);
 
-  const an::HazardReport& report = device.hazard_report();
-  if (report.empty()) {
-    std::printf("check passed: no hazards detected (%zu compute units)\n",
-                device.compute_units());
+  std::size_t dynamic_hazards = 0;
+  std::size_t errors = static_report.error_count();
+  std::string combined;
+  if (!static_report.empty()) combined += static_report.to_string();
+
+  if (!static_only) {
+    ocl::Device device("hazard-check", ocl::DeviceKind::kFpga,
+                       ocl::DeviceLimits{256 * kMiB, 64 * 1024, group,
+                                         /*compute_units=*/4});
+    an::AnalyzerConfig config;
+    config.enabled = true;
+    device.set_analyzer(config);
+
+    const std::vector<finance::OptionSpec> options =
+        finance::make_random_batch(8, /*seed=*/42);
+
+    std::printf("kernel IV.A (dataflow, N = %zu) ... ", steps);
+    kernels::KernelAHostProgram program_a(device, {.steps = steps});
+    (void)program_a.run(options);
+    std::printf("%zu hazard(s)\n", device.hazard_report().size());
+
+    std::printf("kernel IV.B (work-group/option, N = %zu) ... ", steps);
+    const std::size_t before = device.hazard_report().size();
+    kernels::KernelBHostProgram program_b(device, {.steps = steps});
+    (void)program_b.run(options);
+    std::printf("%zu hazard(s)\n", device.hazard_report().size() - before);
+
+    dynamic_hazards = device.hazard_report().size();
+    errors += device.hazard_report().error_count();
+    if (!device.hazard_report().empty()) {
+      combined += device.hazard_report().to_string();
+    }
+  }
+
+  if (!report_json_path.empty()) {
+    std::ofstream out(report_json_path);
+    if (!out) fail("cannot write --report-json file: " + report_json_path);
+    out << json.render(steps, static_only, !static_only, dynamic_hazards,
+                       errors);
+    std::printf("report written to %s\n", report_json_path.c_str());
+  }
+
+  if (errors == 0) {
+    std::printf("check passed: %zu kernel variant(s) proved safe%s\n",
+                json.proved_safe,
+                static_only ? " (nothing executed)" : ", no runtime hazards");
     return 0;
   }
-  std::printf("\n%s", report.to_string().c_str());
-  std::printf("check FAILED: %zu distinct hazard site(s), %zu occurrence(s)\n",
-              report.size(), report.total_occurrences());
+  std::printf("\n%s", combined.c_str());
+  std::printf("check FAILED: %zu error-severity finding(s)\n", errors);
   return 1;
 }
 
@@ -606,6 +788,8 @@ int main(int argc, char** argv) {
   std::size_t steps = 1024;
   bool steps_given = false;
   bool check = false;
+  bool static_only = false;
+  std::string report_json;
   core::Target target = core::Target::kCpuReference;
 
   for (int i = 1; i < argc; ++i) {
@@ -624,9 +808,14 @@ int main(int argc, char** argv) {
       check = true;
       continue;
     }
+    if (flag == "--static-only") {
+      static_only = true;
+      continue;
+    }
     if (i + 1 >= argc) fail("missing value for " + flag);
     const char* value = argv[++i];
-    if (flag == "--spot") spec.spot = parse_double("--spot", value);
+    if (flag == "--report-json") report_json = value;
+    else if (flag == "--spot") spec.spot = parse_double("--spot", value);
     else if (flag == "--strike") spec.strike = parse_double("--strike", value);
     else if (flag == "--rate") spec.rate = parse_double("--rate", value);
     else if (flag == "--div") spec.dividend = parse_double("--div", value);
@@ -661,9 +850,12 @@ int main(int argc, char** argv) {
     if (check) {
       // Shadow-memory analysis visits every byte of every access; a
       // modest default depth keeps the check fast while exercising both
-      // kernels' full structure.
-      return run_check(steps_given ? steps : 64);
+      // kernels' full structure. (The symbolic section is closed-form and
+      // depth-insensitive either way.)
+      return run_check(steps_given ? steps : 64, static_only, report_json);
     }
+    if (static_only) fail("--static-only requires --check");
+    if (!report_json.empty()) fail("--report-json requires --check");
     spec.validate();
     core::PricingAccelerator accelerator({target, steps, true});
     const core::RunReport report = accelerator.run({spec});
