@@ -7,6 +7,15 @@
 //   sharding across backend workers, and the LRU quote cache on repeat
 //   ticks.
 //
+//   --mode fleet: a heterogeneous CPU+GPU+FPGA fleet priced two ways —
+//   the status-quo shared-FIFO dispatch (workers pull max_batch-sized
+//   chunks round-robin-style at their own pace) vs the fleet router
+//   (DESIGN.md §2.8), which places each batch on the backend with the
+//   lowest feedback-corrected predicted completion time. A third pass
+//   runs the energy-budget policy and reports modelled J/option. Gates:
+//   the router must not lose to the shared queue on options/s, and the
+//   energy policy must not lose to it on modelled J/option.
+//
 //   --mode bursty: the market-open spike. N submitter threads (default 8)
 //   all blast the curve through price_batch_blocking at once, then trickle
 //   requests through a quiet tail — the arrival pattern the lock-free hot
@@ -28,7 +37,12 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <future>
+#include <limits>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -36,6 +50,7 @@
 
 #include "core/accelerator.h"
 #include "core/service/pricing_service.h"
+#include "energy/energy_model.h"
 #include "finance/binomial_batch.h"
 #include "finance/workload.h"
 
@@ -143,6 +158,108 @@ BurstyOutcome run_bursty(const core::ServiceConfig& config,
   return outcome;
 }
 
+/// One measured dispatch policy in fleet mode.
+struct FleetOutcome {
+  double ops = 0.0;                     ///< best-of-reps curve throughput
+  std::vector<std::uint64_t> served;    ///< per fleet index, measured reps
+  core::service::ServiceStats stats;    ///< measured reps only (no warmup)
+  std::size_t mismatches = 0;
+};
+
+/// Streams `reps` timed passes of the curve through `service` as
+/// single-quote submissions; each Quote names the backend that priced it,
+/// so parity is checked against that backend's own direct run. One
+/// untimed warmup pass runs first: it builds every backend's pricer and —
+/// with the fleet router on — lets the measured/predicted feedback
+/// converge before the clock starts (the service, and thus the router's
+/// learned corrections, persists across the timed reps).
+FleetOutcome run_fleet(
+    core::PricingService& service,
+    const std::vector<finance::OptionSpec>& curve,
+    const std::map<core::Target, std::vector<double>>& refs, int reps) {
+  FleetOutcome outcome;
+  std::vector<std::future<core::Quote>> futures;
+  futures.reserve(curve.size());
+  for (int pass = 0; pass < reps + 1; ++pass) {
+    if (pass == 1) outcome.stats = service.stats();  // warmup snapshot
+    futures.clear();
+    const auto start = Clock::now();
+    for (const auto& spec : curve) futures.push_back(service.submit(spec));
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const core::Quote quote = futures[i].get();
+      if (quote.price != refs.at(quote.target)[i]) ++outcome.mismatches;
+    }
+    const double ops =
+        static_cast<double>(curve.size()) / seconds_since(start);
+    if (pass > 0) outcome.ops = std::max(outcome.ops, ops);
+  }
+  outcome.stats = service.stats().minus(outcome.stats);
+  outcome.served = outcome.stats.served_by_backend;
+  return outcome;
+}
+
+/// The round-robin control the router replaces: option i goes to backend
+/// i mod fleet-size — the canonical naive fleet dispatch (each backend is
+/// its own single-target service, as in a load-balancer rotating across
+/// appliances). Same warmup/timing discipline as run_fleet.
+FleetOutcome run_round_robin(
+    std::vector<std::unique_ptr<core::PricingService>>& services,
+    const std::vector<finance::OptionSpec>& curve,
+    const std::map<core::Target, std::vector<double>>& refs, int reps) {
+  FleetOutcome outcome;
+  outcome.served.assign(services.size(), 0);
+  std::vector<std::future<core::Quote>> futures;
+  futures.reserve(curve.size());
+  for (int pass = 0; pass < reps + 1; ++pass) {
+    futures.clear();
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      futures.push_back(services[i % services.size()]->submit(curve[i]));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const core::Quote quote = futures[i].get();
+      if (quote.price != refs.at(quote.target)[i]) ++outcome.mismatches;
+      if (pass > 0) ++outcome.served[i % services.size()];
+    }
+    const double ops =
+        static_cast<double>(curve.size()) / seconds_since(start);
+    if (pass > 0) outcome.ops = std::max(outcome.ops, ops);
+  }
+  return outcome;
+}
+
+/// served-weighted modelled J/option of one measured placement: what the
+/// paper's power model says this traffic split cost per option.
+double modelled_joules_per_option(const std::vector<core::Target>& targets,
+                                  const std::vector<std::uint64_t>& served,
+                                  std::size_t steps) {
+  double joules = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const std::uint64_t n = i < served.size() ? served[i] : 0;
+    if (n == 0) continue;
+    const double jpo = energy::safe_joules_per_option(
+        core::PricingAccelerator::modelled_options_per_second(targets[i],
+                                                              steps),
+        core::PricingAccelerator::modelled_power_watts(targets[i]));
+    joules += static_cast<double>(n) * jpo;
+    total += static_cast<double>(n);
+  }
+  return total > 0.0 ? joules / total : 0.0;
+}
+
+void print_fleet(const char* label, const std::vector<core::Target>& targets,
+                 const FleetOutcome& outcome, double jpo) {
+  std::printf("%-22s : %10.1f options/s | modelled %.3g J/option | served",
+              label, outcome.ops, jpo);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const std::uint64_t n =
+        i < outcome.served.size() ? outcome.served[i] : 0;
+    std::printf(" %llu", static_cast<unsigned long long>(n));
+  }
+  std::printf("\n");
+}
+
 void print_bursty(const char* label, const BurstyOutcome& outcome) {
   std::printf("%-22s : %10.1f options/s spike | latency p50 %.3f ms, "
               "p99 %.3f ms, p999 %.3f ms\n",
@@ -168,11 +285,20 @@ int main(int argc, char** argv) {
   int reps = 2;
   std::string json_out;
 
+  bool options_set = false;
+  bool steps_set = false;
+
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
     const char* value = argv[i + 1];
-    if (flag == "--options") num_options = std::strtoul(value, nullptr, 10);
-    else if (flag == "--steps") steps = std::strtoul(value, nullptr, 10);
+    if (flag == "--options") {
+      num_options = std::strtoul(value, nullptr, 10);
+      options_set = true;
+    }
+    else if (flag == "--steps") {
+      steps = std::strtoul(value, nullptr, 10);
+      steps_set = true;
+    }
     else if (flag == "--workers") workers = std::strtoul(value, nullptr, 10);
     else if (flag == "--mode") mode = value;
     else if (flag == "--submitters") submitters = std::strtoul(value, nullptr, 10);
@@ -192,12 +318,20 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (mode != "curve" && mode != "bursty") {
-    std::fprintf(stderr, "unknown mode '%s' (curve|bursty)\n", mode.c_str());
+  if (mode != "curve" && mode != "bursty" && mode != "fleet") {
+    std::fprintf(stderr, "unknown mode '%s' (curve|bursty|fleet)\n",
+                 mode.c_str());
     return 2;
   }
   if (reps < 1) reps = 1;
   if (submitters < 1) submitters = 1;
+  // Fleet mode prices through simulated OpenCL backends, which run orders
+  // of magnitude slower per option than the native batch pricer — default
+  // to a smaller workload so the CI perf-smoke stays quick.
+  if (mode == "fleet") {
+    if (!options_set) num_options = 512;
+    if (!steps_set) steps = 64;
+  }
 
   const auto curve = finance::make_curve_batch(num_options);
 
@@ -208,6 +342,146 @@ int main(int argc, char** argv) {
   const std::vector<double> reference = direct.run(curve).prices;
   const double direct_s = seconds_since(direct_start);
   const double direct_ops = static_cast<double>(curve.size()) / direct_s;
+
+  if (mode == "fleet") {
+    // A deliberately lopsided fleet: the paper's three platform classes
+    // side by side. The routed baseline must stay deterministic, so the
+    // env knob cannot silently turn the control run into a router run.
+    unsetenv("BINOPT_SERVICE_ROUTER");
+    const std::vector<core::Target> fleet = {core::Target::kCpuReference,
+                                             core::Target::kGpuKernelB,
+                                             core::Target::kFpgaKernelB};
+    std::printf("=================================================================\n");
+    std::printf("Service throughput — heterogeneous fleet, router vs shared queue\n");
+    std::printf("  options=%zu steps=%zu reps=%d fleet=", num_options, steps,
+                reps);
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      std::printf("%s%s", i ? "+" : "", core::to_string(fleet[i]).c_str());
+    }
+    std::printf("\n=================================================================\n\n");
+
+    // Per-backend parity references: each quote must match the direct run
+    // of whichever backend priced it, bit for bit.
+    std::map<core::Target, std::vector<double>> refs;
+    for (const core::Target t : fleet) {
+      core::PricingAccelerator ref({t, steps, /*compute_rmse=*/false});
+      refs.emplace(t, ref.run(curve).prices);
+    }
+
+    core::ServiceConfig base;
+    base.targets = fleet;
+    base.steps = steps;
+    base.max_batch = 64;
+    base.linger = std::chrono::microseconds{200};
+    base.cache_capacity = 0;  // dispatch benchmark, not cache replay
+
+    // Control: round-robin — option i to backend i mod 3, each backend a
+    // single-target service. The naive dispatch the router replaces: a
+    // third of the spike lands on the slowest backend regardless of cost.
+    std::vector<std::unique_ptr<core::PricingService>> rr_services;
+    for (const core::Target t : fleet) {
+      core::ServiceConfig solo = base;
+      solo.targets = {t};
+      rr_services.push_back(std::make_unique<core::PricingService>(solo));
+    }
+    const FleetOutcome rr_run =
+        run_round_robin(rr_services, curve, refs, reps);
+    const double jpo_rr =
+        modelled_joules_per_option(fleet, rr_run.served, steps);
+
+    // Context row, not a gate: the single service's shared FIFO (workers
+    // pull chunks at their own pace — greedy work stealing).
+    core::PricingService shared_service(base);
+    const FleetOutcome shared_run =
+        run_fleet(shared_service, curve, refs, reps);
+    const double jpo_shared =
+        modelled_joules_per_option(fleet, shared_run.served, steps);
+
+    // Router, latency policy: feedback-corrected completion-time placement.
+    core::ServiceConfig routed = base;
+    routed.router.policy = core::service::RouterPolicy::kLatency;
+    core::PricingService routed_service(routed);
+    const FleetOutcome routed_run =
+        run_fleet(routed_service, curve, refs, reps);
+    const double jpo_routed =
+        modelled_joules_per_option(fleet, routed_run.served, steps);
+
+    // Router, energy policy: steer the fleet toward the most frugal
+    // modelled J/option under a watts budget that only the leanest
+    // backend(s) satisfy.
+    double min_watts = std::numeric_limits<double>::infinity();
+    for (const core::Target t : fleet) {
+      min_watts = std::min(min_watts,
+                           core::PricingAccelerator::modelled_power_watts(t));
+    }
+    core::ServiceConfig frugal = base;
+    frugal.router.policy = core::service::RouterPolicy::kEnergyBudget;
+    frugal.router.watts_budget = min_watts + 1.0;
+    core::PricingService frugal_service(frugal);
+    const FleetOutcome frugal_run =
+        run_fleet(frugal_service, curve, refs, reps);
+    const double jpo_frugal =
+        modelled_joules_per_option(fleet, frugal_run.served, steps);
+
+    const double speedup = routed_run.ops / rr_run.ops;
+    std::printf("direct batch run       : %10.1f options/s (%s)\n",
+                direct_ops, core::to_string(target).c_str());
+    print_fleet("round-robin (control)", fleet, rr_run, jpo_rr);
+    print_fleet("shared queue", fleet, shared_run, jpo_shared);
+    print_fleet("router, latency", fleet, routed_run, jpo_routed);
+    print_fleet("router, energy budget", fleet, frugal_run, jpo_frugal);
+    std::printf("router speedup         : %10.2fx vs round-robin | model "
+                "fit p50 %.2fx | %llu routed, %llu misrouted\n\n",
+                speedup,
+                routed_run.stats.predicted_vs_measured.p50() / 1000.0,
+                static_cast<unsigned long long>(
+                    routed_run.stats.requests_routed),
+                static_cast<unsigned long long>(
+                    routed_run.stats.requests_misrouted));
+
+    const std::string row = format_row(
+        "{\"benchmark\":\"service_throughput\",\"mode\":\"fleet\","
+        "\"targets\":\"cpu+gpu+fpga\",\"options\":%zu,\"steps\":%zu,"
+        "\"reps\":%d,\"options_per_second\":%.1f,"
+        "\"baseline_options_per_second\":%.1f,\"speedup_vs_baseline\":%.3f,"
+        "\"shared_queue_options_per_second\":%.1f,"
+        "\"joules_per_option\":%.6g,\"baseline_joules_per_option\":%.6g,"
+        "\"energy_joules_per_option\":%.6g,\"energy_options_per_second\":%.1f,"
+        "\"requests_misrouted\":%llu}",
+        num_options, steps, reps, routed_run.ops, rr_run.ops, speedup,
+        shared_run.ops, jpo_routed, jpo_rr, jpo_frugal, frugal_run.ops,
+        static_cast<unsigned long long>(routed_run.stats.requests_misrouted));
+    emit_json(row, json_out);
+
+    const std::size_t mismatches = rr_run.mismatches + shared_run.mismatches +
+                                   routed_run.mismatches +
+                                   frugal_run.mismatches;
+    if (mismatches != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %zu price mismatches vs the per-backend direct "
+                   "runs\n",
+                   mismatches);
+      return 1;
+    }
+    // The routing gates: corrected-model placement must not lose to the
+    // round-robin dispatch it replaces, and the energy policy must price
+    // at least as frugally (modelled J/option) as the round-robin mix.
+    if (speedup < 1.0) {
+      std::fprintf(stderr,
+                   "FAIL: router throughput (%.1f options/s) below the "
+                   "round-robin control (%.1f options/s)\n",
+                   routed_run.ops, rr_run.ops);
+      return 1;
+    }
+    if (jpo_frugal > jpo_rr) {
+      std::fprintf(stderr,
+                   "FAIL: energy-budget policy (%.6g J/option) costs more "
+                   "than the round-robin mix (%.6g J/option)\n",
+                   jpo_frugal, jpo_rr);
+      return 1;
+    }
+    return 0;
+  }
 
   if (mode == "bursty") {
     std::printf("=================================================================\n");

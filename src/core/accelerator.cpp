@@ -167,6 +167,42 @@ double PricingAccelerator::modelled_options_per_second(Target target,
   throw InvariantError("unhandled Target");
 }
 
+double PricingAccelerator::modelled_batch_seconds(Target target,
+                                                  std::size_t steps,
+                                                  std::size_t options) {
+  BINOPT_REQUIRE(options >= 1, "need at least one option");
+  const TreeShape shape{steps};
+  const double n = static_cast<double>(options);
+  switch (target) {
+    case Target::kCpuReference:
+      return PlatformModels::cpu_reference_time_for_options(shape, true, n);
+    case Target::kCpuReferenceSingle:
+      return PlatformModels::cpu_reference_time_for_options(shape, false, n);
+    case Target::kFpgaKernelA:
+      return PlatformModels::fpga_kernel_a(shape).time_for_options(n);
+    case Target::kFpgaKernelAReduced:
+      return PlatformModels::fpga_kernel_a(shape, true).time_for_options(n);
+    case Target::kGpuKernelA:
+      return PlatformModels::gpu_kernel_a(shape).time_for_options(n);
+    case Target::kGpuKernelAReduced:
+      return PlatformModels::gpu_kernel_a(shape, true).time_for_options(n);
+    case Target::kFpgaKernelB:
+      return PlatformModels::fpga_kernel_b(shape).time_for_options(n);
+    case Target::kFpgaKernelBHostLeaves: {
+      // Same per-option IO surcharge as modelled_options_per_second.
+      auto model = PlatformModels::fpga_kernel_b(shape);
+      perf::KernelBParams params = model.params();
+      params.bytes_per_option_io += shape.leaves_per_option() * 8.0;
+      return perf::KernelBModel(params).time_for_options(n);
+    }
+    case Target::kGpuKernelB:
+      return PlatformModels::gpu_kernel_b(shape, true).time_for_options(n);
+    case Target::kGpuKernelBSingle:
+      return PlatformModels::gpu_kernel_b(shape, false).time_for_options(n);
+  }
+  throw InvariantError("unhandled Target");
+}
+
 double PricingAccelerator::modelled_power_watts(Target target) {
   if (is_cpu(target)) return PlatformModels::cpu_power_watts();
   if (is_fpga(target)) {

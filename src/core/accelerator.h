@@ -115,6 +115,16 @@ public:
   [[nodiscard]] static double modelled_options_per_second(Target target,
                                                           std::size_t steps);
 
+  /// Batch-shape-aware prediction: modelled wall seconds for ONE launch of
+  /// `options` options on `target`. Unlike modelled_options_per_second
+  /// this keeps the kernel models' fixed costs (pipeline fill for IV.A,
+  /// bulk transfer for IV.B), so small batches are predicted honestly —
+  /// the quantity a per-batch dispatcher must compare, not the saturated
+  /// rate.
+  [[nodiscard]] static double modelled_batch_seconds(Target target,
+                                                     std::size_t steps,
+                                                     std::size_t options);
+
   /// The modelled average power draw of a target.
   [[nodiscard]] static double modelled_power_watts(Target target);
 

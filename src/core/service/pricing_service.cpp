@@ -91,8 +91,18 @@ PricingService::PricingService(ServiceConfig config)
                  "plan per target (got ", config_.worker_fault_plans.size(),
                  " plans for ", config_.targets.size(), " targets)");
 
+  // Routing: an explicit policy wins; kOff consults BINOPT_SERVICE_ROUTER
+  // so deployments can turn the fleet router on without a code change.
+  config_.router.validate();
+  if (config_.router.policy == service::RouterPolicy::kOff) {
+    config_.router.policy = service::router_policy_from_env();
+  }
+  if (config_.router.enabled()) {
+    router_.emplace(config_.targets, config_.steps, config_.router);
+  }
+
   const std::size_t ring_capacity = ring_capacity_for(config_.queue_capacity);
-  if (config_.hot_path == HotPath::kLockFree) {
+  if (config_.hot_path == HotPath::kLockFree && !router_.has_value()) {
     ring_.emplace(ring_capacity);
   }
   // Arena bound: everything that can hold a slot at once — the queued
@@ -146,6 +156,15 @@ PricingService::~PricingService() {
   const auto error = std::make_exception_ptr(
       ServiceShutdownError("pricing service is shutting down"));
   Request* request = nullptr;
+  for (auto& worker : workers_) {
+    const std::lock_guard<std::mutex> lock(worker->route_mutex);
+    for (Request* r : worker->routed_queue) {
+      queue_count_.fetch_sub(1, std::memory_order_acq_rel);
+      fail(*r, error);
+      release_request(r);
+    }
+    worker->routed_queue.clear();
+  }
   if (ring_.has_value()) {
     while (ring_->try_pop(request)) {
       queue_count_.fetch_sub(1, std::memory_order_acq_rel);
@@ -173,12 +192,14 @@ PricingService::~PricingService() {
 }
 
 void PricingService::fulfil(Request& request, double price, Target target,
-                            bool from_cache, bool degraded) {
+                            Target routed_target, bool from_cache,
+                            bool degraded) {
   if (request.resolved) return;  // at-most-once, by construction
   request.resolved = true;
   switch (request.sink) {
     case SinkKind::kSingle:
-      request.single->set_value(Quote{price, target, from_cache, degraded});
+      request.single->set_value(
+          Quote{price, target, routed_target, from_cache, degraded});
       return;
     case SinkKind::kBatch: {
       BatchState& batch = *request.batch;
@@ -276,6 +297,8 @@ void PricingService::init_request(
   request.ready_at = {};
   request.has_ready_at = false;
   request.resolved = false;
+  request.routed_worker = 0;
+  request.has_route = false;
   request.sink = SinkKind::kSingle;
   request.single.reset();
   request.batch.reset();
@@ -388,12 +411,22 @@ void PricingService::price_batch_blocking(const finance::OptionSpec* specs,
   std::size_t not_admitted = 0;
   {
     const AdmissionScope scope(admissions_in_flight_);
+    std::size_t pick = 0;
     for (std::size_t i = 0; i < n; ++i) {
       Request* request = arena_->acquire();
       init_request(*request, specs[i], deadline, has_deadline, admitted_at);
       request->sink = SinkKind::kSync;
       request->sync = &group;
       request->index = i;
+      if (router_.has_value()) {
+        // Same per-chunk placement as enqueue_requests (pick() allocates
+        // nothing, so the zero-alloc promise of this path holds).
+        if (i % config_.max_batch == 0) {
+          pick = router_->pick(std::min(config_.max_batch, n - i));
+        }
+        request->routed_worker = pick;
+        request->has_route = true;
+      }
       if (!admit_one(request)) {
         release_request(request);
         not_admitted = n - i;
@@ -445,7 +478,17 @@ bool PricingService::admit_one(Request* request) {
                      config_.queue_capacity;
         });
   }
-  if (ring_.has_value()) {
+  if (router_.has_value()) {
+    // Routed spine: the request was stamped with its placement just before
+    // admission; deliver it to that worker's private queue and account the
+    // backlog so subsequent picks see it.
+    Worker& worker = *workers_[request->routed_worker];
+    {
+      const std::lock_guard<std::mutex> lock(worker.route_mutex);
+      worker.routed_queue.push_back(request);
+    }
+    router_->on_enqueued(request->routed_worker, 1);
+  } else if (ring_.has_value()) {
     // With a credit held the ring has logical room; a failed push only
     // means a consumer is mid-recycle on that slot — yield and retry.
     while (!ring_->try_push(request)) std::this_thread::yield();
@@ -460,7 +503,19 @@ bool PricingService::admit_one(Request* request) {
 std::size_t PricingService::enqueue_requests(Request* const* requests,
                                              std::size_t n) {
   const AdmissionScope scope(admissions_in_flight_);
+  std::size_t pick = 0;
   for (std::size_t i = 0; i < n; ++i) {
+    if (router_.has_value()) {
+      // Per-batch placement: one cost-model pick per max_batch chunk (the
+      // unit a worker launches), re-evaluated as earlier chunks land so a
+      // long curve spreads across the fleet instead of swamping the
+      // cheapest backend.
+      if (i % config_.max_batch == 0) {
+        pick = router_->pick(std::min(config_.max_batch, n - i));
+      }
+      requests[i]->routed_worker = pick;
+      requests[i]->has_route = true;
+    }
     if (!admit_one(requests[i])) return i;
     submitted_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -469,7 +524,7 @@ std::size_t PricingService::enqueue_requests(Request* const* requests,
 
 std::size_t PricingService::pop_available(
     std::chrono::steady_clock::time_point now, std::vector<Request*>& out,
-    std::size_t limit) {
+    std::size_t limit, Worker& self, bool probing) {
   std::size_t popped = 0;
   // Ready retries first: redelivered work is older than anything fresh.
   // The atomic guard keeps the fault-free hot path off the retry lock.
@@ -490,7 +545,35 @@ std::size_t PricingService::pop_available(
     }
     retry_count_.store(retry_queue_.size(), std::memory_order_release);
   }
-  if (ring_.has_value()) {
+  if (router_.has_value()) {
+    {
+      const std::lock_guard<std::mutex> lock(self.route_mutex);
+      while (out.size() < limit && !self.routed_queue.empty()) {
+        out.push_back(self.routed_queue.front());
+        self.routed_queue.pop_front();
+        queue_count_.fetch_sub(1, std::memory_order_acq_rel);
+        router_->on_dequeued(self.index, 1);
+        ++popped;
+      }
+    }
+    // A probing (quarantined) backend receives no fresh placement, so with
+    // nothing of its own it would never launch a probe and never recover:
+    // steal one queued request from a peer. The steal shows up as a
+    // misroute — honest attribution over perfect placement.
+    if (probing && out.empty()) {
+      for (const auto& peer : workers_) {
+        if (peer->index == self.index) continue;
+        const std::lock_guard<std::mutex> lock(peer->route_mutex);
+        if (peer->routed_queue.empty()) continue;
+        out.push_back(peer->routed_queue.front());
+        peer->routed_queue.pop_front();
+        queue_count_.fetch_sub(1, std::memory_order_acq_rel);
+        router_->on_dequeued(peer->index, 1);
+        ++popped;
+        break;
+      }
+    }
+  } else if (ring_.has_value()) {
     Request* request = nullptr;
     while (out.size() < limit && ring_->try_pop(request)) {
       queue_count_.fetch_sub(1, std::memory_order_acq_rel);
@@ -520,12 +603,12 @@ bool PricingService::retry_ready(std::chrono::steady_clock::time_point now) {
   return false;
 }
 
-bool PricingService::collect_batch(std::vector<Request*>& out,
-                                   std::size_t limit) {
+bool PricingService::collect_batch(Worker& self, std::vector<Request*>& out,
+                                   std::size_t limit, bool probing) {
   out.clear();
   for (;;) {
     const auto now = std::chrono::steady_clock::now();
-    pop_available(now, out, limit);
+    pop_available(now, out, limit, self, probing);
     if (!out.empty()) break;
     if (stopping_.load(std::memory_order_acquire) &&
         queue_count_.load(std::memory_order_acquire) == 0 &&
@@ -565,10 +648,39 @@ bool PricingService::collect_batch(std::vector<Request*>& out,
           })) {
         break;  // linger window expired
       }
-      pop_available(std::chrono::steady_clock::now(), out, limit);
+      pop_available(std::chrono::steady_clock::now(), out, limit, self,
+                    probing);
     }
   }
   return true;
+}
+
+void PricingService::drain_routed_queue(Worker& worker) {
+  // Failover for a freshly-opened circuit: everything placed on this
+  // backend but not yet collected moves to the shared retry queue, where
+  // any surviving worker picks it up immediately. The requests keep their
+  // route stamp — the server that prices them counts the misroute.
+  std::vector<Request*>& staged = worker.requeue_ptrs;
+  staged.clear();
+  {
+    const std::lock_guard<std::mutex> lock(worker.route_mutex);
+    while (!worker.routed_queue.empty()) {
+      Request* request = worker.routed_queue.front();
+      worker.routed_queue.pop_front();
+      queue_count_.fetch_sub(1, std::memory_order_acq_rel);
+      router_->on_dequeued(worker.index, 1);
+      request->has_ready_at = false;
+      staged.push_back(request);
+    }
+  }
+  if (staged.empty()) return;
+  {
+    const std::lock_guard<std::mutex> lock(worker.shard_mutex);
+    worker.shard.failovers += staged.size();
+  }
+  requeue(staged.data(), staged.size());
+  not_full_.notify();
+  staged.clear();
 }
 
 void PricingService::requeue(Request* const* requests, std::size_t n) {
@@ -605,12 +717,29 @@ void PricingService::worker_loop(std::size_t worker_index) {
   worker.to_degrade.reserve(config_.max_batch);
   worker.specs.reserve(config_.max_batch);
   worker.prices.reserve(config_.max_batch);
+  // Pre-size the per-backend attribution vectors in both the reusable
+  // batch delta and this worker's shard: ServiceStats::bump() then never
+  // resizes and `shard += delta` (add_padded) never grows, so per-batch
+  // stats accounting stays allocation-free.
+  worker.delta.routed_by_backend.resize(workers_.size(), 0);
+  worker.delta.served_by_backend.resize(workers_.size(), 0);
+  {
+    std::lock_guard<std::mutex> lock(worker.shard_mutex);
+    worker.shard.routed_by_backend.resize(workers_.size(), 0);
+    worker.shard.served_by_backend.resize(workers_.size(), 0);
+  }
   for (;;) {
     bool probing = false;
     // Quarantine gate: while this backend's circuit is open and the next
     // half-open probe is not due, pull no traffic — the shared queue
     // fails the load over to the surviving workers. Shutdown overrides
-    // the gate so a broken backend cannot strand queued requests.
+    // the gate so a broken backend cannot strand queued requests. Under
+    // routing the gate first mirrors the open circuit to the router (no
+    // fresh placement) and hands the already-placed backlog to the fleet.
+    if (router_.has_value() && !worker.health.serving()) {
+      router_->set_routable(worker.index, false);
+      drain_routed_queue(worker);
+    }
     while (!stopping_.load(std::memory_order_acquire) &&
            !worker.health.serving() &&
            !worker.health.probe_due(std::chrono::steady_clock::now())) {
@@ -622,7 +751,15 @@ void PricingService::worker_loop(std::size_t worker_index) {
               worker.health.state() == service::HealthState::kQuarantined;
     // A probe is one request: the smallest blast radius that still
     // exercises the real pricing path end to end.
-    if (!collect_batch(worker.batch, probing ? 1 : config_.max_batch)) break;
+    if (!collect_batch(worker, worker.batch,
+                       probing ? 1 : config_.max_batch, probing)) {
+      break;
+    }
+    if (router_.has_value()) {
+      // Keep the health mirror fresh on the serving path too (recovery
+      // flips it back on the first post-probe pass through here).
+      router_->set_routable(worker.index, worker.health.serving());
+    }
     try {
       process_batch(worker, accelerator, probing);
     } catch (...) {
@@ -648,7 +785,10 @@ void PricingService::process_batch(Worker& worker,
   const Target target = worker.target;
   std::vector<Request*>& batch = worker.batch;
   const auto now = std::chrono::steady_clock::now();
-  ServiceStats delta;
+  // Reusable scratch (pre-sized in worker_loop): cleared in place so a
+  // steady-state batch records stats without heap traffic.
+  ServiceStats& delta = worker.delta;
+  delta.clear_keep_capacity();
 
   const auto note_health =
       [&delta](const service::BackendHealth::Event& event) {
@@ -685,6 +825,16 @@ void PricingService::process_batch(Worker& worker,
     // (expired ones included — that wait is *why* they expired).
     delta.queue_wait_ns.record(elapsed_ns(request.admitted_at, now));
     earliest_admission = std::min(earliest_admission, request.admitted_at);
+    if (request.has_route) {
+      // Placement accounting: routed once (first collection — retries of
+      // the same request must not inflate it), misrouted per collection by
+      // a worker other than the routed one (failover, probe steal).
+      if (request.attempts == 0) {
+        ++delta.requests_routed;
+        ServiceStats::bump(delta.routed_by_backend, request.routed_worker);
+      }
+      if (request.routed_worker != worker.index) ++delta.requests_misrouted;
+    }
     // Expiry first: a stale quote is worthless even if cached — serving it
     // would hide that the client's deadline was missed.
     if (request.has_deadline && now > request.deadline) {
@@ -749,6 +899,17 @@ void PricingService::process_batch(Worker& worker,
         failures.push_back({pos, error});
         ++delta.requests_failed;
       }
+    }
+    if (router_.has_value()) {
+      // Model-vs-measured feedback, faulted launches included: wasted wall
+      // time on a flaky backend is exactly the signal that should push
+      // traffic elsewhere before its circuit breaker trips. The histogram
+      // keeps the ratio in permille (1000 = model exact).
+      const double ratio = router_->record_measurement(
+          worker.index, to_price.size(),
+          elapsed_ns(launch_start, launch_end));
+      delta.predicted_vs_measured.record(
+          static_cast<std::uint64_t>(std::llround(ratio * 1000.0)));
     }
     if (fault_error) {
       note_health(fatal ? worker.health.record_fatal(launch_end)
@@ -830,6 +991,8 @@ void PricingService::process_batch(Worker& worker,
     } else {
       completions[completed++] = done;  // compact in place, order kept
       ++delta.requests_completed;
+      // Serving attribution (router on or off): who actually answered.
+      ServiceStats::bump(delta.served_by_backend, worker.index);
     }
   }
   completions.resize(completed);
@@ -861,8 +1024,16 @@ void PricingService::process_batch(Worker& worker,
   }
   for (const Completion& done : completions) {
     Request* request = batch[done.pos];
-    fulfil(*request, done.price,
-           done.degraded ? Target::kCpuReference : target, done.from_cache,
+    // `target` is always the backend that priced the quote: the cache key
+    // pins hits to this worker's target, degradation reports the fallback.
+    // routed_target preserves the router's placement for attribution —
+    // after a failover or degradation the two legitimately differ.
+    const Target priced_by =
+        done.degraded ? Target::kCpuReference : target;
+    const Target routed_target = request->has_route
+                                     ? config_.targets[request->routed_worker]
+                                     : priced_by;
+    fulfil(*request, done.price, priced_by, routed_target, done.from_cache,
            done.degraded);
     release_request(request);
     batch[done.pos] = nullptr;

@@ -18,6 +18,13 @@
 //   sharding                 one worker per configured Target backend, all
 //                            pulling from one FIFO — an oversized batch
 //                            naturally spreads across backends
+//   fleet routing            (DESIGN.md §2.8, opt-in) ServiceConfig::router
+//                            replaces the shared FIFO with per-worker
+//                            routed queues: each admitted chunk is placed
+//                            on the backend the FleetRouter predicts
+//                            cheapest (latency, or J/option under a watts
+//                            budget), with an EWMA of model-vs-measured
+//                            error correcting the predictions per launch
 //   admission control        bounded queue; submitters block (backpressure)
 //                            when it is full; per-request timeouts expire
 //                            stale quotes instead of wasting device time —
@@ -88,6 +95,7 @@
 #include "core/service/backend_health.h"
 #include "core/service/mpmc_ring.h"
 #include "core/service/quote_cache.h"
+#include "core/service/router.h"
 #include "core/service/service_stats.h"
 #include "core/service/slab_arena.h"
 #include "finance/option.h"
@@ -182,12 +190,28 @@ struct ServiceConfig {
   /// Quote-cache shard count; 0 picks automatically from cache_capacity
   /// (small caches stay one exact global LRU — see QuoteCache).
   std::size_t cache_shards = 0;
+  /// Cost-based fleet routing (DESIGN.md §2.8). kOff (the default) keeps
+  /// the shared-queue spine; kLatency/kEnergyBudget give every worker a
+  /// private routed queue and place each admitted chunk on the backend the
+  /// FleetRouter predicts cheapest. When left at kOff the constructor
+  /// consults BINOPT_SERVICE_ROUTER (off|latency|energy). With a single
+  /// target, routed prices are bit-identical to the unrouted service.
+  service::RouterConfig router;
 };
 
 /// Resolution of one single-quote request.
 struct Quote {
   double price = 0.0;
-  Target target = Target::kCpuReference;  ///< backend that produced it
+  /// Backend that actually priced it. Attribution is honest under every
+  /// indirection: a cache hit reports the target that originally priced
+  /// the entry (the cache key pins it), a failover reports the surviving
+  /// backend, a degraded quote reports kCpuReference — never merely the
+  /// backend the request was routed to.
+  Target target = Target::kCpuReference;
+  /// Backend the FleetRouter selected at admission; == target unless the
+  /// request was moved (failover, probe steal, degradation). With routing
+  /// off it simply mirrors target.
+  Target routed_target = Target::kCpuReference;
   bool from_cache = false;
   /// True when the configured backend gave up and the CPU-reference
   /// fallback priced this quote instead (degrade_to_cpu).
@@ -302,6 +326,11 @@ private:
     /// At-most-once latch: fulfil/fail flip it and refuse a second
     /// resolution.
     bool resolved = false;
+    /// FleetRouter placement (routing only): which worker's routed queue
+    /// the request was admitted to. `has_route` survives failover so the
+    /// serving worker can count the misroute and report routed_target.
+    std::size_t routed_worker = 0;
+    bool has_route = false;
     SinkKind sink = SinkKind::kSingle;
     /// Engaged only for kSingle, so kSync requests never pay the
     /// promise's shared-state allocation.
@@ -344,6 +373,11 @@ private:
     alignas(64) service::BackendHealth health;
     /// Per-worker SplitMix64 state for backoff jitter.
     std::uint64_t rng = 0;
+    /// Private routed queue (routing only): admission pushes here instead
+    /// of the shared spine, so placement survives until collection. Own
+    /// cache line — submitters push while the owner pops.
+    alignas(64) std::mutex route_mutex;
+    std::deque<Request*> routed_queue BINOPT_GUARDED_BY(route_mutex);
     /// Lazily-built CPU-reference fallback for degrade_to_cpu.
     std::unique_ptr<PricingAccelerator> fallback;
     /// Batch scratch, reserved once to max_batch: the worker's collect ->
@@ -360,10 +394,16 @@ private:
     std::vector<double> prices;
     std::vector<finance::OptionSpec> fallback_specs;
     std::vector<double> fallback_prices;
+    /// Reusable per-batch stats delta (owner thread only; merged into
+    /// `shard` under shard_mutex). Its per-backend vectors are pre-sized
+    /// once in worker_loop() and cleared in place per batch, keeping the
+    /// steady-state path free of heap allocations.
+    service::ServiceStats delta;
   };
 
   static void fulfil(Request& request, double price, Target target,
-                     bool from_cache, bool degraded = false);
+                     Target routed_target, bool from_cache,
+                     bool degraded = false);
   static void fail(Request& request, const std::exception_ptr& error);
 
   /// Admission gate: rejects specs the service must not accept (non-finite
@@ -394,10 +434,14 @@ private:
   std::size_t enqueue_requests(Request* const* requests, std::size_t n);
 
   /// Non-blocking: moves every currently-collectable request (ready
-  /// retries first, then main-queue FIFO) into `out`, up to `limit` total.
-  /// Returns the number popped.
+  /// retries first, then the caller's own routed queue when routing is on,
+  /// else main-queue FIFO) into `out`, up to `limit` total. A quarantined
+  /// worker probing with nothing of its own steals one request from a
+  /// peer's routed queue so recovery probes never starve. Returns the
+  /// number popped.
   std::size_t pop_available(std::chrono::steady_clock::time_point now,
-                            std::vector<Request*>& out, std::size_t limit);
+                            std::vector<Request*>& out, std::size_t limit,
+                            Worker& self, bool probing);
 
   /// True when a retry is collectable right now (cheap atomic check
   /// first; takes the retry lock only when retries exist).
@@ -407,7 +451,13 @@ private:
   /// and lingering for stragglers. During shutdown retry backoffs are
   /// ignored so draining stays fast. Returns false when the service is
   /// stopping and the queues are drained.
-  bool collect_batch(std::vector<Request*>& out, std::size_t limit);
+  bool collect_batch(Worker& self, std::vector<Request*>& out,
+                     std::size_t limit, bool probing);
+
+  /// Routing only: hands a quarantined worker's routed backlog to the
+  /// surviving fleet via the retry queue (failover semantics) so placement
+  /// never strands requests behind an open circuit.
+  void drain_routed_queue(Worker& worker);
 
   /// Internal redelivery (retry / failover): pushes requests onto the
   /// mutexed side queue, bypassing the admission capacity bound — workers
@@ -421,6 +471,9 @@ private:
 
   ServiceConfig config_;
   service::QuoteCache cache_;
+  /// Engaged when config_.router names an active policy (directly or via
+  /// BINOPT_SERVICE_ROUTER); nullopt keeps the shared-queue spine.
+  std::optional<service::FleetRouter> router_;
   ocl::trace::Tracer* tracer_ = nullptr;
   std::uint32_t trace_pid_ = 0;
   std::vector<std::unique_ptr<Worker>> workers_;

@@ -15,8 +15,10 @@
 // the histogram fields travel through reset/minus/+=/== alongside it.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/histogram.h"
 
@@ -34,6 +36,11 @@ namespace binopt::core::service {
 ///   requests answered by the CPU-reference fallback after the primary
 ///   gave up. Health: every BackendHealth transition, quarantine entries,
 ///   half-open probe outcomes, and full recoveries (circuit closed).
+///   Routing (DESIGN.md §2.8): requests_routed counts requests the
+///   FleetRouter placed (once, at their first collection);
+///   requests_misrouted counts collections by a worker other than the
+///   routed one (failover, probe steal) — honest attribution the router's
+///   accounting depends on.
 #define BINOPT_SERVICE_STATS_COUNTERS(X) \
   X(requests_submitted)                  \
   X(requests_completed)                  \
@@ -52,7 +59,9 @@ namespace binopt::core::service {
   X(probes_launched)                     \
   X(probes_succeeded)                    \
   X(probes_failed)                       \
-  X(recoveries)
+  X(recoveries)                          \
+  X(requests_routed)                     \
+  X(requests_misrouted)
 
 struct ServiceStats {
 #define BINOPT_SERVICE_STATS_DECLARE(field) std::uint64_t field = 0;
@@ -69,8 +78,47 @@ struct ServiceStats {
   /// Quarantine entry -> circuit closed, one sample per recovery (spans
   /// failed probes: the whole outage, not the last probe gap).
   LogHistogram time_to_recovery_ns;
+  /// Router feedback quality: per-launch measured/predicted wall-time
+  /// ratio in permille (1000 = the model was exact). Empty when routing
+  /// is off.
+  LogHistogram predicted_vs_measured;
+
+  /// Per-backend placement, indexed by worker. routed_by_backend[i] =
+  /// requests the router assigned to worker i (counted at their first
+  /// collection); served_by_backend[i] = requests worker i completed
+  /// (router on or off — the fleet benchmark derives modelled J/option
+  /// from it). Vectors merge element-wise with zero-padding, so shards
+  /// that never touched a high index (router-induced load skew) merge
+  /// bit-identically in any order — see add_padded().
+  std::vector<std::uint64_t> routed_by_backend;
+  std::vector<std::uint64_t> served_by_backend;
+
+  /// Bumps vec[index], growing it as needed (shards start empty).
+  static void bump(std::vector<std::uint64_t>& vec, std::size_t index,
+                   std::uint64_t by = 1) {
+    if (index >= vec.size()) vec.resize(index + 1, 0);
+    vec[index] += by;
+  }
 
   void reset() { *this = ServiceStats{}; }
+
+  /// Zeroes every counter, histogram and per-backend element while KEEPING
+  /// the vectors' storage. The service hot path reuses one pre-sized delta
+  /// per worker so steady-state batches never touch the heap (the zero-alloc
+  /// gate in test_alloc_hotpath.cpp pins this); reset() would free the
+  /// vectors and re-trigger an allocation on the next bump().
+  void clear_keep_capacity() {
+#define BINOPT_SERVICE_STATS_CLEAR(field) field = 0;
+    BINOPT_SERVICE_STATS_COUNTERS(BINOPT_SERVICE_STATS_CLEAR)
+#undef BINOPT_SERVICE_STATS_CLEAR
+    request_latency_ns = LogHistogram{};
+    queue_wait_ns = LogHistogram{};
+    batch_fill = LogHistogram{};
+    time_to_recovery_ns = LogHistogram{};
+    predicted_vs_measured = LogHistogram{};
+    std::fill(routed_by_backend.begin(), routed_by_backend.end(), 0);
+    std::fill(served_by_backend.begin(), served_by_backend.end(), 0);
+  }
 
   /// Counter-wise difference (per-interval deltas of cumulative counters).
   [[nodiscard]] ServiceStats minus(const ServiceStats& earlier) const {
@@ -83,13 +131,20 @@ struct ServiceStats {
     d.batch_fill = batch_fill.minus(earlier.batch_fill);
     d.time_to_recovery_ns =
         time_to_recovery_ns.minus(earlier.time_to_recovery_ns);
+    d.predicted_vs_measured =
+        predicted_vs_measured.minus(earlier.predicted_vs_measured);
+    d.routed_by_backend = routed_by_backend;
+    sub_padded(d.routed_by_backend, earlier.routed_by_backend);
+    d.served_by_backend = served_by_backend;
+    sub_padded(d.served_by_backend, earlier.served_by_backend);
     return d;
   }
 
   /// Counter-wise accumulation — how per-worker shards merge into the
   /// service totals. Unsigned addition commutes (bucket-wise for the
-  /// histograms), so the merged totals do not depend on which worker
-  /// served which request.
+  /// histograms, element-wise with zero-padding for the per-backend
+  /// vectors), so the merged totals do not depend on which worker served
+  /// which request.
   ServiceStats& operator+=(const ServiceStats& shard) {
 #define BINOPT_SERVICE_STATS_ADD(field) field += shard.field;
     BINOPT_SERVICE_STATS_COUNTERS(BINOPT_SERVICE_STATS_ADD)
@@ -98,10 +153,30 @@ struct ServiceStats {
     queue_wait_ns += shard.queue_wait_ns;
     batch_fill += shard.batch_fill;
     time_to_recovery_ns += shard.time_to_recovery_ns;
+    predicted_vs_measured += shard.predicted_vs_measured;
+    add_padded(routed_by_backend, shard.routed_by_backend);
+    add_padded(served_by_backend, shard.served_by_backend);
     return *this;
   }
 
-  friend bool operator==(const ServiceStats&, const ServiceStats&) = default;
+  /// Equality treats a missing tail of a per-backend vector as zeros:
+  /// {5, 0} and {5} are the SAME placement (a shard that never served
+  /// backend 1 stays short), so merge order can never manufacture an
+  /// inequality out of vector lengths.
+  friend bool operator==(const ServiceStats& a, const ServiceStats& b) {
+    bool counters_equal = true;
+#define BINOPT_SERVICE_STATS_EQ(field) \
+  counters_equal = counters_equal && a.field == b.field;
+    BINOPT_SERVICE_STATS_COUNTERS(BINOPT_SERVICE_STATS_EQ)
+#undef BINOPT_SERVICE_STATS_EQ
+    return counters_equal && a.request_latency_ns == b.request_latency_ns &&
+           a.queue_wait_ns == b.queue_wait_ns &&
+           a.batch_fill == b.batch_fill &&
+           a.time_to_recovery_ns == b.time_to_recovery_ns &&
+           a.predicted_vs_measured == b.predicted_vs_measured &&
+           equal_padded(a.routed_by_backend, b.routed_by_backend) &&
+           equal_padded(a.served_by_backend, b.served_by_backend);
+  }
 
   /// Visits every counter as (name, value); keeps tests honest about the
   /// field list and the derived arithmetic never drifting apart.
@@ -126,6 +201,33 @@ struct ServiceStats {
     return slots ? static_cast<double>(options_priced) /
                        static_cast<double>(slots)
                  : 0.0;
+  }
+
+  /// into[i] += from[i], growing `into` first: element-wise unsigned sums
+  /// commute and associate, so any shard merge order yields bit-identical
+  /// vectors (trailing zeros equal to absent entries by operator==).
+  static void add_padded(std::vector<std::uint64_t>& into,
+                         const std::vector<std::uint64_t>& from) {
+    if (from.size() > into.size()) into.resize(from.size(), 0);
+    for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+  }
+
+  /// into[i] -= from[i] with the same zero-padding convention.
+  static void sub_padded(std::vector<std::uint64_t>& into,
+                         const std::vector<std::uint64_t>& from) {
+    if (from.size() > into.size()) into.resize(from.size(), 0);
+    for (std::size_t i = 0; i < from.size(); ++i) into[i] -= from[i];
+  }
+
+  static bool equal_padded(const std::vector<std::uint64_t>& a,
+                           const std::vector<std::uint64_t>& b) {
+    const std::size_t n = std::max(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t av = i < a.size() ? a[i] : 0;
+      const std::uint64_t bv = i < b.size() ? b[i] : 0;
+      if (av != bv) return false;
+    }
+    return true;
   }
 };
 

@@ -1,10 +1,16 @@
 #include "energy/energy_model.h"
 
+#include <cmath>
+#include <limits>
+
 namespace binopt::energy {
 
 EnergyMetrics EnergyMetrics::from(double options_per_second, double watts) {
-  BINOPT_REQUIRE(options_per_second > 0.0, "throughput must be positive");
-  BINOPT_REQUIRE(watts > 0.0, "power must be positive");
+  BINOPT_REQUIRE(std::isfinite(options_per_second) && options_per_second > 0.0,
+                 "throughput must be finite and positive, got ",
+                 options_per_second);
+  BINOPT_REQUIRE(std::isfinite(watts) && watts > 0.0,
+                 "power must be finite and positive, got ", watts);
   EnergyMetrics m;
   m.watts = watts;
   m.options_per_second = options_per_second;
@@ -15,14 +21,33 @@ EnergyMetrics EnergyMetrics::from(double options_per_second, double watts) {
 
 double energy_for_workload(double options, double options_per_second,
                            double watts) {
-  BINOPT_REQUIRE(options > 0.0, "workload must be positive");
+  BINOPT_REQUIRE(std::isfinite(options) && options > 0.0,
+                 "workload must be finite and positive, got ", options);
   const EnergyMetrics m = EnergyMetrics::from(options_per_second, watts);
   return options * m.joules_per_option;
 }
 
 double efficiency_ratio(const EnergyMetrics& a, const EnergyMetrics& b) {
-  BINOPT_REQUIRE(b.options_per_joule > 0.0, "division by zero efficiency");
+  // A zero numerator is a meaningful "zero times as efficient"; anything
+  // non-finite (the NaN an unfitted model's 0/0 would produce) is a
+  // contract violation — callers must never see NaN come back out.
+  BINOPT_REQUIRE(std::isfinite(a.options_per_joule) &&
+                     a.options_per_joule >= 0.0,
+                 "numerator efficiency must be finite and non-negative, got ",
+                 a.options_per_joule);
+  BINOPT_REQUIRE(std::isfinite(b.options_per_joule) &&
+                     b.options_per_joule > 0.0,
+                 "denominator efficiency must be finite and positive, got ",
+                 b.options_per_joule);
   return a.options_per_joule / b.options_per_joule;
+}
+
+double safe_joules_per_option(double options_per_second, double watts) {
+  if (!std::isfinite(options_per_second) || options_per_second <= 0.0 ||
+      !std::isfinite(watts) || watts <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return watts / options_per_second;
 }
 
 }  // namespace binopt::energy

@@ -21,13 +21,27 @@ struct EnergyMetrics {
 };
 
 /// Energy (J) to price `options` at a given throughput and power.
+/// Every input must be finite and positive (PreconditionError otherwise):
+/// an unfitted operating point reporting zero throughput is an error here,
+/// never a NaN/Inf that silently poisons downstream arithmetic.
 [[nodiscard]] double energy_for_workload(double options,
                                          double options_per_second,
                                          double watts);
 
 /// Ratio of energy efficiencies a/b (how many times more options per
-/// joule platform a delivers than platform b).
+/// joule platform a delivers than platform b). The numerator may be zero
+/// (a platform with no modelled efficiency is "zero times" as efficient —
+/// a meaningful saturation, not an error); NaN/Inf on either side or a
+/// non-positive denominator throw PreconditionError. Never returns NaN.
 [[nodiscard]] double efficiency_ratio(const EnergyMetrics& a,
                                       const EnergyMetrics& b);
+
+/// Saturating joules-per-option for cost comparisons (the fleet router's
+/// energy policy): watts / options_per_second when both are finite and
+/// positive, +infinity otherwise. An unmodelled operating point (zero or
+/// NaN throughput) thus ranks strictly worse than every modelled one
+/// instead of corrupting the comparison with NaN — NaN is never returned.
+[[nodiscard]] double safe_joules_per_option(double options_per_second,
+                                            double watts);
 
 }  // namespace binopt::energy

@@ -1,5 +1,6 @@
 #include "perf/platform_models.h"
 
+#include "common/error.h"
 #include "devices/calibration.h"
 #include "devices/de4_stratix4.h"
 #include "devices/gtx660ti.h"
@@ -153,6 +154,15 @@ KernelBModel PlatformModels::mali_kernel_b(TreeShape shape,
 double PlatformModels::cpu_reference_options_per_s(TreeShape shape,
                                                    bool double_precision) {
   return xeon().nodes_per_second(double_precision) / shape.nodes_per_option();
+}
+
+double PlatformModels::cpu_reference_time_for_options(TreeShape shape,
+                                                      bool double_precision,
+                                                      double options) {
+  BINOPT_REQUIRE(options > 0.0, "options must be positive");
+  // The reference software has no pipeline fill or bulk-transfer phase:
+  // wall time is linear in the option count at the per-shape node rate.
+  return options / cpu_reference_options_per_s(shape, double_precision);
 }
 
 double PlatformModels::fpga_power_watts_kernel_a() {

@@ -50,6 +50,14 @@ public:
   [[nodiscard]] static double cpu_reference_options_per_s(
       TreeShape shape, bool double_precision);
 
+  /// Batch-shape-aware prediction for the reference software: modelled
+  /// wall seconds to price `options` options. The kernel models expose the
+  /// same shape through KernelAModel/KernelBModel::time_for_options; this
+  /// fills the CPU gap so a cost-based dispatcher can compare all three
+  /// platforms per batch, not just at saturation.
+  [[nodiscard]] static double cpu_reference_time_for_options(
+      TreeShape shape, bool double_precision, double options);
+
   // --- Power draw per platform (chip/TDP, as the paper reports) -----------
   [[nodiscard]] static double fpga_power_watts_kernel_a();
   [[nodiscard]] static double fpga_power_watts_kernel_b();

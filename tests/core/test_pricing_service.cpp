@@ -299,7 +299,72 @@ TEST(ServiceStats, MergeMinusAndVisitorAgree) {
     ++fields;
   });
   EXPECT_EQ(visited_total, 12u + 2u + 3u);
-  EXPECT_EQ(fields, 18u);  // the X-macro list (9 core + 9 robustness)
+  EXPECT_EQ(fields, 20u);  // X-macro list (9 core + 9 robustness + 2 routing)
+}
+
+TEST(ServiceStats, PerBackendVectorsMergeCommutativelyUnderLoadSkew) {
+  // Router-induced load skew: one shard served only backend 0 (its vector
+  // never grew past index 0), another served only backend 2. The merged
+  // totals must be bit-identical in either merge order, and a missing
+  // tail must compare equal to explicit zeros.
+  service::ServiceStats skewed_low;
+  service::ServiceStats::bump(skewed_low.routed_by_backend, 0, 5);
+  service::ServiceStats::bump(skewed_low.served_by_backend, 0, 5);
+  service::ServiceStats skewed_high;
+  service::ServiceStats::bump(skewed_high.routed_by_backend, 2, 7);
+  service::ServiceStats::bump(skewed_high.served_by_backend, 2, 7);
+  ASSERT_EQ(skewed_low.routed_by_backend.size(), 1u);   // stayed short
+  ASSERT_EQ(skewed_high.routed_by_backend.size(), 3u);  // grew on demand
+
+  service::ServiceStats low_first = skewed_low;
+  low_first += skewed_high;
+  service::ServiceStats high_first = skewed_high;
+  high_first += skewed_low;
+  EXPECT_EQ(low_first, high_first);  // merge order cannot matter
+  EXPECT_EQ(low_first.routed_by_backend,
+            (std::vector<std::uint64_t>{5, 0, 7}));
+  EXPECT_EQ(high_first.served_by_backend,
+            (std::vector<std::uint64_t>{5, 0, 7}));
+
+  // minus() round-trips the merge with the same zero-padding rules.
+  EXPECT_EQ(low_first.minus(skewed_low), skewed_high);
+  EXPECT_EQ(low_first.minus(skewed_high), skewed_low);
+
+  // {5} and {5, 0, 0} are the SAME placement.
+  service::ServiceStats padded = skewed_low;
+  padded.routed_by_backend = {5, 0, 0};
+  padded.served_by_backend = {5, 0, 0};
+  EXPECT_EQ(padded, skewed_low);
+}
+
+TEST(ServiceStats, SkewedServiceLoadMergesIdenticallyThroughStats) {
+  // End-to-end skew parity: a 2-worker routed service whose traffic lands
+  // lopsidedly must still satisfy the merge identities that stats()
+  // promises — totals equal the sum of per-interval deltas regardless of
+  // which worker served what.
+  ServiceConfig config = small_config(Target::kCpuReference);
+  config.targets.assign(2, Target::kCpuReference);
+  config.cache_capacity = 0;
+  config.router.policy = service::RouterPolicy::kLatency;
+  PricingService service(config);
+
+  const auto batch = finance::make_curve_batch(48);
+  const service::ServiceStats before = service.stats();
+  (void)service.submit_batch(batch).get();
+  const service::ServiceStats mid = service.stats();
+  (void)service.submit_batch(batch).get();
+  const service::ServiceStats after = service.stats();
+
+  // Cumulative minus earlier == the interval, element-wise on the
+  // per-backend vectors too.
+  service::ServiceStats replayed = before;
+  replayed += mid.minus(before);
+  replayed += after.minus(mid);
+  EXPECT_EQ(replayed, after);
+  EXPECT_EQ(after.requests_routed, 2 * batch.size());
+  std::uint64_t served_total = 0;
+  for (const std::uint64_t n : after.served_by_backend) served_total += n;
+  EXPECT_EQ(served_total, 2 * batch.size());
 }
 
 TEST(ServiceStats, OccupancyAndHitRateHelpers) {
@@ -448,7 +513,7 @@ TEST(ServiceStats, HistogramsTravelThroughMergeAndMinus) {
   // their own accessors, and the X-macro field count is pinned elsewhere.
   std::size_t fields = 0;
   sum.for_each_counter([&](const char*, std::uint64_t) { ++fields; });
-  EXPECT_EQ(fields, 18u);
+  EXPECT_EQ(fields, 20u);
 }
 
 // --- Hot-path spine ------------------------------------------------------

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/accelerator.h"
 
 namespace binopt::energy {
@@ -59,6 +62,68 @@ TEST(EfficiencyRatio, FpgaKernelBVsGpuDoubleAboutTwo) {
                                                       1024),
       PricingAccelerator::modelled_power_watts(Target::kGpuKernelB));
   EXPECT_NEAR(efficiency_ratio(fpga, gpu), 2.2, 0.4);
+}
+
+// ---------------------------------------------------------------------------
+// Edge-case hardening: the accounting layer errors or saturates at the
+// boundary — a NaN must never escape into a router decision or a report.
+
+TEST(EnergyForWorkload, RejectsDegenerateInputsInsteadOfReturningNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)energy_for_workload(0.0, 2400.0, 17.0),
+               PreconditionError);
+  EXPECT_THROW((void)energy_for_workload(nan, 2400.0, 17.0),
+               PreconditionError);
+  EXPECT_THROW((void)energy_for_workload(inf, 2400.0, 17.0),
+               PreconditionError);
+  // Zero/NaN throughput: the old code divided by it and produced Inf/NaN.
+  EXPECT_THROW((void)energy_for_workload(100.0, 0.0, 17.0),
+               PreconditionError);
+  EXPECT_THROW((void)energy_for_workload(100.0, nan, 17.0),
+               PreconditionError);
+  EXPECT_THROW((void)energy_for_workload(100.0, 2400.0, -1.0),
+               PreconditionError);
+}
+
+TEST(EnergyMetrics, RejectsNonFiniteInputs) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)EnergyMetrics::from(nan, 17.0), PreconditionError);
+  EXPECT_THROW((void)EnergyMetrics::from(inf, 17.0), PreconditionError);
+  EXPECT_THROW((void)EnergyMetrics::from(2400.0, nan), PreconditionError);
+  EXPECT_THROW((void)EnergyMetrics::from(-2400.0, 17.0), PreconditionError);
+}
+
+TEST(EfficiencyRatio, ErrorsOrSaturatesNeverNaN) {
+  const EnergyMetrics good = EnergyMetrics::from(2400.0, 17.0);
+  // A zero numerator is a meaningful saturation ("zero times as
+  // efficient"), not an error.
+  EnergyMetrics zero = good;
+  zero.options_per_joule = 0.0;
+  EXPECT_EQ(efficiency_ratio(zero, good), 0.0);
+  // NaN/Inf on either side, or a non-positive denominator, throw — the
+  // 0/0 a pair of unfitted operating points would produce can't leak out.
+  EnergyMetrics poisoned = good;
+  poisoned.options_per_joule = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)efficiency_ratio(poisoned, good), PreconditionError);
+  EXPECT_THROW((void)efficiency_ratio(good, poisoned), PreconditionError);
+  poisoned.options_per_joule = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)efficiency_ratio(poisoned, good), PreconditionError);
+  EXPECT_THROW((void)efficiency_ratio(good, zero), PreconditionError);
+}
+
+TEST(SafeJoulesPerOption, SaturatesToInfinityNeverNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(safe_joules_per_option(2400.0, 17.0), 17.0 / 2400.0, 1e-15);
+  // Every degenerate operating point ranks strictly worse than every
+  // modelled one — +inf, so the router's comparisons stay total orders.
+  for (const double bad : {0.0, -5.0, nan, inf}) {
+    EXPECT_EQ(safe_joules_per_option(bad, 17.0), inf);
+    EXPECT_EQ(safe_joules_per_option(2400.0, bad), inf);
+    EXPECT_FALSE(std::isnan(safe_joules_per_option(bad, bad)));
+  }
 }
 
 TEST(EfficiencyRatio, KernelAFpgaStillBeatsItsGpuVersion) {

@@ -103,6 +103,11 @@ void print_usage() {
       "  --hot-path <name>  admission spine: lockfree|mutex\n"
       "                     (default lockfree; mutex pins the\n"
       "                     pre-redesign queue for A/B comparison)\n"
+      "  --router [policy]  enable the fleet router (DESIGN.md 2.8):\n"
+      "                     latency (default when bare) or energy;\n"
+      "                     BINOPT_SERVICE_ROUTER sets the same knob\n"
+      "  --watts-budget <W> with --router energy: prefer backends whose\n"
+      "                     modelled draw fits under W watts\n"
       "\n"
       "subcommand: binopt_cli chaos [flags]\n"
       "  Prices a volatility curve through the PricingService while a\n"
@@ -118,6 +123,10 @@ void print_usage() {
       "  --faults <spec>    fault plan for every worker (default\n"
       "                     'device-lost@1;transient@3x2;seed=7')\n"
       "  --hot-path <name>  admission spine: lockfree|mutex\n"
+      "  --router [policy]  route batches through the fleet router while\n"
+      "                     the faults fire: latency (default when bare)\n"
+      "                     or energy — prices must stay bit-identical\n"
+      "  --watts-budget <W> with --router energy: watts ceiling\n"
       "\n"
       "subcommand: binopt_cli trace [flags]\n"
       "  Runs kernels IV.A and IV.B on a 4-compute-unit device plus a\n"
@@ -140,11 +149,58 @@ core::HotPath parse_hot_path(const char* value) {
   fail("unknown hot path '" + name + "' (lockfree|mutex)");
 }
 
+/// `--router` takes an OPTIONAL policy value: bare `--router` means
+/// latency; `--router energy` selects the watts-budget policy. The value
+/// is consumed only when the next argv token is not itself a flag.
+core::service::RouterPolicy parse_router_flag(int argc, char** argv, int& i) {
+  if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+    return core::service::parse_router_policy(argv[++i]);
+  }
+  return core::service::RouterPolicy::kLatency;
+}
+
+/// Routing summary for serve-bench/chaos: placement counters, per-backend
+/// attribution, and the model-vs-measured fit the feedback loop converges
+/// on. Prints nothing when routing is off. Mirrors the service's policy
+/// resolution: an explicit --router wins, kOff consults the env knob.
+void print_router_summary(const core::service::ServiceStats& stats,
+                          const core::ServiceConfig& config) {
+  core::service::RouterPolicy policy = config.router.policy;
+  if (policy == core::service::RouterPolicy::kOff) {
+    policy = core::service::router_policy_from_env();
+  }
+  if (policy == core::service::RouterPolicy::kOff) return;
+  std::printf("  router    : policy %s, %llu routed, %llu misrouted\n",
+              core::service::to_string(policy).c_str(),
+              static_cast<unsigned long long>(stats.requests_routed),
+              static_cast<unsigned long long>(stats.requests_misrouted));
+  for (std::size_t i = 0; i < config.targets.size(); ++i) {
+    const std::uint64_t routed = i < stats.routed_by_backend.size()
+                                     ? stats.routed_by_backend[i]
+                                     : 0;
+    const std::uint64_t served = i < stats.served_by_backend.size()
+                                     ? stats.served_by_backend[i]
+                                     : 0;
+    std::printf("    backend %zu (%s): %llu routed, %llu served\n", i,
+                core::to_string(config.targets[i]).c_str(),
+                static_cast<unsigned long long>(routed),
+                static_cast<unsigned long long>(served));
+  }
+  if (stats.predicted_vs_measured.count() > 0) {
+    std::printf("  model fit : measured/predicted p50 %.2fx over %llu "
+                "launches\n",
+                stats.predicted_vs_measured.p50() / 1000.0,
+                static_cast<unsigned long long>(
+                    stats.predicted_vs_measured.count()));
+  }
+}
+
 int run_serve_bench(std::size_t num_options, std::size_t steps,
                     core::Target target, std::size_t workers,
                     std::size_t submitters, std::size_t max_batch,
                     std::size_t linger_us, std::size_t cache_capacity,
-                    core::HotPath hot_path) {
+                    core::HotPath hot_path,
+                    core::service::RouterConfig router) {
   using Clock = std::chrono::steady_clock;
   const auto curve = finance::make_curve_batch(num_options);
 
@@ -158,6 +214,7 @@ int run_serve_bench(std::size_t num_options, std::size_t steps,
   config.linger = std::chrono::microseconds{linger_us};
   config.cache_capacity = cache_capacity;
   config.hot_path = hot_path;
+  config.router = router;
   core::PricingService service(config);
 
   std::printf("serve-bench: %zu options, %zu steps, target %s\n",
@@ -215,6 +272,7 @@ int run_serve_bench(std::size_t num_options, std::size_t steps,
               stats.queue_wait_ns.p50() / 1e6,
               stats.queue_wait_ns.p95() / 1e6,
               stats.queue_wait_ns.p99() / 1e6);
+  print_router_summary(stats, config);
 
   std::size_t mismatches = 0;
   for (std::size_t i = 0; i < curve.size(); ++i) {
@@ -240,7 +298,7 @@ int run_serve_bench(std::size_t num_options, std::size_t steps,
 /// a full quarantine -> probe -> recovery cycle visible in the stats.
 int run_chaos(std::size_t num_options, std::size_t steps, core::Target target,
               std::size_t workers, const std::string& fault_spec,
-              core::HotPath hot_path) {
+              core::HotPath hot_path, core::service::RouterConfig router) {
   using Clock = std::chrono::steady_clock;
   if (target == core::Target::kCpuReference ||
       target == core::Target::kCpuReferenceSingle) {
@@ -265,6 +323,7 @@ int run_chaos(std::size_t num_options, std::size_t steps, core::Target target,
   config.health.max_probe_backoff = std::chrono::microseconds{50'000};
   config.worker_fault_plans.assign(workers, plan);
   config.hot_path = hot_path;
+  config.router = router;
   core::PricingService service(config);
 
   std::printf("chaos: %zu options, %zu steps, target %s, %zu worker(s)\n",
@@ -308,6 +367,7 @@ int run_chaos(std::size_t num_options, std::size_t steps, core::Target target,
     std::printf("  recovery  : p50 %.3f ms time-to-recovery\n",
                 stats.time_to_recovery_ns.p50() / 1e6);
   }
+  print_router_summary(stats, config);
 
   bool ok = true;
   if (mismatches != 0) {
@@ -658,6 +718,7 @@ int main_serve_bench(int argc, char** argv) {
   std::size_t cache_capacity = 4096;
   core::Target target = core::Target::kCpuReference;
   core::HotPath hot_path = core::HotPath::kLockFree;
+  core::service::RouterConfig router;
 
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -665,9 +726,16 @@ int main_serve_bench(int argc, char** argv) {
       print_usage();
       return 0;
     }
+    if (flag == "--router") {
+      router.policy = parse_router_flag(argc, argv, i);
+      continue;
+    }
     if (i + 1 >= argc) fail("missing value for " + flag);
     const char* value = argv[++i];
     if (flag == "--options") num_options = parse_size("--options", value);
+    else if (flag == "--watts-budget") {
+      router.watts_budget = parse_double("--watts-budget", value);
+    }
     else if (flag == "--steps") steps = parse_size("--steps", value);
     else if (flag == "--workers") workers = parse_size("--workers", value);
     else if (flag == "--submitters") {
@@ -695,7 +763,8 @@ int main_serve_bench(int argc, char** argv) {
 
   try {
     return run_serve_bench(num_options, steps, target, workers, submitters,
-                           max_batch, linger_us, cache_capacity, hot_path);
+                           max_batch, linger_us, cache_capacity, hot_path,
+                           router);
   } catch (const Error& e) {
     fail(e.what());
   }
@@ -708,12 +777,17 @@ int main_chaos(int argc, char** argv) {
   core::Target target = core::Target::kFpgaKernelB;
   std::string fault_spec = "device-lost@1;transient@3x2;seed=7";
   core::HotPath hot_path = core::HotPath::kLockFree;
+  core::service::RouterConfig router;
 
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--help") {
       print_usage();
       return 0;
+    }
+    if (flag == "--router") {
+      router.policy = parse_router_flag(argc, argv, i);
+      continue;
     }
     if (i + 1 >= argc) fail("missing value for " + flag);
     const char* value = argv[++i];
@@ -722,6 +796,9 @@ int main_chaos(int argc, char** argv) {
     else if (flag == "--workers") workers = parse_size("--workers", value);
     else if (flag == "--faults") fault_spec = value;
     else if (flag == "--hot-path") hot_path = parse_hot_path(value);
+    else if (flag == "--watts-budget") {
+      router.watts_budget = parse_double("--watts-budget", value);
+    }
     else if (flag == "--target") {
       if (!parse_target(value, target)) {
         fail(std::string("unknown target '") + value +
@@ -737,7 +814,7 @@ int main_chaos(int argc, char** argv) {
 
   try {
     return run_chaos(num_options, steps, target, workers, fault_spec,
-                     hot_path);
+                     hot_path, router);
   } catch (const Error& e) {
     fail(e.what());
   }
