@@ -16,6 +16,15 @@
 //   the router must not lose to the shared queue on options/s, and the
 //   energy policy must not lose to it on modelled J/option.
 //
+//   --mode greeks: a book of Greeks requests through the GreeksService
+//   (DESIGN.md §2.9), which expands each request into four bump legs and
+//   fans them through the batcher as one many-kernel job, vs the same
+//   requests against a one-leg-per-submit service (max_batch 1, no
+//   linger). Every assembled Greeks is checked bitwise against a direct
+//   reference (shared lattice front + bump set, legs priced by a private
+//   accelerator run). Gate (reference target): the batched GreeksService
+//   must not lose to the one-leg-at-a-time baseline.
+//
 //   --mode bursty: the market-open spike. N submitter threads (default 8)
 //   all blast the curve through price_batch_blocking at once, then trickle
 //   requests through a quiet tail — the arrival pattern the lock-free hot
@@ -49,9 +58,11 @@
 #include <vector>
 
 #include "core/accelerator.h"
+#include "core/service/greeks_service.h"
 #include "core/service/pricing_service.h"
 #include "energy/energy_model.h"
 #include "finance/binomial_batch.h"
+#include "finance/greeks.h"
 #include "finance/workload.h"
 
 namespace {
@@ -318,8 +329,9 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (mode != "curve" && mode != "bursty" && mode != "fleet") {
-    std::fprintf(stderr, "unknown mode '%s' (curve|bursty|fleet)\n",
+  if (mode != "curve" && mode != "bursty" && mode != "fleet" &&
+      mode != "greeks") {
+    std::fprintf(stderr, "unknown mode '%s' (curve|bursty|fleet|greeks)\n",
                  mode.c_str());
     return 2;
   }
@@ -332,6 +344,10 @@ int main(int argc, char** argv) {
     if (!options_set) num_options = 512;
     if (!steps_set) steps = 64;
   }
+  // Greeks mode prices 4 legs per request plus a host-side lattice front;
+  // default to a smaller book so the one-leg-per-submit baseline stays
+  // affordable in the CI perf-smoke.
+  if (mode == "greeks" && !options_set) num_options = 512;
 
   const auto curve = finance::make_curve_batch(num_options);
 
@@ -342,6 +358,126 @@ int main(int argc, char** argv) {
   const std::vector<double> reference = direct.run(curve).prices;
   const double direct_s = seconds_since(direct_start);
   const double direct_ops = static_cast<double>(curve.size()) / direct_s;
+
+  if (mode == "greeks") {
+    std::printf("=================================================================\n");
+    std::printf("Service throughput — GreeksService batch expansion vs one leg at a time\n");
+    std::printf("  target=%s requests=%zu steps=%zu workers=%zu reps=%d\n",
+                core::to_string(target).c_str(), num_options, steps, workers,
+                reps);
+    std::printf("=================================================================\n\n");
+
+    // Direct reference: the same lattice fronts and bump sets the service
+    // uses, with all four legs per request priced by one private
+    // accelerator run — parity must hold bit for bit.
+    std::vector<finance::GreeksBumpSet> sets;
+    sets.reserve(curve.size());
+    std::vector<finance::OptionSpec> legs;
+    legs.reserve(4 * curve.size());
+    std::vector<finance::Greeks> expected;
+    expected.reserve(curve.size());
+    for (const finance::OptionSpec& spec : curve) {
+      sets.push_back(finance::GreeksBumpSet::from(spec, steps));
+      legs.push_back(sets.back().vega_up);
+      legs.push_back(sets.back().vega_down);
+      legs.push_back(sets.back().rho_up);
+      legs.push_back(sets.back().rho_down);
+    }
+    const std::vector<double> leg_prices = direct.run(legs).prices;
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      expected.push_back(finance::assemble_greeks(
+          finance::lattice_front_greeks(curve[i], steps), sets[i],
+          leg_prices[4 * i], leg_prices[4 * i + 1], leg_prices[4 * i + 2],
+          leg_prices[4 * i + 3]));
+    }
+    const auto greeks_equal = [](const finance::Greeks& a,
+                                 const finance::Greeks& b) {
+      return a.price == b.price && a.delta == b.delta && a.gamma == b.gamma &&
+             a.theta == b.theta && a.vega == b.vega && a.rho == b.rho;
+    };
+
+    // Cache off on both sides: this measures what fanning 4n legs through
+    // the micro-batcher as one job buys, not cache replay.
+    core::ServiceConfig base;
+    base.targets.assign(workers, target);
+    base.steps = steps;
+    base.cache_capacity = 0;
+
+    // Baseline: every bump leg is its own NDRange launch.
+    core::ServiceConfig one_leg = base;
+    one_leg.max_batch = 1;
+    one_leg.linger = std::chrono::microseconds{0};
+    double baseline_s = 0.0;
+    std::size_t mismatches = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      core::PricingService service(one_leg);
+      core::GreeksService greeks(service);
+      const auto start = Clock::now();
+      const std::vector<core::GreeksQuote> out =
+          greeks.greeks_batch_blocking(curve);
+      const double elapsed = seconds_since(start);
+      if (rep == 0 || elapsed < baseline_s) baseline_s = elapsed;
+      for (std::size_t i = 0; i < curve.size(); ++i) {
+        if (!greeks_equal(out[i].greeks, expected[i])) ++mismatches;
+      }
+    }
+    const double baseline_ops =
+        static_cast<double>(curve.size()) / baseline_s;
+
+    // Batched: the whole book's legs ride the micro-batcher together.
+    core::ServiceConfig batched = base;
+    batched.max_batch = 256;
+    batched.linger = std::chrono::microseconds{200};
+    double batched_s = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      core::PricingService service(batched);
+      core::GreeksService greeks(service);
+      const auto start = Clock::now();
+      const std::vector<core::GreeksQuote> out =
+          greeks.greeks_batch_blocking(curve);
+      const double elapsed = seconds_since(start);
+      if (rep == 0 || elapsed < batched_s) batched_s = elapsed;
+      for (std::size_t i = 0; i < curve.size(); ++i) {
+        if (!greeks_equal(out[i].greeks, expected[i])) ++mismatches;
+      }
+    }
+    const double batched_ops = static_cast<double>(curve.size()) / batched_s;
+    const double speedup = batched_ops / baseline_ops;
+
+    std::printf("direct batch run       : %10.1f options/s (%s)\n",
+                direct_ops, core::to_string(target).c_str());
+    std::printf("one-leg-per-submit     : %10.1f greeks/s (%.3f s)\n",
+                baseline_ops, baseline_s);
+    std::printf("batched GreeksService  : %10.1f greeks/s (%.3f s, %.2fx)\n\n",
+                batched_ops, batched_s, speedup);
+
+    const std::string row = format_row(
+        "{\"benchmark\":\"service_throughput\",\"mode\":\"greeks\","
+        "\"target\":\"%s\",\"requests\":%zu,\"legs\":%zu,\"steps\":%zu,"
+        "\"workers\":%zu,\"reps\":%d,"
+        "\"options_per_second\":%.1f,\"baseline_options_per_second\":%.1f,"
+        "\"speedup_vs_baseline\":%.3f,\"direct_options_per_second\":%.1f}",
+        core::to_string(target).c_str(), num_options, legs.size(), steps,
+        workers, reps, batched_ops, baseline_ops, speedup, direct_ops);
+    emit_json(row, json_out);
+
+    if (mismatches != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %zu Greeks differ from the direct reference\n",
+                   mismatches);
+      return 1;
+    }
+    // The batching gate (reference target): expanding requests through
+    // the micro-batcher must not lose to submitting one leg at a time.
+    if (target == core::Target::kCpuReference && speedup < 1.0) {
+      std::fprintf(stderr,
+                   "FAIL: batched Greeks throughput (%.1f/s) below the "
+                   "one-leg-per-submit baseline (%.1f/s)\n",
+                   batched_ops, baseline_ops);
+      return 1;
+    }
+    return 0;
+  }
 
   if (mode == "fleet") {
     // A deliberately lopsided fleet: the paper's three platform classes

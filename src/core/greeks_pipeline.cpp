@@ -1,6 +1,7 @@
 #include "core/greeks_pipeline.h"
 
 #include "common/error.h"
+#include "finance/binomial.h"
 
 namespace binopt::core {
 
@@ -32,11 +33,20 @@ BatchGreeks GreeksPipeline::run(
   const std::vector<double> spot_dn =
       bumped([&](finance::OptionSpec& s) { s.spot *= 1.0 - ds_rel; });
   const double dv = config_.vol_bump_abs;
+  // Down-vol legs must stay strictly above the lattice's arbitrage-free
+  // floor (LatticeParams::min_volatility) or the accelerator run throws;
+  // past the floor the leg stays UNBUMPED (one-sided difference) and the
+  // per-option divisor below shrinks to the width actually priced.
+  const auto vol_down = [&](const finance::OptionSpec& s) {
+    const double down = s.volatility - dv;
+    return down > finance::LatticeParams::min_volatility(s, config_.steps)
+               ? down
+               : s.volatility;
+  };
   const std::vector<double> vol_up =
       bumped([&](finance::OptionSpec& s) { s.volatility += dv; });
-  const std::vector<double> vol_dn = bumped([&](finance::OptionSpec& s) {
-    s.volatility = std::max(s.volatility - dv, 1e-6);
-  });
+  const std::vector<double> vol_dn = bumped(
+      [&](finance::OptionSpec& s) { s.volatility = vol_down(s); });
 
   BatchGreeks out;
   out.price = base;
@@ -47,9 +57,7 @@ BatchGreeks GreeksPipeline::run(
     const double ds = options[i].spot * ds_rel;
     out.delta[i] = (spot_up[i] - spot_dn[i]) / (2.0 * ds);
     out.gamma[i] = (spot_up[i] - 2.0 * base[i] + spot_dn[i]) / (ds * ds);
-    const double dv_actual =
-        (options[i].volatility + dv) -
-        std::max(options[i].volatility - dv, 1e-6);
+    const double dv_actual = (options[i].volatility + dv) - vol_down(options[i]);
     out.vega[i] = (vol_up[i] - vol_dn[i]) / dv_actual;
   }
   out.pricings = 5 * n;

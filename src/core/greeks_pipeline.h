@@ -18,7 +18,10 @@ struct BatchGreeks {
   std::vector<double> price;
   std::vector<double> delta;  ///< central bump in spot
   std::vector<double> gamma;  ///< second difference in spot
-  std::vector<double> vega;   ///< central bump in volatility
+  /// Central bump in volatility; options whose down bump would breach the
+  /// lattice's arbitrage-free floor degrade to a one-sided difference with
+  /// the matching divisor (same clamp rule as finance::GreeksBumpSet).
+  std::vector<double> vega;
   std::size_t pricings = 0;   ///< accelerator pricings consumed
   double modelled_seconds = 0.0;
   double modelled_energy_joules = 0.0;

@@ -1,0 +1,192 @@
+#include "core/service/greeks_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+
+namespace binopt::core {
+
+namespace {
+
+/// Empirical q-quantile of an ascending-sorted sample (the ceil(q*n)-th
+/// smallest element — same rank convention as LogHistogram::quantile).
+double sorted_quantile(const std::vector<double>& sorted_ascending, double q) {
+  if (sorted_ascending.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted_ascending.size());
+  auto rank = static_cast<std::size_t>(q * n);
+  if (static_cast<double>(rank) < q * n) ++rank;
+  if (rank == 0) rank = 1;
+  return sorted_ascending[std::min(rank, sorted_ascending.size()) - 1];
+}
+
+}  // namespace
+
+GreeksService::GreeksService(PricingService& service, Config config)
+    : service_(service), config_(config) {
+  BINOPT_REQUIRE(config_.vol_bump > 0.0 && config_.rate_bump > 0.0,
+                 "bumps must be positive");
+}
+
+GreeksService::Pending GreeksService::submit_greeks(
+    const finance::OptionSpec& spec) {
+  const std::size_t steps = service_.config().steps;
+  const auto timeout = service_.config().default_timeout;
+
+  Pending pending;
+  pending.spec_ = spec;
+  pending.steps_ = steps;
+  pending.set_ = finance::GreeksBumpSet::from(spec, steps, config_.vol_bump,
+                                              config_.rate_bump);
+  // Every leg kind carries its own cache-tag namespace so a clamped
+  // (one-sided) leg — whose spec IS the unbumped spec — still never
+  // shares an entry with a plain quote of the same contract.
+  pending.vega_up_ = service_.submit(pending.set_.vega_up, timeout,
+                                     make_cache_tag(QuoteTagKind::kVegaUp));
+  pending.vega_down_ = service_.submit(
+      pending.set_.vega_down, timeout, make_cache_tag(QuoteTagKind::kVegaDown));
+  pending.rho_up_ = service_.submit(pending.set_.rho_up, timeout,
+                                    make_cache_tag(QuoteTagKind::kRhoUp));
+  pending.rho_down_ = service_.submit(pending.set_.rho_down, timeout,
+                                      make_cache_tag(QuoteTagKind::kRhoDown));
+  greeks_requests_.fetch_add(1, std::memory_order_relaxed);
+  greeks_legs_.fetch_add(4, std::memory_order_relaxed);
+  return pending;
+}
+
+GreeksQuote GreeksService::Pending::get() {
+  // Host-side interior-node work first: it overlaps whatever the device
+  // still owes on the four legs.
+  const finance::LatticeFront front =
+      finance::lattice_front_greeks(spec_, steps_);
+  GreeksQuote out;
+  out.vega_up = vega_up_.get();
+  out.vega_down = vega_down_.get();
+  out.rho_up = rho_up_.get();
+  out.rho_down = rho_down_.get();
+  out.vega_one_sided = set_.vega_one_sided;
+  out.rho_one_sided = set_.rho_one_sided;
+  out.greeks = finance::assemble_greeks(
+      front, set_, out.vega_up.price, out.vega_down.price, out.rho_up.price,
+      out.rho_down.price);
+  return out;
+}
+
+GreeksQuote GreeksService::greeks_blocking(const finance::OptionSpec& spec) {
+  return submit_greeks(spec).get();
+}
+
+std::vector<GreeksQuote> GreeksService::greeks_batch_blocking(
+    const std::vector<finance::OptionSpec>& specs) {
+  // Admit every request's legs before assembling any: the micro-batcher
+  // sees 4n legs at once — one many-kernel job — instead of n trickles.
+  std::vector<Pending> pending;
+  pending.reserve(specs.size());
+  for (const finance::OptionSpec& spec : specs) {
+    pending.push_back(submit_greeks(spec));
+  }
+  std::vector<GreeksQuote> out;
+  out.reserve(specs.size());
+  for (Pending& p : pending) out.push_back(p.get());
+  return out;
+}
+
+SweepReport GreeksService::sweep_blocking(const SweepRequest& request) {
+  BINOPT_REQUIRE(!request.book.empty(), "sweep needs a non-empty book");
+  BINOPT_REQUIRE(!request.grid.spot_factors.empty() &&
+                     !request.grid.vol_shifts.empty() &&
+                     !request.grid.rate_shifts.empty(),
+                 "every shock axis needs at least one entry");
+
+  const std::size_t scenarios = request.grid.scenario_count();
+  const std::size_t book_size = request.book.size();
+  const std::size_t shocked = scenarios * book_size;
+
+  // Scenario-major leg layout, unshocked book appended last so the base
+  // value rides the same submission (and the same epoch tag — a repeated
+  // sweep re-prices nothing, base legs included).
+  std::vector<finance::OptionSpec> legs;
+  legs.reserve(shocked + book_size);
+  for (const double spot_factor : request.grid.spot_factors) {
+    for (const double vol_shift : request.grid.vol_shifts) {
+      for (const double rate_shift : request.grid.rate_shifts) {
+        for (const finance::OptionSpec& position : request.book) {
+          finance::OptionSpec leg = position;
+          leg.spot *= spot_factor;
+          leg.volatility += vol_shift;
+          leg.rate += rate_shift;
+          legs.push_back(leg);
+        }
+      }
+    }
+  }
+  legs.insert(legs.end(), request.book.begin(), request.book.end());
+
+  const service::ServiceStats before = service_.stats();
+  std::vector<double> prices(legs.size());
+  service_.price_batch_blocking(
+      legs.data(), legs.size(), prices.data(), service_.config().default_timeout,
+      make_cache_tag(QuoteTagKind::kSweepLeg, request.epoch));
+  // stats() already reflects every leg: the service merges a batch's
+  // delta into its shard before resolving the batch's sinks.
+  const service::ServiceStats after = service_.stats();
+
+  SweepReport report;
+  report.scenarios = scenarios;
+  report.legs = shocked;
+  for (std::size_t i = shocked; i < legs.size(); ++i) {
+    report.book_value += prices[i];
+  }
+
+  report.scenario_pnl.resize(scenarios);
+  std::vector<double> losses(scenarios);
+  for (std::size_t s = 0; s < scenarios; ++s) {
+    double value = 0.0;
+    for (std::size_t i = 0; i < book_size; ++i) {
+      value += prices[s * book_size + i];
+    }
+    const double pnl = value - report.book_value;
+    report.scenario_pnl[s] = pnl;
+    report.pnl.add(pnl);
+    losses[s] = -pnl;
+    if (losses[s] > 0.0) {
+      report.loss_ticks.record(
+          static_cast<std::uint64_t>(std::llround(losses[s] * 1e4)));
+    }
+  }
+
+  std::sort(losses.begin(), losses.end());
+  report.var95 = sorted_quantile(losses, 0.95);
+  report.var99 = sorted_quantile(losses, 0.99);
+  double tail_sum = 0.0;
+  std::size_t tail_count = 0;
+  for (const double loss : losses) {
+    if (loss >= report.var95) {
+      tail_sum += loss;
+      ++tail_count;
+    }
+  }
+  report.expected_shortfall95 =
+      tail_count ? tail_sum / static_cast<double>(tail_count) : 0.0;
+
+  report.cache_hits = after.cache_hits - before.cache_hits;
+  report.options_priced = after.options_priced - before.options_priced;
+
+  sweeps_.fetch_add(1, std::memory_order_relaxed);
+  sweep_scenarios_.fetch_add(scenarios, std::memory_order_relaxed);
+  sweep_legs_.fetch_add(legs.size(), std::memory_order_relaxed);
+  return report;
+}
+
+GreeksServiceStats GreeksService::stats() const {
+  GreeksServiceStats snapshot;
+  snapshot.greeks_requests = greeks_requests_.load(std::memory_order_relaxed);
+  snapshot.greeks_legs = greeks_legs_.load(std::memory_order_relaxed);
+  snapshot.sweeps = sweeps_.load(std::memory_order_relaxed);
+  snapshot.sweep_scenarios = sweep_scenarios_.load(std::memory_order_relaxed);
+  snapshot.sweep_legs = sweep_legs_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+}  // namespace binopt::core

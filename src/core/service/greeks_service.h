@@ -1,0 +1,205 @@
+// GreeksService — streaming sensitivities and portfolio scenario sweeps on
+// top of the batched PricingService (DESIGN.md §2.9).
+//
+// One Greeks request expands into the structured bump set of
+// finance::GreeksBumpSet: delta/gamma/theta come from the interior lattice
+// nodes (finance::lattice_front_greeks, computed host-side while the
+// device prices), vega/rho from four re-pricing legs fanned through the
+// service's batcher/router/lock-free spine like any other quotes. The
+// assembled Greeks are bit-identical to direct binomial_greeks on the
+// CPU-reference target because every moving part is shared: the same
+// lattice-front arithmetic, the same clamped divisors, and leg prices the
+// service already guarantees bit-identical to a direct accelerator run.
+//
+// A ScenarioSweep turns one submission into thousands of shocked legs
+// (book × spot/vol/rate shock grid) and aggregates P&L into VaR-style
+// summaries (OnlineStats + LogHistogram). Legs are cached under a
+// surface/shock EPOCH tag: re-running a sweep against an unchanged surface
+// re-prices nothing, while bumping the epoch invalidates every leg at
+// once — no cache walking, the keys simply stop matching.
+//
+// Cache-tag discipline (the aliasing fix this file exists for): the quote
+// cache quantizes specs onto a 1e-9 grid, so a bump smaller than the grid
+// would collide a bumped leg with its unbumped neighbour and replay the
+// wrong price into a finite difference. Every leg kind therefore carries
+// its own CacheKey::tag namespace — plain quotes (0), the four bump legs,
+// and sweep legs per epoch — so a bumped and an unbumped quote can never
+// share a cache entry regardless of bump width.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/statistics.h"
+#include "core/service/pricing_service.h"
+#include "finance/greeks.h"
+#include "finance/option.h"
+
+namespace binopt::core {
+
+/// CacheKey::tag namespaces. Plain quotes keep tag 0 (kPlain with epoch
+/// 0); each Greeks bump leg and every sweep epoch gets a disjoint tag.
+enum class QuoteTagKind : std::uint32_t {
+  kPlain = 0,
+  kVegaUp = 1,
+  kVegaDown = 2,
+  kRhoUp = 3,
+  kRhoDown = 4,
+  kSweepLeg = 5,
+};
+
+/// tag = (epoch << 3) | kind. The epoch wraps at 2^29 — after half a
+/// billion surface revisions an entry from the same epoch modulo 2^29
+/// could be replayed, long past any LRU entry's plausible lifetime.
+[[nodiscard]] constexpr std::uint32_t make_cache_tag(QuoteTagKind kind,
+                                                     std::uint64_t epoch = 0) {
+  return (static_cast<std::uint32_t>(epoch & 0x1FFFFFFFull) << 3) |
+         static_cast<std::uint32_t>(kind);
+}
+
+/// One assembled Greeks result with honest per-leg attribution: each
+/// bump leg's Quote reports where that leg was actually priced (cache
+/// hit, failover target, degraded CPU fallback) exactly as a plain
+/// submit() would. A one-sided leg (see finance::GreeksBumpSet) repriced
+/// the UNBUMPED spec — its quote is still real work the service did.
+struct GreeksQuote {
+  finance::Greeks greeks;
+  Quote vega_up;
+  Quote vega_down;
+  Quote rho_up;
+  Quote rho_down;
+  bool vega_one_sided = false;
+  bool rho_one_sided = false;
+};
+
+/// Shock grid for a scenario sweep: the cartesian product of the three
+/// axes. Every axis must be non-empty; {1.0}/{0.0}/{0.0} is the identity
+/// scenario.
+struct ShockGrid {
+  std::vector<double> spot_factors{1.0};  ///< multiplicative spot shocks
+  std::vector<double> vol_shifts{0.0};    ///< additive volatility shocks
+  std::vector<double> rate_shifts{0.0};   ///< additive rate shocks
+
+  [[nodiscard]] std::size_t scenario_count() const {
+    return spot_factors.size() * vol_shifts.size() * rate_shifts.size();
+  }
+};
+
+/// A portfolio scenario sweep: price `book` under every grid scenario.
+/// `epoch` names the market-surface revision the book is being swept
+/// against; legs are cached per epoch (see file header).
+struct SweepRequest {
+  std::vector<finance::OptionSpec> book;
+  ShockGrid grid;
+  std::uint64_t epoch = 0;
+};
+
+/// Aggregated sweep outcome. Scenario index s enumerates the grid in
+/// spot-major order: s = (i_spot * |vol_shifts| + i_vol) * |rate_shifts|
+/// + i_rate.
+struct SweepReport {
+  std::size_t scenarios = 0;
+  std::size_t legs = 0;     ///< shocked legs priced (book x scenarios)
+  double book_value = 0.0;  ///< unshocked portfolio value
+  /// Per-scenario portfolio P&L (shocked value - book_value), grid order.
+  std::vector<double> scenario_pnl;
+  OnlineStats pnl;  ///< mean/stddev/extrema over scenario_pnl
+  /// Losses (max(0, -pnl)) in 1e-4 currency ticks; tail quantiles of the
+  /// loss distribution without keeping every scenario.
+  LogHistogram loss_ticks;
+  /// Empirical loss quantiles of the scenario distribution (positive =
+  /// loss; negative means the quantile scenario was profitable).
+  double var95 = 0.0;
+  double var99 = 0.0;
+  double expected_shortfall95 = 0.0;  ///< mean loss at or beyond var95
+  /// Service-side deltas attributable to this sweep (exact when no other
+  /// traffic runs concurrently): how many legs the cache answered and how
+  /// many reached an accelerator. An unchanged-epoch re-sweep shows
+  /// options_priced == 0 — nothing was re-priced.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t options_priced = 0;
+};
+
+/// Cumulative GreeksService counters (monotonic, snapshot via stats()).
+/// greeks_legs + sweep_legs equals the number of service submissions this
+/// layer generated — tests balance them against ServiceStats admission
+/// counters.
+struct GreeksServiceStats {
+  std::uint64_t greeks_requests = 0;
+  std::uint64_t greeks_legs = 0;  ///< bump legs submitted (4 per request)
+  std::uint64_t sweeps = 0;
+  std::uint64_t sweep_scenarios = 0;
+  std::uint64_t sweep_legs = 0;  ///< shocked legs + base book legs
+};
+
+/// Bump widths for the vega/rho legs (forwarded to GreeksBumpSet::from).
+struct GreeksConfig {
+  double vol_bump = 1e-4;
+  double rate_bump = 1e-4;
+};
+
+class GreeksService {
+public:
+  using Config = GreeksConfig;
+
+  /// Borrows the service; the caller keeps it alive (and may share it
+  /// with plain quote traffic — tags keep the cache honest).
+  explicit GreeksService(PricingService& service, Config config = {});
+
+  /// Async handle for one Greeks request: the four bump legs were already
+  /// admitted when submit_greeks returned; get() computes the host-side
+  /// lattice front (overlapping the device work), waits for the legs and
+  /// assembles. Throws whatever a leg's future throws (timeout, backend
+  /// error, shutdown).
+  class Pending {
+  public:
+    [[nodiscard]] GreeksQuote get();
+
+  private:
+    friend class GreeksService;
+    finance::OptionSpec spec_;
+    std::size_t steps_ = 0;
+    finance::GreeksBumpSet set_;
+    std::future<Quote> vega_up_;
+    std::future<Quote> vega_down_;
+    std::future<Quote> rho_up_;
+    std::future<Quote> rho_down_;
+  };
+
+  /// Expands one spec into its bump set and admits the four legs.
+  [[nodiscard]] Pending submit_greeks(const finance::OptionSpec& spec);
+
+  /// submit_greeks + get.
+  [[nodiscard]] GreeksQuote greeks_blocking(const finance::OptionSpec& spec);
+
+  /// Fans every request's legs into the service FIRST (one many-kernel
+  /// job for the batcher/router), then computes the lattice fronts while
+  /// the devices work, then assembles in input order.
+  [[nodiscard]] std::vector<GreeksQuote> greeks_batch_blocking(
+      const std::vector<finance::OptionSpec>& specs);
+
+  /// Prices book x grid shocked legs (plus the unshocked book) through
+  /// the service in one blocking submission and aggregates P&L/VaR.
+  /// Shocked specs must remain valid (vol shifted below 0 is rejected at
+  /// admission with ServiceRejectedError naming the field).
+  [[nodiscard]] SweepReport sweep_blocking(const SweepRequest& request);
+
+  [[nodiscard]] GreeksServiceStats stats() const;
+  [[nodiscard]] PricingService& service() { return service_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+private:
+  PricingService& service_;
+  Config config_;
+  std::atomic<std::uint64_t> greeks_requests_{0};
+  std::atomic<std::uint64_t> greeks_legs_{0};
+  std::atomic<std::uint64_t> sweeps_{0};
+  std::atomic<std::uint64_t> sweep_scenarios_{0};
+  std::atomic<std::uint64_t> sweep_legs_{0};
+};
+
+}  // namespace binopt::core

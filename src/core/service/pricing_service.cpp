@@ -288,8 +288,10 @@ std::chrono::steady_clock::time_point PricingService::deadline_for(
 void PricingService::init_request(
     Request& request, const finance::OptionSpec& spec,
     std::chrono::steady_clock::time_point deadline, bool has_deadline,
-    std::chrono::steady_clock::time_point admitted_at) {
+    std::chrono::steady_clock::time_point admitted_at,
+    std::uint32_t cache_tag) {
   request.spec = spec;
+  request.cache_tag = cache_tag;
   request.deadline = deadline;
   request.admitted_at = admitted_at;
   request.has_deadline = has_deadline;
@@ -319,13 +321,14 @@ std::future<Quote> PricingService::submit(const finance::OptionSpec& spec) {
 }
 
 std::future<Quote> PricingService::submit(const finance::OptionSpec& spec,
-                                          std::chrono::milliseconds timeout) {
+                                          std::chrono::milliseconds timeout,
+                                          std::uint32_t cache_tag) {
   check_admissible(spec);
   bool has_deadline = false;
   const auto deadline = deadline_for(timeout, has_deadline);
   Request* request = arena_->acquire();
   init_request(*request, spec, deadline, has_deadline,
-               std::chrono::steady_clock::now());
+               std::chrono::steady_clock::now(), cache_tag);
   request->single.emplace();
   std::future<Quote> future = request->single->get_future();
   // After a successful admission the slot belongs to the workers (it may
@@ -347,7 +350,7 @@ std::future<std::vector<double>> PricingService::submit_batch(
 
 std::future<std::vector<double>> PricingService::submit_batch(
     const std::vector<finance::OptionSpec>& specs,
-    std::chrono::milliseconds timeout) {
+    std::chrono::milliseconds timeout, std::uint32_t cache_tag) {
   auto state = std::make_shared<BatchState>(specs.size());
   std::future<std::vector<double>> future = state->promise.get_future();
   if (specs.empty()) {
@@ -363,7 +366,8 @@ std::future<std::vector<double>> PricingService::submit_batch(
   requests.reserve(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
     Request* request = arena_->acquire();
-    init_request(*request, specs[i], deadline, has_deadline, admitted_at);
+    init_request(*request, specs[i], deadline, has_deadline, admitted_at,
+                 cache_tag);
     request->sink = SinkKind::kBatch;
     request->batch = state;
     request->index = i;
@@ -390,7 +394,8 @@ void PricingService::price_batch_blocking(const finance::OptionSpec* specs,
 
 void PricingService::price_batch_blocking(const finance::OptionSpec* specs,
                                           std::size_t n, double* out,
-                                          std::chrono::milliseconds timeout) {
+                                          std::chrono::milliseconds timeout,
+                                          std::uint32_t cache_tag) {
   BINOPT_REQUIRE(specs != nullptr || n == 0, "null spec array");
   BINOPT_REQUIRE(out != nullptr || n == 0, "null output array");
   if (n == 0) return;
@@ -414,7 +419,8 @@ void PricingService::price_batch_blocking(const finance::OptionSpec* specs,
     std::size_t pick = 0;
     for (std::size_t i = 0; i < n; ++i) {
       Request* request = arena_->acquire();
-      init_request(*request, specs[i], deadline, has_deadline, admitted_at);
+      init_request(*request, specs[i], deadline, has_deadline, admitted_at,
+                   cache_tag);
       request->sink = SinkKind::kSync;
       request->sync = &group;
       request->index = i;
@@ -716,6 +722,7 @@ void PricingService::worker_loop(std::size_t worker_index) {
   worker.requeue_ptrs.reserve(config_.max_batch);
   worker.to_degrade.reserve(config_.max_batch);
   worker.specs.reserve(config_.max_batch);
+  worker.tags.reserve(config_.max_batch);
   worker.prices.reserve(config_.max_batch);
   // Pre-size the per-backend attribution vectors in both the reusable
   // batch delta and this worker's shard: ServiceStats::bump() then never
@@ -809,6 +816,7 @@ void PricingService::process_batch(Worker& worker,
   std::vector<std::size_t>& to_requeue = worker.to_requeue;
   std::vector<std::size_t>& to_degrade = worker.to_degrade;
   std::vector<finance::OptionSpec>& specs = worker.specs;
+  std::vector<std::uint32_t>& tags = worker.tags;
   std::vector<double>& prices = worker.prices;
   completions.clear();
   failures.clear();
@@ -816,6 +824,7 @@ void PricingService::process_batch(Worker& worker,
   to_requeue.clear();
   to_degrade.clear();
   specs.clear();
+  tags.clear();
   prices.clear();
 
   auto earliest_admission = now;
@@ -845,7 +854,8 @@ void PricingService::process_batch(Worker& worker,
       continue;
     }
     if (cache_.enabled()) {
-      const CacheKey key = CacheKey::from(request.spec, config_.steps, target);
+      const CacheKey key = CacheKey::from(request.spec, config_.steps, target,
+                                          request.cache_tag);
       if (const auto hit = cache_.lookup(key)) {
         completions.push_back({pos, *hit, /*from_cache=*/true,
                                /*degraded=*/false});
@@ -856,6 +866,7 @@ void PricingService::process_batch(Worker& worker,
     }
     to_price.push_back(pos);
     specs.push_back(request.spec);
+    tags.push_back(request.cache_tag);
   }
 
   auto launch_start = now;
@@ -877,7 +888,8 @@ void PricingService::process_batch(Worker& worker,
       for (std::size_t i = 0; i < to_price.size(); ++i) {
         if (cache_.enabled()) {
           delta.cache_evictions += cache_.insert(
-              CacheKey::from(specs[i], config_.steps, target), prices[i]);
+              CacheKey::from(specs[i], config_.steps, target, tags[i]),
+              prices[i]);
         }
         completions.push_back({to_price[i], prices[i],
                                /*from_cache=*/false, /*degraded=*/false});

@@ -80,6 +80,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <future>
@@ -232,9 +233,14 @@ public:
   /// Queues one quote request; the future resolves with the priced Quote,
   /// or with ServiceTimeoutError / the accelerator's error. Blocks while
   /// the admission queue is full. `timeout` overrides the config default.
+  /// `cache_tag` widens the quote-cache key (see CacheKey::tag): requests
+  /// carrying different tags never share a cache entry even when their
+  /// specs quantize identically — the Greeks/sweep path (DESIGN.md §2.9)
+  /// tags bump legs and sweep epochs; plain quotes keep tag 0.
   std::future<Quote> submit(const finance::OptionSpec& spec);
   std::future<Quote> submit(const finance::OptionSpec& spec,
-                            std::chrono::milliseconds timeout);
+                            std::chrono::milliseconds timeout,
+                            std::uint32_t cache_tag = 0);
 
   /// Queues a whole batch (e.g. one volatility curve); the future resolves
   /// with the prices in input order once every element is priced, or with
@@ -243,7 +249,7 @@ public:
       const std::vector<finance::OptionSpec>& specs);
   std::future<std::vector<double>> submit_batch(
       const std::vector<finance::OptionSpec>& specs,
-      std::chrono::milliseconds timeout);
+      std::chrono::milliseconds timeout, std::uint32_t cache_tag = 0);
 
   /// Synchronous batch pricing into a caller buffer: blocks until every
   /// spec is priced (out[i] = price of specs[i]) or rethrows the first
@@ -255,7 +261,8 @@ public:
   void price_batch_blocking(const finance::OptionSpec* specs, std::size_t n,
                             double* out);
   void price_batch_blocking(const finance::OptionSpec* specs, std::size_t n,
-                            double* out, std::chrono::milliseconds timeout);
+                            double* out, std::chrono::milliseconds timeout,
+                            std::uint32_t cache_tag = 0);
 
   /// Per-worker shards merged in worker-index order, plus the admission
   /// counter. Safe to call while requests are in flight.
@@ -326,6 +333,10 @@ private:
     /// At-most-once latch: fulfil/fail flip it and refuse a second
     /// resolution.
     bool resolved = false;
+    /// Quote-cache key widening (CacheKey::tag): 0 for plain quotes,
+    /// non-zero for Greeks bump legs / sweep-epoch legs so they can never
+    /// alias a quantization-equal plain quote.
+    std::uint32_t cache_tag = 0;
     /// FleetRouter placement (routing only): which worker's routed queue
     /// the request was admitted to. `has_route` survives failover so the
     /// serving worker can count the misroute and report routed_target.
@@ -391,6 +402,7 @@ private:
     std::vector<Request*> requeue_ptrs;   ///< staging for requeue()
     std::vector<std::size_t> to_degrade;  ///< positions into batch
     std::vector<finance::OptionSpec> specs;
+    std::vector<std::uint32_t> tags;  ///< cache tags parallel to `specs`
     std::vector<double> prices;
     std::vector<finance::OptionSpec> fallback_specs;
     std::vector<double> fallback_prices;
@@ -418,7 +430,8 @@ private:
   static void init_request(Request& request, const finance::OptionSpec& spec,
                            std::chrono::steady_clock::time_point deadline,
                            bool has_deadline,
-                           std::chrono::steady_clock::time_point admitted_at);
+                           std::chrono::steady_clock::time_point admitted_at,
+                           std::uint32_t cache_tag = 0);
   /// Clears per-lease state and returns the slot to the arena. Only after
   /// resolution (or for never-admitted requests).
   void release_request(Request* request);

@@ -32,7 +32,7 @@ std::int64_t quantize(double x) {
 }  // namespace
 
 CacheKey CacheKey::from(const finance::OptionSpec& spec, std::size_t steps,
-                        Target target) {
+                        Target target, std::uint32_t tag) {
   CacheKey key;
   key.spot = quantize(spec.spot);
   key.strike = quantize(spec.strike);
@@ -44,6 +44,7 @@ CacheKey CacheKey::from(const finance::OptionSpec& spec, std::size_t steps,
   key.style = static_cast<std::uint8_t>(spec.style);
   key.steps = static_cast<std::uint32_t>(steps);
   key.target = static_cast<std::uint8_t>(target);
+  key.tag = tag;
   return key;
 }
 
@@ -64,6 +65,7 @@ std::size_t CacheKeyHash::operator()(const CacheKey& key) const noexcept {
       static_cast<std::uint64_t>(key.style) << 8 |
       static_cast<std::uint64_t>(key.target) << 16 |
       static_cast<std::uint64_t>(key.steps) << 24);
+  mix(static_cast<std::uint64_t>(key.tag));
   return static_cast<std::size_t>(h);
 }
 

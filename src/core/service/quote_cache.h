@@ -41,6 +41,15 @@ namespace binopt::core::service {
 /// integer grid plus the tree depth and the accelerator target (prices are
 /// target-specific — e.g. the FPGA approx-pow path must never serve a
 /// GPU-double request from cache).
+///
+/// The `tag` widens the key beyond the quantized spec. Plain quotes use
+/// tag 0; the Greeks/sweep path (DESIGN.md §2.9) tags each bump leg and
+/// each sweep epoch with a distinct non-zero value, because the 1e-9 grid
+/// cannot be trusted to separate a bumped spec from its unbumped neighbour
+/// (a sub-grid bump quantizes onto the SAME key, and a cache hit would
+/// then replay the unbumped price into a finite difference — vega
+/// silently collapsing to 0). Tagged entries live in the same LRU shards;
+/// they simply never alias entries carrying another tag.
 struct CacheKey {
   std::int64_t spot = 0;
   std::int64_t strike = 0;
@@ -52,12 +61,14 @@ struct CacheKey {
   std::uint8_t style = 0;
   std::uint32_t steps = 0;
   std::uint8_t target = 0;
+  std::uint32_t tag = 0;
 
   friend bool operator==(const CacheKey&, const CacheKey&) = default;
 
   /// Builds the key for one request. Quantization grid: 1e-9 absolute.
   [[nodiscard]] static CacheKey from(const finance::OptionSpec& spec,
-                                     std::size_t steps, Target target);
+                                     std::size_t steps, Target target,
+                                     std::uint32_t tag = 0);
 };
 
 struct CacheKeyHash {

@@ -1,58 +1,160 @@
 #include "finance/greeks.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/error.h"
 
 namespace binopt::finance {
 
-Greeks binomial_greeks(const OptionSpec& spec, std::size_t steps,
-                       double vol_bump, double rate_bump) {
+LatticeFront lattice_front_greeks(const OptionSpec& spec, std::size_t steps) {
+  spec.validate();
+  BINOPT_REQUIRE(steps >= 2, "Greeks need at least 2 lattice steps");
+  const LatticeParams lp = LatticeParams::from(spec, steps);
+
+  double value2[3] = {0.0, 0.0, 0.0};
+  double asset2[3] = {0.0, 0.0, 0.0};
+  double value1[2] = {0.0, 0.0};
+  double asset1[2] = {0.0, 0.0};
+
+  // Leaf rows, same arithmetic as BinomialPricer::leaf_assets_iterative
+  // (all-down leaf, then multiply by u^2 — no pow). With steps == 2 the
+  // leaf row IS the time-2 level, so record it here — the induction loop
+  // below only visits t < steps.
+  std::vector<double> assets(steps + 1);
+  std::vector<double> values(steps + 1);
+  {
+    double s = spec.spot;
+    for (std::size_t i = 0; i < steps; ++i) s *= lp.down;
+    const double up2 = lp.up * lp.up;
+    for (std::size_t k = 0; k <= steps; ++k) {
+      assets[k] = s;
+      values[k] = spec.payoff(s);
+      if (steps == 2) {
+        value2[k] = values[k];
+        asset2[k] = s;
+      }
+      s *= up2;
+    }
+  }
+
+  // Rolling backward induction, operation-for-operation the same as
+  // BinomialPricer::price_from_leaves — including its asset recurrence
+  // S(t,k) = S(t+1,k) * u, which rounds differently from recomputing the
+  // row from spot. Matching it exactly is what makes the returned price
+  // (and therefore a GreeksQuote's price field) bit-identical to
+  // BinomialPricer::price and to every accelerator/service path built on
+  // it. In-place ascending-k updates read only values[k] and values[k+1]
+  // from row t+1 before overwriting values[k], so one row suffices.
+  const bool american = spec.style == ExerciseStyle::kAmerican;
+  for (std::size_t t = steps; t-- > 0;) {
+    for (std::size_t k = 0; k <= t; ++k) {
+      assets[k] = assets[k] * lp.up;
+      const double continuation =
+          lp.discount * (lp.prob_up * values[k + 1] + lp.prob_down * values[k]);
+      values[k] = american ? std::max(spec.payoff(assets[k]), continuation)
+                           : continuation;
+      if (t == 2) {
+        value2[k] = values[k];
+        asset2[k] = assets[k];
+      } else if (t == 1) {
+        value1[k] = values[k];
+        asset1[k] = assets[k];
+      }
+    }
+  }
+
+  LatticeFront front;
+  front.price = values[0];
+
+  // Delta from the two time-1 nodes.
+  front.delta = (value1[1] - value1[0]) / (asset1[1] - asset1[0]);
+
+  // Gamma from the three time-2 nodes.
+  const double delta_up = (value2[2] - value2[1]) / (asset2[2] - asset2[1]);
+  const double delta_dn = (value2[1] - value2[0]) / (asset2[1] - asset2[0]);
+  front.gamma = (delta_up - delta_dn) / (0.5 * (asset2[2] - asset2[0]));
+
+  // Theta from the recombined middle node two steps ahead (asset price
+  // back at S0 there, so the value change is pure time decay).
+  front.theta = (value2[1] - front.price) / (2.0 * lp.dt);
+  return front;
+}
+
+GreeksBumpSet GreeksBumpSet::from(const OptionSpec& spec, std::size_t steps,
+                                  double vol_bump, double rate_bump) {
   spec.validate();
   BINOPT_REQUIRE(steps >= 2, "Greeks need at least 2 lattice steps");
   BINOPT_REQUIRE(vol_bump > 0.0 && rate_bump > 0.0, "bumps must be positive");
 
-  const BinomialPricer pricer(steps);
-  const BinomialTree tree = pricer.build_tree(spec);
-  const LatticeParams lp = LatticeParams::from(spec, steps);
+  GreeksBumpSet set;
+  set.vega_up = set.vega_down = set.rho_up = set.rho_down = spec;
 
+  // Vega: the up leg is always feasible (raising vol only widens the
+  // arbitrage-free region); the down leg must stay strictly above the
+  // lattice floor or pricing it would throw.
+  set.vega_up.volatility = spec.volatility + vol_bump;
+  const double vol_down = spec.volatility - vol_bump;
+  if (vol_down > LatticeParams::min_volatility(spec, steps)) {
+    set.vega_down.volatility = vol_down;
+  } else {
+    set.vega_one_sided = true;  // forward difference off the unbumped spec
+  }
+  set.vega_divisor = set.vega_up.volatility - set.vega_down.volatility;
+
+  // Rho: a rate shift moves the feasibility bound |r - q| * sqrt(dt)
+  // itself, so either direction can become infeasible when the spec's vol
+  // sits near the floor (crossing r = 0 against a dividend yield is the
+  // classic case). Keep whichever legs survive; if neither does, halve
+  // the bump until one direction fits (40 halvings spans ~12 orders of
+  // magnitude — failing that, the spec itself sits on the boundary).
+  const auto rate_feasible = [&](double rate) {
+    OptionSpec probe = spec;
+    probe.rate = rate;
+    return spec.volatility > LatticeParams::min_volatility(probe, steps);
+  };
+  double bump = rate_bump;
+  bool up_ok = rate_feasible(spec.rate + bump);
+  bool down_ok = rate_feasible(spec.rate - bump);
+  for (int i = 0; i < 40 && !up_ok && !down_ok; ++i) {
+    bump *= 0.5;
+    up_ok = rate_feasible(spec.rate + bump);
+    down_ok = rate_feasible(spec.rate - bump);
+  }
+  BINOPT_REQUIRE(up_ok || down_ok,
+                 "no feasible rate bump for rho: volatility ", spec.volatility,
+                 " sits at the lattice's arbitrage-free boundary");
+  if (up_ok) set.rho_up.rate = spec.rate + bump;
+  if (down_ok) set.rho_down.rate = spec.rate - bump;
+  set.rho_one_sided = !(up_ok && down_ok);
+  set.rho_divisor = set.rho_up.rate - set.rho_down.rate;
+  return set;
+}
+
+Greeks assemble_greeks(const LatticeFront& front, const GreeksBumpSet& set,
+                       double vega_up_price, double vega_down_price,
+                       double rho_up_price, double rho_down_price) {
   Greeks g;
-  g.price = tree.root_value();
-
-  // Delta from the two time-1 nodes.
-  const double s_up = tree.asset[1][1];
-  const double s_dn = tree.asset[1][0];
-  g.delta = (tree.value[1][1] - tree.value[1][0]) / (s_up - s_dn);
-
-  // Gamma from the three time-2 nodes.
-  const double s_uu = tree.asset[2][2];
-  const double s_ud = tree.asset[2][1];
-  const double s_dd = tree.asset[2][0];
-  const double delta_up = (tree.value[2][2] - tree.value[2][1]) / (s_uu - s_ud);
-  const double delta_dn = (tree.value[2][1] - tree.value[2][0]) / (s_ud - s_dd);
-  g.gamma = (delta_up - delta_dn) / (0.5 * (s_uu - s_dd));
-
-  // Theta from the recombined middle node two steps ahead (asset price
-  // back at S0 there, so the value change is pure time decay).
-  g.theta = (tree.value[2][1] - g.price) / (2.0 * lp.dt);
-
-  // Vega and rho by central finite differences (re-pricing).
-  {
-    OptionSpec up = spec;
-    OptionSpec dn = spec;
-    up.volatility += vol_bump;
-    dn.volatility = std::max(dn.volatility - vol_bump, 1e-8);
-    const double actual_bump = up.volatility - dn.volatility;
-    g.vega = (pricer.price(up) - pricer.price(dn)) / actual_bump;
-  }
-  {
-    OptionSpec up = spec;
-    OptionSpec dn = spec;
-    up.rate += rate_bump;
-    dn.rate -= rate_bump;
-    g.rho = (pricer.price(up) - pricer.price(dn)) / (2.0 * rate_bump);
-  }
+  g.price = front.price;
+  g.delta = front.delta;
+  g.gamma = front.gamma;
+  g.theta = front.theta;
+  g.vega = (vega_up_price - vega_down_price) / set.vega_divisor;
+  g.rho = (rho_up_price - rho_down_price) / set.rho_divisor;
   return g;
+}
+
+Greeks binomial_greeks(const OptionSpec& spec, std::size_t steps,
+                       double vol_bump, double rate_bump) {
+  const LatticeFront front = lattice_front_greeks(spec, steps);
+  const GreeksBumpSet set =
+      GreeksBumpSet::from(spec, steps, vol_bump, rate_bump);
+  const BinomialPricer pricer(steps);
+  return assemble_greeks(front, set, pricer.price(set.vega_up),
+                         pricer.price(set.vega_down),
+                         pricer.price(set.rho_up),
+                         pricer.price(set.rho_down));
 }
 
 }  // namespace binopt::finance

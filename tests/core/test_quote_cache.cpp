@@ -210,5 +210,66 @@ TEST(QuoteCacheSharding, ConcurrentReadersSurviveEviction) {
   EXPECT_LE(cache.size(), cache.capacity());
 }
 
+// ---------------------------------------------------------------------------
+// Tag widening (the Greeks aliasing fix, DESIGN.md §2.9): the 1e-9
+// quantization grid cannot separate a sub-grid-bumped spec from its
+// unbumped neighbour, so the tag must.
+
+TEST(QuoteCacheTags, SubGridBumpQuantizesOntoTheSameUntaggedKey) {
+  // Demonstrates the aliasing hazard the tag exists for: a 4e-10 vol bump
+  // is below the grid, so WITHOUT tags the bumped and unbumped specs
+  // produce equal keys and a vega leg would replay the unbumped price.
+  const finance::OptionSpec base = spec_with_strike(100.0);
+  finance::OptionSpec bumped = base;
+  bumped.volatility += 4e-10;
+  EXPECT_EQ(CacheKey::from(base, 64, Target::kFpgaKernelB),
+            CacheKey::from(bumped, 64, Target::kFpgaKernelB));
+}
+
+TEST(QuoteCacheTags, TagsSeparateOtherwiseIdenticalKeys) {
+  const finance::OptionSpec spec = spec_with_strike(100.0);
+  const CacheKey plain = CacheKey::from(spec, 64, Target::kFpgaKernelB);
+  const CacheKey tagged =
+      CacheKey::from(spec, 64, Target::kFpgaKernelB, /*tag=*/1);
+  EXPECT_NE(plain, tagged);
+  // The hash must see the tag too, or every tagged entry would pile onto
+  // the plain entry's bucket (correct but pathological).
+  EXPECT_NE(CacheKeyHash{}(plain), CacheKeyHash{}(tagged));
+}
+
+TEST(QuoteCacheTags, BumpedAndUnbumpedEntriesNeverShareAnEntry) {
+  // The satellite's acceptance test: insert the SAME quantized spec under
+  // the plain tag and under a bump tag with different prices; both must
+  // be retrievable and neither may overwrite the other.
+  QuoteCache cache(64);
+  const finance::OptionSpec spec = spec_with_strike(100.0);
+  const CacheKey plain = CacheKey::from(spec, 64, Target::kFpgaKernelB);
+  const CacheKey bump_leg =
+      CacheKey::from(spec, 64, Target::kFpgaKernelB, /*tag=*/3);
+
+  cache.insert(plain, 10.0);
+  cache.insert(bump_leg, 10.25);
+
+  const auto plain_hit = cache.lookup(plain);
+  const auto bump_hit = cache.lookup(bump_leg);
+  ASSERT_TRUE(plain_hit.has_value());
+  ASSERT_TRUE(bump_hit.has_value());
+  EXPECT_EQ(*plain_hit, 10.0);
+  EXPECT_EQ(*bump_hit, 10.25);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(QuoteCacheTags, DefaultTagIsZeroAndBackwardCompatible) {
+  // Existing call sites built keys without a tag; they must keep hitting
+  // entries inserted via the explicit tag-0 form and vice versa.
+  QuoteCache cache(8);
+  const finance::OptionSpec spec = spec_with_strike(42.0);
+  cache.insert(CacheKey::from(spec, 64, Target::kFpgaKernelB), 7.0);
+  const auto hit =
+      cache.lookup(CacheKey::from(spec, 64, Target::kFpgaKernelB, /*tag=*/0));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 7.0);
+}
+
 }  // namespace
 }  // namespace binopt::core::service

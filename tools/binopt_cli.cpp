@@ -26,6 +26,19 @@
 // identical to the fault-free run, no request is lost, and any quarantined
 // backend recovered.
 //
+// `binopt_cli greeks-bench` prices a book of Greeks requests through the
+// GreeksService (DESIGN.md §2.9) on every backend target — cold and again
+// as a cache replay — and exits non-zero unless every assembled Greeks is
+// bitwise identical to a direct per-target reference (same lattice front,
+// same bump set, legs priced by a private accelerator run), and, on the
+// CPU reference, to finance::binomial_greeks itself.
+//
+// `binopt_cli sweep` runs a portfolio scenario sweep (book x spot/vol/rate
+// shock grid) through the GreeksService three times — cold, same epoch
+// (must re-price nothing), and a bumped epoch (must re-price everything) —
+// prints the P&L/VaR summary, and exits non-zero if the epoch-cache or
+// request-conservation gates fail.
+//
 // `binopt_cli trace` runs both paper kernels on a multi-compute-unit
 // device plus a short PricingService session with the tracer attached and
 // writes the whole session as Chrome trace_event JSON (open the file in
@@ -42,7 +55,9 @@
 #include <vector>
 
 #include "core/accelerator.h"
+#include "core/service/greeks_service.h"
 #include "core/service/pricing_service.h"
+#include "finance/greeks.h"
 #include "finance/option.h"
 #include "finance/workload.h"
 #include "fpga/ii_analysis.h"
@@ -127,6 +142,31 @@ void print_usage() {
       "                     the faults fire: latency (default when bare)\n"
       "                     or energy — prices must stay bit-identical\n"
       "  --watts-budget <W> with --router energy: watts ceiling\n"
+      "\n"
+      "subcommand: binopt_cli greeks-bench [flags]\n"
+      "  Prices a book of Greeks requests through the GreeksService on\n"
+      "  every backend target (or one with --target), cold and as a cache\n"
+      "  replay, and checks each assembled Greeks bitwise against a direct\n"
+      "  per-target reference (and against binomial_greeks on the CPU\n"
+      "  reference). Exits non-zero on any mismatch.\n"
+      "  --requests <N>     Greeks requests        (default 32)\n"
+      "  --steps <N>        tree steps             (default 128)\n"
+      "  --cache <N>        quote-cache capacity   (default 4096)\n"
+      "  --target <name>    check one target only  (default: all)\n"
+      "\n"
+      "subcommand: binopt_cli sweep [flags]\n"
+      "  Runs a portfolio scenario sweep (book x spot/vol/rate shocks)\n"
+      "  through the GreeksService three times — cold, unchanged epoch\n"
+      "  (gate: zero options re-priced), bumped epoch (gate: everything\n"
+      "  re-priced) — and prints the P&L/VaR summary. Exits non-zero on\n"
+      "  any epoch-cache or conservation violation.\n"
+      "  --book <N>         portfolio size         (default 64)\n"
+      "  --spots <N>        spot-shock grid points (default 5)\n"
+      "  --vols <N>         vol-shock grid points  (default 3)\n"
+      "  --rates <N>        rate-shock grid points (default 3)\n"
+      "  --steps <N>        tree steps             (default 128)\n"
+      "  --cache <N>        quote-cache capacity   (default 16384)\n"
+      "  --target <name>    accelerator target     (default cpu reference)\n"
       "\n"
       "subcommand: binopt_cli trace [flags]\n"
       "  Runs kernels IV.A and IV.B on a 4-compute-unit device plus a\n"
@@ -400,6 +440,247 @@ int run_chaos(std::size_t num_options, std::size_t steps, core::Target target,
   std::printf("chaos passed: %zu prices bit-identical under injected "
               "faults, zero requests lost\n",
               curve.size());
+  return 0;
+}
+
+/// Field-by-field bitwise comparison of two Greeks; returns the number of
+/// differing fields (0 when identical to the last bit).
+std::size_t greeks_mismatch(const finance::Greeks& a,
+                            const finance::Greeks& b) {
+  std::size_t n = 0;
+  n += a.price != b.price;
+  n += a.delta != b.delta;
+  n += a.gamma != b.gamma;
+  n += a.theta != b.theta;
+  n += a.vega != b.vega;
+  n += a.rho != b.rho;
+  return n;
+}
+
+/// The greeks-bench mode: for each target, assemble a direct reference
+/// (shared lattice front + bump set, legs priced by a private accelerator
+/// run of the whole leg list), then hold the GreeksService to bitwise
+/// parity on a cold pass and a cache-replay pass. On the CPU reference the
+/// service must additionally match finance::binomial_greeks literally.
+int run_greeks_bench(std::size_t num_requests, std::size_t steps,
+                     std::size_t cache_capacity,
+                     const std::vector<core::Target>& targets) {
+  using Clock = std::chrono::steady_clock;
+  const auto book = finance::make_curve_batch(num_requests);
+
+  // The bump sets (and the host-side lattice fronts) are target-independent;
+  // only the four leg prices differ per target.
+  std::vector<finance::GreeksBumpSet> sets;
+  sets.reserve(book.size());
+  std::vector<finance::OptionSpec> legs;
+  legs.reserve(4 * book.size());
+  std::vector<finance::LatticeFront> fronts;
+  fronts.reserve(book.size());
+  for (const finance::OptionSpec& spec : book) {
+    sets.push_back(finance::GreeksBumpSet::from(spec, steps));
+    legs.push_back(sets.back().vega_up);
+    legs.push_back(sets.back().vega_down);
+    legs.push_back(sets.back().rho_up);
+    legs.push_back(sets.back().rho_down);
+    fronts.push_back(finance::lattice_front_greeks(spec, steps));
+  }
+
+  std::printf("greeks-bench: %zu requests (%zu legs), %zu steps, cache %zu\n",
+              book.size(), legs.size(), steps, cache_capacity);
+
+  std::size_t total_mismatches = 0;
+  for (const core::Target target : targets) {
+    core::PricingAccelerator direct({target, steps, /*compute_rmse=*/false});
+    const std::vector<double> leg_prices = direct.run(legs).prices;
+    std::vector<finance::Greeks> reference;
+    reference.reserve(book.size());
+    for (std::size_t i = 0; i < book.size(); ++i) {
+      reference.push_back(finance::assemble_greeks(
+          fronts[i], sets[i], leg_prices[4 * i], leg_prices[4 * i + 1],
+          leg_prices[4 * i + 2], leg_prices[4 * i + 3]));
+    }
+
+    core::ServiceConfig config;
+    config.targets = {target};
+    config.steps = steps;
+    config.cache_capacity = cache_capacity;
+    core::PricingService service(config);
+    core::GreeksService greeks(service);
+
+    const auto cold_start = Clock::now();
+    const std::vector<core::GreeksQuote> cold =
+        greeks.greeks_batch_blocking(book);
+    const double cold_s =
+        std::chrono::duration<double>(Clock::now() - cold_start).count();
+    const auto warm_start = Clock::now();
+    const std::vector<core::GreeksQuote> warm =
+        greeks.greeks_batch_blocking(book);
+    const double warm_s =
+        std::chrono::duration<double>(Clock::now() - warm_start).count();
+
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < book.size(); ++i) {
+      mismatches += greeks_mismatch(cold[i].greeks, reference[i]);
+      mismatches += greeks_mismatch(warm[i].greeks, reference[i]);
+      if (target == core::Target::kCpuReference) {
+        // The literal direct-function gate: on the reference target the
+        // whole composition collapses back to binomial_greeks, bit for bit.
+        mismatches +=
+            greeks_mismatch(cold[i].greeks, finance::binomial_greeks(
+                                                book[i], steps));
+      }
+    }
+    total_mismatches += mismatches;
+
+    const auto stats = service.stats();
+    std::printf("  %-22s: %8.1f greeks/s cold, %8.1f warm, "
+                "%llu cache hits%s\n",
+                core::to_string(target).c_str(),
+                static_cast<double>(book.size()) / cold_s,
+                static_cast<double>(book.size()) / warm_s,
+                static_cast<unsigned long long>(stats.cache_hits),
+                mismatches == 0 ? "" : "  MISMATCH");
+  }
+
+  if (total_mismatches != 0) {
+    std::fprintf(stderr,
+                 "greeks-bench FAILED: %zu Greeks fields differ from the "
+                 "direct per-target reference\n",
+                 total_mismatches);
+    return 1;
+  }
+  std::printf("greeks-bench passed: %zu requests bit-identical to the "
+              "direct reference on %zu target(s), cold and cached\n",
+              book.size(), targets.size());
+  return 0;
+}
+
+/// Symmetric shock axis: {0, +step, -step, +2*step, ...}, identity first
+/// so scenario 0 of the sweep grid is the unshocked book (its P&L must be
+/// exactly zero — a free parity check).
+std::vector<double> centered_axis(std::size_t points, double step) {
+  std::vector<double> axis{0.0};
+  for (std::size_t i = 1; axis.size() < points; ++i) {
+    axis.push_back(step * static_cast<double>(i));
+    if (axis.size() < points) axis.push_back(-step * static_cast<double>(i));
+  }
+  return axis;
+}
+
+/// The sweep mode: one scenario sweep run cold, replayed on the same
+/// epoch, and re-run on a bumped epoch, with the epoch-cache and
+/// conservation contracts enforced as exit-status gates.
+int run_sweep(std::size_t book_size, std::size_t spots, std::size_t vols,
+              std::size_t rates, std::size_t steps, core::Target target,
+              std::size_t cache_capacity) {
+  using Clock = std::chrono::steady_clock;
+
+  core::SweepRequest request;
+  request.book = finance::make_curve_batch(book_size);
+  request.grid.spot_factors.clear();
+  for (const double shock : centered_axis(spots, 0.05)) {
+    request.grid.spot_factors.push_back(1.0 + shock);
+  }
+  request.grid.vol_shifts = centered_axis(vols, 0.02);
+  request.grid.rate_shifts = centered_axis(rates, 2.5e-4);
+  request.epoch = 1;
+
+  const std::size_t scenarios = request.grid.scenario_count();
+  const std::size_t total_legs = scenarios * book_size + book_size;
+
+  core::ServiceConfig config;
+  config.targets = {target};
+  config.steps = steps;
+  config.cache_capacity = cache_capacity;
+  core::PricingService service(config);
+  core::GreeksService greeks(service);
+
+  std::printf("sweep: book %zu x %zu scenarios (%zu x %zu x %zu grid) = "
+              "%zu legs, %zu steps, target %s\n",
+              book_size, scenarios, spots, vols, rates, total_legs, steps,
+              core::to_string(target).c_str());
+
+  const auto before = service.stats();
+  const auto cold_start = Clock::now();
+  const core::SweepReport cold = greeks.sweep_blocking(request);
+  const double cold_s =
+      std::chrono::duration<double>(Clock::now() - cold_start).count();
+
+  const auto warm_start = Clock::now();
+  const core::SweepReport warm = greeks.sweep_blocking(request);
+  const double warm_s =
+      std::chrono::duration<double>(Clock::now() - warm_start).count();
+
+  request.epoch += 1;  // the surface moved: every leg must re-price
+  const core::SweepReport moved = greeks.sweep_blocking(request);
+  const auto delta = service.stats().minus(before);
+
+  std::printf("  cold      : %10.1f legs/s (%.3f s), %llu priced, "
+              "%llu cache hits\n",
+              static_cast<double>(total_legs) / cold_s, cold_s,
+              static_cast<unsigned long long>(cold.options_priced),
+              static_cast<unsigned long long>(cold.cache_hits));
+  std::printf("  same epoch: %10.1f legs/s (%.3f s), %llu priced, "
+              "%llu cache hits\n",
+              static_cast<double>(total_legs) / warm_s, warm_s,
+              static_cast<unsigned long long>(warm.options_priced),
+              static_cast<unsigned long long>(warm.cache_hits));
+  std::printf("  book value: %.4f\n", cold.book_value);
+  std::printf("  pnl       : mean %.4f, stddev %.4f, min %.4f, max %.4f\n",
+              cold.pnl.mean(), cold.pnl.stddev(), cold.pnl.min(),
+              cold.pnl.max());
+  std::printf("  tail      : VaR95 %.4f, VaR99 %.4f, ES95 %.4f "
+              "(%llu loss scenarios)\n",
+              cold.var95, cold.var99, cold.expected_shortfall95,
+              static_cast<unsigned long long>(cold.loss_ticks.count()));
+
+  bool ok = true;
+  if (cold.scenario_pnl.empty() || cold.scenario_pnl[0] != 0.0) {
+    std::fprintf(stderr, "sweep FAILED: identity scenario P&L is not "
+                         "exactly zero\n");
+    ok = false;
+  }
+  if (warm.options_priced != 0) {
+    std::fprintf(stderr,
+                 "sweep FAILED: unchanged epoch re-priced %llu legs "
+                 "(cache keyed on the epoch should have answered all)\n",
+                 static_cast<unsigned long long>(warm.options_priced));
+    ok = false;
+  }
+  if (warm.cache_hits != total_legs) {
+    std::fprintf(stderr,
+                 "sweep FAILED: unchanged epoch hit the cache %llu times, "
+                 "expected %zu\n",
+                 static_cast<unsigned long long>(warm.cache_hits),
+                 total_legs);
+    ok = false;
+  }
+  if (warm.book_value != cold.book_value ||
+      warm.scenario_pnl != cold.scenario_pnl) {
+    std::fprintf(stderr, "sweep FAILED: cache replay changed the sweep "
+                         "result\n");
+    ok = false;
+  }
+  if (moved.options_priced == 0) {
+    std::fprintf(stderr, "sweep FAILED: bumping the epoch re-priced "
+                         "nothing — stale surface served from cache\n");
+    ok = false;
+  }
+  if (delta.requests_submitted != 3 * total_legs ||
+      delta.requests_completed != delta.requests_submitted ||
+      delta.requests_failed != 0 || delta.requests_timed_out != 0) {
+    std::fprintf(stderr,
+                 "sweep FAILED: request conservation violated "
+                 "(%llu submitted, %llu completed, %llu failed)\n",
+                 static_cast<unsigned long long>(delta.requests_submitted),
+                 static_cast<unsigned long long>(delta.requests_completed),
+                 static_cast<unsigned long long>(delta.requests_failed));
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::printf("sweep passed: %zu legs/sweep, unchanged epoch re-priced "
+              "nothing, bumped epoch re-priced, every request conserved\n",
+              total_legs);
   return 0;
 }
 
@@ -820,6 +1101,94 @@ int main_chaos(int argc, char** argv) {
   }
 }
 
+int main_greeks_bench(int argc, char** argv) {
+  std::size_t num_requests = 32;
+  std::size_t steps = 128;
+  std::size_t cache_capacity = 4096;
+  std::vector<core::Target> targets;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help") {
+      print_usage();
+      return 0;
+    }
+    if (i + 1 >= argc) fail("missing value for " + flag);
+    const char* value = argv[++i];
+    if (flag == "--requests") num_requests = parse_size("--requests", value);
+    else if (flag == "--steps") steps = parse_size("--steps", value);
+    else if (flag == "--cache") cache_capacity = parse_size("--cache", value);
+    else if (flag == "--target") {
+      core::Target target = core::Target::kCpuReference;
+      if (!parse_target(value, target)) {
+        fail(std::string("unknown target '") + value +
+             "' (try --list-targets)");
+      }
+      targets = {target};
+    } else {
+      fail("unknown greeks-bench flag " + flag + " (try --help)");
+    }
+  }
+  if (num_requests < 2) fail("--requests must be >= 2");
+  if (steps < 2) fail("--steps must be >= 2");
+  if (targets.empty()) targets = core::all_targets();
+
+  try {
+    return run_greeks_bench(num_requests, steps, cache_capacity, targets);
+  } catch (const Error& e) {
+    fail(e.what());
+  }
+}
+
+int main_sweep(int argc, char** argv) {
+  std::size_t book_size = 64;
+  std::size_t spots = 5;
+  std::size_t vols = 3;
+  std::size_t rates = 3;
+  std::size_t steps = 128;
+  std::size_t cache_capacity = 16384;
+  core::Target target = core::Target::kCpuReference;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help") {
+      print_usage();
+      return 0;
+    }
+    if (i + 1 >= argc) fail("missing value for " + flag);
+    const char* value = argv[++i];
+    if (flag == "--book") book_size = parse_size("--book", value);
+    else if (flag == "--spots") spots = parse_size("--spots", value);
+    else if (flag == "--vols") vols = parse_size("--vols", value);
+    else if (flag == "--rates") rates = parse_size("--rates", value);
+    else if (flag == "--steps") steps = parse_size("--steps", value);
+    else if (flag == "--cache") cache_capacity = parse_size("--cache", value);
+    else if (flag == "--target") {
+      if (!parse_target(value, target)) {
+        fail(std::string("unknown target '") + value +
+             "' (try --list-targets)");
+      }
+    } else {
+      fail("unknown sweep flag " + flag + " (try --help)");
+    }
+  }
+  if (book_size < 2) fail("--book must be >= 2");
+  if (spots == 0 || vols == 0 || rates == 0) {
+    fail("every shock axis needs at least one grid point");
+  }
+  if (steps < 2) fail("--steps must be >= 2");
+  if (cache_capacity == 0) {
+    fail("sweep's epoch-cache gates need --cache > 0");
+  }
+
+  try {
+    return run_sweep(book_size, spots, vols, rates, steps, target,
+                     cache_capacity);
+  } catch (const Error& e) {
+    fail(e.what());
+  }
+}
+
 int main_trace(int argc, char** argv) {
   std::string out_path = "trace.json";
   std::size_t num_options = 8;
@@ -856,6 +1225,12 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "chaos") == 0) {
     return main_chaos(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "greeks-bench") == 0) {
+    return main_greeks_bench(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "sweep") == 0) {
+    return main_sweep(argc, argv);
   }
   if (argc >= 2 && std::strcmp(argv[1], "trace") == 0) {
     return main_trace(argc, argv);
