@@ -34,6 +34,21 @@
 //   with runtime SIMD dispatch. Reports spike options/s and p50/p99/p999
 //   request latency for both, and the speedup between them.
 //
+//   --mode soak: the overload soak (DESIGN.md §2.10). First measures the
+//   service's uncontended capacity with a closed loop, then sweeps
+//   open-loop Poisson-free (fixed-schedule) arrivals at multiples of that
+//   capacity (default 0.5x, 1x, 2x, 4x — i.e. from comfortable to four
+//   times saturated), issuing >=1M single-quote submissions (default)
+//   with a mixed realtime/normal/batch priority stream and a per-request
+//   deadline, against a service with priority admission + the adaptive
+//   shed watermark armed. Every future is tallied into exactly one
+//   outcome bucket, so the gates are exact, not statistical: (a) request
+//   conservation — issued == completed + shed + timed-out + failed, per
+//   class, cross-checked against the service's own counters; (b) the
+//   kRealtime completion p99 while 4x-overloaded stays within 2x its
+//   uncontended p99 (+25ms scheduling slack); (c) every completion that
+//   was not browned out matches the direct run bit for bit.
+//
 // A direct PricingAccelerator::run of the curve supplies the bit-exact
 // parity reference in both modes. Emits a machine-readable JSON row after
 // the human-readable report (written to --json-out too, when given — CI
@@ -42,12 +57,14 @@
 // lock-free spine losing to the mutexed baseline (bursty mode, reference
 // target).
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <future>
 #include <limits>
 #include <map>
@@ -280,6 +297,193 @@ void print_bursty(const char* label, const BurstyOutcome& outcome) {
               outcome.stats.request_latency_ns.p999() / 1e6);
 }
 
+/// Per-priority-class client-side ledger for one soak sweep point. Every
+/// submitted request lands in exactly one outcome bucket (the future
+/// either yields a Quote or throws a typed error), so conservation can be
+/// asserted with == rather than a tolerance.
+struct SoakTally {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;       ///< ServiceOverloadError at admission
+  std::uint64_t timed_out = 0;  ///< ServiceTimeoutError (any deadline site)
+  std::uint64_t failed = 0;     ///< anything else (must stay 0: no faults)
+  std::uint64_t browned = 0;    ///< completions with Quote::browned_out
+  std::uint64_t parity_mismatches = 0;  ///< un-browned price != reference
+  std::vector<std::uint64_t> latency_ns;  ///< submit -> Quote, completions
+
+  SoakTally& operator+=(const SoakTally& other) {
+    issued += other.issued;
+    completed += other.completed;
+    shed += other.shed;
+    timed_out += other.timed_out;
+    failed += other.failed;
+    browned += other.browned;
+    parity_mismatches += other.parity_mismatches;
+    latency_ns.insert(latency_ns.end(), other.latency_ns.begin(),
+                      other.latency_ns.end());
+    return *this;
+  }
+};
+
+/// One arrival-rate point of the soak sweep.
+struct SoakPoint {
+  double multiplier = 0.0;     ///< arrival rate as a fraction of capacity
+  double target_rate = 0.0;    ///< requests/s the schedule aimed for
+  double achieved_rate = 0.0;  ///< issued / wall-clock (drain included)
+  double elapsed_s = 0.0;
+  std::array<SoakTally, core::kPriorityCount> per_class;
+  core::service::ServiceStats stats;
+};
+
+std::uint64_t percentile_ns(std::vector<std::uint64_t> values, double pct) {
+  if (values.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      pct / 100.0 * static_cast<double>(values.size() - 1));
+  std::nth_element(values.begin(), values.begin() + rank, values.end());
+  return values[rank];
+}
+
+/// Uncontended capacity probe: one closed-loop pass of the curve per
+/// submitter through a service with the overload layer disarmed — the raw
+/// spine's sustainable options/s, which the sweep's arrival rates are
+/// multiples of.
+double measure_soak_capacity(core::ServiceConfig config,
+                             const std::vector<finance::OptionSpec>& curve,
+                             std::size_t submitters) {
+  config.overload = {};
+  core::PricingService service(config);
+  constexpr std::size_t kChunk = 32;
+  std::atomic<std::size_t> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(submitters);
+  for (std::size_t sub = 0; sub < submitters; ++sub) {
+    threads.emplace_back([&] {
+      std::vector<double> out(kChunk);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::size_t base = 0; base < curve.size(); base += kChunk) {
+        const std::size_t n = std::min(kChunk, curve.size() - base);
+        service.price_batch_blocking(curve.data() + base, n, out.data());
+      }
+    });
+  }
+  while (ready.load() < submitters) std::this_thread::yield();
+  const auto start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  return static_cast<double>(submitters * curve.size()) /
+         seconds_since(start);
+}
+
+/// One open-loop sweep point: `submitters` threads share a fixed global
+/// arrival schedule (request k is due at start + k/rate; thread k%S owns
+/// it), each submitting single quotes with the mix's deterministic class
+/// assignment and harvesting its own resolved futures as it goes (so the
+/// outstanding window stays small and latency is read promptly after
+/// resolution). A thread that falls behind schedule — e.g. blocked on
+/// realtime backpressure — submits back-to-back until it catches up,
+/// which is exactly how an overloaded open-loop client behaves.
+SoakPoint run_soak_point(const core::ServiceConfig& config,
+                         const std::vector<finance::OptionSpec>& curve,
+                         const std::vector<double>& reference,
+                         std::size_t requests, double rate, double multiplier,
+                         core::service::PriorityMix mix,
+                         std::size_t submitters,
+                         std::chrono::milliseconds timeout) {
+  SoakPoint point;
+  point.multiplier = multiplier;
+  point.target_rate = rate;
+  core::PricingService service(config);
+  std::vector<std::array<SoakTally, core::kPriorityCount>> tallies(
+      submitters);
+  std::atomic<std::size_t> ready{0};
+  std::atomic<bool> go{false};
+  Clock::time_point start;  // written before go releases, read after acquire
+  std::vector<std::thread> threads;
+  threads.reserve(submitters);
+  for (std::size_t sub = 0; sub < submitters; ++sub) {
+    threads.emplace_back([&, sub] {
+      struct Outstanding {
+        std::future<core::Quote> future;
+        Clock::time_point issued_at;
+        std::uint32_t spec_index;
+        std::uint8_t cls;
+      };
+      std::deque<Outstanding> pending;
+      auto& mine = tallies[sub];
+      const auto harvest = [&](bool block) {
+        while (!pending.empty()) {
+          Outstanding& front = pending.front();
+          if (!block && front.future.wait_for(std::chrono::seconds{0}) !=
+                            std::future_status::ready) {
+            break;
+          }
+          SoakTally& tally = mine[front.cls];
+          try {
+            const core::Quote quote = front.future.get();
+            tally.latency_ns.push_back(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - front.issued_at)
+                    .count()));
+            ++tally.completed;
+            if (quote.browned_out) {
+              ++tally.browned;
+            } else if (quote.price != reference[front.spec_index]) {
+              ++tally.parity_mismatches;
+            }
+          } catch (const core::ServiceTimeoutError&) {
+            ++tally.timed_out;
+          } catch (const std::exception&) {
+            ++tally.failed;
+          }
+          pending.pop_front();
+        }
+      };
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::size_t k = sub; k < requests; k += submitters) {
+        const auto due =
+            start + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                        static_cast<double>(k) * 1e9 / rate));
+        if (due > Clock::now()) std::this_thread::sleep_until(due);
+        const core::Priority priority = mix.pick(k);
+        const auto cls = static_cast<std::uint8_t>(priority);
+        const auto spec_index = static_cast<std::uint32_t>(k % curve.size());
+        ++mine[cls].issued;
+        const auto issued_at = Clock::now();
+        try {
+          pending.push_back({service.submit(curve[spec_index], timeout,
+                                            /*cache_tag=*/0, priority),
+                             issued_at, spec_index, cls});
+        } catch (const core::ServiceOverloadError&) {
+          ++mine[cls].shed;
+        }
+        harvest(/*block=*/false);
+      }
+      harvest(/*block=*/true);
+    });
+  }
+  while (ready.load() < submitters) std::this_thread::yield();
+  start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  point.elapsed_s = seconds_since(start);
+  point.stats = service.stats();
+  for (auto& per_thread : tallies) {
+    for (std::size_t cls = 0; cls < core::kPriorityCount; ++cls) {
+      point.per_class[cls] += per_thread[cls];
+    }
+  }
+  std::uint64_t issued = 0;
+  for (const SoakTally& tally : point.per_class) issued += tally.issued;
+  point.achieved_rate =
+      point.elapsed_s > 0.0
+          ? static_cast<double>(issued) / point.elapsed_s
+          : 0.0;
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -295,6 +499,15 @@ int main(int argc, char** argv) {
   std::size_t submitters = 8;
   int reps = 2;
   std::string json_out;
+
+  // Soak-mode knobs (all ignored by the other modes).
+  std::size_t soak_requests = 1000000;
+  std::string sweep_text = "0.5,1,2,4";
+  std::string mix_text = "20/50/30";
+  double shed_watermark = 0.75;
+  long sojourn_target_us = 2000;
+  long timeout_ms = 250;
+  bool brownout = false;
 
   bool options_set = false;
   bool steps_set = false;
@@ -315,6 +528,13 @@ int main(int argc, char** argv) {
     else if (flag == "--submitters") submitters = std::strtoul(value, nullptr, 10);
     else if (flag == "--reps") reps = static_cast<int>(std::strtol(value, nullptr, 10));
     else if (flag == "--json-out") json_out = value;
+    else if (flag == "--requests") soak_requests = std::strtoul(value, nullptr, 10);
+    else if (flag == "--sweep") sweep_text = value;
+    else if (flag == "--priority-mix") mix_text = value;
+    else if (flag == "--shed-watermark") shed_watermark = std::strtod(value, nullptr);
+    else if (flag == "--sojourn-target-us") sojourn_target_us = std::strtol(value, nullptr, 10);
+    else if (flag == "--timeout-ms") timeout_ms = std::strtol(value, nullptr, 10);
+    else if (flag == "--brownout") brownout = std::strtol(value, nullptr, 10) != 0;
     else if (flag == "--target") {
       bool found = false;
       for (core::Target t : core::all_targets()) {
@@ -330,8 +550,9 @@ int main(int argc, char** argv) {
     }
   }
   if (mode != "curve" && mode != "bursty" && mode != "fleet" &&
-      mode != "greeks") {
-    std::fprintf(stderr, "unknown mode '%s' (curve|bursty|fleet|greeks)\n",
+      mode != "greeks" && mode != "soak") {
+    std::fprintf(stderr,
+                 "unknown mode '%s' (curve|bursty|fleet|greeks|soak)\n",
                  mode.c_str());
     return 2;
   }
@@ -348,6 +569,10 @@ int main(int argc, char** argv) {
   // default to a smaller book so the one-leg-per-submit baseline stays
   // affordable in the CI perf-smoke.
   if (mode == "greeks" && !options_set) num_options = 512;
+  // Soak mode is a queueing benchmark, not a lattice benchmark: shallow
+  // trees keep the per-option cost low so the arrival sweep exercises
+  // admission, shedding, and deadlines rather than raw pricing.
+  if (mode == "soak" && !steps_set) steps = 64;
 
   const auto curve = finance::make_curve_batch(num_options);
 
@@ -358,6 +583,233 @@ int main(int argc, char** argv) {
   const std::vector<double> reference = direct.run(curve).prices;
   const double direct_s = seconds_since(direct_start);
   const double direct_ops = static_cast<double>(curve.size()) / direct_s;
+
+  if (mode == "soak") {
+    core::service::PriorityMix mix;
+    try {
+      mix = core::service::parse_priority_mix(mix_text);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "bad --priority-mix '%s': %s\n", mix_text.c_str(),
+                   error.what());
+      return 2;
+    }
+    std::vector<double> sweep;
+    for (const char* cursor = sweep_text.c_str(); *cursor != '\0';) {
+      char* end = nullptr;
+      const double mult = std::strtod(cursor, &end);
+      if (end == cursor || mult <= 0.0) {
+        std::fprintf(stderr,
+                     "bad --sweep '%s' (comma-separated positive capacity "
+                     "multipliers)\n",
+                     sweep_text.c_str());
+        return 2;
+      }
+      sweep.push_back(mult);
+      cursor = end;
+      if (*cursor == ',') ++cursor;
+    }
+    if (sweep.empty() || shed_watermark <= 0.0 || shed_watermark > 1.0 ||
+        sojourn_target_us <= 0 || timeout_ms <= 0) {
+      std::fprintf(stderr,
+                   "soak needs a non-empty --sweep, --shed-watermark in "
+                   "(0,1], and positive --sojourn-target-us/--timeout-ms\n");
+      return 2;
+    }
+
+    // Cache off so every admitted request actually prices (replay would
+    // let the overloaded points coast); modest queue and batch so the
+    // sweep saturates admission rather than memory.
+    core::ServiceConfig base;
+    base.targets.assign(workers, target);
+    base.steps = steps;
+    base.max_batch = 64;
+    base.linger = std::chrono::microseconds{100};
+    base.cache_capacity = 0;
+    base.queue_capacity = 1024;
+    core::ServiceConfig armed = base;
+    armed.overload.shed_watermark = shed_watermark;
+    armed.overload.sojourn_target =
+        std::chrono::microseconds{sojourn_target_us};
+    armed.overload.brownout = brownout;
+
+    std::printf("=================================================================\n");
+    std::printf("Service throughput — overload soak (priority admission + shedding)\n");
+    std::printf("  target=%s requests=%zu steps=%zu workers=%zu submitters=%zu\n"
+                "  mix=%s timeout=%ldms watermark=%.2f sojourn-target=%ldus "
+                "brownout=%s\n",
+                core::to_string(target).c_str(), soak_requests, steps, workers,
+                submitters, mix_text.c_str(), timeout_ms, shed_watermark,
+                sojourn_target_us, brownout ? "on" : "off");
+    std::printf("=================================================================\n\n");
+
+    const double capacity = measure_soak_capacity(base, curve, submitters);
+    std::printf("uncontended capacity   : %10.1f options/s (closed loop, "
+                "shedding disarmed)\n\n",
+                capacity);
+
+    const std::size_t per_point =
+        std::max<std::size_t>(1, soak_requests / sweep.size());
+    std::vector<SoakPoint> points;
+    points.reserve(sweep.size());
+    for (const double mult : sweep) {
+      points.push_back(run_soak_point(
+          armed, curve, reference, per_point, mult * capacity, mult, mix,
+          submitters, std::chrono::milliseconds{timeout_ms}));
+      const SoakPoint& point = points.back();
+      std::uint64_t issued = 0, completed = 0, shed = 0, timed = 0;
+      for (const SoakTally& tally : point.per_class) {
+        issued += tally.issued;
+        completed += tally.completed;
+        shed += tally.shed;
+        timed += tally.timed_out;
+      }
+      const auto rt = static_cast<std::size_t>(core::Priority::kRealtime);
+      std::printf("x%-5.2f %9.0f req/s : issued %8llu | completed %8llu | "
+                  "shed %7llu | timed-out %6llu | rt p99 %8.3f ms\n",
+                  point.multiplier, point.target_rate,
+                  static_cast<unsigned long long>(issued),
+                  static_cast<unsigned long long>(completed),
+                  static_cast<unsigned long long>(shed),
+                  static_cast<unsigned long long>(timed),
+                  percentile_ns(point.per_class[rt].latency_ns, 99.0) / 1e6);
+    }
+
+    // Exact conservation, per class and cross-checked against the
+    // service's own ledger: nothing is ever silently dropped.
+    bool conserved = true;
+    std::uint64_t issued = 0, completed = 0, shed = 0, timed = 0, failed = 0,
+                  browned = 0, mismatches = 0;
+    for (const SoakPoint& point : points) {
+      std::uint64_t point_issued = 0, point_completed = 0, point_shed = 0,
+                    point_timed = 0, point_failed = 0;
+      for (const SoakTally& tally : point.per_class) {
+        conserved = conserved &&
+                    tally.issued == tally.completed + tally.shed +
+                                        tally.timed_out + tally.failed;
+        point_issued += tally.issued;
+        point_completed += tally.completed;
+        point_shed += tally.shed;
+        point_timed += tally.timed_out;
+        point_failed += tally.failed;
+        browned += tally.browned;
+        mismatches += tally.parity_mismatches;
+      }
+      const core::service::ServiceStats& stats = point.stats;
+      conserved =
+          conserved &&
+          stats.requests_shed_normal + stats.requests_shed_batch ==
+              point_shed &&
+          stats.requests_submitted == point_issued - point_shed &&
+          stats.requests_completed == point_completed &&
+          stats.requests_timed_out == point_timed &&
+          stats.requests_failed == point_failed &&
+          stats.requests_completed + stats.requests_timed_out +
+                  stats.requests_failed ==
+              stats.requests_submitted;
+      issued += point_issued;
+      completed += point_completed;
+      shed += point_shed;
+      timed += point_timed;
+      failed += point_failed;
+    }
+    // kRealtime never sheds, by contract.
+    const auto rt = static_cast<std::size_t>(core::Priority::kRealtime);
+    for (const SoakPoint& point : points) {
+      conserved = conserved && point.per_class[rt].shed == 0;
+    }
+
+    const double p99_base_ms =
+        percentile_ns(points.front().per_class[rt].latency_ns, 99.0) / 1e6;
+    const double p99_over_ms =
+        percentile_ns(points.back().per_class[rt].latency_ns, 99.0) / 1e6;
+    const bool p99_gate = points.size() >= 2 &&
+                          points.back().multiplier > 1.0 &&
+                          points.front().per_class[rt].latency_ns.size() >=
+                              100 &&
+                          points.back().per_class[rt].latency_ns.size() >= 100;
+    const core::service::ServiceStats& over = points.back().stats;
+    std::printf("\nrealtime p99           : %10.3f ms uncontended -> %.3f ms "
+                "at x%.1f%s\n",
+                p99_base_ms, p99_over_ms, points.back().multiplier,
+                p99_gate ? "" : " (gate skipped: too few realtime samples)");
+    std::printf("admission block (x%.1f) : p50 %.3f ms, p99 %.3f ms over "
+                "%llu stalls\n",
+                points.back().multiplier,
+                over.admission_block_ns.p50() / 1e6,
+                over.admission_block_ns.p99() / 1e6,
+                static_cast<unsigned long long>(
+                    over.admission_block_ns.count()));
+    std::printf("totals                 : issued %llu = completed %llu + "
+                "shed %llu + timed-out %llu + failed %llu | browned-out %llu\n\n",
+                static_cast<unsigned long long>(issued),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(timed),
+                static_cast<unsigned long long>(failed),
+                static_cast<unsigned long long>(browned));
+
+    const std::string row = format_row(
+        "{\"benchmark\":\"service_throughput\",\"mode\":\"soak\","
+        "\"target\":\"%s\",\"requests\":%llu,\"steps\":%zu,\"workers\":%zu,"
+        "\"submitters\":%zu,\"sweep\":\"%s\",\"priority_mix\":\"%s\","
+        "\"timeout_ms\":%ld,\"shed_watermark\":%.3f,"
+        "\"sojourn_target_us\":%ld,\"brownout\":%s,"
+        "\"capacity_options_per_second\":%.1f,"
+        "\"issued\":%llu,\"completed\":%llu,\"shed\":%llu,"
+        "\"timed_out\":%llu,\"failed\":%llu,\"brownout_completions\":%llu,"
+        "\"realtime_p99_uncontended_ms\":%.4f,"
+        "\"realtime_p99_overloaded_ms\":%.4f,"
+        "\"admission_block_p99_ms\":%.4f,\"parity_mismatches\":%llu,"
+        "\"conserved\":%s}",
+        core::to_string(target).c_str(),
+        static_cast<unsigned long long>(issued), steps, workers, submitters,
+        sweep_text.c_str(), mix_text.c_str(), timeout_ms, shed_watermark,
+        sojourn_target_us, brownout ? "true" : "false", capacity,
+        static_cast<unsigned long long>(issued),
+        static_cast<unsigned long long>(completed),
+        static_cast<unsigned long long>(shed),
+        static_cast<unsigned long long>(timed),
+        static_cast<unsigned long long>(failed),
+        static_cast<unsigned long long>(browned), p99_base_ms, p99_over_ms,
+        over.admission_block_ns.p99() / 1e6,
+        static_cast<unsigned long long>(mismatches),
+        conserved ? "true" : "false");
+    emit_json(row, json_out);
+
+    if (!conserved) {
+      std::fprintf(stderr,
+                   "FAIL: request conservation violated (client ledger and "
+                   "service counters disagree)\n");
+      return 1;
+    }
+    if (failed != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu requests failed with unexpected errors (soak "
+                   "injects no faults)\n",
+                   static_cast<unsigned long long>(failed));
+      return 1;
+    }
+    if (mismatches != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu un-browned-out completions diverge from the "
+                   "direct run\n",
+                   static_cast<unsigned long long>(mismatches));
+      return 1;
+    }
+    // The overload gate (reference target): shedding must keep the
+    // realtime class's completion latency bounded while the service is
+    // driven past capacity. The 25ms slack absorbs scheduler jitter on
+    // shared CI runners; on an idle host the margin is far wider.
+    if (target == core::Target::kCpuReference && p99_gate &&
+        p99_over_ms > 2.0 * p99_base_ms + 25.0) {
+      std::fprintf(stderr,
+                   "FAIL: realtime p99 ballooned under overload (%.3f ms at "
+                   "x%.1f vs %.3f ms uncontended)\n",
+                   p99_over_ms, points.back().multiplier, p99_base_ms);
+      return 1;
+    }
+    return 0;
+  }
 
   if (mode == "greeks") {
     std::printf("=================================================================\n");

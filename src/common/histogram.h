@@ -45,6 +45,16 @@ public:
     sum_ += value;
   }
 
+  /// Records `n` identical samples in O(1) — the service folds its atomic
+  /// count of never-blocked admissions into admission_block_ns as n
+  /// zero-valued samples at stats() time, keeping the admission fast path
+  /// free of the histogram's lock.
+  void record_many(std::uint64_t value, std::uint64_t n) {
+    buckets_[bucket_index(value)] += n;
+    count_ += n;
+    sum_ += value * n;
+  }
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] std::uint64_t sum() const { return sum_; }
   [[nodiscard]] double mean() const {

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/statistics.h"
 #include "ocl/faults/fault_plan.h"
 
 namespace binopt::core {
@@ -72,6 +73,55 @@ private:
   std::atomic<std::size_t>& counter_;
 };
 
+/// Reduced-fidelity sibling used by brownout: the single-precision
+/// variant where the paper implements one, otherwise the same target
+/// (the step reduction alone is then the fidelity cut).
+Target brownout_target_for(Target target) {
+  switch (target) {
+    case Target::kCpuReference: return Target::kCpuReferenceSingle;
+    case Target::kGpuKernelB: return Target::kGpuKernelBSingle;
+    default: return target;
+  }
+}
+
+/// Fixed calibration grid for the brownout accuracy bound: moneyness x
+/// volatility x maturity, call/put alternating — small enough to run once
+/// per worker, wide enough that the RMSE is not a single-point fluke.
+std::vector<finance::OptionSpec> brownout_calibration_specs() {
+  std::vector<finance::OptionSpec> specs;
+  const double spots[] = {80.0, 100.0, 120.0};
+  const double vols[] = {0.15, 0.35};
+  const double maturities[] = {0.5, 2.0};
+  bool call = true;
+  for (const double spot : spots) {
+    for (const double vol : vols) {
+      for (const double maturity : maturities) {
+        finance::OptionSpec spec;
+        spec.spot = spot;
+        spec.strike = 100.0;
+        spec.rate = 0.03;
+        spec.dividend = 0.01;
+        spec.volatility = vol;
+        spec.maturity = maturity;
+        spec.type =
+            call ? finance::OptionType::kCall : finance::OptionType::kPut;
+        call = !call;
+        specs.push_back(spec);
+      }
+    }
+  }
+  return specs;
+}
+
+ServiceOverloadError make_shed_error(Priority priority, std::size_t occupancy,
+                                     std::size_t threshold) {
+  std::ostringstream os;
+  os << "pricing service shed " << to_string(priority)
+     << "-priority request at admission: queue occupancy " << occupancy
+     << " >= " << to_string(priority) << " shed threshold " << threshold;
+  return ServiceOverloadError(priority, occupancy, threshold, os.str());
+}
+
 }  // namespace
 
 PricingService::PricingService(ServiceConfig config)
@@ -99,6 +149,19 @@ PricingService::PricingService(ServiceConfig config)
   }
   if (config_.router.enabled()) {
     router_.emplace(config_.targets, config_.steps, config_.router);
+  }
+
+  // Overload layer (DESIGN.md §2.10): an explicit config wins; fields
+  // left at zero fall back to BINOPT_SERVICE_SHED_WATERMARK /
+  // BINOPT_SERVICE_SOJOURN_TARGET_US, mirroring the router's env knob.
+  // Disarmed (the default), overload_armed_ stays false and every
+  // overload branch in the hot path is one never-taken comparison.
+  config_.overload.validate();
+  config_.overload.apply_env();
+  config_.overload.validate();
+  overload_armed_ = config_.overload.enabled();
+  if (overload_armed_) {
+    controller_.emplace(config_.overload, config_.queue_capacity);
   }
 
   const std::size_t ring_capacity = ring_capacity_for(config_.queue_capacity);
@@ -193,13 +256,14 @@ PricingService::~PricingService() {
 
 void PricingService::fulfil(Request& request, double price, Target target,
                             Target routed_target, bool from_cache,
-                            bool degraded) {
+                            bool degraded, bool browned_out,
+                            double accuracy_bound) {
   if (request.resolved) return;  // at-most-once, by construction
   request.resolved = true;
   switch (request.sink) {
     case SinkKind::kSingle:
-      request.single->set_value(
-          Quote{price, target, routed_target, from_cache, degraded});
+      request.single->set_value(Quote{price, target, routed_target, from_cache,
+                                      degraded, browned_out, accuracy_bound});
       return;
     case SinkKind::kBatch: {
       BatchState& batch = *request.batch;
@@ -289,9 +353,10 @@ void PricingService::init_request(
     Request& request, const finance::OptionSpec& spec,
     std::chrono::steady_clock::time_point deadline, bool has_deadline,
     std::chrono::steady_clock::time_point admitted_at,
-    std::uint32_t cache_tag) {
+    std::uint32_t cache_tag, Priority priority) {
   request.spec = spec;
   request.cache_tag = cache_tag;
+  request.priority = priority;
   request.deadline = deadline;
   request.admitted_at = admitted_at;
   request.has_deadline = has_deadline;
@@ -322,19 +387,30 @@ std::future<Quote> PricingService::submit(const finance::OptionSpec& spec) {
 
 std::future<Quote> PricingService::submit(const finance::OptionSpec& spec,
                                           std::chrono::milliseconds timeout,
-                                          std::uint32_t cache_tag) {
+                                          std::uint32_t cache_tag,
+                                          Priority priority) {
   check_admissible(spec);
   bool has_deadline = false;
   const auto deadline = deadline_for(timeout, has_deadline);
   Request* request = arena_->acquire();
   init_request(*request, spec, deadline, has_deadline,
-               std::chrono::steady_clock::now(), cache_tag);
+               std::chrono::steady_clock::now(), cache_tag, priority);
   request->single.emplace();
   std::future<Quote> future = request->single->get_future();
   // After a successful admission the slot belongs to the workers (it may
   // resolve and recycle before we return) — hence the future is taken
-  // first and the pointer is dead to us past this call.
-  if (enqueue_requests(&request, 1) != 1) {
+  // first and the pointer is dead to us past this call. An admission
+  // timeout is settled inside enqueue_requests and counts as consumed,
+  // so the future then already carries ServiceTimeoutError.
+  AdmitOutcome abort;
+  if (enqueue_requests(&request, 1, &abort) != 1) {
+    if (abort.result == AdmitResult::kShed) {
+      const ServiceOverloadError error =
+          make_shed_error(priority, abort.occupancy, abort.threshold);
+      fail(*request, std::make_exception_ptr(error));
+      release_request(request);
+      throw error;
+    }
     fail(*request, std::make_exception_ptr(ServiceShutdownError(
                        "pricing service is shutting down")));
     release_request(request);
@@ -350,7 +426,8 @@ std::future<std::vector<double>> PricingService::submit_batch(
 
 std::future<std::vector<double>> PricingService::submit_batch(
     const std::vector<finance::OptionSpec>& specs,
-    std::chrono::milliseconds timeout, std::uint32_t cache_tag) {
+    std::chrono::milliseconds timeout, std::uint32_t cache_tag,
+    Priority priority) {
   auto state = std::make_shared<BatchState>(specs.size());
   std::future<std::vector<double>> future = state->promise.get_future();
   if (specs.empty()) {
@@ -367,20 +444,31 @@ std::future<std::vector<double>> PricingService::submit_batch(
   for (std::size_t i = 0; i < specs.size(); ++i) {
     Request* request = arena_->acquire();
     init_request(*request, specs[i], deadline, has_deadline, admitted_at,
-                 cache_tag);
+                 cache_tag, priority);
     request->sink = SinkKind::kBatch;
     request->batch = state;
     request->index = i;
     requests.push_back(request);
   }
-  const std::size_t admitted =
-      enqueue_requests(requests.data(), requests.size());
-  if (admitted == requests.size()) return future;
-  // Shutdown interrupted admission: resolve the unadmitted tail so the
-  // caller's future never dangles, then surface the shutdown.
+  AdmitOutcome abort;
+  const std::size_t consumed =
+      enqueue_requests(requests.data(), requests.size(), &abort);
+  if (consumed == requests.size()) return future;
+  // Shutdown or a shed interrupted admission: resolve the untouched tail
+  // so the caller's future never dangles, then surface the typed error.
+  if (abort.result == AdmitResult::kShed) {
+    const ServiceOverloadError shed =
+        make_shed_error(priority, abort.occupancy, abort.threshold);
+    const auto error = std::make_exception_ptr(shed);
+    for (std::size_t i = consumed; i < requests.size(); ++i) {
+      fail(*requests[i], error);
+      release_request(requests[i]);
+    }
+    throw shed;
+  }
   const auto error = std::make_exception_ptr(
       ServiceShutdownError("pricing service is shutting down"));
-  for (std::size_t i = admitted; i < requests.size(); ++i) {
+  for (std::size_t i = consumed; i < requests.size(); ++i) {
     fail(*requests[i], error);
     release_request(requests[i]);
   }
@@ -395,7 +483,8 @@ void PricingService::price_batch_blocking(const finance::OptionSpec* specs,
 void PricingService::price_batch_blocking(const finance::OptionSpec* specs,
                                           std::size_t n, double* out,
                                           std::chrono::milliseconds timeout,
-                                          std::uint32_t cache_tag) {
+                                          std::uint32_t cache_tag,
+                                          Priority priority) {
   BINOPT_REQUIRE(specs != nullptr || n == 0, "null spec array");
   BINOPT_REQUIRE(out != nullptr || n == 0, "null output array");
   if (n == 0) return;
@@ -414,13 +503,14 @@ void PricingService::price_batch_blocking(const finance::OptionSpec* specs,
   // `out` through the group and recycles its slot without us ever
   // touching it again.
   std::size_t not_admitted = 0;
+  AdmitOutcome abort;
   {
     const AdmissionScope scope(admissions_in_flight_);
     std::size_t pick = 0;
     for (std::size_t i = 0; i < n; ++i) {
       Request* request = arena_->acquire();
       init_request(*request, specs[i], deadline, has_deadline, admitted_at,
-                   cache_tag);
+                   cache_tag, priority);
       request->sink = SinkKind::kSync;
       request->sync = &group;
       request->index = i;
@@ -433,22 +523,43 @@ void PricingService::price_batch_blocking(const finance::OptionSpec* specs,
         request->routed_worker = pick;
         request->has_route = true;
       }
-      if (!admit_one(request)) {
-        release_request(request);
-        not_admitted = n - i;
-        break;
+      const AdmitOutcome outcome = admit_one(request);
+      if (outcome.result == AdmitResult::kAdmitted) {
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+        continue;
       }
-      submitted_.fetch_add(1, std::memory_order_relaxed);
+      if (outcome.result == AdmitResult::kTimedOut) {
+        // The element's own deadline fired at admission or while parked
+        // on backpressure (satellite 1): settle it in place without ever
+        // holding a queue slot, keep admitting the rest (they carry the
+        // same deadline and settle the same way, cheaply).
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+        admission_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        fail(*request,
+             std::make_exception_ptr(ServiceTimeoutError(
+                 "quote request expired at admission (deadline passed "
+                 "before a queue slot freed)")));
+        release_request(request);
+        continue;
+      }
+      release_request(request);
+      not_admitted = n - i;
+      abort = outcome;
+      break;
     }
   }
   if (not_admitted > 0) {
-    // Shutdown mid-admission: settle the unadmitted tail locally, then
-    // fall through to wait for whatever was admitted before throwing.
+    // Shutdown or shed mid-admission: settle the unadmitted tail locally,
+    // then fall through to wait for whatever was admitted before throwing.
     const std::lock_guard<std::mutex> lock(group.mutex);
     if (!group.failed) {
       group.failed = true;
-      group.error = std::make_exception_ptr(ServiceShutdownError(
-          "pricing service is shutting down"));
+      group.error =
+          abort.result == AdmitResult::kShed
+              ? std::make_exception_ptr(make_shed_error(
+                    priority, abort.occupancy, abort.threshold))
+              : std::make_exception_ptr(ServiceShutdownError(
+                    "pricing service is shutting down"));
     }
     group.remaining -= not_admitted;
   }
@@ -461,12 +572,53 @@ void PricingService::price_batch_blocking(const finance::OptionSpec* specs,
   if (error) std::rethrow_exception(error);
 }
 
-bool PricingService::admit_one(Request* request) {
+PricingService::AdmitOutcome PricingService::admit_one(Request* request) {
+  // Overload shedding (armed only): refuse below-realtime classes at
+  // their watermark BEFORE the credit CAS, so a shed never consumes a
+  // queue slot, never blocks, and never silently drops — the caller gets
+  // the typed refusal with the occupancy/threshold it was judged by.
+  // kRealtime traffic always keeps the blocking path. The check happens
+  // once, at admission entry: a request that passed it may still block on
+  // a queue that fills behind it (shed-at-admission, not shed-while-
+  // parked).
+  if (overload_armed_ && request->priority != Priority::kRealtime) {
+    const std::size_t occupancy = queue_count_.load(std::memory_order_acquire);
+    const std::size_t threshold = request->priority == Priority::kBatch
+                                      ? controller_->batch_watermark()
+                                      : controller_->normal_watermark();
+    if (occupancy >= threshold) {
+      (request->priority == Priority::kBatch ? shed_batch_ : shed_normal_)
+          .fetch_add(1, std::memory_order_relaxed);
+      return {AdmitResult::kShed, occupancy, threshold};
+    }
+  }
+  // Deadline gate (satellite 1): a request whose deadline fires before a
+  // credit frees is refused here instead of entering the queue already
+  // dead. The block start is stamped once so admission_block_ns measures
+  // the whole backpressure wait the submitter experienced.
+  const auto block_start = std::chrono::steady_clock::now();
+  bool blocked = false;
+  const auto settle_block = [&](std::chrono::steady_clock::time_point end) {
+    if (blocked) {
+      const std::lock_guard<std::mutex> lock(admission_hist_mutex_);
+      admission_block_.record(elapsed_ns(block_start, end));
+    } else {
+      admissions_unblocked_.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  if (request->has_deadline &&
+      deadline_expired(block_start, request->deadline)) {
+    settle_block(block_start);
+    return {AdmitResult::kTimedOut};
+  }
   // Acquire one admission credit: the credit count — not the ring's
   // rounded-up physical size — is what bounds queued_requests() to
   // queue_capacity.
   for (;;) {
-    if (stopping_.load(std::memory_order_acquire)) return false;
+    if (stopping_.load(std::memory_order_acquire)) {
+      settle_block(std::chrono::steady_clock::now());
+      return {AdmitResult::kShutdown};
+    }
     std::size_t count = queue_count_.load(std::memory_order_relaxed);
     bool acquired = false;
     while (count < config_.queue_capacity) {
@@ -477,13 +629,28 @@ bool PricingService::admit_one(Request* request) {
       }
     }
     if (acquired) break;
-    not_full_.wait_until(
-        std::chrono::steady_clock::now() + kBackpressureNap, [&] {
-          return stopping_.load(std::memory_order_relaxed) ||
-                 queue_count_.load(std::memory_order_relaxed) <
-                     config_.queue_capacity;
-        });
+    const auto now = std::chrono::steady_clock::now();
+    if (request->has_deadline && deadline_expired(now, request->deadline)) {
+      // Parked on a full queue past the request's own deadline: refuse
+      // without a slot (the pre-fix service blocked here indefinitely,
+      // honouring the deadline only after admission).
+      settle_block(now);
+      return {AdmitResult::kTimedOut};
+    }
+    blocked = true;
+    auto wake = now + kBackpressureNap;
+    if (request->has_deadline) {
+      // Wake at the deadline (plus a tick past the strict `>` edge) so a
+      // doomed wait ends on time instead of at the next nap boundary.
+      wake = std::min(wake, request->deadline + std::chrono::microseconds{1});
+    }
+    not_full_.wait_until(wake, [&] {
+      return stopping_.load(std::memory_order_relaxed) ||
+             queue_count_.load(std::memory_order_relaxed) <
+                 config_.queue_capacity;
+    });
   }
+  settle_block(std::chrono::steady_clock::now());
   if (router_.has_value()) {
     // Routed spine: the request was stamped with its placement just before
     // admission; deliver it to that worker's private queue and account the
@@ -503,11 +670,12 @@ bool PricingService::admit_one(Request* request) {
     mutex_queue_.push_back(request);
   }
   not_empty_.notify();
-  return true;
+  return {AdmitResult::kAdmitted};
 }
 
 std::size_t PricingService::enqueue_requests(Request* const* requests,
-                                             std::size_t n) {
+                                             std::size_t n,
+                                             AdmitOutcome* abort) {
   const AdmissionScope scope(admissions_in_flight_);
   std::size_t pick = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -522,8 +690,30 @@ std::size_t PricingService::enqueue_requests(Request* const* requests,
       requests[i]->routed_worker = pick;
       requests[i]->has_route = true;
     }
-    if (!admit_one(requests[i])) return i;
-    submitted_.fetch_add(1, std::memory_order_relaxed);
+    const AdmitOutcome outcome = admit_one(requests[i]);
+    switch (outcome.result) {
+      case AdmitResult::kAdmitted:
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      case AdmitResult::kTimedOut:
+        // Satellite 1: the deadline fired at admission or while parked on
+        // backpressure. The request never held a queue slot; settle it in
+        // place and keep going — it still counts as submitted (the client
+        // handed it over) and as an admission timeout (folded into
+        // requests_timed_out by stats()).
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+        admission_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        fail(*requests[i],
+             std::make_exception_ptr(ServiceTimeoutError(
+                 "quote request expired at admission (deadline passed "
+                 "before a queue slot freed)")));
+        release_request(requests[i]);
+        continue;
+      case AdmitResult::kShutdown:
+      case AdmitResult::kShed:
+        if (abort != nullptr) *abort = outcome;
+        return i;
+    }
   }
   return n;
 }
@@ -532,6 +722,49 @@ std::size_t PricingService::pop_available(
     std::chrono::steady_clock::time_point now, std::vector<Request*>& out,
     std::size_t limit, Worker& self, bool probing) {
   std::size_t popped = 0;
+  // Armed overload layer: requests already past their deadline are
+  // eagerly dropped while scanning the queues, so a dead request never
+  // occupies an accelerator batch slot that live work could use. Drops
+  // are staged in worker scratch and resolved AFTER every spine lock is
+  // released (one shard-lock pass, then the sinks).
+  const bool armed = overload_armed_;
+  const auto expired = [&](const Request* request) {
+    return armed && request->has_deadline &&
+           deadline_expired(now, request->deadline);
+  };
+  // EDF order for the deque spines: deadlined before undeadlined,
+  // earlier deadline first, admission order as the tie-break.
+  const auto edf_less = [](const Request* a, const Request* b) {
+    return service::edf_before(
+        service::EdfKey{a->has_deadline, a->deadline, a->admitted_at},
+        service::EdfKey{b->has_deadline, b->deadline, b->admitted_at});
+  };
+  // Pops the EDF-earliest collectable entry out of a deque (linear scan —
+  // queues are bounded by queue_capacity and typically far smaller),
+  // staging expired entries as drops along the way. `on_drop` returns the
+  // dropped entry's admission credit while the spine lock is still held.
+  const auto pop_edf = [&](std::deque<Request*>& queue,
+                           auto&& on_drop) -> Request* {
+    // Sweep expired entries first (erase invalidates deque iterators, so
+    // the EDF scan runs on a clean queue afterwards).
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (expired(*it)) {
+        self.eager_drops.push_back(*it);
+        it = queue.erase(it);
+        on_drop();
+      } else {
+        ++it;
+      }
+    }
+    auto best = queue.end();
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (best == queue.end() || edf_less(*it, *best)) best = it;
+    }
+    if (best == queue.end()) return nullptr;
+    Request* request = *best;
+    queue.erase(best);
+    return request;
+  };
   // Ready retries first: redelivered work is older than anything fresh.
   // The atomic guard keeps the fault-free hot path off the retry lock.
   if (retry_count_.load(std::memory_order_acquire) > 0) {
@@ -540,6 +773,12 @@ std::size_t PricingService::pop_available(
     for (auto it = retry_queue_.begin();
          it != retry_queue_.end() && out.size() < limit;) {
       Request* request = *it;
+      // Expired retries are dead regardless of their backoff window.
+      if (!stopping && expired(request)) {
+        self.eager_drops.push_back(request);
+        it = retry_queue_.erase(it);
+        continue;
+      }
       // During shutdown backoffs are ignored so draining stays fast.
       if (stopping || !request->has_ready_at || request->ready_at <= now) {
         out.push_back(request);
@@ -554,9 +793,20 @@ std::size_t PricingService::pop_available(
   if (router_.has_value()) {
     {
       const std::lock_guard<std::mutex> lock(self.route_mutex);
+      const auto drop_credit = [&] {
+        queue_count_.fetch_sub(1, std::memory_order_acq_rel);
+        router_->on_dequeued(self.index, 1);
+      };
       while (out.size() < limit && !self.routed_queue.empty()) {
-        out.push_back(self.routed_queue.front());
-        self.routed_queue.pop_front();
+        Request* request = nullptr;
+        if (armed) {
+          request = pop_edf(self.routed_queue, drop_credit);
+          if (request == nullptr) break;  // only expired entries remained
+        } else {
+          request = self.routed_queue.front();
+          self.routed_queue.pop_front();
+        }
+        out.push_back(request);
         queue_count_.fetch_sub(1, std::memory_order_acq_rel);
         router_->on_dequeued(self.index, 1);
         ++popped;
@@ -580,20 +830,61 @@ std::size_t PricingService::pop_available(
       }
     }
   } else if (ring_.has_value()) {
+    // The ring pops FIFO (EDF within the window happens in collect_batch's
+    // sort); expiry is still enforced here so dead requests never occupy
+    // batch slots.
     Request* request = nullptr;
     while (out.size() < limit && ring_->try_pop(request)) {
       queue_count_.fetch_sub(1, std::memory_order_acq_rel);
+      if (expired(request)) {
+        self.eager_drops.push_back(request);
+        continue;
+      }
       out.push_back(request);
       ++popped;
     }
   } else {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
+    const auto drop_credit = [&] {
+      queue_count_.fetch_sub(1, std::memory_order_acq_rel);
+    };
     while (out.size() < limit && !mutex_queue_.empty()) {
-      out.push_back(mutex_queue_.front());
-      mutex_queue_.pop_front();
+      Request* request = nullptr;
+      if (armed) {
+        request = pop_edf(mutex_queue_, drop_credit);
+        if (request == nullptr) break;  // only expired entries remained
+      } else {
+        request = mutex_queue_.front();
+        mutex_queue_.pop_front();
+      }
+      out.push_back(request);
       queue_count_.fetch_sub(1, std::memory_order_acq_rel);
       ++popped;
     }
+  }
+  if (armed && !self.eager_drops.empty()) {
+    // Resolve the staged drops with every spine lock released. Their
+    // queue credits are returned here (retry-queue entries never held
+    // one — requeue() bypasses admission credits).
+    const auto error = std::make_exception_ptr(ServiceTimeoutError(
+        "quote request expired in queue (eagerly dropped before "
+        "occupying a batch slot)"));
+    {
+      const std::lock_guard<std::mutex> lock(self.shard_mutex);
+      for (const Request* request : self.eager_drops) {
+        self.shard.queue_wait_ns.record(elapsed_ns(request->admitted_at, now));
+        self.shard.request_latency_ns.record(
+            elapsed_ns(request->admitted_at, now));
+        ++self.shard.requests_timed_out;
+        ++self.shard.eager_deadline_drops;
+      }
+    }
+    for (Request* request : self.eager_drops) {
+      fail(*request, error);
+      release_request(request);
+    }
+    popped += self.eager_drops.size();
+    self.eager_drops.clear();
   }
   if (popped > 0) not_full_.notify();
   return popped;
@@ -656,6 +947,32 @@ bool PricingService::collect_batch(Worker& self, std::vector<Request*>& out,
       }
       pop_available(std::chrono::steady_clock::now(), out, limit, self,
                     probing);
+    }
+  }
+  if (overload_armed_ && out.size() > 1) {
+    // Deadline-aware batch formation: EDF order within the collected
+    // window. The deque spines already popped earliest-deadline-first;
+    // this sort is what makes the FIFO ring's window deadline-aware, and
+    // it keeps retry-first pops in EDF order too. Insertion sort, not
+    // std::stable_sort: it is equally stable (pop order preserved among
+    // equal keys) but allocates no merge buffer, so arming the layer
+    // keeps the zero-allocation fast path
+    // (tests/core/test_alloc_hotpath.cpp pins this). The window is
+    // bounded by max_batch and usually far smaller, and the common case —
+    // already in order — is a linear scan.
+    const auto edf_key = [](const Request* request) {
+      return service::EdfKey{request->has_deadline, request->deadline,
+                             request->admitted_at};
+    };
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      Request* request = out[i];
+      const service::EdfKey key = edf_key(request);
+      std::size_t j = i;
+      while (j > 0 && service::edf_before(key, edf_key(out[j - 1]))) {
+        out[j] = out[j - 1];
+        --j;
+      }
+      out[j] = request;
     }
   }
   return true;
@@ -721,6 +1038,10 @@ void PricingService::worker_loop(std::size_t worker_index) {
   worker.to_requeue.reserve(config_.max_batch);
   worker.requeue_ptrs.reserve(config_.max_batch);
   worker.to_degrade.reserve(config_.max_batch);
+  worker.to_brownout.reserve(config_.max_batch);
+  worker.brownout_specs.reserve(config_.max_batch);
+  worker.brownout_prices.reserve(config_.max_batch);
+  worker.eager_drops.reserve(config_.max_batch);
   worker.specs.reserve(config_.max_batch);
   worker.tags.reserve(config_.max_batch);
   worker.prices.reserve(config_.max_batch);
@@ -815,6 +1136,7 @@ void PricingService::process_batch(Worker& worker,
   std::vector<std::size_t>& to_price = worker.to_price;
   std::vector<std::size_t>& to_requeue = worker.to_requeue;
   std::vector<std::size_t>& to_degrade = worker.to_degrade;
+  std::vector<std::size_t>& to_brownout = worker.to_brownout;
   std::vector<finance::OptionSpec>& specs = worker.specs;
   std::vector<std::uint32_t>& tags = worker.tags;
   std::vector<double>& prices = worker.prices;
@@ -823,16 +1145,30 @@ void PricingService::process_batch(Worker& worker,
   to_price.clear();
   to_requeue.clear();
   to_degrade.clear();
+  to_brownout.clear();
   specs.clear();
   tags.clear();
   prices.clear();
+
+  // Accuracy-bounded brownout trigger (DESIGN.md §2.10), sampled once per
+  // batch: the controller's sustained-delay state, or instantaneous
+  // pressure (this batch plus the standing queue) at/above the kBatch
+  // watermark. Opt-in and kBatch-only — realtime/normal work always gets
+  // full fidelity.
+  const bool brownout_active =
+      overload_armed_ && config_.overload.brownout &&
+      (controller_->overloaded() ||
+       batch.size() + queue_count_.load(std::memory_order_acquire) >=
+           controller_->batch_watermark());
 
   auto earliest_admission = now;
   for (std::size_t pos = 0; pos < batch.size(); ++pos) {
     Request& request = *batch[pos];
     // Queue wait: admission to batch collection, for every popped request
     // (expired ones included — that wait is *why* they expired).
-    delta.queue_wait_ns.record(elapsed_ns(request.admitted_at, now));
+    const std::uint64_t sojourn_ns = elapsed_ns(request.admitted_at, now);
+    delta.queue_wait_ns.record(sojourn_ns);
+    if (overload_armed_) controller_->observe(sojourn_ns, now);
     earliest_admission = std::min(earliest_admission, request.admitted_at);
     if (request.has_route) {
       // Placement accounting: routed once (first collection — retries of
@@ -846,7 +1182,7 @@ void PricingService::process_batch(Worker& worker,
     }
     // Expiry first: a stale quote is worthless even if cached — serving it
     // would hide that the client's deadline was missed.
-    if (request.has_deadline && now > request.deadline) {
+    if (request.has_deadline && deadline_expired(now, request.deadline)) {
       failures.push_back(
           {pos, std::make_exception_ptr(ServiceTimeoutError(
                     "quote request expired before pricing"))});
@@ -863,6 +1199,12 @@ void PricingService::process_batch(Worker& worker,
         continue;
       }
       ++delta.cache_misses;
+    }
+    // Brownout: kBatch-class cache misses under sustained overload price
+    // on the reduced-fidelity sibling instead of the full path.
+    if (brownout_active && request.priority == Priority::kBatch) {
+      to_brownout.push_back(pos);
+      continue;
     }
     to_price.push_back(pos);
     specs.push_back(request.spec);
@@ -984,6 +1326,65 @@ void PricingService::process_batch(Worker& worker,
     }
   }
 
+  // Accuracy-bounded brownout (DESIGN.md §2.10): under sustained overload
+  // kBatch-class work is priced by a lazily-built reduced-fidelity
+  // sibling — the single-precision variant where the paper implements
+  // one, at brownout_steps lattice steps (default: half the configured
+  // steps). Each browned quote is stamped with the calibrated RMSE of
+  // that configuration. Browned prices are never cached: a reduced-
+  // fidelity answer must not outlive the overload that justified it.
+  if (!to_brownout.empty()) {
+    if (!worker.brownout) {
+      PricingAccelerator::Config brownout_config;
+      brownout_config.target = brownout_target_for(target);
+      brownout_config.steps =
+          config_.overload.brownout_steps != 0
+              ? config_.overload.brownout_steps
+              : std::max<std::size_t>(2, config_.steps / 2);
+      brownout_config.compute_rmse = false;
+      brownout_config.compute_units = config_.compute_units;
+      // Deliberately no fault plan: brownout is a capacity valve, not a
+      // fault-injection subject.
+      worker.brownout =
+          std::make_unique<PricingAccelerator>(std::move(brownout_config));
+    }
+    if (!worker.has_brownout_rmse) {
+      // One-time calibration: the brownout configuration against a fresh
+      // fault-free full-fidelity accelerator over a fixed moneyness x
+      // volatility x maturity grid (the Table II RMSE metric).
+      const std::vector<finance::OptionSpec> calibration =
+          brownout_calibration_specs();
+      std::vector<double> reduced(calibration.size(), 0.0);
+      std::vector<double> reference(calibration.size(), 0.0);
+      worker.brownout->run_prices(calibration.data(), calibration.size(),
+                                  reduced.data());
+      PricingAccelerator::Config reference_config;
+      reference_config.target = target;
+      reference_config.steps = config_.steps;
+      reference_config.compute_rmse = false;
+      reference_config.compute_units = config_.compute_units;
+      PricingAccelerator full_fidelity(std::move(reference_config));
+      full_fidelity.run_prices(calibration.data(), calibration.size(),
+                               reference.data());
+      worker.brownout_rmse = rmse(reduced, reference);
+      worker.has_brownout_rmse = true;
+    }
+    std::vector<finance::OptionSpec>& brownout_specs = worker.brownout_specs;
+    std::vector<double>& brownout_prices = worker.brownout_prices;
+    brownout_specs.clear();
+    for (const std::size_t pos : to_brownout) {
+      brownout_specs.push_back(batch[pos]->spec);
+    }
+    brownout_prices.resize(brownout_specs.size());
+    worker.brownout->run_prices(brownout_specs.data(), brownout_specs.size(),
+                                brownout_prices.data());
+    for (std::size_t i = 0; i < to_brownout.size(); ++i) {
+      completions.push_back({to_brownout[i], brownout_prices[i],
+                             /*from_cache=*/false, /*degraded=*/false,
+                             /*browned_out=*/true, worker.brownout_rmse});
+    }
+  }
+
   // Every outcome is decided here; request latency runs from admission to
   // this point (sink resolution below is the client's own wakeup cost).
   // The absolute deadline is enforced AGAIN at this point: a price decided
@@ -994,7 +1395,7 @@ void PricingService::process_batch(Worker& worker,
   for (std::size_t i = 0; i < completions.size(); ++i) {
     const Completion& done = completions[i];
     const Request& request = *batch[done.pos];
-    if (request.has_deadline && decided > request.deadline) {
+    if (request.has_deadline && deadline_expired(decided, request.deadline)) {
       failures.push_back(
           {done.pos, std::make_exception_ptr(ServiceTimeoutError(
                          "quote request expired during pricing "
@@ -1003,6 +1404,7 @@ void PricingService::process_batch(Worker& worker,
     } else {
       completions[completed++] = done;  // compact in place, order kept
       ++delta.requests_completed;
+      if (done.browned_out) ++delta.brownout_completions;
       // Serving attribution (router on or off): who actually answered.
       ServiceStats::bump(delta.served_by_backend, worker.index);
     }
@@ -1041,12 +1443,14 @@ void PricingService::process_batch(Worker& worker,
     // routed_target preserves the router's placement for attribution —
     // after a failover or degradation the two legitimately differ.
     const Target priced_by =
-        done.degraded ? Target::kCpuReference : target;
+        done.degraded ? Target::kCpuReference
+                      : (done.browned_out ? brownout_target_for(target)
+                                          : target);
     const Target routed_target = request->has_route
                                      ? config_.targets[request->routed_worker]
                                      : priced_by;
     fulfil(*request, done.price, priced_by, routed_target, done.from_cache,
-           done.degraded);
+           done.degraded, done.browned_out, done.accuracy_bound);
     release_request(request);
     batch[done.pos] = nullptr;
   }
@@ -1114,6 +1518,21 @@ void PricingService::process_batch(Worker& worker,
 ServiceStats PricingService::stats() const {
   ServiceStats total;
   total.requests_submitted = submitted_.load();
+  total.requests_shed_normal = shed_normal_.load();
+  total.requests_shed_batch = shed_batch_.load();
+  total.admission_timeouts = admission_timeouts_.load();
+  // Admission-deadline expiries are timeouts the client observed: fold
+  // them into the headline counter (admission_timeouts stays readable as
+  // the documented subset).
+  total.requests_timed_out = total.admission_timeouts;
+  {
+    const std::lock_guard<std::mutex> lock(admission_hist_mutex_);
+    total.admission_block_ns = admission_block_;
+  }
+  // Never-blocked admissions recorded only an atomic bump; fold them in
+  // as zero-valued samples so count() covers every admission attempt that
+  // reached the credit gate.
+  total.admission_block_ns.record_many(0, admissions_unblocked_.load());
   // Merge in worker-index order; addition commutes, so totals are the same
   // regardless of which worker served which request.
   for (const auto& worker : workers_) {

@@ -95,6 +95,7 @@
 #include "core/accelerator.h"
 #include "core/service/backend_health.h"
 #include "core/service/mpmc_ring.h"
+#include "core/service/overload.h"
 #include "core/service/quote_cache.h"
 #include "core/service/router.h"
 #include "core/service/service_stats.h"
@@ -130,6 +131,33 @@ private:
 class ServiceShutdownError : public Error {
 public:
   explicit ServiceShutdownError(const std::string& what) : Error(what) {}
+};
+
+/// The overload layer (DESIGN.md §2.10) refused the request at admission:
+/// logical queue occupancy had crossed the shed threshold for its
+/// priority class. Never silent — every shed is counted per class in
+/// ServiceStats (requests_shed_normal / requests_shed_batch) and surfaces
+/// as this typed error. kRealtime requests are never shed (they block on
+/// backpressure instead), so priority() is always kNormal or kBatch.
+class ServiceOverloadError : public Error {
+public:
+  ServiceOverloadError(Priority priority, std::size_t occupancy,
+                       std::size_t threshold, const std::string& what)
+      : Error(what),
+        priority_(priority),
+        occupancy_(occupancy),
+        threshold_(threshold) {}
+  [[nodiscard]] Priority priority() const { return priority_; }
+  /// Logical queue occupancy observed at the shed decision.
+  [[nodiscard]] std::size_t occupancy() const { return occupancy_; }
+  /// The class's shed threshold at that instant (adaptive under the
+  /// sojourn controller).
+  [[nodiscard]] std::size_t threshold() const { return threshold_; }
+
+private:
+  Priority priority_;
+  std::size_t occupancy_;
+  std::size_t threshold_;
 };
 
 /// Sentinel: no per-request deadline.
@@ -198,6 +226,14 @@ struct ServiceConfig {
   /// consults BINOPT_SERVICE_ROUTER (off|latency|energy). With a single
   /// target, routed prices are bit-identical to the unrouted service.
   service::RouterConfig router;
+  /// Overload control (DESIGN.md §2.10): priority-class shedding at
+  /// admission, CoDel-style adaptive watermark, EDF drain with eager
+  /// expiry, and (separately opted into) accuracy-bounded brownout.
+  /// Disabled by default — the null path is one branch, and behaviour and
+  /// stats stay bit-identical to the pre-overload spine. Unset knobs fall
+  /// back to BINOPT_SERVICE_SHED_WATERMARK /
+  /// BINOPT_SERVICE_SOJOURN_TARGET_US.
+  service::OverloadConfig overload;
 };
 
 /// Resolution of one single-quote request.
@@ -217,6 +253,17 @@ struct Quote {
   /// True when the configured backend gave up and the CPU-reference
   /// fallback priced this quote instead (degrade_to_cpu).
   bool degraded = false;
+  /// True when overload brownout priced this quote on the cheaper
+  /// configuration (single-precision sibling / reduced lattice steps)
+  /// instead of the full-fidelity path. Browned-out prices are NOT
+  /// bit-identical to a direct run, which is why parity gates exclude
+  /// them; accuracy_bound quantifies what was given up.
+  bool browned_out = false;
+  /// Measured RMSE of the brownout configuration against this worker's
+  /// full-fidelity configuration over a fixed calibration curve (the
+  /// Table II metric, computed once per worker on first brownout).
+  /// 0 when browned_out is false.
+  double accuracy_bound = 0.0;
 };
 
 class PricingService {
@@ -237,19 +284,28 @@ public:
   /// carrying different tags never share a cache entry even when their
   /// specs quantize identically — the Greeks/sweep path (DESIGN.md §2.9)
   /// tags bump legs and sweep epochs; plain quotes keep tag 0.
+  /// `priority` is the admission class (DESIGN.md §2.10): with the
+  /// overload layer armed, kNormal/kBatch requests are refused with
+  /// ServiceOverloadError once queue occupancy crosses their shed
+  /// threshold; kRealtime always blocks instead of shedding. With the
+  /// layer disabled the class is carried but never acted on.
   std::future<Quote> submit(const finance::OptionSpec& spec);
   std::future<Quote> submit(const finance::OptionSpec& spec,
                             std::chrono::milliseconds timeout,
-                            std::uint32_t cache_tag = 0);
+                            std::uint32_t cache_tag = 0,
+                            Priority priority = Priority::kNormal);
 
   /// Queues a whole batch (e.g. one volatility curve); the future resolves
   /// with the prices in input order once every element is priced, or with
-  /// the first element's error. Blocks while the queue is full.
+  /// the first element's error. Blocks while the queue is full. A shed
+  /// mid-batch fails the whole batch with ServiceOverloadError and
+  /// rethrows it to the submitter.
   std::future<std::vector<double>> submit_batch(
       const std::vector<finance::OptionSpec>& specs);
   std::future<std::vector<double>> submit_batch(
       const std::vector<finance::OptionSpec>& specs,
-      std::chrono::milliseconds timeout, std::uint32_t cache_tag = 0);
+      std::chrono::milliseconds timeout, std::uint32_t cache_tag = 0,
+      Priority priority = Priority::kNormal);
 
   /// Synchronous batch pricing into a caller buffer: blocks until every
   /// spec is priced (out[i] = price of specs[i]) or rethrows the first
@@ -262,7 +318,8 @@ public:
                             double* out);
   void price_batch_blocking(const finance::OptionSpec* specs, std::size_t n,
                             double* out, std::chrono::milliseconds timeout,
-                            std::uint32_t cache_tag = 0);
+                            std::uint32_t cache_tag = 0,
+                            Priority priority = Priority::kNormal);
 
   /// Per-worker shards merged in worker-index order, plus the admission
   /// counter. Safe to call while requests are in flight.
@@ -337,6 +394,10 @@ private:
     /// non-zero for Greeks bump legs / sweep-epoch legs so they can never
     /// alias a quantization-equal plain quote.
     std::uint32_t cache_tag = 0;
+    /// Admission class (DESIGN.md §2.10): drives shed thresholds at
+    /// admission and brownout eligibility at pricing time. Carried but
+    /// inert while the overload layer is disarmed.
+    Priority priority = Priority::kNormal;
     /// FleetRouter placement (routing only): which worker's routed queue
     /// the request was admitted to. `has_route` survives failover so the
     /// serving worker can count the misroute and report routed_target.
@@ -357,6 +418,8 @@ private:
     double price = 0.0;
     bool from_cache = false;
     bool degraded = false;
+    bool browned_out = false;     ///< priced at reduced fidelity (§2.10)
+    double accuracy_bound = 0.0;  ///< calibrated RMSE of the brownout config
   };
   struct Failure {
     std::size_t pos = 0;
@@ -391,6 +454,14 @@ private:
     std::deque<Request*> routed_queue BINOPT_GUARDED_BY(route_mutex);
     /// Lazily-built CPU-reference fallback for degrade_to_cpu.
     std::unique_ptr<PricingAccelerator> fallback;
+    /// Lazily-built reduced-fidelity sibling for brownout (DESIGN.md
+    /// §2.10): single-precision target where one exists, halved steps.
+    std::unique_ptr<PricingAccelerator> brownout;
+    /// One-time brownout calibration: RMSE of the reduced config against
+    /// a fresh fault-free full-fidelity run over fixed calibration specs.
+    /// Stamped on every browned quote as its accuracy bound.
+    double brownout_rmse = 0.0;
+    bool has_brownout_rmse = false;
     /// Batch scratch, reserved once to max_batch: the worker's collect ->
     /// price -> resolve cycle reuses these and allocates nothing in
     /// steady state.
@@ -401,6 +472,12 @@ private:
     std::vector<std::size_t> to_requeue;  ///< positions into batch
     std::vector<Request*> requeue_ptrs;   ///< staging for requeue()
     std::vector<std::size_t> to_degrade;  ///< positions into batch
+    std::vector<std::size_t> to_brownout;  ///< positions into batch (§2.10)
+    std::vector<finance::OptionSpec> brownout_specs;
+    std::vector<double> brownout_prices;
+    /// Expired requests found while scanning the queues (armed overload
+    /// layer only): staged here so resolution happens outside spine locks.
+    std::vector<Request*> eager_drops;
     std::vector<finance::OptionSpec> specs;
     std::vector<std::uint32_t> tags;  ///< cache tags parallel to `specs`
     std::vector<double> prices;
@@ -415,7 +492,8 @@ private:
 
   static void fulfil(Request& request, double price, Target target,
                      Target routed_target, bool from_cache,
-                     bool degraded = false);
+                     bool degraded = false, bool browned_out = false,
+                     double accuracy_bound = 0.0);
   static void fail(Request& request, const std::exception_ptr& error);
 
   /// Admission gate: rejects specs the service must not accept (non-finite
@@ -431,20 +509,41 @@ private:
                            std::chrono::steady_clock::time_point deadline,
                            bool has_deadline,
                            std::chrono::steady_clock::time_point admitted_at,
-                           std::uint32_t cache_tag = 0);
+                           std::uint32_t cache_tag = 0,
+                           Priority priority = Priority::kNormal);
   /// Clears per-lease state and returns the slot to the arena. Only after
   /// resolution (or for never-admitted requests).
   void release_request(Request* request);
 
-  /// Admits one request: blocks on backpressure until a credit frees,
-  /// then publishes the pointer on the configured spine. False when the
-  /// service is stopping (the request was NOT queued).
-  bool admit_one(Request* request);
+  /// Why admit_one declined (or didn't).
+  enum class AdmitResult {
+    kAdmitted,  ///< published on the spine; worker owns resolution
+    kShutdown,  ///< service stopping; request untouched, caller settles it
+    kTimedOut,  ///< deadline fired at/before admission or while blocked on
+                ///< backpressure — never consumed a queue slot (satellite 1)
+    kShed,      ///< overload refusal for the request's priority class
+  };
+  struct AdmitOutcome {
+    AdmitResult result = AdmitResult::kAdmitted;
+    std::size_t occupancy = 0;  ///< kShed only: occupancy seen at refusal
+    std::size_t threshold = 0;  ///< kShed only: the class's shed threshold
+  };
+
+  /// Admits one request: sheds at the class watermark when the overload
+  /// layer is armed, otherwise blocks on backpressure until a credit
+  /// frees (honouring the request's own deadline while blocked), then
+  /// publishes the pointer on the configured spine. On anything but
+  /// kAdmitted the request was NOT queued and the caller resolves it.
+  AdmitOutcome admit_one(Request* request);
 
   /// Admits requests[0..n) in order, blocking per element (backpressure is
   /// per option, so an oversized curve streams in as workers drain).
-  /// Returns how many were admitted; on shutdown the tail is untouched.
-  std::size_t enqueue_requests(Request* const* requests, std::size_t n);
+  /// Admission-deadline expiries are resolved and released in place and
+  /// count as consumed. Returns how many leading requests were consumed
+  /// (admitted or settled); the tail is untouched and `abort` (when
+  /// non-null) records why admission stopped (kShutdown / kShed).
+  std::size_t enqueue_requests(Request* const* requests, std::size_t n,
+                               AdmitOutcome* abort = nullptr);
 
   /// Non-blocking: moves every currently-collectable request (ready
   /// retries first, then the caller's own routed queue when routing is on,
@@ -519,6 +618,31 @@ private:
   /// to drain before joining workers so no push lands after teardown.
   std::atomic<std::size_t> admissions_in_flight_{0};
   std::atomic<std::uint64_t> submitted_{0};
+
+  /// ---- Overload layer (DESIGN.md §2.10) -------------------------------
+  /// True when config_.overload.enabled() after env fallback. The single
+  /// branch the disarmed hot path pays: with this false, admission,
+  /// collection, and pricing are bit-identical to the pre-overload
+  /// service (asserted by ControllerDisabledIsNullPath).
+  bool overload_armed_ = false;
+  /// Engaged when armed: owns the shed watermark and the CoDel-style
+  /// sojourn controller (adaptive only when a sojourn target is set).
+  std::optional<service::OverloadController> controller_;
+  /// Per-class admission refusals; shed requests never enter submitted_.
+  alignas(64) std::atomic<std::uint64_t> shed_normal_{0};
+  std::atomic<std::uint64_t> shed_batch_{0};
+  /// Deadlines that fired at admission or while the submitter was blocked
+  /// on backpressure (satellite 1) — a documented subset of
+  /// requests_timed_out, folded in by stats().
+  std::atomic<std::uint64_t> admission_timeouts_{0};
+  /// Admissions that never blocked: folded into admission_block_ns as
+  /// zero-valued samples at stats() time via record_many, keeping the
+  /// uncontended admission path free of the histogram lock.
+  std::atomic<std::uint64_t> admissions_unblocked_{0};
+  /// Blocked-admission wait times; only the (already slow, already
+  /// sleeping) backpressured path takes this lock.
+  mutable std::mutex admission_hist_mutex_;
+  LogHistogram admission_block_ BINOPT_GUARDED_BY(admission_hist_mutex_);
 };
 
 }  // namespace binopt::core

@@ -41,6 +41,17 @@ namespace binopt::core::service {
 ///   requests_misrouted counts collections by a worker other than the
 ///   routed one (failover, probe steal) — honest attribution the router's
 ///   accounting depends on.
+///   Overload (DESIGN.md §2.10): requests_shed_normal/_batch count
+///   admission refusals per priority class (kRealtime never sheds, so it
+///   needs no counter; shed requests are NOT counted in
+///   requests_submitted — the service never took responsibility for
+///   them). admission_timeouts is the SUBSET of requests_timed_out whose
+///   deadline expired at the admission gate (immediately, or while
+///   blocked on backpressure) before ever occupying a queue slot.
+///   eager_deadline_drops is the SUBSET of requests_timed_out expired at
+///   collection time, before occupying an accelerator batch slot.
+///   brownout_completions is the SUBSET of requests_completed answered by
+///   the cheaper brownout configuration (Quote::browned_out).
 #define BINOPT_SERVICE_STATS_COUNTERS(X) \
   X(requests_submitted)                  \
   X(requests_completed)                  \
@@ -61,7 +72,12 @@ namespace binopt::core::service {
   X(probes_failed)                       \
   X(recoveries)                          \
   X(requests_routed)                     \
-  X(requests_misrouted)
+  X(requests_misrouted)                  \
+  X(requests_shed_normal)                \
+  X(requests_shed_batch)                 \
+  X(admission_timeouts)                  \
+  X(eager_deadline_drops)                \
+  X(brownout_completions)
 
 struct ServiceStats {
 #define BINOPT_SERVICE_STATS_DECLARE(field) std::uint64_t field = 0;
@@ -82,6 +98,15 @@ struct ServiceStats {
   /// ratio in permille (1000 = the model was exact). Empty when routing
   /// is off.
   LogHistogram predicted_vs_measured;
+  /// Time a submitter spent blocked on backpressure BEFORE admission —
+  /// distinct from queue_wait_ns, which starts at admission. One sample
+  /// per admission attempt that reached the credit gate: admissions that
+  /// never blocked record 0 (folded in O(1) from an atomic at stats()
+  /// time, so the uncontended fast path touches no lock), blocked ones
+  /// record the measured wait — including attempts whose deadline expired
+  /// while blocked (admission_timeouts). Shed requests never reach the
+  /// gate and record nothing.
+  LogHistogram admission_block_ns;
 
   /// Per-backend placement, indexed by worker. routed_by_backend[i] =
   /// requests the router assigned to worker i (counted at their first
@@ -116,6 +141,7 @@ struct ServiceStats {
     batch_fill = LogHistogram{};
     time_to_recovery_ns = LogHistogram{};
     predicted_vs_measured = LogHistogram{};
+    admission_block_ns = LogHistogram{};
     std::fill(routed_by_backend.begin(), routed_by_backend.end(), 0);
     std::fill(served_by_backend.begin(), served_by_backend.end(), 0);
   }
@@ -133,6 +159,7 @@ struct ServiceStats {
         time_to_recovery_ns.minus(earlier.time_to_recovery_ns);
     d.predicted_vs_measured =
         predicted_vs_measured.minus(earlier.predicted_vs_measured);
+    d.admission_block_ns = admission_block_ns.minus(earlier.admission_block_ns);
     d.routed_by_backend = routed_by_backend;
     sub_padded(d.routed_by_backend, earlier.routed_by_backend);
     d.served_by_backend = served_by_backend;
@@ -154,6 +181,7 @@ struct ServiceStats {
     batch_fill += shard.batch_fill;
     time_to_recovery_ns += shard.time_to_recovery_ns;
     predicted_vs_measured += shard.predicted_vs_measured;
+    admission_block_ns += shard.admission_block_ns;
     add_padded(routed_by_backend, shard.routed_by_backend);
     add_padded(served_by_backend, shard.served_by_backend);
     return *this;
@@ -174,6 +202,7 @@ struct ServiceStats {
            a.batch_fill == b.batch_fill &&
            a.time_to_recovery_ns == b.time_to_recovery_ns &&
            a.predicted_vs_measured == b.predicted_vs_measured &&
+           a.admission_block_ns == b.admission_block_ns &&
            equal_padded(a.routed_by_backend, b.routed_by_backend) &&
            equal_padded(a.served_by_backend, b.served_by_backend);
   }

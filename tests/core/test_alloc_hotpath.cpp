@@ -155,6 +155,49 @@ TEST(AllocHotPath, BlockingBatchMatchesFutureApisOnBothSpines) {
   }
 }
 
+TEST(AllocHotPath, ArmedOverloadLayerUnderTheWatermarkStaysZeroAlloc) {
+  // Arming shedding + the sojourn controller must not cost the fast path
+  // its zero-allocation guarantee: under the watermark every admission
+  // adds only an atomic occupancy read, and every collection only the
+  // controller's atomic bookkeeping (DESIGN.md §2.10). Sheds, drops, and
+  // brownout never fire here — this is the 99% regime of an armed
+  // service, and it must price exactly like the disarmed one.
+  const auto specs = finance::make_curve_batch(kBatch);
+  PricingAccelerator direct({Target::kCpuReference, kSteps,
+                             /*compute_rmse=*/false});
+  const std::vector<double> expected = direct.run(specs).prices;
+
+  ServiceConfig config = hotpath_config(HotPath::kLockFree);
+  config.overload.shed_watermark = 0.9;    // 230 of 256: never reached
+  config.overload.sojourn_target = 50ms;   // never exceeded either
+  PricingService service(std::move(config));
+  std::vector<double> out(specs.size(), 0.0);
+
+  for (int i = 0; i < 200; ++i) {
+    service.price_batch_blocking(specs.data(), specs.size(), out.data());
+  }
+
+  const std::uint64_t before =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  constexpr int kMeasuredReps = 100;
+  for (int i = 0; i < kMeasuredReps; ++i) {
+    service.price_batch_blocking(specs.data(), specs.size(), out.data());
+  }
+  const std::uint64_t after =
+      g_heap_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " allocations across " << kMeasuredReps
+      << " blocking batches with the overload layer armed";
+  ASSERT_EQ(out, expected);  // armed != different prices
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests_shed_normal, 0u);
+  EXPECT_EQ(stats.requests_shed_batch, 0u);
+  EXPECT_EQ(stats.eager_deadline_drops, 0u);
+  EXPECT_EQ(stats.brownout_completions, 0u);
+}
+
 TEST(AllocHotPath, StatsStillTrackZeroAllocTraffic) {
   // kSync requests must feed the same counters/histograms as the
   // promise-based sinks — observability cannot be the price of zero-alloc.

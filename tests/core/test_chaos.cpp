@@ -13,9 +13,12 @@
 // also race-checks the retry/requeue/quarantine machinery with CU > 1.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/accelerator.h"
@@ -357,6 +360,93 @@ TEST(ChaosConfig, WorkerFaultPlansMustMatchTargets) {
 TEST(ChaosConfig, MalformedFaultSpecNamesTheClause) {
   expect_rejected([] { (void)parse_fault_plan("device-lost@oops"); },
                   "must be an unsigned integer");
+}
+
+// ---------------------------------------------------------------------------
+// Overload layer under chaos (DESIGN.md §2.10): deadlines interact with
+// the retry machinery, and shedding composes with faults without breaking
+// the conservation promise.
+
+TEST(Chaos, DeadlineFiresBetweenRetryAttempts) {
+  // The first attempt fails transiently at ~0ms and is requeued with a
+  // 60ms backoff; the request's 30ms deadline fires INSIDE that backoff
+  // window. With the layer armed the worker must eagerly drop the retry
+  // from its backoff wait — never burn a second launch on a request that
+  // is already dead.
+  ServiceConfig config = chaos_config("transient@1x10", 1);
+  config.retry.base_backoff = 60ms;
+  config.retry.max_backoff = 120ms;
+  config.overload.shed_watermark = 1.0;  // arm eager expiry
+  PricingService service(std::move(config));
+
+  auto doomed = service.submit(finance::OptionSpec{}, 30ms);
+  EXPECT_THROW((void)doomed.get(), ServiceTimeoutError);
+
+  const auto stats = service.stats();
+  EXPECT_GE(stats.retries, 1u);  // the first attempt was requeued...
+  EXPECT_EQ(stats.eager_deadline_drops, 1u);  // ...then dropped, unlaunched
+  EXPECT_EQ(stats.requests_timed_out, 1u);
+  EXPECT_EQ(stats.requests_completed, 0u);
+  EXPECT_EQ(stats.requests_failed, 0u);
+}
+
+TEST(Chaos, ShedStormAccountsEveryRequestExactly) {
+  // Faults and shedding together: both workers lose their device on
+  // launch 1 and take transient failures later, while 4 threads push a
+  // 10/45/45 priority mix through a 16-deep queue with the watermark at
+  // 0.5. The conservation ledger is double-entry and EXACT: every issued
+  // request is either a completion (bitwise-equal to the fault-free
+  // direct run) or a typed shed the service counted — zero tolerance,
+  // zero silent drops, zero timeouts, zero failures.
+  constexpr std::size_t kOptions = 192;
+  constexpr std::size_t kThreads = 4;
+  const auto batch = finance::make_curve_batch(kOptions);
+  const std::vector<double> expected = direct_prices(batch);
+
+  ServiceConfig config = chaos_config("device-lost@1;transient@3x2;seed=7", 2);
+  config.queue_capacity = 16;
+  config.overload.shed_watermark = 0.5;
+  const service::PriorityMix mix = service::parse_priority_mix("10/45/45");
+  PricingService service(std::move(config));
+
+  std::atomic<std::size_t> shed{0};
+  std::vector<std::vector<std::pair<std::size_t, std::future<Quote>>>>
+      admitted(kThreads);
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      const std::size_t chunk = kOptions / kThreads;
+      for (std::size_t k = t * chunk; k < (t + 1) * chunk; ++k) {
+        try {
+          admitted[t].emplace_back(
+              k, service.submit(batch[k], kNoTimeout, 0, mix.pick(k)));
+        } catch (const ServiceOverloadError&) {
+          shed.fetch_add(1);  // typed refusal; future never existed
+        }
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+
+  std::size_t completed = 0;
+  for (auto& per_thread : admitted) {
+    for (auto& [index, future] : per_thread) {
+      const Quote quote = future.get();  // throws on any lost request
+      EXPECT_EQ(quote.price, expected[index]);  // bitwise, despite faults
+      EXPECT_FALSE(quote.browned_out);
+      ++completed;
+    }
+  }
+  EXPECT_EQ(completed + shed.load(), kOptions);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests_submitted, kOptions - shed.load());
+  EXPECT_EQ(stats.requests_shed_normal + stats.requests_shed_batch,
+            shed.load());
+  EXPECT_EQ(stats.requests_completed, completed);
+  EXPECT_EQ(stats.requests_failed, 0u);
+  EXPECT_EQ(stats.requests_timed_out, 0u);
+  EXPECT_EQ(stats.brownout_completions, 0u);
 }
 
 }  // namespace

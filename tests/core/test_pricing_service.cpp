@@ -10,12 +10,14 @@
 #include <future>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "core/accelerator.h"
 #include "core/service/pricing_service.h"
 #include "finance/workload.h"
+#include "ocl/faults/fault_plan.h"
 
 namespace binopt::core {
 namespace {
@@ -299,7 +301,8 @@ TEST(ServiceStats, MergeMinusAndVisitorAgree) {
     ++fields;
   });
   EXPECT_EQ(visited_total, 12u + 2u + 3u);
-  EXPECT_EQ(fields, 20u);  // X-macro list (9 core + 9 robustness + 2 routing)
+  EXPECT_EQ(fields, 25u);  // X-macro (9 core + 9 robustness + 2 routing +
+                           // 5 overload)
 }
 
 TEST(ServiceStats, PerBackendVectorsMergeCommutativelyUnderLoadSkew) {
@@ -513,7 +516,7 @@ TEST(ServiceStats, HistogramsTravelThroughMergeAndMinus) {
   // their own accessors, and the X-macro field count is pinned elsewhere.
   std::size_t fields = 0;
   sum.for_each_counter([&](const char*, std::uint64_t) { ++fields; });
-  EXPECT_EQ(fields, 20u);
+  EXPECT_EQ(fields, 25u);
 }
 
 // --- Hot-path spine ------------------------------------------------------
@@ -591,6 +594,288 @@ TEST(PricingService, ShutdownMidBurstResolvesEverySubmittedFuture) {
       }
     }
   }
+}
+
+// --- Overload layer (DESIGN.md §2.10) -----------------------------------
+
+/// Overload scaffolding: kernel B launches exactly one NDRange per
+/// accelerator run, so a `stall@N,ms=X` fault clause pins the single
+/// worker inside launch N for a known wall-clock window while the test
+/// shapes the admission queue behind it.
+ServiceConfig stalled_config(const std::string& plan,
+                             std::size_t queue_capacity,
+                             std::size_t max_batch = 1) {
+  ServiceConfig config;
+  config.targets.assign(1, Target::kFpgaKernelB);
+  config.steps = kSteps;
+  config.max_batch = max_batch;
+  config.linger = 0us;
+  config.queue_capacity = queue_capacity;
+  config.worker_fault_plans.push_back(ocl::faults::parse_fault_plan(plan));
+  return config;
+}
+
+/// Polls until the worker has collected everything queued — the stalled
+/// launch is then in flight and the admission queue is empty.
+void wait_until_collected(const PricingService& service) {
+  while (service.queued_requests() != 0) std::this_thread::sleep_for(100us);
+}
+
+TEST(ServiceOverload, SubmitterParkedOnFullQueueHonorsItsOwnDeadline) {
+  // Regression for the blocked-submitter fix: a submitter parked on a
+  // FULL admission queue used to wait for a slot indefinitely, honouring
+  // its deadline only after admission. It must give up at its own
+  // deadline, settle with ServiceTimeoutError, and never consume the
+  // queue slot it was waiting for. Works with the overload layer
+  // DISARMED — the deadline gate is part of the base admission path.
+  const auto batch = finance::make_curve_batch(4);
+  PricingService service(
+      stalled_config("stall@1,ms=400", /*queue_capacity=*/1));
+
+  auto stalled = service.submit(batch[0], kNoTimeout);
+  wait_until_collected(service);  // launch 1 is now stalled for ~400ms
+  auto parked = service.submit(batch[1], kNoTimeout);  // takes the 1 slot
+  ASSERT_EQ(service.queued_requests(), 1u);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto doomed = service.submit(batch[2], 60ms);
+  const auto blocked_for = std::chrono::steady_clock::now() - t0;
+  // Gave up at its own deadline: after ~60ms parked, well before the
+  // stalled launch frees the slot at ~400ms.
+  EXPECT_GE(blocked_for, 40ms);
+  EXPECT_LT(blocked_for, 350ms);
+  EXPECT_EQ(service.queued_requests(), 1u);  // the refusal held no slot
+  EXPECT_THROW((void)doomed.get(), ServiceTimeoutError);
+
+  EXPECT_GT(stalled.get().price, 0.0);
+  EXPECT_GT(parked.get().price, 0.0);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests_submitted, 3u);
+  EXPECT_EQ(stats.requests_completed, 2u);
+  EXPECT_EQ(stats.requests_timed_out, 1u);
+  EXPECT_EQ(stats.admission_timeouts, 1u);
+  EXPECT_EQ(stats.eager_deadline_drops, 0u);
+}
+
+TEST(ServiceOverload, ZeroTimeoutExpiresAtTheAdmissionGate) {
+  // A zero-timeout deadline equals the admission stamp. The stamp itself
+  // is live (equal-instant-is-live, pinned in test_overload.cpp), but by
+  // the time the admission gate re-reads the clock the deadline is
+  // strictly past, so the request is refused AT admission — counted in
+  // admission_timeouts, never holding a queue slot, never reaching a
+  // worker. Layer disarmed: the gate is part of the base path.
+  PricingService service(small_config(Target::kCpuReference));
+  auto expired = service.submit(finance::OptionSpec{}, 0ms);
+  EXPECT_THROW((void)expired.get(), ServiceTimeoutError);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests_submitted, 1u);
+  EXPECT_EQ(stats.requests_timed_out, 1u);
+  EXPECT_EQ(stats.admission_timeouts, 1u);
+  EXPECT_EQ(stats.options_priced, 0u);
+  EXPECT_EQ(stats.batches_launched, 0u);
+}
+
+TEST(ServiceOverload, ShedsBatchThenNormalAtTheirWatermarks) {
+  // Static watermark 0.5 on a 4-deep queue: kBatch sheds at occupancy 2,
+  // kNormal at the midpoint threshold 3, kRealtime never sheds (it would
+  // block only at 4). Each refusal is typed and carries the exact
+  // occupancy/threshold pair the decision was made with.
+  const auto batch = finance::make_curve_batch(8);
+  ServiceConfig config =
+      stalled_config("stall@1,ms=600", /*queue_capacity=*/4);
+  config.overload.shed_watermark = 0.5;
+  PricingService service(config);
+
+  std::vector<std::future<Quote>> admitted;
+  admitted.push_back(
+      service.submit(batch[0], kNoTimeout, 0, Priority::kRealtime));
+  wait_until_collected(service);  // worker stalled; the queue is ours
+  for (int i = 1; i <= 2; ++i) {  // occupancy 1, then 2
+    admitted.push_back(
+        service.submit(batch[i], kNoTimeout, 0, Priority::kRealtime));
+  }
+
+  try {
+    (void)service.submit(batch[3], kNoTimeout, 0, Priority::kBatch);
+    FAIL() << "kBatch must shed at occupancy 2";
+  } catch (const ServiceOverloadError& error) {
+    EXPECT_EQ(error.priority(), Priority::kBatch);
+    EXPECT_EQ(error.occupancy(), 2u);
+    EXPECT_EQ(error.threshold(), 2u);
+  }
+  // kNormal's threshold sits midway between watermark and capacity:
+  // admitted at occupancy 2...
+  admitted.push_back(
+      service.submit(batch[4], kNoTimeout, 0, Priority::kNormal));
+  // ...refused at 3.
+  try {
+    (void)service.submit(batch[5], kNoTimeout, 0, Priority::kNormal);
+    FAIL() << "kNormal must shed at occupancy 3";
+  } catch (const ServiceOverloadError& error) {
+    EXPECT_EQ(error.priority(), Priority::kNormal);
+    EXPECT_EQ(error.occupancy(), 3u);
+    EXPECT_EQ(error.threshold(), 3u);
+  }
+  EXPECT_THROW(
+      (void)service.submit(batch[6], kNoTimeout, 0, Priority::kBatch),
+      ServiceOverloadError);
+  // kRealtime still admits at occupancy 3: only a FULL queue blocks it.
+  admitted.push_back(
+      service.submit(batch[7], kNoTimeout, 0, Priority::kRealtime));
+
+  for (auto& future : admitted) EXPECT_GT(future.get().price, 0.0);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests_submitted, 5u);
+  EXPECT_EQ(stats.requests_completed, 5u);
+  EXPECT_EQ(stats.requests_shed_batch, 2u);
+  EXPECT_EQ(stats.requests_shed_normal, 1u);
+  EXPECT_EQ(stats.admission_timeouts, 0u);
+}
+
+TEST(ServiceOverload, ExpiredRequestsAreEagerlyDroppedNotPriced) {
+  // Three requests expire in the queue behind a stalled launch. With the
+  // layer armed they must be dropped at collection — before ever holding
+  // an accelerator batch slot — not priced and then failed.
+  const auto batch = finance::make_curve_batch(4);
+  ServiceConfig config = stalled_config("stall@1,ms=300",
+                                        /*queue_capacity=*/8,
+                                        /*max_batch=*/16);
+  config.overload.shed_watermark = 1.0;  // arm the layer; never sheds at 8
+  PricingService service(config);
+
+  auto blocker = service.submit(batch[0], kNoTimeout);
+  wait_until_collected(service);
+  std::vector<std::future<Quote>> doomed;
+  for (int i = 1; i <= 3; ++i) {
+    doomed.push_back(service.submit(batch[i], 50ms));
+  }
+
+  EXPECT_GT(blocker.get().price, 0.0);
+  for (auto& future : doomed) {
+    EXPECT_THROW((void)future.get(), ServiceTimeoutError);
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.eager_deadline_drops, 3u);
+  EXPECT_EQ(stats.requests_timed_out, 3u);
+  EXPECT_EQ(stats.admission_timeouts, 0u);
+  // The drops never occupied a batch slot: only the blocker was priced.
+  EXPECT_EQ(stats.options_priced, 1u);
+  EXPECT_EQ(stats.batches_launched, 1u);
+  EXPECT_EQ(stats.requests_completed, 1u);
+}
+
+TEST(ServiceOverload, EdfCollectionServesTheEarliestDeadlineFirst) {
+  // Launches 1-3 each stall 200ms, so the three requests queued behind
+  // the blocker are priced one per ~200ms window. FIFO order would reach
+  // the 500ms-deadline request last (~600ms — dead); EDF must pick it
+  // first (~400ms — live). Its survival IS the ordering assertion.
+  const auto batch = finance::make_curve_batch(4);
+  ServiceConfig config =
+      stalled_config("stall@1x3,ms=200", /*queue_capacity=*/8);
+  config.hot_path = HotPath::kMutex;  // deque spine: EDF pop can reorder
+  config.overload.shed_watermark = 1.0;
+  PricingService service(config);
+
+  auto blocker = service.submit(batch[0], kNoTimeout);
+  wait_until_collected(service);
+  auto fifo_head = service.submit(batch[1], kNoTimeout);
+  auto late = service.submit(batch[2], 10'000ms);
+  auto early = service.submit(batch[3], 500ms);  // FIFO tail, EDF head
+
+  EXPECT_GT(early.get().price, 0.0);  // times out if collection is FIFO
+  EXPECT_GT(late.get().price, 0.0);
+  EXPECT_GT(fifo_head.get().price, 0.0);
+  EXPECT_GT(blocker.get().price, 0.0);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests_completed, 4u);
+  EXPECT_EQ(stats.requests_timed_out, 0u);
+  EXPECT_EQ(stats.eager_deadline_drops, 0u);
+}
+
+TEST(ServiceOverload, BrownoutPricesBatchClassOnTheCheaperSiblingBitwise) {
+  // With the queue held exactly at the watermark behind a stalled launch,
+  // the next collected batch triggers brownout: kBatch work is priced by
+  // the single-precision sibling at half the lattice steps and stamped
+  // with the calibrated RMSE bound. Brownout trades accuracy, never
+  // determinism — every browned price must be bitwise-identical to a
+  // direct run of the cheaper configuration.
+  const auto batch = finance::make_curve_batch(9);
+  ServiceConfig config;
+  config.targets.assign(1, Target::kGpuKernelB);  // has a single-prec sibling
+  config.steps = kSteps;
+  config.max_batch = 16;
+  config.linger = 0us;
+  config.queue_capacity = 8;
+  config.worker_fault_plans.push_back(
+      ocl::faults::parse_fault_plan("stall@1,ms=250"));
+  config.overload.shed_watermark = 1.0;  // watermark == capacity == 8
+  config.overload.brownout = true;
+  PricingService service(config);
+
+  auto blocker = service.submit(batch[0], kNoTimeout, 0, Priority::kRealtime);
+  wait_until_collected(service);
+  std::vector<std::future<Quote>> browned;
+  for (std::size_t i = 1; i <= 8; ++i) {  // fill to the watermark
+    browned.push_back(
+        service.submit(batch[i], kNoTimeout, 0, Priority::kBatch));
+  }
+
+  // kRealtime is never browned, whatever the pressure around it.
+  const Quote full = blocker.get();
+  EXPECT_FALSE(full.browned_out);
+  EXPECT_EQ(full.accuracy_bound, 0.0);
+  EXPECT_EQ(full.price, direct_prices(Target::kGpuKernelB, {batch[0]})[0]);
+
+  PricingAccelerator cheap(
+      {Target::kGpuKernelBSingle, kSteps / 2, /*compute_rmse=*/false});
+  for (std::size_t i = 0; i < browned.size(); ++i) {
+    const Quote quote = browned[i].get();
+    EXPECT_TRUE(quote.browned_out);
+    EXPECT_GT(quote.accuracy_bound, 0.0);
+    EXPECT_EQ(quote.target, Target::kGpuKernelBSingle);
+    EXPECT_EQ(quote.price, cheap.run({batch[i + 1]}).prices[0]);  // bitwise
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.brownout_completions, 8u);
+  EXPECT_EQ(stats.requests_completed, 9u);
+}
+
+TEST(ServiceOverload, DisabledLayerIsTheNullPath) {
+  // Overload off (the default): priority classes are carried but never
+  // acted on. A kBatch-tagged run and an untagged run of the same
+  // workload must produce bitwise-identical prices and identical
+  // counters, and every overload counter stays zero.
+  const auto batch = finance::make_curve_batch(24);
+  const ServiceConfig config = small_config(Target::kCpuReference);
+  PricingService tagged(config);
+  PricingService untagged(config);
+
+  std::vector<double> tagged_prices;
+  std::vector<double> untagged_prices;
+  for (const auto& spec : batch) {
+    tagged_prices.push_back(
+        tagged.submit(spec, kNoTimeout, 0, Priority::kBatch).get().price);
+    untagged_prices.push_back(untagged.submit(spec).get().price);
+  }
+  EXPECT_EQ(tagged_prices, untagged_prices);
+  EXPECT_EQ(tagged_prices, direct_prices(Target::kCpuReference, batch));
+
+  const auto a = tagged.stats();
+  const auto b = untagged.stats();
+  a.for_each_counter([&](const char* name, std::uint64_t value) {
+    SCOPED_TRACE(name);
+    std::uint64_t other = 0;
+    b.for_each_counter([&](const char* other_name, std::uint64_t v) {
+      if (std::string_view{name} == other_name) other = v;
+    });
+    EXPECT_EQ(value, other);
+  });
+  EXPECT_EQ(a.requests_completed, batch.size());
+  EXPECT_EQ(a.requests_shed_batch, 0u);
+  EXPECT_EQ(a.requests_shed_normal, 0u);
+  EXPECT_EQ(a.admission_timeouts, 0u);
+  EXPECT_EQ(a.eager_deadline_drops, 0u);
+  EXPECT_EQ(a.brownout_completions, 0u);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <list>
 #include <optional>
 #include <thread>
@@ -203,6 +204,19 @@ TEST(QuoteCacheSharding, ConcurrentReadersSurviveEviction) {
       const int k = round * 64 + i;
       cache.insert(key_for(5000.0 + k), -1.0 - k);
     }
+  }
+  // On a loaded machine the readers may never win a time slice while the
+  // churn loop is evicting, leaving them zero observed hits. Re-publish
+  // the hot keys (bounded) until at least one lands, so the value-
+  // integrity assertion above is actually exercised before we stop.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (hits.load(std::memory_order_relaxed) == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 64; ++i) {
+      cache.insert(key_for(10.0 + i), 1000.0 + i);
+    }
+    std::this_thread::yield();
   }
   stop.store(true, std::memory_order_relaxed);
   for (auto& reader : readers) reader.join();

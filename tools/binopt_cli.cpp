@@ -44,8 +44,10 @@
 // writes the whole session as Chrome trace_event JSON (open the file in
 // chrome://tracing or https://ui.perfetto.dev).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <utility>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -123,6 +125,19 @@ void print_usage() {
       "                     BINOPT_SERVICE_ROUTER sets the same knob\n"
       "  --watts-budget <W> with --router energy: prefer backends whose\n"
       "                     modelled draw fits under W watts\n"
+      "  --shed-watermark <f> arm priority admission (DESIGN.md 2.10):\n"
+      "                     kBatch sheds above f*queue_capacity, kNormal\n"
+      "                     midway to full; BINOPT_SERVICE_SHED_WATERMARK\n"
+      "                     sets the same knob (default off)\n"
+      "  --sojourn-target-us <N> arm the CoDel-style watermark controller\n"
+      "                     at an N-microsecond queue-sojourn target;\n"
+      "                     BINOPT_SERVICE_SOJOURN_TARGET_US matches\n"
+      "  --priority-mix <r/n/b> percent of submissions per class, e.g.\n"
+      "                     20/50/30 (default 0/100/0); shed submissions\n"
+      "                     are retried until admitted\n"
+      "  --brownout <0|1>   with overload armed: price shed-eligible\n"
+      "                     kBatch work on the cheaper sibling config,\n"
+      "                     stamping Quote::browned_out (default 0)\n"
       "\n"
       "subcommand: binopt_cli chaos [flags]\n"
       "  Prices a volatility curve through the PricingService while a\n"
@@ -142,6 +157,13 @@ void print_usage() {
       "                     the faults fire: latency (default when bare)\n"
       "                     or energy — prices must stay bit-identical\n"
       "  --watts-budget <W> with --router energy: watts ceiling\n"
+      "  --queue <N>        admission queue capacity (default service\n"
+      "                     default; shrink it to make the storm shed)\n"
+      "  --shed-watermark <f> arm priority admission during the storm;\n"
+      "                     shed submissions are counted, not retried —\n"
+      "                     conservation must hold with sheds included\n"
+      "  --sojourn-target-us <N> arm the watermark controller\n"
+      "  --priority-mix <r/n/b> percent of submissions per class\n"
       "\n"
       "subcommand: binopt_cli greeks-bench [flags]\n"
       "  Prices a book of Greeks requests through the GreeksService on\n"
@@ -240,7 +262,9 @@ int run_serve_bench(std::size_t num_options, std::size_t steps,
                     std::size_t submitters, std::size_t max_batch,
                     std::size_t linger_us, std::size_t cache_capacity,
                     core::HotPath hot_path,
-                    core::service::RouterConfig router) {
+                    core::service::RouterConfig router,
+                    core::service::OverloadConfig overload,
+                    core::service::PriorityMix mix) {
   using Clock = std::chrono::steady_clock;
   const auto curve = finance::make_curve_batch(num_options);
 
@@ -255,6 +279,7 @@ int run_serve_bench(std::size_t num_options, std::size_t steps,
   config.cache_capacity = cache_capacity;
   config.hot_path = hot_path;
   config.router = router;
+  config.overload = overload;
   core::PricingService service(config);
 
   std::printf("serve-bench: %zu options, %zu steps, target %s\n",
@@ -266,7 +291,13 @@ int run_serve_bench(std::size_t num_options, std::size_t steps,
 
   // Pass 1: concurrent submitters stream disjoint slices of the curve as
   // single-quote submissions — the micro-batcher has to reassemble them.
+  // With the overload layer armed, each submission carries its mix-assigned
+  // priority class and a shed submission is retried after a short backoff
+  // (the canonical client response to ServiceOverloadError), so the parity
+  // check below still covers every index.
   std::vector<double> served(curve.size());
+  std::vector<char> browned(curve.size(), 0);
+  std::atomic<std::uint64_t> sheds_retried{0};
   const auto cold_start = Clock::now();
   {
     std::vector<std::thread> threads;
@@ -274,7 +305,22 @@ int run_serve_bench(std::size_t num_options, std::size_t steps,
     for (std::size_t t = 0; t < submitters; ++t) {
       threads.emplace_back([&, t] {
         for (std::size_t i = t; i < curve.size(); i += submitters) {
-          served[i] = service.submit(curve[i]).get().price;
+          for (;;) {
+            try {
+              // Negative timeout = no deadline; only the class changes.
+              const core::Quote quote =
+                  service
+                      .submit(curve[i], std::chrono::milliseconds{-1},
+                              /*cache_tag=*/0, mix.pick(i))
+                      .get();
+              served[i] = quote.price;
+              browned[i] = quote.browned_out ? 1 : 0;
+              break;
+            } catch (const core::ServiceOverloadError&) {
+              sheds_retried.fetch_add(1);
+              std::this_thread::sleep_for(std::chrono::microseconds{200});
+            }
+          }
         }
       });
     }
@@ -312,11 +358,41 @@ int run_serve_bench(std::size_t num_options, std::size_t steps,
               stats.queue_wait_ns.p50() / 1e6,
               stats.queue_wait_ns.p95() / 1e6,
               stats.queue_wait_ns.p99() / 1e6);
+  // Distinct from queue wait: how long submitters stalled on admission
+  // backpressure before a queue slot freed (count() folds in the
+  // never-blocked admissions as zero samples).
+  std::printf("  adm block : p50 %.3f ms, p99 %.3f ms over %llu "
+              "admissions\n",
+              stats.admission_block_ns.p50() / 1e6,
+              stats.admission_block_ns.p99() / 1e6,
+              static_cast<unsigned long long>(
+                  stats.admission_block_ns.count()));
+  if (overload.enabled()) {
+    std::printf("  overload  : %llu shed (%llu normal / %llu batch, %llu "
+                "client retries), %llu admission timeouts, %llu eager "
+                "drops, %llu browned-out\n",
+                static_cast<unsigned long long>(stats.requests_shed_normal +
+                                                stats.requests_shed_batch),
+                static_cast<unsigned long long>(stats.requests_shed_normal),
+                static_cast<unsigned long long>(stats.requests_shed_batch),
+                static_cast<unsigned long long>(sheds_retried.load()),
+                static_cast<unsigned long long>(stats.admission_timeouts),
+                static_cast<unsigned long long>(stats.eager_deadline_drops),
+                static_cast<unsigned long long>(stats.brownout_completions));
+  }
   print_router_summary(stats, config);
 
+  // Browned-out quotes are excluded from bitwise parity by contract (the
+  // Quote says so itself); everything else must match to the last bit.
   std::size_t mismatches = 0;
+  std::size_t browned_total = 0;
   for (std::size_t i = 0; i < curve.size(); ++i) {
-    if (served[i] != reference[i] || warm[i] != reference[i]) ++mismatches;
+    if (browned[i] != 0) {
+      ++browned_total;
+    } else if (served[i] != reference[i]) {
+      ++mismatches;
+    }
+    if (warm[i] != reference[i]) ++mismatches;
   }
   if (mismatches != 0) {
     std::fprintf(stderr,
@@ -326,8 +402,8 @@ int run_serve_bench(std::size_t num_options, std::size_t steps,
     return 1;
   }
   std::printf("serve-bench passed: %zu prices bit-identical to the direct "
-              "run on both passes\n",
-              curve.size());
+              "run on both passes (%zu browned-out, excluded by contract)\n",
+              curve.size(), browned_total);
   return 0;
 }
 
@@ -338,7 +414,9 @@ int run_serve_bench(std::size_t num_options, std::size_t steps,
 /// a full quarantine -> probe -> recovery cycle visible in the stats.
 int run_chaos(std::size_t num_options, std::size_t steps, core::Target target,
               std::size_t workers, const std::string& fault_spec,
-              core::HotPath hot_path, core::service::RouterConfig router) {
+              core::HotPath hot_path, core::service::RouterConfig router,
+              core::service::OverloadConfig overload,
+              core::service::PriorityMix mix, std::size_t queue_capacity) {
   using Clock = std::chrono::steady_clock;
   if (target == core::Target::kCpuReference ||
       target == core::Target::kCpuReferenceSingle) {
@@ -364,25 +442,47 @@ int run_chaos(std::size_t num_options, std::size_t steps, core::Target target,
   config.worker_fault_plans.assign(workers, plan);
   config.hot_path = hot_path;
   config.router = router;
+  config.overload = overload;
+  if (queue_capacity > 0) config.queue_capacity = queue_capacity;
   core::PricingService service(config);
 
   std::printf("chaos: %zu options, %zu steps, target %s, %zu worker(s)\n",
               num_options, steps, core::to_string(target).c_str(), workers);
   std::printf("  fault plan: %s\n", fault_spec.c_str());
+  if (overload.enabled()) {
+    std::printf("  shedding  : armed (watermark %.2f, queue %zu) — sheds "
+                "count toward conservation, not toward failures\n",
+                overload.shed_watermark, config.queue_capacity);
+  }
 
   // Single-quote submissions: every request has its own future, so a lost
   // request hangs .get() (never happens) and a double resolution would
-  // throw inside the service — conservation is checked per request.
+  // throw inside the service — conservation is checked per request. With
+  // shedding armed a submission may instead be refused at admission with
+  // ServiceOverloadError before a future exists; those are tallied and
+  // must still balance the books below.
   const auto start = Clock::now();
-  std::vector<std::future<core::Quote>> futures;
+  std::vector<std::pair<std::size_t, std::future<core::Quote>>> futures;
   futures.reserve(curve.size());
-  for (const auto& spec : curve) futures.push_back(service.submit(spec));
+  std::size_t shed = 0;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    try {
+      futures.emplace_back(
+          i, service.submit(curve[i], std::chrono::milliseconds{-1},
+                            /*cache_tag=*/0, mix.pick(i)));
+    } catch (const core::ServiceOverloadError&) {
+      ++shed;
+    }
+  }
 
   std::size_t mismatches = 0;
   std::size_t failed = 0;
-  for (std::size_t i = 0; i < futures.size(); ++i) {
+  for (auto& [index, future] : futures) {
     try {
-      if (futures[i].get().price != reference[i]) ++mismatches;
+      const core::Quote quote = future.get();
+      if (!quote.browned_out && quote.price != reference[index]) {
+        ++mismatches;
+      }
     } catch (const Error&) {
       ++failed;
     }
@@ -407,6 +507,15 @@ int run_chaos(std::size_t num_options, std::size_t steps, core::Target target,
     std::printf("  recovery  : p50 %.3f ms time-to-recovery\n",
                 stats.time_to_recovery_ns.p50() / 1e6);
   }
+  if (overload.enabled()) {
+    std::printf("  overload  : %zu shed at admission (%llu normal / %llu "
+                "batch), %llu eager drops, %llu browned-out\n",
+                shed,
+                static_cast<unsigned long long>(stats.requests_shed_normal),
+                static_cast<unsigned long long>(stats.requests_shed_batch),
+                static_cast<unsigned long long>(stats.eager_deadline_drops),
+                static_cast<unsigned long long>(stats.brownout_completions));
+  }
   print_router_summary(stats, config);
 
   bool ok = true;
@@ -424,11 +533,26 @@ int run_chaos(std::size_t num_options, std::size_t steps, core::Target target,
                  failed, curve.size());
     ok = false;
   }
+  // Conservation with shedding in the ledger: every issued request is
+  // either refused at admission (shed, before a future exists) or
+  // submitted — and every submitted request resolves exactly one way.
   if (stats.requests_completed + stats.requests_failed +
           stats.requests_timed_out !=
       stats.requests_submitted) {
     std::fprintf(stderr, "chaos FAILED: request conservation violated "
                          "(completed + failed + timed_out != submitted)\n");
+    ok = false;
+  }
+  if (stats.requests_submitted != curve.size() - shed ||
+      stats.requests_shed_normal + stats.requests_shed_batch != shed) {
+    std::fprintf(stderr,
+                 "chaos FAILED: shed ledger violated (client saw %zu sheds, "
+                 "service counted %llu; submitted %llu of %zu issued)\n",
+                 shed,
+                 static_cast<unsigned long long>(stats.requests_shed_normal +
+                                                 stats.requests_shed_batch),
+                 static_cast<unsigned long long>(stats.requests_submitted),
+                 curve.size());
     ok = false;
   }
   if (stats.quarantines_entered > 0 && stats.recoveries == 0) {
@@ -438,8 +562,9 @@ int run_chaos(std::size_t num_options, std::size_t steps, core::Target target,
   }
   if (!ok) return 1;
   std::printf("chaos passed: %zu prices bit-identical under injected "
-              "faults, zero requests lost\n",
-              curve.size());
+              "faults, zero requests lost (%zu shed at admission, all "
+              "accounted)\n",
+              curve.size() - shed, shed);
   return 0;
 }
 
@@ -1000,6 +1125,8 @@ int main_serve_bench(int argc, char** argv) {
   core::Target target = core::Target::kCpuReference;
   core::HotPath hot_path = core::HotPath::kLockFree;
   core::service::RouterConfig router;
+  core::service::OverloadConfig overload;
+  core::service::PriorityMix mix;
 
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -1029,6 +1156,19 @@ int main_serve_bench(int argc, char** argv) {
       cache_capacity = parse_size("--cache", value);
     } else if (flag == "--hot-path") {
       hot_path = parse_hot_path(value);
+    } else if (flag == "--shed-watermark") {
+      overload.shed_watermark = parse_double("--shed-watermark", value);
+    } else if (flag == "--sojourn-target-us") {
+      overload.sojourn_target = std::chrono::microseconds{
+          static_cast<long>(parse_size("--sojourn-target-us", value))};
+    } else if (flag == "--brownout") {
+      overload.brownout = parse_size("--brownout", value) != 0;
+    } else if (flag == "--priority-mix") {
+      try {
+        mix = core::service::parse_priority_mix(value);
+      } catch (const Error& e) {
+        fail(e.what());
+      }
     } else if (flag == "--target") {
       if (!parse_target(value, target)) {
         fail(std::string("unknown target '") + value +
@@ -1045,7 +1185,7 @@ int main_serve_bench(int argc, char** argv) {
   try {
     return run_serve_bench(num_options, steps, target, workers, submitters,
                            max_batch, linger_us, cache_capacity, hot_path,
-                           router);
+                           router, overload, mix);
   } catch (const Error& e) {
     fail(e.what());
   }
@@ -1059,6 +1199,9 @@ int main_chaos(int argc, char** argv) {
   std::string fault_spec = "device-lost@1;transient@3x2;seed=7";
   core::HotPath hot_path = core::HotPath::kLockFree;
   core::service::RouterConfig router;
+  core::service::OverloadConfig overload;
+  core::service::PriorityMix mix;
+  std::size_t queue_capacity = 0;
 
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -1080,7 +1223,19 @@ int main_chaos(int argc, char** argv) {
     else if (flag == "--watts-budget") {
       router.watts_budget = parse_double("--watts-budget", value);
     }
-    else if (flag == "--target") {
+    else if (flag == "--queue") queue_capacity = parse_size("--queue", value);
+    else if (flag == "--shed-watermark") {
+      overload.shed_watermark = parse_double("--shed-watermark", value);
+    } else if (flag == "--sojourn-target-us") {
+      overload.sojourn_target = std::chrono::microseconds{
+          static_cast<long>(parse_size("--sojourn-target-us", value))};
+    } else if (flag == "--priority-mix") {
+      try {
+        mix = core::service::parse_priority_mix(value);
+      } catch (const Error& e) {
+        fail(e.what());
+      }
+    } else if (flag == "--target") {
       if (!parse_target(value, target)) {
         fail(std::string("unknown target '") + value +
              "' (try --list-targets)");
@@ -1095,7 +1250,7 @@ int main_chaos(int argc, char** argv) {
 
   try {
     return run_chaos(num_options, steps, target, workers, fault_spec,
-                     hot_path, router);
+                     hot_path, router, overload, mix, queue_capacity);
   } catch (const Error& e) {
     fail(e.what());
   }
